@@ -1,0 +1,35 @@
+// Shared helpers for LORE's benchmark binaries: every bench prints the data
+// series behind its paper figure as an aligned table (consumed by
+// EXPERIMENTS.md) and then runs its google-benchmark timing section.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/table.hpp"
+
+namespace lore::bench {
+
+inline void print_header(const std::string& experiment, const std::string& description) {
+  std::printf("\n==== %s ====\n%s\n\n", experiment.c_str(), description.c_str());
+}
+
+inline void print_table(const Table& table) { std::fputs(table.to_string().c_str(), stdout); }
+
+inline void print_note(const std::string& note) { std::printf("%s\n", note.c_str()); }
+
+}  // namespace lore::bench
+
+/// Each bench defines `run_experiment_report()` (prints its series) and
+/// registers micro-benchmarks; this main runs both.
+#define LORE_BENCH_MAIN(report_fn)                                 \
+  int main(int argc, char** argv) {                                \
+    report_fn();                                                   \
+    ::benchmark::Initialize(&argc, argv);                          \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                         \
+    ::benchmark::Shutdown();                                       \
+    return 0;                                                      \
+  }

@@ -1,0 +1,110 @@
+// E21 / Sec. III-C1 [28]: efficient identification of critical faults in
+// memristor crossbars. Paper numbers: a small NN predicts fault criticality
+// with ~99 % accuracy; protecting only critical faults cuts the redundancy
+// required for fault tolerance by ~93 %. The bench reproduces both
+// quantities on LORE's crossbar accelerator.
+#include "bench/bench_util.hpp"
+#include "src/arch/crossbar.hpp"
+#include "src/ml/metrics.hpp"
+
+namespace {
+
+using namespace lore;
+using namespace lore::arch;
+
+struct Mission {
+  ml::MlpClassifier classifier{ml::MlpConfig{.hidden = {24, 16}, .epochs = 150}};
+  ml::Matrix inputs;
+
+  Mission() {
+    lore::Rng rng(920);
+    std::vector<std::vector<double>> centers(4, std::vector<double>(10));
+    for (auto& c : centers)
+      for (auto& v : c) v = rng.uniform(-1.0, 1.0);
+    std::vector<int> labels;
+    std::vector<double> row(10);
+    for (int i = 0; i < 400; ++i) {
+      const int cls = i % 4;
+      for (std::size_t c = 0; c < 10; ++c)
+        row[c] = centers[static_cast<std::size_t>(cls)][c] + rng.normal(0.0, 0.25);
+      inputs.push_row(row);
+      labels.push_back(cls);
+    }
+    classifier.fit(inputs, labels);
+  }
+};
+
+/// Duplicate positive rows until classes balance (the standard fix for the
+/// heavy benign-majority of crossbar faults).
+ml::Dataset oversample_positives(const ml::Dataset& d) {
+  ml::Dataset out = d;
+  std::size_t pos = 0;
+  for (int label : d.labels) pos += label;
+  if (pos == 0 || pos * 2 >= d.size()) return out;
+  const std::size_t copies = (d.size() - pos) / pos;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (d.labels[i] != 1) continue;
+    for (std::size_t c = 1; c < copies; ++c) out.add(d.x.row(i), 1);
+  }
+  return out;
+}
+
+void report() {
+  bench::print_header("Memristor-crossbar fault criticality ([28])",
+                      "4-class DNN on differential-conductance crossbars; stuck-at "
+                      "cell faults; a small NN classifies criticality (>2% accuracy "
+                      "impact) from fault features.");
+  Mission m;
+  CrossbarAccelerator accel(m.classifier.network());
+  lore::Rng rng(921);
+
+  const auto train = oversample_positives(crossbar_fault_dataset(
+      accel, m.classifier.network(), m.inputs, 700, 0.02, rng));
+  const auto test =
+      crossbar_fault_dataset(accel, m.classifier.network(), m.inputs, 300, 0.02, rng);
+  ml::MlpClassifier predictor(ml::MlpConfig{.hidden = {16}, .epochs = 300});
+  predictor.fit(train.x, train.labels);
+  const auto pred = predictor.predict_batch(test.x);
+  const auto conf = ml::binary_confusion(test.labels, pred);
+  const double acc = ml::accuracy(test.labels, pred);
+
+  // Redundancy reduction: full protection backs up every cell; selective
+  // protection backs up only cells the predictor flags (plus its misses are
+  // the residual risk, reported as recall).
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) flagged += pred[i] == 1;
+  const double redundancy_fraction =
+      static_cast<double>(flagged) / static_cast<double>(test.size());
+
+  Table t({"metric", "value", "paper_reference"});
+  t.add_row({"criticality prediction accuracy", fmt_sig(acc, 4), "~0.99"});
+  t.add_row({"critical-fault recall", fmt_sig(conf.recall(), 4), "-"});
+  t.add_row({"cells needing protection", fmt_sig(redundancy_fraction, 4), "-"});
+  t.add_row({"redundancy reduction", fmt_sig(1.0 - redundancy_fraction, 4), "~0.93"});
+  bench::print_table(t);
+  bench::print_note(
+      "Expected ([28] shape): high-90s prediction accuracy and a large redundancy "
+      "cut — most stuck-at faults land on small-magnitude weights and never flip a "
+      "prediction, so only a small critical minority needs backup columns.");
+}
+
+void BM_CrossbarInference(benchmark::State& state) {
+  static Mission m;
+  static CrossbarAccelerator accel(m.classifier.network());
+  for (auto _ : state) benchmark::DoNotOptimize(accel.classify(m.inputs.row(0)));
+}
+BENCHMARK(BM_CrossbarInference)->Unit(benchmark::kMicrosecond);
+
+void BM_FaultCriticality(benchmark::State& state) {
+  static Mission m;
+  static CrossbarAccelerator accel(m.classifier.network());
+  lore::Rng rng(922);
+  const auto fault = accel.random_fault(rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(fault_criticality(accel, fault, m.inputs));
+}
+BENCHMARK(BM_FaultCriticality)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+LORE_BENCH_MAIN(report)

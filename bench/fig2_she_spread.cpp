@@ -1,0 +1,86 @@
+// E1 / Fig. 2: transistor self-heating temperatures within a processor-like
+// circuit. The paper's observation: although only ~59 distinct standard
+// cells are used, per-instance SHE temperatures spread widely because each
+// instance sees different input slews, loads, and switching activity.
+#include "bench/bench_util.hpp"
+#include "src/circuit/she_flow.hpp"
+#include "src/common/stats.hpp"
+
+namespace {
+
+using namespace lore;
+using namespace lore::circuit;
+
+struct Setup {
+  CellLibrary lib = make_skeleton_library("lore-tech");
+  Characterizer characterizer{CharacterizerConfig{.timestep_ps = 0.2},
+                              device::SelfHeatingModel{}};
+  Netlist netlist;
+  StaEngine sta{};
+
+  Setup()
+      : netlist([this] {
+          device::OperatingPoint op{};
+          op.temperature = 330.0;
+          characterizer.characterize_library(lib, op);
+          return generate_core_like(lib, CoreLikeConfig{.pipeline_stages = 4,
+                                                        .regs_per_stage = 24,
+                                                        .gates_per_stage = 260});
+        }()) {}
+};
+
+void report() {
+  bench::print_header("Fig. 2 — per-instance SHE temperature spread",
+                      "Core-like pipelined netlist; SHE characterized per cell, looked "
+                      "up per instance at its STA slew/load and scaled by its activity.");
+  Setup s;
+  const auto sta = s.sta.run(s.netlist, LibraryDelayModel());
+  const auto she = instance_she_rise(s.netlist, sta,
+                                     s.characterizer.config().she_reference_toggle_ghz);
+
+  RunningStats stats;
+  for (double t : she) stats.add(t);
+  Table summary({"instances", "distinct_cell_types", "she_min_K", "she_mean_K",
+                 "she_p95_K", "she_max_K"});
+  summary.add_numeric_row({static_cast<double>(s.netlist.num_instances()),
+                           static_cast<double>(s.netlist.distinct_cell_types()),
+                           stats.min(), stats.mean(), quantile(she, 0.95), stats.max()},
+                          4);
+  bench::print_table(summary);
+
+  // The figure itself: the distribution of SHE temperatures.
+  Histogram hist(0.0, stats.max() * 1.0001 + 1e-9, 12);
+  hist.add(she);
+  Table dist({"she_range_K", "instances", "fraction"});
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    dist.add_row({fmt_sig(hist.bin_lo(b), 3) + ".." + fmt_sig(hist.bin_hi(b), 3),
+                  std::to_string(hist.count(b)), fmt_sig(hist.fraction(b), 3)});
+  }
+  bench::print_table(dist);
+
+  // SDF with temperatures (the Fig. 3 upper-path artifact).
+  const auto sdf = write_sdf(s.netlist, she, "SHE_TEMP_K");
+  bench::print_note("SHE-annotated SDF bytes: " + std::to_string(sdf.size()));
+  bench::print_note(
+      "Expected: wide temperature variety (max >> mean) from few distinct cell "
+      "types, reproducing the Fig. 2 observation.");
+}
+
+void BM_SheAnnotation(benchmark::State& state) {
+  static Setup s;
+  const auto sta = s.sta.run(s.netlist, LibraryDelayModel());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(instance_she_rise(
+        s.netlist, sta, s.characterizer.config().she_reference_toggle_ghz));
+}
+BENCHMARK(BM_SheAnnotation)->Unit(benchmark::kMillisecond);
+
+void BM_StaRun(benchmark::State& state) {
+  static Setup s;
+  for (auto _ : state) benchmark::DoNotOptimize(s.sta.run(s.netlist, LibraryDelayModel()));
+}
+BENCHMARK(BM_StaRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+LORE_BENCH_MAIN(report)

@@ -1,0 +1,107 @@
+// E2 / Fig. 3: the SHE-aware timing flow. Compares the conventional
+// worst-case corner against per-instance SHE-aware STA (exact transient
+// characterization vs the ML-generated circuit-specific library), and
+// measures the ML characterizer's speed advantage — the paper's "thousands
+// of cells within seconds" claim ([9]).
+#include <chrono>
+
+#include "bench/bench_util.hpp"
+#include "src/circuit/she_flow.hpp"
+
+namespace {
+
+using namespace lore;
+using namespace lore::circuit;
+
+void report() {
+  bench::print_header("Fig. 3 — SHE-aware guardband flow",
+                      "Typical corner vs worst-case corner vs per-instance SHE-aware "
+                      "STA (exact and ML-generated libraries).");
+  CellLibrary lib = make_skeleton_library("lore-tech");
+  Characterizer characterizer(
+      CharacterizerConfig{.slew_axis_ps = {10.0, 40.0, 160.0},
+                          .load_axis_ff = {1.0, 4.0, 16.0},
+                          .timestep_ps = 0.2},
+      device::SelfHeatingModel{});
+  SheFlowConfig cfg;
+  device::OperatingPoint typical{};
+  typical.temperature = cfg.chip_temperature;
+  characterizer.characterize_library(lib, typical);
+  auto nl = generate_core_like(lib, CoreLikeConfig{.pipeline_stages = 3,
+                                                   .regs_per_stage = 12,
+                                                   .gates_per_stage = 120});
+  StaEngine sta;
+  MlLibraryCharacterizer ml(MlCharacterizerConfig{
+      .samples_per_cell = 36, .temperature_samples = 4,
+      .mlp = {.hidden = {40, 40}, .learning_rate = 3e-3, .epochs = 100, .batch_size = 32}});
+
+  const auto report = run_guardband_flow(nl, lib, characterizer, ml, cfg, sta);
+
+  Table t({"flow", "worst_arrival_ps", "guardband_vs_typical"});
+  t.add_row({"typical corner", fmt_sig(report.typical_arrival_ps, 6), "1.0"});
+  t.add_row({"worst-case corner", fmt_sig(report.worst_case_arrival_ps, 6),
+             fmt_sig(report.worst_case_guardband(), 4)});
+  t.add_row({"SHE-aware (exact per-instance)", fmt_sig(report.she_exact_arrival_ps, 6),
+             fmt_sig(report.she_exact_arrival_ps / report.typical_arrival_ps, 4)});
+  t.add_row({"SHE-aware (ML library)", fmt_sig(report.she_ml_arrival_ps, 6),
+             fmt_sig(report.she_guardband(), 4)});
+  bench::print_table(t);
+
+  // Characterization cost: transient sims for the exact per-instance library
+  // vs one-off ML training; the ML inference path re-generates instance
+  // tables without any transient sim.
+  Table cost({"library", "transient_sims"});
+  cost.add_row({"exact per-instance", std::to_string(report.exact_evaluations)});
+  cost.add_row({"ML training (one-off)", std::to_string(report.ml_training_evaluations)});
+  cost.add_row({"ML per-instance generation", "0"});
+  bench::print_table(cost);
+
+  const double mape = ml.validation_mape(lib, characterizer, typical, 150, 7);
+  bench::print_note("ML characterizer held-out delay MAPE: " + fmt_sig(mape * 100.0, 3) + "%");
+  bench::print_note(
+      "Expected: typical < SHE-aware < worst-case arrivals (less pessimistic "
+      "guardbands with full SHE coverage); ML library within a few % of exact at a "
+      "fraction of the transient-simulation cost.");
+}
+
+void BM_MlInstanceLibrary(benchmark::State& state) {
+  CellLibrary lib = make_skeleton_library("lore-tech");
+  Characterizer characterizer(
+      CharacterizerConfig{.slew_axis_ps = {10.0, 40.0, 160.0},
+                          .load_axis_ff = {1.0, 4.0, 16.0},
+                          .timestep_ps = 0.4},
+      device::SelfHeatingModel{});
+  SheFlowConfig cfg;
+  device::OperatingPoint typical{};
+  typical.temperature = cfg.chip_temperature;
+  characterizer.characterize_library(lib, typical);
+  auto nl = generate_core_like(lib, CoreLikeConfig{.pipeline_stages = 2,
+                                                   .regs_per_stage = 8,
+                                                   .gates_per_stage = 60});
+  StaEngine sta;
+  const auto sta_result = sta.run(nl, LibraryDelayModel());
+  const auto she = instance_she_rise(nl, sta_result, 1.0);
+  MlLibraryCharacterizer ml(MlCharacterizerConfig{
+      .samples_per_cell = 20, .temperature_samples = 2,
+      .mlp = {.hidden = {24}, .learning_rate = 3e-3, .epochs = 40, .batch_size = 32}});
+  ml.train(lib, characterizer, typical);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        ml.build_instance_library(nl, she, cfg, characterizer.config()));
+}
+BENCHMARK(BM_MlInstanceLibrary)->Unit(benchmark::kMillisecond);
+
+void BM_TransientSim(benchmark::State& state) {
+  CellLibrary lib = make_skeleton_library("lore-tech");
+  Characterizer characterizer(CharacterizerConfig{.timestep_ps = 0.2},
+                              device::SelfHeatingModel{});
+  const auto& cell = lib.cell(*lib.find("NAND2_X2"));
+  device::OperatingPoint op{};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(characterizer.simulate(cell, false, 40.0, 4.0, op));
+}
+BENCHMARK(BM_TransientSim)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+LORE_BENCH_MAIN(report)

@@ -1,0 +1,56 @@
+// E13 / Fig. 6: average deadline hit rate vs error probability for the four
+// cycle-noise mitigation schedulers (DS, DS-1.5x, DS-2x, WCET) plus LORE's
+// learning-based extension (DS-ML). Paper shape: all near 1 below the wall,
+// conservative schedulers win inside the 1e-6..1e-5 window, all collapse to
+// 0 beyond it regardless of algorithm.
+#include "bench/bench_util.hpp"
+#include "src/rollback/montecarlo.hpp"
+
+namespace {
+
+using namespace lore;
+using namespace lore::rollback;
+
+void report() {
+  bench::print_header("Fig. 6 — deadline hit rate vs error probability",
+                      "Cycle-noise mitigation with speed headroom 2x; 100 Monte Carlo "
+                      "runs per point; schedulers DS / DS 1.5x / DS 2x / WCET (+ DS-ML "
+                      "learning extension).");
+  const std::vector<SchedulerKind> schedulers{SchedulerKind::kDs, SchedulerKind::kDs15,
+                                              SchedulerKind::kDs2, SchedulerKind::kWcet,
+                                              SchedulerKind::kDsLearned};
+  ExperimentConfig cfg;
+  const auto result = run_experiment(cfg, schedulers);
+
+  std::vector<std::string> headers{"error_prob"};
+  for (auto kind : schedulers) headers.push_back(scheduler_name(kind));
+  Table t(headers);
+  for (const auto& point : result.points) {
+    std::vector<double> row{point.p};
+    for (auto kind : schedulers) row.push_back(point.hit_rate.at(kind));
+    t.add_numeric_row(row, 4);
+  }
+  bench::print_table(t);
+
+  Table walls({"scheduler", "wall_position(p where hit<0.5)"});
+  for (auto kind : schedulers)
+    walls.add_row({scheduler_name(kind), fmt_sig(result.wall_position(kind), 3)});
+  bench::print_table(walls);
+  bench::print_note(
+      "Expected: hit rates ~1 at p<=1e-7; ordered WCET >= DS2x >= DS1.5x >= DS inside "
+      "the 1e-6..1e-5 window; all -> 0 past the wall.");
+}
+
+void BM_SimulateRun(benchmark::State& state) {
+  const auto segments = segment_adpcm_workload(SegmentationConfig{});
+  const MitigationConfig cfg{};
+  const auto budgets = static_budgets(SchedulerKind::kWcet, segments, cfg.checkpoint);
+  lore::Rng rng(3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(simulate_run(segments, budgets, 3e-6, cfg, rng));
+}
+BENCHMARK(BM_SimulateRun);
+
+}  // namespace
+
+LORE_BENCH_MAIN(report)

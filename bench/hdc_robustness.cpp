@@ -1,0 +1,107 @@
+// E3 / Sec. II claim: hyperdimensional computing keeps its accuracy under
+// massive component error rates (the paper: ~40 % errors cost only ~0.5 %
+// accuracy), because hypervector components are i.i.d. An MLP evaluated with
+// equivalent hidden-unit corruption collapses much faster.
+#include <algorithm>
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "src/common/rng.hpp"
+#include "src/ml/hdc.hpp"
+#include "src/ml/mlp.hpp"
+
+namespace {
+
+using namespace lore;
+using namespace lore::ml;
+
+struct Problem {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  std::size_t features = 6;
+  std::size_t classes = 4;
+
+  explicit Problem(std::uint64_t seed) {
+    lore::Rng rng(seed);
+    std::vector<std::vector<double>> centers(classes, std::vector<double>(features));
+    for (auto& c : centers)
+      for (auto& v : c) v = rng.uniform(0.15, 0.85);
+    for (int i = 0; i < 600; ++i) {
+      const auto cls = static_cast<int>(i % classes);
+      std::vector<double> row(features);
+      for (std::size_t f = 0; f < features; ++f)
+        row[f] = std::clamp(centers[static_cast<std::size_t>(cls)][f] + rng.normal(0.0, 0.06),
+                            0.0, 1.0);
+      x.push_back(std::move(row));
+      y.push_back(cls);
+    }
+  }
+};
+
+void report() {
+  bench::print_header("HDC robustness — accuracy vs component error rate",
+                      "4-class classification; HDC prototypes over 4096-dim bipolar "
+                      "hypervectors vs an MLP with equivalent hidden corruption.");
+  Problem problem(11);
+  RecordEncoder encoder(
+      std::vector<std::pair<double, double>>(problem.features, {0.0, 1.0}),
+      RecordEncoderConfig{.dim = 4096, .levels = 24});
+  HdcClassifier hdc(&encoder);
+  hdc.fit(problem.x, problem.y);
+
+  Matrix mx;
+  for (const auto& row : problem.x) mx.push_row(row);
+  MlpClassifier mlp(MlpConfig{.hidden = {32}, .epochs = 150});
+  mlp.fit(mx, problem.y);
+
+  lore::Rng noise(21);
+  Table t({"component_error_rate", "hdc_accuracy", "hdc_drop_pct", "mlp_accuracy"});
+  double hdc_clean = 0.0;
+  for (double err : {0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50}) {
+    std::size_t hdc_hits = 0, mlp_hits = 0;
+    for (std::size_t i = 0; i < problem.x.size(); ++i) {
+      hdc_hits += hdc.predict(problem.x[i], err, &noise) == problem.y[i];
+      // MLP corruption: the same fraction of first-hidden-layer activations
+      // forced to a wrong extreme value.
+      auto layers = mlp.network().forward_layers(problem.x[i]);
+      for (auto& v : layers[1])
+        if (noise.bernoulli(err)) v = noise.bernoulli(0.5) ? 10.0 : -10.0;
+      const auto out = mlp.network().forward_from_layer(1, layers[1]);
+      const auto pred = static_cast<int>(
+          std::max_element(out.begin(), out.end()) - out.begin());
+      mlp_hits += pred == problem.y[i];
+    }
+    const double hdc_acc = static_cast<double>(hdc_hits) / static_cast<double>(problem.x.size());
+    const double mlp_acc = static_cast<double>(mlp_hits) / static_cast<double>(problem.x.size());
+    if (err == 0.0) hdc_clean = hdc_acc;
+    t.add_numeric_row({err, hdc_acc, (hdc_clean - hdc_acc) * 100.0, mlp_acc}, 4);
+  }
+  bench::print_table(t);
+  bench::print_note(
+      "Expected: HDC accuracy nearly flat to ~40% errors (drop of a fraction of a "
+      "percent to a few percent), while the corrupted MLP degrades far more.");
+}
+
+void BM_HdcEncode(benchmark::State& state) {
+  Problem problem(12);
+  RecordEncoder encoder(
+      std::vector<std::pair<double, double>>(problem.features, {0.0, 1.0}),
+      RecordEncoderConfig{.dim = 4096, .levels = 24});
+  for (auto _ : state) benchmark::DoNotOptimize(encoder.encode(problem.x[0]));
+}
+BENCHMARK(BM_HdcEncode)->Unit(benchmark::kMicrosecond);
+
+void BM_HdcPredict(benchmark::State& state) {
+  Problem problem(13);
+  RecordEncoder encoder(
+      std::vector<std::pair<double, double>>(problem.features, {0.0, 1.0}),
+      RecordEncoderConfig{.dim = 4096, .levels = 24});
+  HdcClassifier hdc(&encoder);
+  hdc.fit(problem.x, problem.y);
+  for (auto _ : state) benchmark::DoNotOptimize(hdc.predict(problem.x[0]));
+}
+BENCHMARK(BM_HdcPredict)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+LORE_BENCH_MAIN(report)

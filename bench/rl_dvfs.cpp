@@ -1,0 +1,112 @@
+// E10 / Sec. IV: learning-based dynamic reliability management. The
+// Q-learning DVFS governor against static and ondemand baselines on the
+// multicore simulator; metrics cover every axis the paper's reward functions
+// trade: energy, deadline misses, soft errors, peak temperature, MWTF, and
+// wear-out MTTF.
+#include "bench/bench_util.hpp"
+#include "src/os/governor.hpp"
+
+namespace {
+
+using namespace lore;
+using namespace lore::os;
+
+struct Setup {
+  Platform platform{{make_big_core(), make_big_core(), make_little_core(),
+                     make_little_core()}};
+  TaskSet tasks = generate_taskset(
+      TaskSetConfig{.num_tasks = 12, .total_utilization = 1.5, .seed = 7});
+  std::vector<std::size_t> mapping = partition_worst_fit(tasks, {1.0, 1.0, 0.45, 0.45});
+  SimConfig cfg{.duration_ms = 8000.0, .ser = {.lambda0_per_s = 1e-3}, .seed = 11};
+};
+
+void add_result(Table& t, const std::string& name, const SimResult& r) {
+  t.add_row({name, fmt_sig(r.energy_j, 4), fmt_sig(r.deadline_miss_rate(), 4),
+             std::to_string(r.soft_errors), fmt_sig(r.peak_temperature_k, 5),
+             fmt_sig(r.mttf_years, 4), fmt_sig(r.mwtf, 4)});
+}
+
+void report() {
+  bench::print_header("RL-based DVFS reliability management",
+                      "4-core heterogeneous platform, 12 periodic tasks (U=1.5), "
+                      "SER grows 10^3 from top to bottom V-f; governors compared on "
+                      "an unseen evaluation seed.");
+  Setup s;
+  Table t({"governor", "energy_J", "miss_rate", "soft_errors", "peak_T_K", "mttf_years",
+           "mwtf"});
+
+  SimConfig eval_cfg = s.cfg;
+  eval_cfg.seed = 12345;
+
+  StaticGovernor top(s.platform.ladder().size() - 1);
+  StaticGovernor mid(2);
+  OndemandGovernor ondemand;
+  {
+    SystemSimulator sim(s.platform, s.tasks, s.mapping, eval_cfg);
+    add_result(t, "static-top", sim.run(&top));
+  }
+  {
+    SystemSimulator sim(s.platform, s.tasks, s.mapping, eval_cfg);
+    add_result(t, "static-mid", sim.run(&mid));
+  }
+  {
+    SystemSimulator sim(s.platform, s.tasks, s.mapping, eval_cfg);
+    add_result(t, "ondemand", sim.run(&ondemand));
+  }
+
+  {
+    auto rl = train_rl_governor(s.platform, s.tasks, s.mapping, s.cfg, 18);
+    rl->freeze();
+    SystemSimulator sim(s.platform, s.tasks, s.mapping, eval_cfg);
+    add_result(t, "rl-dvfs (trained)", sim.run(rl.get()));
+  }
+  bench::print_table(t);
+  bench::print_note(
+      "Expected: rl-dvfs sits on the Pareto front — energy below static-top, misses/"
+      "faults below static-mid, MTTF above static-top (cooler, lower-voltage "
+      "operation when slack allows).");
+
+  // DPM comparison on the load regime it targets: a lightly used platform
+  // where idle cores can sleep between arrivals (the paper's third knob).
+  bench::print_header("DPM on a light load (U=0.5)",
+                      "Timeout DPM parks idle cores; wake-on-demand costs one tick.");
+  const auto light_tasks = generate_taskset(
+      TaskSetConfig{.num_tasks = 6, .total_utilization = 0.5, .seed = 23});
+  const auto light_mapping = partition_worst_fit(light_tasks, {1.0, 1.0, 0.45, 0.45});
+  Table d({"governor", "energy_J", "miss_rate", "core_wakeups"});
+  SimConfig light_cfg{.duration_ms = 8000.0, .seed = 77};
+  {
+    StaticGovernor top(s.platform.ladder().size() - 1);
+    SystemSimulator sim(s.platform, light_tasks, light_mapping, light_cfg);
+    const auto r = sim.run(&top);
+    d.add_row({"static-top", fmt_sig(r.energy_j, 4), fmt_sig(r.deadline_miss_rate(), 4),
+               std::to_string(r.core_wakeups)});
+  }
+  {
+    StaticGovernor top(s.platform.ladder().size() - 1);
+    TimeoutDpmGovernor dpm(&top, 2);
+    SystemSimulator sim(s.platform, light_tasks, light_mapping, light_cfg);
+    const auto r = sim.run(&dpm);
+    d.add_row({"dpm+static-top", fmt_sig(r.energy_j, 4), fmt_sig(r.deadline_miss_rate(), 4),
+               std::to_string(r.core_wakeups)});
+  }
+  bench::print_table(d);
+  bench::print_note(
+      "Expected: DPM cuts leakage energy on the idle-heavy load at a negligible "
+      "miss-rate cost (one-tick wake latency vs 20+ ms periods).");
+}
+
+void BM_SimulatedSecond(benchmark::State& state) {
+  Setup s;
+  s.cfg.duration_ms = 1000.0;
+  StaticGovernor top(s.platform.ladder().size() - 1);
+  for (auto _ : state) {
+    SystemSimulator sim(s.platform, s.tasks, s.mapping, s.cfg);
+    benchmark::DoNotOptimize(sim.run(&top));
+  }
+}
+BENCHMARK(BM_SimulatedSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+LORE_BENCH_MAIN(report)

@@ -1,0 +1,86 @@
+// E6 / Sec. III-B1 [21]: predict fault behaviour at large scale from
+// small-scale training. [21] found boosting methods (AdaBoost / stochastic
+// gradient boosting) more consistently accurate than MLP / naive Bayes /
+// SVM because they keep learning from mispredicted samples. Here models
+// train on registers of small-scale workloads and predict vulnerability on
+// larger-scale instances of the same kernels.
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "src/arch/features.hpp"
+#include "src/ml/ensemble.hpp"
+#include "src/ml/metrics.hpp"
+#include "src/ml/mlp.hpp"
+#include "src/ml/naive_bayes.hpp"
+#include "src/ml/svm.hpp"
+
+namespace {
+
+using namespace lore;
+using namespace lore::arch;
+
+ml::Dataset scale_dataset(std::size_t scale, std::uint64_t seed) {
+  ml::Dataset all;
+  lore::Rng rng(seed);
+  for (const auto& w : standard_workloads(scale, 200 + scale)) {
+    FaultInjector injector(w);
+    const auto campaign = injector.campaign(350, FaultTarget::kRegister, rng);
+    const auto d = register_vulnerability_dataset(w, campaign, 0.15);
+    for (std::size_t i = 0; i < d.size(); ++i) all.add(d.x.row(i), d.labels[i]);
+  }
+  return all;
+}
+
+void report() {
+  bench::print_header("Scale-dependent fault-behaviour prediction",
+                      "Train on scale-1 kernels, predict register vulnerability on "
+                      "scale-4 instances (the [21] small-to-large setting).");
+  const auto train = scale_dataset(1, 51);
+  const auto test = scale_dataset(4, 52);
+
+  struct Entry {
+    std::string family;  // per [21]: boosting vs the simpler families
+    std::unique_ptr<ml::Classifier> model;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"simple", std::make_unique<ml::MlpClassifier>(
+                                   ml::MlpConfig{.hidden = {16}, .epochs = 150})});
+  entries.push_back({"simple", std::make_unique<ml::GaussianNaiveBayes>()});
+  entries.push_back({"simple", std::make_unique<ml::LinearSvm>()});
+  entries.push_back({"boosting", std::make_unique<ml::AdaBoostClassifier>()});
+  entries.push_back({"boosting", std::make_unique<ml::GradientBoostingClassifier>(
+                                     ml::GradientBoostingClassifierConfig{.num_rounds = 60})});
+
+  Table t({"model", "family", "large_scale_accuracy", "f1"});
+  double best_simple = 0.0, best_boost = 0.0;
+  for (auto& e : entries) {
+    e.model->fit(train.x, train.labels);
+    const auto pred = e.model->predict_batch(test.x);
+    const double acc = ml::accuracy(test.labels, pred);
+    const double f1 = ml::binary_confusion(test.labels, pred).f1();
+    if (e.family == "simple") best_simple = std::max(best_simple, acc);
+    else best_boost = std::max(best_boost, acc);
+    t.add_row({e.model->name(), e.family, fmt_sig(acc, 4), fmt_sig(f1, 4)});
+  }
+  bench::print_table(t);
+  bench::print_note("best boosting acc: " + fmt_sig(best_boost, 4) +
+                    " vs best simple acc: " + fmt_sig(best_simple, 4));
+  bench::print_note(
+      "Expected: ~90% large-scale accuracy from small-scale training, with the "
+      "boosting family at least matching the simpler models ([21]).");
+}
+
+void BM_TrainGbdt(benchmark::State& state) {
+  const auto train = scale_dataset(1, 53);
+  for (auto _ : state) {
+    ml::GradientBoostingClassifier gbdt(
+        ml::GradientBoostingClassifierConfig{.num_rounds = 30});
+    gbdt.fit(train.x, train.labels);
+    benchmark::DoNotOptimize(gbdt);
+  }
+}
+BENCHMARK(BM_TrainGbdt)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+LORE_BENCH_MAIN(report)

@@ -1,0 +1,101 @@
+// E7 / Sec. III-B2 [24]: SDC-proneness prediction with a graph network over
+// the program's instruction graph (data-dependency + control edges),
+// compared against an MLP on the same per-instruction features without
+// propagation. Inductive: the model predicts on programs never seen in
+// training, without new fault-injection experiments.
+#include "bench/bench_util.hpp"
+#include "src/arch/features.hpp"
+#include "src/ml/metrics.hpp"
+
+namespace {
+
+using namespace lore;
+using namespace lore::arch;
+
+struct LabeledProgram {
+  ml::FeatureGraph graph;
+  std::vector<int> labels;  // 0 benign-dominant, 1 SDC, 2 crash/hang, -1 unknown
+};
+
+LabeledProgram label_program(const Workload& w, std::size_t trials, lore::Rng& rng) {
+  FaultInjector injector(w);
+  const auto campaign = injector.campaign(trials, FaultTarget::kInstruction, rng);
+  return {build_program_graph(w.program), instruction_outcome_labels(w.program, campaign)};
+}
+
+void report() {
+  bench::print_header("SDC-prone instruction prediction — graph network vs MLP",
+                      "Outcome classes per instruction: benign / SDC / crash+hang; "
+                      "train on four kernels, test inductively on two unseen ones.");
+  lore::Rng rng(61);
+  // Population: the standard kernels plus random synthetic programs (the
+  // kernels alone are too small to train a graph model on).
+  auto workloads = standard_workloads(2, 300);
+  for (int i = 0; i < 6; ++i) workloads.push_back(make_random_program(120, 400 + i));
+  std::vector<LabeledProgram> programs;
+  for (const auto& w : workloads) programs.push_back(label_program(w, 900, rng));
+
+  std::vector<const ml::FeatureGraph*> train_graphs;
+  std::vector<std::vector<int>> train_labels;
+  for (std::size_t i = 0; i + 2 < programs.size(); ++i) {
+    train_graphs.push_back(&programs[i].graph);
+    train_labels.push_back(programs[i].labels);
+  }
+
+  ml::GraphNodeClassifier gnn;
+  gnn.fit(train_graphs, train_labels);
+
+  // MLP baseline on raw features (no neighbourhood aggregation).
+  ml::Matrix x;
+  std::vector<int> y;
+  for (std::size_t i = 0; i + 2 < programs.size(); ++i) {
+    for (std::size_t v = 0; v < programs[i].graph.num_nodes(); ++v) {
+      if (programs[i].labels[v] < 0) continue;
+      x.push_row(programs[i].graph.node_features(v));
+      y.push_back(programs[i].labels[v]);
+    }
+  }
+  ml::MlpClassifier mlp(ml::MlpConfig{.hidden = {32}, .epochs = 250});
+  mlp.fit(x, y);
+
+  Table t({"test_kernel", "gnn_accuracy", "mlp_accuracy", "labeled_nodes"});
+  double gnn_total = 0.0, mlp_total = 0.0;
+  int counted = 0;
+  for (std::size_t i = programs.size() - 2; i < programs.size(); ++i) {
+    const auto& p = programs[i];
+    const auto gnn_pred = gnn.predict(p.graph);
+    std::vector<int> truth, gp, mp;
+    for (std::size_t v = 0; v < p.graph.num_nodes(); ++v) {
+      if (p.labels[v] < 0) continue;
+      truth.push_back(p.labels[v]);
+      gp.push_back(gnn_pred[v]);
+      mp.push_back(mlp.predict(p.graph.node_features(v)));
+    }
+    const double gnn_acc = ml::accuracy(truth, gp);
+    const double mlp_acc = ml::accuracy(truth, mp);
+    gnn_total += gnn_acc;
+    mlp_total += mlp_acc;
+    ++counted;
+    t.add_row({workloads[i].name, fmt_sig(gnn_acc, 4), fmt_sig(mlp_acc, 4),
+               std::to_string(truth.size())});
+  }
+  t.add_row({"mean", fmt_sig(gnn_total / counted, 4), fmt_sig(mlp_total / counted, 4), "-"});
+  bench::print_table(t);
+  bench::print_note(
+      "Expected: both models well above the ~33% 3-class chance level on unseen "
+      "programs, with the graph model competitive with the feature-only MLP; on "
+      "this compact ISA the hand-crafted features already encode much of what "
+      "propagation recovers automatically in [24].");
+}
+
+void BM_GraphEmbedding(benchmark::State& state) {
+  const auto w = make_matmul(4, 5);
+  const auto g = build_program_graph(w.program);
+  ml::GraphAttentionEmbedder emb;
+  for (auto _ : state) benchmark::DoNotOptimize(emb.embed(g));
+}
+BENCHMARK(BM_GraphEmbedding)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+LORE_BENCH_MAIN(report)

@@ -1,0 +1,86 @@
+// E9 / Sec. III-C2: symptom-based detection. Two instruments from the paper:
+//  - [30]-style activation anomaly detector (high recall/precision on
+//    misclassification-causing faults at a small compute overhead);
+//  - WarningNet [32]-style input monitor (early warning of perturbations
+//    that will break the mission task, much smaller than the mission).
+#include "bench/bench_util.hpp"
+#include "src/arch/symptom.hpp"
+
+namespace {
+
+using namespace lore;
+using namespace lore::arch;
+
+struct Mission {
+  static constexpr std::size_t kDim = 16;
+  ml::MlpClassifier classifier{ml::MlpConfig{.hidden = {48, 48}, .epochs = 150}};
+  ml::Matrix inputs;
+
+  Mission() {
+    lore::Rng rng(900);
+    std::vector<double> base(kDim);
+    for (auto& v : base) v = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    std::vector<std::vector<double>> prototypes(3, base);
+    for (std::size_t k = 0; k < 3; ++k)
+      for (std::size_t c = 3 * k; c < 3 * k + 3; ++c) prototypes[k][c] = -base[c];
+    std::vector<int> y;
+    std::vector<double> row(kDim);
+    for (int i = 0; i < 360; ++i) {
+      const int cls = i % 3;
+      for (std::size_t c = 0; c < kDim; ++c)
+        row[c] = prototypes[static_cast<std::size_t>(cls)][c] + rng.normal(0.0, 0.3);
+      inputs.push_row(row);
+      y.push_back(cls);
+    }
+    classifier.fit(inputs, y);
+  }
+};
+
+void report() {
+  bench::print_header("Symptom-based detection",
+                      "Mission: 3-class sensor-frame classifier (48x48 MLP). Faults: "
+                      "high-magnitude activation spikes; perturbations: input noise.");
+  Mission mission;
+
+  ActivationAnomalyDetector detector;
+  detector.train(mission.classifier.network(), mission.inputs);
+  const auto d = detector.evaluate(mission.classifier.network(), mission.inputs, 600, 5);
+
+  InputPerturbationMonitor monitor;
+  monitor.train(mission.classifier.network(), mission.inputs);
+  const auto m = monitor.evaluate(mission.classifier.network(), mission.inputs, 600, 6);
+
+  Table t({"detector", "recall", "precision", "auc", "overhead_or_speedup"});
+  t.add_row({"activation anomaly [30]", fmt_sig(d.recall, 4), fmt_sig(d.precision, 4), "-",
+             "overhead " + fmt_sig(d.overhead, 3) + "x"});
+  t.add_row({"WarningNet input monitor [32]", fmt_sig(m.recall, 4), fmt_sig(m.precision, 4),
+             fmt_sig(m.auc, 4), "speedup " + fmt_sig(m.speedup, 3) + "x"});
+  bench::print_table(t);
+  bench::print_note(
+      "Expected ([30],[32] shape): anomaly recall/precision high at sub-1x overhead; "
+      "the input monitor ranks failure-inducing inputs (AUC >> 0.5) while being many "
+      "times smaller than the mission network.");
+}
+
+void BM_DetectorInference(benchmark::State& state) {
+  static Mission mission;
+  static ActivationAnomalyDetector detector = [] {
+    ActivationAnomalyDetector d(AnomalyDetectorConfig{.train_samples = 400});
+    d.train(mission.classifier.network(), mission.inputs);
+    return d;
+  }();
+  const auto layers = mission.classifier.network().forward_layers(mission.inputs.row(0));
+  for (auto _ : state) benchmark::DoNotOptimize(detector.flags(layers));
+}
+BENCHMARK(BM_DetectorInference)->Unit(benchmark::kMicrosecond);
+
+void BM_MissionInference(benchmark::State& state) {
+  static Mission mission;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mission.classifier.network().forward(mission.inputs.row(0)));
+}
+BENCHMARK(BM_MissionInference)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+LORE_BENCH_MAIN(report)

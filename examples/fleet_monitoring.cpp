@@ -1,0 +1,67 @@
+// Fleet reliability monitoring end to end (Sec. III-B2 + IV-A4): generate
+// node telemetry with a hidden degradation process, train a GBDT failure
+// predictor, rank the fleet by risk, and let the adaptive replica manager
+// price redundancy for the riskiest nodes.
+//
+//   $ ./fleet_monitoring
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "src/ml/ensemble.hpp"
+#include "src/ml/metrics.hpp"
+#include "src/os/replica.hpp"
+#include "src/os/telemetry.hpp"
+
+int main() {
+  using namespace lore;
+  using namespace lore::os;
+
+  // Six months of telemetry for a 64-node fleet.
+  const FleetConfig cfg{.nodes = 64, .epochs = 220, .defective_fraction = 0.25, .seed = 9};
+  const auto history = generate_fleet_telemetry(cfg);
+  std::size_t failures = 0;
+  for (const auto& r : history) failures += r.failure;
+  std::printf("fleet history: %zu records, %zu uncorrected failures\n", history.size(),
+              failures);
+
+  // Train the failure predictor on history; score the current epoch.
+  const auto train = failure_prediction_dataset(history, 12, 10);
+  ml::GradientBoostingClassifier predictor(
+      ml::GradientBoostingClassifierConfig{.num_rounds = 80});
+  predictor.fit(train.x, train.labels);
+  std::printf("trained GBDT on %zu windows (%zu features)\n\n", train.size(),
+              train.features());
+
+  // Risk ranking at the end of the trace.
+  std::vector<std::pair<double, std::size_t>> risk;
+  for (std::size_t node = 0; node < cfg.nodes; ++node) {
+    const auto f = telemetry_features(history, node, cfg.epochs - 1, 12);
+    risk.emplace_back(predictor.predict_proba(f)[1], node);
+  }
+  std::sort(risk.rbegin(), risk.rend());
+  std::printf("top-5 at-risk nodes (failure probability within 10 epochs):\n");
+  for (int i = 0; i < 5; ++i)
+    std::printf("  node %2zu  p(fail) = %.3f\n", risk[static_cast<std::size_t>(i)].second,
+                risk[static_cast<std::size_t>(i)].first);
+
+  // Replica management: observe each node's recent fault evidence and price
+  // redundancy accordingly.
+  std::printf("\nreplica recommendations (risk-weighted):\n");
+  for (int i = 0; i < 5; ++i) {
+    const auto node = risk[static_cast<std::size_t>(i)].second;
+    ReplicaManager mgr(ReplicaManagerConfig{.failure_penalty = 800.0});
+    // Feed the node's corrected-error history as fault evidence: each epoch
+    // is treated as 500 jobs, with corrected errors (capped) as the faulty
+    // ones — a rough but monotone per-job fault-rate signal.
+    for (const auto& r : history)
+      if (r.node == node && r.epoch + 30 >= cfg.epochs)
+        mgr.observe(std::min<std::uint32_t>(r.corrected_errors, 50), 500);
+    std::printf("  node %2zu: estimated per-job fault rate %.4f -> %zu replica(s)\n", node,
+                mgr.fault_probability(), mgr.recommended_replicas());
+  }
+  std::printf(
+      "\nThe pipeline is Sec. III-B2 + IV-A4 of the paper in one loop: logs -> "
+      "learned failure model -> risk ranking -> redundancy priced per node.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 1 / Section IV: train a Q-learning DVFS governor on the multicore
+// simulator and watch it trade energy, deadline misses, soft errors, and
+// wear-out lifetime against the static baselines.
+//
+//   $ ./rl_reliability_manager
+#include <cstdio>
+
+#include "src/os/governor.hpp"
+
+int main() {
+  using namespace lore;
+  using namespace lore::os;
+
+  Platform platform({make_big_core(), make_big_core(), make_little_core(),
+                     make_little_core()});
+  const auto tasks = generate_taskset(
+      TaskSetConfig{.num_tasks = 12, .total_utilization = 1.5, .seed = 7});
+  const auto mapping = partition_worst_fit(tasks, {1.0, 1.0, 0.45, 0.45});
+  SimConfig cfg{.duration_ms = 8000.0, .ser = {.lambda0_per_s = 1e-3}, .seed = 11};
+
+  std::printf("platform: %zu cores, %zu V-f levels; %zu tasks (U=%.2f)\n\n",
+              platform.num_cores(), platform.ladder().size(), tasks.size(),
+              total_utilization(tasks));
+
+  auto describe = [](const char* name, const SimResult& r) {
+    std::printf("%-18s energy %7.2f J  misses %6.4f  faults %4zu  peakT %6.1f K  "
+                "MTTF %7.3f y\n",
+                name, r.energy_j, r.deadline_miss_rate(), r.soft_errors,
+                r.peak_temperature_k, r.mttf_years);
+  };
+
+  SimConfig eval_cfg = cfg;
+  eval_cfg.seed = 999;  // unseen fault realization for evaluation
+
+  StaticGovernor top(platform.ladder().size() - 1);
+  {
+    SystemSimulator sim(platform, tasks, mapping, eval_cfg);
+    describe("static-top", sim.run(&top));
+  }
+  StaticGovernor mid(2);
+  {
+    SystemSimulator sim(platform, tasks, mapping, eval_cfg);
+    describe("static-mid", sim.run(&mid));
+  }
+  OndemandGovernor ondemand;
+  {
+    SystemSimulator sim(platform, tasks, mapping, eval_cfg);
+    describe("ondemand", sim.run(&ondemand));
+  }
+
+  std::printf("\ntraining the RL governor (18 episodes)...\n");
+  auto rl = train_rl_governor(platform, tasks, mapping, cfg, 18);
+  rl->freeze();
+  {
+    SystemSimulator sim(platform, tasks, mapping, eval_cfg);
+    describe("rl-dvfs", sim.run(rl.get()));
+  }
+  std::printf(
+      "\nThe learned policy adapts V-f to per-core utilization and temperature:\n"
+      "cheaper than static-top, far fewer misses than static-mid, and a longer\n"
+      "wear-out lifetime than either when slack allows cool, low-voltage runs.\n");
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every reproduced figure/experiment of the paper.
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    "$b" 2>&1 | tee -a bench_output.txt
+  fi
+done
+echo "done: see test_output.txt and bench_output.txt"

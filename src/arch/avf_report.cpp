@@ -1,0 +1,87 @@
+#include "src/arch/avf_report.hpp"
+
+#include <cassert>
+#include <map>
+
+#include "src/common/table.hpp"
+
+namespace lore::arch {
+namespace {
+
+void account(StructureAvf& row, const FaultRecord& record) {
+  ++row.injections;
+  switch (record.outcome) {
+    case Outcome::kBenign: ++row.mix.benign; break;
+    case Outcome::kSdc: ++row.mix.sdc; break;
+    case Outcome::kCrash: ++row.mix.crash; break;
+    case Outcome::kHang: ++row.mix.hang; break;
+    case Outcome::kDetected: ++row.mix.detected; break;
+  }
+}
+
+std::vector<StructureAvf> finalize(std::map<std::string, StructureAvf>&& rows) {
+  std::vector<StructureAvf> out;
+  out.reserve(rows.size());
+  for (auto& [name, row] : rows) {
+    row.structure = name;
+    row.avf = row.mix.fraction_failure();
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<StructureAvf> avf_by_register(const std::vector<FaultRecord>& campaign) {
+  std::map<std::string, StructureAvf> rows;
+  for (const auto& record : campaign) {
+    assert(record.site.target == FaultTarget::kRegister);
+    account(rows["r" + std::to_string(record.site.index)], record);
+  }
+  return finalize(std::move(rows));
+}
+
+std::vector<StructureAvf> avf_by_instruction_class(const Program& p,
+                                                   const std::vector<FaultRecord>& campaign) {
+  auto classify = [&](std::size_t index) -> std::string {
+    if (index >= p.size()) return "other";
+    const Opcode op = p[index].op;
+    if (is_memory(op)) return "memory";
+    if (is_branch(op)) return "branch";
+    if (op == Opcode::kLi || op == Opcode::kAddi) return "immediate";
+    if (writes_register(op)) return "alu";
+    return "other";
+  };
+  std::map<std::string, StructureAvf> rows;
+  for (const auto& record : campaign) {
+    assert(record.site.target == FaultTarget::kInstruction);
+    account(rows[classify(record.site.index)], record);
+  }
+  return finalize(std::move(rows));
+}
+
+std::vector<StructureAvf> avf_by_bit_range(const std::vector<FaultRecord>& campaign) {
+  auto classify = [](unsigned bit) -> std::string {
+    if (bit < 8) return "bits[0:7]";
+    if (bit < 24) return "bits[8:23]";
+    return "bits[24:31]";
+  };
+  std::map<std::string, StructureAvf> rows;
+  for (const auto& record : campaign) {
+    assert(record.site.target == FaultTarget::kRegister);
+    account(rows[classify(record.site.bit)], record);
+  }
+  return finalize(std::move(rows));
+}
+
+std::string render_avf_report(const std::vector<StructureAvf>& rows) {
+  lore::Table t({"structure", "injections", "benign", "sdc", "crash", "hang", "avf"});
+  for (const auto& r : rows) {
+    t.add_row({r.structure, std::to_string(r.injections), std::to_string(r.mix.benign),
+               std::to_string(r.mix.sdc), std::to_string(r.mix.crash),
+               std::to_string(r.mix.hang), lore::fmt_sig(r.avf, 3)});
+  }
+  return t.to_string();
+}
+
+}  // namespace lore::arch

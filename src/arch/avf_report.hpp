@@ -1,0 +1,36 @@
+// Structured AVF reporting (gemV-style [19]): break an injection campaign
+// down per architectural structure — per register, per instruction class,
+// per outcome — so the vulnerable parts of the design are visible at a
+// glance and selective protection has a target list.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/arch/fault.hpp"
+
+namespace lore::arch {
+
+struct StructureAvf {
+  std::string structure;
+  std::size_t injections = 0;
+  OutcomeMix mix;
+  double avf = 0.0;  // failure fraction
+};
+
+/// Per-register AVF from a register-target campaign.
+std::vector<StructureAvf> avf_by_register(const std::vector<FaultRecord>& campaign);
+
+/// Per-opcode-class AVF from an instruction-target campaign over `p`.
+/// Classes: alu / memory / branch / immediate / other.
+std::vector<StructureAvf> avf_by_instruction_class(const Program& p,
+                                                   const std::vector<FaultRecord>& campaign);
+
+/// Per-bit-range AVF (low byte / mid / high byte of the 32-bit word) from a
+/// register campaign — high bits of addresses crash, low bits of data SDC.
+std::vector<StructureAvf> avf_by_bit_range(const std::vector<FaultRecord>& campaign);
+
+/// Render a report as an aligned text table.
+std::string render_avf_report(const std::vector<StructureAvf>& rows);
+
+}  // namespace lore::arch

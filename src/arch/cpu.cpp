@@ -1,0 +1,150 @@
+#include "src/arch/cpu.hpp"
+
+#include <cassert>
+
+namespace lore::arch {
+
+Cpu::Cpu(std::size_t memory_words)
+    : regs_(kNumRegisters, 0),
+      memory_(memory_words, 0),
+      reg_reads_(kNumRegisters, 0),
+      reg_writes_(kNumRegisters, 0) {}
+
+void Cpu::load_program(Program program) {
+  program_ = std::move(program);
+  inst_counts_.assign(program_.size(), 0);
+  reset();
+}
+
+void Cpu::reset(bool clear_memory) {
+  std::fill(regs_.begin(), regs_.end(), 0);
+  std::fill(reg_reads_.begin(), reg_reads_.end(), 0);
+  std::fill(reg_writes_.begin(), reg_writes_.end(), 0);
+  std::fill(inst_counts_.begin(), inst_counts_.end(), 0);
+  if (clear_memory) std::fill(memory_.begin(), memory_.end(), 0);
+  pc_ = 0;
+  cycles_ = 0;
+  state_ = RunState::kRunning;
+}
+
+std::uint32_t Cpu::reg(std::size_t index) const {
+  assert(index < kNumRegisters);
+  return regs_[index];
+}
+
+void Cpu::set_reg(std::size_t index, std::uint32_t value) {
+  assert(index < kNumRegisters);
+  regs_[index] = value;
+}
+
+std::uint32_t Cpu::mem(std::size_t word) const {
+  assert(word < memory_.size());
+  return memory_[word];
+}
+
+void Cpu::set_mem(std::size_t word, std::uint32_t value) {
+  assert(word < memory_.size());
+  memory_[word] = value;
+}
+
+void Cpu::flip_register_bit(std::size_t reg_index, unsigned bit) {
+  assert(reg_index < kNumRegisters && bit < 32);
+  regs_[reg_index] ^= (1u << bit);
+}
+
+void Cpu::flip_memory_bit(std::size_t word, unsigned bit) {
+  assert(word < memory_.size() && bit < 32);
+  memory_[word] ^= (1u << bit);
+}
+
+std::uint32_t Cpu::read_reg(unsigned r) {
+  ++reg_reads_[r];
+  return regs_[r];
+}
+
+void Cpu::write_reg(unsigned r, std::uint32_t v) {
+  ++reg_writes_[r];
+  regs_[r] = v;
+}
+
+RunState Cpu::step() {
+  if (state_ != RunState::kRunning) return state_;
+  if (pc_ >= program_.size()) {
+    state_ = RunState::kTrapped;
+    return state_;
+  }
+  const Instruction ins = program_[pc_];
+  ++inst_counts_[pc_];
+  ++cycles_;
+  std::uint32_t next_pc = pc_ + 1;
+
+  auto branch_to = [&](std::int32_t target) {
+    if (target < 0 || static_cast<std::size_t>(target) > program_.size()) {
+      state_ = RunState::kTrapped;
+      return;
+    }
+    next_pc = static_cast<std::uint32_t>(target);
+  };
+
+  switch (ins.op) {
+    case Opcode::kNop: break;
+    case Opcode::kAdd: write_reg(ins.rd, read_reg(ins.rs1) + read_reg(ins.rs2)); break;
+    case Opcode::kSub: write_reg(ins.rd, read_reg(ins.rs1) - read_reg(ins.rs2)); break;
+    case Opcode::kMul: write_reg(ins.rd, read_reg(ins.rs1) * read_reg(ins.rs2)); break;
+    case Opcode::kAnd: write_reg(ins.rd, read_reg(ins.rs1) & read_reg(ins.rs2)); break;
+    case Opcode::kOr: write_reg(ins.rd, read_reg(ins.rs1) | read_reg(ins.rs2)); break;
+    case Opcode::kXor: write_reg(ins.rd, read_reg(ins.rs1) ^ read_reg(ins.rs2)); break;
+    case Opcode::kShl: write_reg(ins.rd, read_reg(ins.rs1) << (read_reg(ins.rs2) & 31u)); break;
+    case Opcode::kShr: write_reg(ins.rd, read_reg(ins.rs1) >> (read_reg(ins.rs2) & 31u)); break;
+    case Opcode::kAddi:
+      write_reg(ins.rd, read_reg(ins.rs1) + static_cast<std::uint32_t>(ins.imm));
+      break;
+    case Opcode::kLi: write_reg(ins.rd, static_cast<std::uint32_t>(ins.imm)); break;
+    case Opcode::kLd: {
+      const std::uint32_t addr = read_reg(ins.rs1) + static_cast<std::uint32_t>(ins.imm);
+      if (addr >= memory_.size()) {
+        state_ = RunState::kTrapped;
+        return state_;
+      }
+      write_reg(ins.rd, memory_[addr]);
+      break;
+    }
+    case Opcode::kSt: {
+      const std::uint32_t addr = read_reg(ins.rs1) + static_cast<std::uint32_t>(ins.imm);
+      if (addr >= memory_.size()) {
+        state_ = RunState::kTrapped;
+        return state_;
+      }
+      memory_[addr] = read_reg(ins.rs2);
+      break;
+    }
+    case Opcode::kBeq:
+      if (read_reg(ins.rs1) == read_reg(ins.rs2)) branch_to(ins.imm);
+      break;
+    case Opcode::kBne:
+      if (read_reg(ins.rs1) != read_reg(ins.rs2)) branch_to(ins.imm);
+      break;
+    case Opcode::kBlt:
+      if (static_cast<std::int32_t>(read_reg(ins.rs1)) <
+          static_cast<std::int32_t>(read_reg(ins.rs2)))
+        branch_to(ins.imm);
+      break;
+    case Opcode::kJmp: branch_to(ins.imm); break;
+    case Opcode::kHalt: state_ = RunState::kHalted; return state_;
+  }
+  if (state_ == RunState::kRunning) pc_ = next_pc;
+  return state_;
+}
+
+RunState Cpu::run(std::uint64_t max_cycles) {
+  while (state_ == RunState::kRunning) {
+    if (cycles_ >= max_cycles) {
+      state_ = RunState::kTimedOut;
+      break;
+    }
+    step();
+  }
+  return state_;
+}
+
+}  // namespace lore::arch

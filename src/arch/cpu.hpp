@@ -1,0 +1,78 @@
+// Functional CPU model with observable architectural state. Fault injection
+// flips bits in registers / memory / instruction encodings mid-run, matching
+// the "faults into the flip-flops" methodology the paper discusses for
+// architecture-level vulnerability analysis (Sec. III-B1, gemV [19]).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/arch/isa.hpp"
+
+namespace lore::arch {
+
+enum class RunState : std::uint8_t {
+  kRunning,
+  kHalted,       // clean completion via HALT
+  kTrapped,      // invalid memory access / invalid PC (crash)
+  kTimedOut,     // exceeded the cycle budget (hang)
+};
+
+class Cpu {
+ public:
+  explicit Cpu(std::size_t memory_words = 4096);
+
+  void load_program(Program program);
+  /// Reset registers/PC/cycles; memory contents are preserved unless
+  /// `clear_memory`.
+  void reset(bool clear_memory = false);
+
+  /// Execute one instruction. Returns the new run state.
+  RunState step();
+  /// Run until halt/trap or `max_cycles`.
+  RunState run(std::uint64_t max_cycles);
+
+  RunState state() const { return state_; }
+  std::uint64_t cycles() const { return cycles_; }
+  std::uint32_t pc() const { return pc_; }
+
+  std::uint32_t reg(std::size_t index) const;
+  void set_reg(std::size_t index, std::uint32_t value);
+  std::uint32_t mem(std::size_t word) const;
+  void set_mem(std::size_t word, std::uint32_t value);
+  std::size_t memory_words() const { return memory_.size(); }
+  std::span<const std::uint32_t> memory() const { return memory_; }
+
+  const Program& program() const { return program_; }
+  /// Mutable access for instruction-encoding faults.
+  Program& mutable_program() { return program_; }
+
+  /// Flip one bit of a register (bit < 32).
+  void flip_register_bit(std::size_t reg, unsigned bit);
+  /// Flip one bit of a memory word.
+  void flip_memory_bit(std::size_t word, unsigned bit);
+
+  /// Per-register dynamic usage counters (reads/writes so far), useful for
+  /// vulnerability features.
+  std::span<const std::uint64_t> register_reads() const { return reg_reads_; }
+  std::span<const std::uint64_t> register_writes() const { return reg_writes_; }
+  /// Count of dynamic executions per static instruction index.
+  std::span<const std::uint64_t> instruction_counts() const { return inst_counts_; }
+
+ private:
+  std::uint32_t read_reg(unsigned r);
+  void write_reg(unsigned r, std::uint32_t v);
+
+  Program program_;
+  std::vector<std::uint32_t> regs_;
+  std::vector<std::uint32_t> memory_;
+  std::uint32_t pc_ = 0;
+  std::uint64_t cycles_ = 0;
+  RunState state_ = RunState::kRunning;
+  std::vector<std::uint64_t> reg_reads_;
+  std::vector<std::uint64_t> reg_writes_;
+  std::vector<std::uint64_t> inst_counts_;
+};
+
+}  // namespace lore::arch

@@ -1,0 +1,147 @@
+#include "src/arch/crossbar.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lore::arch {
+
+CrossbarAccelerator::CrossbarAccelerator(const ml::Mlp& network, double g_max)
+    : g_max_(g_max) {
+  assert(network.num_layers() > 0 && g_max > 0.0);
+  for (std::size_t l = 0; l < network.num_layers(); ++l) {
+    ml::Matrix w = network.layer_weights(l);
+    // Conductance clipping: weights outside the programmable range saturate.
+    for (double& v : w.flat()) v = std::clamp(v, -g_max_, g_max_);
+    weights_.push_back(std::move(w));
+    const auto b = network.layer_biases(l);
+    biases_.emplace_back(b.begin(), b.end());
+  }
+}
+
+std::size_t CrossbarAccelerator::num_cells() const {
+  std::size_t n = 0;
+  for (const auto& w : weights_) n += w.rows() * w.cols();
+  return n;
+}
+
+double CrossbarAccelerator::cell_weight(const CrossbarFault& fault) const {
+  assert(fault.layer < weights_.size());
+  return weights_[fault.layer](fault.col, fault.row);
+}
+
+double CrossbarAccelerator::stuck_value(const CrossbarFault& fault) const {
+  return fault.type == CrossbarFaultType::kStuckAtLow ? -g_max_ : g_max_;
+}
+
+std::vector<double> CrossbarAccelerator::infer(std::span<const double> input,
+                                               const CrossbarFault* fault) const {
+  assert(input.size() == weights_.front().cols());
+  std::vector<double> current(input.begin(), input.end());
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    const auto& w = weights_[l];
+    std::vector<double> next(w.rows());
+    for (std::size_t o = 0; o < w.rows(); ++o) {
+      double acc = biases_[l][o];
+      for (std::size_t i = 0; i < w.cols(); ++i) {
+        double g = w(o, i);
+        if (fault != nullptr && fault->layer == l && fault->col == o && fault->row == i)
+          g = stuck_value(*fault);
+        acc += g * current[i];
+      }
+      next[o] = acc;
+    }
+    const bool is_output = l + 1 == weights_.size();
+    if (!is_output)
+      for (double& v : next) v = std::max(0.0, v);  // ReLU hidden layers
+    current = std::move(next);
+  }
+  return current;
+}
+
+int CrossbarAccelerator::classify(std::span<const double> input,
+                                  const CrossbarFault* fault) const {
+  const auto out = infer(input, fault);
+  return static_cast<int>(std::max_element(out.begin(), out.end()) - out.begin());
+}
+
+CrossbarFault CrossbarAccelerator::random_fault(lore::Rng& rng) const {
+  CrossbarFault f;
+  f.layer = rng.uniform_index(weights_.size());
+  f.col = rng.uniform_index(weights_[f.layer].rows());
+  f.row = rng.uniform_index(weights_[f.layer].cols());
+  f.type = rng.bernoulli(0.5) ? CrossbarFaultType::kStuckAtLow
+                              : CrossbarFaultType::kStuckAtHigh;
+  return f;
+}
+
+double fault_criticality(const CrossbarAccelerator& accel, const CrossbarFault& fault,
+                         const ml::Matrix& eval_inputs) {
+  assert(eval_inputs.rows() > 0);
+  std::size_t flips = 0;
+  for (std::size_t r = 0; r < eval_inputs.rows(); ++r) {
+    const int clean = accel.classify(eval_inputs.row(r));
+    const int faulty = accel.classify(eval_inputs.row(r), &fault);
+    flips += clean != faulty;
+  }
+  return static_cast<double>(flips) / static_cast<double>(eval_inputs.rows());
+}
+
+std::vector<std::vector<double>> mean_line_activations(const CrossbarAccelerator& accel,
+                                                       const ml::Mlp& network,
+                                                       const ml::Matrix& inputs) {
+  std::vector<std::vector<double>> activity(accel.num_layers());
+  for (std::size_t l = 0; l < accel.num_layers(); ++l)
+    activity[l].assign(accel.layer_rows(l), 0.0);
+  for (std::size_t r = 0; r < inputs.rows(); ++r) {
+    const auto layers = network.forward_layers(inputs.row(r));
+    for (std::size_t l = 0; l < accel.num_layers(); ++l)
+      for (std::size_t i = 0; i < activity[l].size(); ++i)
+        activity[l][i] += std::abs(layers[l][i]);
+  }
+  for (auto& layer : activity)
+    for (auto& a : layer) a /= static_cast<double>(inputs.rows());
+  return activity;
+}
+
+std::vector<double> crossbar_fault_features(
+    const CrossbarAccelerator& accel, const CrossbarFault& fault,
+    const std::vector<std::vector<double>>& line_activity) {
+  const double w = accel.cell_weight(fault);
+  const double stuck = accel.stuck_value(fault);
+  // Column L1 norm: how much signal the struck output line carries.
+  double col_l1 = 0.0;
+  const std::size_t fan_in = accel.layer_rows(fault.layer);
+  for (std::size_t i = 0; i < fan_in; ++i) {
+    CrossbarFault probe = fault;
+    probe.row = i;
+    col_l1 += std::abs(accel.cell_weight(probe));
+  }
+  const bool is_output_layer = fault.layer + 1 == accel.num_layers();
+  const double activity = line_activity[fault.layer][fault.row];
+  return {std::abs(w),
+          std::abs(stuck - w),
+          fault.type == CrossbarFaultType::kStuckAtHigh ? 1.0 : 0.0,
+          static_cast<double>(fault.layer) /
+              static_cast<double>(std::max<std::size_t>(1, accel.num_layers() - 1)),
+          static_cast<double>(fan_in),
+          col_l1,
+          is_output_layer ? 1.0 : 0.0,
+          activity,
+          std::abs(stuck - w) * activity};
+}
+
+ml::Dataset crossbar_fault_dataset(const CrossbarAccelerator& accel,
+                                   const ml::Mlp& network, const ml::Matrix& eval_inputs,
+                                   std::size_t samples, double threshold, lore::Rng& rng) {
+  const auto activity = mean_line_activations(accel, network, eval_inputs);
+  ml::Dataset d;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto fault = accel.random_fault(rng);
+    const double crit = fault_criticality(accel, fault, eval_inputs);
+    d.add(crossbar_fault_features(accel, fault, activity), crit > threshold ? 1 : 0, crit);
+  }
+  return d;
+}
+
+}  // namespace lore::arch

@@ -1,0 +1,88 @@
+// Memristor-crossbar DNN substrate with fault injection ([28], Sec. III-C1):
+// crossbars compute matrix-vector products in analog; manufacturing and
+// endurance faults leave cells stuck at low/high conductance. Protecting
+// every cell with redundant columns is expensive — [28] trained a small
+// neural network to predict which faults are *critical* to the DNN's
+// accuracy and protected only those, cutting redundancy by ~93 %.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.hpp"
+#include "src/ml/dataset.hpp"
+#include "src/ml/mlp.hpp"
+
+namespace lore::arch {
+
+/// Conductance-domain fault at one crossbar cell.
+enum class CrossbarFaultType : std::uint8_t { kStuckAtLow, kStuckAtHigh };
+
+struct CrossbarFault {
+  std::size_t layer = 0;
+  std::size_t row = 0;      // input line
+  std::size_t col = 0;      // output line
+  CrossbarFaultType type = CrossbarFaultType::kStuckAtLow;
+};
+
+/// A DNN deployed on crossbars: one crossbar per MLP layer, weights stored
+/// as differential conductances clipped to [-g_max, g_max].
+class CrossbarAccelerator {
+ public:
+  /// Map a trained MLP onto crossbars (copies the weights).
+  CrossbarAccelerator(const ml::Mlp& network, double g_max = 2.0);
+
+  std::size_t num_layers() const { return weights_.size(); }
+  std::size_t layer_rows(std::size_t layer) const { return weights_[layer].cols(); }
+  std::size_t layer_cols(std::size_t layer) const { return weights_[layer].rows(); }
+  /// Total programmable cells.
+  std::size_t num_cells() const;
+
+  /// Inference with an optional fault applied. Activation mirrors the source
+  /// network (ReLU hidden, linear output).
+  std::vector<double> infer(std::span<const double> input,
+                            const CrossbarFault* fault = nullptr) const;
+
+  int classify(std::span<const double> input, const CrossbarFault* fault = nullptr) const;
+
+  /// The weight a fault overrides and the value it is stuck at.
+  double cell_weight(const CrossbarFault& fault) const;
+  double stuck_value(const CrossbarFault& fault) const;
+
+  /// Uniformly random fault location/polarity.
+  CrossbarFault random_fault(lore::Rng& rng) const;
+
+ private:
+  std::vector<ml::Matrix> weights_;   // per layer: out x in
+  std::vector<std::vector<double>> biases_;
+  double g_max_;
+};
+
+/// Fraction of evaluation inputs whose prediction a fault flips.
+double fault_criticality(const CrossbarAccelerator& accel, const CrossbarFault& fault,
+                         const ml::Matrix& eval_inputs);
+
+inline constexpr std::size_t kCrossbarFaultFeatureDim = 9;
+
+/// Mean absolute activation of every input line of every layer over an
+/// input set — one clean profiling pass, reused by the fault features.
+std::vector<std::vector<double>> mean_line_activations(const CrossbarAccelerator& accel,
+                                                       const ml::Mlp& network,
+                                                       const ml::Matrix& inputs);
+
+/// Features of a fault for the criticality predictor: |w|, |stuck - w|
+/// (the conductance error magnitude), polarity, layer index (normalized),
+/// fan-in of the struck column, column weight L1 norm, output-layer flag,
+/// mean activity of the struck input line, and the expected output
+/// perturbation |stuck - w| * activity (the dominant predictor).
+std::vector<double> crossbar_fault_features(
+    const CrossbarAccelerator& accel, const CrossbarFault& fault,
+    const std::vector<std::vector<double>>& line_activity);
+
+/// Build a labeled criticality dataset by sampling `samples` random faults;
+/// label 1 when criticality > threshold. Targets carry raw criticality.
+/// `network` is the source MLP (for activation profiling).
+ml::Dataset crossbar_fault_dataset(const CrossbarAccelerator& accel,
+                                   const ml::Mlp& network, const ml::Matrix& eval_inputs,
+                                   std::size_t samples, double threshold, lore::Rng& rng);
+
+}  // namespace lore::arch

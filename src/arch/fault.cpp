@@ -1,0 +1,173 @@
+#include "src/arch/fault.hpp"
+
+#include <cassert>
+
+namespace lore::arch {
+
+std::string outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kBenign: return "benign";
+    case Outcome::kSdc: return "sdc";
+    case Outcome::kCrash: return "crash";
+    case Outcome::kHang: return "hang";
+    case Outcome::kDetected: return "detected";
+  }
+  return "?";
+}
+
+void corrupt_instruction_field(Instruction& ins, unsigned bit) {
+  const unsigned b = bit % 32;
+  if (b < 5) {
+    ins.op = static_cast<Opcode>((static_cast<unsigned>(ins.op) ^ (1u << b)) %
+                                 (static_cast<unsigned>(Opcode::kHalt) + 1));
+  } else if (b < 9) {
+    ins.rd = static_cast<std::uint8_t>((ins.rd ^ (1u << (b - 5))) % kNumRegisters);
+  } else if (b < 13) {
+    ins.rs1 = static_cast<std::uint8_t>((ins.rs1 ^ (1u << (b - 9))) % kNumRegisters);
+  } else if (b < 17) {
+    ins.rs2 = static_cast<std::uint8_t>((ins.rs2 ^ (1u << (b - 13))) % kNumRegisters);
+  } else {
+    ins.imm ^= (1 << (b - 17));
+  }
+}
+
+GoldenRun run_golden(const Workload& w) {
+  Cpu cpu(w.memory_words);
+  cpu.load_program(w.program);
+  for (const auto& [addr, value] : w.memory_init) cpu.set_mem(addr, value);
+  [[maybe_unused]] const auto state = cpu.run(w.max_cycles);
+  assert(state == RunState::kHalted && "golden run must complete");
+  GoldenRun g;
+  g.cycles = cpu.cycles();
+  g.output.reserve(w.output_words);
+  for (std::size_t i = 0; i < w.output_words; ++i)
+    g.output.push_back(cpu.mem(w.output_base + i));
+  return g;
+}
+
+FaultInjector::FaultInjector(const Workload& workload)
+    : workload_(workload), golden_(run_golden(workload)) {}
+
+void FaultInjector::prepare_cpu(Cpu& cpu) const {
+  cpu.load_program(workload_.program);
+  for (const auto& [addr, value] : workload_.memory_init) cpu.set_mem(addr, value);
+}
+
+FaultRecord FaultInjector::inject(const FaultSite& site) const {
+  Cpu cpu(workload_.memory_words);
+  prepare_cpu(cpu);
+
+  FaultRecord rec;
+  rec.site = site;
+
+  // Run to the injection cycle.
+  while (cpu.state() == RunState::kRunning && cpu.cycles() < site.cycle) cpu.step();
+  rec.active_instruction =
+      cpu.state() == RunState::kRunning ? static_cast<std::int64_t>(cpu.pc()) : -1;
+
+  if (cpu.state() == RunState::kRunning || cpu.state() == RunState::kHalted) {
+    switch (site.target) {
+      case FaultTarget::kRegister:
+        cpu.flip_register_bit(site.index, site.bit);
+        break;
+      case FaultTarget::kMemory:
+        cpu.flip_memory_bit(site.index, site.bit);
+        break;
+      case FaultTarget::kInstruction: {
+        // Corrupt one field of the static instruction's packed encoding.
+        auto& prog = cpu.mutable_program();
+        if (site.index < prog.size())
+          corrupt_instruction_field(prog[site.index], site.bit);
+        break;
+      }
+    }
+  }
+
+  const auto state = cpu.run(workload_.max_cycles);
+  switch (state) {
+    case RunState::kTrapped:
+      rec.outcome = Outcome::kCrash;
+      return rec;
+    case RunState::kTimedOut:
+      rec.outcome = Outcome::kHang;
+      return rec;
+    default:
+      break;
+  }
+  for (std::size_t i = 0; i < workload_.output_words; ++i) {
+    if (cpu.mem(workload_.output_base + i) != golden_.output[i]) {
+      rec.outcome = Outcome::kSdc;
+      return rec;
+    }
+  }
+  rec.outcome = Outcome::kBenign;
+  return rec;
+}
+
+FaultSite FaultInjector::random_site(lore::Rng& rng, FaultTarget target) const {
+  FaultSite site;
+  site.target = target;
+  site.cycle = rng.uniform_index(golden_.cycles) + 1;
+  switch (target) {
+    case FaultTarget::kRegister:
+      site.index = rng.uniform_index(kNumRegisters);
+      site.bit = static_cast<unsigned>(rng.uniform_index(32));
+      break;
+    case FaultTarget::kMemory: {
+      // Restrict to the workload's live data window (init + outputs).
+      std::size_t hi = workload_.output_base + workload_.output_words;
+      for (const auto& [addr, value] : workload_.memory_init) hi = std::max(hi, addr + 1);
+      site.index = rng.uniform_index(hi);
+      site.bit = static_cast<unsigned>(rng.uniform_index(32));
+      break;
+    }
+    case FaultTarget::kInstruction:
+      site.index = rng.uniform_index(workload_.program.size());
+      site.bit = static_cast<unsigned>(rng.uniform_index(32));
+      break;
+  }
+  return site;
+}
+
+std::vector<FaultRecord> FaultInjector::campaign(std::size_t trials, FaultTarget target,
+                                                 lore::Rng& rng) const {
+  std::vector<FaultRecord> out;
+  out.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) out.push_back(inject(random_site(rng, target)));
+  return out;
+}
+
+double avf(const std::vector<FaultRecord>& records) {
+  if (records.empty()) return 0.0;
+  std::size_t failures = 0;
+  for (const auto& r : records)
+    failures += r.outcome == Outcome::kSdc || r.outcome == Outcome::kCrash ||
+                r.outcome == Outcome::kHang;
+  return static_cast<double>(failures) / static_cast<double>(records.size());
+}
+
+double OutcomeMix::fraction_sdc() const {
+  const auto t = total();
+  return t ? static_cast<double>(sdc) / static_cast<double>(t) : 0.0;
+}
+
+double OutcomeMix::fraction_failure() const {
+  const auto t = total();
+  return t ? static_cast<double>(sdc + crash + hang) / static_cast<double>(t) : 0.0;
+}
+
+OutcomeMix summarize(const std::vector<FaultRecord>& records) {
+  OutcomeMix mix;
+  for (const auto& r : records) {
+    switch (r.outcome) {
+      case Outcome::kBenign: ++mix.benign; break;
+      case Outcome::kSdc: ++mix.sdc; break;
+      case Outcome::kCrash: ++mix.crash; break;
+      case Outcome::kHang: ++mix.hang; break;
+      case Outcome::kDetected: ++mix.detected; break;
+    }
+  }
+  return mix;
+}
+
+}  // namespace lore::arch

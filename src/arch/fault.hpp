@@ -1,0 +1,90 @@
+// Fault injection and outcome classification (Sec. III). A campaign runs a
+// workload once to obtain the golden result, then re-runs it many times, each
+// time flipping one bit of architectural state (register file, memory, or an
+// instruction encoding) at a random cycle, and classifies the outcome as
+// benign / SDC / crash / hang — the four categories of [24].
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/arch/cpu.hpp"
+#include "src/arch/workloads.hpp"
+#include "src/common/rng.hpp"
+
+namespace lore::arch {
+
+enum class FaultTarget : std::uint8_t { kRegister, kMemory, kInstruction };
+
+struct FaultSite {
+  FaultTarget target = FaultTarget::kRegister;
+  std::size_t index = 0;   // register id / memory word / instruction index
+  unsigned bit = 0;        // bit position (register & memory: 0-31)
+  std::uint64_t cycle = 0; // injection time
+};
+
+enum class Outcome : std::uint8_t { kBenign, kSdc, kCrash, kHang, kDetected };
+
+std::string outcome_name(Outcome o);
+
+/// Corrupt one bit of a packed instruction encoding
+/// (op:5 | rd:4 | rs1:4 | rs2:4 | imm:15), keeping fields in range. Shared by
+/// the functional and pipeline fault injectors.
+void corrupt_instruction_field(Instruction& ins, unsigned bit);
+
+struct FaultRecord {
+  FaultSite site;
+  Outcome outcome = Outcome::kBenign;
+  /// Static instruction executing at injection time (for per-instruction
+  /// attribution; -1 if the program already finished).
+  std::int64_t active_instruction = -1;
+};
+
+struct GoldenRun {
+  std::vector<std::uint32_t> output;
+  std::uint64_t cycles = 0;
+};
+
+/// Run the workload cleanly and capture the reference output.
+GoldenRun run_golden(const Workload& w);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const Workload& workload);
+
+  const GoldenRun& golden() const { return golden_; }
+
+  /// Run with a single bit flip at the given site; classify the outcome.
+  FaultRecord inject(const FaultSite& site) const;
+
+  /// Random site over live state: register bits and touched memory words,
+  /// uniformly in time over the golden cycle count.
+  FaultSite random_site(lore::Rng& rng, FaultTarget target) const;
+
+  /// A full campaign of `trials` injections over the given target kind.
+  std::vector<FaultRecord> campaign(std::size_t trials, FaultTarget target,
+                                    lore::Rng& rng) const;
+
+ private:
+  void prepare_cpu(Cpu& cpu) const;
+
+  const Workload& workload_;
+  GoldenRun golden_;
+};
+
+/// Architectural vulnerability factor: fraction of injections whose outcome
+/// is a failure (SDC, crash, or hang).
+double avf(const std::vector<FaultRecord>& records);
+
+/// Per-structure outcome mix.
+struct OutcomeMix {
+  std::size_t benign = 0, sdc = 0, crash = 0, hang = 0, detected = 0;
+  std::size_t total() const { return benign + sdc + crash + hang + detected; }
+  double fraction_sdc() const;
+  double fraction_failure() const;
+};
+
+OutcomeMix summarize(const std::vector<FaultRecord>& records);
+
+}  // namespace lore::arch

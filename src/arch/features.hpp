@@ -1,0 +1,58 @@
+// Feature extraction for the architecture-level ML experiments:
+//  - per-register features for flip-flop vulnerability prediction (E5, [20]);
+//  - per-instruction features for IPAS-style classification (E8, [27]);
+//  - the heterogeneous program graph of [24] (E7): instruction nodes with
+//    data-dependency and control-adjacency edges.
+#pragma once
+
+#include <vector>
+
+#include "src/arch/fault.hpp"
+#include "src/arch/workloads.hpp"
+#include "src/ml/dataset.hpp"
+#include "src/ml/graph.hpp"
+
+namespace lore::arch {
+
+/// Number of per-register features.
+inline constexpr std::size_t kRegisterFeatureDim = 7;
+
+/// Features of one architectural register for a workload: dynamic read/write
+/// counts, read/write ratio, static fan-out, address/branch usage flags, and
+/// the fraction of instructions reading it.
+std::vector<double> register_features(const Workload& w, std::size_t reg);
+
+/// Number of per-instruction features.
+inline constexpr std::size_t kInstructionFeatureDim = 10;
+
+/// Features of one static instruction: opcode class indicators, operand
+/// counts, static result fan-out before redefinition, distance to the next
+/// store/branch (fault-to-observable latency proxies), position.
+std::vector<double> instruction_features(const Program& p, std::size_t idx);
+
+/// Build the heterogeneous program graph: one node per instruction with
+/// instruction_features; edge type 0 = data dependency (def -> first uses),
+/// edge type 1 = control adjacency (fall-through / branch target).
+ml::FeatureGraph build_program_graph(const Program& p);
+
+/// Labeled per-register vulnerability dataset from an injection campaign:
+/// a register is "vulnerable" (label 1) when the failure fraction of
+/// injections into it exceeds `threshold`.
+ml::Dataset register_vulnerability_dataset(const Workload& w,
+                                           const std::vector<FaultRecord>& register_campaign,
+                                           double threshold);
+
+/// Per-instruction labels from an instruction-encoding campaign: label 1 when
+/// the instruction's injections fail more often than `threshold`. Entries
+/// with no observations get label 0.
+std::vector<int> instruction_vulnerability_labels(
+    const Program& p, const std::vector<FaultRecord>& instruction_campaign, double threshold);
+
+/// Per-instruction SDC-proneness labels (for the graph experiment, E7):
+/// classes are the argmax outcome of injections attributed to the
+/// instruction: 0=benign-dominant, 1=SDC-dominant, 2=crash/hang-dominant.
+/// Instructions with no attributed injections get label -1 (unlabeled).
+std::vector<int> instruction_outcome_labels(const Program& p,
+                                            const std::vector<FaultRecord>& campaign);
+
+}  // namespace lore::arch

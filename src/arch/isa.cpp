@@ -1,0 +1,256 @@
+#include "src/arch/isa.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <sstream>
+#include <unordered_map>
+
+namespace lore::arch {
+namespace {
+
+Instruction make(Opcode op, unsigned rd, unsigned rs1, unsigned rs2, std::int32_t imm) {
+  assert(rd < kNumRegisters && rs1 < kNumRegisters && rs2 < kNumRegisters);
+  return Instruction{op, static_cast<std::uint8_t>(rd), static_cast<std::uint8_t>(rs1),
+                     static_cast<std::uint8_t>(rs2), imm};
+}
+
+}  // namespace
+
+Instruction nop() { return make(Opcode::kNop, 0, 0, 0, 0); }
+Instruction add(unsigned rd, unsigned rs1, unsigned rs2) { return make(Opcode::kAdd, rd, rs1, rs2, 0); }
+Instruction sub(unsigned rd, unsigned rs1, unsigned rs2) { return make(Opcode::kSub, rd, rs1, rs2, 0); }
+Instruction mul(unsigned rd, unsigned rs1, unsigned rs2) { return make(Opcode::kMul, rd, rs1, rs2, 0); }
+Instruction and_(unsigned rd, unsigned rs1, unsigned rs2) { return make(Opcode::kAnd, rd, rs1, rs2, 0); }
+Instruction or_(unsigned rd, unsigned rs1, unsigned rs2) { return make(Opcode::kOr, rd, rs1, rs2, 0); }
+Instruction xor_(unsigned rd, unsigned rs1, unsigned rs2) { return make(Opcode::kXor, rd, rs1, rs2, 0); }
+Instruction shl(unsigned rd, unsigned rs1, unsigned rs2) { return make(Opcode::kShl, rd, rs1, rs2, 0); }
+Instruction shr(unsigned rd, unsigned rs1, unsigned rs2) { return make(Opcode::kShr, rd, rs1, rs2, 0); }
+Instruction addi(unsigned rd, unsigned rs1, std::int32_t imm) { return make(Opcode::kAddi, rd, rs1, 0, imm); }
+Instruction li(unsigned rd, std::int32_t imm) { return make(Opcode::kLi, rd, 0, 0, imm); }
+Instruction ld(unsigned rd, unsigned rs1, std::int32_t offset) { return make(Opcode::kLd, rd, rs1, 0, offset); }
+Instruction st(unsigned rs2, unsigned rs1, std::int32_t offset) { return make(Opcode::kSt, 0, rs1, rs2, offset); }
+Instruction beq(unsigned rs1, unsigned rs2, std::int32_t target) { return make(Opcode::kBeq, 0, rs1, rs2, target); }
+Instruction bne(unsigned rs1, unsigned rs2, std::int32_t target) { return make(Opcode::kBne, 0, rs1, rs2, target); }
+Instruction blt(unsigned rs1, unsigned rs2, std::int32_t target) { return make(Opcode::kBlt, 0, rs1, rs2, target); }
+Instruction jmp(std::int32_t target) { return make(Opcode::kJmp, 0, 0, 0, target); }
+Instruction halt() { return make(Opcode::kHalt, 0, 0, 0, 0); }
+
+bool writes_register(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul: case Opcode::kAnd:
+    case Opcode::kOr: case Opcode::kXor: case Opcode::kShl: case Opcode::kShr:
+    case Opcode::kAddi: case Opcode::kLi: case Opcode::kLd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_branch(Opcode op) {
+  return op == Opcode::kBeq || op == Opcode::kBne || op == Opcode::kBlt ||
+         op == Opcode::kJmp;
+}
+
+bool is_memory(Opcode op) { return op == Opcode::kLd || op == Opcode::kSt; }
+
+std::vector<unsigned> source_registers(const Instruction& ins) {
+  switch (ins.op) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul: case Opcode::kAnd:
+    case Opcode::kOr: case Opcode::kXor: case Opcode::kShl: case Opcode::kShr:
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+      return {ins.rs1, ins.rs2};
+    case Opcode::kAddi: case Opcode::kLd:
+      return {ins.rs1};
+    case Opcode::kSt:
+      return {ins.rs1, ins.rs2};
+    default:
+      return {};
+  }
+}
+
+std::string opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kLi: return "li";
+    case Opcode::kLd: return "ld";
+    case Opcode::kSt: return "st";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kBlt: return "blt";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kHalt: return "halt";
+  }
+  return "?";
+}
+
+std::string to_string(const Instruction& ins) {
+  std::ostringstream os;
+  os << opcode_name(ins.op);
+  switch (ins.op) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul: case Opcode::kAnd:
+    case Opcode::kOr: case Opcode::kXor: case Opcode::kShl: case Opcode::kShr:
+      os << " r" << +ins.rd << ", r" << +ins.rs1 << ", r" << +ins.rs2;
+      break;
+    case Opcode::kAddi:
+      os << " r" << +ins.rd << ", r" << +ins.rs1 << ", " << ins.imm;
+      break;
+    case Opcode::kLi:
+      os << " r" << +ins.rd << ", " << ins.imm;
+      break;
+    case Opcode::kLd:
+      os << " r" << +ins.rd << ", " << ins.imm << "(r" << +ins.rs1 << ")";
+      break;
+    case Opcode::kSt:
+      os << " r" << +ins.rs2 << ", " << ins.imm << "(r" << +ins.rs1 << ")";
+      break;
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+      os << " r" << +ins.rs1 << ", r" << +ins.rs2 << ", " << ins.imm;
+      break;
+    case Opcode::kJmp:
+      os << " " << ins.imm;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ';') break;  // comment
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',' || c == '(' || c == ')') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+bool parse_reg(const std::string& t, unsigned* reg) {
+  if (t.size() < 2 || (t[0] != 'r' && t[0] != 'R')) return false;
+  const int v = std::stoi(t.substr(1));
+  if (v < 0 || v >= static_cast<int>(kNumRegisters)) return false;
+  *reg = static_cast<unsigned>(v);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Program> assemble(const std::string& source, std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<Program> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+
+  // Pass 1: collect labels and raw token lines.
+  std::unordered_map<std::string, std::int32_t> labels;
+  std::vector<std::vector<std::string>> lines;
+  std::istringstream is(source);
+  std::string raw;
+  while (std::getline(is, raw)) {
+    auto tokens = tokenize(raw);
+    if (tokens.empty()) continue;
+    while (!tokens.empty() && tokens[0].back() == ':') {
+      labels[tokens[0].substr(0, tokens[0].size() - 1)] =
+          static_cast<std::int32_t>(lines.size());
+      tokens.erase(tokens.begin());
+    }
+    if (!tokens.empty()) lines.push_back(std::move(tokens));
+  }
+
+  auto parse_target = [&](const std::string& t, std::int32_t* target) {
+    if (auto it = labels.find(t); it != labels.end()) {
+      *target = it->second;
+      return true;
+    }
+    try {
+      *target = std::stoi(t);
+      return true;
+    } catch (...) {
+      return false;
+    }
+  };
+
+  // Pass 2: encode.
+  Program prog;
+  for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+    const auto& t = lines[ln];
+    const std::string& op = t[0];
+    unsigned a = 0, b = 0, c = 0;
+    std::int32_t imm = 0;
+    auto bad = [&] { return fail("line " + std::to_string(ln) + ": malformed '" + op + "'"); };
+
+    if (op == "nop") { prog.push_back(nop()); continue; }
+    if (op == "halt") { prog.push_back(halt()); continue; }
+    if (op == "jmp") {
+      if (t.size() != 2 || !parse_target(t[1], &imm)) return bad();
+      prog.push_back(jmp(imm));
+      continue;
+    }
+    if (op == "li") {
+      if (t.size() != 3 || !parse_reg(t[1], &a)) return bad();
+      try { imm = std::stoi(t[2]); } catch (...) { return bad(); }
+      prog.push_back(li(a, imm));
+      continue;
+    }
+    if (op == "addi") {
+      if (t.size() != 4 || !parse_reg(t[1], &a) || !parse_reg(t[2], &b)) return bad();
+      try { imm = std::stoi(t[3]); } catch (...) { return bad(); }
+      prog.push_back(addi(a, b, imm));
+      continue;
+    }
+    if (op == "ld" || op == "st") {
+      // ld rd, off(rs1)  -> tokens: [ld, rd, off, rs1]
+      if (t.size() != 4 || !parse_reg(t[1], &a) || !parse_reg(t[3], &b)) return bad();
+      try { imm = std::stoi(t[2]); } catch (...) { return bad(); }
+      prog.push_back(op == "ld" ? ld(a, b, imm) : st(a, b, imm));
+      continue;
+    }
+    if (op == "beq" || op == "bne" || op == "blt") {
+      if (t.size() != 4 || !parse_reg(t[1], &a) || !parse_reg(t[2], &b) ||
+          !parse_target(t[3], &imm))
+        return bad();
+      if (op == "beq") prog.push_back(beq(a, b, imm));
+      else if (op == "bne") prog.push_back(bne(a, b, imm));
+      else prog.push_back(blt(a, b, imm));
+      continue;
+    }
+    // Three-register ALU ops.
+    static const std::unordered_map<std::string, Opcode> kAlu = {
+        {"add", Opcode::kAdd}, {"sub", Opcode::kSub}, {"mul", Opcode::kMul},
+        {"and", Opcode::kAnd}, {"or", Opcode::kOr},   {"xor", Opcode::kXor},
+        {"shl", Opcode::kShl}, {"shr", Opcode::kShr}};
+    if (auto it = kAlu.find(op); it != kAlu.end()) {
+      if (t.size() != 4 || !parse_reg(t[1], &a) || !parse_reg(t[2], &b) ||
+          !parse_reg(t[3], &c))
+        return bad();
+      prog.push_back(Instruction{it->second, static_cast<std::uint8_t>(a),
+                                 static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(c), 0});
+      continue;
+    }
+    return fail("line " + std::to_string(ln) + ": unknown opcode '" + op + "'");
+  }
+  return prog;
+}
+
+}  // namespace lore::arch

@@ -1,0 +1,73 @@
+// A compact RISC-style ISA and assembler. This is the architectural
+// substrate for Sec. III of the paper: fault-injection campaigns run real
+// programs on this machine, and the ML experiments (E5-E8) predict
+// per-register / per-instruction vulnerability from its execution.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lore::arch {
+
+inline constexpr std::size_t kNumRegisters = 16;
+
+enum class Opcode : std::uint8_t {
+  kNop,
+  kAdd, kSub, kMul, kAnd, kOr, kXor, kShl, kShr,  // rd = rs1 op rs2
+  kAddi, kLi,                                      // immediates
+  kLd, kSt,                                        // rd = mem[rs1+imm] / mem[rs1+imm] = rs2
+  kBeq, kBne, kBlt,                                // branch to imm when rs1 ? rs2
+  kJmp,                                            // pc = imm
+  kHalt,
+};
+
+/// One instruction. Fields unused by an opcode are zero.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;
+};
+
+using Program = std::vector<Instruction>;
+
+/// Instruction factories (the programmatic assembler).
+Instruction nop();
+Instruction add(unsigned rd, unsigned rs1, unsigned rs2);
+Instruction sub(unsigned rd, unsigned rs1, unsigned rs2);
+Instruction mul(unsigned rd, unsigned rs1, unsigned rs2);
+Instruction and_(unsigned rd, unsigned rs1, unsigned rs2);
+Instruction or_(unsigned rd, unsigned rs1, unsigned rs2);
+Instruction xor_(unsigned rd, unsigned rs1, unsigned rs2);
+Instruction shl(unsigned rd, unsigned rs1, unsigned rs2);
+Instruction shr(unsigned rd, unsigned rs1, unsigned rs2);
+Instruction addi(unsigned rd, unsigned rs1, std::int32_t imm);
+Instruction li(unsigned rd, std::int32_t imm);
+Instruction ld(unsigned rd, unsigned rs1, std::int32_t offset);
+Instruction st(unsigned rs2, unsigned rs1, std::int32_t offset);
+Instruction beq(unsigned rs1, unsigned rs2, std::int32_t target);
+Instruction bne(unsigned rs1, unsigned rs2, std::int32_t target);
+Instruction blt(unsigned rs1, unsigned rs2, std::int32_t target);
+Instruction jmp(std::int32_t target);
+Instruction halt();
+
+/// True for opcodes that write a destination register.
+bool writes_register(Opcode op);
+/// True for control-flow opcodes.
+bool is_branch(Opcode op);
+/// True for loads/stores.
+bool is_memory(Opcode op);
+/// Source registers actually read by the instruction (0, 1, or 2 entries).
+std::vector<unsigned> source_registers(const Instruction& ins);
+std::string opcode_name(Opcode op);
+std::string to_string(const Instruction& ins);
+
+/// Text assembler: one instruction per line, `; comments`, labels as
+/// `name:` and branch targets by label. Returns nullopt + error message via
+/// `error` on malformed input.
+std::optional<Program> assemble(const std::string& source, std::string* error = nullptr);
+
+}  // namespace lore::arch

@@ -1,0 +1,329 @@
+#include "src/arch/pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/arch/fault.hpp"
+
+namespace lore::arch {
+
+PipelineCpu::PipelineCpu(std::size_t memory_words)
+    : regs_(kNumRegisters, 0), memory_(memory_words, 0) {}
+
+void PipelineCpu::load_program(Program program) {
+  program_ = std::move(program);
+  reset();
+}
+
+void PipelineCpu::reset(bool clear_memory) {
+  std::fill(regs_.begin(), regs_.end(), 0);
+  if (clear_memory) std::fill(memory_.begin(), memory_.end(), 0);
+  pc_ = 0;
+  cycles_ = 0;
+  retired_ = 0;
+  stalls_ = 0;
+  flushes_ = 0;
+  state_ = RunState::kRunning;
+  halt_seen_ = false;
+  if_id_ = {};
+  id_ex_ = {};
+  ex_mem_ = {};
+  mem_wb_ = {};
+}
+
+std::uint32_t PipelineCpu::reg(std::size_t index) const {
+  assert(index < kNumRegisters);
+  return regs_[index];
+}
+
+std::uint32_t PipelineCpu::mem(std::size_t word) const {
+  assert(word < memory_.size());
+  return memory_[word];
+}
+
+void PipelineCpu::set_mem(std::size_t word, std::uint32_t value) {
+  assert(word < memory_.size());
+  memory_[word] = value;
+}
+
+RunState PipelineCpu::step() {
+  if (state_ != RunState::kRunning) return state_;
+  ++cycles_;
+
+  // ---- WB: retire the oldest instruction.
+  if (mem_wb_.valid) {
+    if (writes_register(mem_wb_.ins.op)) regs_[mem_wb_.ins.rd] = mem_wb_.value;
+    ++retired_;
+    if (mem_wb_.ins.op == Opcode::kHalt) {
+      state_ = RunState::kHalted;
+      return state_;
+    }
+  }
+
+  // ---- MEM: memory access on the EX/MEM latch.
+  MemWb new_wb{};
+  if (ex_mem_.valid) {
+    new_wb.valid = true;
+    new_wb.ins = ex_mem_.ins;
+    switch (ex_mem_.ins.op) {
+      case Opcode::kLd:
+        if (ex_mem_.alu >= memory_.size()) {
+          state_ = RunState::kTrapped;
+          return state_;
+        }
+        new_wb.value = memory_[ex_mem_.alu];
+        break;
+      case Opcode::kSt:
+        if (ex_mem_.alu >= memory_.size()) {
+          state_ = RunState::kTrapped;
+          return state_;
+        }
+        memory_[ex_mem_.alu] = ex_mem_.store_val;
+        break;
+      default:
+        new_wb.value = ex_mem_.alu;
+        break;
+    }
+  }
+
+  // ---- EX: compute on the ID/EX latch; resolve branches.
+  ExMem new_mem{};
+  bool redirect = false;
+  std::uint32_t redirect_pc = 0;
+  if (id_ex_.valid) {
+    new_mem.valid = true;
+    new_mem.ins = id_ex_.ins;
+    new_mem.store_val = id_ex_.store_val;
+    const Instruction& ins = id_ex_.ins;
+    const std::uint32_t a = id_ex_.a, b = id_ex_.b;
+    auto branch_to = [&](std::int32_t target) {
+      if (target < 0 || static_cast<std::size_t>(target) > program_.size()) {
+        state_ = RunState::kTrapped;
+        return false;
+      }
+      redirect = true;
+      redirect_pc = static_cast<std::uint32_t>(target);
+      return true;
+    };
+    switch (ins.op) {
+      case Opcode::kAdd: new_mem.alu = a + b; break;
+      case Opcode::kSub: new_mem.alu = a - b; break;
+      case Opcode::kMul: new_mem.alu = a * b; break;
+      case Opcode::kAnd: new_mem.alu = a & b; break;
+      case Opcode::kOr: new_mem.alu = a | b; break;
+      case Opcode::kXor: new_mem.alu = a ^ b; break;
+      case Opcode::kShl: new_mem.alu = a << (b & 31u); break;
+      case Opcode::kShr: new_mem.alu = a >> (b & 31u); break;
+      case Opcode::kAddi: new_mem.alu = a + static_cast<std::uint32_t>(ins.imm); break;
+      case Opcode::kLi: new_mem.alu = static_cast<std::uint32_t>(ins.imm); break;
+      case Opcode::kLd:
+      case Opcode::kSt: new_mem.alu = a + static_cast<std::uint32_t>(ins.imm); break;
+      case Opcode::kBeq:
+        if (a == b && !branch_to(ins.imm)) return state_;
+        break;
+      case Opcode::kBne:
+        if (a != b && !branch_to(ins.imm)) return state_;
+        break;
+      case Opcode::kBlt:
+        if (static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b) &&
+            !branch_to(ins.imm))
+          return state_;
+        break;
+      case Opcode::kJmp:
+        if (!branch_to(ins.imm)) return state_;
+        break;
+      case Opcode::kNop:
+      case Opcode::kHalt: break;
+    }
+  }
+
+  // ---- ID: decode + forwarded operand read; load-use hazard detection.
+  // Forwarding reads the values computed THIS cycle: new_mem carries the
+  // instruction that just finished EX (1 ahead), new_wb the one that just
+  // finished MEM (2 ahead, including load data); 3-ahead writers already
+  // retired into the register file at the top of this function.
+  auto read_forwarded = [&](unsigned r) -> std::uint32_t {
+    if (new_mem.valid && writes_register(new_mem.ins.op) &&
+        new_mem.ins.op != Opcode::kLd && new_mem.ins.rd == r)
+      return new_mem.alu;
+    if (new_wb.valid && writes_register(new_wb.ins.op) && new_wb.ins.rd == r)
+      return new_wb.value;
+    return regs_[r];
+  };
+  bool stall = false;
+  IdEx new_ex{};
+  if (if_id_.valid) {
+    const Instruction& ins = if_id_.ins;
+    const auto sources = source_registers(ins);
+    // Load-use hazard: a load one ahead (its EX ran this cycle) has no data
+    // until its MEM completes next cycle — the consumer stalls once, after
+    // which new_wb forwarding serves the value.
+    if (new_mem.valid && new_mem.ins.op == Opcode::kLd) {
+      for (unsigned r : sources)
+        if (new_mem.ins.rd == r) stall = true;
+    }
+    if (!stall) {
+      new_ex.valid = true;
+      new_ex.ins = ins;
+      // Operand assignment mirrors the functional CPU's field usage.
+      new_ex.a = sources.empty() ? 0 : read_forwarded(ins.rs1);
+      switch (ins.op) {
+        case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul: case Opcode::kAnd:
+        case Opcode::kOr: case Opcode::kXor: case Opcode::kShl: case Opcode::kShr:
+        case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+          new_ex.b = read_forwarded(ins.rs2);
+          break;
+        default:
+          new_ex.b = 0;
+          break;
+      }
+      if (ins.op == Opcode::kSt) new_ex.store_val = read_forwarded(ins.rs2);
+    }
+  }
+
+  // ---- IF: fetch (unless stalled / redirected).
+  IfId new_id{};
+  if (!stall && !halt_seen_ && pc_ < program_.size()) {
+    new_id.valid = true;
+    new_id.ins = program_[pc_];
+    ++pc_;
+    if (new_id.ins.op == Opcode::kHalt) halt_seen_ = true;
+  }
+
+  // ---- Latch update with control hazards.
+  if (redirect) {
+    // EX resolved a taken branch: everything younger (ID result + fetch) is
+    // wrong-path.
+    new_ex = IdEx{};
+    new_id = IfId{};
+    pc_ = redirect_pc;
+    halt_seen_ = false;  // wrong-path halt no longer in flight
+    flushes_ += 2;
+  } else if (stall) {
+    new_id = if_id_;  // hold the stalled instruction
+    ++stalls_;
+  }
+  mem_wb_ = new_wb;
+  ex_mem_ = new_mem;
+  id_ex_ = new_ex;
+  if_id_ = new_id;
+
+  // Drained with nothing left to fetch and no halt retired: fell off the end.
+  if (!mem_wb_.valid && !ex_mem_.valid && !id_ex_.valid && !if_id_.valid &&
+      (halt_seen_ ? false : pc_ >= program_.size()))
+    state_ = RunState::kTrapped;
+  return state_;
+}
+
+RunState PipelineCpu::run(std::uint64_t max_cycles) {
+  while (state_ == RunState::kRunning) {
+    if (cycles_ >= max_cycles) {
+      state_ = RunState::kTimedOut;
+      break;
+    }
+    step();
+  }
+  return state_;
+}
+
+void PipelineCpu::apply_fault(const PipelineFaultSite& site) {
+  switch (site.field) {
+    case LatchField::kPc:
+      // Keep the PC in (or just past) the program so fetch semantics stay
+      // defined; out-of-range fetch simply drains to a trap.
+      pc_ ^= (1u << (site.bit % 8));
+      break;
+    case LatchField::kIfIdInstr:
+      if (if_id_.valid) corrupt_instruction_field(if_id_.ins, site.bit);
+      break;
+    case LatchField::kIdExOperandA:
+      if (id_ex_.valid) id_ex_.a ^= (1u << (site.bit % 32));
+      break;
+    case LatchField::kIdExOperandB:
+      if (id_ex_.valid) id_ex_.b ^= (1u << (site.bit % 32));
+      break;
+    case LatchField::kExMemAlu:
+      if (ex_mem_.valid) ex_mem_.alu ^= (1u << (site.bit % 32));
+      break;
+    case LatchField::kMemWbValue:
+      if (mem_wb_.valid) mem_wb_.value ^= (1u << (site.bit % 32));
+      break;
+  }
+}
+
+RunState PipelineCpu::run_with_fault(std::uint64_t max_cycles,
+                                     const PipelineFaultSite& site) {
+  while (state_ == RunState::kRunning) {
+    if (cycles_ >= max_cycles) {
+      state_ = RunState::kTimedOut;
+      break;
+    }
+    if (cycles_ == site.cycle) apply_fault(site);
+    step();
+  }
+  return state_;
+}
+
+bool pipeline_matches_golden(const Workload& w) {
+  const auto golden = run_golden(w);
+  PipelineCpu cpu(w.memory_words);
+  cpu.load_program(w.program);
+  for (const auto& [addr, value] : w.memory_init) cpu.set_mem(addr, value);
+  if (cpu.run(4 * w.max_cycles + 64) != RunState::kHalted) return false;
+  for (std::size_t i = 0; i < w.output_words; ++i)
+    if (cpu.mem(w.output_base + i) != golden.output[i]) return false;
+  return true;
+}
+
+Outcome pipeline_inject(const Workload& w, const PipelineFaultSite& site) {
+  const auto golden = run_golden(w);
+  PipelineCpu cpu(w.memory_words);
+  cpu.load_program(w.program);
+  for (const auto& [addr, value] : w.memory_init) cpu.set_mem(addr, value);
+  const auto state = cpu.run_with_fault(4 * w.max_cycles + 64, site);
+  if (state == RunState::kTrapped) return Outcome::kCrash;
+  if (state == RunState::kTimedOut) return Outcome::kHang;
+  for (std::size_t i = 0; i < w.output_words; ++i)
+    if (cpu.mem(w.output_base + i) != golden.output[i]) return Outcome::kSdc;
+  return Outcome::kBenign;
+}
+
+std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials,
+                                           lore::Rng& rng) {
+  // Clean pipeline run to learn the cycle budget for injection times.
+  PipelineCpu probe(w.memory_words);
+  probe.load_program(w.program);
+  for (const auto& [addr, value] : w.memory_init) probe.set_mem(addr, value);
+  probe.run(4 * w.max_cycles + 64);
+  const std::uint64_t total_cycles = probe.cycles();
+
+  static constexpr LatchField kFields[] = {
+      LatchField::kPc,           LatchField::kIfIdInstr,  LatchField::kIdExOperandA,
+      LatchField::kIdExOperandB, LatchField::kExMemAlu,   LatchField::kMemWbValue};
+
+  std::vector<FaultRecord> out;
+  out.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    PipelineFaultSite site;
+    site.field = kFields[rng.uniform_index(6)];
+    site.bit = static_cast<unsigned>(rng.uniform_index(32));
+    site.cycle = rng.uniform_index(total_cycles) + 1;
+    FaultRecord rec;
+    rec.site.target = FaultTarget::kRegister;  // closest legacy category
+    rec.site.index = static_cast<std::size_t>(site.field);
+    rec.site.bit = site.bit;
+    rec.site.cycle = site.cycle;
+    rec.outcome = pipeline_inject(w, site);
+    out.push_back(rec);
+  }
+  return out;
+}
+
+double architectural_corruption_factor(const std::vector<FaultRecord>& campaign) {
+  if (campaign.empty()) return 0.0;
+  std::size_t corrupting = 0;
+  for (const auto& r : campaign) corrupting += r.outcome != Outcome::kBenign;
+  return static_cast<double>(corrupting) / static_cast<double>(campaign.size());
+}
+
+}  // namespace lore::arch

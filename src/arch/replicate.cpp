@@ -1,0 +1,162 @@
+#include "src/arch/replicate.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/arch/features.hpp"
+
+namespace lore::arch {
+
+SelectiveReplication::SelectiveReplication(const Workload& workload,
+                                           std::vector<bool> protected_instructions)
+    : workload_(workload), protected_(std::move(protected_instructions)) {
+  assert(protected_.size() == workload_.program.size());
+  // Dynamic cost from a clean run: each protected dynamic instruction costs
+  // two extra cycles (shadow copy + compare).
+  Cpu cpu(workload_.memory_words);
+  cpu.load_program(workload_.program);
+  for (const auto& [addr, value] : workload_.memory_init) cpu.set_mem(addr, value);
+  cpu.run(workload_.max_cycles);
+  const auto counts = cpu.instruction_counts();
+  std::uint64_t total = 0, extra = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    total += counts[i];
+    if (protected_[i]) extra += 2 * counts[i];
+  }
+  slowdown_ = total ? 1.0 + static_cast<double>(extra) / static_cast<double>(total) : 1.0;
+}
+
+std::size_t SelectiveReplication::protected_count() const {
+  return static_cast<std::size_t>(std::count(protected_.begin(), protected_.end(), true));
+}
+
+double SelectiveReplication::slowdown() const { return slowdown_; }
+
+bool SelectiveReplication::detects(const FaultSite& site) const {
+  Cpu cpu(workload_.memory_words);
+  cpu.load_program(workload_.program);
+  for (const auto& [addr, value] : workload_.memory_init) cpu.set_mem(addr, value);
+
+  std::vector<bool> reg_taint(kNumRegisters, false);
+  std::vector<bool> mem_taint(workload_.memory_words, false);
+  bool instruction_corrupted = false;
+  std::size_t corrupted_instruction = 0;
+
+  // Run cleanly to the injection point.
+  while (cpu.state() == RunState::kRunning && cpu.cycles() < site.cycle) cpu.step();
+  if (cpu.state() != RunState::kRunning) return false;  // program already done
+
+  switch (site.target) {
+    case FaultTarget::kRegister:
+      cpu.flip_register_bit(site.index, site.bit);
+      reg_taint[site.index] = true;
+      break;
+    case FaultTarget::kMemory:
+      cpu.flip_memory_bit(site.index, site.bit);
+      mem_taint[site.index] = true;
+      break;
+    case FaultTarget::kInstruction:
+      // Same packed-field corruption as FaultInjector: mark the static
+      // instruction as producing tainted results.
+      instruction_corrupted = true;
+      corrupted_instruction = site.index;
+      break;
+  }
+
+  // Continue with taint propagation. (For instruction faults the semantic
+  // change is not re-simulated here; taint conservatively tracks where the
+  // wrong value flows, which is what replication-compare observes.)
+  std::uint64_t guard = 0;
+  while (cpu.state() == RunState::kRunning && ++guard < workload_.max_cycles) {
+    const std::uint32_t pc = cpu.pc();
+    if (pc >= workload_.program.size()) break;
+    const Instruction& ins = cpu.program()[pc];
+    const bool is_protected = protected_[pc];
+
+    // Source taint (including the memory word a load reads).
+    bool src_tainted = false;
+    for (unsigned r : source_registers(ins)) src_tainted |= reg_taint[r];
+    std::uint32_t mem_addr = 0;
+    bool mem_valid = false;
+    if (is_memory(ins.op)) {
+      mem_addr = cpu.reg(ins.rs1) + static_cast<std::uint32_t>(ins.imm);
+      mem_valid = mem_addr < workload_.memory_words;
+      if (ins.op == Opcode::kLd && mem_valid) src_tainted |= mem_taint[mem_addr];
+    }
+    const bool self_corrupted = instruction_corrupted && pc == corrupted_instruction;
+
+    // Detection: a protected instruction re-executes on shadow state and
+    // compares — any tainted operand or corrupted encoding disagrees.
+    if (is_protected && (src_tainted || self_corrupted)) return true;
+
+    // Propagate.
+    if (writes_register(ins.op)) reg_taint[ins.rd] = src_tainted || self_corrupted;
+    if (ins.op == Opcode::kSt && mem_valid)
+      mem_taint[mem_addr] = reg_taint[ins.rs2] || reg_taint[ins.rs1] || self_corrupted;
+    // Tainted branch operand diverges control flow; this simple tracker
+    // cannot follow both worlds — treat as escaped (undetected).
+    if (is_branch(ins.op) && (src_tainted || self_corrupted)) return false;
+
+    cpu.step();
+  }
+  return false;
+}
+
+Outcome SelectiveReplication::protected_outcome(const FaultSite& site,
+                                                const FaultInjector& injector) const {
+  if (detects(site)) return Outcome::kDetected;
+  return injector.inject(site).outcome;
+}
+
+std::vector<bool> protect_all(const Program& p) { return std::vector<bool>(p.size(), true); }
+
+std::vector<bool> protect_none(const Program& p) { return std::vector<bool>(p.size(), false); }
+
+std::vector<bool> protect_heuristic(const Program& p) {
+  std::vector<bool> out(p.size(), false);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    out[i] = is_memory(p[i].op) || is_branch(p[i].op);
+  return out;
+}
+
+std::vector<bool> protect_by_model(const Program& p, const ml::Classifier& model) {
+  std::vector<bool> out(p.size(), false);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    out[i] = model.predict(instruction_features(p, i)) == 1;
+  return out;
+}
+
+std::vector<bool> protect_top_k(const Program& p, std::span<const double> scores,
+                                std::size_t k) {
+  assert(scores.size() == p.size());
+  std::vector<std::size_t> order(p.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+  std::vector<bool> out(p.size(), false);
+  for (std::size_t i = 0; i < std::min(k, order.size()); ++i) out[order[i]] = true;
+  return out;
+}
+
+ReplicationEvaluation evaluate_policy(const Workload& w, const std::vector<bool>& policy,
+                                      std::size_t trials, lore::Rng& rng) {
+  FaultInjector injector(w);
+  SelectiveReplication repl(w, policy);
+  std::size_t failing = 0, caught = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto site = injector.random_site(rng, FaultTarget::kRegister);
+    const auto baseline = injector.inject(site).outcome;
+    const bool fails = baseline == Outcome::kSdc || baseline == Outcome::kCrash ||
+                       baseline == Outcome::kHang;
+    if (!fails) continue;
+    ++failing;
+    caught += repl.detects(site);
+  }
+  ReplicationEvaluation e;
+  e.coverage = failing ? static_cast<double>(caught) / static_cast<double>(failing) : 1.0;
+  e.slowdown = repl.slowdown();
+  e.protected_count = repl.protected_count();
+  return e;
+}
+
+}  // namespace lore::arch

@@ -1,0 +1,67 @@
+// Selective instruction replication (IPAS [27] / EDDI-style, Sec. III-C1).
+// Protected instructions execute twice with shadow operands and compare; a
+// soft error in one copy is caught at the first protected use. LORE models
+// this with taint tracking: the injected bit marks its register/memory word
+// tainted, taint propagates through dataflow, and detection fires when a
+// protected instruction reads a tainted operand (the shadow copy would
+// disagree there).
+#pragma once
+
+#include <vector>
+
+#include "src/arch/fault.hpp"
+#include "src/ml/model.hpp"
+
+namespace lore::arch {
+
+class SelectiveReplication {
+ public:
+  /// `protected_instructions[i]` marks static instruction i as replicated.
+  SelectiveReplication(const Workload& workload, std::vector<bool> protected_instructions);
+
+  std::size_t protected_count() const;
+
+  /// Execution-time overhead factor (>= 1): replicated dynamic instructions
+  /// run twice plus one compare.
+  double slowdown() const;
+
+  /// Taint-simulate one injection under protection; true when the fault is
+  /// caught before it can corrupt the output.
+  bool detects(const FaultSite& site) const;
+
+  /// Outcome under protection: Detected when caught, otherwise the baseline
+  /// outcome of the unprotected run.
+  Outcome protected_outcome(const FaultSite& site, const FaultInjector& injector) const;
+
+ private:
+  const Workload& workload_;
+  std::vector<bool> protected_;
+  double slowdown_ = 1.0;
+};
+
+/// Protection policies for the E8 comparison.
+std::vector<bool> protect_all(const Program& p);
+std::vector<bool> protect_none(const Program& p);
+/// Heuristic: protect memory and branch instructions (classic symptom
+/// surface), ignoring dataflow.
+std::vector<bool> protect_heuristic(const Program& p);
+/// ML policy: classify each instruction with a trained model over
+/// instruction_features; protect those predicted vulnerable.
+std::vector<bool> protect_by_model(const Program& p, const ml::Classifier& model);
+
+/// Budget-constrained policy: protect the k instructions with the highest
+/// scores (used to compare ranking quality across selectors at equal cost).
+std::vector<bool> protect_top_k(const Program& p, std::span<const double> scores,
+                                std::size_t k);
+
+struct ReplicationEvaluation {
+  double coverage = 0.0;      // caught / originally-failing
+  double slowdown = 1.0;
+  std::size_t protected_count = 0;
+};
+
+/// Evaluate a policy against a fresh campaign of `trials` register faults.
+ReplicationEvaluation evaluate_policy(const Workload& w, const std::vector<bool>& policy,
+                                      std::size_t trials, lore::Rng& rng);
+
+}  // namespace lore::arch

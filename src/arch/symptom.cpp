@@ -1,0 +1,209 @@
+#include "src/arch/symptom.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lore::arch {
+namespace {
+
+int argmax(std::span<const double> v) {
+  return static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace
+
+std::vector<double> activation_statistics(const std::vector<std::vector<double>>& layers) {
+  std::vector<double> stats;
+  stats.reserve(4 * layers.size());
+  for (const auto& layer : layers) {
+    double mean = 0.0, maxabs = 0.0;
+    double top1 = -1e30, top2 = -1e30;
+    for (double v : layer) {
+      mean += v;
+      maxabs = std::max(maxabs, std::abs(v));
+      if (v > top1) {
+        top2 = top1;
+        top1 = v;
+      } else if (v > top2) {
+        top2 = v;
+      }
+    }
+    mean /= static_cast<double>(std::max<std::size_t>(1, layer.size()));
+    double var = 0.0;
+    for (double v : layer) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(std::max<std::size_t>(1, layer.size()));
+    stats.push_back(mean);
+    stats.push_back(std::sqrt(var));
+    stats.push_back(maxabs);
+    // Top-2 margin: collapses when a fault pushes the decision near a flip.
+    stats.push_back(layer.size() > 1 ? top1 - top2 : 0.0);
+  }
+  return stats;
+}
+
+std::vector<double> flatten_activations(const std::vector<std::vector<double>>& layers) {
+  std::vector<double> flat;
+  std::size_t total = 0;
+  for (const auto& layer : layers) total += layer.size();
+  flat.reserve(total);
+  for (const auto& layer : layers) flat.insert(flat.end(), layer.begin(), layer.end());
+  return flat;
+}
+
+std::pair<std::vector<double>, bool> ActivationAnomalyDetector::faulty_inference(
+    const ml::Mlp& mission, std::span<const double> input, lore::Rng& rng) const {
+  auto layers = mission.forward_layers(input);
+  const int clean_pred = argmax(layers.back());
+
+  // Fault into the last hidden layer - the worst case for a classifier: a
+  // high-magnitude spike there feeds the logits directly, so most injected
+  // faults are harmful (matching the SDC-heavy fault mix [30] protects
+  // against).
+  const std::size_t num_acts = layers.size();
+  assert(num_acts >= 3 && "mission network needs at least one hidden layer");
+  const std::size_t layer = num_acts - 2;
+  const std::size_t unit = rng.uniform_index(layers[layer].size());
+  layers[layer][unit] = rng.bernoulli(0.5) ? cfg_.fault_magnitude : -cfg_.fault_magnitude;
+
+  const auto out = mission.forward_from_layer(layer, layers[layer]);
+  layers.back() = out;
+  const bool changed = argmax(out) != clean_pred;
+  return {flatten_activations(layers), changed};
+}
+
+void ActivationAnomalyDetector::train(const ml::Mlp& mission, const ml::Matrix& inputs) {
+  lore::Rng rng(cfg_.seed);
+  ml::Matrix x;
+  std::vector<int> y;
+  for (std::size_t s = 0; s < cfg_.train_samples; ++s) {
+    const auto row = inputs.row(rng.uniform_index(inputs.rows()));
+    if (rng.bernoulli(0.5)) {
+      // Clean inference.
+      x.push_row(flatten_activations(mission.forward_layers(row)));
+      y.push_back(0);
+    } else {
+      auto [stats, changed] = faulty_inference(mission, row, rng);
+      x.push_row(stats);
+      // Label positives only when the fault actually flips the prediction:
+      // benign faults should not raise alarms ([30]'s criterion).
+      y.push_back(changed ? 1 : 0);
+    }
+  }
+  detector_ = ml::MlpClassifier(cfg_.detector);
+  detector_.fit(x, y);
+  trained_ = true;
+}
+
+bool ActivationAnomalyDetector::flags(const std::vector<std::vector<double>>& layers) const {
+  assert(trained_);
+  return detector_.predict(flatten_activations(layers)) == 1;
+}
+
+double ActivationAnomalyDetector::overhead_fraction(const ml::Mlp& mission) const {
+  return static_cast<double>(detector_.network().parameter_count()) /
+         static_cast<double>(mission.parameter_count());
+}
+
+ActivationAnomalyDetector::Evaluation ActivationAnomalyDetector::evaluate(
+    const ml::Mlp& mission, const ml::Matrix& inputs, std::size_t samples,
+    std::uint64_t seed) const {
+  assert(trained_);
+  lore::Rng rng(seed);
+  std::vector<int> truth, pred;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto row = inputs.row(rng.uniform_index(inputs.rows()));
+    if (rng.bernoulli(0.5)) {
+      truth.push_back(0);
+      pred.push_back(detector_.predict(
+                         flatten_activations(mission.forward_layers(row))) == 1);
+    } else {
+      auto [stats, changed] = faulty_inference(mission, row, rng);
+      truth.push_back(changed ? 1 : 0);
+      pred.push_back(detector_.predict(stats) == 1);
+    }
+  }
+  const auto conf = ml::binary_confusion(truth, pred);
+  return {conf.recall(), conf.precision(), overhead_fraction(mission)};
+}
+
+std::vector<double> InputPerturbationMonitor::monitor_features(
+    std::span<const double> input) {
+  // Sensor frames are nominally drawn from a {-1, +1} alphabet plus noise;
+  // the per-component deviation from that alphabet estimates the noise level
+  // without knowing which prototype produced the frame.
+  double mean_dev = 0.0, max_dev = 0.0, mean_abs = 0.0;
+  std::vector<double> devs;
+  devs.reserve(input.size());
+  for (double v : input) {
+    const double dev = std::abs(std::abs(v) - 1.0);
+    devs.push_back(dev);
+    mean_dev += dev;
+    max_dev = std::max(max_dev, dev);
+    mean_abs += std::abs(v);
+  }
+  const auto n = static_cast<double>(input.size());
+  mean_dev /= n;
+  mean_abs /= n;
+  double var_dev = 0.0;
+  for (double d : devs) var_dev += (d - mean_dev) * (d - mean_dev);
+  var_dev /= n;
+  return {mean_dev, std::sqrt(var_dev), max_dev, mean_abs};
+}
+
+void InputPerturbationMonitor::train(const ml::Mlp& mission, const ml::Matrix& clean_inputs) {
+  lore::Rng rng(cfg_.seed);
+  ml::Matrix x;
+  std::vector<int> y;
+  std::vector<double> perturbed(clean_inputs.cols());
+  for (std::size_t s = 0; s < cfg_.train_samples; ++s) {
+    const auto row = clean_inputs.row(rng.uniform_index(clean_inputs.rows()));
+    const int clean_pred = argmax(mission.forward(row));
+    const double noise = rng.uniform(0.0, cfg_.max_noise);
+    for (std::size_t c = 0; c < perturbed.size(); ++c)
+      perturbed[c] = row[c] + rng.normal(0.0, noise);
+    const bool fails = argmax(mission.forward(perturbed)) != clean_pred;
+    x.push_row(monitor_features(perturbed));
+    y.push_back(fails ? 1 : 0);
+  }
+  monitor_ = ml::MlpClassifier(cfg_.monitor);
+  monitor_.fit(x, y);
+  trained_ = true;
+}
+
+double InputPerturbationMonitor::warning_score(std::span<const double> input) const {
+  assert(trained_);
+  const auto p = monitor_.predict_proba(monitor_features(input));
+  return p.size() > 1 ? p[1] : 0.0;
+}
+
+double InputPerturbationMonitor::speedup_vs_mission(const ml::Mlp& mission) const {
+  return static_cast<double>(mission.parameter_count()) /
+         static_cast<double>(monitor_.network().parameter_count());
+}
+
+InputPerturbationMonitor::Evaluation InputPerturbationMonitor::evaluate(
+    const ml::Mlp& mission, const ml::Matrix& clean_inputs, std::size_t samples,
+    std::uint64_t seed) const {
+  assert(trained_);
+  lore::Rng rng(seed);
+  std::vector<int> truth, pred;
+  std::vector<double> score;
+  std::vector<double> perturbed(clean_inputs.cols());
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto row = clean_inputs.row(rng.uniform_index(clean_inputs.rows()));
+    const int clean_pred = argmax(mission.forward(row));
+    const double noise = rng.uniform(0.0, cfg_.max_noise);
+    for (std::size_t c = 0; c < perturbed.size(); ++c)
+      perturbed[c] = row[c] + rng.normal(0.0, noise);
+    truth.push_back(argmax(mission.forward(perturbed)) != clean_pred ? 1 : 0);
+    const double w = warning_score(perturbed);
+    score.push_back(w);
+    pred.push_back(w > 0.5 ? 1 : 0);
+  }
+  const auto conf = ml::binary_confusion(truth, pred);
+  return {conf.recall(), conf.precision(), ml::roc_auc(truth, score),
+          speedup_vs_mission(mission)};
+}
+
+}  // namespace lore::arch

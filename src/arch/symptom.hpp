@@ -1,0 +1,118 @@
+// Symptom-based error detection (Sec. III-C2):
+//  - ActivationAnomalyDetector watches intermediate activations of a mission
+//    DNN and flags corrupted inferences ([30]: a small two-hidden-layer MLP
+//    detecting misclassification-causing faults with high recall/precision
+//    at a few percent compute overhead);
+//  - InputPerturbationMonitor is the WarningNet-style ([32]) early-warning
+//    model: a small network running alongside the mission task that predicts
+//    from the raw input whether noise/environmental perturbation will make
+//    the task fail.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.hpp"
+#include "src/ml/dataset.hpp"
+#include "src/ml/metrics.hpp"
+#include "src/ml/mlp.hpp"
+
+namespace lore::arch {
+
+/// Per-layer activation statistics (mean, std, max-abs, top-2 margin) — a
+/// compact summary used for reporting and by lightweight monitors.
+std::vector<double> activation_statistics(const std::vector<std::vector<double>>& layers);
+
+/// Concatenated raw activations of every layer — the detector's input
+/// representation ([30] feeds intermediate outputs directly; unit identity
+/// matters for predicting whether a fault flips the prediction).
+std::vector<double> flatten_activations(const std::vector<std::vector<double>>& layers);
+
+struct AnomalyDetectorConfig {
+  /// Corrupted-activation magnitude (simulates a high-exponent bit flip).
+  double fault_magnitude = 50.0;
+  std::size_t train_samples = 2400;
+  ml::MlpConfig detector{.hidden = {20, 20}, .epochs = 300};
+  std::uint64_t seed = 61;
+};
+
+class ActivationAnomalyDetector {
+ public:
+  explicit ActivationAnomalyDetector(AnomalyDetectorConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Train against a mission network over its input distribution. Positive
+  /// class = "this inference carries a fault that changes the prediction".
+  void train(const ml::Mlp& mission, const ml::Matrix& inputs);
+
+  /// Flag an inference given its layer activations.
+  bool flags(const std::vector<std::vector<double>>& layers) const;
+
+  /// Compute overhead: detector parameters / mission parameters.
+  double overhead_fraction(const ml::Mlp& mission) const;
+
+  struct Evaluation {
+    double recall = 0.0;     // of misclassification-causing faults
+    double precision = 0.0;
+    double overhead = 0.0;
+  };
+  /// Held-out evaluation with fresh fault injections.
+  Evaluation evaluate(const ml::Mlp& mission, const ml::Matrix& inputs,
+                      std::size_t samples, std::uint64_t seed) const;
+
+ private:
+  /// Inject one activation fault; returns (stats, prediction_changed).
+  std::pair<std::vector<double>, bool> faulty_inference(const ml::Mlp& mission,
+                                                        std::span<const double> input,
+                                                        lore::Rng& rng) const;
+
+  AnomalyDetectorConfig cfg_;
+  ml::MlpClassifier detector_{ml::MlpConfig{}};
+  bool trained_ = false;
+};
+
+struct WarningNetConfig {
+  std::size_t train_samples = 900;
+  /// Perturbation strengths sampled during training (uniform 0..max).
+  double max_noise = 3.0;
+  ml::MlpConfig monitor{.hidden = {8}, .epochs = 250};
+  std::uint64_t seed = 67;
+};
+
+/// Early-warning input monitor: predicts task failure from the (possibly
+/// perturbed) input itself, before/alongside the mission inference.
+class InputPerturbationMonitor {
+ public:
+  explicit InputPerturbationMonitor(WarningNetConfig cfg = {}) : cfg_(cfg) {}
+
+  void train(const ml::Mlp& mission, const ml::Matrix& clean_inputs);
+
+  /// Probability-like warning score for an input.
+  double warning_score(std::span<const double> input) const;
+  bool warns(std::span<const double> input) const { return warning_score(input) > 0.5; }
+
+  /// Speed advantage: mission parameter count / monitor parameter count
+  /// (WarningNet's "1/20th of the time" claim is a parameter-ratio proxy).
+  double speedup_vs_mission(const ml::Mlp& mission) const;
+
+  struct Evaluation {
+    double recall = 0.0;      // at the 0.5 warning threshold
+    double precision = 0.0;
+    /// Ranking quality of the warning score over failures: the headline
+    /// metric for an early-warning system whose alarm threshold is tuned
+    /// downstream (failure base rates are low by construction).
+    double auc = 0.5;
+    double speedup = 0.0;
+  };
+  Evaluation evaluate(const ml::Mlp& mission, const ml::Matrix& clean_inputs,
+                      std::size_t samples, std::uint64_t seed) const;
+
+  /// Noise-level features of a sensor frame: statistics of the deviation
+  /// from the nominal {-1, +1} signal alphabet.
+  static std::vector<double> monitor_features(std::span<const double> input);
+
+ private:
+  WarningNetConfig cfg_;
+  ml::MlpClassifier monitor_{ml::MlpConfig{}};
+  bool trained_ = false;
+};
+
+}  // namespace lore::arch

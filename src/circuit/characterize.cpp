@@ -1,0 +1,130 @@
+#include "src/circuit/characterize.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lore::circuit {
+namespace {
+
+/// Drain current of the switching network at output voltage v_out while the
+/// input ramp sits at v_in. Velocity-saturated device with a linear region
+/// near the rail; stacks divide the drive.
+double drive_current(const device::Transistor& dev, std::size_t stack_depth, double v_in,
+                     double v_ds, const device::OperatingPoint& op) {
+  const double vth = dev.vth(op);
+  const double overdrive = v_in - vth;
+  if (overdrive <= 0.0 || v_ds <= 0.0) return 0.0;
+  device::OperatingPoint gate_op = op;
+  gate_op.vdd = v_in;  // gate at the instantaneous input voltage
+  double i_sat = dev.saturation_current(gate_op);
+  // Linear region when V_ds < V_dsat ~ overdrive.
+  const double v_dsat = std::max(1e-6, overdrive);
+  if (v_ds < v_dsat) i_sat *= v_ds / v_dsat * (2.0 - v_ds / v_dsat);
+  return i_sat / static_cast<double>(std::max<std::size_t>(1, stack_depth));
+}
+
+}  // namespace
+
+device::StageTiming Characterizer::simulate(const Cell& cell, bool rising_output,
+                                            double in_slew_ps, double load_ff,
+                                            const device::OperatingPoint& op) const {
+  ++evaluations_;
+  assert(in_slew_ps > 0.0 && load_ff >= 0.0);
+  const auto& stage = cell.stage;
+  const device::Transistor dev(rising_output ? stage.pullup : stage.pulldown);
+  const double c_farad = (load_ff + stage.parasitic_cap_ff) * 1e-15;
+  const double vdd = op.vdd;
+
+  // Input ramp: 10%-90% transition = in_slew_ps, so the full 0-100% ramp is
+  // in_slew_ps / 0.8; input starts moving at t=0.
+  const double ramp_ps = in_slew_ps / 0.8;
+  const double t50_in = 0.5 * ramp_ps;
+
+  double v_out = rising_output ? 0.0 : vdd;
+  const double dt_s = cfg_.timestep_ps * 1e-12;
+  double t_ps = 0.0;
+  double t50_out = -1.0, t10 = -1.0, t90 = -1.0;
+
+  // Integrate until the output completes its swing (with a hard cap so
+  // pathological corners terminate).
+  const double t_max_ps = 1e6;
+  while (t_ps < t_max_ps) {
+    // Gate drive for the switching network: rising output means input fell
+    // (PMOS gate pulled low) - model |Vgs| ramping 0 -> vdd over the ramp.
+    const double ramp_pos = std::clamp(t_ps / ramp_ps, 0.0, 1.0);
+    const double v_gate = vdd * ramp_pos;
+    const double v_ds = rising_output ? vdd - v_out : v_out;
+    const double i = drive_current(dev, cell.stack_depth, v_gate, v_ds, op);
+    const double dv = i * dt_s / c_farad;
+    v_out += rising_output ? dv : -dv;
+    v_out = std::clamp(v_out, 0.0, vdd);
+    t_ps += cfg_.timestep_ps;
+
+    const double frac = rising_output ? v_out / vdd : 1.0 - v_out / vdd;
+    if (t10 < 0.0 && frac >= 0.1) t10 = t_ps;
+    if (t50_out < 0.0 && frac >= 0.5) t50_out = t_ps;
+    if (frac >= 0.9) {
+      t90 = t_ps;
+      break;
+    }
+  }
+  device::StageTiming timing;
+  // Unfinished transitions clamp at the cap (grossly undersized drive).
+  if (t50_out < 0.0) t50_out = t_max_ps;
+  if (t10 < 0.0) t10 = t_max_ps;
+  if (t90 < 0.0) t90 = t_max_ps;
+  timing.delay_ps = t50_out - t50_in;
+  timing.out_slew_ps = t90 - t10;
+  return timing;
+}
+
+double Characterizer::she_rise(const Cell& cell, double in_slew_ps, double load_ff,
+                               const device::OperatingPoint& op) const {
+  const device::GateStage stage(cell.stage);
+  const device::ActivityProfile activity{.toggle_rate_ghz = cfg_.she_reference_toggle_ghz,
+                                         .in_slew_ps = in_slew_ps,
+                                         .load_ff = load_ff};
+  return she_.temperature_rise(stage, activity, op);
+}
+
+void Characterizer::characterize_cell(Cell& cell, const device::OperatingPoint& op) const {
+  const auto& slews = cfg_.slew_axis_ps;
+  const auto& loads = cfg_.load_axis_ff;
+  cell.arcs.clear();
+  for (std::size_t pin = 0; pin < cell.num_inputs(); ++pin) {
+    TimingArc arc;
+    arc.input_pin = pin;
+    arc.rise_delay = TimingTable(slews, loads);
+    arc.fall_delay = TimingTable(slews, loads);
+    arc.rise_slew = TimingTable(slews, loads);
+    arc.fall_slew = TimingTable(slews, loads);
+    // Later pins are electrically closer to the output in the stack: small
+    // deterministic derating distinguishes the arcs.
+    const double pin_factor = 1.0 + 0.06 * static_cast<double>(pin);
+    for (std::size_t si = 0; si < slews.size(); ++si) {
+      for (std::size_t li = 0; li < loads.size(); ++li) {
+        const auto rise = simulate(cell, true, slews[si], loads[li], op);
+        const auto fall = simulate(cell, false, slews[si], loads[li], op);
+        arc.rise_delay.at(si, li) = rise.delay_ps * pin_factor;
+        arc.fall_delay.at(si, li) = fall.delay_ps * pin_factor;
+        arc.rise_slew.at(si, li) = rise.out_slew_ps;
+        arc.fall_slew.at(si, li) = fall.out_slew_ps;
+      }
+    }
+    cell.arcs.push_back(std::move(arc));
+  }
+  // SHE table (Fig. 3 upper flow): temperature per grid condition.
+  cell.she_temperature = TimingTable(slews, loads);
+  for (std::size_t si = 0; si < slews.size(); ++si)
+    for (std::size_t li = 0; li < loads.size(); ++li)
+      cell.she_temperature.at(si, li) = she_rise(cell, slews[si], loads[li], op);
+}
+
+void Characterizer::characterize_library(CellLibrary& lib,
+                                         const device::OperatingPoint& op) const {
+  for (std::size_t i = 0; i < lib.size(); ++i) characterize_cell(lib.cell(i), op);
+  lib.set_corner(op);
+}
+
+}  // namespace lore::circuit

@@ -1,0 +1,59 @@
+// Standard-cell characterization by numerical transient simulation — LORE's
+// stand-in for the SPICE characterization loop of Fig. 3. Each grid point
+// integrates the output-node ODE with the alpha-power-law device model, so
+// characterizing a full library is genuinely expensive; that cost is what the
+// ML-based characterizer ([9], E2) removes.
+#pragma once
+
+#include <cstddef>
+
+#include "src/circuit/liberty.hpp"
+#include "src/device/selfheat.hpp"
+#include "src/device/transistor.hpp"
+
+namespace lore::circuit {
+
+struct CharacterizerConfig {
+  std::vector<double> slew_axis_ps = default_slew_axis_ps();
+  std::vector<double> load_axis_ff = default_load_axis_ff();
+  /// Transient integration timestep (ps). Smaller = more SPICE-like cost.
+  double timestep_ps = 0.05;
+  /// Toggle rate assumed when filling the library's SHE temperature tables;
+  /// instances scale it by their own activity.
+  double she_reference_toggle_ghz = 1.0;
+};
+
+class Characterizer {
+ public:
+  Characterizer(CharacterizerConfig cfg, device::SelfHeatingModel she_model)
+      : cfg_(std::move(cfg)), she_(she_model) {}
+
+  const CharacterizerConfig& config() const { return cfg_; }
+
+  /// Transient simulation of one switching event. Returns 50-50 delay and
+  /// 10-90 output slew (ps).
+  device::StageTiming simulate(const Cell& cell, bool rising_output, double in_slew_ps,
+                               double load_ff, const device::OperatingPoint& op) const;
+
+  /// Fill all timing arcs and the SHE table of one cell at the given corner.
+  void characterize_cell(Cell& cell, const device::OperatingPoint& op) const;
+
+  /// Characterize every cell of the library and record the corner.
+  void characterize_library(CellLibrary& lib, const device::OperatingPoint& op) const;
+
+  /// SHE temperature rise (K) of the cell at one grid condition and the
+  /// reference toggle rate.
+  double she_rise(const Cell& cell, double in_slew_ps, double load_ff,
+                  const device::OperatingPoint& op) const;
+
+  /// Total transient simulations performed so far (cost/speed metric).
+  std::size_t evaluations() const { return evaluations_; }
+  void reset_evaluations() { evaluations_ = 0; }
+
+ private:
+  CharacterizerConfig cfg_;
+  device::SelfHeatingModel she_;
+  mutable std::size_t evaluations_ = 0;
+};
+
+}  // namespace lore::circuit

@@ -1,0 +1,197 @@
+#include "src/circuit/liberty.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lore::circuit {
+
+TimingTable::TimingTable(std::vector<double> slew_axis_ps, std::vector<double> load_axis_ff)
+    : slew_axis_(std::move(slew_axis_ps)),
+      load_axis_(std::move(load_axis_ff)),
+      values_(slew_axis_.size() * load_axis_.size(), 0.0) {
+  assert(!slew_axis_.empty() && !load_axis_.empty());
+  assert(std::is_sorted(slew_axis_.begin(), slew_axis_.end()));
+  assert(std::is_sorted(load_axis_.begin(), load_axis_.end()));
+}
+
+double& TimingTable::at(std::size_t slew_idx, std::size_t load_idx) {
+  assert(slew_idx < slew_axis_.size() && load_idx < load_axis_.size());
+  return values_[slew_idx * load_axis_.size() + load_idx];
+}
+
+double TimingTable::at(std::size_t slew_idx, std::size_t load_idx) const {
+  assert(slew_idx < slew_axis_.size() && load_idx < load_axis_.size());
+  return values_[slew_idx * load_axis_.size() + load_idx];
+}
+
+namespace {
+
+/// Index of the lower grid point and the interpolation fraction, clamped.
+std::pair<std::size_t, double> locate(std::span<const double> axis, double x) {
+  if (x <= axis.front()) return {0, 0.0};
+  if (x >= axis.back()) return {axis.size() - 2, 1.0};
+  const auto it = std::upper_bound(axis.begin(), axis.end(), x);
+  const auto hi = static_cast<std::size_t>(it - axis.begin());
+  const std::size_t lo = hi - 1;
+  const double frac = (x - axis[lo]) / (axis[hi] - axis[lo]);
+  return {lo, frac};
+}
+
+}  // namespace
+
+double TimingTable::lookup(double slew_ps, double load_ff) const {
+  assert(!values_.empty());
+  if (slew_axis_.size() == 1 && load_axis_.size() == 1) return values_[0];
+  const auto [si, sf] = slew_axis_.size() > 1
+                            ? locate(slew_axis_, slew_ps)
+                            : std::pair<std::size_t, double>{0, 0.0};
+  const auto [li, lf] = load_axis_.size() > 1
+                            ? locate(load_axis_, load_ff)
+                            : std::pair<std::size_t, double>{0, 0.0};
+  const std::size_t si1 = slew_axis_.size() > 1 ? si + 1 : si;
+  const std::size_t li1 = load_axis_.size() > 1 ? li + 1 : li;
+  const double v00 = at(si, li), v01 = at(si, li1);
+  const double v10 = at(si1, li), v11 = at(si1, li1);
+  return v00 * (1 - sf) * (1 - lf) + v01 * (1 - sf) * lf + v10 * sf * (1 - lf) +
+         v11 * sf * lf;
+}
+
+double TimingTable::max_value() const {
+  assert(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+std::size_t function_input_count(CellFunction fn) {
+  switch (fn) {
+    case CellFunction::kInv:
+    case CellFunction::kBuf:
+    case CellFunction::kDff: return 1;
+    case CellFunction::kNand2:
+    case CellFunction::kNor2:
+    case CellFunction::kAnd2:
+    case CellFunction::kOr2:
+    case CellFunction::kXor2:
+    case CellFunction::kXnor2: return 2;
+    case CellFunction::kAoi21:
+    case CellFunction::kOai21:
+    case CellFunction::kMux2: return 3;
+  }
+  return 1;
+}
+
+bool evaluate_function(CellFunction fn, std::span<const bool> in) {
+  assert(in.size() >= function_input_count(fn));
+  switch (fn) {
+    case CellFunction::kInv: return !in[0];
+    case CellFunction::kBuf: return in[0];
+    case CellFunction::kDff: return in[0];
+    case CellFunction::kNand2: return !(in[0] && in[1]);
+    case CellFunction::kNor2: return !(in[0] || in[1]);
+    case CellFunction::kAnd2: return in[0] && in[1];
+    case CellFunction::kOr2: return in[0] || in[1];
+    case CellFunction::kXor2: return in[0] != in[1];
+    case CellFunction::kXnor2: return in[0] == in[1];
+    case CellFunction::kAoi21: return !((in[0] && in[1]) || in[2]);
+    case CellFunction::kOai21: return !((in[0] || in[1]) && in[2]);
+    case CellFunction::kMux2: return in[2] ? in[1] : in[0];
+  }
+  return false;
+}
+
+std::string function_name(CellFunction fn) {
+  switch (fn) {
+    case CellFunction::kInv: return "INV";
+    case CellFunction::kBuf: return "BUF";
+    case CellFunction::kNand2: return "NAND2";
+    case CellFunction::kNor2: return "NOR2";
+    case CellFunction::kAnd2: return "AND2";
+    case CellFunction::kOr2: return "OR2";
+    case CellFunction::kXor2: return "XOR2";
+    case CellFunction::kXnor2: return "XNOR2";
+    case CellFunction::kAoi21: return "AOI21";
+    case CellFunction::kOai21: return "OAI21";
+    case CellFunction::kMux2: return "MUX2";
+    case CellFunction::kDff: return "DFF";
+  }
+  return "?";
+}
+
+std::size_t CellLibrary::add_cell(Cell cell) {
+  cells_.push_back(std::move(cell));
+  return cells_.size() - 1;
+}
+
+std::optional<std::size_t> CellLibrary::find(const std::string& cell_name) const {
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    if (cells_[i].name == cell_name) return i;
+  return std::nullopt;
+}
+
+std::vector<double> default_slew_axis_ps() {
+  return {5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0};
+}
+
+std::vector<double> default_load_axis_ff() {
+  return {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+}
+
+namespace {
+
+/// Structural complexity per function: stack depth of the worst path and the
+/// number of internal stages (affects parasitics and delay).
+struct FunctionShape {
+  std::size_t stack_depth;
+  double parasitic_factor;
+};
+
+FunctionShape function_shape(CellFunction fn) {
+  switch (fn) {
+    case CellFunction::kInv: return {1, 1.0};
+    case CellFunction::kBuf: return {1, 1.6};
+    case CellFunction::kNand2: return {2, 1.3};
+    case CellFunction::kNor2: return {2, 1.4};
+    case CellFunction::kAnd2: return {2, 1.9};
+    case CellFunction::kOr2: return {2, 2.0};
+    case CellFunction::kXor2: return {2, 2.6};
+    case CellFunction::kXnor2: return {2, 2.7};
+    case CellFunction::kAoi21: return {3, 1.8};
+    case CellFunction::kOai21: return {3, 1.9};
+    case CellFunction::kMux2: return {2, 2.3};
+    case CellFunction::kDff: return {3, 3.2};
+  }
+  return {1, 1.0};
+}
+
+}  // namespace
+
+CellLibrary make_skeleton_library(const std::string& name) {
+  CellLibrary lib(name);
+  const CellFunction functions[] = {
+      CellFunction::kInv,   CellFunction::kBuf,   CellFunction::kNand2,
+      CellFunction::kNor2,  CellFunction::kAnd2,  CellFunction::kOr2,
+      CellFunction::kXor2,  CellFunction::kXnor2, CellFunction::kAoi21,
+      CellFunction::kOai21, CellFunction::kMux2,  CellFunction::kDff};
+  for (CellFunction fn : functions) {
+    for (double drive : {1.0, 2.0, 4.0}) {
+      Cell c;
+      c.function = fn;
+      c.drive_strength = drive;
+      c.name = function_name(fn) + "_X" + std::to_string(static_cast<int>(drive));
+      const auto shape = function_shape(fn);
+      c.stack_depth = shape.stack_depth;
+      // Stacked devices halve effective drive; upsizing restores it.
+      c.stage.pulldown.width_um = 0.4 * drive;
+      c.stage.pullup.width_um = 0.7 * drive;
+      c.stage.pulldown.num_fins = 2 + static_cast<std::size_t>(drive / 2.0);
+      c.stage.pullup.num_fins = 2 + static_cast<std::size_t>(drive / 2.0);
+      c.stage.parasitic_cap_ff = 0.9 * shape.parasitic_factor * drive;
+      c.stage.input_cap_ff = 0.8 + 0.45 * drive;
+      c.input_cap_ff = c.stage.input_cap_ff;
+      c.area_um2 = shape.parasitic_factor * (0.6 + 0.5 * drive);
+      lib.add_cell(std::move(c));
+    }
+  }
+  return lib;
+}
+
+}  // namespace lore::circuit

@@ -1,0 +1,117 @@
+// Liberty-style standard cell library with NLDM lookup tables
+// (input-slew × output-load grids). This is the data structure the Fig. 3
+// flow manipulates: characterization fills the tables, the SHE flow swaps
+// delay values for temperatures, and the ML characterizer regenerates
+// instance-specific tables.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/device/transistor.hpp"
+
+namespace lore::circuit {
+
+/// 2-D lookup table over (input slew ps, output load fF) with bilinear
+/// interpolation and clamped extrapolation.
+class TimingTable {
+ public:
+  TimingTable() = default;
+  TimingTable(std::vector<double> slew_axis_ps, std::vector<double> load_axis_ff);
+
+  std::size_t slew_points() const { return slew_axis_.size(); }
+  std::size_t load_points() const { return load_axis_.size(); }
+  std::span<const double> slew_axis() const { return slew_axis_; }
+  std::span<const double> load_axis() const { return load_axis_; }
+
+  double& at(std::size_t slew_idx, std::size_t load_idx);
+  double at(std::size_t slew_idx, std::size_t load_idx) const;
+
+  /// Bilinear interpolation; out-of-range coordinates clamp to the grid.
+  double lookup(double slew_ps, double load_ff) const;
+
+  /// Flat view of all values (row-major by slew), for ML training targets.
+  std::span<const double> values() const { return values_; }
+  std::span<double> values() { return values_; }
+  double max_value() const;
+
+ private:
+  std::vector<double> slew_axis_;
+  std::vector<double> load_axis_;
+  std::vector<double> values_;
+};
+
+/// Boolean function of a combinational cell (enough for STA + fault models).
+enum class CellFunction { kInv, kBuf, kNand2, kNor2, kAnd2, kOr2, kXor2, kXnor2,
+                          kAoi21, kOai21, kMux2, kDff };
+
+/// Number of data inputs for a function.
+std::size_t function_input_count(CellFunction fn);
+/// Evaluate the function on input bits (DFF returns input 0 = D).
+bool evaluate_function(CellFunction fn, std::span<const bool> inputs);
+std::string function_name(CellFunction fn);
+
+/// One timing arc: input pin -> output pin, rise/fall delay + output slew.
+struct TimingArc {
+  std::size_t input_pin = 0;
+  TimingTable rise_delay;
+  TimingTable fall_delay;
+  TimingTable rise_slew;
+  TimingTable fall_slew;
+};
+
+/// A characterized standard cell.
+struct Cell {
+  std::string name;
+  CellFunction function = CellFunction::kInv;
+  double drive_strength = 1.0;  // X1, X2, X4... scales transistor widths
+  double area_um2 = 1.0;
+  double input_cap_ff = 0.9;    // per input pin
+  /// Electrical model used during characterization.
+  device::GateStageParams stage;
+  /// Number of stacked devices in the worst pull path (delay multiplier).
+  std::size_t stack_depth = 1;
+  std::vector<TimingArc> arcs;  // one per input pin
+  /// Per-grid-point self-heating temperature rise (K), filled by the SHE
+  /// characterization step of Fig. 3 (same axes as the delay tables).
+  TimingTable she_temperature;
+
+  std::size_t num_inputs() const { return function_input_count(function); }
+  bool is_sequential() const { return function == CellFunction::kDff; }
+};
+
+/// A library: a set of characterized cells at one operating corner.
+class CellLibrary {
+ public:
+  CellLibrary() = default;
+  explicit CellLibrary(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return cells_.size(); }
+  std::size_t add_cell(Cell cell);
+  const Cell& cell(std::size_t id) const { return cells_[id]; }
+  Cell& cell(std::size_t id) { return cells_[id]; }
+  std::optional<std::size_t> find(const std::string& cell_name) const;
+
+  /// Operating corner the library was characterized at.
+  device::OperatingPoint corner() const { return corner_; }
+  void set_corner(device::OperatingPoint op) { corner_ = op; }
+
+ private:
+  std::string name_;
+  std::vector<Cell> cells_;
+  device::OperatingPoint corner_{};
+};
+
+/// Default characterization axes (7 slews × 7 loads like commercial NLDM).
+std::vector<double> default_slew_axis_ps();
+std::vector<double> default_load_axis_ff();
+
+/// Build the skeleton (uncharacterized) cells of LORE's technology library:
+/// every function above at drive strengths X1/X2/X4.
+CellLibrary make_skeleton_library(const std::string& name);
+
+}  // namespace lore::circuit

@@ -1,0 +1,70 @@
+#include "src/circuit/liberty_io.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace lore::circuit {
+namespace {
+
+void emit_axis(std::ostringstream& os, const char* name, std::span<const double> axis) {
+  os << "        " << name << "(\"";
+  for (std::size_t i = 0; i < axis.size(); ++i)
+    os << axis[i] << (i + 1 < axis.size() ? ", " : "");
+  os << "\");\n";
+}
+
+void emit_table(std::ostringstream& os, const char* group, const TimingTable& table) {
+  os << "      " << group << "(lore_template) {\n";
+  emit_axis(os, "index_1", table.slew_axis());
+  emit_axis(os, "index_2", table.load_axis());
+  os << "        values(";
+  for (std::size_t s = 0; s < table.slew_points(); ++s) {
+    os << "\"";
+    for (std::size_t l = 0; l < table.load_points(); ++l)
+      os << table.at(s, l) << (l + 1 < table.load_points() ? ", " : "");
+    os << "\"" << (s + 1 < table.slew_points() ? ", \\\n               " : "");
+  }
+  os << ");\n      }\n";
+}
+
+}  // namespace
+
+std::string write_liberty(const CellLibrary& lib) {
+  std::ostringstream os;
+  os << "library (" << (lib.name().empty() ? "lore" : lib.name()) << ") {\n";
+  os << "  time_unit : \"1ps\";\n  capacitive_load_unit (1, ff);\n";
+  os << "  nom_voltage : " << lib.corner().vdd << ";\n";
+  os << "  nom_temperature : " << lib.corner().temperature - 273.15 << ";\n";
+
+  for (std::size_t c = 0; c < lib.size(); ++c) {
+    const Cell& cell = lib.cell(c);
+    os << "  cell (" << cell.name << ") {\n";
+    os << "    area : " << cell.area_um2 << ";\n";
+    static const char* kPins[] = {"A", "B", "C"};
+    for (std::size_t pin = 0; pin < cell.num_inputs(); ++pin) {
+      os << "    pin (" << (cell.is_sequential() ? "D" : kPins[pin]) << ") {\n";
+      os << "      direction : input;\n";
+      os << "      capacitance : " << cell.input_cap_ff << ";\n";
+      os << "    }\n";
+    }
+    os << "    pin (" << (cell.is_sequential() ? "Q" : "Y") << ") {\n";
+    os << "      direction : output;\n";
+    for (const auto& arc : cell.arcs) {
+      os << "      timing () {\n";
+      os << "        related_pin : \""
+         << (cell.is_sequential() ? "D" : kPins[arc.input_pin]) << "\";\n";
+      std::ostringstream tables;
+      emit_table(tables, "cell_rise", arc.rise_delay);
+      emit_table(tables, "cell_fall", arc.fall_delay);
+      emit_table(tables, "rise_transition", arc.rise_slew);
+      emit_table(tables, "fall_transition", arc.fall_slew);
+      os << tables.str();
+      os << "      }\n";
+    }
+    os << "    }\n  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace lore::circuit

@@ -1,0 +1,120 @@
+#include "src/circuit/logicsim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace lore::circuit {
+
+LogicSimulator::LogicSimulator(const Netlist* nl) : nl_(nl) {
+  order_ = nl_->topological_order();
+  po_nets_ = nl_->primary_outputs();
+}
+
+std::vector<bool> LogicSimulator::evaluate(const std::vector<bool>& pi_values,
+                                           std::ptrdiff_t stuck_instance,
+                                           bool stuck_value) const {
+  assert(pi_values.size() == nl_->primary_inputs().size());
+  std::vector<bool> nets(nl_->num_nets(), false);
+  for (std::size_t i = 0; i < pi_values.size(); ++i)
+    nets[nl_->primary_inputs()[i]] = pi_values[i];
+
+  bool inputs[4] = {false, false, false, false};  // max fan-in of the library
+  for (auto inst_id : order_) {
+    const auto& inst = nl_->instance(inst_id);
+    const auto& cell = nl_->library().cell(inst.cell_id);
+    assert(inst.input_nets.size() <= 4);
+    for (std::size_t pin = 0; pin < inst.input_nets.size(); ++pin)
+      inputs[pin] = nets[inst.input_nets[pin]];
+    bool value = evaluate_function(
+        cell.function, std::span<const bool>(inputs, inst.input_nets.size()));
+    if (static_cast<std::ptrdiff_t>(inst_id) == stuck_instance) value = stuck_value;
+    nets[inst.output_net] = value;
+  }
+  return nets;
+}
+
+std::vector<bool> LogicSimulator::outputs(const std::vector<bool>& net_values) const {
+  std::vector<bool> out;
+  out.reserve(po_nets_.size());
+  for (auto net : po_nets_) out.push_back(net_values[net]);
+  return out;
+}
+
+std::vector<GateCriticality> stuck_at_campaign(const Netlist& nl, std::size_t vectors,
+                                               lore::Rng& rng) {
+  assert(vectors > 0);
+  LogicSimulator sim(&nl);
+  const std::size_t n_pi = nl.primary_inputs().size();
+  std::vector<GateCriticality> out(nl.num_instances());
+  std::vector<bool> pi(n_pi);
+
+  for (std::size_t v = 0; v < vectors; ++v) {
+    for (std::size_t i = 0; i < n_pi; ++i) pi[i] = rng.bernoulli(0.5);
+    const auto golden = sim.outputs(sim.evaluate(pi));
+    for (std::size_t g = 0; g < nl.num_instances(); ++g) {
+      const auto s0 = sim.outputs(sim.evaluate(pi, static_cast<std::ptrdiff_t>(g), false));
+      const auto s1 = sim.outputs(sim.evaluate(pi, static_cast<std::ptrdiff_t>(g), true));
+      out[g].instance = g;
+      out[g].stuck0_observability += s0 != golden ? 1.0 : 0.0;
+      out[g].stuck1_observability += s1 != golden ? 1.0 : 0.0;
+    }
+  }
+  for (auto& g : out) {
+    g.stuck0_observability /= static_cast<double>(vectors);
+    g.stuck1_observability /= static_cast<double>(vectors);
+  }
+  return out;
+}
+
+std::vector<double> gate_features(const Netlist& nl, std::size_t instance) {
+  assert(instance < nl.num_instances());
+  const auto& inst = nl.instance(instance);
+  const auto& cell = nl.library().cell(inst.cell_id);
+
+  // Logic depth from sources and distance to the nearest primary output, via
+  // one forward and one backward pass (cached per call; callers batching many
+  // instances should lift this, but netlists here are small).
+  const auto order = nl.topological_order();
+  std::vector<double> depth(nl.num_instances(), 0.0);
+  for (auto id : order) {
+    double d = 0.0;
+    for (auto net : nl.instance(id).input_nets) {
+      const int drv = nl.net(net).driver_instance;
+      if (drv >= 0) d = std::max(d, depth[static_cast<std::size_t>(drv)] + 1.0);
+    }
+    depth[id] = d;
+  }
+  std::vector<double> to_po(nl.num_instances(), 1e9);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const auto id = *it;
+    const auto& net = nl.net(nl.instance(id).output_net);
+    if (net.is_primary_output) to_po[id] = 0.0;
+    for (const auto& [sink, pin] : net.sinks)
+      to_po[id] = std::min(to_po[id], to_po[sink] + 1.0);
+  }
+  if (to_po[instance] > 1e8) to_po[instance] = 64.0;  // dead cone
+
+  return {static_cast<double>(inst.input_nets.size()),
+          static_cast<double>(nl.net(inst.output_net).sinks.size()),
+          depth[instance],
+          to_po[instance],
+          cell.drive_strength,
+          cell.is_sequential() ? 1.0 : 0.0,
+          cell.function == CellFunction::kXor2 || cell.function == CellFunction::kXnor2
+              ? 1.0
+              : 0.0,
+          static_cast<double>(cell.stack_depth)};
+}
+
+ml::Dataset gate_criticality_dataset(const Netlist& nl,
+                                     const std::vector<GateCriticality>& campaign,
+                                     double threshold) {
+  ml::Dataset d;
+  for (const auto& g : campaign)
+    d.add(gate_features(nl, g.instance), g.criticality() > threshold ? 1 : 0,
+          g.criticality());
+  return d;
+}
+
+}  // namespace lore::circuit

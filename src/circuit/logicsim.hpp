@@ -1,0 +1,63 @@
+// Gate-level logic simulation and stuck-at fault campaigns — the circuit
+// flavour of the paper's Sec. III-B1 ([20]: predicting the functional-failure
+// criticality of circuit elements from structural features such as fan-in/
+// fan-out and proximity to observable outputs, using a fraction of the fault-
+// simulation budget).
+#pragma once
+
+#include <cstdint>
+
+#include "src/circuit/netlist.hpp"
+#include "src/common/rng.hpp"
+#include "src/ml/dataset.hpp"
+
+namespace lore::circuit {
+
+/// Combinational logic simulator over a Netlist. Sequential cells pass D
+/// through (single-cycle combinational frame).
+class LogicSimulator {
+ public:
+  explicit LogicSimulator(const Netlist* nl);
+
+  /// Evaluate all nets for one primary-input vector.
+  /// `stuck_instance` >= 0 forces that instance's output to `stuck_value`.
+  std::vector<bool> evaluate(const std::vector<bool>& pi_values,
+                             std::ptrdiff_t stuck_instance = -1,
+                             bool stuck_value = false) const;
+
+  /// Primary-output values extracted from a net evaluation.
+  std::vector<bool> outputs(const std::vector<bool>& net_values) const;
+
+ private:
+  const Netlist* nl_;
+  std::vector<std::size_t> order_;
+  std::vector<std::size_t> po_nets_;
+};
+
+/// Observability of one instance: fraction of random input vectors for which
+/// a stuck-at fault at its output flips at least one primary output.
+struct GateCriticality {
+  std::size_t instance = 0;
+  double stuck0_observability = 0.0;
+  double stuck1_observability = 0.0;
+  double criticality() const { return 0.5 * (stuck0_observability + stuck1_observability); }
+};
+
+/// Exhaustive-per-gate random-vector fault simulation (`vectors` PI vectors
+/// per gate per polarity). This is the expensive ground truth ML replaces.
+std::vector<GateCriticality> stuck_at_campaign(const Netlist& nl, std::size_t vectors,
+                                               lore::Rng& rng);
+
+/// Structural features of one instance for criticality prediction: fan-in,
+/// fan-out, logic depth from inputs, distance to the nearest primary output,
+/// drive strength, function class flags — the feature family of [20].
+inline constexpr std::size_t kGateFeatureDim = 8;
+std::vector<double> gate_features(const Netlist& nl, std::size_t instance);
+
+/// Labeled dataset: gate features with labels criticality > threshold, and
+/// the raw criticality as the regression target.
+ml::Dataset gate_criticality_dataset(const Netlist& nl,
+                                     const std::vector<GateCriticality>& campaign,
+                                     double threshold);
+
+}  // namespace lore::circuit

@@ -1,0 +1,212 @@
+#include "src/circuit/netlist.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+namespace lore::circuit {
+
+std::size_t Netlist::add_primary_input() {
+  nets_.push_back(Net{});
+  primary_inputs_.push_back(nets_.size() - 1);
+  return nets_.size() - 1;
+}
+
+std::size_t Netlist::add_instance(std::size_t cell_id, std::vector<std::size_t> input_nets,
+                                  std::string name) {
+  assert(cell_id < lib_->size());
+  const auto& cell = lib_->cell(cell_id);
+  assert(input_nets.size() == cell.num_inputs());
+  const std::size_t inst_id = instances_.size();
+
+  Net out_net;
+  out_net.driver_instance = static_cast<int>(inst_id);
+  nets_.push_back(out_net);
+  const std::size_t out_net_id = nets_.size() - 1;
+
+  for (std::size_t pin = 0; pin < input_nets.size(); ++pin) {
+    assert(input_nets[pin] < nets_.size());
+    nets_[input_nets[pin]].sinks.emplace_back(inst_id, pin);
+  }
+
+  Instance inst;
+  inst.name = name.empty() ? cell.name + "_i" + std::to_string(inst_id) : std::move(name);
+  inst.cell_id = cell_id;
+  inst.input_nets = std::move(input_nets);
+  inst.output_net = out_net_id;
+  instances_.push_back(std::move(inst));
+  return inst_id;
+}
+
+void Netlist::mark_primary_output(std::size_t net) {
+  assert(net < nets_.size());
+  nets_[net].is_primary_output = true;
+}
+
+void Netlist::set_toggle_rate(std::size_t instance, double rate_ghz) {
+  assert(instance < instances_.size() && rate_ghz >= 0.0);
+  instances_[instance].toggle_rate_ghz = rate_ghz;
+}
+
+std::vector<std::size_t> Netlist::primary_outputs() const {
+  std::vector<std::size_t> out;
+  for (std::size_t n = 0; n < nets_.size(); ++n)
+    if (nets_[n].is_primary_output) out.push_back(n);
+  return out;
+}
+
+double Netlist::net_load_ff(std::size_t net) const {
+  assert(net < nets_.size());
+  double load = kWireCapBaseFf + kWireCapPerSinkFf * static_cast<double>(nets_[net].sinks.size());
+  for (const auto& [inst, pin] : nets_[net].sinks)
+    load += lib_->cell(instances_[inst].cell_id).input_cap_ff;
+  return load;
+}
+
+std::vector<std::size_t> Netlist::topological_order() const {
+  // Kahn's algorithm over combinational edges. DFFs are sources: their input
+  // is a timing endpoint, not a combinational dependency, so a DFF has
+  // indegree 0 and its output feeds consumers like a primary input does.
+  auto is_seq = [&](std::size_t inst) {
+    return lib_->cell(instances_[inst].cell_id).is_sequential();
+  };
+  std::vector<std::size_t> indegree(instances_.size(), 0);
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (is_seq(i)) continue;
+    for (auto net : instances_[i].input_nets)
+      if (nets_[net].driver_instance >= 0) ++indegree[i];
+  }
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < instances_.size(); ++i)
+    if (indegree[i] == 0) ready.push_back(i);
+
+  std::vector<std::size_t> order;
+  order.reserve(instances_.size());
+  std::size_t cursor = 0;
+  while (cursor < ready.size()) {
+    const std::size_t inst = ready[cursor++];
+    order.push_back(inst);
+    for (const auto& [sink, pin] : nets_[instances_[inst].output_net].sinks) {
+      if (is_seq(sink)) continue;  // edge into a DFF D-pin ends the cone
+      assert(indegree[sink] > 0);
+      if (--indegree[sink] == 0) ready.push_back(sink);
+    }
+  }
+  assert(order.size() == instances_.size() && "combinational cycle detected");
+  return order;
+}
+
+std::size_t Netlist::distinct_cell_types() const {
+  std::set<std::size_t> types;
+  for (const auto& inst : instances_) types.insert(inst.cell_id);
+  return types.size();
+}
+
+namespace {
+
+/// Cell ids of all combinational (non-DFF) cells in the library.
+std::vector<std::size_t> combinational_cells(const CellLibrary& lib) {
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < lib.size(); ++i)
+    if (!lib.cell(i).is_sequential()) ids.push_back(i);
+  return ids;
+}
+
+std::vector<std::size_t> dff_cells(const CellLibrary& lib) {
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < lib.size(); ++i)
+    if (lib.cell(i).is_sequential()) ids.push_back(i);
+  return ids;
+}
+
+}  // namespace
+
+Netlist generate_random_logic(const CellLibrary& lib, const RandomLogicConfig& cfg) {
+  assert(cfg.num_inputs >= 3 && cfg.num_gates > 0);
+  lore::Rng rng(cfg.seed);
+  Netlist nl(&lib);
+  const auto comb = combinational_cells(lib);
+  assert(!comb.empty());
+
+  std::vector<std::size_t> candidate_nets;
+  for (std::size_t i = 0; i < cfg.num_inputs; ++i)
+    candidate_nets.push_back(nl.add_primary_input());
+
+  for (std::size_t g = 0; g < cfg.num_gates; ++g) {
+    const std::size_t cell_id = comb[rng.uniform_index(comb.size())];
+    const std::size_t fanin = lib.cell(cell_id).num_inputs();
+    std::vector<std::size_t> ins;
+    const std::size_t window = std::min(cfg.max_fanin_window, candidate_nets.size());
+    for (std::size_t p = 0; p < fanin; ++p) {
+      const std::size_t pick =
+          candidate_nets.size() - 1 - rng.uniform_index(window);
+      ins.push_back(candidate_nets[pick]);
+    }
+    const auto inst = nl.add_instance(cell_id, std::move(ins));
+    candidate_nets.push_back(nl.instance(inst).output_net);
+    nl.set_toggle_rate(inst, rng.uniform(0.05, 1.0));
+  }
+  // Any net without sinks becomes a primary output.
+  for (std::size_t n = 0; n < nl.num_nets(); ++n)
+    if (nl.net(n).sinks.empty()) nl.mark_primary_output(n);
+  return nl;
+}
+
+Netlist generate_core_like(const CellLibrary& lib, const CoreLikeConfig& cfg) {
+  assert(cfg.pipeline_stages >= 1 && cfg.regs_per_stage >= 2);
+  lore::Rng rng(cfg.seed);
+  Netlist nl(&lib);
+  const auto comb = combinational_cells(lib);
+  const auto dffs = dff_cells(lib);
+  assert(!comb.empty() && !dffs.empty());
+
+  // Activity: lognormal around 20% of the clock, long tail of hot cells.
+  const double log_mu = std::log(0.2 * cfg.clock_ghz);
+  auto draw_activity = [&] {
+    return std::min(cfg.clock_ghz, rng.lognormal(log_mu, cfg.activity_sigma));
+  };
+
+  // Stage 0 register rank driven by primary inputs.
+  std::vector<std::size_t> rank_nets;
+  for (std::size_t r = 0; r < cfg.regs_per_stage; ++r) {
+    const auto pi = nl.add_primary_input();
+    const auto ff = nl.add_instance(dffs[rng.uniform_index(dffs.size())], {pi});
+    nl.set_toggle_rate(ff, draw_activity());
+    rank_nets.push_back(nl.instance(ff).output_net);
+  }
+
+  for (std::size_t stage = 0; stage < cfg.pipeline_stages; ++stage) {
+    // Combinational cloud reading from the current rank.
+    std::vector<std::size_t> cloud_nets = rank_nets;
+    for (std::size_t g = 0; g < cfg.gates_per_stage; ++g) {
+      const std::size_t cell_id = comb[rng.uniform_index(comb.size())];
+      const std::size_t fanin = lib.cell(cell_id).num_inputs();
+      std::vector<std::size_t> ins;
+      const std::size_t window = std::min<std::size_t>(40, cloud_nets.size());
+      for (std::size_t p = 0; p < fanin; ++p)
+        ins.push_back(cloud_nets[cloud_nets.size() - 1 - rng.uniform_index(window)]);
+      const auto inst = nl.add_instance(cell_id, std::move(ins));
+      nl.set_toggle_rate(inst, draw_activity());
+      cloud_nets.push_back(nl.instance(inst).output_net);
+    }
+    // Next register rank samples cloud outputs.
+    std::vector<std::size_t> next_rank;
+    for (std::size_t r = 0; r < cfg.regs_per_stage; ++r) {
+      const auto d_net = cloud_nets[cloud_nets.size() - 1 -
+                                    rng.uniform_index(std::min<std::size_t>(
+                                        cfg.gates_per_stage, cloud_nets.size()))];
+      const auto ff = nl.add_instance(dffs[rng.uniform_index(dffs.size())], {d_net});
+      nl.set_toggle_rate(ff, draw_activity());
+      next_rank.push_back(nl.instance(ff).output_net);
+    }
+    rank_nets = std::move(next_rank);
+  }
+  for (auto n : rank_nets) nl.mark_primary_output(n);
+  // Dangling combinational outputs also terminate at outputs.
+  for (std::size_t n = 0; n < nl.num_nets(); ++n)
+    if (nl.net(n).sinks.empty()) nl.mark_primary_output(n);
+  return nl;
+}
+
+}  // namespace lore::circuit

@@ -1,0 +1,96 @@
+// Gate-level netlist (DAG of standard-cell instances) plus synthetic circuit
+// generators. The "core-like" generator stands in for the post-layout RISC-V
+// core of Fig. 2 (DESIGN.md substitution #2 for the circuit level): pipelined
+// ranks of flip-flops with combinational clouds between them and a long-tailed
+// per-instance switching-activity profile.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/circuit/liberty.hpp"
+#include "src/common/rng.hpp"
+
+namespace lore::circuit {
+
+struct Instance {
+  std::string name;
+  std::size_t cell_id = 0;
+  std::vector<std::size_t> input_nets;
+  std::size_t output_net = 0;
+  /// Switching activity of this instance in its circuit context.
+  double toggle_rate_ghz = 0.5;
+};
+
+struct Net {
+  int driver_instance = -1;  // -1: primary input
+  std::vector<std::pair<std::size_t, std::size_t>> sinks;  // (instance, pin)
+  bool is_primary_output = false;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(const CellLibrary* library) : lib_(library) {}
+
+  const CellLibrary& library() const { return *lib_; }
+
+  std::size_t add_primary_input();
+  /// Create an instance of `cell_id` driven by `input_nets`; returns the
+  /// instance id. A fresh output net is created automatically.
+  std::size_t add_instance(std::size_t cell_id, std::vector<std::size_t> input_nets,
+                           std::string name = {});
+  void mark_primary_output(std::size_t net);
+  void set_toggle_rate(std::size_t instance, double rate_ghz);
+
+  std::size_t num_instances() const { return instances_.size(); }
+  std::size_t num_nets() const { return nets_.size(); }
+  const Instance& instance(std::size_t id) const { return instances_[id]; }
+  const Net& net(std::size_t id) const { return nets_[id]; }
+  const std::vector<std::size_t>& primary_inputs() const { return primary_inputs_; }
+  std::vector<std::size_t> primary_outputs() const;
+
+  /// Capacitive load on a net: sink pin caps + wire estimate by fanout.
+  double net_load_ff(std::size_t net) const;
+
+  /// Instances in topological order (inputs before consumers). Sequential
+  /// cells (DFF) break combinational cycles: their outputs count as sources.
+  std::vector<std::size_t> topological_order() const;
+
+  /// Number of distinct cell types used (the paper notes only 59 in Fig. 2).
+  std::size_t distinct_cell_types() const;
+
+  /// Wire capacitance model parameters.
+  static constexpr double kWireCapBaseFf = 0.25;
+  static constexpr double kWireCapPerSinkFf = 0.35;
+
+ private:
+  const CellLibrary* lib_;
+  std::vector<Instance> instances_;
+  std::vector<Net> nets_;
+  std::vector<std::size_t> primary_inputs_;
+};
+
+/// Random layered combinational logic.
+struct RandomLogicConfig {
+  std::size_t num_inputs = 16;
+  std::size_t num_gates = 200;
+  std::size_t max_fanin_window = 30;  // candidate drivers looked back
+  std::uint64_t seed = 47;
+};
+Netlist generate_random_logic(const CellLibrary& lib, const RandomLogicConfig& cfg);
+
+/// Pipelined core-like block: DFF ranks with combinational clouds, activity
+/// drawn from a lognormal (few hot cells, many cold ones).
+struct CoreLikeConfig {
+  std::size_t pipeline_stages = 5;
+  std::size_t regs_per_stage = 32;
+  std::size_t gates_per_stage = 300;
+  double clock_ghz = 1.0;
+  /// Lognormal activity: sigma of log toggle rate.
+  double activity_sigma = 1.0;
+  std::uint64_t seed = 53;
+};
+Netlist generate_core_like(const CellLibrary& lib, const CoreLikeConfig& cfg);
+
+}  // namespace lore::circuit

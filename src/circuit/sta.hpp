@@ -1,0 +1,100 @@
+// Static timing analysis over a Netlist: arrival-time/slew propagation,
+// required times, slack, critical path, and SDF writing. Supports a pluggable
+// per-instance delay source so the same engine runs the conventional corner
+// flow and the per-instance SHE-aware flow of Fig. 3 (where the "delay"
+// tables may actually hold temperatures — the paper's SDF trick).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/circuit/netlist.hpp"
+
+namespace lore::circuit {
+
+/// Worst-case (max of rise/fall) timing state at a net.
+struct NetTiming {
+  double arrival_ps = 0.0;
+  double slew_ps = 0.0;
+};
+
+struct StaResult {
+  std::vector<NetTiming> net_timing;           // indexed by net id
+  std::vector<double> instance_delay_ps;       // worst arc delay used
+  std::vector<double> instance_in_slew_ps;     // worst input slew seen
+  std::vector<double> instance_load_ff;        // output load
+  double worst_arrival_ps = 0.0;               // at any timing endpoint
+  std::vector<std::size_t> critical_path;      // instance ids, input to endpoint
+
+  /// Slack against a clock period (ns-free: both in ps).
+  double worst_slack_ps(double clock_period_ps) const {
+    return clock_period_ps - worst_arrival_ps;
+  }
+};
+
+/// Delay source: given (instance, cell, input pin, input slew, load) produce
+/// delay and output slew. Default reads the library tables of the netlist.
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  virtual device::StageTiming arc_timing(const Netlist& nl, std::size_t instance,
+                                         std::size_t pin, double in_slew_ps,
+                                         double load_ff) const = 0;
+};
+
+/// Library-table delay model: worst of rise/fall from the cell's NLDM arcs.
+class LibraryDelayModel final : public DelayModel {
+ public:
+  /// `scale` derates every delay (e.g. a flat worst-case guardband factor).
+  explicit LibraryDelayModel(double scale = 1.0) : scale_(scale) {}
+  device::StageTiming arc_timing(const Netlist& nl, std::size_t instance, std::size_t pin,
+                                 double in_slew_ps, double load_ff) const override;
+
+ private:
+  double scale_;
+};
+
+/// Per-instance table delay model: each instance has its own arc tables
+/// (the circuit-specific library of Fig. 3, one entry per instance).
+class InstanceTableDelayModel final : public DelayModel {
+ public:
+  struct InstanceTables {
+    std::vector<TimingArc> arcs;  // one per input pin
+  };
+
+  explicit InstanceTableDelayModel(std::vector<InstanceTables> tables)
+      : tables_(std::move(tables)) {}
+
+  device::StageTiming arc_timing(const Netlist& nl, std::size_t instance, std::size_t pin,
+                                 double in_slew_ps, double load_ff) const override;
+
+  const std::vector<InstanceTables>& tables() const { return tables_; }
+
+ private:
+  std::vector<InstanceTables> tables_;
+};
+
+struct StaConfig {
+  double primary_input_slew_ps = 20.0;
+  double primary_output_load_ff = 4.0;
+};
+
+class StaEngine {
+ public:
+  explicit StaEngine(StaConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Propagate arrivals/slews through the netlist with the given delay model.
+  StaResult run(const Netlist& nl, const DelayModel& delays) const;
+
+ private:
+  StaConfig cfg_;
+};
+
+/// Write an SDF-like annotation file content. `values` is per-instance; the
+/// label says what the values mean ("DELAY_PS" or "SHE_TEMP_K" — the Fig. 3
+/// flow writes temperatures through the same format).
+std::string write_sdf(const Netlist& nl, const std::vector<double>& values,
+                      const std::string& value_label);
+
+}  // namespace lore::circuit

@@ -1,0 +1,60 @@
+#include "src/circuit/verilog.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace lore::circuit {
+namespace {
+
+const char* input_pin_name(std::size_t pin) {
+  static const char* kNames[] = {"a", "b", "c", "d"};
+  assert(pin < 4);
+  return kNames[pin];
+}
+
+}  // namespace
+
+std::string write_verilog(const Netlist& nl, const std::string& module_name) {
+  std::ostringstream os;
+  const auto pos = nl.primary_outputs();
+
+  os << "module " << module_name << " (";
+  for (std::size_t i = 0; i < nl.primary_inputs().size(); ++i) os << "pi" << i << ", ";
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    os << "po" << i << (i + 1 < pos.size() ? ", " : "");
+  os << ");\n";
+
+  for (std::size_t i = 0; i < nl.primary_inputs().size(); ++i)
+    os << "  input pi" << i << ";\n";
+  for (std::size_t i = 0; i < pos.size(); ++i) os << "  output po" << i << ";\n";
+
+  // Internal nets (everything that is not a PI; POs get assigns below).
+  for (std::size_t n = 0; n < nl.num_nets(); ++n)
+    if (nl.net(n).driver_instance >= 0) os << "  wire n" << n << ";\n";
+
+  auto net_name = [&](std::size_t net) {
+    if (nl.net(net).driver_instance < 0) {
+      for (std::size_t i = 0; i < nl.primary_inputs().size(); ++i)
+        if (nl.primary_inputs()[i] == net) return "pi" + std::to_string(i);
+    }
+    return "n" + std::to_string(net);
+  };
+
+  for (std::size_t i = 0; i < nl.num_instances(); ++i) {
+    const auto& inst = nl.instance(i);
+    const auto& cell = nl.library().cell(inst.cell_id);
+    os << "  " << cell.name << " " << inst.name << " (";
+    for (std::size_t pin = 0; pin < inst.input_nets.size(); ++pin)
+      os << "." << (cell.is_sequential() ? "d" : input_pin_name(pin)) << "("
+         << net_name(inst.input_nets[pin]) << "), ";
+    os << "." << (cell.is_sequential() ? "q" : "y") << "(" << net_name(inst.output_net)
+       << "));\n";
+  }
+
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    os << "  assign po" << i << " = " << net_name(pos[i]) << ";\n";
+  os << "endmodule\n";
+  return os.str();
+}
+
+}  // namespace lore::circuit

@@ -1,0 +1,15 @@
+// Structural Verilog export of a Netlist — the interchange format a real
+// EDA flow would hand to place-and-route after the Fig. 3 signoff.
+#pragma once
+
+#include <string>
+
+#include "src/circuit/netlist.hpp"
+
+namespace lore::circuit {
+
+/// Render the netlist as a structural Verilog module. Nets are named n<id>,
+/// primary inputs pi<k>, cell pins a/b/c -> y (d -> q for DFFs).
+std::string write_verilog(const Netlist& nl, const std::string& module_name);
+
+}  // namespace lore::circuit

@@ -1,0 +1,33 @@
+// Minimal aligned-column table printer used by benches to emit the data
+// series behind each reproduced figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lore {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; each cell is already formatted text.
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: format doubles with `precision` significant digits.
+  void add_numeric_row(const std::vector<double>& cells, int precision = 6);
+
+  std::size_t rows() const { return rows_.size(); }
+  /// Render with padded columns, header underline, trailing newline.
+  std::string to_string() const;
+  /// Render as CSV (no padding), suitable for plotting scripts.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed significant digits (helper for bench output).
+std::string fmt_sig(double v, int digits = 6);
+
+}  // namespace lore

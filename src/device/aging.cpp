@@ -1,0 +1,32 @@
+#include "src/device/aging.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lore::device {
+
+double NbtiModel::delta_vth(const StressCondition& stress) const {
+  assert(stress.years >= 0.0 && stress.duty_cycle >= 0.0 && stress.duty_cycle <= 1.0);
+  if (stress.years <= 0.0 || stress.duty_cycle <= 0.0) return 0.0;
+  // Reaction-diffusion power law with Arrhenius temperature acceleration and
+  // exponential voltage acceleration. Effective stress time = duty * t.
+  const double time_term = std::pow(stress.duty_cycle * stress.years, p_.n);
+  const double volt_term = std::exp(p_.gamma * (stress.vdd - p_.vref));
+  const double temp_term =
+      std::exp(-p_.ea_ev / kBoltzmannEv * (1.0 / stress.temperature - 1.0 / kT0));
+  return p_.a * time_term * volt_term * temp_term;
+}
+
+double HciModel::delta_vth(const StressCondition& stress) const {
+  assert(stress.years >= 0.0);
+  if (stress.years <= 0.0 || stress.toggle_rate_ghz <= 0.0) return 0.0;
+  const double time_term = std::pow(stress.years, p_.n);
+  const double activity_term = std::sqrt(stress.toggle_rate_ghz / p_.toggle_ref_ghz);
+  const double volt_term = std::exp(p_.gamma * (stress.vdd - p_.vref));
+  const double temp_term =
+      std::exp(-p_.ea_ev / kBoltzmannEv * (1.0 / stress.temperature - 1.0 / kT0));
+  return p_.b * time_term * activity_term * volt_term * temp_term;
+}
+
+}  // namespace lore::device

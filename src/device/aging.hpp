@@ -1,0 +1,83 @@
+// Transistor aging models: NBTI (reaction-diffusion power law) and HCI.
+// In the paper these are the "confidential physics-based models" that
+// foundries calibrate and do not share (Sec. II); LORE implements an open
+// parameterization that serves as ground truth for the HDC mimicry
+// experiment (E4) and feeds the lifetime models.
+#pragma once
+
+#include "src/device/transistor.hpp"
+
+namespace lore::device {
+
+/// Stress history summary for an aging evaluation.
+struct StressCondition {
+  double vdd = 0.8;              // stress voltage (V)
+  double temperature = 330.0;    // channel temperature including SHE (K)
+  double duty_cycle = 0.5;       // fraction of time the device is under stress
+  double toggle_rate_ghz = 0.5;  // switching activity (drives HCI)
+  double years = 5.0;            // stress duration
+};
+
+struct NbtiParams {
+  double a = 0.006;        // technology prefactor (V at 1 year reference)
+  double n = 1.0 / 6.0;    // reaction-diffusion time exponent
+  double ea_ev = 0.08;     // activation energy (eV)
+  double gamma = 2.2;      // voltage acceleration exponent
+  double vref = 0.8;       // reference stress voltage
+};
+
+/// Negative bias temperature instability: threshold shift of PMOS devices
+/// under negative gate bias. Partial-recovery captured by the duty factor.
+class NbtiModel {
+ public:
+  explicit NbtiModel(NbtiParams params = {}) : p_(params) {}
+
+  /// Threshold voltage shift (V, >= 0) after the given stress.
+  double delta_vth(const StressCondition& stress) const;
+
+ private:
+  NbtiParams p_;
+};
+
+struct HciParams {
+  double b = 0.0035;       // prefactor (V at reference condition, 1 year)
+  double n = 0.5;          // time exponent (diffusion-limited)
+  double gamma = 3.0;      // drain-voltage acceleration
+  double vref = 0.8;
+  double toggle_ref_ghz = 1.0;  // HCI damage scales with switching events
+  double ea_ev = -0.02;    // weakly negative: HCI worsens at low temperature
+};
+
+/// Hot-carrier injection: damage accumulates per switching event.
+class HciModel {
+ public:
+  explicit HciModel(HciParams params = {}) : p_(params) {}
+
+  double delta_vth(const StressCondition& stress) const;
+
+ private:
+  HciParams p_;
+};
+
+/// Combined aging: NBTI + HCI threshold shifts (independent mechanisms,
+/// first-order additive).
+class AgingModel {
+ public:
+  AgingModel() = default;
+  AgingModel(NbtiParams nbti, HciParams hci) : nbti_(nbti), hci_(hci) {}
+
+  double delta_vth(const StressCondition& stress) const {
+    return nbti_.delta_vth(stress) + hci_.delta_vth(stress);
+  }
+  const NbtiModel& nbti() const { return nbti_; }
+  const HciModel& hci() const { return hci_; }
+
+ private:
+  NbtiModel nbti_;
+  HciModel hci_;
+};
+
+/// Convert years to seconds (Julian year).
+constexpr double years_to_seconds(double years) { return years * 365.25 * 86400.0; }
+
+}  // namespace lore::device

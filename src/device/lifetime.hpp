@@ -1,0 +1,145 @@
+// Device-level lifetime (wear-out) models and MTTF combination, per the
+// paper's Sec. IV-B1 list: electromigration (EM, Black's equation), time-
+// dependent dielectric breakdown (TDDB), thermal cycling (TC, Coffin-Manson),
+// NBTI, and HCI. These feed the OS-level lifetime-reliability manager.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/device/aging.hpp"
+
+namespace lore::device {
+
+/// Operating summary of one component (core / functional unit) over which
+/// lifetime is evaluated.
+struct LifetimeCondition {
+  double temperature = 330.0;        // average junction temperature (K)
+  double vdd = 0.8;                  // operating voltage (V)
+  double current_density = 1.0;      // normalized interconnect J / J_ref
+  double thermal_cycle_amplitude = 10.0;  // ΔT of repeated cycles (K)
+  double thermal_cycles_per_day = 24.0;   // power/idle cycles frequency
+  double duty_cycle = 0.5;           // active-stress fraction (NBTI)
+  double toggle_rate_ghz = 0.5;      // switching activity (HCI)
+};
+
+/// A wear-out mechanism maps a condition to a characteristic MTTF in years.
+class WearoutMechanism {
+ public:
+  virtual ~WearoutMechanism() = default;
+  virtual double mttf_years(const LifetimeCondition& c) const = 0;
+  virtual std::string name() const = 0;
+};
+
+struct EmParams {
+  double mttf_ref_years = 80.0;  // MTTF at J=J_ref and the reference temperature
+  double ref_temperature_k = 345.0;  // qualification temperature of the ref MTTF
+  double current_exponent = 2.0;     // Black's n
+  double ea_ev = 0.9;
+};
+
+/// Electromigration via Black's equation: MTTF ∝ J^-n · exp(Ea/kT).
+class ElectromigrationModel final : public WearoutMechanism {
+ public:
+  explicit ElectromigrationModel(EmParams p = {}) : p_(p) {}
+  double mttf_years(const LifetimeCondition& c) const override;
+  std::string name() const override { return "EM"; }
+
+ private:
+  EmParams p_;
+};
+
+struct TddbParams {
+  double mttf_ref_years = 120.0;  // at vref and the reference temperature
+  double ref_temperature_k = 345.0;
+  double voltage_gamma = 9.0;     // exponential voltage acceleration (1/V)
+  double vref = 0.8;
+  double ea_ev = 0.75;
+};
+
+/// Time-dependent dielectric breakdown: strong voltage + temperature
+/// acceleration of gate-oxide failure.
+class TddbModel final : public WearoutMechanism {
+ public:
+  explicit TddbModel(TddbParams p = {}) : p_(p) {}
+  double mttf_years(const LifetimeCondition& c) const override;
+  std::string name() const override { return "TDDB"; }
+
+ private:
+  TddbParams p_;
+};
+
+struct ThermalCyclingParams {
+  double cycles_to_failure_ref = 1.5e6;  // at ΔT_ref
+  double delta_t_ref = 20.0;             // reference cycle amplitude (K)
+  double coffin_manson_exponent = 2.35;
+};
+
+/// Thermal cycling via Coffin-Manson: N_f ∝ (ΔT)^-q; MTTF = N_f / f_cycle.
+class ThermalCyclingModel final : public WearoutMechanism {
+ public:
+  explicit ThermalCyclingModel(ThermalCyclingParams p = {}) : p_(p) {}
+  double mttf_years(const LifetimeCondition& c) const override;
+  std::string name() const override { return "TC"; }
+
+ private:
+  ThermalCyclingParams p_;
+};
+
+struct VthLifetimeParams {
+  double critical_delta_vth = 0.05;  // failure criterion (V)
+};
+
+/// NBTI lifetime: time until the reaction-diffusion ΔVth crosses the critical
+/// threshold, inverted from the NbtiModel power law.
+class NbtiLifetimeModel final : public WearoutMechanism {
+ public:
+  NbtiLifetimeModel(NbtiParams nbti = {}, VthLifetimeParams p = {})
+      : nbti_(nbti), nbti_params_(nbti), p_(p) {}
+  double mttf_years(const LifetimeCondition& c) const override;
+  std::string name() const override { return "NBTI"; }
+
+ private:
+  NbtiModel nbti_;
+  NbtiParams nbti_params_;
+  VthLifetimeParams p_;
+};
+
+/// HCI lifetime: same criterion against the HCI ΔVth power law.
+class HciLifetimeModel final : public WearoutMechanism {
+ public:
+  HciLifetimeModel(HciParams hci = {}, VthLifetimeParams p = {})
+      : hci_(hci), hci_params_(hci), p_(p) {}
+  double mttf_years(const LifetimeCondition& c) const override;
+  std::string name() const override { return "HCI"; }
+
+ private:
+  HciModel hci_;
+  HciParams hci_params_;
+  VthLifetimeParams p_;
+};
+
+/// Build the standard five-mechanism set with default parameters.
+std::vector<std::unique_ptr<WearoutMechanism>> standard_mechanisms();
+
+/// Combined MTTF under the sum-of-failure-rates (competing exponential)
+/// approximation: 1 / Σ (1/MTTF_i).
+double combined_mttf_years(const std::vector<std::unique_ptr<WearoutMechanism>>& mechanisms,
+                           const LifetimeCondition& c);
+
+struct MonteCarloLifetimeResult {
+  double mean_years = 0.0;
+  double p10_years = 0.0;   // 10th percentile (early failures)
+  double p50_years = 0.0;
+};
+
+/// Monte Carlo system lifetime: per mechanism sample a Weibull with the given
+/// shape whose mean equals the mechanism MTTF; system fails at the earliest
+/// mechanism failure. More faithful than sum-of-rates for shape != 1.
+MonteCarloLifetimeResult monte_carlo_lifetime(
+    const std::vector<std::unique_ptr<WearoutMechanism>>& mechanisms,
+    const LifetimeCondition& c, std::size_t trials, double weibull_shape, lore::Rng& rng);
+
+}  // namespace lore::device

@@ -1,0 +1,31 @@
+#include "src/device/selfheat.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lore::device {
+
+double SelfHeatingModel::thermal_resistance(const TransistorParams& device) const {
+  assert(device.width_um > 0.0);
+  const double confinement =
+      1.0 + p_.confinement_per_fin * static_cast<double>(device.num_fins > 0 ? device.num_fins - 1 : 0);
+  return p_.rth_base_k_per_w * confinement / device.width_um;
+}
+
+double SelfHeatingModel::temperature_rise(const GateStage& stage,
+                                          const ActivityProfile& activity,
+                                          const OperatingPoint& op) const {
+  assert(activity.toggle_rate_ghz >= 0.0);
+  // Average dissipated power: energy per toggle times toggle frequency.
+  const double energy_j = stage.switching_energy(activity.in_slew_ps, activity.load_ff, op);
+  const double avg_power_w = energy_j * activity.toggle_rate_ghz * 1e9;
+  // The channel heats through the *drive* devices; use the pull-down as the
+  // representative geometry (NMOS carries the larger current density).
+  const double rth = thermal_resistance(stage.params().pulldown);
+  // Low-pass of the toggle train: bursts shorter than tau do not fully heat.
+  const double duty_smoothing =
+      1.0 - std::exp(-activity.toggle_rate_ghz * p_.tau_ns);
+  return rth * avg_power_w * duty_smoothing;
+}
+
+}  // namespace lore::device

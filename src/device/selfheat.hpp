@@ -1,0 +1,48 @@
+// Transistor self-heating (SHE) model, Sec. II / Fig. 2-3 of the paper.
+// Heat generated in a confined 3D channel (nanosheet / ribbon FET) cannot
+// dissipate and raises the channel temperature above chip temperature. The
+// experienced SHE depends on transistor geometry AND on how the cell is used
+// in the circuit (input slew, load capacitance, switching activity), which is
+// why per-instance characterization (Fig. 2) shows a wide temperature spread
+// even with few distinct cell types.
+#pragma once
+
+#include "src/device/transistor.hpp"
+
+namespace lore::device {
+
+struct SelfHeatingParams {
+  /// Baseline thermal resistance channel->ambient for a 1um planar device
+  /// (K/W). Confined geometries scale this up steeply.
+  double rth_base_k_per_w = 2.5e6;
+  /// Extra confinement factor per fin beyond the first: fewer escape paths.
+  double confinement_per_fin = 0.35;
+  /// Thermal time constant (ns); activity above 1/tau effectively averages.
+  double tau_ns = 90.0;
+};
+
+/// Activity profile of one cell instance in its circuit context.
+struct ActivityProfile {
+  double toggle_rate_ghz = 0.5;   // output toggles per ns
+  double in_slew_ps = 20.0;       // input transition time seen by the cell
+  double load_ff = 3.0;           // capacitive load driven by the cell
+};
+
+class SelfHeatingModel {
+ public:
+  explicit SelfHeatingModel(SelfHeatingParams params = {}) : p_(params) {}
+
+  /// Effective thermal resistance of a device (K/W), growing with fin count
+  /// (confinement) and shrinking with width (more parallel heat paths).
+  double thermal_resistance(const TransistorParams& device) const;
+
+  /// Steady-state channel temperature rise above chip temperature (K) for a
+  /// gate stage with the given activity at the operating point.
+  double temperature_rise(const GateStage& stage, const ActivityProfile& activity,
+                          const OperatingPoint& op) const;
+
+ private:
+  SelfHeatingParams p_;
+};
+
+}  // namespace lore::device

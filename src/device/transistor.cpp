@@ -1,0 +1,72 @@
+#include "src/device/transistor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lore::device {
+
+double Transistor::vth(const OperatingPoint& op) const {
+  // Threshold drops with temperature, rises with aging-induced shift.
+  return p_.vth0 - p_.vth_temp_coeff * (op.temperature - kT0) + op.delta_vth;
+}
+
+bool Transistor::in_cutoff(const OperatingPoint& op) const {
+  return op.vdd - vth(op) <= 0.0;
+}
+
+double Transistor::saturation_current(const OperatingPoint& op) const {
+  const double overdrive = op.vdd - vth(op);
+  if (overdrive <= 0.0) return 0.0;
+  // Mobility degradation with channel temperature.
+  const double mobility_scale =
+      std::pow(op.temperature / kT0, -p_.mobility_temp_exp);
+  return p_.k_per_um * p_.width_um * mobility_scale * std::pow(overdrive, p_.alpha);
+}
+
+double Transistor::effective_resistance(const OperatingPoint& op) const {
+  const double id = saturation_current(op);
+  // Clamp to a large-but-finite resistance: a cutoff device still leaks.
+  constexpr double kMaxResistance = 1e9;
+  if (id <= 0.0) return kMaxResistance;
+  return std::min(kMaxResistance, op.vdd / id);
+}
+
+StageTiming GateStage::timing(const Transistor& dev, double in_slew_ps, double load_ff,
+                              const OperatingPoint& op) const {
+  assert(in_slew_ps >= 0.0 && load_ff >= 0.0);
+  const double r_ohm = dev.effective_resistance(op);
+  const double c_farad = (load_ff + p_.parasitic_cap_ff) * 1e-15;
+  const double rc_ps = r_ohm * c_farad * 1e12;
+  StageTiming t;
+  // Elmore-style 50% delay plus the input-slew shift of the switching point.
+  t.delay_ps = 0.69 * rc_ps + p_.slew_sensitivity * in_slew_ps;
+  // 10-90 output transition of a single-pole stage, mildly degraded by slow
+  // inputs (the stage conducts partially during the input ramp).
+  t.out_slew_ps = 2.2 * rc_ps + 0.05 * in_slew_ps;
+  return t;
+}
+
+StageTiming GateStage::rise(double in_slew_ps, double load_ff,
+                            const OperatingPoint& op) const {
+  return timing(Transistor(p_.pullup), in_slew_ps, load_ff, op);
+}
+
+StageTiming GateStage::fall(double in_slew_ps, double load_ff,
+                            const OperatingPoint& op) const {
+  return timing(Transistor(p_.pulldown), in_slew_ps, load_ff, op);
+}
+
+double GateStage::switching_energy(double in_slew_ps, double load_ff,
+                                   const OperatingPoint& op) const {
+  const double c_farad = (load_ff + p_.parasitic_cap_ff) * 1e-15;
+  const double dynamic = 0.5 * c_farad * op.vdd * op.vdd;
+  // Short-circuit energy: both networks conduct while the input crosses the
+  // threshold band; grows with input slew and drive strength.
+  const Transistor nmos(p_.pulldown);
+  const double i_peak = nmos.saturation_current(op);
+  const double short_circuit = 0.1 * i_peak * op.vdd * (in_slew_ps * 1e-12);
+  return dynamic + short_circuit;
+}
+
+}  // namespace lore::device

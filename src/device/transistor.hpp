@@ -1,0 +1,100 @@
+// Analytical transistor and gate-delay model — the "simulated SPICE"
+// substrate (DESIGN.md substitution #1). Foundry-calibrated physics models
+// are proprietary (Sec. II of the paper); this alpha-power-law model plays
+// their role: it is the ground truth that characterization sweeps query and
+// that the ML models must learn to mimic.
+#pragma once
+
+#include <cstddef>
+
+namespace lore::device {
+
+/// Boltzmann constant in eV/K, used by every Arrhenius term in this module.
+inline constexpr double kBoltzmannEv = 8.617333262e-5;
+/// Reference temperature for parameter extraction (K).
+inline constexpr double kT0 = 300.0;
+
+enum class ChannelType { kNmos, kPmos };
+
+/// Parameters of the alpha-power-law MOSFET model (Sakurai-Newton style).
+struct TransistorParams {
+  ChannelType channel = ChannelType::kNmos;
+  double vth0 = 0.35;          // zero-bias threshold voltage at kT0 (V)
+  double alpha = 1.3;          // velocity-saturation exponent
+  double k_per_um = 6.0e-4;    // transconductance per um of width (A/V^alpha)
+  double width_um = 0.5;       // drawn width
+  std::size_t num_fins = 2;    // fin count (confinement proxy for SHE)
+  double vth_temp_coeff = 8e-4;    // dVth/dT magnitude (V/K); Vth drops with T
+  double mobility_temp_exp = 1.5;  // mobility ~ (T/T0)^-exp
+};
+
+/// Operating condition for a single evaluation.
+struct OperatingPoint {
+  double vdd = 0.8;            // supply (V)
+  double temperature = 300.0;  // channel temperature (K)
+  double delta_vth = 0.0;      // aging-induced threshold shift (V, >= 0)
+};
+
+class Transistor {
+ public:
+  explicit Transistor(TransistorParams params) : p_(params) {}
+
+  const TransistorParams& params() const { return p_; }
+
+  /// Effective threshold voltage including temperature and aging shifts.
+  double vth(const OperatingPoint& op) const;
+  /// Saturation drain current (A). Zero when gate overdrive <= 0.
+  double saturation_current(const OperatingPoint& op) const;
+  /// Effective switching resistance Vdd / Id_sat (ohm); large when the
+  /// device barely turns on.
+  double effective_resistance(const OperatingPoint& op) const;
+  /// True when the operating point leaves no gate overdrive (cutoff).
+  bool in_cutoff(const OperatingPoint& op) const;
+
+ private:
+  TransistorParams p_;
+};
+
+/// First-order gate-stage delay model built on a pull-up/pull-down pair.
+/// Delay and output slew follow the classic RC + input-slew degradation form
+/// used by NLDM characterization.
+struct GateStageParams {
+  TransistorParams pulldown{};  // NMOS
+  TransistorParams pullup{.channel = ChannelType::kPmos, .k_per_um = 3.0e-4};
+  double parasitic_cap_ff = 1.2;   // output diffusion capacitance (fF)
+  double input_cap_ff = 0.9;       // gate input pin capacitance (fF)
+  /// Fraction of the input transition time that delays the switch point.
+  double slew_sensitivity = 0.18;
+};
+
+struct StageTiming {
+  double delay_ps = 0.0;       // 50%-to-50% propagation delay
+  double out_slew_ps = 0.0;    // 10%-90% output transition
+};
+
+class GateStage {
+ public:
+  explicit GateStage(GateStageParams params) : p_(params) {}
+
+  const GateStageParams& params() const { return p_; }
+
+  /// Rising-output timing (pull-up path) for the given input slew (ps) and
+  /// output load (fF) at the operating point.
+  StageTiming rise(double in_slew_ps, double load_ff, const OperatingPoint& op) const;
+  /// Falling-output timing (pull-down path).
+  StageTiming fall(double in_slew_ps, double load_ff, const OperatingPoint& op) const;
+
+  /// Energy of one output toggle (J): dynamic CV^2 plus a short-circuit term
+  /// growing with input slew. Used by the self-heating model.
+  double switching_energy(double in_slew_ps, double load_ff, const OperatingPoint& op) const;
+
+  double input_cap_ff() const { return p_.input_cap_ff; }
+
+ private:
+  StageTiming timing(const Transistor& dev, double in_slew_ps, double load_ff,
+                     const OperatingPoint& op) const;
+
+  GateStageParams p_;
+};
+
+}  // namespace lore::device

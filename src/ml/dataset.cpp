@@ -1,0 +1,135 @@
+#include "src/ml/dataset.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lore::ml {
+
+void Dataset::add(std::span<const double> features_row, int label) {
+  x.push_row(features_row);
+  labels.push_back(label);
+}
+
+void Dataset::add(std::span<const double> features_row, double target) {
+  x.push_row(features_row);
+  targets.push_back(target);
+}
+
+void Dataset::add(std::span<const double> features_row, int label, double target) {
+  x.push_row(features_row);
+  labels.push_back(label);
+  targets.push_back(target);
+}
+
+std::size_t Dataset::num_classes() const {
+  int hi = -1;
+  for (int l : labels) hi = std::max(hi, l);
+  return static_cast<std::size_t>(hi + 1);
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.x = x.gather_rows(indices);
+  if (!labels.empty()) {
+    out.labels.reserve(indices.size());
+    for (auto i : indices) out.labels.push_back(labels[i]);
+  }
+  if (!targets.empty()) {
+    out.targets.reserve(indices.size());
+    for (auto i : indices) out.targets.push_back(targets[i]);
+  }
+  return out;
+}
+
+std::pair<Dataset, Dataset> train_test_split(const Dataset& d, double test_fraction,
+                                             lore::Rng& rng) {
+  assert(test_fraction > 0.0 && test_fraction < 1.0);
+  std::vector<std::size_t> idx(d.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng.shuffle(idx);
+  const auto n_test = std::max<std::size_t>(
+      1, static_cast<std::size_t>(test_fraction * static_cast<double>(d.size())));
+  std::span<const std::size_t> all(idx);
+  return {d.subset(all.subspan(n_test)), d.subset(all.subspan(0, n_test))};
+}
+
+std::vector<std::vector<std::size_t>> kfold_indices(std::size_t n, std::size_t k,
+                                                    lore::Rng& rng) {
+  assert(k >= 2 && k <= n);
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  rng.shuffle(idx);
+  std::vector<std::vector<std::size_t>> folds(k);
+  for (std::size_t i = 0; i < n; ++i) folds[i % k].push_back(idx[i]);
+  return folds;
+}
+
+void StandardScaler::fit(const Matrix& x) {
+  assert(x.rows() > 0);
+  mean_.assign(x.cols(), 0.0);
+  inv_std_.assign(x.cols(), 1.0);
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < x.cols(); ++c) mean_[c] += x(r, c);
+  for (auto& m : mean_) m /= static_cast<double>(x.rows());
+  std::vector<double> var(x.cols(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double d = x(r, c) - mean_[c];
+      var[c] += d * d;
+    }
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const double sd = std::sqrt(var[c] / static_cast<double>(x.rows()));
+    inv_std_[c] = sd > 1e-12 ? 1.0 / sd : 1.0;  // constant feature: leave centered
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  assert(fitted() && x.cols() == mean_.size());
+  Matrix out = x;
+  for (std::size_t r = 0; r < out.rows(); ++r) transform_inplace(out.row(r));
+  return out;
+}
+
+void StandardScaler::transform_inplace(std::span<double> row) const {
+  assert(row.size() == mean_.size());
+  for (std::size_t c = 0; c < row.size(); ++c) row[c] = (row[c] - mean_[c]) * inv_std_[c];
+}
+
+Matrix StandardScaler::fit_transform(const Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+void MinMaxScaler::fit(const Matrix& x) {
+  assert(x.rows() > 0);
+  lo_.assign(x.cols(), 0.0);
+  inv_range_.assign(x.cols(), 1.0);
+  std::vector<double> hi(x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    lo_[c] = hi[c] = x(0, c);
+  }
+  for (std::size_t r = 1; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      lo_[c] = std::min(lo_[c], x(r, c));
+      hi[c] = std::max(hi[c], x(r, c));
+    }
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const double range = hi[c] - lo_[c];
+    inv_range_[c] = range > 1e-12 ? 1.0 / range : 1.0;
+  }
+}
+
+Matrix MinMaxScaler::transform(const Matrix& x) const {
+  assert(fitted() && x.cols() == lo_.size());
+  Matrix out = x;
+  for (std::size_t r = 0; r < out.rows(); ++r) transform_inplace(out.row(r));
+  return out;
+}
+
+void MinMaxScaler::transform_inplace(std::span<double> row) const {
+  assert(row.size() == lo_.size());
+  for (std::size_t c = 0; c < row.size(); ++c) row[c] = (row[c] - lo_[c]) * inv_range_[c];
+}
+
+}  // namespace lore::ml

@@ -1,0 +1,69 @@
+// Labeled dataset container, feature scaling, and train/test splitting.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/ml/matrix.hpp"
+
+namespace lore::ml {
+
+/// Feature matrix with integer class labels and/or real-valued targets.
+/// Either labels or targets (or both) may be populated.
+struct Dataset {
+  Matrix x;
+  std::vector<int> labels;       // classification targets
+  std::vector<double> targets;   // regression targets
+
+  std::size_t size() const { return x.rows(); }
+  std::size_t features() const { return x.cols(); }
+
+  void add(std::span<const double> features_row, int label);
+  void add(std::span<const double> features_row, double target);
+  void add(std::span<const double> features_row, int label, double target);
+
+  /// Number of distinct classes (max label + 1); 0 when unlabeled.
+  std::size_t num_classes() const;
+
+  /// Subset by row indices.
+  Dataset subset(std::span<const std::size_t> indices) const;
+};
+
+/// Shuffled split; test_fraction in (0, 1).
+std::pair<Dataset, Dataset> train_test_split(const Dataset& d, double test_fraction,
+                                             lore::Rng& rng);
+
+/// Disjoint index folds for k-fold cross-validation.
+std::vector<std::vector<std::size_t>> kfold_indices(std::size_t n, std::size_t k,
+                                                    lore::Rng& rng);
+
+/// Per-feature standardization to zero mean / unit variance.
+class StandardScaler {
+ public:
+  void fit(const Matrix& x);
+  Matrix transform(const Matrix& x) const;
+  void transform_inplace(std::span<double> row) const;
+  Matrix fit_transform(const Matrix& x);
+  bool fitted() const { return !mean_.empty(); }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+/// Per-feature min-max scaling to [0, 1].
+class MinMaxScaler {
+ public:
+  void fit(const Matrix& x);
+  Matrix transform(const Matrix& x) const;
+  void transform_inplace(std::span<double> row) const;
+  bool fitted() const { return !lo_.empty(); }
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> inv_range_;
+};
+
+}  // namespace lore::ml

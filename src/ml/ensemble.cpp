@@ -1,0 +1,237 @@
+#include "src/ml/ensemble.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lore::ml {
+namespace {
+
+std::size_t count_classes(std::span<const int> y) {
+  std::size_t k = 0;
+  for (int label : y) k = std::max<std::size_t>(k, static_cast<std::size_t>(label) + 1);
+  return k;
+}
+
+}  // namespace
+
+void RandomForestClassifier::fit(const Matrix& x, std::span<const int> y) {
+  assert(x.rows() == y.size() && x.rows() > 0);
+  num_classes_ = count_classes(y);
+  trees_.clear();
+  trees_.reserve(cfg_.num_trees);
+  lore::Rng rng(cfg_.seed);
+
+  TreeConfig tree_cfg = cfg_.tree;
+  if (tree_cfg.max_features == 0)
+    tree_cfg.max_features = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::sqrt(static_cast<double>(x.cols()))));
+
+  const auto n_boot = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cfg_.bootstrap_fraction * static_cast<double>(x.rows())));
+  for (std::size_t t = 0; t < cfg_.num_trees; ++t) {
+    std::vector<std::size_t> sample(n_boot);
+    for (auto& s : sample) s = static_cast<std::size_t>(rng.uniform_index(x.rows()));
+    Matrix bx = x.gather_rows(sample);
+    std::vector<int> by(n_boot);
+    for (std::size_t i = 0; i < n_boot; ++i) by[i] = y[sample[i]];
+    tree_cfg.seed = rng.next_u64();
+    DecisionTree tree;
+    tree.fit_classifier(bx, by, {}, num_classes_, tree_cfg);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> RandomForestClassifier::predict_proba(std::span<const double> x) const {
+  assert(!trees_.empty());
+  std::vector<double> agg(num_classes_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto d = tree.leaf_distribution(x);
+    for (std::size_t c = 0; c < num_classes_; ++c) agg[c] += d[c];
+  }
+  for (auto& a : agg) a /= static_cast<double>(trees_.size());
+  return agg;
+}
+
+int RandomForestClassifier::predict(std::span<const double> x) const {
+  const auto p = predict_proba(x);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+void AdaBoostClassifier::fit(const Matrix& x, std::span<const int> y) {
+  assert(x.rows() == y.size() && x.rows() > 0);
+  num_classes_ = count_classes(y);
+  stumps_.clear();
+  alpha_.clear();
+  const std::size_t n = x.rows();
+  std::vector<double> w(n, 1.0 / static_cast<double>(n));
+  lore::Rng rng(cfg_.seed);
+
+  for (std::size_t round = 0; round < cfg_.num_rounds; ++round) {
+    TreeConfig tc = cfg_.tree;
+    tc.seed = rng.next_u64();
+    DecisionTree stump;
+    stump.fit_classifier(x, y, w, num_classes_, tc);
+
+    double err = 0.0;
+    std::vector<bool> wrong(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      wrong[i] = stump.predict_class(x.row(i)) != y[i];
+      if (wrong[i]) err += w[i];
+    }
+    const double k = static_cast<double>(num_classes_);
+    if (err >= 1.0 - 1.0 / k) continue;             // worse than chance: skip round
+    err = std::max(err, 1e-10);
+    // SAMME weight with multi-class correction term.
+    const double alpha = std::log((1.0 - err) / err) + std::log(k - 1.0);
+    stumps_.push_back(std::move(stump));
+    alpha_.push_back(alpha);
+    if (err < 1e-9) break;                          // perfect learner: done
+
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (wrong[i]) w[i] *= std::exp(alpha);
+      sum += w[i];
+    }
+    for (auto& wi : w) wi /= sum;
+  }
+
+  if (stumps_.empty()) {
+    // All rounds degenerate: fall back to a single unweighted tree.
+    TreeConfig tc = cfg_.tree;
+    DecisionTree stump;
+    stump.fit_classifier(x, y, {}, num_classes_, tc);
+    stumps_.push_back(std::move(stump));
+    alpha_.push_back(1.0);
+  }
+}
+
+std::vector<double> AdaBoostClassifier::predict_proba(std::span<const double> x) const {
+  std::vector<double> votes(num_classes_, 0.0);
+  for (std::size_t t = 0; t < stumps_.size(); ++t)
+    votes[static_cast<std::size_t>(stumps_[t].predict_class(x))] += alpha_[t];
+  double sum = 0.0;
+  for (double v : votes) sum += v;
+  if (sum > 0.0)
+    for (auto& v : votes) v /= sum;
+  return votes;
+}
+
+int AdaBoostClassifier::predict(std::span<const double> x) const {
+  const auto p = predict_proba(x);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+void GradientBoostingRegressor::fit(const Matrix& x, std::span<const double> y) {
+  assert(x.rows() == y.size() && x.rows() > 0);
+  trees_.clear();
+  const std::size_t n = x.rows();
+  base_ = 0.0;
+  for (double t : y) base_ += t;
+  base_ /= static_cast<double>(n);
+
+  std::vector<double> pred(n, base_);
+  std::vector<double> residual(n);
+  lore::Rng rng(cfg_.seed);
+  const auto n_sub = std::max<std::size_t>(
+      2, static_cast<std::size_t>(cfg_.subsample * static_cast<double>(n)));
+
+  for (std::size_t round = 0; round < cfg_.num_rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) residual[i] = y[i] - pred[i];
+    const auto rows = rng.sample_indices(n, n_sub);
+    Matrix bx = x.gather_rows(rows);
+    std::vector<double> br(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) br[i] = residual[rows[i]];
+
+    TreeConfig tc = cfg_.tree;
+    tc.seed = rng.next_u64();
+    DecisionTree tree;
+    tree.fit_regressor(bx, br, tc);
+    for (std::size_t i = 0; i < n; ++i)
+      pred[i] += cfg_.learning_rate * tree.predict_value(x.row(i));
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoostingRegressor::predict(std::span<const double> x) const {
+  double s = base_;
+  for (const auto& tree : trees_) s += cfg_.learning_rate * tree.predict_value(x);
+  return s;
+}
+
+void GradientBoostingClassifier::fit(const Matrix& x, std::span<const int> y) {
+  assert(x.rows() == y.size() && x.rows() > 0);
+  num_classes_ = count_classes(y);
+  const std::size_t n = x.rows();
+  const std::size_t heads = num_classes_ <= 2 ? 1 : num_classes_;
+  trees_.assign(heads, {});
+  base_.assign(heads, 0.0);
+  lore::Rng rng(cfg_.seed);
+  const auto n_sub = std::max<std::size_t>(
+      2, static_cast<std::size_t>(cfg_.subsample * static_cast<double>(n)));
+
+  for (std::size_t head = 0; head < heads; ++head) {
+    const int positive = heads == 1 ? 1 : static_cast<int>(head);
+    double pos_frac = 0.0;
+    for (int label : y) pos_frac += label == positive;
+    pos_frac = std::clamp(pos_frac / static_cast<double>(n), 1e-6, 1.0 - 1e-6);
+    base_[head] = std::log(pos_frac / (1.0 - pos_frac));
+
+    std::vector<double> score(n, base_[head]);
+    std::vector<double> grad(n);
+    for (std::size_t round = 0; round < cfg_.num_rounds; ++round) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double p = 1.0 / (1.0 + std::exp(-score[i]));
+        grad[i] = static_cast<double>(y[i] == positive) - p;  // negative gradient
+      }
+      const auto rows = rng.sample_indices(n, n_sub);
+      Matrix bx = x.gather_rows(rows);
+      std::vector<double> bg(rows.size());
+      for (std::size_t i = 0; i < rows.size(); ++i) bg[i] = grad[rows[i]];
+
+      TreeConfig tc = cfg_.tree;
+      tc.seed = rng.next_u64();
+      DecisionTree tree;
+      tree.fit_regressor(bx, bg, tc);
+      for (std::size_t i = 0; i < n; ++i)
+        score[i] += cfg_.learning_rate * tree.predict_value(x.row(i));
+      trees_[head].push_back(std::move(tree));
+    }
+  }
+}
+
+double GradientBoostingClassifier::score(std::size_t head, std::span<const double> x) const {
+  double s = base_[head];
+  for (const auto& tree : trees_[head]) s += cfg_.learning_rate * tree.predict_value(x);
+  return s;
+}
+
+std::vector<double> GradientBoostingClassifier::predict_proba(std::span<const double> x) const {
+  if (trees_.size() == 1) {
+    const double p1 = 1.0 / (1.0 + std::exp(-score(0, x)));
+    std::vector<double> p(std::max<std::size_t>(num_classes_, 2), 0.0);
+    p[0] = 1.0 - p1;
+    p[1] = p1;
+    return p;
+  }
+  std::vector<double> s(trees_.size());
+  double hi = -1e30;
+  for (std::size_t h = 0; h < trees_.size(); ++h) {
+    s[h] = score(h, x);
+    hi = std::max(hi, s[h]);
+  }
+  double sum = 0.0;
+  for (auto& v : s) {
+    v = std::exp(v - hi);
+    sum += v;
+  }
+  for (auto& v : s) v /= sum;
+  return s;
+}
+
+int GradientBoostingClassifier::predict(std::span<const double> x) const {
+  const auto p = predict_proba(x);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+}  // namespace lore::ml

@@ -1,0 +1,129 @@
+#include "src/ml/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lore::ml {
+
+std::size_t FeatureGraph::add_node(std::span<const double> features) {
+  assert(features.size() == feature_dim_);
+  assert(!finalized_);
+  features_.push_row(features);
+  return features_.rows() - 1;
+}
+
+void FeatureGraph::add_edge(std::size_t from, std::size_t to, int edge_type) {
+  assert(from < num_nodes() && to < num_nodes());
+  assert(!finalized_);
+  edge_from_.push_back(from);
+  edge_to_.push_back(to);
+  edge_type_.push_back(edge_type);
+  num_edge_types_ = std::max(num_edge_types_, edge_type + 1);
+}
+
+void FeatureGraph::finalize() {
+  in_adj_.assign(num_nodes(), {});
+  for (std::size_t e = 0; e < edge_to_.size(); ++e)
+    in_adj_[edge_to_[e]].emplace_back(edge_from_[e], edge_type_[e]);
+  finalized_ = true;
+}
+
+std::span<const std::pair<std::size_t, int>> FeatureGraph::in_neighbours(
+    std::size_t node) const {
+  assert(finalized_ && node < num_nodes());
+  return in_adj_[node];
+}
+
+Matrix GraphAttentionEmbedder::embed(const FeatureGraph& g) const {
+  const std::size_t n = g.num_nodes();
+  const std::size_t d = g.feature_dim();
+  Matrix out(n, embedding_dim(g));
+
+  // Round 0: the node's own features.
+  Matrix current(n, d);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto f = g.node_features(v);
+    for (std::size_t c = 0; c < d; ++c) {
+      current(v, c) = f[c];
+      out(v, c) = f[c];
+    }
+  }
+
+  Matrix next(n, d);
+  for (std::size_t hop = 1; hop <= cfg_.hops; ++hop) {
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto nbrs = g.in_neighbours(v);
+      auto dst = next.row(v);
+      std::fill(dst.begin(), dst.end(), 0.0);
+      // Scaled dot-product attention between the node's current state and
+      // each in-neighbour's, with a self-loop.
+      const auto self = current.row(v);
+      const double scale = 1.0 / (cfg_.temperature * std::sqrt(static_cast<double>(d)));
+      std::vector<double> logits;
+      logits.reserve(nbrs.size() + 1);
+      logits.push_back(cfg_.self_weight * dot(self, self) * scale);
+      for (const auto& [src, type] : nbrs) {
+        // Edge type shifts the attention logit so different relationship
+        // kinds (data dep, control dep, ...) attend differently.
+        logits.push_back(dot(self, current.row(src)) * scale +
+                         0.1 * static_cast<double>(type));
+      }
+      const double hi = *std::max_element(logits.begin(), logits.end());
+      double sum = 0.0;
+      for (auto& l : logits) {
+        l = std::exp(l - hi);
+        sum += l;
+      }
+      axpy(dst, logits[0] / sum, self);
+      for (std::size_t i = 0; i < nbrs.size(); ++i)
+        axpy(dst, logits[i + 1] / sum, current.row(nbrs[i].first));
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto src = next.row(v);
+      for (std::size_t c = 0; c < d; ++c) {
+        current(v, c) = src[c];
+        out(v, hop * d + c) = src[c];
+      }
+    }
+  }
+  return out;
+}
+
+void GraphNodeClassifier::fit(const std::vector<const FeatureGraph*>& graphs,
+                              const std::vector<std::vector<int>>& labels) {
+  assert(graphs.size() == labels.size() && !graphs.empty());
+  Matrix x;
+  std::vector<int> y;
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const auto emb = embedder_.embed(*graphs[gi]);
+    assert(labels[gi].size() == graphs[gi]->num_nodes());
+    for (std::size_t v = 0; v < emb.rows(); ++v) {
+      if (labels[gi][v] < 0) continue;  // unlabeled node
+      x.push_row(emb.row(v));
+      y.push_back(labels[gi][v]);
+    }
+  }
+  assert(x.rows() > 0);
+  head_ = MlpClassifier(cfg_.head);
+  head_.fit(x, y);
+  fitted_ = true;
+}
+
+std::vector<int> GraphNodeClassifier::predict(const FeatureGraph& g) const {
+  assert(fitted_);
+  const auto emb = embedder_.embed(g);
+  return head_.predict_batch(emb);
+}
+
+std::vector<std::vector<double>> GraphNodeClassifier::predict_proba(
+    const FeatureGraph& g) const {
+  assert(fitted_);
+  const auto emb = embedder_.embed(g);
+  std::vector<std::vector<double>> out;
+  out.reserve(emb.rows());
+  for (std::size_t v = 0; v < emb.rows(); ++v) out.push_back(head_.predict_proba(emb.row(v)));
+  return out;
+}
+
+}  // namespace lore::ml

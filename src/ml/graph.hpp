@@ -1,0 +1,107 @@
+// Graph learning for SDC-proneness prediction ([24], Sec. III-B2): a program
+// is a heterogeneous graph of instructions; structural features are learned
+// by aggregating neighbour features with attention, then a classifier head
+// predicts the fault outcome per node.
+//
+// Implementation note: this is a light, dependency-free variant of a graph
+// attention network. Attention coefficients are computed from feature
+// similarity (parameter-free scaled dot-product attention over the
+// neighbourhood); K rounds of attention-weighted propagation produce node
+// embeddings, and a trained MLP head maps embeddings to outcome classes.
+// The inductive property of [24] is preserved: the head is applied to
+// embeddings of graphs never seen in training.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/ml/matrix.hpp"
+#include "src/ml/mlp.hpp"
+
+namespace lore::ml {
+
+/// Directed graph with typed edges and per-node dense features.
+class FeatureGraph {
+ public:
+  explicit FeatureGraph(std::size_t feature_dim) : feature_dim_(feature_dim) {}
+
+  /// Returns the new node's id.
+  std::size_t add_node(std::span<const double> features);
+  void add_edge(std::size_t from, std::size_t to, int edge_type = 0);
+
+  std::size_t num_nodes() const { return features_.rows(); }
+  std::size_t num_edges() const { return edge_to_.size(); }
+  std::size_t feature_dim() const { return feature_dim_; }
+  std::span<const double> node_features(std::size_t node) const { return features_.row(node); }
+  /// In-neighbours of `node` as (source, edge_type).
+  std::span<const std::pair<std::size_t, int>> in_neighbours(std::size_t node) const;
+  int num_edge_types() const { return num_edge_types_; }
+
+  /// Must be called after all edges are added, before embedding.
+  void finalize();
+
+ private:
+  std::size_t feature_dim_;
+  Matrix features_;
+  std::vector<std::size_t> edge_from_, edge_to_;
+  std::vector<int> edge_type_;
+  std::vector<std::vector<std::pair<std::size_t, int>>> in_adj_;
+  int num_edge_types_ = 1;
+  bool finalized_ = false;
+};
+
+struct GraphAttentionEmbedderConfig {
+  std::size_t hops = 2;
+  /// Scaled dot-product attention temperature.
+  double temperature = 1.0;
+  /// Weight multiplier on the self-loop attention logit.
+  double self_weight = 1.0;
+};
+
+/// Attention-based propagation producing fixed-size node embeddings.
+class GraphAttentionEmbedder {
+ public:
+  using Config = GraphAttentionEmbedderConfig;
+
+  explicit GraphAttentionEmbedder(Config cfg = {}) : cfg_(cfg) {}
+
+  /// Embedding dim = feature_dim * (hops + 1): concatenation of the node's
+  /// own features with each propagation round's aggregate.
+  std::size_t embedding_dim(const FeatureGraph& g) const {
+    return g.feature_dim() * (cfg_.hops + 1);
+  }
+  /// Compute embeddings for every node of the graph.
+  Matrix embed(const FeatureGraph& g) const;
+
+ private:
+  Config cfg_;
+};
+
+struct GraphNodeClassifierConfig {
+  GraphAttentionEmbedderConfig embedder;
+  MlpConfig head{.hidden = {32}, .epochs = 250};
+};
+
+/// End-to-end node classifier: embedder + MLP head. Inductive — fit on
+/// several graphs, predict on unseen ones.
+class GraphNodeClassifier {
+ public:
+  using Config = GraphNodeClassifierConfig;
+
+  explicit GraphNodeClassifier(Config cfg = {}) : cfg_(cfg), embedder_(cfg.embedder) {}
+
+  /// Train on (graph, per-node labels) pairs; label -1 marks unlabeled nodes.
+  void fit(const std::vector<const FeatureGraph*>& graphs,
+           const std::vector<std::vector<int>>& labels);
+  std::vector<int> predict(const FeatureGraph& g) const;
+  std::vector<std::vector<double>> predict_proba(const FeatureGraph& g) const;
+
+ private:
+  Config cfg_;
+  GraphAttentionEmbedder embedder_;
+  MlpClassifier head_{Mlp::Config{}};
+  bool fitted_ = false;
+};
+
+}  // namespace lore::ml

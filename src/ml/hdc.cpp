@@ -1,0 +1,246 @@
+#include "src/ml/hdc.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lore::ml {
+
+Hypervector Hypervector::random(std::size_t dim, lore::Rng& rng) {
+  Hypervector hv(dim);
+  for (std::size_t i = 0; i < dim; ++i) hv.v_[i] = rng.bernoulli(0.5) ? 1 : -1;
+  return hv;
+}
+
+Hypervector Hypervector::bind(const Hypervector& other) const {
+  assert(dim() == other.dim());
+  Hypervector out(dim());
+  for (std::size_t i = 0; i < dim(); ++i)
+    out.v_[i] = static_cast<std::int8_t>(v_[i] * other.v_[i]);
+  return out;
+}
+
+Hypervector Hypervector::permute(std::size_t k) const {
+  Hypervector out(dim());
+  if (dim() == 0) return out;
+  k %= dim();
+  for (std::size_t i = 0; i < dim(); ++i) out.v_[(i + k) % dim()] = v_[i];
+  return out;
+}
+
+double Hypervector::similarity(const Hypervector& other) const {
+  assert(dim() == other.dim() && dim() > 0);
+  std::int64_t s = 0;
+  for (std::size_t i = 0; i < dim(); ++i) s += v_[i] * other.v_[i];
+  return static_cast<double>(s) / static_cast<double>(dim());
+}
+
+double Hypervector::hamming(const Hypervector& other) const {
+  return 0.5 * (1.0 - similarity(other));
+}
+
+Hypervector Hypervector::with_component_errors(double p, lore::Rng& rng) const {
+  Hypervector out = *this;
+  if (p <= 0.0) return out;
+  for (std::size_t i = 0; i < dim(); ++i)
+    if (rng.bernoulli(p)) out.v_[i] = static_cast<std::int8_t>(-out.v_[i]);
+  return out;
+}
+
+void Accumulator::add(const Hypervector& hv) { add_weighted(hv, 1); }
+
+void Accumulator::add_weighted(const Hypervector& hv, int weight) {
+  assert(hv.dim() == sums_.size());
+  for (std::size_t i = 0; i < sums_.size(); ++i) sums_[i] += weight * hv[i];
+  ++count_;
+}
+
+Hypervector Accumulator::to_hypervector(lore::Rng* rng) const {
+  Hypervector out(sums_.size());
+  for (std::size_t i = 0; i < sums_.size(); ++i) {
+    if (sums_[i] > 0) out[i] = 1;
+    else if (sums_[i] < 0) out[i] = -1;
+    else out[i] = (rng && rng->bernoulli(0.5)) ? 1 : -1;
+  }
+  return out;
+}
+
+const Hypervector& ItemMemory::get(std::uint64_t symbol) {
+  auto it = items_.find(symbol);
+  if (it == items_.end())
+    it = items_.emplace(symbol, Hypervector::random(dim_, rng_)).first;
+  return it->second;
+}
+
+LevelEncoder::LevelEncoder(std::size_t dim, std::size_t levels, double lo, double hi,
+                           std::uint64_t seed)
+    : lo_(lo), hi_(hi) {
+  assert(levels >= 2 && hi > lo && dim > 0);
+  lore::Rng rng(seed);
+  level_hvs_.reserve(levels);
+  level_hvs_.push_back(Hypervector::random(dim, rng));
+  // Flip dim/(2*(levels-1)) components per step: level 0 and level L-1 end up
+  // ~orthogonal while adjacent levels stay highly correlated.
+  const std::size_t flips_per_step = std::max<std::size_t>(1, dim / (2 * (levels - 1)));
+  std::vector<std::size_t> perm(dim);
+  for (std::size_t i = 0; i < dim; ++i) perm[i] = i;
+  rng.shuffle(perm);
+  std::size_t cursor = 0;
+  for (std::size_t l = 1; l < levels; ++l) {
+    Hypervector next = level_hvs_.back();
+    for (std::size_t f = 0; f < flips_per_step && cursor < dim; ++f, ++cursor)
+      next[perm[cursor]] = static_cast<std::int8_t>(-next[perm[cursor]]);
+    level_hvs_.push_back(std::move(next));
+  }
+}
+
+std::size_t LevelEncoder::level_of(double value) const {
+  const double t = (value - lo_) / (hi_ - lo_);
+  auto l = static_cast<std::ptrdiff_t>(t * static_cast<double>(level_hvs_.size()));
+  l = std::clamp<std::ptrdiff_t>(l, 0, static_cast<std::ptrdiff_t>(level_hvs_.size()) - 1);
+  return static_cast<std::size_t>(l);
+}
+
+const Hypervector& LevelEncoder::encode(double value) const {
+  return level_hvs_[level_of(value)];
+}
+
+double LevelEncoder::level_center(std::size_t level) const {
+  assert(level < level_hvs_.size());
+  const double step = (hi_ - lo_) / static_cast<double>(level_hvs_.size());
+  return lo_ + (static_cast<double>(level) + 0.5) * step;
+}
+
+RecordEncoder::RecordEncoder(std::vector<std::pair<double, double>> ranges, Config cfg)
+    : cfg_(cfg) {
+  assert(!ranges.empty());
+  lore::Rng rng(cfg.seed);
+  per_feature_.reserve(ranges.size());
+  feature_ids_.reserve(ranges.size());
+  for (std::size_t f = 0; f < ranges.size(); ++f) {
+    per_feature_.emplace_back(cfg.dim, cfg.levels, ranges[f].first, ranges[f].second,
+                              rng.next_u64());
+    feature_ids_.push_back(Hypervector::random(cfg.dim, rng));
+  }
+}
+
+Hypervector RecordEncoder::encode(std::span<const double> features) const {
+  assert(features.size() == per_feature_.size());
+  Accumulator acc(cfg_.dim);
+  for (std::size_t f = 0; f < features.size(); ++f)
+    acc.add(feature_ids_[f].bind(per_feature_[f].encode(features[f])));
+  // Deterministic tie-break keeps encoding a pure function of the input.
+  return acc.to_hypervector(nullptr);
+}
+
+void HdcClassifier::fit(const std::vector<std::vector<double>>& x, std::span<const int> y) {
+  assert(x.size() == y.size() && !x.empty());
+  std::size_t num_classes = 0;
+  for (int label : y) num_classes = std::max<std::size_t>(num_classes, static_cast<std::size_t>(label) + 1);
+
+  std::vector<Hypervector> encoded;
+  encoded.reserve(x.size());
+  for (const auto& row : x) encoded.push_back(encoder_->encode(row));
+
+  std::vector<Accumulator> acc(num_classes, Accumulator(encoder_->dim()));
+  for (std::size_t i = 0; i < x.size(); ++i)
+    acc[static_cast<std::size_t>(y[i])].add(encoded[i]);
+
+  lore::Rng rng(cfg_.seed);
+  prototypes_.clear();
+  for (auto& a : acc) prototypes_.push_back(a.to_hypervector(&rng));
+
+  // Perceptron-style retraining: move prototypes toward mispredicted samples.
+  for (std::size_t pass = 0; pass < cfg_.retrain_passes; ++pass) {
+    std::vector<Accumulator> adj(num_classes, Accumulator(encoder_->dim()));
+    bool any_error = false;
+    // Start accumulators at scaled prototypes so corrections shift, not replace.
+    for (std::size_t c = 0; c < num_classes; ++c)
+      adj[c].add_weighted(prototypes_[c], static_cast<int>(x.size() / num_classes + 1));
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const int pred = predict_encoded(encoded[i]);
+      if (pred != y[i]) {
+        any_error = true;
+        adj[static_cast<std::size_t>(y[i])].add_weighted(encoded[i], 1);
+        adj[static_cast<std::size_t>(pred)].add_weighted(encoded[i], -1);
+      }
+    }
+    if (!any_error) break;
+    for (std::size_t c = 0; c < num_classes; ++c) prototypes_[c] = adj[c].to_hypervector(&rng);
+  }
+}
+
+int HdcClassifier::predict_encoded(const Hypervector& query) const {
+  assert(!prototypes_.empty());
+  int best = 0;
+  double best_sim = -2.0;
+  for (std::size_t c = 0; c < prototypes_.size(); ++c) {
+    const double s = prototypes_[c].similarity(query);
+    if (s > best_sim) {
+      best_sim = s;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+int HdcClassifier::predict(std::span<const double> x, double error_rate,
+                           lore::Rng* rng) const {
+  Hypervector q = encoder_->encode(x);
+  if (error_rate > 0.0) {
+    assert(rng != nullptr);
+    q = q.with_component_errors(error_rate, *rng);
+  }
+  return predict_encoded(q);
+}
+
+void HdcRegressor::fit(const std::vector<std::vector<double>>& x, std::span<const double> y) {
+  assert(x.size() == y.size() && !x.empty());
+  y_lo_ = *std::min_element(y.begin(), y.end());
+  y_hi_ = *std::max_element(y.begin(), y.end());
+  if (y_hi_ - y_lo_ < 1e-12) y_hi_ = y_lo_ + 1e-12;
+
+  const std::size_t levels = cfg_.target_levels;
+  std::vector<Accumulator> acc(levels, Accumulator(encoder_->dim()));
+  level_present_.assign(levels, false);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = (y[i] - y_lo_) / (y_hi_ - y_lo_);
+    auto l = static_cast<std::size_t>(std::min(t * static_cast<double>(levels),
+                                               static_cast<double>(levels) - 1.0));
+    acc[l].add(encoder_->encode(x[i]));
+    level_present_[l] = true;
+  }
+  lore::Rng rng(cfg_.seed);
+  level_prototypes_.clear();
+  for (auto& a : acc) level_prototypes_.push_back(a.to_hypervector(&rng));
+}
+
+double HdcRegressor::predict(std::span<const double> x, double error_rate,
+                             lore::Rng* rng) const {
+  assert(!level_prototypes_.empty());
+  Hypervector q = encoder_->encode(x);
+  if (error_rate > 0.0) {
+    assert(rng != nullptr);
+    q = q.with_component_errors(error_rate, *rng);
+  }
+  // Softmax over similarities of populated levels; mix level centers.
+  const std::size_t levels = level_prototypes_.size();
+  const double step = (y_hi_ - y_lo_) / static_cast<double>(levels);
+  double hi_sim = -2.0;
+  std::vector<double> sims(levels, -2.0);
+  for (std::size_t l = 0; l < levels; ++l) {
+    if (!level_present_[l]) continue;
+    sims[l] = level_prototypes_[l].similarity(q);
+    hi_sim = std::max(hi_sim, sims[l]);
+  }
+  double wsum = 0.0, vsum = 0.0;
+  for (std::size_t l = 0; l < levels; ++l) {
+    if (!level_present_[l]) continue;
+    const double w = std::exp((sims[l] - hi_sim) / cfg_.temperature);
+    wsum += w;
+    vsum += w * (y_lo_ + (static_cast<double>(l) + 0.5) * step);
+  }
+  return vsum / wsum;
+}
+
+}  // namespace lore::ml

@@ -1,0 +1,173 @@
+// Brain-inspired hyperdimensional computing (Sec. II). Bipolar hypervectors
+// with i.i.d. components give inherent robustness against component errors
+// (the paper: ~40 % error rate costs only ~0.5 % accuracy), and HDC models
+// can mimic confidential physics-based aging models ([18]) because the
+// hypervector representation abstracts the underlying parameters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace lore::ml {
+
+/// Bipolar hypervector: components in {-1, +1} stored as int8.
+class Hypervector {
+ public:
+  Hypervector() = default;
+  explicit Hypervector(std::size_t dim) : v_(dim, 1) {}
+
+  static Hypervector random(std::size_t dim, lore::Rng& rng);
+
+  std::size_t dim() const { return v_.size(); }
+  std::int8_t operator[](std::size_t i) const { return v_[i]; }
+  std::int8_t& operator[](std::size_t i) { return v_[i]; }
+
+  /// Elementwise multiply (binding). Self-inverse: a.bind(b).bind(b) == a.
+  Hypervector bind(const Hypervector& other) const;
+  /// Cyclic rotation by k (sequence/position encoding).
+  Hypervector permute(std::size_t k) const;
+  /// Cosine similarity in [-1, 1] (equals normalized Hamming agreement).
+  double similarity(const Hypervector& other) const;
+  /// Hamming distance fraction in [0, 1].
+  double hamming(const Hypervector& other) const;
+  /// Flip each component independently with probability p (hardware error
+  /// injection for the robustness experiment).
+  Hypervector with_component_errors(double p, lore::Rng& rng) const;
+
+ private:
+  std::vector<std::int8_t> v_;
+};
+
+/// Integer accumulator for bundling many hypervectors then thresholding.
+class Accumulator {
+ public:
+  explicit Accumulator(std::size_t dim) : sums_(dim, 0) {}
+
+  void add(const Hypervector& hv);
+  void add_weighted(const Hypervector& hv, int weight);
+  std::size_t count() const { return count_; }
+  /// Majority threshold -> bipolar hypervector. Ties broken by rng if given.
+  Hypervector to_hypervector(lore::Rng* rng = nullptr) const;
+
+ private:
+  std::vector<std::int32_t> sums_;
+  std::size_t count_ = 0;
+};
+
+/// Item memory: stable random hypervector per symbol id.
+class ItemMemory {
+ public:
+  ItemMemory(std::size_t dim, std::uint64_t seed) : dim_(dim), rng_(seed) {}
+
+  const Hypervector& get(std::uint64_t symbol);
+  std::size_t dim() const { return dim_; }
+
+ private:
+  std::size_t dim_;
+  lore::Rng rng_;
+  std::unordered_map<std::uint64_t, Hypervector> items_;
+};
+
+/// Continuous-value encoder: `levels` hypervectors where adjacent levels are
+/// highly correlated (incremental flipping), so nearby values map to nearby
+/// hypervectors.
+class LevelEncoder {
+ public:
+  LevelEncoder(std::size_t dim, std::size_t levels, double lo, double hi, std::uint64_t seed);
+
+  const Hypervector& encode(double value) const;
+  std::size_t level_of(double value) const;
+  std::size_t levels() const { return level_hvs_.size(); }
+  double level_center(std::size_t level) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<Hypervector> level_hvs_;
+};
+
+struct RecordEncoderConfig {
+  std::size_t dim = 4096;
+  std::size_t levels = 32;
+  std::uint64_t seed = 37;
+};
+
+/// Record-based encoder for feature vectors: bind(feature-id HV, level HV of
+/// value), bundle over features.
+class RecordEncoder {
+ public:
+  using Config = RecordEncoderConfig;
+
+  /// Feature ranges must be known up front ([lo, hi] per feature).
+  RecordEncoder(std::vector<std::pair<double, double>> ranges, Config cfg = {});
+
+  Hypervector encode(std::span<const double> features) const;
+  std::size_t dim() const { return cfg_.dim; }
+
+ private:
+  Config cfg_;
+  std::vector<LevelEncoder> per_feature_;
+  std::vector<Hypervector> feature_ids_;
+};
+
+struct HdcClassifierConfig {
+  std::size_t retrain_passes = 3;
+  std::uint64_t seed = 41;
+};
+
+/// Prototype-per-class HDC classifier with optional retraining passes.
+class HdcClassifier {
+ public:
+  using Config = HdcClassifierConfig;
+
+  HdcClassifier(const RecordEncoder* encoder, Config cfg = {})
+      : encoder_(encoder), cfg_(cfg) {}
+
+  void fit(const std::vector<std::vector<double>>& x, std::span<const int> y);
+  /// Predict; if error_rate > 0 the encoded query suffers that fraction of
+  /// component flips (needs rng).
+  int predict(std::span<const double> x, double error_rate = 0.0,
+              lore::Rng* rng = nullptr) const;
+  int predict_encoded(const Hypervector& query) const;
+  std::size_t num_classes() const { return prototypes_.size(); }
+
+ private:
+  const RecordEncoder* encoder_;
+  Config cfg_;
+  std::vector<Hypervector> prototypes_;
+};
+
+struct HdcRegressorConfig {
+  std::size_t target_levels = 24;
+  /// Softmax temperature over similarities when mixing level centers.
+  double temperature = 0.05;
+  std::uint64_t seed = 43;
+};
+
+/// HDC regressor: discretizes the target into levels, learns a prototype per
+/// level, predicts the similarity-weighted mean of level centers. Used to
+/// mimic the "confidential" aging model (E4).
+class HdcRegressor {
+ public:
+  using Config = HdcRegressorConfig;
+
+  HdcRegressor(const RecordEncoder* encoder, Config cfg = {})
+      : encoder_(encoder), cfg_(cfg) {}
+
+  void fit(const std::vector<std::vector<double>>& x, std::span<const double> y);
+  double predict(std::span<const double> x, double error_rate = 0.0,
+                 lore::Rng* rng = nullptr) const;
+
+ private:
+  const RecordEncoder* encoder_;
+  Config cfg_;
+  double y_lo_ = 0.0, y_hi_ = 1.0;
+  std::vector<Hypervector> level_prototypes_;
+  std::vector<bool> level_present_;
+};
+
+}  // namespace lore::ml

@@ -1,0 +1,97 @@
+#include "src/ml/kmeans.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace lore::ml {
+
+std::size_t KMeans::fit(const Matrix& x) {
+  assert(x.rows() >= cfg_.k && cfg_.k > 0);
+  lore::Rng rng(cfg_.seed);
+  const std::size_t n = x.rows(), p = x.cols();
+
+  // k-means++ seeding.
+  centroids_ = Matrix(cfg_.k, p);
+  std::vector<double> min_d2(n, std::numeric_limits<double>::max());
+  std::size_t first = static_cast<std::size_t>(rng.uniform_index(n));
+  for (std::size_t c = 0; c < p; ++c) centroids_(0, c) = x(first, c);
+  for (std::size_t k = 1; k < cfg_.k; ++k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = l2_distance(x.row(i), centroids_.row(k - 1));
+      min_d2[i] = std::min(min_d2[i], d * d);
+      total += min_d2[i];
+    }
+    double pick = rng.uniform() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      pick -= min_d2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    for (std::size_t c = 0; c < p; ++c) centroids_(k, c) = x(chosen, c);
+  }
+
+  std::vector<std::size_t> labels(n, 0);
+  std::size_t iter = 0;
+  for (; iter < cfg_.max_iters; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t best = assign(x.row(i));
+      if (best != labels[i]) {
+        labels[i] = best;
+        changed = true;
+      }
+    }
+    Matrix sums(cfg_.k, p);
+    std::vector<std::size_t> counts(cfg_.k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      axpy(sums.row(labels[i]), 1.0, x.row(i));
+      ++counts[labels[i]];
+    }
+    for (std::size_t k = 0; k < cfg_.k; ++k) {
+      if (counts[k] == 0) {
+        // Re-seed empty cluster at a random point.
+        const auto r = static_cast<std::size_t>(rng.uniform_index(n));
+        for (std::size_t c = 0; c < p; ++c) centroids_(k, c) = x(r, c);
+        changed = true;
+        continue;
+      }
+      for (std::size_t c = 0; c < p; ++c)
+        centroids_(k, c) = sums(k, c) / static_cast<double>(counts[k]);
+    }
+    if (!changed) break;
+  }
+
+  inertia_ = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = l2_distance(x.row(i), centroids_.row(assign(x.row(i))));
+    inertia_ += d * d;
+  }
+  return iter;
+}
+
+std::size_t KMeans::assign(std::span<const double> x) const {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (std::size_t k = 0; k < centroids_.rows(); ++k) {
+    const double d = l2_distance(centroids_.row(k), x);
+    if (d < best_d) {
+      best_d = d;
+      best = k;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> KMeans::assign_batch(const Matrix& x) const {
+  std::vector<std::size_t> out;
+  out.reserve(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out.push_back(assign(x.row(i)));
+  return out;
+}
+
+}  // namespace lore::ml

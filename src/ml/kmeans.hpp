@@ -1,0 +1,40 @@
+// k-means clustering (unsupervised learning per Sec. IV's taxonomy; [23]
+// applied unsupervised techniques to fault-injection trial datasets).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/ml/matrix.hpp"
+
+namespace lore::ml {
+
+struct KMeansConfig {
+  std::size_t k = 4;
+  std::size_t max_iters = 100;
+  std::uint64_t seed = 29;
+};
+
+class KMeans {
+ public:
+  using Config = KMeansConfig;
+
+  explicit KMeans(Config cfg = {}) : cfg_(cfg) {}
+
+  /// Lloyd's algorithm with k-means++ seeding. Returns iterations used.
+  std::size_t fit(const Matrix& x);
+
+  std::size_t assign(std::span<const double> x) const;
+  std::vector<std::size_t> assign_batch(const Matrix& x) const;
+  const Matrix& centroids() const { return centroids_; }
+  /// Total within-cluster sum of squared distances at convergence.
+  double inertia() const { return inertia_; }
+
+ private:
+  Config cfg_;
+  Matrix centroids_;
+  double inertia_ = 0.0;
+};
+
+}  // namespace lore::ml

@@ -1,0 +1,43 @@
+#include "src/ml/knn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace lore::ml {
+
+void KnnClassifier::fit(const Matrix& x, std::span<const int> y) {
+  assert(x.rows() == y.size() && x.rows() > 0);
+  train_x_ = x;
+  train_y_.assign(y.begin(), y.end());
+  num_classes_ = 0;
+  for (int label : y) num_classes_ = std::max<std::size_t>(num_classes_, static_cast<std::size_t>(label) + 1);
+}
+
+std::vector<std::size_t> KnnClassifier::neighbours(std::span<const double> x) const {
+  const std::size_t k = std::min(k_, train_x_.rows());
+  std::vector<double> dist(train_x_.rows());
+  for (std::size_t r = 0; r < train_x_.rows(); ++r) dist[r] = l2_distance(train_x_.row(r), x);
+  std::vector<std::size_t> idx(train_x_.rows());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end(),
+                    [&](std::size_t a, std::size_t b) { return dist[a] < dist[b]; });
+  idx.resize(k);
+  return idx;
+}
+
+int KnnClassifier::predict(std::span<const double> x) const {
+  const auto proba = predict_proba(x);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+std::vector<double> KnnClassifier::predict_proba(std::span<const double> x) const {
+  assert(!train_y_.empty());
+  std::vector<double> votes(num_classes_, 0.0);
+  const auto nn = neighbours(x);
+  for (auto i : nn) votes[static_cast<std::size_t>(train_y_[i])] += 1.0;
+  for (auto& v : votes) v /= static_cast<double>(nn.size());
+  return votes;
+}
+
+}  // namespace lore::ml

@@ -1,0 +1,31 @@
+// k-nearest-neighbour classifier — one of the "simple ML models" the paper
+// cites for flip-flop vulnerability prediction ([20], Sec. III-B1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/ml/model.hpp"
+
+namespace lore::ml {
+
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(std::size_t k = 5) : k_(k) {}
+
+  void fit(const Matrix& x, std::span<const int> y) override;
+  int predict(std::span<const double> x) const override;
+  std::vector<double> predict_proba(std::span<const double> x) const override;
+  std::string name() const override { return "knn"; }
+
+ private:
+  /// Indices of the k nearest training rows to `x`.
+  std::vector<std::size_t> neighbours(std::span<const double> x) const;
+
+  std::size_t k_;
+  Matrix train_x_;
+  std::vector<int> train_y_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace lore::ml

@@ -1,0 +1,117 @@
+#include "src/ml/linear.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lore::ml {
+
+std::vector<double> solve_spd(Matrix a, std::vector<double> b, double jitter) {
+  assert(a.rows() == a.cols() && a.rows() == b.size());
+  const std::size_t n = a.rows();
+  // In-place Cholesky: a becomes lower-triangular L.
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j) + jitter;
+    for (std::size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    if (d <= 0.0) return {};
+    const double l = std::sqrt(d);
+    a(j, j) = l;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / l;
+    }
+  }
+  // Forward substitution: L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= a(i, k) * b[k];
+    b[i] = s / a(i, i);
+  }
+  // Back substitution: L^T w = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= a(k, ii) * b[k];
+    b[ii] = s / a(ii, ii);
+  }
+  return b;
+}
+
+void RidgeRegression::fit(const Matrix& x, std::span<const double> y) {
+  assert(x.rows() == y.size() && x.rows() > 0);
+  const std::size_t n = x.rows(), p = x.cols();
+  // Center targets and features so the bias falls out of the normal equations.
+  std::vector<double> x_mean(p, 0.0);
+  double y_mean = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < p; ++c) x_mean[c] += x(r, c);
+    y_mean += y[r];
+  }
+  for (auto& m : x_mean) m /= static_cast<double>(n);
+  y_mean /= static_cast<double>(n);
+
+  Matrix gram(p, p);
+  std::vector<double> xty(p, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < p; ++c) {
+      const double xc = x(r, c) - x_mean[c];
+      xty[c] += xc * (y[r] - y_mean);
+      for (std::size_t c2 = c; c2 < p; ++c2) gram(c, c2) += xc * (x(r, c2) - x_mean[c2]);
+    }
+  }
+  for (std::size_t c = 0; c < p; ++c) {
+    gram(c, c) += lambda_;
+    for (std::size_t c2 = c + 1; c2 < p; ++c2) gram(c2, c) = gram(c, c2);
+  }
+  w_ = solve_spd(std::move(gram), std::move(xty));
+  if (w_.empty()) w_.assign(p, 0.0);  // degenerate design: predict the mean
+  b_ = y_mean;
+  for (std::size_t c = 0; c < p; ++c) b_ -= w_[c] * x_mean[c];
+}
+
+double RidgeRegression::predict(std::span<const double> x) const {
+  assert(x.size() == w_.size());
+  return b_ + dot(w_, x);
+}
+
+namespace {
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+void LogisticRegression::fit(const Matrix& x, std::span<const int> y) {
+  assert(x.rows() == y.size() && x.rows() > 0);
+  const std::size_t n = x.rows(), p = x.cols();
+  w_.assign(p, 0.0);
+  b_ = 0.0;
+  std::vector<double> grad(p);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto row = x.row(r);
+      const double err = sigmoid(b_ + dot(w_, row)) - static_cast<double>(y[r] == 1);
+      axpy(grad, err, row);
+      grad_b += err;
+    }
+    const double lr = cfg_.learning_rate / (1.0 + 0.01 * static_cast<double>(epoch));
+    for (std::size_t c = 0; c < p; ++c)
+      w_[c] -= lr * (grad[c] * inv_n + cfg_.l2 * w_[c]);
+    b_ -= lr * grad_b * inv_n;
+  }
+}
+
+double LogisticRegression::positive_probability(std::span<const double> x) const {
+  assert(x.size() == w_.size());
+  return sigmoid(b_ + dot(w_, x));
+}
+
+int LogisticRegression::predict(std::span<const double> x) const {
+  return positive_probability(x) >= 0.5 ? 1 : 0;
+}
+
+std::vector<double> LogisticRegression::predict_proba(std::span<const double> x) const {
+  const double p1 = positive_probability(x);
+  return {1.0 - p1, p1};
+}
+
+}  // namespace lore::ml

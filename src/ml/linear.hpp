@@ -1,0 +1,64 @@
+// Linear models: ordinary least squares / ridge regression (solved in closed
+// form via Cholesky on the normal equations) and logistic regression
+// (gradient descent). These are the "simple supervised" baselines the paper
+// cites for reliability estimation (Sec. IV).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/ml/model.hpp"
+
+namespace lore::ml {
+
+/// Ridge regression; lambda = 0 gives OLS (with tiny jitter for stability).
+class RidgeRegression final : public Regressor {
+ public:
+  explicit RidgeRegression(double lambda = 1e-6) : lambda_(lambda) {}
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predict(std::span<const double> x) const override;
+  std::string name() const override { return "ridge"; }
+
+  std::span<const double> weights() const { return w_; }
+  double bias() const { return b_; }
+
+ private:
+  double lambda_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+struct LogisticRegressionConfig {
+  double learning_rate = 0.5;
+  double l2 = 1e-4;
+  std::size_t epochs = 300;
+};
+
+/// Binary logistic regression with L2 regularization, full-batch gradient
+/// descent with simple backtracking-free fixed schedule.
+class LogisticRegression final : public Classifier {
+ public:
+  using Config = LogisticRegressionConfig;
+
+  explicit LogisticRegression(Config cfg = {}) : cfg_(cfg) {}
+
+  void fit(const Matrix& x, std::span<const int> y) override;
+  int predict(std::span<const double> x) const override;
+  std::vector<double> predict_proba(std::span<const double> x) const override;
+  std::string name() const override { return "logreg"; }
+
+  /// P(class = 1 | x).
+  double positive_probability(std::span<const double> x) const;
+
+ private:
+  Config cfg_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+/// Solve (A + lambda I) w = b for symmetric positive definite A via Cholesky.
+/// Exposed for reuse by other closed-form learners; returns empty on failure.
+std::vector<double> solve_spd(Matrix a, std::vector<double> b, double jitter = 1e-10);
+
+}  // namespace lore::ml

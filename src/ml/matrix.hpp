@@ -1,0 +1,75 @@
+// Dense row-major matrix used throughout the ML substrate. Deliberately
+// small: the learners LORE needs (MLP, GBDT, SVM, ...) operate on feature
+// matrices of at most a few thousand rows, so clarity beats BLAS.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace lore::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<double> flat() { return data_; }
+  std::span<const double> flat() const { return data_; }
+
+  /// Append a row (must match cols, or set cols if matrix is empty).
+  void push_row(std::span<const double> row);
+
+  Matrix transposed() const;
+  /// this (r×k) * other (k×c) -> (r×c).
+  Matrix matmul(const Matrix& other) const;
+  /// Matrix-vector product.
+  std::vector<double> matvec(std::span<const double> v) const;
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s);
+
+  /// Submatrix of the given row indices (gather).
+  Matrix gather_rows(std::span<const std::size_t> indices) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dot product of equal-length spans.
+double dot(std::span<const double> a, std::span<const double> b);
+/// Euclidean (L2) distance.
+double l2_distance(std::span<const double> a, std::span<const double> b);
+/// In-place a += s * b.
+void axpy(std::span<double> a, double s, std::span<const double> b);
+
+}  // namespace lore::ml

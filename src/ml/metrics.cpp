@@ -1,0 +1,131 @@
+#include "src/ml/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace lore::ml {
+
+double accuracy(std::span<const int> truth, std::span<const int> pred) {
+  assert(truth.size() == pred.size());
+  if (truth.empty()) return 0.0;
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) hit += truth[i] == pred[i];
+  return static_cast<double>(hit) / static_cast<double>(truth.size());
+}
+
+double BinaryConfusion::precision() const {
+  return tp + fp ? static_cast<double>(tp) / static_cast<double>(tp + fp) : 0.0;
+}
+
+double BinaryConfusion::recall() const {
+  return tp + fn ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0.0;
+}
+
+double BinaryConfusion::f1() const {
+  const double p = precision(), r = recall();
+  return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double BinaryConfusion::false_positive_rate() const {
+  return fp + tn ? static_cast<double>(fp) / static_cast<double>(fp + tn) : 0.0;
+}
+
+BinaryConfusion binary_confusion(std::span<const int> truth, std::span<const int> pred,
+                                 int positive) {
+  assert(truth.size() == pred.size());
+  BinaryConfusion c;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const bool t = truth[i] == positive;
+    const bool p = pred[i] == positive;
+    if (t && p) ++c.tp;
+    else if (!t && p) ++c.fp;
+    else if (t && !p) ++c.fn;
+    else ++c.tn;
+  }
+  return c;
+}
+
+std::vector<std::vector<std::size_t>> confusion_matrix(std::span<const int> truth,
+                                                       std::span<const int> pred,
+                                                       std::size_t num_classes) {
+  assert(truth.size() == pred.size());
+  std::vector<std::vector<std::size_t>> m(num_classes, std::vector<std::size_t>(num_classes, 0));
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    assert(truth[i] >= 0 && static_cast<std::size_t>(truth[i]) < num_classes);
+    assert(pred[i] >= 0 && static_cast<std::size_t>(pred[i]) < num_classes);
+    ++m[static_cast<std::size_t>(truth[i])][static_cast<std::size_t>(pred[i])];
+  }
+  return m;
+}
+
+double mse(std::span<const double> truth, std::span<const double> pred) {
+  assert(truth.size() == pred.size());
+  if (truth.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - pred[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(truth.size());
+}
+
+double mae(std::span<const double> truth, std::span<const double> pred) {
+  assert(truth.size() == pred.size());
+  if (truth.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) s += std::abs(truth[i] - pred[i]);
+  return s / static_cast<double>(truth.size());
+}
+
+double rmse(std::span<const double> truth, std::span<const double> pred) {
+  return std::sqrt(mse(truth, pred));
+}
+
+double r2_score(std::span<const double> truth, std::span<const double> pred) {
+  assert(truth.size() == pred.size());
+  if (truth.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (double t : truth) mean += t;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double roc_auc(std::span<const int> truth, std::span<const double> score, int positive) {
+  assert(truth.size() == score.size());
+  // Rank-sum (Mann-Whitney) formulation with midranks for ties.
+  std::vector<std::size_t> order(truth.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return score[a] < score[b]; });
+  std::vector<double> rank(truth.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && score[order[j + 1]] == score[order[i]]) ++j;
+    const double mid = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0.0;
+  std::size_t n_pos = 0;
+  for (std::size_t k = 0; k < truth.size(); ++k) {
+    if (truth[k] == positive) {
+      pos_rank_sum += rank[k];
+      ++n_pos;
+    }
+  }
+  const std::size_t n_neg = truth.size() - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  const double u = pos_rank_sum - static_cast<double>(n_pos) * (static_cast<double>(n_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+}  // namespace lore::ml

@@ -1,0 +1,42 @@
+// Evaluation metrics for the classifiers/regressors used across LORE's
+// reliability experiments (coverage, recall of symptom detectors, etc.).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lore::ml {
+
+/// Fraction of matching labels.
+double accuracy(std::span<const int> truth, std::span<const int> pred);
+
+/// Confusion counts for binary problems treating `positive` as the positive
+/// class (e.g. "vulnerable" / "SDC").
+struct BinaryConfusion {
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  double precision() const;
+  double recall() const;
+  double f1() const;
+  double false_positive_rate() const;
+};
+
+BinaryConfusion binary_confusion(std::span<const int> truth, std::span<const int> pred,
+                                 int positive = 1);
+
+/// K-class confusion matrix, row = truth, col = predicted.
+std::vector<std::vector<std::size_t>> confusion_matrix(std::span<const int> truth,
+                                                       std::span<const int> pred,
+                                                       std::size_t num_classes);
+
+double mse(std::span<const double> truth, std::span<const double> pred);
+double mae(std::span<const double> truth, std::span<const double> pred);
+double rmse(std::span<const double> truth, std::span<const double> pred);
+/// Coefficient of determination; 1 is perfect, 0 matches predicting the mean.
+double r2_score(std::span<const double> truth, std::span<const double> pred);
+
+/// Area under ROC from scores (higher score = more positive). Ties averaged.
+double roc_auc(std::span<const int> truth, std::span<const double> score, int positive = 1);
+
+}  // namespace lore::ml

@@ -1,0 +1,258 @@
+#include "src/ml/mlp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace lore::ml {
+namespace {
+
+double activate(Activation a, double z) {
+  switch (a) {
+    case Activation::kRelu: return z > 0.0 ? z : 0.0;
+    case Activation::kTanh: return std::tanh(z);
+    case Activation::kSigmoid: return 1.0 / (1.0 + std::exp(-z));
+    case Activation::kIdentity: return z;
+  }
+  return z;
+}
+
+double activate_grad(Activation a, double z, double fz) {
+  switch (a) {
+    case Activation::kRelu: return z > 0.0 ? 1.0 : 0.0;
+    case Activation::kTanh: return 1.0 - fz * fz;
+    case Activation::kSigmoid: return fz * (1.0 - fz);
+    case Activation::kIdentity: return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+void Mlp::init(std::size_t inputs, std::size_t outputs, const Config& cfg) {
+  assert(inputs > 0 && outputs > 0);
+  cfg_ = cfg;
+  layer_sizes_.clear();
+  layer_sizes_.push_back(inputs);
+  for (auto h : cfg.hidden) layer_sizes_.push_back(h);
+  layer_sizes_.push_back(outputs);
+
+  lore::Rng rng(cfg.seed);
+  layers_.clear();
+  for (std::size_t l = 0; l + 1 < layer_sizes_.size(); ++l) {
+    const std::size_t in = layer_sizes_[l], out = layer_sizes_[l + 1];
+    Layer layer;
+    layer.w = Matrix(out, in);
+    // He/Xavier-style scaling by fan-in.
+    const double scale = std::sqrt(2.0 / static_cast<double>(in));
+    for (std::size_t r = 0; r < out; ++r)
+      for (std::size_t c = 0; c < in; ++c) layer.w(r, c) = rng.normal(0.0, scale);
+    layer.b.assign(out, 0.0);
+    layer.mw = Matrix(out, in);
+    layer.vw = Matrix(out, in);
+    layer.mb.assign(out, 0.0);
+    layer.vb.assign(out, 0.0);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+void Mlp::forward_cached(std::span<const double> x, std::vector<std::vector<double>>& acts,
+                         std::vector<std::vector<double>>& pre) const {
+  assert(x.size() == num_inputs());
+  acts.assign(layers_.size() + 1, {});
+  pre.assign(layers_.size(), {});
+  acts[0].assign(x.begin(), x.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const auto& layer = layers_[l];
+    pre[l] = layer.w.matvec(acts[l]);
+    for (std::size_t i = 0; i < pre[l].size(); ++i) pre[l][i] += layer.b[i];
+    acts[l + 1].resize(pre[l].size());
+    const bool is_output = l + 1 == layers_.size();
+    for (std::size_t i = 0; i < pre[l].size(); ++i)
+      acts[l + 1][i] = is_output ? pre[l][i] : activate(cfg_.activation, pre[l][i]);
+  }
+}
+
+std::vector<double> Mlp::forward(std::span<const double> x) const {
+  std::vector<std::vector<double>> acts, pre;
+  forward_cached(x, acts, pre);
+  return acts.back();
+}
+
+std::vector<std::vector<double>> Mlp::forward_layers(std::span<const double> x) const {
+  std::vector<std::vector<double>> acts, pre;
+  forward_cached(x, acts, pre);
+  return acts;
+}
+
+std::vector<double> Mlp::forward_from_layer(std::size_t layer,
+                                            std::span<const double> activation) const {
+  assert(layer <= layers_.size() && activation.size() == layer_sizes_[layer]);
+  std::vector<double> current(activation.begin(), activation.end());
+  for (std::size_t l = layer; l < layers_.size(); ++l) {
+    auto pre = layers_[l].w.matvec(current);
+    for (std::size_t i = 0; i < pre.size(); ++i) pre[i] += layers_[l].b[i];
+    const bool is_output = l + 1 == layers_.size();
+    current.resize(pre.size());
+    for (std::size_t i = 0; i < pre.size(); ++i)
+      current[i] = is_output ? pre[i] : activate(cfg_.activation, pre[i]);
+  }
+  return current;
+}
+
+void Mlp::adam_step(Layer& layer, const Matrix& gw, std::span<const double> gb,
+                    std::size_t t) {
+  constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
+  const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(t));
+  const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(t));
+  auto wflat = layer.w.flat();
+  auto gwflat = gw.flat();
+  auto mwflat = layer.mw.flat();
+  auto vwflat = layer.vw.flat();
+  for (std::size_t i = 0; i < wflat.size(); ++i) {
+    const double g = gwflat[i] + cfg_.l2 * wflat[i];
+    mwflat[i] = kBeta1 * mwflat[i] + (1.0 - kBeta1) * g;
+    vwflat[i] = kBeta2 * vwflat[i] + (1.0 - kBeta2) * g * g;
+    wflat[i] -= cfg_.learning_rate * (mwflat[i] / bc1) / (std::sqrt(vwflat[i] / bc2) + kEps);
+  }
+  for (std::size_t i = 0; i < layer.b.size(); ++i) {
+    const double g = gb[i];
+    layer.mb[i] = kBeta1 * layer.mb[i] + (1.0 - kBeta1) * g;
+    layer.vb[i] = kBeta2 * layer.vb[i] + (1.0 - kBeta2) * g * g;
+    layer.b[i] -= cfg_.learning_rate * (layer.mb[i] / bc1) / (std::sqrt(layer.vb[i] / bc2) + kEps);
+  }
+}
+
+void Mlp::train(const Matrix& x, const Matrix& targets, bool softmax_ce) {
+  assert(x.rows() == targets.rows() && x.rows() > 0);
+  assert(x.cols() == num_inputs() && targets.cols() == num_outputs());
+  const std::size_t n = x.rows();
+  lore::Rng rng(cfg_.seed ^ 0xabcdef12345ULL);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<std::vector<double>> acts, pre;
+  std::vector<std::vector<double>> delta(layers_.size());
+  std::vector<Matrix> gw(layers_.size());
+  std::vector<std::vector<double>> gb(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    gw[l] = Matrix(layers_[l].w.rows(), layers_[l].w.cols());
+    gb[l].assign(layers_[l].b.size(), 0.0);
+  }
+
+  std::size_t adam_t = 0;
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < n; start += cfg_.batch_size) {
+      const std::size_t end = std::min(n, start + cfg_.batch_size);
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        gw[l] *= 0.0;
+        std::fill(gb[l].begin(), gb[l].end(), 0.0);
+      }
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const auto row = order[bi];
+        forward_cached(x.row(row), acts, pre);
+
+        // Output delta. For softmax-CE: softmax(out) - onehot; for MSE:
+        // out - target. Both are plain differences thanks to matching
+        // loss/link pairs.
+        auto& out_delta = delta.back();
+        out_delta.assign(acts.back().begin(), acts.back().end());
+        if (softmax_ce) {
+          const double hi = *std::max_element(out_delta.begin(), out_delta.end());
+          double sum = 0.0;
+          for (auto& v : out_delta) {
+            v = std::exp(v - hi);
+            sum += v;
+          }
+          for (auto& v : out_delta) v /= sum;
+        }
+        const auto target = targets.row(row);
+        for (std::size_t i = 0; i < out_delta.size(); ++i) out_delta[i] -= target[i];
+
+        // Backpropagate.
+        for (std::size_t l = layers_.size(); l-- > 0;) {
+          const auto& d = delta[l];
+          // Accumulate gradients.
+          for (std::size_t r = 0; r < layers_[l].w.rows(); ++r) {
+            axpy(gw[l].row(r), d[r], acts[l]);
+            gb[l][r] += d[r];
+          }
+          if (l == 0) break;
+          auto& prev = delta[l - 1];
+          prev.assign(layer_sizes_[l], 0.0);
+          for (std::size_t r = 0; r < layers_[l].w.rows(); ++r) {
+            const auto wrow = layers_[l].w.row(r);
+            for (std::size_t c = 0; c < wrow.size(); ++c) prev[c] += wrow[c] * d[r];
+          }
+          for (std::size_t c = 0; c < prev.size(); ++c)
+            prev[c] *= activate_grad(cfg_.activation, pre[l - 1][c], acts[l][c]);
+        }
+      }
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        gw[l] *= inv_batch;
+        for (auto& g : gb[l]) g *= inv_batch;
+      }
+      ++adam_t;
+      for (std::size_t l = 0; l < layers_.size(); ++l) adam_step(layers_[l], gw[l], gb[l], adam_t);
+    }
+  }
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t p = 0;
+  for (const auto& layer : layers_) p += layer.w.rows() * layer.w.cols() + layer.b.size();
+  return p;
+}
+
+void MlpRegressor::fit(const Matrix& x, std::span<const double> y) {
+  assert(x.rows() == y.size());
+  net_.init(x.cols(), 1, cfg_);
+  Matrix targets(y.size(), 1);
+  for (std::size_t i = 0; i < y.size(); ++i) targets(i, 0) = y[i];
+  net_.train(x, targets, /*softmax_ce=*/false);
+}
+
+double MlpRegressor::predict(std::span<const double> x) const { return net_.forward(x)[0]; }
+
+void MlpClassifier::fit(const Matrix& x, std::span<const int> y) {
+  assert(x.rows() == y.size());
+  num_classes_ = 0;
+  for (int label : y) num_classes_ = std::max<std::size_t>(num_classes_, static_cast<std::size_t>(label) + 1);
+  num_classes_ = std::max<std::size_t>(num_classes_, 2);
+  net_.init(x.cols(), num_classes_, cfg_);
+  Matrix targets(y.size(), num_classes_);
+  for (std::size_t i = 0; i < y.size(); ++i) targets(i, static_cast<std::size_t>(y[i])) = 1.0;
+  net_.train(x, targets, /*softmax_ce=*/true);
+}
+
+std::vector<double> MlpClassifier::predict_proba(std::span<const double> x) const {
+  auto out = net_.forward(x);
+  const double hi = *std::max_element(out.begin(), out.end());
+  double sum = 0.0;
+  for (auto& v : out) {
+    v = std::exp(v - hi);
+    sum += v;
+  }
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+int MlpClassifier::predict(std::span<const double> x) const {
+  const auto p = predict_proba(x);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+void MlpVectorRegressor::fit(const Matrix& x, const Matrix& y) {
+  assert(x.rows() == y.rows());
+  net_.init(x.cols(), y.cols(), cfg_);
+  net_.train(x, y, /*softmax_ce=*/false);
+}
+
+std::vector<double> MlpVectorRegressor::predict(std::span<const double> x) const {
+  return net_.forward(x);
+}
+
+}  // namespace lore::ml

@@ -1,0 +1,137 @@
+// Multi-layer perceptron with backpropagation and Adam. MLPs appear all over
+// the paper: SER estimation ([43]), cross-layer SER model ([1]), core
+// vulnerability factors ([2]), anomaly detectors ([30], WarningNet [32]), and
+// the ML-based cell-library characterization ([9]) at the circuit level.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/ml/model.hpp"
+
+namespace lore::ml {
+
+enum class Activation { kRelu, kTanh, kSigmoid, kIdentity };
+
+struct MlpConfig {
+  std::vector<std::size_t> hidden = {16, 16};
+  Activation activation = Activation::kRelu;
+  double learning_rate = 1e-2;
+  double l2 = 1e-5;
+  std::size_t epochs = 200;
+  std::size_t batch_size = 32;
+  std::uint64_t seed = 23;
+};
+
+/// Raw network: hidden layers with a shared activation, linear output layer.
+/// Loss is selected by the facades (MSE for regression, softmax cross-entropy
+/// for classification).
+class Mlp {
+ public:
+  using Config = MlpConfig;
+
+  Mlp() = default;
+
+  /// Build topology inputs -> hidden... -> outputs with random init.
+  void init(std::size_t inputs, std::size_t outputs, const Config& cfg);
+
+  /// Forward pass; returns raw (linear) outputs.
+  std::vector<double> forward(std::span<const double> x) const;
+
+  /// Forward pass exposing every layer's activation: result[0] is the input,
+  /// result.back() the raw output. Used by symptom-based error detectors
+  /// that watch intermediate activations ([30]).
+  std::vector<std::vector<double>> forward_layers(std::span<const double> x) const;
+
+  /// Resume the forward pass from a given layer activation (activation has
+  /// the size of layer `layer`'s output; layer 0 = the input). Enables
+  /// injecting activation faults between layers.
+  std::vector<double> forward_from_layer(std::size_t layer,
+                                         std::span<const double> activation) const;
+
+  std::size_t num_layers() const { return layers_.size(); }
+  /// Width of the activation entering layer `layer` (0 = input width).
+  std::size_t layer_width(std::size_t layer) const { return layer_sizes_[layer]; }
+
+  /// Trained weights of layer `layer` (out x in) — read access for deploying
+  /// the network onto other substrates (e.g. memristor crossbars).
+  const Matrix& layer_weights(std::size_t layer) const { return layers_[layer].w; }
+  std::span<const double> layer_biases(std::size_t layer) const { return layers_[layer].b; }
+  Activation activation() const { return cfg_.activation; }
+
+  /// Train with targets being raw outputs (MSE) or one-hot rows (softmax-CE).
+  void train(const Matrix& x, const Matrix& targets, bool softmax_ce);
+
+  std::size_t num_inputs() const { return layer_sizes_.empty() ? 0 : layer_sizes_.front(); }
+  std::size_t num_outputs() const { return layer_sizes_.empty() ? 0 : layer_sizes_.back(); }
+  /// Trainable parameter count (weights + biases).
+  std::size_t parameter_count() const;
+
+ private:
+  struct Layer {
+    Matrix w;                 // out × in
+    std::vector<double> b;    // out
+    // Adam state.
+    Matrix mw, vw;
+    std::vector<double> mb, vb;
+  };
+
+  /// Forward keeping activations for backprop. acts[0] = input.
+  void forward_cached(std::span<const double> x, std::vector<std::vector<double>>& acts,
+                      std::vector<std::vector<double>>& pre) const;
+  void adam_step(Layer& layer, const Matrix& gw, std::span<const double> gb, std::size_t t);
+
+  Config cfg_;
+  std::vector<std::size_t> layer_sizes_;
+  std::vector<Layer> layers_;
+};
+
+class MlpRegressor final : public Regressor {
+ public:
+  explicit MlpRegressor(Mlp::Config cfg = {}) : cfg_(cfg) {}
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predict(std::span<const double> x) const override;
+  std::string name() const override { return "mlp-reg"; }
+
+  const Mlp& network() const { return net_; }
+
+ private:
+  Mlp::Config cfg_;
+  Mlp net_;
+};
+
+class MlpClassifier final : public Classifier {
+ public:
+  explicit MlpClassifier(Mlp::Config cfg = {}) : cfg_(cfg) {}
+
+  void fit(const Matrix& x, std::span<const int> y) override;
+  int predict(std::span<const double> x) const override;
+  std::vector<double> predict_proba(std::span<const double> x) const override;
+  std::string name() const override { return "mlp"; }
+
+  const Mlp& network() const { return net_; }
+
+ private:
+  Mlp::Config cfg_;
+  Mlp net_;
+  std::size_t num_classes_ = 0;
+};
+
+/// Multi-output regression wrapper (vector targets), used by the ML cell
+/// characterizer which predicts whole delay tables at once.
+class MlpVectorRegressor {
+ public:
+  explicit MlpVectorRegressor(Mlp::Config cfg = {}) : cfg_(cfg) {}
+
+  void fit(const Matrix& x, const Matrix& y);
+  std::vector<double> predict(std::span<const double> x) const;
+  const Mlp& network() const { return net_; }
+
+ private:
+  Mlp::Config cfg_;
+  Mlp net_;
+};
+
+}  // namespace lore::ml

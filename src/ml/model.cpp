@@ -1,0 +1,30 @@
+#include "src/ml/model.hpp"
+
+#include <cassert>
+
+namespace lore::ml {
+
+std::vector<double> Classifier::predict_proba(std::span<const double> x) const {
+  // Default: hard one-hot of the predicted class. Learners with calibrated
+  // scores override this.
+  const int cls = predict(x);
+  std::vector<double> p(static_cast<std::size_t>(cls) + 1, 0.0);
+  p[static_cast<std::size_t>(cls)] = 1.0;
+  return p;
+}
+
+std::vector<int> Classifier::predict_batch(const Matrix& x) const {
+  std::vector<int> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out.push_back(predict(x.row(r)));
+  return out;
+}
+
+std::vector<double> Regressor::predict_batch(const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out.push_back(predict(x.row(r)));
+  return out;
+}
+
+}  // namespace lore::ml

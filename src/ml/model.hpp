@@ -1,0 +1,44 @@
+// Common interfaces for the supervised learners. The architecture-level
+// experiments sweep several model families over the same injection data
+// (Sec. III-B of the paper), so a uniform fit/predict surface matters.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/ml/dataset.hpp"
+#include "src/ml/matrix.hpp"
+
+namespace lore::ml {
+
+/// Multi-class classifier. Labels are dense ints in [0, num_classes).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual void fit(const Matrix& x, std::span<const int> y) = 0;
+  virtual int predict(std::span<const double> x) const = 0;
+  /// Per-class probabilities (or scores normalized to sum 1).
+  virtual std::vector<double> predict_proba(std::span<const double> x) const;
+  virtual std::string name() const = 0;
+
+  std::vector<int> predict_batch(const Matrix& x) const;
+  void fit(const Dataset& d) { fit(d.x, d.labels); }
+};
+
+/// Real-valued regressor.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  virtual void fit(const Matrix& x, std::span<const double> y) = 0;
+  virtual double predict(std::span<const double> x) const = 0;
+  virtual std::string name() const = 0;
+
+  std::vector<double> predict_batch(const Matrix& x) const;
+  void fit(const Dataset& d) { fit(d.x, d.targets); }
+};
+
+}  // namespace lore::ml

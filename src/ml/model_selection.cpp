@@ -1,0 +1,82 @@
+#include "src/ml/model_selection.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/ml/ensemble.hpp"
+#include "src/ml/knn.hpp"
+#include "src/ml/linear.hpp"
+#include "src/ml/metrics.hpp"
+#include "src/ml/mlp.hpp"
+#include "src/ml/naive_bayes.hpp"
+#include "src/ml/svm.hpp"
+
+namespace lore::ml {
+
+CvScore cross_validate(const ClassifierFactory& factory, const Dataset& data,
+                       std::size_t folds, lore::Rng& rng) {
+  assert(folds >= 2 && data.size() >= folds);
+  const auto fold_indices = kfold_indices(data.size(), folds, rng);
+
+  std::vector<double> scores;
+  scores.reserve(folds);
+  std::string name;
+  for (std::size_t f = 0; f < folds; ++f) {
+    std::vector<std::size_t> train_idx;
+    for (std::size_t g = 0; g < folds; ++g)
+      if (g != f) train_idx.insert(train_idx.end(), fold_indices[g].begin(),
+                                   fold_indices[g].end());
+    const auto train = data.subset(train_idx);
+    const auto test = data.subset(fold_indices[f]);
+    auto model = factory();
+    name = model->name();
+    model->fit(train.x, train.labels);
+    scores.push_back(accuracy(test.labels, model->predict_batch(test.x)));
+  }
+
+  CvScore out;
+  out.model = name;
+  out.folds = folds;
+  double sum = 0.0;
+  for (double s : scores) sum += s;
+  out.mean_accuracy = sum / static_cast<double>(folds);
+  double var = 0.0;
+  for (double s : scores) var += (s - out.mean_accuracy) * (s - out.mean_accuracy);
+  out.stddev_accuracy = std::sqrt(var / static_cast<double>(folds));
+  return out;
+}
+
+std::vector<CvScore> select_model(const std::vector<ClassifierFactory>& candidates,
+                                  const Dataset& data, std::size_t folds, lore::Rng& rng) {
+  std::vector<CvScore> out;
+  out.reserve(candidates.size());
+  const std::uint64_t fold_seed = rng.next_u64();
+  for (const auto& factory : candidates) {
+    // Same fold split per candidate: paired comparison.
+    lore::Rng fold_rng(fold_seed);
+    out.push_back(cross_validate(factory, data, folds, fold_rng));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CvScore& a, const CvScore& b) { return a.mean_accuracy > b.mean_accuracy; });
+  return out;
+}
+
+std::vector<ClassifierFactory> standard_classifier_candidates() {
+  return {
+      [] { return std::make_unique<KnnClassifier>(5); },
+      [] { return std::make_unique<GaussianNaiveBayes>(); },
+      [] { return std::make_unique<LinearSvm>(); },
+      [] { return std::make_unique<LogisticRegression>(); },
+      [] { return std::make_unique<DecisionTreeClassifier>(); },
+      [] { return std::make_unique<RandomForestClassifier>(RandomForestConfig{.num_trees = 30, .tree = {}}); },
+      [] { return std::make_unique<AdaBoostClassifier>(); },
+      [] {
+        return std::make_unique<GradientBoostingClassifier>(
+            GradientBoostingClassifierConfig{.num_rounds = 40});
+      },
+      [] { return std::make_unique<MlpClassifier>(MlpConfig{.hidden = {16}, .epochs = 120}); },
+  };
+}
+
+}  // namespace lore::ml

@@ -1,0 +1,40 @@
+// Model selection utilities (the paper's Sec. VI-C open challenge: "system
+// designers can easily identify the ML models for their application-platform
+// configuration"): k-fold cross-validation over a set of classifier
+// factories, returning per-model accuracy statistics.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/ml/dataset.hpp"
+#include "src/ml/model.hpp"
+
+namespace lore::ml {
+
+/// Cross-validated accuracy of one classifier (freshly constructed per fold).
+struct CvScore {
+  std::string model;
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+  std::size_t folds = 0;
+};
+
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+/// k-fold CV of a single factory.
+CvScore cross_validate(const ClassifierFactory& factory, const Dataset& data,
+                       std::size_t folds, lore::Rng& rng);
+
+/// Evaluate a family of candidates; results sorted best-first.
+std::vector<CvScore> select_model(const std::vector<ClassifierFactory>& candidates,
+                                  const Dataset& data, std::size_t folds, lore::Rng& rng);
+
+/// The standard LORE candidate set (one of each family with default
+/// hyperparameters) for quick baselining.
+std::vector<ClassifierFactory> standard_classifier_candidates();
+
+}  // namespace lore::ml

@@ -1,0 +1,75 @@
+#include "src/ml/naive_bayes.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lore::ml {
+
+void GaussianNaiveBayes::fit(const Matrix& x, std::span<const int> y) {
+  assert(x.rows() == y.size() && x.rows() > 0);
+  std::size_t num_classes = 0;
+  for (int label : y) num_classes = std::max<std::size_t>(num_classes, static_cast<std::size_t>(label) + 1);
+  const std::size_t p = x.cols();
+
+  std::vector<std::size_t> count(num_classes, 0);
+  mean_.assign(num_classes, std::vector<double>(p, 0.0));
+  var_.assign(num_classes, std::vector<double>(p, 0.0));
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto cls = static_cast<std::size_t>(y[r]);
+    ++count[cls];
+    for (std::size_t c = 0; c < p; ++c) mean_[cls][c] += x(r, c);
+  }
+  for (std::size_t k = 0; k < num_classes; ++k)
+    if (count[k] > 0)
+      for (auto& m : mean_[k]) m /= static_cast<double>(count[k]);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto cls = static_cast<std::size_t>(y[r]);
+    for (std::size_t c = 0; c < p; ++c) {
+      const double d = x(r, c) - mean_[cls][c];
+      var_[cls][c] += d * d;
+    }
+  }
+  // Variance smoothing proportional to the global feature scale keeps the
+  // log-likelihood finite for constant features.
+  double max_var = 1e-9;
+  for (std::size_t k = 0; k < num_classes; ++k)
+    for (std::size_t c = 0; c < p; ++c)
+      if (count[k] > 0) max_var = std::max(max_var, var_[k][c] / static_cast<double>(count[k]));
+  const double smoothing = 1e-9 * max_var + 1e-12;
+  for (std::size_t k = 0; k < num_classes; ++k)
+    for (std::size_t c = 0; c < p; ++c)
+      var_[k][c] = (count[k] > 0 ? var_[k][c] / static_cast<double>(count[k]) : 1.0) + smoothing;
+
+  log_prior_.assign(num_classes, -1e30);  // classes absent from training stay improbable
+  for (std::size_t k = 0; k < num_classes; ++k)
+    if (count[k] > 0)
+      log_prior_[k] = std::log(static_cast<double>(count[k]) / static_cast<double>(x.rows()));
+}
+
+std::vector<double> GaussianNaiveBayes::predict_proba(std::span<const double> x) const {
+  assert(!mean_.empty() && x.size() == mean_[0].size());
+  std::vector<double> log_post(log_prior_);
+  for (std::size_t k = 0; k < mean_.size(); ++k) {
+    for (std::size_t c = 0; c < x.size(); ++c) {
+      const double d = x[c] - mean_[k][c];
+      log_post[k] += -0.5 * (std::log(2.0 * M_PI * var_[k][c]) + d * d / var_[k][c]);
+    }
+  }
+  // Softmax over log posteriors.
+  const double hi = *std::max_element(log_post.begin(), log_post.end());
+  double sum = 0.0;
+  for (auto& lp : log_post) {
+    lp = std::exp(lp - hi);
+    sum += lp;
+  }
+  for (auto& lp : log_post) lp /= sum;
+  return log_post;
+}
+
+int GaussianNaiveBayes::predict(std::span<const double> x) const {
+  const auto p = predict_proba(x);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+}  // namespace lore::ml

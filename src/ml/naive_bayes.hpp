@@ -1,0 +1,25 @@
+// Gaussian naive Bayes — baseline in the scale-dependent soft-error behaviour
+// comparison ([21], Sec. III-B1), where boosting should beat it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/ml/model.hpp"
+
+namespace lore::ml {
+
+class GaussianNaiveBayes final : public Classifier {
+ public:
+  void fit(const Matrix& x, std::span<const int> y) override;
+  int predict(std::span<const double> x) const override;
+  std::vector<double> predict_proba(std::span<const double> x) const override;
+  std::string name() const override { return "naive-bayes"; }
+
+ private:
+  std::vector<double> log_prior_;           // per class
+  std::vector<std::vector<double>> mean_;   // [class][feature]
+  std::vector<std::vector<double>> var_;    // [class][feature]
+};
+
+}  // namespace lore::ml

@@ -1,0 +1,78 @@
+#include "src/ml/qlearning.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <span>
+
+namespace lore::ml {
+
+QLearner::QLearner(std::size_t num_states, std::size_t num_actions, Config cfg)
+    : num_states_(num_states),
+      num_actions_(num_actions),
+      cfg_(cfg),
+      epsilon_(cfg.epsilon),
+      table_(num_states * num_actions, 0.0),
+      rng_(cfg.seed) {
+  assert(num_states > 0 && num_actions > 0);
+}
+
+std::size_t QLearner::select_action(std::size_t state) {
+  assert(state < num_states_);
+  if (rng_.bernoulli(epsilon_)) return static_cast<std::size_t>(rng_.uniform_index(num_actions_));
+  return best_action(state);
+}
+
+std::size_t QLearner::best_action(std::size_t state) const {
+  assert(state < num_states_);
+  const auto* row = table_.data() + state * num_actions_;
+  return static_cast<std::size_t>(std::max_element(row, row + num_actions_) - row);
+}
+
+void QLearner::update(std::size_t state, std::size_t action, double reward,
+                      std::size_t next_state, std::size_t next_action, bool terminal) {
+  assert(state < num_states_ && action < num_actions_ && next_state < num_states_);
+  double target = reward;
+  if (!terminal) {
+    const double future = cfg_.sarsa ? q(next_state, next_action) : max_q(next_state);
+    target += cfg_.gamma * future;
+  }
+  double& cell = table_[state * num_actions_ + action];
+  cell += cfg_.alpha * (target - cell);
+}
+
+void QLearner::end_episode() {
+  epsilon_ = std::max(cfg_.epsilon_min, epsilon_ * cfg_.epsilon_decay);
+}
+
+double QLearner::q(std::size_t state, std::size_t action) const {
+  assert(state < num_states_ && action < num_actions_);
+  return table_[state * num_actions_ + action];
+}
+
+double QLearner::max_q(std::size_t state) const {
+  const auto* row = table_.data() + state * num_actions_;
+  return *std::max_element(row, row + num_actions_);
+}
+
+GridDiscretizer::GridDiscretizer(std::vector<Dim> dims) : dims_(std::move(dims)) {
+  total_ = 1;
+  for (const auto& d : dims_) {
+    assert(d.bins > 0 && d.hi > d.lo);
+    total_ *= d.bins;
+  }
+}
+
+std::size_t GridDiscretizer::encode(std::span<const double> obs) const {
+  assert(obs.size() == dims_.size());
+  std::size_t state = 0;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    const auto& d = dims_[i];
+    const double t = (obs[i] - d.lo) / (d.hi - d.lo);
+    auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(d.bins));
+    bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(d.bins) - 1);
+    state = state * d.bins + static_cast<std::size_t>(bin);
+  }
+  return state;
+}
+
+}  // namespace lore::ml

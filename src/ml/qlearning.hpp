@@ -1,0 +1,77 @@
+// Tabular reinforcement learning (Q-learning and SARSA) with epsilon-greedy
+// exploration — the learning controller of Fig. 1 and the engine behind the
+// DVFS/thermal governors of Sec. IV ([39],[40],[43],[44],[47]).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace lore::ml {
+
+struct QLearnerConfig {
+  double alpha = 0.1;           // learning rate
+  double gamma = 0.9;           // discount
+  double epsilon = 0.2;         // initial exploration rate
+  double epsilon_decay = 0.995; // multiplied per episode
+  double epsilon_min = 0.01;
+  bool sarsa = false;           // on-policy (SARSA) vs off-policy (Q-learning)
+  std::uint64_t seed = 31;
+};
+
+/// Discrete-state, discrete-action value learner.
+class QLearner {
+ public:
+  using Config = QLearnerConfig;
+
+  QLearner(std::size_t num_states, std::size_t num_actions, Config cfg = {});
+
+  /// Epsilon-greedy action selection.
+  std::size_t select_action(std::size_t state);
+  /// Greedy (exploitation-only) action.
+  std::size_t best_action(std::size_t state) const;
+
+  /// TD update. `next_action` is only used in SARSA mode (pass the action
+  /// actually chosen for the next step); Q-learning ignores it.
+  void update(std::size_t state, std::size_t action, double reward, std::size_t next_state,
+              std::size_t next_action = 0, bool terminal = false);
+
+  /// Call at episode boundaries to decay exploration.
+  void end_episode();
+
+  double q(std::size_t state, std::size_t action) const;
+  double max_q(std::size_t state) const;
+  double epsilon() const { return epsilon_; }
+  std::size_t num_states() const { return num_states_; }
+  std::size_t num_actions() const { return num_actions_; }
+
+ private:
+  std::size_t num_states_, num_actions_;
+  Config cfg_;
+  double epsilon_;
+  std::vector<double> table_;  // num_states × num_actions
+  lore::Rng rng_;
+};
+
+/// Uniform grid discretizer mapping a continuous observation vector to a
+/// single tabular state index.
+class GridDiscretizer {
+ public:
+  struct Dim {
+    double lo, hi;
+    std::size_t bins;
+  };
+
+  explicit GridDiscretizer(std::vector<Dim> dims);
+
+  std::size_t num_states() const { return total_; }
+  std::size_t encode(std::span<const double> obs) const;
+
+ private:
+  std::vector<Dim> dims_;
+  std::size_t total_;
+};
+
+}  // namespace lore::ml

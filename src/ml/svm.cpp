@@ -1,0 +1,45 @@
+#include "src/ml/svm.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lore::ml {
+
+void LinearSvm::fit(const Matrix& x, std::span<const int> y) {
+  assert(x.rows() == y.size() && x.rows() > 0);
+  const std::size_t n = x.rows(), p = x.cols();
+  w_.assign(p, 0.0);
+  b_ = 0.0;
+  lore::Rng rng(cfg_.seed);
+  std::size_t t = 0;
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    for (std::size_t step = 0; step < n; ++step) {
+      ++t;
+      const auto r = static_cast<std::size_t>(rng.uniform_index(n));
+      const auto row = x.row(r);
+      const double label = y[r] == 1 ? 1.0 : -1.0;
+      const double eta = 1.0 / (cfg_.lambda * static_cast<double>(t));
+      const double margin = label * (dot(w_, row) + b_);
+      for (auto& w : w_) w *= 1.0 - eta * cfg_.lambda;
+      if (margin < 1.0) {
+        axpy(w_, eta * label, row);
+        b_ += eta * label;  // unregularized bias
+      }
+    }
+  }
+}
+
+double LinearSvm::decision(std::span<const double> x) const {
+  assert(x.size() == w_.size());
+  return dot(w_, x) + b_;
+}
+
+int LinearSvm::predict(std::span<const double> x) const { return decision(x) > 0.0 ? 1 : 0; }
+
+std::vector<double> LinearSvm::predict_proba(std::span<const double> x) const {
+  // Platt-style squashing of the margin (uncalibrated but monotone).
+  const double p1 = 1.0 / (1.0 + std::exp(-2.0 * decision(x)));
+  return {1.0 - p1, p1};
+}
+
+}  // namespace lore::ml

@@ -1,0 +1,40 @@
+// Linear support vector machine trained with the Pegasos stochastic
+// sub-gradient solver. SVMs appear twice in the paper: flip-flop
+// vulnerability prediction ([20]) and IPAS instruction classification ([27]).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/ml/model.hpp"
+
+namespace lore::ml {
+
+struct LinearSvmConfig {
+  double lambda = 1e-3;       // regularization strength
+  std::size_t epochs = 40;    // passes over the data
+  std::uint64_t seed = 1;
+};
+
+class LinearSvm final : public Classifier {
+ public:
+  using Config = LinearSvmConfig;
+
+  explicit LinearSvm(Config cfg = {}) : cfg_(cfg) {}
+
+  void fit(const Matrix& x, std::span<const int> y) override;
+  int predict(std::span<const double> x) const override;
+  std::vector<double> predict_proba(std::span<const double> x) const override;
+  std::string name() const override { return "linear-svm"; }
+
+  /// Signed margin; positive means class 1.
+  double decision(std::span<const double> x) const;
+
+ private:
+  Config cfg_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+}  // namespace lore::ml

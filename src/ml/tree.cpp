@@ -1,0 +1,252 @@
+#include "src/ml/tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace lore::ml {
+namespace {
+
+/// Weighted Gini impurity of a class-count vector.
+double gini(std::span<const double> class_weight, double total) {
+  if (total <= 0.0) return 0.0;
+  double s = 0.0;
+  for (double w : class_weight) {
+    const double p = w / total;
+    s += p * p;
+  }
+  return 1.0 - s;
+}
+
+}  // namespace
+
+void DecisionTree::fit_classifier(const Matrix& x, std::span<const int> y,
+                                  std::span<const double> weights, std::size_t num_classes,
+                                  const TreeConfig& cfg) {
+  assert(x.rows() == y.size() && x.rows() > 0 && num_classes > 0);
+  nodes_.clear();
+  is_classifier_ = true;
+  std::vector<std::size_t> indices(x.rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  lore::Rng rng(cfg.seed);
+  build(x, y, {}, weights, indices, 0, indices.size(), 0, cfg, num_classes, rng);
+}
+
+void DecisionTree::fit_regressor(const Matrix& x, std::span<const double> y,
+                                 const TreeConfig& cfg) {
+  assert(x.rows() == y.size() && x.rows() > 0);
+  nodes_.clear();
+  is_classifier_ = false;
+  std::vector<std::size_t> indices(x.rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  lore::Rng rng(cfg.seed);
+  build(x, {}, y, {}, indices, 0, indices.size(), 0, cfg, 0, rng);
+}
+
+std::size_t DecisionTree::build(const Matrix& x, std::span<const int> y_cls,
+                                std::span<const double> y_reg,
+                                std::span<const double> weights,
+                                std::vector<std::size_t>& indices, std::size_t begin,
+                                std::size_t end, std::size_t depth, const TreeConfig& cfg,
+                                std::size_t num_classes, lore::Rng& rng) {
+  const std::size_t n = end - begin;
+  const std::size_t node_id = nodes_.size();
+  nodes_.emplace_back();
+  nodes_[node_id].depth = depth;
+
+  auto weight_of = [&](std::size_t row) {
+    return weights.empty() ? 1.0 : weights[row];
+  };
+
+  // Leaf statistics.
+  if (is_classifier_) {
+    std::vector<double> dist(num_classes, 0.0);
+    double total = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      dist[static_cast<std::size_t>(y_cls[indices[i]])] += weight_of(indices[i]);
+      total += weight_of(indices[i]);
+    }
+    if (total > 0.0)
+      for (auto& d : dist) d /= total;
+    nodes_[node_id].distribution = std::move(dist);
+  } else {
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) sum += y_reg[indices[i]];
+    nodes_[node_id].value = sum / static_cast<double>(n);
+  }
+
+  // Stopping conditions.
+  const bool pure = [&] {
+    if (is_classifier_) {
+      for (double d : nodes_[node_id].distribution)
+        if (d >= 1.0 - 1e-12) return true;
+      return false;
+    }
+    double lo = y_reg[indices[begin]], hi = lo;
+    for (std::size_t i = begin; i < end; ++i) {
+      lo = std::min(lo, y_reg[indices[i]]);
+      hi = std::max(hi, y_reg[indices[i]]);
+    }
+    return hi - lo < 1e-12;
+  }();
+  if (depth >= cfg.max_depth || n < cfg.min_samples_split || pure) return node_id;
+
+  // Candidate features (subsample for forests).
+  const std::size_t p = x.cols();
+  std::vector<std::size_t> feats;
+  if (cfg.max_features == 0 || cfg.max_features >= p) {
+    feats.resize(p);
+    std::iota(feats.begin(), feats.end(), 0);
+  } else {
+    feats = rng.sample_indices(p, cfg.max_features);
+  }
+
+  // Exhaustive best-split search over sorted feature values.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_score = -1e30;
+  std::vector<std::size_t> local(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+                                 indices.begin() + static_cast<std::ptrdiff_t>(end));
+  for (auto f : feats) {
+    std::sort(local.begin(), local.end(),
+              [&](std::size_t a, std::size_t b) { return x(a, f) < x(b, f); });
+    if (is_classifier_) {
+      std::vector<double> left_w(num_classes, 0.0), right_w(num_classes, 0.0);
+      double left_total = 0.0, right_total = 0.0;
+      for (auto row : local) {
+        right_w[static_cast<std::size_t>(y_cls[row])] += weight_of(row);
+        right_total += weight_of(row);
+      }
+      const double parent_impurity = gini(right_w, right_total);
+      for (std::size_t i = 0; i + 1 < local.size(); ++i) {
+        const auto row = local[i];
+        const double w = weight_of(row);
+        left_w[static_cast<std::size_t>(y_cls[row])] += w;
+        left_total += w;
+        right_w[static_cast<std::size_t>(y_cls[row])] -= w;
+        right_total -= w;
+        if (x(row, f) == x(local[i + 1], f)) continue;  // can't split between equal values
+        if (i + 1 < cfg.min_samples_leaf || local.size() - i - 1 < cfg.min_samples_leaf)
+          continue;
+        const double total = left_total + right_total;
+        const double score = parent_impurity -
+                             (left_total / total) * gini(left_w, left_total) -
+                             (right_total / total) * gini(right_w, right_total);
+        if (score > best_score) {
+          best_score = score;
+          best_feature = static_cast<int>(f);
+          best_threshold = 0.5 * (x(row, f) + x(local[i + 1], f));
+        }
+      }
+    } else {
+      // Variance reduction via running sums.
+      double right_sum = 0.0, right_sq = 0.0;
+      for (auto row : local) {
+        right_sum += y_reg[row];
+        right_sq += y_reg[row] * y_reg[row];
+      }
+      double left_sum = 0.0, left_sq = 0.0;
+      const double n_total = static_cast<double>(local.size());
+      const double parent_sse = right_sq - right_sum * right_sum / n_total;
+      for (std::size_t i = 0; i + 1 < local.size(); ++i) {
+        const auto row = local[i];
+        left_sum += y_reg[row];
+        left_sq += y_reg[row] * y_reg[row];
+        right_sum -= y_reg[row];
+        right_sq -= y_reg[row] * y_reg[row];
+        if (x(row, f) == x(local[i + 1], f)) continue;
+        const auto nl = static_cast<double>(i + 1);
+        const auto nr = n_total - nl;
+        if (i + 1 < cfg.min_samples_leaf || local.size() - i - 1 < cfg.min_samples_leaf)
+          continue;
+        const double sse = (left_sq - left_sum * left_sum / nl) +
+                           (right_sq - right_sum * right_sum / nr);
+        const double score = parent_sse - sse;
+        if (score > best_score) {
+          best_score = score;
+          best_feature = static_cast<int>(f);
+          best_threshold = 0.5 * (x(row, f) + x(local[i + 1], f));
+        }
+      }
+    }
+  }
+
+  if (best_feature < 0 || best_score <= 1e-12) return node_id;  // no useful split
+
+  // Partition indices in place.
+  const auto mid = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t row) {
+        return x(row, static_cast<std::size_t>(best_feature)) <= best_threshold;
+      });
+  const auto mid_idx = static_cast<std::size_t>(mid - indices.begin());
+  if (mid_idx == begin || mid_idx == end) return node_id;  // degenerate partition
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const std::size_t left = build(x, y_cls, y_reg, weights, indices, begin, mid_idx,
+                                 depth + 1, cfg, num_classes, rng);
+  const std::size_t right = build(x, y_cls, y_reg, weights, indices, mid_idx, end,
+                                  depth + 1, cfg, num_classes, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+std::size_t DecisionTree::find_leaf(std::span<const double> x) const {
+  assert(!nodes_.empty());
+  std::size_t id = 0;
+  while (nodes_[id].feature >= 0) {
+    const auto f = static_cast<std::size_t>(nodes_[id].feature);
+    assert(f < x.size());
+    id = x[f] <= nodes_[id].threshold ? nodes_[id].left : nodes_[id].right;
+  }
+  return id;
+}
+
+std::span<const double> DecisionTree::leaf_distribution(std::span<const double> x) const {
+  assert(is_classifier_);
+  return nodes_[find_leaf(x)].distribution;
+}
+
+int DecisionTree::predict_class(std::span<const double> x) const {
+  const auto dist = leaf_distribution(x);
+  return static_cast<int>(std::max_element(dist.begin(), dist.end()) - dist.begin());
+}
+
+double DecisionTree::predict_value(std::span<const double> x) const {
+  assert(!is_classifier_);
+  return nodes_[find_leaf(x)].value;
+}
+
+std::size_t DecisionTree::depth() const {
+  std::size_t d = 0;
+  for (const auto& n : nodes_) d = std::max(d, n.depth);
+  return d;
+}
+
+void DecisionTreeClassifier::fit(const Matrix& x, std::span<const int> y) {
+  std::size_t num_classes = 0;
+  for (int label : y) num_classes = std::max<std::size_t>(num_classes, static_cast<std::size_t>(label) + 1);
+  tree_.fit_classifier(x, y, {}, num_classes, cfg_);
+}
+
+int DecisionTreeClassifier::predict(std::span<const double> x) const {
+  return tree_.predict_class(x);
+}
+
+std::vector<double> DecisionTreeClassifier::predict_proba(std::span<const double> x) const {
+  const auto d = tree_.leaf_distribution(x);
+  return {d.begin(), d.end()};
+}
+
+void DecisionTreeRegressor::fit(const Matrix& x, std::span<const double> y) {
+  tree_.fit_regressor(x, y, cfg_);
+}
+
+double DecisionTreeRegressor::predict(std::span<const double> x) const {
+  return tree_.predict_value(x);
+}
+
+}  // namespace lore::ml

@@ -1,0 +1,92 @@
+// CART decision trees (classification via Gini, regression via variance
+// reduction). Gradient-boosted trees built on these are the workhorse of the
+// paper's resiliency-analysis citations ([21] stochastic gradient boosting,
+// [22] GBDT error-pattern mining).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/ml/model.hpp"
+
+namespace lore::ml {
+
+struct TreeConfig {
+  std::size_t max_depth = 8;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  /// Number of candidate features per split; 0 = all (set by forests).
+  std::size_t max_features = 0;
+  std::uint64_t seed = 7;
+};
+
+/// A trained CART, flat-array node storage.
+class DecisionTree {
+ public:
+  /// Fit a classification tree. `weights` may be empty (uniform).
+  void fit_classifier(const Matrix& x, std::span<const int> y,
+                      std::span<const double> weights, std::size_t num_classes,
+                      const TreeConfig& cfg);
+  /// Fit a regression tree on real targets.
+  void fit_regressor(const Matrix& x, std::span<const double> y, const TreeConfig& cfg);
+
+  /// For classification trees: class distribution at the leaf.
+  std::span<const double> leaf_distribution(std::span<const double> x) const;
+  int predict_class(std::span<const double> x) const;
+  /// For regression trees: leaf mean.
+  double predict_value(std::span<const double> x) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const;
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 marks a leaf
+    double threshold = 0.0;  // go left when x[feature] <= threshold
+    std::size_t left = 0, right = 0;
+    double value = 0.0;                  // regression leaf mean
+    std::vector<double> distribution;   // classification leaf class probs
+    std::size_t depth = 0;
+  };
+
+  std::size_t find_leaf(std::span<const double> x) const;
+  std::size_t build(const Matrix& x, std::span<const int> y_cls,
+                    std::span<const double> y_reg, std::span<const double> weights,
+                    std::vector<std::size_t>& indices, std::size_t begin, std::size_t end,
+                    std::size_t depth, const TreeConfig& cfg, std::size_t num_classes,
+                    lore::Rng& rng);
+
+  std::vector<Node> nodes_;
+  bool is_classifier_ = false;
+};
+
+/// Classifier facade over DecisionTree.
+class DecisionTreeClassifier final : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(TreeConfig cfg = {}) : cfg_(cfg) {}
+  void fit(const Matrix& x, std::span<const int> y) override;
+  int predict(std::span<const double> x) const override;
+  std::vector<double> predict_proba(std::span<const double> x) const override;
+  std::string name() const override { return "decision-tree"; }
+
+ private:
+  TreeConfig cfg_;
+  DecisionTree tree_;
+};
+
+/// Regressor facade over DecisionTree.
+class DecisionTreeRegressor final : public Regressor {
+ public:
+  explicit DecisionTreeRegressor(TreeConfig cfg = {}) : cfg_(cfg) {}
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predict(std::span<const double> x) const override;
+  std::string name() const override { return "decision-tree-reg"; }
+
+ private:
+  TreeConfig cfg_;
+  DecisionTree tree_;
+};
+
+}  // namespace lore::ml

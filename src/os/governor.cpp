@@ -1,0 +1,88 @@
+#include "src/os/governor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lore::os {
+
+RlDvfsGovernor::RlDvfsGovernor(std::size_t num_vf_levels, RlGovernorConfig cfg)
+    : cfg_(cfg),
+      num_vf_(num_vf_levels),
+      learner_(cfg.temp_bins * cfg.util_bins * num_vf_levels, 3, cfg.learner) {
+  assert(num_vf_levels > 0);
+}
+
+std::size_t RlDvfsGovernor::encode(double temperature_k, double utilization,
+                                   std::size_t vf) const {
+  const double tn = (temperature_k - cfg_.temp_lo_k) / (cfg_.temp_hi_k - cfg_.temp_lo_k);
+  auto tb = static_cast<std::ptrdiff_t>(tn * static_cast<double>(cfg_.temp_bins));
+  tb = std::clamp<std::ptrdiff_t>(tb, 0, static_cast<std::ptrdiff_t>(cfg_.temp_bins) - 1);
+  auto ub = static_cast<std::ptrdiff_t>(utilization * static_cast<double>(cfg_.util_bins));
+  ub = std::clamp<std::ptrdiff_t>(ub, 0, static_cast<std::ptrdiff_t>(cfg_.util_bins) - 1);
+  return (static_cast<std::size_t>(tb) * cfg_.util_bins + static_cast<std::size_t>(ub)) *
+             num_vf_ +
+         vf;
+}
+
+double RlDvfsGovernor::reward(const Platform& platform, const SystemStatus& status,
+                              std::size_t core) const {
+  const auto& vf = platform.ladder()[platform.core(core).vf_index];
+  // Energy proxy: dynamic power of the epoch, normalized to the top level.
+  const auto& top = platform.ladder().back();
+  const double energy = (vf.voltage * vf.voltage * vf.freq_ghz) /
+                        (top.voltage * top.voltage * top.freq_ghz) *
+                        status.core_utilization[core];
+  const double temp_excess =
+      std::max(0.0, status.core_temperature_k[core] - cfg_.temp_limit_k) / 10.0;
+  const double misses = static_cast<double>(status.recent_misses);
+  const double faults = static_cast<double>(status.recent_faults);
+  return -cfg_.w_energy * energy - cfg_.w_temp * temp_excess - cfg_.w_miss * misses -
+         cfg_.w_fault * faults;
+}
+
+void RlDvfsGovernor::control(Platform& platform, const SystemStatus& status) {
+  const std::size_t n = platform.num_cores();
+  if (previous_.size() != n) {
+    previous_.assign(n, {0, 1});
+    has_previous_ = false;
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    const std::size_t state =
+        encode(status.core_temperature_k[c], status.core_utilization[c],
+               platform.core(c).vf_index);
+    if (has_previous_ && !frozen_) {
+      const auto [prev_state, prev_action] = previous_[c];
+      learner_.update(prev_state, prev_action, reward(platform, status, c), state);
+    }
+    const std::size_t action =
+        frozen_ ? learner_.best_action(state) : learner_.select_action(state);
+    std::size_t vf = platform.core(c).vf_index;
+    if (action == 0 && vf > 0) --vf;
+    else if (action == 2 && vf + 1 < num_vf_) ++vf;
+    platform.set_vf(c, vf);
+    previous_[c] = {state, action};
+  }
+  has_previous_ = true;
+}
+
+void RlDvfsGovernor::end_episode() {
+  if (!frozen_) learner_.end_episode();
+  has_previous_ = false;
+}
+
+std::unique_ptr<RlDvfsGovernor> train_rl_governor(
+    const Platform& platform, const TaskSet& tasks,
+    const std::vector<std::size_t>& mapping, const SimConfig& sim_cfg,
+    std::size_t episodes, RlGovernorConfig cfg) {
+  auto governor = std::make_unique<RlDvfsGovernor>(platform.ladder().size(), cfg);
+  for (std::size_t e = 0; e < episodes; ++e) {
+    SimConfig episode_cfg = sim_cfg;
+    episode_cfg.seed = sim_cfg.seed + e;  // fresh fault realizations per episode
+    SystemSimulator sim(platform, tasks, mapping, episode_cfg);
+    sim.run(governor.get());
+  }
+  return governor;
+}
+
+}  // namespace lore::os

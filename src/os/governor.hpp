@@ -1,0 +1,65 @@
+// Learning-based DVFS management (Sec. IV-A/B): a tabular Q-learning governor
+// whose state is the discretized (temperature, utilization, current V-f) of a
+// core and whose reward trades off energy, thermal safety, deadline misses,
+// and soft errors — the multi-objective the paper's RL citations
+// ([39],[40],[43],[44],[47]) optimize.
+#pragma once
+
+#include <memory>
+
+#include "src/ml/qlearning.hpp"
+#include "src/os/sim.hpp"
+
+namespace lore::os {
+
+struct RlGovernorConfig {
+  std::size_t temp_bins = 6;
+  std::size_t util_bins = 5;
+  double temp_lo_k = 315.0;
+  double temp_hi_k = 400.0;
+  /// Thermal safety limit: exceeding it is penalized steeply.
+  double temp_limit_k = 370.0;
+  double w_energy = 1.0;
+  double w_temp = 5.0;
+  double w_miss = 3.0;
+  double w_fault = 3.0;
+  ml::QLearnerConfig learner{.alpha = 0.2, .gamma = 0.85, .epsilon = 0.25,
+                             .epsilon_decay = 0.97, .epsilon_min = 0.02};
+};
+
+/// Actions: lower V-f, hold, raise V-f (per core, shared Q-table so all cores
+/// contribute experience).
+class RlDvfsGovernor final : public Governor {
+ public:
+  RlDvfsGovernor(std::size_t num_vf_levels, RlGovernorConfig cfg = {});
+
+  void control(Platform& platform, const SystemStatus& status) override;
+  void end_episode() override;
+  std::string name() const override { return "rl-dvfs"; }
+
+  /// Exploitation-only mode for evaluation after training.
+  void freeze() { frozen_ = true; }
+  const ml::QLearner& learner() const { return learner_; }
+
+ private:
+  std::size_t encode(double temperature_k, double utilization, std::size_t vf) const;
+  double reward(const Platform& platform, const SystemStatus& status,
+                std::size_t core) const;
+
+  RlGovernorConfig cfg_;
+  std::size_t num_vf_;
+  ml::QLearner learner_;
+  bool frozen_ = false;
+  /// Previous (state, action) per core for the delayed TD update.
+  std::vector<std::pair<std::size_t, std::size_t>> previous_;
+  bool has_previous_ = false;
+};
+
+/// Train the RL governor over several episodes of the simulator and return
+/// the trained governor ready to freeze for evaluation.
+std::unique_ptr<RlDvfsGovernor> train_rl_governor(
+    const Platform& platform, const TaskSet& tasks,
+    const std::vector<std::size_t>& mapping, const SimConfig& sim_cfg,
+    std::size_t episodes, RlGovernorConfig cfg = {});
+
+}  // namespace lore::os

@@ -1,0 +1,221 @@
+#include "src/os/mapper.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lore::os {
+
+TaskCoreProfile profile_task_on_core(const Task& task, const CoreType& core,
+                                     const VfLevel& level,
+                                     const std::vector<VfLevel>& ladder,
+                                     const SerModel& ser, double max_freq_ghz) {
+  TaskCoreProfile p;
+  // Execution time scales inversely with the core's delivered throughput.
+  const double speed = level.freq_ghz * core.perf_factor;
+  assert(speed > 0.0);
+  p.exec_time_ms = task.wcet_ms * max_freq_ghz / speed;
+  p.failure_probability = ser.failure_probability(
+      p.exec_time_ms * 1e-3, core.avf_factor * task.avf, level, ladder);
+  return p;
+}
+
+std::vector<double> MwtfMapper::features(const Task& task, const CoreType& core,
+                                         const VfLevel& level) {
+  return {task.wcet_ms, std::log(task.period_ms), task.avf,
+          core.perf_factor, core.avf_factor, level.voltage, level.freq_ghz};
+}
+
+void MwtfMapper::train(const Platform& platform, const SerModel& ser) {
+  lore::Rng rng(cfg_.seed);
+  ml::Matrix x, y;
+  for (std::size_t s = 0; s < cfg_.training_samples; ++s) {
+    Task t;
+    t.wcet_ms = rng.uniform(0.5, 40.0);
+    t.period_ms = rng.uniform(20.0, 300.0);
+    t.avf = rng.uniform(0.1, 1.0);
+    const auto& core = platform.core(rng.uniform_index(platform.num_cores())).type;
+    const auto& level = platform.ladder()[rng.uniform_index(platform.ladder().size())];
+    const auto profile =
+        profile_task_on_core(t, core, level, platform.ladder(), ser, platform.max_freq_ghz());
+    x.push_row(features(t, core, level));
+    // Log-scale both targets: times and probabilities span decades.
+    const double targets[] = {std::log(profile.exec_time_ms),
+                              std::log(profile.failure_probability + 1e-15)};
+    y.push_row(targets);
+  }
+  model_ = ml::MlpVectorRegressor(cfg_.mlp);
+  model_.fit(x, y);
+  trained_ = true;
+}
+
+TaskCoreProfile MwtfMapper::predict(const Task& task, const CoreType& core,
+                                    const VfLevel& level,
+                                    const std::vector<VfLevel>& ladder,
+                                    double max_freq_ghz) const {
+  (void)ladder;
+  (void)max_freq_ghz;
+  assert(trained_);
+  const auto out = model_.predict(features(task, core, level));
+  return {std::exp(out[0]), std::exp(out[1])};
+}
+
+std::vector<std::size_t> MwtfMapper::map(const TaskSet& tasks, const Platform& platform,
+                                         const SerModel& ser,
+                                         double utilization_cap) const {
+  assert(trained_);
+  (void)ser;
+  std::vector<double> load(platform.num_cores(), 0.0);
+  std::vector<std::size_t> assignment(tasks.size(), 0);
+
+  // Heaviest tasks first so the cap binds sensibly.
+  std::vector<std::size_t> order(tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tasks[a].wcet_ms / tasks[a].period_ms > tasks[b].wcet_ms / tasks[b].period_ms;
+  });
+
+  for (auto ti : order) {
+    const Task& t = tasks[ti];
+    double best_score = -1e30;
+    std::size_t best_core = 0;
+    for (std::size_t c = 0; c < platform.num_cores(); ++c) {
+      const auto& core = platform.core(c);
+      const auto& level = platform.ladder()[core.vf_index];
+      const auto p = predict(t, core.type, level, platform.ladder(), platform.max_freq_ghz());
+      const double util = p.exec_time_ms / t.period_ms;
+      if (load[c] + util > utilization_cap) continue;
+      // MWTF contribution: work per expected failure, discounted by load.
+      const double mwtf = t.wcet_ms / (p.failure_probability + 1e-12);
+      const double score = std::log(mwtf) - 2.0 * (load[c] + util);
+      if (score > best_score) {
+        best_score = score;
+        best_core = c;
+      }
+    }
+    if (best_score == -1e30) {
+      // Every core is over the cap: least-loaded fallback.
+      best_core = static_cast<std::size_t>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+    }
+    assignment[ti] = best_core;
+    const auto& core = platform.core(best_core);
+    const auto p = profile_task_on_core(t, core.type, platform.ladder()[core.vf_index],
+                                        platform.ladder(), SerModel{}, platform.max_freq_ghz());
+    load[best_core] += p.exec_time_ms / t.period_ms;
+  }
+  return assignment;
+}
+
+std::vector<std::size_t> map_random(const TaskSet& tasks, std::size_t num_cores,
+                                    lore::Rng& rng) {
+  std::vector<std::size_t> out(tasks.size());
+  for (auto& c : out) c = static_cast<std::size_t>(rng.uniform_index(num_cores));
+  return out;
+}
+
+std::vector<std::size_t> map_performance_only(const TaskSet& tasks, const Platform& platform,
+                                              double utilization_cap) {
+  // Sort cores by delivered speed; fill fastest first.
+  std::vector<std::size_t> cores(platform.num_cores());
+  for (std::size_t i = 0; i < cores.size(); ++i) cores[i] = i;
+  std::sort(cores.begin(), cores.end(), [&](std::size_t a, std::size_t b) {
+    return platform.capacity_gops(a) > platform.capacity_gops(b);
+  });
+  std::vector<double> load(platform.num_cores(), 0.0);
+  std::vector<std::size_t> assignment(tasks.size(), 0);
+  for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+    bool placed = false;
+    for (auto c : cores) {
+      const auto& core = platform.core(c);
+      const double speed =
+          platform.ladder()[core.vf_index].freq_ghz * core.type.perf_factor;
+      const double util =
+          tasks[ti].wcet_ms * platform.max_freq_ghz() / speed / tasks[ti].period_ms;
+      if (load[c] + util <= utilization_cap) {
+        assignment[ti] = c;
+        load[c] += util;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) assignment[ti] = cores.front();
+  }
+  return assignment;
+}
+
+std::vector<double> predicted_core_temperatures(const TaskSet& tasks,
+                                                const std::vector<std::size_t>& mapping,
+                                                const Platform& platform) {
+  assert(mapping.size() == tasks.size());
+  std::vector<double> load(platform.num_cores(), 0.0);
+  for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+    const auto& core = platform.core(mapping[ti]);
+    const double speed =
+        platform.ladder()[core.vf_index].freq_ghz * core.type.perf_factor;
+    load[mapping[ti]] +=
+        tasks[ti].wcet_ms * platform.max_freq_ghz() / speed / tasks[ti].period_ms;
+  }
+  std::vector<double> temps(platform.num_cores());
+  for (std::size_t c = 0; c < platform.num_cores(); ++c) {
+    const double power = platform.core_power_w(c, std::min(1.0, load[c]));
+    temps[c] = platform.config().ambient_k + power * platform.core(c).type.rth_k_per_w;
+  }
+  return temps;
+}
+
+std::vector<std::size_t> map_thermal_aware(const TaskSet& tasks, const Platform& platform) {
+  std::vector<std::size_t> mapping(tasks.size(), 0);
+  std::vector<double> load(platform.num_cores(), 0.0);
+
+  // Heaviest first; each task goes where the post-placement steady
+  // temperature is lowest.
+  std::vector<std::size_t> order(tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tasks[a].wcet_ms / tasks[a].period_ms > tasks[b].wcet_ms / tasks[b].period_ms;
+  });
+  for (auto ti : order) {
+    std::size_t best = 0;
+    double best_temp = 1e30;
+    for (std::size_t c = 0; c < platform.num_cores(); ++c) {
+      const auto& core = platform.core(c);
+      const double speed =
+          platform.ladder()[core.vf_index].freq_ghz * core.type.perf_factor;
+      const double util =
+          tasks[ti].wcet_ms * platform.max_freq_ghz() / speed / tasks[ti].period_ms;
+      if (load[c] + util > 1.0) continue;  // infeasible placement
+      const double power = platform.core_power_w(c, std::min(1.0, load[c] + util));
+      const double temp =
+          platform.config().ambient_k + power * core.type.rth_k_per_w;
+      if (temp < best_temp) {
+        best_temp = temp;
+        best = c;
+      }
+    }
+    mapping[ti] = best;
+    const auto& core = platform.core(best);
+    const double speed =
+        platform.ladder()[core.vf_index].freq_ghz * core.type.perf_factor;
+    load[best] += tasks[ti].wcet_ms * platform.max_freq_ghz() / speed / tasks[ti].period_ms;
+  }
+  return mapping;
+}
+
+double mapping_mwtf(const TaskSet& tasks, const std::vector<std::size_t>& mapping,
+                    const Platform& platform, const SerModel& ser) {
+  assert(mapping.size() == tasks.size());
+  MwtfAccumulator acc;
+  for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+    const auto& core = platform.core(mapping[ti]);
+    const auto p = profile_task_on_core(tasks[ti], core.type,
+                                        platform.ladder()[core.vf_index], platform.ladder(),
+                                        ser, platform.max_freq_ghz());
+    // Weight by release rate: jobs per second of this task.
+    const double jobs_per_s = 1000.0 / tasks[ti].period_ms;
+    acc.add(tasks[ti].wcet_ms * jobs_per_s, p.failure_probability * jobs_per_s);
+  }
+  return acc.mwtf();
+}
+
+}  // namespace lore::os

@@ -1,0 +1,85 @@
+// NN-based MWTF-aware task mapping for heterogeneous multicores ([2],
+// Sec. IV-A3): a neural network learns per-(core-type, task) vulnerability ×
+// execution-time outcomes from profiled runs, then mapping maximizes the mean
+// workload to failure while balancing load.
+#pragma once
+
+#include <cstdint>
+
+#include "src/ml/mlp.hpp"
+#include "src/os/platform.hpp"
+#include "src/os/ser.hpp"
+#include "src/os/tasks.hpp"
+
+namespace lore::os {
+
+/// Profile of running one task on one core type at one V-f level: the
+/// quantities [2]'s estimator predicts.
+struct TaskCoreProfile {
+  double exec_time_ms = 0.0;
+  double failure_probability = 0.0;
+};
+
+/// Ground-truth profiler (the "measurement" the NN learns to replace).
+TaskCoreProfile profile_task_on_core(const Task& task, const CoreType& core,
+                                     const VfLevel& level,
+                                     const std::vector<VfLevel>& ladder,
+                                     const SerModel& ser, double max_freq_ghz);
+
+struct MwtfMapperConfig {
+  std::size_t training_samples = 600;
+  ml::MlpConfig mlp{.hidden = {24, 24}, .epochs = 200};
+  std::uint64_t seed = 79;
+};
+
+class MwtfMapper {
+ public:
+  explicit MwtfMapper(MwtfMapperConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Learn the vulnerability/time surface over random synthetic tasks on the
+  /// platform's core types.
+  void train(const Platform& platform, const SerModel& ser);
+  bool trained() const { return trained_; }
+
+  /// Predicted profile (what the NN believes).
+  TaskCoreProfile predict(const Task& task, const CoreType& core, const VfLevel& level,
+                          const std::vector<VfLevel>& ladder, double max_freq_ghz) const;
+
+  /// Greedy MWTF-maximizing assignment: each task goes to the core whose
+  /// predicted work/failure ratio is best, subject to a utilization cap.
+  std::vector<std::size_t> map(const TaskSet& tasks, const Platform& platform,
+                               const SerModel& ser, double utilization_cap = 0.9) const;
+
+ private:
+  static std::vector<double> features(const Task& task, const CoreType& core,
+                                      const VfLevel& level);
+
+  MwtfMapperConfig cfg_;
+  ml::MlpVectorRegressor model_{};
+  bool trained_ = false;
+};
+
+/// Baselines for the E11 comparison.
+std::vector<std::size_t> map_random(const TaskSet& tasks, std::size_t num_cores,
+                                    lore::Rng& rng);
+/// Performance-only: everything to the fastest cores (utilization-capped).
+std::vector<std::size_t> map_performance_only(const TaskSet& tasks, const Platform& platform,
+                                              double utilization_cap = 0.9);
+
+/// Thermal-aware allocation ([39],[40]): greedily place each task on the core
+/// whose predicted steady-state temperature after placement is lowest,
+/// spreading heat to tame the peak temperature and thermal cycling that
+/// dominate lifetime reliability.
+std::vector<std::size_t> map_thermal_aware(const TaskSet& tasks, const Platform& platform);
+
+/// Predicted steady-state temperature of each core for a mapping (ambient +
+/// Rth * power at the mapped utilization).
+std::vector<double> predicted_core_temperatures(const TaskSet& tasks,
+                                                const std::vector<std::size_t>& mapping,
+                                                const Platform& platform);
+
+/// Analytic MWTF of a mapping (ground truth, not the NN estimate).
+double mapping_mwtf(const TaskSet& tasks, const std::vector<std::size_t>& mapping,
+                    const Platform& platform, const SerModel& ser);
+
+}  // namespace lore::os

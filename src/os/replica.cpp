@@ -1,0 +1,130 @@
+#include "src/os/replica.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace lore::os {
+
+void ReplicaManager::observe(std::size_t faults, std::size_t jobs) {
+  if (jobs == 0) return;
+  const double observed = static_cast<double>(faults) / static_cast<double>(jobs);
+  if (!seeded_) {
+    estimate_ = observed;
+    seeded_ = true;
+  } else {
+    estimate_ = (1.0 - cfg_.smoothing) * estimate_ + cfg_.smoothing * observed;
+  }
+  estimate_ = std::clamp(estimate_, 1e-9, 1.0);
+}
+
+double ReplicaManager::expected_cost(std::size_t replicas) const {
+  assert(replicas >= 1);
+  const double overhead = cfg_.replication_cost * static_cast<double>(replicas - 1);
+  // With r replicas a failure escapes only if every copy is corrupted.
+  const double escape = std::pow(estimate_, static_cast<double>(replicas));
+  return overhead + cfg_.failure_penalty * escape;
+}
+
+std::size_t ReplicaManager::recommended_replicas() const {
+  std::size_t best = 1;
+  double best_cost = expected_cost(1);
+  for (std::size_t r = 2; r <= cfg_.max_replicas; ++r) {
+    const double cost = expected_cost(r);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = r;
+    }
+  }
+  return best;
+}
+
+McSimResult simulate_mixed_criticality(const TaskSet& tasks, const McSimConfig& cfg) {
+  lore::Rng rng(cfg.seed);
+  McSimResult result;
+
+  struct Job {
+    std::size_t task;
+    double abs_deadline_ms;
+    double remaining_ms;   // actual demand left
+    double budget_left_ms; // LO budget left (overrun detection)
+  };
+  std::vector<Job> queue;
+  std::vector<double> next_release(tasks.size(), 0.0);
+  bool hi_mode = false;
+
+  for (double now = 0.0; now < cfg.duration_ms; now += cfg.tick_ms) {
+    // Releases.
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      while (next_release[t] <= now) {
+        const bool is_hi = tasks[t].criticality == Criticality::kHigh;
+        if (is_hi) ++result.hi_jobs;
+        else ++result.lo_jobs;
+        if (hi_mode && !is_hi) {
+          ++result.lo_dropped;  // LO tasks are shed in HI mode
+        } else {
+          Job job;
+          job.task = t;
+          job.abs_deadline_ms = next_release[t] + tasks[t].deadline_ms;
+          const double demand =
+              tasks[t].wcet_lo_ms * rng.uniform(0.6, is_hi ? cfg.overrun_factor : 1.0);
+          job.remaining_ms = std::min(demand, is_hi ? tasks[t].wcet_ms : tasks[t].wcet_lo_ms);
+          job.budget_left_ms = tasks[t].wcet_lo_ms;
+          queue.push_back(job);
+        }
+        next_release[t] += tasks[t].period_ms;
+      }
+    }
+
+    // Deadline enforcement.
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (now >= it->abs_deadline_ms && it->remaining_ms > 0.0) {
+        if (tasks[it->task].criticality == Criticality::kHigh) ++result.hi_misses;
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    if (queue.empty()) {
+      // Idle instant: return to LO mode.
+      if (hi_mode) hi_mode = false;
+      continue;
+    }
+
+    // EDF pick.
+    auto job_it = std::min_element(queue.begin(), queue.end(), [](const Job& a, const Job& b) {
+      return a.abs_deadline_ms < b.abs_deadline_ms;
+    });
+    Job& job = *job_it;
+    const double slice = std::min(cfg.tick_ms, job.remaining_ms);
+    job.remaining_ms -= slice;
+    job.budget_left_ms -= slice;
+
+    // LO-budget overrun of a HI task: mode switch, shed LO jobs.
+    if (!hi_mode && job.budget_left_ms < 0.0 &&
+        tasks[job.task].criticality == Criticality::kHigh) {
+      hi_mode = true;
+      ++result.mode_switches;
+      for (auto it = queue.begin(); it != queue.end();) {
+        if (tasks[it->task].criticality == Criticality::kLow) {
+          ++result.lo_dropped;
+          it = queue.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      // The running job may have been invalidated by the erase; re-find it.
+      continue;
+    }
+
+    if (job.remaining_ms <= 0.0) {
+      if (tasks[job.task].criticality == Criticality::kLow) ++result.lo_completed;
+      queue.erase(job_it);
+    }
+  }
+  return result;
+}
+
+}  // namespace lore::os

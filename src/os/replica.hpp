@@ -1,0 +1,80 @@
+// Adaptive replica management (Sec. IV-A4, [45]): the environment's fault
+// rate drifts (radiation, temperature); the manager learns the current rate
+// from observed faults and picks the replica count that minimizes expected
+// cost = execution overhead + failure penalty.
+#pragma once
+
+#include <cstddef>
+
+#include "src/common/rng.hpp"
+#include "src/os/tasks.hpp"
+
+namespace lore::os {
+
+struct ReplicaManagerConfig {
+  /// Exponential smoothing factor for the fault-rate estimate.
+  double smoothing = 0.2;
+  /// Cost of one redundant execution relative to one unit of work.
+  double replication_cost = 1.0;
+  /// Penalty of one uncaught failure in the same units.
+  double failure_penalty = 400.0;
+  std::size_t max_replicas = 3;
+};
+
+class ReplicaManager {
+ public:
+  explicit ReplicaManager(ReplicaManagerConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Feed one observation window: `faults` raw fault events over `jobs`
+  /// executed jobs. Updates the learned per-job fault-probability estimate.
+  void observe(std::size_t faults, std::size_t jobs);
+
+  /// Current per-job fault probability estimate.
+  double fault_probability() const { return estimate_; }
+
+  /// Expected cost per job with `replicas` copies: replication overhead plus
+  /// the penalty of all copies being corrupted (replicas catch a fault when
+  /// at least one copy survives; failures need every comparison to agree on
+  /// a wrong value — modeled as p^replicas).
+  double expected_cost(std::size_t replicas) const;
+
+  /// Cost-minimizing replica count under the current estimate.
+  std::size_t recommended_replicas() const;
+
+ private:
+  ReplicaManagerConfig cfg_;
+  double estimate_ = 1e-4;
+  bool seeded_ = false;
+};
+
+/// Mixed-criticality EDF simulation (the Sec. VI-B extension): LO mode admits
+/// every task with optimistic budgets; a HI task overrunning its LO budget
+/// triggers HI mode, which drops LO tasks until an idle instant. Metrics are
+/// the HI-task deadline-miss count (must stay ~0) and LO-task QoS.
+struct McSimConfig {
+  double tick_ms = 0.5;
+  double duration_ms = 20000.0;
+  /// Actual execution demand is wcet_lo * U(0.6, overrun_factor); values
+  /// above 1.0 let HI tasks exceed their LO budgets.
+  double overrun_factor = 1.3;
+  /// Only HI tasks may overrun; LO tasks are truncated at their LO budget.
+  std::uint64_t seed = 83;
+};
+
+struct McSimResult {
+  std::size_t hi_jobs = 0;
+  std::size_t hi_misses = 0;
+  std::size_t lo_jobs = 0;
+  std::size_t lo_completed = 0;
+  std::size_t lo_dropped = 0;
+  std::size_t mode_switches = 0;
+
+  double lo_qos() const {
+    return lo_jobs ? static_cast<double>(lo_completed) / static_cast<double>(lo_jobs) : 1.0;
+  }
+};
+
+/// Single-core mixed-criticality EDF run at unit speed.
+McSimResult simulate_mixed_criticality(const TaskSet& tasks, const McSimConfig& cfg);
+
+}  // namespace lore::os

@@ -1,0 +1,83 @@
+#include "src/os/ser.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lore::os {
+
+double SerModel::rate_per_s(const VfLevel& level, const std::vector<VfLevel>& ladder) const {
+  assert(!ladder.empty());
+  double f_min = ladder.front().freq_ghz, f_max = ladder.front().freq_ghz;
+  for (const auto& vf : ladder) {
+    f_min = std::min(f_min, vf.freq_ghz);
+    f_max = std::max(f_max, vf.freq_ghz);
+  }
+  assert(f_max > 0.0);
+  const double fn = level.freq_ghz / f_max;
+  const double fn_min = f_min / f_max;
+  if (fn_min >= 1.0) return p_.lambda0_per_s;
+  const double exponent = p_.d_exponent * (1.0 - fn) / (1.0 - fn_min);
+  return p_.lambda0_per_s * std::pow(10.0, exponent);
+}
+
+double SerModel::failure_probability(double exec_s, double avf, const VfLevel& level,
+                                     const std::vector<VfLevel>& ladder) const {
+  assert(exec_s >= 0.0 && avf >= 0.0);
+  const double lambda = rate_per_s(level, ladder) * avf;
+  return 1.0 - std::exp(-lambda * exec_s);
+}
+
+void LearnedSerModel::train(const SerModel& truth, const std::vector<VfLevel>& ladder,
+                            lore::Rng& rng) {
+  assert(!ladder.empty());
+  double v_lo = ladder.front().voltage, v_hi = v_lo;
+  double f_lo = ladder.front().freq_ghz, f_hi = f_lo;
+  for (const auto& vf : ladder) {
+    v_lo = std::min(v_lo, vf.voltage);
+    v_hi = std::max(v_hi, vf.voltage);
+    f_lo = std::min(f_lo, vf.freq_ghz);
+    f_hi = std::max(f_hi, vf.freq_ghz);
+  }
+  ml::Matrix x;
+  std::vector<double> y;
+  for (std::size_t s = 0; s < cfg_.samples; ++s) {
+    VfLevel level{rng.uniform(v_lo, v_hi), rng.uniform(f_lo, f_hi)};
+    const double row[] = {level.voltage, level.freq_ghz};
+    x.push_row(row);
+    y.push_back(std::log(truth.rate_per_s(level, ladder)));  // rates span decades
+  }
+  model_ = ml::MlpRegressor(cfg_.mlp);
+  model_.fit(x, y);
+  trained_ = true;
+}
+
+double LearnedSerModel::rate_per_s(const VfLevel& level) const {
+  assert(trained_);
+  const double row[] = {level.voltage, level.freq_ghz};
+  return std::exp(model_.predict(row));
+}
+
+double LearnedSerModel::validation_error(const SerModel& truth,
+                                         const std::vector<VfLevel>& ladder,
+                                         std::size_t samples, std::uint64_t seed) const {
+  assert(trained_ && samples > 0);
+  lore::Rng rng(seed);
+  double v_lo = ladder.front().voltage, v_hi = v_lo;
+  double f_lo = ladder.front().freq_ghz, f_hi = f_lo;
+  for (const auto& vf : ladder) {
+    v_lo = std::min(v_lo, vf.voltage);
+    v_hi = std::max(v_hi, vf.voltage);
+    f_lo = std::min(f_lo, vf.freq_ghz);
+    f_hi = std::max(f_hi, vf.freq_ghz);
+  }
+  double total = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    VfLevel level{rng.uniform(v_lo, v_hi), rng.uniform(f_lo, f_hi)};
+    const double t = truth.rate_per_s(level, ladder);
+    total += std::abs(rate_per_s(level) - t) / t;
+  }
+  return total / static_cast<double>(samples);
+}
+
+}  // namespace lore::os

@@ -1,0 +1,95 @@
+// Soft-error-rate model (Sec. IV): lowering V-f levels saves energy but
+// raises the transient-fault rate exponentially — the classic trade-off the
+// paper's DVFS discussion revolves around — plus the derived reliability
+// metrics: functional reliability of a task execution and mean workload to
+// failure (MWTF, [2]).
+#pragma once
+
+#include <cstddef>
+
+#include "src/common/rng.hpp"
+#include "src/ml/mlp.hpp"
+#include "src/os/platform.hpp"
+
+namespace lore::os {
+
+struct SerParams {
+  /// Raw SER at the highest V-f level (faults per second, architectural).
+  double lambda0_per_s = 1e-5;
+  /// Exponential sensitivity: each full swing from max to min frequency
+  /// multiplies the rate by 10^d.
+  double d_exponent = 3.0;
+};
+
+class SerModel {
+ public:
+  explicit SerModel(SerParams params = {}) : p_(params) {}
+
+  /// Raw fault rate at a V-f level (per second), given the ladder's range.
+  /// Classic Zhu/Aydin model: lambda(f) = lambda0 * 10^(d*(1-fn)/(1-fn_min)).
+  double rate_per_s(const VfLevel& level, const std::vector<VfLevel>& ladder) const;
+
+  /// Probability that a task executing for `exec_s` seconds on a core at the
+  /// given level and AVF suffers an uncorrected soft error.
+  double failure_probability(double exec_s, double avf, const VfLevel& level,
+                             const std::vector<VfLevel>& ladder) const;
+
+  /// Functional reliability of the execution (1 - failure probability).
+  double reliability(double exec_s, double avf, const VfLevel& level,
+                     const std::vector<VfLevel>& ladder) const {
+    return 1.0 - failure_probability(exec_s, avf, level, ladder);
+  }
+
+ private:
+  SerParams p_;
+};
+
+/// Learned SER estimator ([43],[1]: "a neural network can be trained for
+/// quick and accurate SER estimation"): an MLP learns log-rate as a function
+/// of (voltage, frequency) from samples of the physical model, standing in
+/// for a model trained on radiation-test data.
+struct LearnedSerConfig {
+  std::size_t samples = 400;
+  ml::MlpConfig mlp{.hidden = {16, 16}, .epochs = 250};
+  std::uint64_t seed = 113;
+};
+
+class LearnedSerModel {
+ public:
+  using Config = LearnedSerConfig;
+
+  explicit LearnedSerModel(Config cfg = {}) : cfg_(cfg) {}
+
+  /// Fit against the ground-truth model over the ladder's V-f envelope.
+  void train(const SerModel& truth, const std::vector<VfLevel>& ladder, lore::Rng& rng);
+  bool trained() const { return trained_; }
+
+  /// Predicted raw fault rate (per second) at an operating point.
+  double rate_per_s(const VfLevel& level) const;
+
+  /// Mean relative error against the truth over random operating points.
+  double validation_error(const SerModel& truth, const std::vector<VfLevel>& ladder,
+                          std::size_t samples, std::uint64_t seed) const;
+
+ private:
+  Config cfg_;
+  ml::MlpRegressor model_{ml::MlpConfig{}};
+  bool trained_ = false;
+};
+
+/// Mean workload to failure: work units completed per expected failure.
+/// Computed from accumulated (work, expected-failure) statistics.
+struct MwtfAccumulator {
+  double work_done = 0.0;
+  double expected_failures = 0.0;
+
+  void add(double work, double failure_probability) {
+    work_done += work;
+    expected_failures += failure_probability;
+  }
+  double mwtf() const {
+    return expected_failures > 0.0 ? work_done / expected_failures : 1e18;
+  }
+};
+
+}  // namespace lore::os

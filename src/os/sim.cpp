@@ -1,0 +1,225 @@
+#include "src/os/sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/common/stats.hpp"
+
+namespace lore::os {
+
+SystemSimulator::SystemSimulator(Platform platform, TaskSet tasks,
+                                 std::vector<std::size_t> task_to_core, SimConfig cfg)
+    : platform_(std::move(platform)),
+      tasks_(std::move(tasks)),
+      task_to_core_(std::move(task_to_core)),
+      cfg_(cfg) {
+  assert(task_to_core_.size() == tasks_.size());
+  for (auto c : task_to_core_) {
+    assert(c < platform_.num_cores());
+    (void)c;
+  }
+}
+
+SimResult SystemSimulator::run(Governor* governor) {
+  lore::Rng rng(cfg_.seed);
+  SerModel ser(cfg_.ser);
+  SimResult result;
+
+  const std::size_t n_cores = platform_.num_cores();
+  std::vector<std::vector<Job>> queues(n_cores);
+  std::vector<double> next_release(tasks_.size(), 0.0);
+  std::vector<double> utilization(n_cores, 0.0);
+  std::vector<double> busy_ms(n_cores, 0.0);
+  lore::RunningStats temp_stats;
+  std::vector<lore::RunningStats> core_temp(n_cores);
+  std::vector<double> core_busy_total(n_cores, 0.0);
+  MwtfAccumulator mwtf;
+
+  SystemStatus status;
+  status.core_utilization.assign(n_cores, 0.0);
+  status.core_temperature_k.assign(n_cores, 0.0);
+  double last_control_ms = -1e9;
+  std::size_t misses_epoch = 0, faults_epoch = 0;
+
+  const double tick = cfg_.tick_ms;
+  for (double now = 0.0; now < cfg_.duration_ms; now += tick) {
+    // Release jobs.
+    for (std::size_t t = 0; t < tasks_.size(); ++t) {
+      while (next_release[t] <= now) {
+        Job job;
+        job.task = t;
+        job.release_ms = next_release[t];
+        job.abs_deadline_ms = next_release[t] + tasks_[t].deadline_ms;
+        // Work in reference gigacycles: wcet_ms at the reference core's max
+        // frequency -> wcet_s * f_GHz gigacycles.
+        job.remaining_gcycles = tasks_[t].wcet_ms * 1e-3 * platform_.max_freq_ghz();
+        job.executions_left = tasks_[t].replicas;
+        queues[task_to_core_[t]].push_back(job);
+        ++result.jobs_released;
+        next_release[t] += tasks_[t].period_ms;
+      }
+    }
+
+    // Governor control epoch.
+    if (governor != nullptr && now - last_control_ms >= cfg_.control_period_ms) {
+      for (std::size_t c = 0; c < n_cores; ++c) {
+        status.core_utilization[c] =
+            cfg_.control_period_ms > 0.0
+                ? std::min(1.0, busy_ms[c] / cfg_.control_period_ms)
+                : 0.0;
+        status.core_temperature_k[c] = platform_.core(c).temperature_k;
+        busy_ms[c] = 0.0;
+      }
+      status.time_ms = now;
+      status.recent_misses = misses_epoch;
+      status.recent_faults = faults_epoch;
+      misses_epoch = 0;
+      faults_epoch = 0;
+      governor->control(platform_, status);
+      last_control_ms = now;
+    }
+
+    // Execute one tick per core under EDF.
+    for (std::size_t c = 0; c < n_cores; ++c) {
+      auto& q = queues[c];
+      // Drop jobs past their deadline.
+      for (auto it = q.begin(); it != q.end();) {
+        if (now >= it->abs_deadline_ms && it->remaining_gcycles > 0.0) {
+          ++result.deadline_misses;
+          ++misses_epoch;
+          it = q.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (q.empty()) {
+        utilization[c] = 0.0;
+        continue;
+      }
+      // Wake-on-demand: a sleeping/idle-parked core with pending work
+      // transitions back to active, losing this tick to the wake latency.
+      if (platform_.core(c).power_state != PowerState::kActive) {
+        platform_.set_power_state(c, PowerState::kActive);
+        ++result.core_wakeups;
+        utilization[c] = 0.0;
+        continue;
+      }
+      // EDF: earliest absolute deadline first.
+      auto job_it = std::min_element(q.begin(), q.end(), [](const Job& a, const Job& b) {
+        return a.abs_deadline_ms < b.abs_deadline_ms;
+      });
+      Job& job = *job_it;
+      const double capacity = platform_.capacity_gops(c);  // gcycles per second
+      const double work = capacity * tick * 1e-3;
+      const double used_fraction =
+          work > 0.0 ? std::min(1.0, job.remaining_gcycles / work) : 0.0;
+      job.remaining_gcycles -= work;
+      utilization[c] = used_fraction;
+      busy_ms[c] += used_fraction * tick;
+      core_busy_total[c] += used_fraction * tick;
+
+      // Soft error sampling over the executed slice.
+      const auto& level = platform_.ladder()[platform_.core(c).vf_index];
+      const double avf = platform_.core(c).type.avf_factor * tasks_[job.task].avf;
+      const double p_fault =
+          ser.failure_probability(used_fraction * tick * 1e-3, avf, level, platform_.ladder());
+      if (used_fraction > 0.0 && rng.bernoulli(p_fault)) {
+        ++result.soft_errors;
+        ++faults_epoch;
+        job.corrupted = true;
+      }
+
+      if (job.remaining_gcycles <= 0.0) {
+        // One execution (replica) finished.
+        if (job.corrupted && job.executions_left > 1) {
+          // Replica comparison catches the error: re-execute.
+          ++result.masked_faults;
+          --job.executions_left;
+          job.corrupted = false;
+          job.remaining_gcycles =
+              tasks_[job.task].wcet_ms * 1e-3 * platform_.max_freq_ghz();
+        } else {
+          ++result.jobs_completed;
+          if (job.corrupted) ++result.sdc_failures;
+          const double work_units = tasks_[job.task].wcet_ms;
+          mwtf.add(work_units, job.corrupted ? 1.0 : 0.0);
+          q.erase(job_it);
+        }
+      }
+    }
+
+    result.energy_j += platform_.step(tick * 1e-3, utilization);
+    for (std::size_t c = 0; c < n_cores; ++c) {
+      temp_stats.add(platform_.core(c).temperature_k);
+      core_temp[c].add(platform_.core(c).temperature_k);
+    }
+  }
+
+  result.peak_temperature_k = 0.0;
+  for (std::size_t c = 0; c < n_cores; ++c)
+    result.peak_temperature_k =
+        std::max(result.peak_temperature_k, platform_.core(c).peak_temperature_k);
+  result.avg_temperature_k = temp_stats.mean();
+  result.mwtf = mwtf.mwtf();
+
+  // Lifetime: evaluate the wear-out mechanisms per core at its average
+  // operating condition; series system (sum of rates).
+  const auto mechanisms = device::standard_mechanisms();
+  double rate = 0.0;
+  for (std::size_t c = 0; c < n_cores; ++c) {
+    const auto& core = platform_.core(c);
+    device::LifetimeCondition cond;
+    cond.temperature = core_temp[c].mean();
+    cond.vdd = platform_.ladder()[core.vf_index].voltage;
+    cond.current_density =
+        0.5 + core_busy_total[c] / std::max(1.0, cfg_.duration_ms);
+    cond.thermal_cycle_amplitude =
+        std::max(1.0, core.peak_temperature_k - core.min_temperature_k);
+    cond.thermal_cycles_per_day = 500.0;  // embedded duty cycling
+    cond.duty_cycle = std::min(1.0, core_busy_total[c] / cfg_.duration_ms + 0.05);
+    cond.toggle_rate_ghz = platform_.ladder()[core.vf_index].freq_ghz *
+                           cond.duty_cycle;
+    rate += 1.0 / device::combined_mttf_years(mechanisms, cond);
+  }
+  result.mttf_years = rate > 0.0 ? 1.0 / rate : 1e9;
+  if (governor != nullptr) governor->end_episode();
+  return result;
+}
+
+void StaticGovernor::control(Platform& platform, const SystemStatus& status) {
+  (void)status;
+  for (std::size_t c = 0; c < platform.num_cores(); ++c) platform.set_vf(c, vf_index_);
+}
+
+void TimeoutDpmGovernor::control(Platform& platform, const SystemStatus& status) {
+  if (inner_ != nullptr) inner_->control(platform, status);
+  if (idle_epochs_.size() != platform.num_cores())
+    idle_epochs_.assign(platform.num_cores(), 0);
+  for (std::size_t c = 0; c < platform.num_cores(); ++c) {
+    if (status.core_utilization[c] <= 1e-9) {
+      if (++idle_epochs_[c] >= idle_threshold_ &&
+          platform.core(c).power_state == PowerState::kActive)
+        platform.set_power_state(c, PowerState::kSleep);
+    } else {
+      idle_epochs_[c] = 0;
+    }
+  }
+}
+
+void TimeoutDpmGovernor::end_episode() {
+  if (inner_ != nullptr) inner_->end_episode();
+  idle_epochs_.clear();
+}
+
+void OndemandGovernor::control(Platform& platform, const SystemStatus& status) {
+  for (std::size_t c = 0; c < platform.num_cores(); ++c) {
+    const double u = status.core_utilization[c];
+    std::size_t vf = platform.core(c).vf_index;
+    if (u > up_ && vf + 1 < platform.ladder().size()) ++vf;
+    else if (u < down_ && vf > 0) --vf;
+    platform.set_vf(c, vf);
+  }
+}
+
+}  // namespace lore::os

@@ -1,0 +1,140 @@
+// Discrete-time system simulator tying the OS layer together: per-core EDF
+// scheduling of periodic tasks, DVFS/DPM control through a pluggable
+// governor, soft errors from the SER model (replicated tasks recover by
+// re-execution, unreplicated ones suffer SDCs), thermal/power integration,
+// and lifetime metrics bridged to the device-level wear-out models.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "src/device/lifetime.hpp"
+#include "src/os/platform.hpp"
+#include "src/os/ser.hpp"
+#include "src/os/tasks.hpp"
+
+namespace lore::os {
+
+/// Observation handed to the governor each control epoch.
+struct SystemStatus {
+  double time_ms = 0.0;
+  std::vector<double> core_utilization;
+  std::vector<double> core_temperature_k;
+  /// Deadline misses and soft errors since the previous control epoch.
+  std::size_t recent_misses = 0;
+  std::size_t recent_faults = 0;
+};
+
+/// DVFS/DPM policy. Called every control epoch; mutates platform V-f/power
+/// states. end_episode() lets learning policies decay exploration.
+class Governor {
+ public:
+  virtual ~Governor() = default;
+  virtual void control(Platform& platform, const SystemStatus& status) = 0;
+  virtual void end_episode() {}
+  virtual std::string name() const = 0;
+};
+
+struct SimConfig {
+  double tick_ms = 1.0;
+  double duration_ms = 20000.0;
+  double control_period_ms = 20.0;
+  SerParams ser{};
+  /// Device-stress scale: how many equivalent operating years one simulated
+  /// second represents when feeding lifetime models (acceleration factor).
+  double mc_trials = 0;  // reserved
+  std::uint64_t seed = 73;
+};
+
+struct SimResult {
+  double energy_j = 0.0;
+  std::size_t jobs_released = 0;
+  std::size_t jobs_completed = 0;
+  std::size_t deadline_misses = 0;
+  std::size_t soft_errors = 0;          // raw fault events
+  std::size_t core_wakeups = 0;         // DPM sleep->active transitions
+  std::size_t sdc_failures = 0;         // unmasked (no replica) faults
+  std::size_t masked_faults = 0;        // caught by replication, re-executed
+  double peak_temperature_k = 0.0;
+  double avg_temperature_k = 0.0;
+  double mwtf = 0.0;
+  /// System MTTF (years) from the five device wear-out mechanisms evaluated
+  /// at each core's average operating condition, combined in series.
+  double mttf_years = 0.0;
+
+  double deadline_miss_rate() const {
+    return jobs_released ? static_cast<double>(deadline_misses) /
+                               static_cast<double>(jobs_released)
+                         : 0.0;
+  }
+};
+
+class SystemSimulator {
+ public:
+  SystemSimulator(Platform platform, TaskSet tasks, std::vector<std::size_t> task_to_core,
+                  SimConfig cfg = {});
+
+  /// Run the full simulation under the governor (nullptr = static levels).
+  SimResult run(Governor* governor);
+
+  const Platform& platform() const { return platform_; }
+
+ private:
+  struct Job {
+    std::size_t task = 0;
+    double release_ms = 0.0;
+    double abs_deadline_ms = 0.0;
+    double remaining_gcycles = 0.0;
+    std::size_t executions_left = 1;  // replicas pending
+    bool corrupted = false;
+  };
+
+  Platform platform_;
+  TaskSet tasks_;
+  std::vector<std::size_t> task_to_core_;
+  SimConfig cfg_;
+};
+
+/// Fixed V-f level on every core.
+class StaticGovernor final : public Governor {
+ public:
+  explicit StaticGovernor(std::size_t vf_index) : vf_index_(vf_index) {}
+  void control(Platform& platform, const SystemStatus& status) override;
+  std::string name() const override { return "static"; }
+
+ private:
+  std::size_t vf_index_;
+};
+
+/// Linux-ondemand-style: scale frequency with utilization.
+class OndemandGovernor final : public Governor {
+ public:
+  OndemandGovernor(double up_threshold = 0.8, double down_threshold = 0.3)
+      : up_(up_threshold), down_(down_threshold) {}
+  void control(Platform& platform, const SystemStatus& status) override;
+  std::string name() const override { return "ondemand"; }
+
+ private:
+  double up_, down_;
+};
+
+/// Dynamic power management wrapper (the paper's third OS knob): runs an
+/// inner governor for DVFS and additionally puts cores to sleep after a
+/// number of fully idle control epochs. The simulator wakes sleeping cores
+/// on demand, charging one control tick of wake latency.
+class TimeoutDpmGovernor final : public Governor {
+ public:
+  TimeoutDpmGovernor(Governor* inner, std::size_t idle_epochs_to_sleep = 3)
+      : inner_(inner), idle_threshold_(idle_epochs_to_sleep) {}
+
+  void control(Platform& platform, const SystemStatus& status) override;
+  void end_episode() override;
+  std::string name() const override { return "dpm+" + (inner_ ? inner_->name() : "none"); }
+
+ private:
+  Governor* inner_;
+  std::size_t idle_threshold_;
+  std::vector<std::size_t> idle_epochs_;
+};
+
+}  // namespace lore::os

@@ -1,0 +1,74 @@
+#include "src/os/tasks.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace lore::os {
+
+TaskSet generate_taskset(const TaskSetConfig& cfg) {
+  assert(cfg.num_tasks > 0 && cfg.total_utilization > 0.0);
+  lore::Rng rng(cfg.seed);
+
+  // UUniFast: unbiased utilization split.
+  std::vector<double> util(cfg.num_tasks);
+  double sum = cfg.total_utilization;
+  for (std::size_t i = 0; i + 1 < cfg.num_tasks; ++i) {
+    const double next =
+        sum * std::pow(rng.uniform(), 1.0 / static_cast<double>(cfg.num_tasks - 1 - i));
+    util[i] = sum - next;
+    sum = next;
+  }
+  util[cfg.num_tasks - 1] = sum;
+
+  TaskSet tasks(cfg.num_tasks);
+  for (std::size_t i = 0; i < cfg.num_tasks; ++i) {
+    Task& t = tasks[i];
+    t.id = i;
+    t.period_ms = std::exp(rng.uniform(std::log(cfg.min_period_ms), std::log(cfg.max_period_ms)));
+    t.deadline_ms = t.period_ms;
+    t.wcet_ms = std::max(0.05, util[i] * t.period_ms);
+    t.wcet_lo_ms = cfg.lo_budget_fraction * t.wcet_ms;
+    t.criticality =
+        rng.bernoulli(cfg.high_criticality_fraction) ? Criticality::kHigh : Criticality::kLow;
+    t.avf = rng.uniform(0.3, 1.0);
+    t.replicas = 1;
+  }
+  return tasks;
+}
+
+double total_utilization(const TaskSet& tasks) {
+  double u = 0.0;
+  for (const auto& t : tasks) u += t.wcet_ms / t.period_ms;
+  return u;
+}
+
+std::vector<std::size_t> partition_worst_fit(const TaskSet& tasks,
+                                             const std::vector<double>& core_capacity) {
+  assert(!core_capacity.empty());
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tasks[a].wcet_ms / tasks[a].period_ms > tasks[b].wcet_ms / tasks[b].period_ms;
+  });
+  std::vector<double> load(core_capacity.size(), 0.0);
+  std::vector<std::size_t> assignment(tasks.size(), 0);
+  for (auto ti : order) {
+    // Core with the most remaining normalized room.
+    std::size_t best = 0;
+    double best_room = -1e30;
+    for (std::size_t c = 0; c < core_capacity.size(); ++c) {
+      const double room = core_capacity[c] - load[c];
+      if (room > best_room) {
+        best_room = room;
+        best = c;
+      }
+    }
+    assignment[ti] = best;
+    load[best] += tasks[ti].wcet_ms / tasks[ti].period_ms;
+  }
+  return assignment;
+}
+
+}  // namespace lore::os

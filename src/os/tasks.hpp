@@ -1,0 +1,57 @@
+// Periodic real-time task model with mixed-criticality attributes (Sec. IV
+// and the Sec. VI-B open challenge): WCET budgets per criticality level,
+// replicas for fault tolerance, and UUniFast task-set generation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace lore::os {
+
+enum class Criticality : std::uint8_t { kLow, kHigh };
+
+struct Task {
+  std::size_t id = 0;
+  double period_ms = 100.0;
+  double deadline_ms = 100.0;  // relative deadline
+  /// WCET on the reference core at maximum frequency (the HI-mode budget).
+  double wcet_ms = 10.0;
+  /// Optimistic LO-mode budget for mixed-criticality scheduling.
+  double wcet_lo_ms = 10.0;
+  Criticality criticality = Criticality::kLow;
+  /// Task-level vulnerability scale (how much architectural state it exposes).
+  double avf = 1.0;
+  /// Number of redundant executions (1 = no redundancy).
+  std::size_t replicas = 1;
+};
+
+using TaskSet = std::vector<Task>;
+
+struct TaskSetConfig {
+  std::size_t num_tasks = 8;
+  /// Total utilization at the reference core's max frequency.
+  double total_utilization = 1.6;
+  double min_period_ms = 20.0;
+  double max_period_ms = 200.0;
+  /// Fraction of tasks marked high-criticality.
+  double high_criticality_fraction = 0.3;
+  /// LO budget = lo_budget_fraction * wcet.
+  double lo_budget_fraction = 0.6;
+  std::uint64_t seed = 71;
+};
+
+/// UUniFast utilization split + log-uniform periods.
+TaskSet generate_taskset(const TaskSetConfig& cfg);
+
+/// Sum of wcet/period over the set.
+double total_utilization(const TaskSet& tasks);
+
+/// Worst-fit decreasing partition of tasks onto `num_cores` cores by
+/// utilization; returns task -> core. Capacity weights scale per-core room
+/// (e.g. little cores get less).
+std::vector<std::size_t> partition_worst_fit(const TaskSet& tasks,
+                                             const std::vector<double>& core_capacity);
+
+}  // namespace lore::os

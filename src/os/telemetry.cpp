@@ -1,0 +1,111 @@
+#include "src/os/telemetry.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lore::os {
+
+std::vector<TelemetryRecord> generate_fleet_telemetry(const FleetConfig& cfg) {
+  assert(cfg.nodes > 0 && cfg.epochs > 1);
+  lore::Rng rng(cfg.seed);
+
+  struct NodeState {
+    bool defective = false;
+    double degradation = 0.0;   // hidden ageing state
+    double load_bias = 0.5;     // persistent workload intensity
+    double temp = 330.0;
+  };
+  std::vector<NodeState> nodes(cfg.nodes);
+  for (auto& n : nodes) {
+    n.defective = rng.bernoulli(cfg.defective_fraction);
+    n.load_bias = rng.uniform(0.2, 0.9);
+  }
+
+  std::vector<TelemetryRecord> trace;
+  trace.reserve(cfg.nodes * cfg.epochs);
+  for (std::size_t e = 0; e < cfg.epochs; ++e) {
+    for (std::size_t i = 0; i < cfg.nodes; ++i) {
+      auto& n = nodes[i];
+      TelemetryRecord r;
+      r.node = i;
+      r.epoch = e;
+      r.utilization = std::clamp(n.load_bias + rng.normal(0.0, 0.1), 0.0, 1.0);
+      r.power_w = 60.0 + 180.0 * r.utilization + rng.normal(0.0, 5.0);
+      // First-order thermal tracking of power.
+      const double t_target = 318.0 + 0.25 * r.power_w;
+      n.temp += 0.5 * (t_target - n.temp) + rng.normal(0.0, 0.5);
+      r.temperature_k = n.temp;
+
+      if (n.defective) {
+        // Hidden degradation accelerates with temperature (Arrhenius-ish).
+        n.degradation += 0.002 * std::exp((n.temp - 330.0) / 15.0);
+      }
+      const double ce_rate =
+          cfg.healthy_ce_rate * (1.0 + 0.02 * (n.temp - 330.0)) +
+          40.0 * n.degradation * r.utilization;
+      r.corrected_errors =
+          static_cast<std::uint32_t>(rng.poisson(std::max(0.01, ce_rate)));
+
+      // Uncorrected failure: rare for healthy nodes, rising steeply once a
+      // defective node's degradation and temperature compound.
+      const double failure_rate =
+          1e-4 + (n.defective ? 0.25 * n.degradation * n.degradation *
+                                    std::exp((n.temp - 330.0) / 20.0)
+                              : 0.0);
+      r.failure = rng.bernoulli(std::min(0.5, failure_rate));
+      trace.push_back(r);
+    }
+  }
+  return trace;
+}
+
+std::vector<double> telemetry_features(const std::vector<TelemetryRecord>& trace,
+                                       std::size_t node, std::size_t epoch,
+                                       std::size_t window) {
+  assert(window >= 2);
+  double temp_sum = 0.0, temp_max = 0.0, util_sum = 0.0, power_sum = 0.0;
+  double ce_total = 0.0, ce_first_half = 0.0, ce_second_half = 0.0;
+  std::size_t count = 0;
+  for (const auto& r : trace) {
+    if (r.node != node || r.epoch > epoch || r.epoch + window <= epoch) continue;
+    ++count;
+    temp_sum += r.temperature_k;
+    temp_max = std::max(temp_max, r.temperature_k);
+    util_sum += r.utilization;
+    power_sum += r.power_w;
+    ce_total += r.corrected_errors;
+    if (r.epoch + window / 2 <= epoch) ce_first_half += r.corrected_errors;
+    else ce_second_half += r.corrected_errors;
+  }
+  const double n = std::max<double>(1.0, static_cast<double>(count));
+  return {temp_sum / n,       temp_max, util_sum / n, ce_total,
+          ce_second_half - ce_first_half,  // CE trend: the tell-tale symptom
+          power_sum / n,      static_cast<double>(count)};
+}
+
+ml::Dataset failure_prediction_dataset(const std::vector<TelemetryRecord>& trace,
+                                       std::size_t window, std::size_t horizon) {
+  assert(!trace.empty() && horizon >= 1);
+  std::size_t num_nodes = 0, num_epochs = 0;
+  for (const auto& r : trace) {
+    num_nodes = std::max(num_nodes, r.node + 1);
+    num_epochs = std::max(num_epochs, r.epoch + 1);
+  }
+  // Index failures per node for the horizon lookup.
+  std::vector<std::vector<bool>> failed(num_nodes, std::vector<bool>(num_epochs, false));
+  for (const auto& r : trace) failed[r.node][r.epoch] = r.failure;
+
+  ml::Dataset d;
+  // Sample every 'window/2' epochs to bound correlation between rows.
+  for (std::size_t node = 0; node < num_nodes; ++node) {
+    for (std::size_t e = window; e + horizon < num_epochs; e += std::max<std::size_t>(1, window / 2)) {
+      bool label = false;
+      for (std::size_t h = 1; h <= horizon; ++h) label |= failed[node][e + h];
+      d.add(telemetry_features(trace, node, e, window), label ? 1 : 0);
+    }
+  }
+  return d;
+}
+
+}  // namespace lore::os

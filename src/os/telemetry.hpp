@@ -1,0 +1,61 @@
+// Large-scale error-log mining (Sec. III-B2, [22],[23]): production systems
+// accumulate months of node telemetry (temperature, utilization, corrected-
+// error counts); gradient-boosted trees mine the traces to predict which
+// nodes will fail soon, and unsupervised clustering surfaces the recurring
+// error modes. LORE generates the telemetry corpus with a hidden
+// degradation process (DESIGN.md substitution #4) and runs both analyses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/ml/dataset.hpp"
+
+namespace lore::os {
+
+/// One node-epoch telemetry record.
+struct TelemetryRecord {
+  std::size_t node = 0;
+  std::size_t epoch = 0;
+  double temperature_k = 330.0;
+  double utilization = 0.5;
+  double power_w = 100.0;
+  /// Corrected (single-bit ECC) errors this epoch — the early symptom.
+  std::uint32_t corrected_errors = 0;
+  /// Uncorrected error event this epoch (the failure being predicted).
+  bool failure = false;
+};
+
+struct FleetConfig {
+  std::size_t nodes = 48;
+  std::size_t epochs = 200;
+  /// Fraction of nodes carrying a latent defect that degrades over time.
+  double defective_fraction = 0.25;
+  /// Baseline corrected-error rate per epoch for healthy nodes.
+  double healthy_ce_rate = 0.3;
+  std::uint64_t seed = 103;
+};
+
+/// Generate the fleet trace: defective nodes heat up under load, their
+/// corrected-error rate grows with an ageing factor, and uncorrected
+/// failures fire with probability rising in (temperature, CE history).
+std::vector<TelemetryRecord> generate_fleet_telemetry(const FleetConfig& cfg);
+
+/// Feature dimension of the sliding-window failure predictor.
+inline constexpr std::size_t kTelemetryFeatureDim = 7;
+
+/// Features summarizing a node's trailing `window` epochs ending at `epoch`:
+/// mean/max temperature, mean utilization, CE total, CE trend, power mean,
+/// epochs observed.
+std::vector<double> telemetry_features(const std::vector<TelemetryRecord>& trace,
+                                       std::size_t node, std::size_t epoch,
+                                       std::size_t window);
+
+/// Build the prediction dataset: features at epoch e, label = node suffers an
+/// uncorrected failure within the next `horizon` epochs. Records within
+/// `window` of the trace start are skipped.
+ml::Dataset failure_prediction_dataset(const std::vector<TelemetryRecord>& trace,
+                                       std::size_t window, std::size_t horizon);
+
+}  // namespace lore::os

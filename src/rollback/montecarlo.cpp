@@ -1,0 +1,83 @@
+#include "src/rollback/montecarlo.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/common/stats.hpp"
+
+namespace lore::rollback {
+
+std::vector<double> ExperimentConfig::default_probability_grid() {
+  std::vector<double> grid;
+  for (double exponent = -8.0; exponent <= -3.01; exponent += 0.25)
+    grid.push_back(std::pow(10.0, exponent));
+  return grid;
+}
+
+double ExperimentResult::wall_position(SchedulerKind kind) const {
+  for (const auto& point : points) {
+    const auto it = point.hit_rate.find(kind);
+    if (it != point.hit_rate.end() && it->second < 0.5) return point.p;
+  }
+  return points.empty() ? 0.0 : points.back().p;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg,
+                                const std::vector<SchedulerKind>& schedulers) {
+  assert(!schedulers.empty());
+  ExperimentResult result;
+  result.segments = segment_adpcm_workload(cfg.segmentation);
+  lore::Rng rng(cfg.seed);
+
+  // Static budgets are p-independent; DS-ML recalibrates per point (it sees
+  // the field error rate through its calibration runs).
+  std::map<SchedulerKind, std::vector<double>> budgets;
+  for (auto kind : schedulers)
+    if (kind != SchedulerKind::kDsLearned)
+      budgets[kind] = static_budgets(kind, result.segments, cfg.mitigation.checkpoint);
+
+  for (double p : cfg.error_probabilities) {
+    SweepPoint point;
+    point.p = p;
+
+    const bool wants_learned =
+        std::find(schedulers.begin(), schedulers.end(), SchedulerKind::kDsLearned) !=
+        schedulers.end();
+    if (wants_learned) {
+      // DS-ML recalibrates at every sweep point: in deployment it would
+      // track the observed field error rate.
+      LearnedBudgetScheduler learned;
+      lore::Rng calib_rng = rng.split();
+      learned.calibrate(result.segments, p, cfg.mitigation.checkpoint, 10, calib_rng);
+      budgets[SchedulerKind::kDsLearned] =
+          learned.budgets(result.segments, cfg.mitigation.checkpoint);
+    }
+
+    lore::RunningStats rollback_stats;
+    std::map<SchedulerKind, lore::RunningStats> hit_stats;
+    for (std::size_t run = 0; run < cfg.runs_per_point; ++run) {
+      // Every scheduler sees the same error realization for this run
+      // (paired comparison): reuse one RNG stream per (point, run).
+      const std::uint64_t run_seed = rng.next_u64();
+      bool rollbacks_recorded = false;
+      for (auto kind : schedulers) {
+        lore::Rng run_rng(run_seed);
+        const auto outcome =
+            simulate_run(result.segments, budgets.at(kind), p, cfg.mitigation, run_rng);
+        hit_stats[kind].add(outcome.deadline_hit_rate);
+        if (!rollbacks_recorded) {
+          rollback_stats.add(outcome.mean_rollbacks_per_segment);
+          rollbacks_recorded = true;
+        }
+      }
+    }
+    point.avg_rollbacks_per_segment = rollback_stats.mean();
+    point.sem_rollbacks = rollback_stats.sem();
+    for (auto kind : schedulers) point.hit_rate[kind] = hit_stats[kind].mean();
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
+}  // namespace lore::rollback

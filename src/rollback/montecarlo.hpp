@@ -1,0 +1,43 @@
+// Monte Carlo harness reproducing Fig. 5 and Fig. 6 of the paper: sweep the
+// per-cycle error probability, run 100 simulations per point, and report the
+// average rollbacks per segment and the per-scheduler deadline hit rates.
+#pragma once
+
+#include <map>
+
+#include "src/rollback/schedule.hpp"
+
+namespace lore::rollback {
+
+struct ExperimentConfig {
+  SegmentationConfig segmentation{};
+  MitigationConfig mitigation{};
+  /// Error probabilities swept (the paper spans ~1e-8 .. 1e-3).
+  std::vector<double> error_probabilities = default_probability_grid();
+  std::size_t runs_per_point = 100;  // the paper's count
+  std::uint64_t seed = 97;
+
+  static std::vector<double> default_probability_grid();
+};
+
+struct SweepPoint {
+  double p = 0.0;
+  double avg_rollbacks_per_segment = 0.0;   // Fig. 5 series
+  double sem_rollbacks = 0.0;               // standard error over runs
+  std::map<SchedulerKind, double> hit_rate; // Fig. 6 series
+};
+
+struct ExperimentResult {
+  std::vector<Segment> segments;
+  std::vector<SweepPoint> points;
+
+  /// Error probability where the average hit rate of a scheduler first drops
+  /// below 0.5 (the "error rate wall" position).
+  double wall_position(SchedulerKind kind) const;
+};
+
+/// Run the full Section V experiment for the given scheduler set.
+ExperimentResult run_experiment(const ExperimentConfig& cfg,
+                                const std::vector<SchedulerKind>& schedulers);
+
+}  // namespace lore::rollback

@@ -1,0 +1,56 @@
+#include "src/rollback/optimize.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lore::rollback {
+
+double expected_cycles_with_k_checkpoints(double p, std::uint64_t nominal_cycles,
+                                          std::size_t k, const CheckpointParams& params) {
+  assert(k >= 1);
+  const std::uint64_t sub_cycles = std::max<std::uint64_t>(1, nominal_cycles / k);
+  // The final sub-segment absorbs the division remainder.
+  const std::uint64_t last_cycles = nominal_cycles - sub_cycles * (k - 1);
+  double total = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint64_t nc = i + 1 == k ? last_cycles : sub_cycles;
+    total += expected_segment_cycles(p, nc, params);
+  }
+  return total;
+}
+
+CheckpointPlan optimize_checkpoints(double p, std::uint64_t nominal_cycles,
+                                    const CheckpointParams& params, std::size_t max_k) {
+  assert(max_k >= 1);
+  CheckpointPlan best;
+  best.checkpoints = 1;
+  best.expected_cycles = expected_cycles_with_k_checkpoints(p, nominal_cycles, 1, params);
+  // The cost is unimodal in k: expand until it stops improving (with a small
+  // patience window to ride out integer-division plateaus).
+  std::size_t since_improvement = 0;
+  for (std::size_t k = 2; k <= max_k && since_improvement < 8; ++k) {
+    const double cost = expected_cycles_with_k_checkpoints(p, nominal_cycles, k, params);
+    if (cost < best.expected_cycles) {
+      best.expected_cycles = cost;
+      best.checkpoints = k;
+      since_improvement = 0;
+    } else {
+      ++since_improvement;
+    }
+  }
+  const double error_free =
+      static_cast<double>(nominal_cycles + params.checkpoint_cycles);
+  best.overhead_factor = best.expected_cycles / error_free;
+  return best;
+}
+
+double approximate_optimal_checkpoints(double p, std::uint64_t nominal_cycles,
+                                       const CheckpointParams& params) {
+  if (p <= 0.0) return 1.0;
+  const double c = static_cast<double>(params.checkpoint_cycles);
+  const double k = static_cast<double>(nominal_cycles) * std::sqrt(p / (2.0 * c));
+  return std::max(1.0, k);
+}
+
+}  // namespace lore::rollback

@@ -1,0 +1,36 @@
+// Checkpoint-interval optimization (Sec. V-D / [51]): "execution time
+// overhead can be minimized by optimizing the number of checkpoints". For a
+// segment of n_c cycles split into k checkpointed sub-segments, each attempt
+// window shrinks to n_c/k + c but every sub-segment pays the checkpoint cost;
+// the expected committed cycles are convex in k, so a small search finds the
+// optimum.
+#pragma once
+
+#include "src/rollback/error_model.hpp"
+
+namespace lore::rollback {
+
+/// Expected committed cycles for a segment of `nominal_cycles` split into
+/// `k` checkpointed sub-segments at error probability p.
+double expected_cycles_with_k_checkpoints(double p, std::uint64_t nominal_cycles,
+                                          std::size_t k, const CheckpointParams& params);
+
+struct CheckpointPlan {
+  std::size_t checkpoints = 1;
+  double expected_cycles = 0.0;
+  /// Overhead vs the error-free single-checkpoint execution.
+  double overhead_factor = 1.0;
+};
+
+/// Cost-minimizing checkpoint count in [1, max_k].
+CheckpointPlan optimize_checkpoints(double p, std::uint64_t nominal_cycles,
+                                    const CheckpointParams& params, std::size_t max_k = 256);
+
+/// First-order analytic approximation of the optimal count (Young/Daly-style
+/// for the geometric re-execution model): k* ≈ n_c * sqrt(p / (2 c)), with c
+/// the checkpoint cost. Clamped to >= 1. Useful as a sanity cross-check and
+/// as a fast seed for the exact search.
+double approximate_optimal_checkpoints(double p, std::uint64_t nominal_cycles,
+                                       const CheckpointParams& params);
+
+}  // namespace lore::rollback

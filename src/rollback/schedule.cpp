@@ -1,0 +1,110 @@
+#include "src/rollback/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lore::rollback {
+
+std::string scheduler_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kDs: return "DS";
+    case SchedulerKind::kDs15: return "DS 1.5x";
+    case SchedulerKind::kDs2: return "DS 2x";
+    case SchedulerKind::kWcet: return "WCET";
+    case SchedulerKind::kDsLearned: return "DS-ML";
+  }
+  return "?";
+}
+
+std::vector<double> static_budgets(SchedulerKind kind, const std::vector<Segment>& segments,
+                                   const CheckpointParams& checkpoint) {
+  assert(!segments.empty());
+  std::vector<double> budgets(segments.size());
+  double worst_window = 0.0;
+  for (const auto& s : segments)
+    worst_window = std::max(
+        worst_window, static_cast<double>(s.nominal_cycles + checkpoint.checkpoint_cycles));
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const double window =
+        static_cast<double>(segments[i].nominal_cycles + checkpoint.checkpoint_cycles);
+    switch (kind) {
+      case SchedulerKind::kDs: budgets[i] = window; break;
+      case SchedulerKind::kDs15: budgets[i] = 1.5 * window; break;
+      case SchedulerKind::kDs2: budgets[i] = 2.0 * window; break;
+      case SchedulerKind::kWcet: budgets[i] = worst_window; break;
+      case SchedulerKind::kDsLearned:
+        assert(false && "use LearnedBudgetScheduler for DS-ML");
+        budgets[i] = window;
+        break;
+    }
+  }
+  return budgets;
+}
+
+void LearnedBudgetScheduler::calibrate(const std::vector<Segment>& segments, double p,
+                                       const CheckpointParams& checkpoint, std::size_t runs,
+                                       lore::Rng& rng) {
+  ml::Matrix x;
+  std::vector<double> y;
+  for (std::size_t r = 0; r < runs; ++r) {
+    for (const auto& seg : segments) {
+      const auto cycles = sample_segment_cycles(p, seg.nominal_cycles, checkpoint, rng);
+      const double window =
+          static_cast<double>(seg.nominal_cycles + checkpoint.checkpoint_cycles);
+      const double features[] = {window};
+      x.push_row(features);
+      y.push_back(static_cast<double>(cycles));
+    }
+  }
+  model_.fit(x, y);
+  calibrated_ = true;
+}
+
+std::vector<double> LearnedBudgetScheduler::budgets(const std::vector<Segment>& segments,
+                                                    const CheckpointParams& checkpoint) const {
+  assert(calibrated_);
+  double worst_window = 0.0;
+  for (const auto& s : segments)
+    worst_window = std::max(
+        worst_window, static_cast<double>(s.nominal_cycles + checkpoint.checkpoint_cycles));
+  std::vector<double> out(segments.size());
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const double window =
+        static_cast<double>(segments[i].nominal_cycles + checkpoint.checkpoint_cycles);
+    const double features[] = {window};
+    // Never below the error-free window, never above the WCET allocation:
+    // the learner reallocates slack, it does not extend the deadline.
+    out[i] = std::clamp(safety_margin_ * model_.predict(features), window, worst_window);
+  }
+  return out;
+}
+
+RunOutcome simulate_run(const std::vector<Segment>& segments,
+                        const std::vector<double>& budgets_cycles, double p,
+                        const MitigationConfig& cfg, lore::Rng& rng) {
+  assert(segments.size() == budgets_cycles.size());
+  RunOutcome out;
+  double cum_deadline = 0.0;   // nominal-speed cycle budget consumed so far
+  double cum_executed = 0.0;   // committed cycles normalized to nominal speed
+  std::size_t hits = 0;
+  std::uint64_t total_rollbacks = 0;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    std::uint64_t rollbacks = 0;
+    const std::uint64_t cycles =
+        sample_segment_cycles(p, segments[i].nominal_cycles, cfg.checkpoint, rng, &rollbacks);
+    total_rollbacks += rollbacks;
+    out.total_cycles += cycles;
+    cum_deadline += budgets_cycles[i];
+    // The controller can run up to speed_ratio faster: committed cycles cost
+    // cycles/speed_ratio nominal-speed cycles at best.
+    cum_executed += static_cast<double>(cycles) / cfg.speed_ratio;
+    if (cum_executed <= cum_deadline) ++hits;
+  }
+  out.mean_rollbacks_per_segment =
+      static_cast<double>(total_rollbacks) / static_cast<double>(segments.size());
+  out.deadline_hit_rate = static_cast<double>(hits) / static_cast<double>(segments.size());
+  return out;
+}
+
+}  // namespace lore::rollback

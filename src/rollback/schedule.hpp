@@ -1,0 +1,79 @@
+// Cycle-noise mitigation (Sec. V-C): budget scheduling per segment plus
+// speed scaling. Four algorithms from the paper — DS (dynamic-scenario
+// based, tightest budgets), DS-1.5x, DS-2x, and WCET (most conservative) —
+// plus LORE's learning-based extension (the paper: "cycle-noise mitigation
+// can be optimized by learning-based approaches to improve its prediction
+// accuracy of execution time").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ml/linear.hpp"
+#include "src/rollback/adpcm.hpp"
+#include "src/rollback/error_model.hpp"
+
+namespace lore::rollback {
+
+enum class SchedulerKind : std::uint8_t { kDs, kDs15, kDs2, kWcet, kDsLearned };
+
+std::string scheduler_name(SchedulerKind kind);
+
+struct MitigationConfig {
+  /// Speed headroom of the processor: max over nominal frequency. The
+  /// mitigation controller may raise speed up to this ratio to absorb
+  /// rollback-induced cycle noise.
+  double speed_ratio = 2.0;
+  CheckpointParams checkpoint{};
+};
+
+/// Per-segment budgets in nominal-speed cycles for the four static
+/// algorithms. DS budgets equal the segment window (segment + checkpoint);
+/// the scaled variants multiply them; WCET gives every segment the worst
+/// window of the set.
+std::vector<double> static_budgets(SchedulerKind kind, const std::vector<Segment>& segments,
+                                   const CheckpointParams& checkpoint);
+
+/// Learning-based budgets: a ridge regressor trained on observed
+/// (window -> committed cycles) pairs from calibration runs predicts each
+/// segment's execution time; budgets add a small safety margin.
+class LearnedBudgetScheduler {
+ public:
+  explicit LearnedBudgetScheduler(double safety_margin = 1.1)
+      : safety_margin_(safety_margin) {}
+
+  /// Calibrate from `runs` Monte Carlo runs at the given error probability
+  /// (in deployment this is the observed field error rate).
+  void calibrate(const std::vector<Segment>& segments, double p,
+                 const CheckpointParams& checkpoint, std::size_t runs, lore::Rng& rng);
+
+  bool calibrated() const { return calibrated_; }
+  /// Budgets are clamped to [segment window, worst-case window]: the learned
+  /// scheduler reallocates within the WCET envelope — it cannot grant itself
+  /// more time than the most conservative static allocation would.
+  std::vector<double> budgets(const std::vector<Segment>& segments,
+                              const CheckpointParams& checkpoint) const;
+
+ private:
+  double safety_margin_;
+  ml::RidgeRegression model_{1e-6};
+  bool calibrated_ = false;
+};
+
+/// Outcome of simulating one application run under one budget assignment.
+struct RunOutcome {
+  double mean_rollbacks_per_segment = 0.0;
+  /// Fraction of segments whose cumulative completion met the cumulative
+  /// deadline (slack carries over; the controller may run at max speed).
+  double deadline_hit_rate = 0.0;
+  std::uint64_t total_cycles = 0;
+};
+
+/// Simulate one run: sample rollbacks per segment from Eq. (2), account
+/// committed cycles, check each segment's cumulative deadline assuming the
+/// mitigation controller absorbs noise with up to `speed_ratio` speedup.
+RunOutcome simulate_run(const std::vector<Segment>& segments,
+                        const std::vector<double>& budgets_cycles, double p,
+                        const MitigationConfig& cfg, lore::Rng& rng);
+
+}  // namespace lore::rollback

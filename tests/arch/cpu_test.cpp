@@ -1,0 +1,170 @@
+#include "src/arch/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/arch/workloads.hpp"
+#include "src/common/rng.hpp"
+
+namespace lore::arch {
+namespace {
+
+TEST(Cpu, ArithmeticExecution) {
+  Cpu cpu(64);
+  cpu.load_program({li(1, 6), li(2, 7), mul(3, 1, 2), halt()});
+  EXPECT_EQ(cpu.run(100), RunState::kHalted);
+  EXPECT_EQ(cpu.reg(3), 42u);
+  EXPECT_EQ(cpu.cycles(), 4u);
+}
+
+TEST(Cpu, MemoryLoadStore) {
+  Cpu cpu(64);
+  cpu.set_mem(10, 123);
+  cpu.load_program({li(1, 10), ld(2, 1, 0), addi(2, 2, 1), st(2, 1, 5), halt()});
+  EXPECT_EQ(cpu.run(100), RunState::kHalted);
+  EXPECT_EQ(cpu.mem(15), 124u);
+}
+
+TEST(Cpu, BranchLoop) {
+  // Sum 1..5 via blt loop.
+  Cpu cpu(64);
+  const auto prog = assemble(
+      "  li r1, 1\n"
+      "  li r2, 6\n"
+      "  li r3, 0\n"
+      "loop:\n"
+      "  add r3, r3, r1\n"
+      "  addi r1, r1, 1\n"
+      "  blt r1, r2, loop\n"
+      "  halt\n");
+  ASSERT_TRUE(prog.has_value());
+  cpu.load_program(*prog);
+  EXPECT_EQ(cpu.run(1000), RunState::kHalted);
+  EXPECT_EQ(cpu.reg(3), 15u);
+}
+
+TEST(Cpu, InvalidMemoryTraps) {
+  Cpu cpu(16);
+  cpu.load_program({li(1, 9999), ld(2, 1, 0), halt()});
+  EXPECT_EQ(cpu.run(100), RunState::kTrapped);
+}
+
+TEST(Cpu, FallingOffProgramTraps) {
+  Cpu cpu(16);
+  cpu.load_program({nop(), nop()});
+  EXPECT_EQ(cpu.run(100), RunState::kTrapped);
+}
+
+TEST(Cpu, InfiniteLoopTimesOut) {
+  Cpu cpu(16);
+  cpu.load_program({jmp(0)});
+  EXPECT_EQ(cpu.run(500), RunState::kTimedOut);
+  EXPECT_GE(cpu.cycles(), 500u);
+}
+
+TEST(Cpu, ResetRestoresCleanState) {
+  Cpu cpu(16);
+  cpu.load_program({li(1, 42), halt()});
+  cpu.run(10);
+  EXPECT_EQ(cpu.reg(1), 42u);
+  cpu.reset();
+  EXPECT_EQ(cpu.reg(1), 0u);
+  EXPECT_EQ(cpu.cycles(), 0u);
+  EXPECT_EQ(cpu.state(), RunState::kRunning);
+}
+
+TEST(Cpu, UsageCountersTrackAccesses) {
+  Cpu cpu(16);
+  cpu.load_program({li(1, 2), add(2, 1, 1), halt()});
+  cpu.run(10);
+  EXPECT_EQ(cpu.register_writes()[1], 1u);
+  EXPECT_EQ(cpu.register_reads()[1], 2u);
+  EXPECT_EQ(cpu.register_writes()[2], 1u);
+  EXPECT_EQ(cpu.instruction_counts()[0], 1u);
+}
+
+TEST(Cpu, FlipRegisterBitChangesValue) {
+  Cpu cpu(16);
+  cpu.set_reg(3, 0b100);
+  cpu.flip_register_bit(3, 2);
+  EXPECT_EQ(cpu.reg(3), 0u);
+  cpu.flip_register_bit(3, 31);
+  EXPECT_EQ(cpu.reg(3), 0x80000000u);
+}
+
+TEST(Workloads, GoldenResultsMatchHostComputation) {
+  // Dot product of known vectors computed both on host and on the CPU.
+  const auto w = make_dot_product(16, 99);
+  Cpu cpu(w.memory_words);
+  cpu.load_program(w.program);
+  std::uint64_t expected = 0;
+  std::vector<std::uint32_t> a(16), b(16);
+  for (const auto& [addr, value] : w.memory_init) {
+    cpu.set_mem(addr, value);
+    if (addr < 16) a[addr] = value;
+    else b[addr - 16] = value;
+  }
+  for (int i = 0; i < 16; ++i) expected += static_cast<std::uint64_t>(a[i]) * b[i];
+  EXPECT_EQ(cpu.run(w.max_cycles), RunState::kHalted);
+  EXPECT_EQ(cpu.mem(w.output_base), static_cast<std::uint32_t>(expected));
+}
+
+TEST(Workloads, BubbleSortSorts) {
+  const auto w = make_bubble_sort(12, 5);
+  Cpu cpu(w.memory_words);
+  cpu.load_program(w.program);
+  for (const auto& [addr, value] : w.memory_init) cpu.set_mem(addr, value);
+  EXPECT_EQ(cpu.run(w.max_cycles), RunState::kHalted);
+  for (std::size_t i = 0; i + 1 < 12; ++i) EXPECT_LE(cpu.mem(i), cpu.mem(i + 1));
+}
+
+TEST(Workloads, FibonacciValue) {
+  const auto w = make_fibonacci(10);
+  Cpu cpu(w.memory_words);
+  cpu.load_program(w.program);
+  EXPECT_EQ(cpu.run(w.max_cycles), RunState::kHalted);
+  EXPECT_EQ(cpu.mem(w.output_base), 55u);  // fib(10)
+}
+
+TEST(Workloads, FindMaxValue) {
+  const auto w = make_find_max(20, 7);
+  Cpu cpu(w.memory_words);
+  cpu.load_program(w.program);
+  std::uint32_t expected = 0;
+  for (const auto& [addr, value] : w.memory_init) {
+    cpu.set_mem(addr, value);
+    expected = std::max(expected, value);
+  }
+  EXPECT_EQ(cpu.run(w.max_cycles), RunState::kHalted);
+  EXPECT_EQ(cpu.mem(w.output_base), expected);
+}
+
+TEST(Workloads, MatmulSmallCase) {
+  const auto w = make_matmul(3, 11);
+  Cpu cpu(w.memory_words);
+  cpu.load_program(w.program);
+  std::uint32_t a[9] = {}, b[9] = {};
+  for (const auto& [addr, value] : w.memory_init) {
+    cpu.set_mem(addr, value);
+    if (addr < 9) a[addr] = value;
+    else b[addr - 9] = value;
+  }
+  EXPECT_EQ(cpu.run(w.max_cycles), RunState::kHalted);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) {
+      std::uint32_t c = 0;
+      for (int k = 0; k < 3; ++k) c += a[i * 3 + k] * b[k * 3 + j];
+      EXPECT_EQ(cpu.mem(w.output_base + static_cast<std::size_t>(i * 3 + j)), c);
+    }
+}
+
+TEST(Workloads, StandardSuiteAllHalt) {
+  for (const auto& w : standard_workloads(2, 123)) {
+    Cpu cpu(w.memory_words);
+    cpu.load_program(w.program);
+    for (const auto& [addr, value] : w.memory_init) cpu.set_mem(addr, value);
+    EXPECT_EQ(cpu.run(w.max_cycles), RunState::kHalted) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace lore::arch

@@ -1,0 +1,134 @@
+#include "src/arch/crossbar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/ml/metrics.hpp"
+
+namespace lore::arch {
+namespace {
+
+/// Mission DNN for crossbar deployment: 8-dim 3-class blobs.
+struct Mission {
+  ml::MlpClassifier classifier{ml::MlpConfig{.hidden = {16, 12}, .epochs = 150}};
+  ml::Matrix inputs;
+  std::vector<int> labels;
+
+  Mission() {
+    lore::Rng rng(910);
+    std::vector<std::vector<double>> centers(3, std::vector<double>(8));
+    for (auto& c : centers)
+      for (auto& v : c) v = rng.uniform(-1.0, 1.0);
+    std::vector<double> row(8);
+    for (int i = 0; i < 240; ++i) {
+      const int cls = i % 3;
+      for (std::size_t c = 0; c < 8; ++c)
+        row[c] = centers[static_cast<std::size_t>(cls)][c] + rng.normal(0.0, 0.15);
+      inputs.push_row(row);
+      labels.push_back(cls);
+    }
+    classifier.fit(inputs, labels);
+  }
+};
+
+TEST(Crossbar, FaultFreeInferenceMatchesSourceNetwork) {
+  Mission m;
+  CrossbarAccelerator accel(m.classifier.network(), /*g_max=*/10.0);  // no clipping
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < m.inputs.rows(); ++i)
+    agree += accel.classify(m.inputs.row(i)) == m.classifier.predict(m.inputs.row(i));
+  EXPECT_EQ(agree, m.inputs.rows());
+}
+
+TEST(Crossbar, GeometryAndCellCount) {
+  Mission m;
+  CrossbarAccelerator accel(m.classifier.network());
+  EXPECT_EQ(accel.num_layers(), 3u);
+  EXPECT_EQ(accel.layer_rows(0), 8u);
+  EXPECT_EQ(accel.layer_cols(0), 16u);
+  EXPECT_EQ(accel.num_cells(), 8u * 16u + 16u * 12u + 12u * 3u);
+}
+
+TEST(Crossbar, StuckCellOverridesWeight) {
+  Mission m;
+  CrossbarAccelerator accel(m.classifier.network());
+  CrossbarFault f{.layer = 0, .row = 2, .col = 3, .type = CrossbarFaultType::kStuckAtHigh};
+  EXPECT_DOUBLE_EQ(accel.stuck_value(f), 2.0);
+  f.type = CrossbarFaultType::kStuckAtLow;
+  EXPECT_DOUBLE_EQ(accel.stuck_value(f), -2.0);
+  // Faulty inference must differ from clean inference for at least some
+  // inputs when the struck weight changes a lot.
+  const double w = accel.cell_weight(f);
+  if (std::abs(w - accel.stuck_value(f)) > 1.0) {
+    std::size_t diffs = 0;
+    for (std::size_t i = 0; i < 50; ++i) {
+      const auto clean = accel.infer(m.inputs.row(i));
+      const auto faulty = accel.infer(m.inputs.row(i), &f);
+      for (std::size_t o = 0; o < clean.size(); ++o)
+        diffs += std::abs(clean[o] - faulty[o]) > 1e-12;
+    }
+    EXPECT_GT(diffs, 0u);
+  }
+}
+
+TEST(Crossbar, CriticalityBoundsAndVariation) {
+  Mission m;
+  CrossbarAccelerator accel(m.classifier.network());
+  lore::Rng rng(911);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    const auto fault = accel.random_fault(rng);
+    const double c = fault_criticality(accel, fault, m.inputs);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  // Some faults are benign, some harmful — the [28] selective-protection
+  // premise.
+  EXPECT_LT(lo, 0.05);
+  EXPECT_GT(hi, 0.1);
+}
+
+TEST(Crossbar, FeatureDimAndContent) {
+  Mission m;
+  CrossbarAccelerator accel(m.classifier.network());
+  const auto activity = mean_line_activations(accel, m.classifier.network(), m.inputs);
+  CrossbarFault f{.layer = 2, .row = 1, .col = 0, .type = CrossbarFaultType::kStuckAtHigh};
+  const auto features = crossbar_fault_features(accel, f, activity);
+  ASSERT_EQ(features.size(), kCrossbarFaultFeatureDim);
+  EXPECT_DOUBLE_EQ(features[2], 1.0);  // stuck-high polarity
+  EXPECT_DOUBLE_EQ(features[3], 1.0);  // last layer
+  EXPECT_DOUBLE_EQ(features[6], 1.0);  // output-layer flag
+  EXPECT_GE(features[7], 0.0);         // line activity
+  EXPECT_NEAR(features[8], features[1] * features[7], 1e-12);
+}
+
+TEST(Crossbar, ActivationProfileMatchesNetworkLayers) {
+  Mission m;
+  CrossbarAccelerator accel(m.classifier.network());
+  const auto activity = mean_line_activations(accel, m.classifier.network(), m.inputs);
+  ASSERT_EQ(activity.size(), accel.num_layers());
+  for (std::size_t l = 0; l < activity.size(); ++l) {
+    ASSERT_EQ(activity[l].size(), accel.layer_rows(l));
+    for (double a : activity[l]) EXPECT_GE(a, 0.0);
+  }
+}
+
+TEST(Crossbar, SmallNnPredictsCriticality) {
+  // The [28] experiment: train a small NN to classify critical faults.
+  Mission m;
+  CrossbarAccelerator accel(m.classifier.network());
+  lore::Rng rng(912);
+  const auto train =
+      crossbar_fault_dataset(accel, m.classifier.network(), m.inputs, 350, 0.02, rng);
+  const auto test =
+      crossbar_fault_dataset(accel, m.classifier.network(), m.inputs, 150, 0.02, rng);
+
+  ml::MlpClassifier predictor(ml::MlpConfig{.hidden = {12}, .epochs = 200});
+  predictor.fit(train.x, train.labels);
+  const double acc = ml::accuracy(test.labels, predictor.predict_batch(test.x));
+  EXPECT_GT(acc, 0.85) << "criticality prediction accuracy " << acc;
+}
+
+}  // namespace
+}  // namespace lore::arch

@@ -1,0 +1,99 @@
+#include "src/arch/fault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lore::arch {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  FaultTest() : workload_(make_dot_product(12, 42)), injector_(workload_) {}
+  Workload workload_;
+  FaultInjector injector_;
+};
+
+TEST_F(FaultTest, GoldenRunCaptured) {
+  EXPECT_GT(injector_.golden().cycles, 0u);
+  EXPECT_EQ(injector_.golden().output.size(), 1u);
+}
+
+TEST_F(FaultTest, InjectionIsDeterministic) {
+  const FaultSite site{FaultTarget::kRegister, 3, 7, 20};
+  const auto a = injector_.inject(site);
+  const auto b = injector_.inject(site);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.active_instruction, b.active_instruction);
+}
+
+TEST_F(FaultTest, LateInjectionIsBenign) {
+  // Injection after program completion cannot corrupt the output.
+  FaultSite site{FaultTarget::kRegister, 3, 7, injector_.golden().cycles + 100};
+  EXPECT_EQ(injector_.inject(site).outcome, Outcome::kBenign);
+}
+
+TEST_F(FaultTest, UnusedRegisterIsBenign) {
+  // r15 is never used by the dot product kernel.
+  FaultSite site{FaultTarget::kRegister, 15, 5, 10};
+  EXPECT_EQ(injector_.inject(site).outcome, Outcome::kBenign);
+}
+
+TEST_F(FaultTest, AccumulatorFaultCausesSdc) {
+  // r3 is the accumulator; flipping a high bit just before the store must
+  // change the stored result.
+  FaultSite site{FaultTarget::kRegister, 3, 30, injector_.golden().cycles - 3};
+  EXPECT_EQ(injector_.inject(site).outcome, Outcome::kSdc);
+}
+
+TEST_F(FaultTest, OutputMemoryFaultAfterStoreIsSdc) {
+  FaultSite site{FaultTarget::kMemory, workload_.output_base, 4,
+                 injector_.golden().cycles - 1};
+  EXPECT_EQ(injector_.inject(site).outcome, Outcome::kSdc);
+}
+
+TEST_F(FaultTest, CampaignProducesAllRecords) {
+  lore::Rng rng(1);
+  const auto records = injector_.campaign(200, FaultTarget::kRegister, rng);
+  EXPECT_EQ(records.size(), 200u);
+  const auto mix = summarize(records);
+  EXPECT_EQ(mix.total(), 200u);
+  EXPECT_GT(mix.benign, 0u);             // most register bits are dead
+  EXPECT_GT(mix.sdc + mix.crash + mix.hang, 0u);  // some must fail
+}
+
+TEST_F(FaultTest, AvfMatchesSummary) {
+  lore::Rng rng(2);
+  const auto records = injector_.campaign(150, FaultTarget::kRegister, rng);
+  const auto mix = summarize(records);
+  EXPECT_DOUBLE_EQ(avf(records), mix.fraction_failure());
+}
+
+TEST_F(FaultTest, InstructionFaultsCanCrash) {
+  lore::Rng rng(3);
+  const auto records = injector_.campaign(300, FaultTarget::kInstruction, rng);
+  const auto mix = summarize(records);
+  // Opcode/field corruption is much more disruptive than register noise.
+  EXPECT_GT(mix.fraction_failure(), 0.05);
+}
+
+TEST_F(FaultTest, RandomSitesRespectBounds) {
+  lore::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const auto site = injector_.random_site(rng, FaultTarget::kRegister);
+    EXPECT_LT(site.index, kNumRegisters);
+    EXPECT_LT(site.bit, 32u);
+    EXPECT_LE(site.cycle, injector_.golden().cycles);
+    const auto isite = injector_.random_site(rng, FaultTarget::kInstruction);
+    EXPECT_LT(isite.index, workload_.program.size());
+  }
+}
+
+TEST(OutcomeNames, AllDistinct) {
+  EXPECT_EQ(outcome_name(Outcome::kBenign), "benign");
+  EXPECT_EQ(outcome_name(Outcome::kSdc), "sdc");
+  EXPECT_EQ(outcome_name(Outcome::kCrash), "crash");
+  EXPECT_EQ(outcome_name(Outcome::kHang), "hang");
+  EXPECT_EQ(outcome_name(Outcome::kDetected), "detected");
+}
+
+}  // namespace
+}  // namespace lore::arch

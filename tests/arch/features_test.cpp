@@ -1,0 +1,88 @@
+#include "src/arch/features.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lore::arch {
+namespace {
+
+TEST(RegisterFeatures, DimensionAndContent) {
+  const auto w = make_dot_product(8, 1);
+  const auto f_acc = register_features(w, 3);  // accumulator: heavily used
+  const auto f_dead = register_features(w, 15);
+  ASSERT_EQ(f_acc.size(), kRegisterFeatureDim);
+  ASSERT_EQ(f_dead.size(), kRegisterFeatureDim);
+  EXPECT_GT(f_acc[0], f_dead[0]);  // more reads per cycle
+  EXPECT_GT(f_acc[3], f_dead[3]);  // larger fanout
+}
+
+TEST(InstructionFeatures, FlagsReflectOpcode) {
+  Program p{li(1, 5), ld(2, 1, 0), st(2, 1, 1), beq(1, 2, 0), halt()};
+  const auto f_ld = instruction_features(p, 1);
+  ASSERT_EQ(f_ld.size(), kInstructionFeatureDim);
+  EXPECT_DOUBLE_EQ(f_ld[2], 1.0);  // memory flag
+  const auto f_beq = instruction_features(p, 3);
+  EXPECT_DOUBLE_EQ(f_beq[3], 1.0);  // branch flag
+  const auto f_li = instruction_features(p, 0);
+  EXPECT_DOUBLE_EQ(f_li[1], 1.0);  // writes register
+}
+
+TEST(InstructionFeatures, FanoutCountsUsesUntilRedefinition) {
+  Program p{li(1, 5), add(2, 1, 1), add(3, 1, 2), li(1, 0), add(4, 1, 1), halt()};
+  const auto f = instruction_features(p, 0);
+  // r1 defined at 0 is read by instructions 1 and 2, then redefined at 3.
+  EXPECT_DOUBLE_EQ(f[6], 2.0);
+}
+
+TEST(ProgramGraph, NodesEdgesAndTypes) {
+  Program p{li(1, 5), add(2, 1, 1), st(2, 0, 0), halt()};
+  const auto g = build_program_graph(p);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  // Data dependencies 0->1 (r1) and 1->2 (r2), control chain 0->1->2->3;
+  // every edge exists in both directions with a distinct type.
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_EQ(g.num_edge_types(), 4);
+  // Node 1: data-fwd from 0, data-back from 2, control-fwd from 0,
+  // control-back from 2.
+  EXPECT_EQ(g.in_neighbours(1).size(), 4u);
+}
+
+TEST(ProgramGraph, BranchTargetGetsControlEdge) {
+  Program p{li(1, 0), beq(1, 1, 0), halt()};
+  const auto g = build_program_graph(p);
+  // Node 0 has a forward control in-edge from the branch at 1.
+  bool found = false;
+  for (const auto& [src, type] : g.in_neighbours(0))
+    if (src == 1 && type == 2) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(VulnerabilityDataset, LabelsFollowThreshold) {
+  const auto w = make_checksum(10, 3);
+  FaultInjector injector(w);
+  lore::Rng rng(5);
+  const auto records = injector.campaign(400, FaultTarget::kRegister, rng);
+  const auto d = register_vulnerability_dataset(w, records, 0.2);
+  EXPECT_GT(d.size(), 4u);
+  EXPECT_EQ(d.features(), kRegisterFeatureDim);
+  // Targets carry the raw failure rates aligned with labels.
+  for (std::size_t i = 0; i < d.size(); ++i)
+    EXPECT_EQ(d.labels[i], d.targets[i] > 0.2 ? 1 : 0);
+}
+
+TEST(InstructionLabels, OutcomeArgmaxAndUnlabeled) {
+  Program p{li(1, 5), halt()};
+  std::vector<FaultRecord> records;
+  FaultRecord r;
+  r.site = {FaultTarget::kInstruction, 0, 3, 1};
+  r.outcome = Outcome::kSdc;
+  records.push_back(r);
+  records.push_back(r);
+  r.outcome = Outcome::kBenign;
+  records.push_back(r);
+  const auto labels = instruction_outcome_labels(p, records);
+  EXPECT_EQ(labels[0], 1);   // SDC-dominant
+  EXPECT_EQ(labels[1], -1);  // no observations
+}
+
+}  // namespace
+}  // namespace lore::arch

@@ -1,0 +1,87 @@
+#include "src/arch/isa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lore::arch {
+namespace {
+
+TEST(Isa, FactoriesSetFields) {
+  const auto ins = add(1, 2, 3);
+  EXPECT_EQ(ins.op, Opcode::kAdd);
+  EXPECT_EQ(ins.rd, 1);
+  EXPECT_EQ(ins.rs1, 2);
+  EXPECT_EQ(ins.rs2, 3);
+  const auto load = ld(4, 5, -8);
+  EXPECT_EQ(load.op, Opcode::kLd);
+  EXPECT_EQ(load.imm, -8);
+}
+
+TEST(Isa, Classification) {
+  EXPECT_TRUE(writes_register(Opcode::kAdd));
+  EXPECT_TRUE(writes_register(Opcode::kLd));
+  EXPECT_FALSE(writes_register(Opcode::kSt));
+  EXPECT_FALSE(writes_register(Opcode::kBeq));
+  EXPECT_TRUE(is_branch(Opcode::kJmp));
+  EXPECT_TRUE(is_memory(Opcode::kSt));
+  EXPECT_FALSE(is_memory(Opcode::kAdd));
+}
+
+TEST(Isa, SourceRegisters) {
+  EXPECT_EQ(source_registers(add(1, 2, 3)), (std::vector<unsigned>{2, 3}));
+  EXPECT_EQ(source_registers(li(1, 5)), (std::vector<unsigned>{}));
+  EXPECT_EQ(source_registers(st(7, 2, 0)), (std::vector<unsigned>{2, 7}));
+  EXPECT_EQ(source_registers(addi(1, 4, 2)), (std::vector<unsigned>{4}));
+}
+
+TEST(Isa, ToStringRoundTrips) {
+  EXPECT_EQ(to_string(add(1, 2, 3)), "add r1, r2, r3");
+  EXPECT_EQ(to_string(li(5, -7)), "li r5, -7");
+  EXPECT_EQ(to_string(ld(2, 3, 4)), "ld r2, 4(r3)");
+  EXPECT_EQ(to_string(halt()), "halt");
+}
+
+TEST(Assembler, BasicProgram) {
+  const auto prog = assemble("li r1, 10\naddi r2, r1, 5\nhalt\n");
+  ASSERT_TRUE(prog.has_value());
+  ASSERT_EQ(prog->size(), 3u);
+  EXPECT_EQ((*prog)[0].op, Opcode::kLi);
+  EXPECT_EQ((*prog)[1].imm, 5);
+  EXPECT_EQ((*prog)[2].op, Opcode::kHalt);
+}
+
+TEST(Assembler, LabelsResolve) {
+  const auto prog = assemble(
+      "  li r1, 0\n"
+      "loop:\n"
+      "  addi r1, r1, 1\n"
+      "  blt r1, r2, loop\n"
+      "  halt\n");
+  ASSERT_TRUE(prog.has_value());
+  EXPECT_EQ((*prog)[2].imm, 1);  // loop points at the addi
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const auto prog = assemble("; header comment\n\n  li r1, 1 ; trailing\n  halt\n");
+  ASSERT_TRUE(prog.has_value());
+  EXPECT_EQ(prog->size(), 2u);
+}
+
+TEST(Assembler, MemorySyntax) {
+  const auto prog = assemble("ld r1, 8(r2)\nst r3, -4(r5)\nhalt\n");
+  ASSERT_TRUE(prog.has_value());
+  EXPECT_EQ((*prog)[0].rs1, 2);
+  EXPECT_EQ((*prog)[0].imm, 8);
+  EXPECT_EQ((*prog)[1].rs2, 3);
+  EXPECT_EQ((*prog)[1].imm, -4);
+}
+
+TEST(Assembler, ErrorsReported) {
+  std::string err;
+  EXPECT_FALSE(assemble("frobnicate r1, r2\n", &err).has_value());
+  EXPECT_NE(err.find("unknown opcode"), std::string::npos);
+  EXPECT_FALSE(assemble("add r1, r2\n", &err).has_value());
+  EXPECT_FALSE(assemble("li r99, 4\n", &err).has_value());
+}
+
+}  // namespace
+}  // namespace lore::arch

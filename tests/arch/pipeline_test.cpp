@@ -1,0 +1,137 @@
+#include "src/arch/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/arch/fault.hpp"
+
+namespace lore::arch {
+namespace {
+
+TEST(PipelineCpu, SimpleArithmetic) {
+  PipelineCpu cpu(64);
+  cpu.load_program({li(1, 6), li(2, 7), mul(3, 1, 2), halt()});
+  EXPECT_EQ(cpu.run(100), RunState::kHalted);
+  EXPECT_EQ(cpu.reg(3), 42u);
+  EXPECT_EQ(cpu.instructions_retired(), 4u);
+  // 4 instructions + 4 fill cycles on a 5-stage pipe.
+  EXPECT_EQ(cpu.cycles(), 8u);
+}
+
+TEST(PipelineCpu, ForwardingBackToBackDependency) {
+  PipelineCpu cpu(64);
+  cpu.load_program({li(1, 5), add(2, 1, 1), add(3, 2, 2), sub(4, 3, 1), halt()});
+  EXPECT_EQ(cpu.run(100), RunState::kHalted);
+  EXPECT_EQ(cpu.reg(2), 10u);
+  EXPECT_EQ(cpu.reg(3), 20u);
+  EXPECT_EQ(cpu.reg(4), 15u);
+  EXPECT_EQ(cpu.stall_cycles(), 0u);  // pure ALU chains never stall
+}
+
+TEST(PipelineCpu, LoadUseHazardStallsOnce) {
+  PipelineCpu cpu(64);
+  cpu.set_mem(5, 99);
+  cpu.load_program({li(1, 5), ld(2, 1, 0), add(3, 2, 2), halt()});
+  EXPECT_EQ(cpu.run(100), RunState::kHalted);
+  EXPECT_EQ(cpu.reg(3), 198u);
+  EXPECT_EQ(cpu.stall_cycles(), 1u);
+}
+
+TEST(PipelineCpu, BranchFlushesWrongPath) {
+  // beq taken skips the li r5 on the wrong path.
+  const auto prog = assemble(
+      "  li r1, 1\n"
+      "  beq r1, r1, target\n"
+      "  li r5, 99\n"
+      "  li r5, 98\n"
+      "target:\n"
+      "  halt\n");
+  ASSERT_TRUE(prog.has_value());
+  PipelineCpu cpu(64);
+  cpu.load_program(*prog);
+  EXPECT_EQ(cpu.run(100), RunState::kHalted);
+  EXPECT_EQ(cpu.reg(5), 0u);  // wrong path squashed
+  EXPECT_GT(cpu.flush_cycles(), 0u);
+}
+
+TEST(PipelineCpu, LoopsExecuteCorrectly) {
+  const auto prog = assemble(
+      "  li r1, 0\n"
+      "  li r2, 10\n"
+      "  li r3, 0\n"
+      "loop:\n"
+      "  add r3, r3, r1\n"
+      "  addi r1, r1, 1\n"
+      "  blt r1, r2, loop\n"
+      "  halt\n");
+  ASSERT_TRUE(prog.has_value());
+  PipelineCpu cpu(64);
+  cpu.load_program(*prog);
+  EXPECT_EQ(cpu.run(1000), RunState::kHalted);
+  EXPECT_EQ(cpu.reg(3), 45u);
+  EXPECT_GT(cpu.cpi(), 1.0);  // branch flushes cost cycles
+}
+
+TEST(PipelineCpu, InvalidMemoryTraps) {
+  PipelineCpu cpu(16);
+  cpu.load_program({li(1, 9999), ld(2, 1, 0), halt()});
+  EXPECT_EQ(cpu.run(100), RunState::kTrapped);
+}
+
+TEST(PipelineCpu, FallingOffProgramTraps) {
+  PipelineCpu cpu(16);
+  cpu.load_program({nop(), nop()});
+  EXPECT_EQ(cpu.run(100), RunState::kTrapped);
+}
+
+TEST(PipelineCpu, InfiniteLoopTimesOut) {
+  PipelineCpu cpu(16);
+  cpu.load_program({jmp(0)});
+  EXPECT_EQ(cpu.run(300), RunState::kTimedOut);
+}
+
+class PipelineEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PipelineEquivalence, MatchesFunctionalCpuOnStandardWorkloads) {
+  const auto workloads = standard_workloads(2, 555);
+  const auto& w = workloads[GetParam()];
+  EXPECT_TRUE(pipeline_matches_golden(w)) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, PipelineEquivalence,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u),
+                         [](const auto& info) {
+                           return "workload" + std::to_string(info.param);
+                         });
+
+TEST(PipelineEquivalence, MatchesOnRandomPrograms) {
+  for (std::uint64_t seed : {101u, 102u, 103u, 104u, 105u, 106u})
+    EXPECT_TRUE(pipeline_matches_golden(make_random_program(100, seed))) << seed;
+}
+
+TEST(PipelineFaults, LateInjectionBenign) {
+  const auto w = make_dot_product(10, 3);
+  const PipelineFaultSite site{LatchField::kExMemAlu, 5, 1000000};
+  EXPECT_EQ(pipeline_inject(w, site), Outcome::kBenign);
+}
+
+TEST(PipelineFaults, CampaignMixContainsFailures) {
+  const auto w = make_checksum(10, 5);
+  lore::Rng rng(7);
+  const auto records = pipeline_campaign(w, 200, rng);
+  EXPECT_EQ(records.size(), 200u);
+  const auto mix = summarize(records);
+  EXPECT_GT(mix.benign, 0u);
+  EXPECT_GT(mix.sdc + mix.crash + mix.hang, 0u);
+  const double factor = architectural_corruption_factor(records);
+  EXPECT_GT(factor, 0.0);
+  EXPECT_LT(factor, 1.0);
+}
+
+TEST(PipelineFaults, DeterministicOutcome) {
+  const auto w = make_fibonacci(12);
+  const PipelineFaultSite site{LatchField::kIdExOperandA, 3, 9};
+  EXPECT_EQ(pipeline_inject(w, site), pipeline_inject(w, site));
+}
+
+}  // namespace
+}  // namespace lore::arch

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "src/arch/fault.hpp"
+#include "src/arch/replicate.hpp"
+
+namespace lore::arch {
+namespace {
+
+TEST(RandomProgram, AlwaysTerminatesCleanly) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    const auto w = make_random_program(120, seed);
+    Cpu cpu(w.memory_words);
+    cpu.load_program(w.program);
+    for (const auto& [addr, value] : w.memory_init) cpu.set_mem(addr, value);
+    EXPECT_EQ(cpu.run(w.max_cycles), RunState::kHalted) << "seed " << seed;
+  }
+}
+
+TEST(RandomProgram, RequestedSizeRespected) {
+  const auto w = make_random_program(150, 11);
+  EXPECT_LE(w.program.size(), 150u);
+  EXPECT_GE(w.program.size(), 140u);
+}
+
+TEST(RandomProgram, DeterministicPerSeed) {
+  const auto a = make_random_program(100, 21);
+  const auto b = make_random_program(100, 21);
+  ASSERT_EQ(a.program.size(), b.program.size());
+  for (std::size_t i = 0; i < a.program.size(); ++i) {
+    EXPECT_EQ(a.program[i].op, b.program[i].op);
+    EXPECT_EQ(a.program[i].imm, b.program[i].imm);
+  }
+}
+
+TEST(RandomProgram, InjectableAndClassifiable) {
+  const auto w = make_random_program(100, 31);
+  FaultInjector injector(w);
+  lore::Rng rng(32);
+  const auto records = injector.campaign(150, FaultTarget::kRegister, rng);
+  const auto mix = summarize(records);
+  EXPECT_EQ(mix.total(), 150u);
+  // Random programs have dense dataflow into stores: some failures expected.
+  EXPECT_GT(mix.sdc + mix.crash + mix.hang, 0u);
+}
+
+TEST(ProtectTopK, SelectsHighestScores) {
+  const auto w = make_random_program(60, 41);
+  std::vector<double> scores(w.program.size(), 0.0);
+  scores[3] = 3.0;
+  scores[7] = 2.0;
+  scores[11] = 1.0;
+  const auto mask = protect_top_k(w.program, scores, 2);
+  EXPECT_TRUE(mask[3]);
+  EXPECT_TRUE(mask[7]);
+  EXPECT_FALSE(mask[11]);
+  EXPECT_EQ(std::count(mask.begin(), mask.end(), true), 2);
+}
+
+TEST(ProtectTopK, KLargerThanProgramProtectsAll) {
+  const auto w = make_random_program(40, 43);
+  std::vector<double> scores(w.program.size(), 1.0);
+  const auto mask = protect_top_k(w.program, scores, 1000);
+  EXPECT_EQ(static_cast<std::size_t>(std::count(mask.begin(), mask.end(), true)),
+            w.program.size());
+}
+
+}  // namespace
+}  // namespace lore::arch

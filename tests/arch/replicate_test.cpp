@@ -1,0 +1,86 @@
+#include "src/arch/replicate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/arch/features.hpp"
+#include "src/ml/svm.hpp"
+
+namespace lore::arch {
+namespace {
+
+class ReplicateTest : public ::testing::Test {
+ protected:
+  ReplicateTest() : workload_(make_checksum(10, 21)) {}
+  Workload workload_;
+};
+
+TEST_F(ReplicateTest, SlowdownOrdering) {
+  SelectiveReplication none(workload_, protect_none(workload_.program));
+  SelectiveReplication heur(workload_, protect_heuristic(workload_.program));
+  SelectiveReplication full(workload_, protect_all(workload_.program));
+  EXPECT_DOUBLE_EQ(none.slowdown(), 1.0);
+  EXPECT_GT(heur.slowdown(), 1.0);
+  EXPECT_GT(full.slowdown(), heur.slowdown());
+  EXPECT_DOUBLE_EQ(full.slowdown(), 3.0);  // every dynamic instr pays +2
+}
+
+TEST_F(ReplicateTest, NoProtectionDetectsNothing) {
+  SelectiveReplication none(workload_, protect_none(workload_.program));
+  lore::Rng rng(9);
+  FaultInjector injector(workload_);
+  for (int i = 0; i < 30; ++i)
+    EXPECT_FALSE(none.detects(injector.random_site(rng, FaultTarget::kRegister)));
+}
+
+TEST_F(ReplicateTest, FullProtectionCatchesAccumulatorFault) {
+  SelectiveReplication full(workload_, protect_all(workload_.program));
+  FaultInjector injector(workload_);
+  // Fault the checksum accumulator early: the next protected use must catch it.
+  const FaultSite site{FaultTarget::kRegister, 3, 12, 15};
+  ASSERT_EQ(injector.inject(site).outcome, Outcome::kSdc);
+  EXPECT_TRUE(full.detects(site));
+  EXPECT_EQ(full.protected_outcome(site, injector), Outcome::kDetected);
+}
+
+TEST_F(ReplicateTest, CoverageOrderingAcrossPolicies) {
+  lore::Rng rng_a(10), rng_c(10);
+  const auto eval_none = evaluate_policy(workload_, protect_none(workload_.program), 120, rng_a);
+  const auto eval_full = evaluate_policy(workload_, protect_all(workload_.program), 120, rng_c);
+  EXPECT_DOUBLE_EQ(eval_none.coverage, 0.0);
+  EXPECT_GT(eval_full.coverage, 0.5);
+  EXPECT_GT(eval_full.slowdown, eval_none.slowdown);
+}
+
+TEST_F(ReplicateTest, ModelDrivenPolicyProtectsSubset) {
+  // Train an SVM on labels from an instruction campaign, as IPAS does.
+  FaultInjector injector(workload_);
+  lore::Rng rng(11);
+  const auto campaign = injector.campaign(600, FaultTarget::kInstruction, rng);
+  const auto labels = instruction_vulnerability_labels(workload_.program, campaign, 0.3);
+
+  ml::Matrix x;
+  std::vector<int> y;
+  for (std::size_t i = 0; i < workload_.program.size(); ++i) {
+    x.push_row(instruction_features(workload_.program, i));
+    y.push_back(labels[i]);
+  }
+  ml::LinearSvm svm;
+  svm.fit(x, y);
+  const auto policy = protect_by_model(workload_.program, svm);
+  const std::size_t count = std::count(policy.begin(), policy.end(), true);
+  EXPECT_GT(count, 0u);
+
+  SelectiveReplication repl(workload_, policy);
+  SelectiveReplication full(workload_, protect_all(workload_.program));
+  EXPECT_LE(repl.slowdown(), full.slowdown());
+}
+
+TEST_F(ReplicateTest, ProtectedOutcomeFallsBackToBaseline) {
+  SelectiveReplication none(workload_, protect_none(workload_.program));
+  FaultInjector injector(workload_);
+  const FaultSite site{FaultTarget::kRegister, 15, 3, 5};  // dead register
+  EXPECT_EQ(none.protected_outcome(site, injector), Outcome::kBenign);
+}
+
+}  // namespace
+}  // namespace lore::arch

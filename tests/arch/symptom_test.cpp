@@ -1,0 +1,119 @@
+#include "src/arch/symptom.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lore::arch {
+namespace {
+
+/// Mission task: classify 16-dimensional "sensor frames" into 3 prototype
+/// patterns. The dimensionality lets an input monitor estimate noise levels
+/// from a single frame (the WarningNet setting).
+struct Mission {
+  static constexpr std::size_t kDim = 16;
+  ml::MlpClassifier classifier{ml::MlpConfig{.hidden = {48, 48}, .epochs = 150}};
+  ml::Matrix inputs;
+
+  Mission() {
+    lore::Rng rng(800);
+    // Prototypes share a base pattern and differ in three components each, so
+    // moderate input noise plausibly crosses a decision boundary (the
+    // WarningNet failure regime).
+    std::vector<double> base(kDim);
+    for (auto& v : base) v = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    std::vector<std::vector<double>> prototypes(3, base);
+    for (std::size_t k = 0; k < 3; ++k)
+      for (std::size_t c = 3 * k; c < 3 * k + 3; ++c) prototypes[k][c] = -base[c];
+    std::vector<int> y;
+    std::vector<double> row(kDim);
+    for (int i = 0; i < 300; ++i) {
+      const int cls = i % 3;
+      for (std::size_t c = 0; c < kDim; ++c)
+        row[c] = prototypes[static_cast<std::size_t>(cls)][c] + rng.normal(0.0, 0.3);
+      inputs.push_row(row);
+      y.push_back(cls);
+    }
+    classifier.fit(inputs, y);
+  }
+};
+
+TEST(ActivationStatistics, FourPerLayer) {
+  const std::vector<std::vector<double>> layers{{1.0, -1.0}, {2.0, 2.0, 2.0}};
+  const auto stats = activation_statistics(layers);
+  ASSERT_EQ(stats.size(), 8u);
+  EXPECT_DOUBLE_EQ(stats[0], 0.0);  // mean of layer 0
+  EXPECT_DOUBLE_EQ(stats[2], 1.0);  // maxabs of layer 0
+  EXPECT_DOUBLE_EQ(stats[3], 2.0);  // margin of layer 0 (1 - (-1))
+  EXPECT_DOUBLE_EQ(stats[4], 2.0);  // mean of layer 1
+  EXPECT_DOUBLE_EQ(stats[5], 0.0);  // std of layer 1
+  EXPECT_DOUBLE_EQ(stats[7], 0.0);  // margin of layer 1 (all equal)
+}
+
+TEST(ActivationAnomalyDetector, HighRecallSmallOverhead) {
+  Mission mission;
+  ActivationAnomalyDetector detector(AnomalyDetectorConfig{});
+  detector.train(mission.classifier.network(), mission.inputs);
+  const auto eval = detector.evaluate(mission.classifier.network(), mission.inputs, 300, 9);
+  // [30] reports 99% recall / 97% precision; we require the same shape:
+  // strong detection at small overhead.
+  EXPECT_GT(eval.recall, 0.8) << "recall " << eval.recall;
+  EXPECT_GT(eval.precision, 0.6) << "precision " << eval.precision;
+  EXPECT_LT(eval.overhead, 1.0);
+}
+
+TEST(ActivationAnomalyDetector, CleanInferencesMostlyPass) {
+  Mission mission;
+  ActivationAnomalyDetector detector(AnomalyDetectorConfig{});
+  detector.train(mission.classifier.network(), mission.inputs);
+  std::size_t false_alarms = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    const auto layers = mission.classifier.network().forward_layers(mission.inputs.row(i));
+    false_alarms += detector.flags(layers);
+  }
+  EXPECT_LT(false_alarms, 30u);
+}
+
+TEST(InputPerturbationMonitor, RanksFailuresAboveCleanRuns) {
+  Mission mission;
+  InputPerturbationMonitor monitor(WarningNetConfig{});
+  monitor.train(mission.classifier.network(), mission.inputs);
+  const auto eval = monitor.evaluate(mission.classifier.network(), mission.inputs, 500, 10);
+  // Failure base rates are low, so the warning is judged as a ranking: the
+  // score must order failing inputs above benign ones.
+  EXPECT_GT(eval.auc, 0.7) << "auc " << eval.auc;
+  // WarningNet's selling point: the monitor is much smaller than the mission.
+  EXPECT_GT(eval.speedup, 2.0);
+}
+
+TEST(InputPerturbationMonitor, ScoreGrowsWithNoiseLevel) {
+  Mission mission;
+  InputPerturbationMonitor monitor(WarningNetConfig{});
+  monitor.train(mission.classifier.network(), mission.inputs);
+  lore::Rng rng(11);
+  std::vector<double> perturbed(Mission::kDim);
+  double prev = -1.0;
+  for (double noise : {0.2, 1.2, 2.6}) {
+    double mean_score = 0.0;
+    for (int s = 0; s < 80; ++s) {
+      const auto row = mission.inputs.row(rng.uniform_index(mission.inputs.rows()));
+      for (std::size_t c = 0; c < perturbed.size(); ++c)
+        perturbed[c] = row[c] + rng.normal(0.0, noise);
+      mean_score += monitor.warning_score(perturbed);
+    }
+    mean_score /= 80.0;
+    EXPECT_GT(mean_score, prev) << "noise " << noise;
+    prev = mean_score;
+  }
+}
+
+TEST(InputPerturbationMonitor, CleanInputsScoreLow) {
+  Mission mission;
+  InputPerturbationMonitor monitor(WarningNetConfig{});
+  monitor.train(mission.classifier.network(), mission.inputs);
+  double mean_score = 0.0;
+  for (std::size_t i = 0; i < 50; ++i) mean_score += monitor.warning_score(mission.inputs.row(i));
+  mean_score /= 50.0;
+  EXPECT_LT(mean_score, 0.45);
+}
+
+}  // namespace
+}  // namespace lore::arch

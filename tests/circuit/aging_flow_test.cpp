@@ -1,0 +1,90 @@
+#include "src/circuit/aging_flow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lore::circuit {
+namespace {
+
+class AgingFlowTest : public ::testing::Test {
+ protected:
+  AgingFlowTest()
+      : lib_(make_skeleton_library("tech")),
+        characterizer_(CharacterizerConfig{.slew_axis_ps = {10.0, 40.0, 160.0},
+                                           .load_axis_ff = {1.0, 4.0, 16.0},
+                                           .timestep_ps = 0.3},
+                       device::SelfHeatingModel{}) {
+    device::OperatingPoint typical{};
+    typical.temperature = cfg_.chip_temperature;
+    characterizer_.characterize_library(lib_, typical);
+    nl_ = std::make_unique<Netlist>(
+        generate_core_like(lib_, CoreLikeConfig{.pipeline_stages = 2,
+                                                .regs_per_stage = 5,
+                                                .gates_per_stage = 30}));
+    const auto sta_result = sta_.run(*nl_, LibraryDelayModel());
+    she_ = instance_she_rise(*nl_, sta_result,
+                             characterizer_.config().she_reference_toggle_ghz);
+  }
+
+  AgingFlowConfig cfg_{};
+  CellLibrary lib_;
+  Characterizer characterizer_;
+  std::unique_ptr<Netlist> nl_;
+  StaEngine sta_{};
+  std::vector<double> she_;
+  device::AgingModel model_{};
+};
+
+TEST_F(AgingFlowTest, DvthGrowsWithLifetime) {
+  AgingFlowConfig young = cfg_;
+  young.years = 1.0;
+  AgingFlowConfig old = cfg_;
+  old.years = 10.0;
+  const auto dvth_young = instance_aging_dvth(*nl_, she_, model_, young);
+  const auto dvth_old = instance_aging_dvth(*nl_, she_, model_, old);
+  for (std::size_t i = 0; i < dvth_young.size(); ++i) {
+    EXPECT_GT(dvth_young[i], 0.0);
+    EXPECT_GT(dvth_old[i], dvth_young[i]);
+  }
+}
+
+TEST_F(AgingFlowTest, HotterInstancesAgeFaster) {
+  const auto dvth = instance_aging_dvth(*nl_, she_, model_, cfg_);
+  // Find the hottest and coolest instances of the same cell type with the
+  // same activity class; at minimum the population must show spread.
+  double lo = 1e9, hi = 0.0;
+  for (double v : dvth) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi, lo * 1.05);
+}
+
+TEST_F(AgingFlowTest, AgedTimingIsSlower) {
+  const auto dvth = instance_aging_dvth(*nl_, she_, model_, cfg_);
+  const auto aged = build_aged_instance_library(*nl_, she_, dvth, characterizer_, cfg_);
+  const double fresh = sta_.run(*nl_, LibraryDelayModel()).worst_arrival_ps;
+  const double old = sta_.run(*nl_, aged).worst_arrival_ps;
+  EXPECT_GT(old, fresh);
+}
+
+TEST_F(AgingFlowTest, FullFlowOrdering) {
+  MlLibraryCharacterizer ml(MlCharacterizerConfig{
+      .samples_per_cell = 60, .temperature_samples = 4,
+      .mlp = {.hidden = {48, 48}, .learning_rate = 2e-3, .epochs = 150, .batch_size = 32}});
+  device::OperatingPoint typical{};
+  typical.temperature = cfg_.chip_temperature;
+  ml.train(lib_, characterizer_, typical);
+
+  const auto report = run_aging_flow(*nl_, lib_, characterizer_, ml, model_, cfg_, sta_);
+  EXPECT_GT(report.aged_exact_arrival_ps, report.fresh_arrival_ps);
+  EXPECT_GT(report.worst_corner_arrival_ps, report.aged_exact_arrival_ps);
+  EXPECT_GT(report.max_dvth, report.mean_dvth);
+  // The ML aged library tracks exact within a reasonable band, and the
+  // bias-cancelled ML guardband ratio tracks the exact ratio tightly.
+  EXPECT_NEAR(report.aged_ml_arrival_ps / report.aged_exact_arrival_ps, 1.0, 0.15);
+  EXPECT_GT(report.ml_aging_guardband(), 1.0);
+  EXPECT_NEAR(report.ml_aging_guardband() / report.exact_aging_guardband(), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace lore::circuit

@@ -1,0 +1,86 @@
+#include "src/circuit/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lore::circuit {
+namespace {
+
+class CharacterizeTest : public ::testing::Test {
+ protected:
+  CharacterizeTest()
+      : lib_(make_skeleton_library("tech")),
+        characterizer_(CharacterizerConfig{.slew_axis_ps = {10.0, 40.0, 160.0},
+                                           .load_axis_ff = {1.0, 4.0, 16.0},
+                                           .timestep_ps = 0.1},
+                       device::SelfHeatingModel{}) {}
+
+  CellLibrary lib_;
+  Characterizer characterizer_;
+  device::OperatingPoint op_{};
+};
+
+TEST_F(CharacterizeTest, TransientDelayPositiveAndMonotoneInLoad) {
+  const auto& inv = lib_.cell(*lib_.find("INV_X1"));
+  const auto light = characterizer_.simulate(inv, false, 20.0, 1.0, op_);
+  const auto heavy = characterizer_.simulate(inv, false, 20.0, 16.0, op_);
+  EXPECT_GT(light.delay_ps, 0.0);
+  EXPECT_GT(heavy.delay_ps, light.delay_ps);
+  EXPECT_GT(heavy.out_slew_ps, light.out_slew_ps);
+}
+
+TEST_F(CharacterizeTest, StrongerDriveIsFaster) {
+  const auto& x1 = lib_.cell(*lib_.find("INV_X1"));
+  const auto& x4 = lib_.cell(*lib_.find("INV_X4"));
+  const auto t1 = characterizer_.simulate(x1, false, 20.0, 8.0, op_);
+  const auto t4 = characterizer_.simulate(x4, false, 20.0, 8.0, op_);
+  EXPECT_LT(t4.delay_ps, t1.delay_ps);
+}
+
+TEST_F(CharacterizeTest, HotterIsSlower) {
+  const auto& nand = lib_.cell(*lib_.find("NAND2_X1"));
+  device::OperatingPoint hot = op_;
+  hot.temperature = 400.0;
+  const auto cool_t = characterizer_.simulate(nand, false, 20.0, 4.0, op_);
+  const auto hot_t = characterizer_.simulate(nand, false, 20.0, 4.0, hot);
+  EXPECT_GT(hot_t.delay_ps, cool_t.delay_ps);
+}
+
+TEST_F(CharacterizeTest, AgedIsSlower) {
+  const auto& nand = lib_.cell(*lib_.find("NAND2_X1"));
+  device::OperatingPoint aged = op_;
+  aged.delta_vth = 0.06;
+  EXPECT_GT(characterizer_.simulate(nand, false, 20.0, 4.0, aged).delay_ps,
+            characterizer_.simulate(nand, false, 20.0, 4.0, op_).delay_ps);
+}
+
+TEST_F(CharacterizeTest, CharacterizeCellFillsAllArcs) {
+  Cell cell = lib_.cell(*lib_.find("NAND2_X2"));
+  characterizer_.characterize_cell(cell, op_);
+  ASSERT_EQ(cell.arcs.size(), 2u);
+  for (const auto& arc : cell.arcs) {
+    EXPECT_EQ(arc.rise_delay.slew_points(), 3u);
+    EXPECT_GT(arc.rise_delay.at(0, 0), 0.0);
+    EXPECT_GT(arc.fall_delay.at(2, 2), 0.0);
+    EXPECT_GT(arc.rise_slew.at(1, 1), 0.0);
+  }
+  // Pin derating makes later pins slower.
+  EXPECT_GT(cell.arcs[1].rise_delay.at(1, 1), cell.arcs[0].rise_delay.at(1, 1));
+  // SHE table is populated and positive.
+  EXPECT_GT(cell.she_temperature.at(1, 1), 0.0);
+}
+
+TEST_F(CharacterizeTest, EvaluationCounterAdvances) {
+  const auto before = characterizer_.evaluations();
+  const auto& inv = lib_.cell(*lib_.find("INV_X1"));
+  characterizer_.simulate(inv, true, 10.0, 1.0, op_);
+  EXPECT_EQ(characterizer_.evaluations(), before + 1);
+}
+
+TEST_F(CharacterizeTest, SheRiseGrowsWithLoad) {
+  const auto& inv = lib_.cell(*lib_.find("INV_X1"));
+  EXPECT_GT(characterizer_.she_rise(inv, 20.0, 16.0, op_),
+            characterizer_.she_rise(inv, 20.0, 1.0, op_));
+}
+
+}  // namespace
+}  // namespace lore::circuit

@@ -1,0 +1,62 @@
+#include "src/circuit/liberty_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/circuit/characterize.hpp"
+
+namespace lore::circuit {
+namespace {
+
+TEST(LibertyIo, EmitsAllCellsAndStructure) {
+  CellLibrary lib = make_skeleton_library("lore-tech");
+  Characterizer characterizer(CharacterizerConfig{.slew_axis_ps = {10.0, 40.0},
+                                                  .load_axis_ff = {1.0, 4.0},
+                                                  .timestep_ps = 0.5},
+                              device::SelfHeatingModel{});
+  characterizer.characterize_library(lib, device::OperatingPoint{});
+  const auto text = write_liberty(lib);
+
+  EXPECT_NE(text.find("library (lore-tech)"), std::string::npos);
+  for (std::size_t c = 0; c < lib.size(); ++c)
+    EXPECT_NE(text.find("cell (" + lib.cell(c).name + ")"), std::string::npos);
+  EXPECT_NE(text.find("cell_rise"), std::string::npos);
+  EXPECT_NE(text.find("fall_transition"), std::string::npos);
+  EXPECT_NE(text.find("related_pin"), std::string::npos);
+  // DFF pins use D/Q naming.
+  EXPECT_NE(text.find("pin (Q)"), std::string::npos);
+  EXPECT_NE(text.find("pin (D)"), std::string::npos);
+}
+
+TEST(LibertyIo, ValuesRoundTripApproximately) {
+  CellLibrary lib = make_skeleton_library("t");
+  Characterizer characterizer(CharacterizerConfig{.slew_axis_ps = {10.0, 40.0},
+                                                  .load_axis_ff = {1.0, 4.0},
+                                                  .timestep_ps = 0.5},
+                              device::SelfHeatingModel{});
+  characterizer.characterize_library(lib, device::OperatingPoint{});
+  const auto text = write_liberty(lib);
+  // A specific characterized value appears verbatim in the text.
+  const auto& inv = lib.cell(*lib.find("INV_X1"));
+  const double v = inv.arcs[0].rise_delay.at(0, 0);
+  std::ostringstream expected;
+  expected << v;
+  EXPECT_NE(text.find(expected.str()), std::string::npos);
+}
+
+TEST(LibertyIo, NomConditionsFromCorner) {
+  CellLibrary lib = make_skeleton_library("t2");
+  Characterizer characterizer(CharacterizerConfig{.slew_axis_ps = {10.0, 40.0},
+                                                  .load_axis_ff = {1.0, 4.0},
+                                                  .timestep_ps = 0.5},
+                              device::SelfHeatingModel{});
+  device::OperatingPoint corner{};
+  corner.vdd = 0.9;
+  corner.temperature = 348.15;  // 75 C
+  characterizer.characterize_library(lib, corner);
+  const auto text = write_liberty(lib);
+  EXPECT_NE(text.find("nom_voltage : 0.9"), std::string::npos);
+  EXPECT_NE(text.find("nom_temperature : 75"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lore::circuit

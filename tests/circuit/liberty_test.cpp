@@ -1,0 +1,86 @@
+#include "src/circuit/liberty.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lore::circuit {
+namespace {
+
+TEST(TimingTable, ExactOnGridPoints) {
+  TimingTable t({10.0, 20.0}, {1.0, 2.0});
+  t.at(0, 0) = 5.0;
+  t.at(0, 1) = 7.0;
+  t.at(1, 0) = 9.0;
+  t.at(1, 1) = 11.0;
+  EXPECT_DOUBLE_EQ(t.lookup(10.0, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(t.lookup(20.0, 2.0), 11.0);
+}
+
+TEST(TimingTable, BilinearMidpoint) {
+  TimingTable t({10.0, 20.0}, {1.0, 2.0});
+  t.at(0, 0) = 4.0;
+  t.at(0, 1) = 6.0;
+  t.at(1, 0) = 8.0;
+  t.at(1, 1) = 10.0;
+  EXPECT_DOUBLE_EQ(t.lookup(15.0, 1.5), 7.0);
+}
+
+TEST(TimingTable, ClampsOutOfRange) {
+  TimingTable t({10.0, 20.0}, {1.0, 2.0});
+  t.at(0, 0) = 4.0;
+  t.at(1, 1) = 10.0;
+  t.at(0, 1) = 6.0;
+  t.at(1, 0) = 8.0;
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 0.1), 4.0);
+  EXPECT_DOUBLE_EQ(t.lookup(500.0, 99.0), 10.0);
+}
+
+TEST(TimingTable, MaxValue) {
+  TimingTable t({1.0, 2.0}, {1.0});
+  t.at(0, 0) = 3.0;
+  t.at(1, 0) = 42.0;
+  EXPECT_DOUBLE_EQ(t.max_value(), 42.0);
+}
+
+TEST(CellFunction, InputCounts) {
+  EXPECT_EQ(function_input_count(CellFunction::kInv), 1u);
+  EXPECT_EQ(function_input_count(CellFunction::kNand2), 2u);
+  EXPECT_EQ(function_input_count(CellFunction::kAoi21), 3u);
+  EXPECT_EQ(function_input_count(CellFunction::kDff), 1u);
+}
+
+TEST(CellFunction, TruthTables) {
+  const bool tt[] = {true, true, false};
+  EXPECT_FALSE(evaluate_function(CellFunction::kNand2, tt));
+  EXPECT_TRUE(evaluate_function(CellFunction::kAnd2, tt));
+  EXPECT_FALSE(evaluate_function(CellFunction::kXor2, tt));
+  const bool ff[] = {false, false, true};
+  EXPECT_TRUE(evaluate_function(CellFunction::kNor2, ff));
+  // MUX2: select = in[2] -> picks in[1].
+  const bool mux_sel1[] = {false, true, true};
+  EXPECT_TRUE(evaluate_function(CellFunction::kMux2, mux_sel1));
+  const bool mux_sel0[] = {false, true, false};
+  EXPECT_FALSE(evaluate_function(CellFunction::kMux2, mux_sel0));
+  // AOI21 = !((a&b)|c).
+  const bool aoi[] = {true, false, false};
+  EXPECT_TRUE(evaluate_function(CellFunction::kAoi21, aoi));
+}
+
+TEST(SkeletonLibrary, HasAllFunctionsAndDrives) {
+  const auto lib = make_skeleton_library("tech");
+  EXPECT_EQ(lib.size(), 36u);  // 12 functions x 3 drives
+  EXPECT_TRUE(lib.find("INV_X1").has_value());
+  EXPECT_TRUE(lib.find("DFF_X4").has_value());
+  EXPECT_FALSE(lib.find("NAND3_X1").has_value());
+}
+
+TEST(SkeletonLibrary, DriveScalesWidthAndCap) {
+  const auto lib = make_skeleton_library("tech");
+  const auto& x1 = lib.cell(*lib.find("NAND2_X1"));
+  const auto& x4 = lib.cell(*lib.find("NAND2_X4"));
+  EXPECT_GT(x4.stage.pulldown.width_um, x1.stage.pulldown.width_um);
+  EXPECT_GT(x4.input_cap_ff, x1.input_cap_ff);
+  EXPECT_GT(x4.area_um2, x1.area_um2);
+}
+
+}  // namespace
+}  // namespace lore::circuit

@@ -1,0 +1,95 @@
+#include "src/circuit/logicsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/ml/ensemble.hpp"
+#include "src/ml/metrics.hpp"
+
+namespace lore::circuit {
+namespace {
+
+class LogicSimTest : public ::testing::Test {
+ protected:
+  LogicSimTest() : lib_(make_skeleton_library("tech")) {}
+  CellLibrary lib_;
+};
+
+TEST_F(LogicSimTest, EvaluatesSmallCircuit) {
+  // y = NAND(a, b); z = INV(y).
+  Netlist nl(&lib_);
+  const auto a = nl.add_primary_input();
+  const auto b = nl.add_primary_input();
+  const auto nand = nl.add_instance(*lib_.find("NAND2_X1"), {a, b});
+  const auto inv = nl.add_instance(*lib_.find("INV_X1"), {nl.instance(nand).output_net});
+  nl.mark_primary_output(nl.instance(inv).output_net);
+
+  LogicSimulator sim(&nl);
+  for (bool va : {false, true}) {
+    for (bool vb : {false, true}) {
+      const auto nets = sim.evaluate({va, vb});
+      EXPECT_EQ(nets[nl.instance(nand).output_net], !(va && vb));
+      EXPECT_EQ(nets[nl.instance(inv).output_net], va && vb);
+      const auto po = sim.outputs(nets);
+      ASSERT_EQ(po.size(), 1u);
+      EXPECT_EQ(po[0], va && vb);
+    }
+  }
+}
+
+TEST_F(LogicSimTest, StuckAtForcesOutput) {
+  Netlist nl(&lib_);
+  const auto a = nl.add_primary_input();
+  const auto buf = nl.add_instance(*lib_.find("BUF_X1"), {a});
+  nl.mark_primary_output(nl.instance(buf).output_net);
+  LogicSimulator sim(&nl);
+  const auto nets = sim.evaluate({true}, static_cast<std::ptrdiff_t>(buf), false);
+  EXPECT_FALSE(nets[nl.instance(buf).output_net]);
+}
+
+TEST_F(LogicSimTest, CampaignObservabilityBounds) {
+  const auto nl = generate_random_logic(lib_, RandomLogicConfig{.num_gates = 60, .seed = 3});
+  lore::Rng rng(4);
+  const auto campaign = stuck_at_campaign(nl, 16, rng);
+  ASSERT_EQ(campaign.size(), nl.num_instances());
+  for (const auto& g : campaign) {
+    EXPECT_GE(g.criticality(), 0.0);
+    EXPECT_LE(g.criticality(), 1.0);
+  }
+  // Gates driving primary outputs directly must be highly observable.
+  for (const auto& g : campaign) {
+    if (nl.net(nl.instance(g.instance).output_net).is_primary_output) {
+      EXPECT_GT(g.stuck0_observability + g.stuck1_observability, 0.5);
+    }
+  }
+}
+
+TEST_F(LogicSimTest, GateFeaturesShape) {
+  const auto nl = generate_random_logic(lib_, RandomLogicConfig{.num_gates = 30, .seed = 5});
+  for (std::size_t i = 0; i < nl.num_instances(); ++i) {
+    const auto f = gate_features(nl, i);
+    ASSERT_EQ(f.size(), kGateFeatureDim);
+    EXPECT_GE(f[0], 1.0);  // fan-in
+    EXPECT_GE(f[3], 0.0);  // distance to PO
+  }
+}
+
+TEST_F(LogicSimTest, FeaturesPredictCriticality) {
+  // The [20] experiment in miniature: train on one circuit, predict another.
+  const auto train_nl =
+      generate_random_logic(lib_, RandomLogicConfig{.num_gates = 90, .seed = 7});
+  const auto test_nl =
+      generate_random_logic(lib_, RandomLogicConfig{.num_gates = 90, .seed = 8});
+  lore::Rng rng(9);
+  const auto train_campaign = stuck_at_campaign(train_nl, 24, rng);
+  const auto test_campaign = stuck_at_campaign(test_nl, 24, rng);
+  const auto train = gate_criticality_dataset(train_nl, train_campaign, 0.3);
+  const auto test = gate_criticality_dataset(test_nl, test_campaign, 0.3);
+
+  ml::GradientBoostingClassifier gbdt(ml::GradientBoostingClassifierConfig{.num_rounds = 40});
+  gbdt.fit(train.x, train.labels);
+  const double acc = ml::accuracy(test.labels, gbdt.predict_batch(test.x));
+  EXPECT_GT(acc, 0.7) << "cross-circuit criticality accuracy " << acc;
+}
+
+}  // namespace
+}  // namespace lore::circuit

@@ -1,0 +1,108 @@
+#include "src/circuit/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lore::circuit {
+namespace {
+
+class NetlistTest : public ::testing::Test {
+ protected:
+  NetlistTest() : lib_(make_skeleton_library("tech")) {}
+  CellLibrary lib_;
+};
+
+TEST_F(NetlistTest, ManualConstruction) {
+  Netlist nl(&lib_);
+  const auto a = nl.add_primary_input();
+  const auto b = nl.add_primary_input();
+  const auto g = nl.add_instance(*lib_.find("NAND2_X1"), {a, b}, "u1");
+  nl.mark_primary_output(nl.instance(g).output_net);
+  EXPECT_EQ(nl.num_instances(), 1u);
+  EXPECT_EQ(nl.primary_inputs().size(), 2u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+  EXPECT_EQ(nl.instance(g).name, "u1");
+  EXPECT_EQ(nl.net(a).sinks.size(), 1u);
+}
+
+TEST_F(NetlistTest, NetLoadSumsPinAndWireCaps) {
+  Netlist nl(&lib_);
+  const auto a = nl.add_primary_input();
+  const auto inv_id = *lib_.find("INV_X1");
+  nl.add_instance(inv_id, {a});
+  nl.add_instance(inv_id, {a});
+  const double expected = Netlist::kWireCapBaseFf + 2 * Netlist::kWireCapPerSinkFf +
+                          2 * lib_.cell(inv_id).input_cap_ff;
+  EXPECT_DOUBLE_EQ(nl.net_load_ff(a), expected);
+}
+
+TEST_F(NetlistTest, TopologicalOrderRespectsDependencies) {
+  const auto nl = generate_random_logic(lib_, RandomLogicConfig{.num_gates = 150});
+  const auto order = nl.topological_order();
+  ASSERT_EQ(order.size(), nl.num_instances());
+  std::vector<std::size_t> position(nl.num_instances());
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (std::size_t i = 0; i < nl.num_instances(); ++i) {
+    if (lib_.cell(nl.instance(i).cell_id).is_sequential()) continue;
+    for (auto net : nl.instance(i).input_nets) {
+      const int drv = nl.net(net).driver_instance;
+      if (drv >= 0) {
+        EXPECT_LT(position[static_cast<std::size_t>(drv)], position[i]);
+      }
+    }
+  }
+}
+
+TEST_F(NetlistTest, RandomLogicHasRequestedSize) {
+  const auto nl = generate_random_logic(lib_, RandomLogicConfig{.num_inputs = 8,
+                                                                .num_gates = 100});
+  EXPECT_EQ(nl.num_instances(), 100u);
+  EXPECT_EQ(nl.primary_inputs().size(), 8u);
+  EXPECT_FALSE(nl.primary_outputs().empty());
+}
+
+TEST_F(NetlistTest, RandomLogicDeterministicForSeed) {
+  const auto a = generate_random_logic(lib_, RandomLogicConfig{.seed = 9});
+  const auto b = generate_random_logic(lib_, RandomLogicConfig{.seed = 9});
+  ASSERT_EQ(a.num_instances(), b.num_instances());
+  for (std::size_t i = 0; i < a.num_instances(); ++i)
+    EXPECT_EQ(a.instance(i).cell_id, b.instance(i).cell_id);
+}
+
+TEST_F(NetlistTest, CoreLikeHasPipelineStructure) {
+  const CoreLikeConfig cfg{.pipeline_stages = 3, .regs_per_stage = 8, .gates_per_stage = 60};
+  const auto nl = generate_core_like(lib_, cfg);
+  // (stages+1) ranks of 8 DFFs.
+  std::size_t dff_count = 0;
+  for (std::size_t i = 0; i < nl.num_instances(); ++i)
+    if (lib_.cell(nl.instance(i).cell_id).is_sequential()) ++dff_count;
+  EXPECT_EQ(dff_count, 4u * 8u);
+  EXPECT_EQ(nl.num_instances(), 4u * 8u + 3u * 60u);
+  // Activity is assigned and bounded by the clock.
+  for (std::size_t i = 0; i < nl.num_instances(); ++i) {
+    EXPECT_GT(nl.instance(i).toggle_rate_ghz, 0.0);
+    EXPECT_LE(nl.instance(i).toggle_rate_ghz, cfg.clock_ghz);
+  }
+  // Topological order must exist (no combinational cycles through DFFs).
+  EXPECT_EQ(nl.topological_order().size(), nl.num_instances());
+}
+
+TEST_F(NetlistTest, CoreLikeActivityHasSpread) {
+  const auto nl = generate_core_like(lib_, CoreLikeConfig{});
+  double lo = 1e9, hi = 0.0;
+  for (std::size_t i = 0; i < nl.num_instances(); ++i) {
+    lo = std::min(lo, nl.instance(i).toggle_rate_ghz);
+    hi = std::max(hi, nl.instance(i).toggle_rate_ghz);
+  }
+  EXPECT_GT(hi / lo, 10.0);  // long-tailed activity profile
+}
+
+TEST_F(NetlistTest, DistinctCellTypesBounded) {
+  const auto nl = generate_core_like(lib_, CoreLikeConfig{});
+  EXPECT_LE(nl.distinct_cell_types(), lib_.size());
+  EXPECT_GT(nl.distinct_cell_types(), 10u);
+}
+
+}  // namespace
+}  // namespace lore::circuit

@@ -1,0 +1,87 @@
+#include "src/circuit/she_flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.hpp"
+
+namespace lore::circuit {
+namespace {
+
+class SheFlowTest : public ::testing::Test {
+ protected:
+  SheFlowTest()
+      : lib_(make_skeleton_library("tech")),
+        characterizer_(CharacterizerConfig{.slew_axis_ps = {10.0, 40.0, 160.0},
+                                           .load_axis_ff = {1.0, 4.0, 16.0},
+                                           .timestep_ps = 0.2},
+                       device::SelfHeatingModel{}) {
+    device::OperatingPoint typical{};
+    typical.temperature = cfg_.chip_temperature;
+    characterizer_.characterize_library(lib_, typical);
+    nl_ = std::make_unique<Netlist>(
+        generate_core_like(lib_, CoreLikeConfig{.pipeline_stages = 2,
+                                                .regs_per_stage = 6,
+                                                .gates_per_stage = 40}));
+  }
+
+  SheFlowConfig cfg_{};
+  CellLibrary lib_;
+  Characterizer characterizer_;
+  std::unique_ptr<Netlist> nl_;
+  StaEngine sta_{};
+};
+
+TEST_F(SheFlowTest, InstanceSheSpreadIsWide) {
+  const auto sta = sta_.run(*nl_, LibraryDelayModel());
+  const auto she = instance_she_rise(*nl_, sta,
+                                     characterizer_.config().she_reference_toggle_ghz);
+  ASSERT_EQ(she.size(), nl_->num_instances());
+  lore::RunningStats stats;
+  for (double t : she) {
+    EXPECT_GE(t, 0.0);
+    stats.add(t);
+  }
+  // Fig. 2's observation: few cell types, wide per-instance SHE variety.
+  EXPECT_GT(stats.max(), 4.0 * (stats.mean() + 1e-12));
+}
+
+TEST_F(SheFlowTest, ExactInstanceLibraryIsHotterThanTypical) {
+  const auto sta = sta_.run(*nl_, LibraryDelayModel());
+  const auto she = instance_she_rise(*nl_, sta,
+                                     characterizer_.config().she_reference_toggle_ghz);
+  const auto exact = build_exact_instance_library(*nl_, she, characterizer_, cfg_);
+  const auto arrival_typical = sta.worst_arrival_ps;
+  const auto arrival_she = sta_.run(*nl_, exact).worst_arrival_ps;
+  // Self-heating only adds temperature, so SHE-aware arrivals are >= typical.
+  EXPECT_GE(arrival_she, arrival_typical * 0.999);
+}
+
+TEST_F(SheFlowTest, MlCharacterizerLearnsDelays) {
+  MlLibraryCharacterizer ml(MlCharacterizerConfig{
+      .samples_per_cell = 30, .temperature_samples = 3,
+      .mlp = {.hidden = {32, 32}, .learning_rate = 3e-3, .epochs = 80, .batch_size = 32}});
+  device::OperatingPoint base{};
+  base.temperature = cfg_.chip_temperature;
+  ml.train(lib_, characterizer_, base);
+  EXPECT_TRUE(ml.trained());
+  EXPECT_GT(ml.training_evaluations(), 0u);
+  const double mape = ml.validation_mape(lib_, characterizer_, base, 100, 77);
+  EXPECT_LT(mape, 0.15) << "ML characterizer relative error too large";
+}
+
+TEST_F(SheFlowTest, FullGuardbandFlowOrdering) {
+  MlLibraryCharacterizer ml(MlCharacterizerConfig{
+      .samples_per_cell = 30, .temperature_samples = 3,
+      .mlp = {.hidden = {32, 32}, .learning_rate = 3e-3, .epochs = 80, .batch_size = 32}});
+  const auto report = run_guardband_flow(*nl_, lib_, characterizer_, ml, cfg_, sta_);
+  // Paper's claim: SHE-aware guardbands sit between typical and worst case.
+  EXPECT_GT(report.worst_case_arrival_ps, report.typical_arrival_ps);
+  EXPECT_GE(report.she_exact_arrival_ps, report.typical_arrival_ps * 0.99);
+  EXPECT_LT(report.she_exact_arrival_ps, report.worst_case_arrival_ps);
+  // The ML library tracks the exact one closely.
+  EXPECT_NEAR(report.she_ml_arrival_ps / report.she_exact_arrival_ps, 1.0, 0.1);
+  EXPECT_GT(report.worst_case_guardband(), report.she_guardband());
+}
+
+}  // namespace
+}  // namespace lore::circuit

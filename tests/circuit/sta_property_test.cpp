@@ -1,0 +1,73 @@
+// Parameterized STA property sweep over randomly generated circuits: the
+// invariants every timing engine must satisfy, checked per seed.
+#include <gtest/gtest.h>
+
+#include "src/circuit/characterize.hpp"
+#include "src/circuit/sta.hpp"
+
+namespace lore::circuit {
+namespace {
+
+class StaProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  StaProperties() : lib_(make_skeleton_library("tech")) {
+    Characterizer characterizer(CharacterizerConfig{.slew_axis_ps = {10.0, 40.0, 160.0},
+                                                    .load_axis_ff = {1.0, 4.0, 16.0},
+                                                    .timestep_ps = 0.5},
+                                device::SelfHeatingModel{});
+    characterizer.characterize_library(lib_, device::OperatingPoint{});
+  }
+  CellLibrary lib_;
+  StaEngine sta_{};
+};
+
+TEST_P(StaProperties, ArrivalsNonNegativeAndDelaysPositive) {
+  const auto nl = generate_random_logic(
+      lib_, RandomLogicConfig{.num_gates = 120, .seed = GetParam()});
+  const auto r = sta_.run(nl, LibraryDelayModel());
+  EXPECT_GT(r.worst_arrival_ps, 0.0);
+  for (std::size_t n = 0; n < nl.num_nets(); ++n)
+    EXPECT_GE(r.net_timing[n].arrival_ps, 0.0);
+  for (std::size_t i = 0; i < nl.num_instances(); ++i) {
+    EXPECT_GT(r.instance_delay_ps[i], 0.0) << nl.instance(i).name;
+    EXPECT_GT(r.instance_load_ff[i], 0.0);
+  }
+}
+
+TEST_P(StaProperties, CriticalPathDelaysSumToWorstArrival) {
+  const auto nl = generate_random_logic(
+      lib_, RandomLogicConfig{.num_gates = 120, .seed = GetParam()});
+  const auto r = sta_.run(nl, LibraryDelayModel());
+  ASSERT_FALSE(r.critical_path.empty());
+  double sum = 0.0;
+  for (auto inst : r.critical_path) sum += r.instance_delay_ps[inst];
+  EXPECT_NEAR(sum, r.worst_arrival_ps, 1e-6 * r.worst_arrival_ps + 1e-9);
+}
+
+TEST_P(StaProperties, DeratingIsMonotone) {
+  const auto nl = generate_random_logic(
+      lib_, RandomLogicConfig{.num_gates = 100, .seed = GetParam()});
+  double prev = 0.0;
+  for (double scale : {0.8, 1.0, 1.2, 1.5}) {
+    const double arrival = sta_.run(nl, LibraryDelayModel(scale)).worst_arrival_ps;
+    EXPECT_GT(arrival, prev);
+    prev = arrival;
+  }
+}
+
+TEST_P(StaProperties, NoInstanceArrivesAfterWorst) {
+  const auto nl = generate_random_logic(
+      lib_, RandomLogicConfig{.num_gates = 100, .seed = GetParam()});
+  const auto r = sta_.run(nl, LibraryDelayModel());
+  for (std::size_t n = 0; n < nl.num_nets(); ++n)
+    EXPECT_LE(r.net_timing[n].arrival_ps, r.worst_arrival_ps + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaProperties,
+                         ::testing::Values(11u, 23u, 37u, 59u, 71u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace lore::circuit

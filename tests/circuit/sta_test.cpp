@@ -1,0 +1,121 @@
+#include "src/circuit/sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/circuit/characterize.hpp"
+
+namespace lore::circuit {
+namespace {
+
+class StaTest : public ::testing::Test {
+ protected:
+  StaTest()
+      : lib_(make_skeleton_library("tech")),
+        characterizer_(CharacterizerConfig{.slew_axis_ps = {10.0, 40.0, 160.0},
+                                           .load_axis_ff = {1.0, 4.0, 16.0},
+                                           .timestep_ps = 0.1},
+                       device::SelfHeatingModel{}) {
+    characterizer_.characterize_library(lib_, device::OperatingPoint{});
+  }
+
+  CellLibrary lib_;
+  Characterizer characterizer_;
+  StaEngine sta_{};
+};
+
+TEST_F(StaTest, ChainDelayIsSumOfStages) {
+  // PI -> INV -> INV -> PO: arrival at PO ~ two inverter delays.
+  Netlist nl(&lib_);
+  const auto a = nl.add_primary_input();
+  const auto inv = *lib_.find("INV_X1");
+  const auto u1 = nl.add_instance(inv, {a});
+  const auto u2 = nl.add_instance(inv, {nl.instance(u1).output_net});
+  nl.mark_primary_output(nl.instance(u2).output_net);
+
+  const auto r = sta_.run(nl, LibraryDelayModel());
+  EXPECT_GT(r.worst_arrival_ps, 0.0);
+  EXPECT_NEAR(r.worst_arrival_ps, r.instance_delay_ps[u1] + r.instance_delay_ps[u2], 1e-9);
+  EXPECT_EQ(r.critical_path.size(), 2u);
+  EXPECT_EQ(r.critical_path[0], u1);
+  EXPECT_EQ(r.critical_path[1], u2);
+}
+
+TEST_F(StaTest, LongerChainIsSlower) {
+  auto build_chain = [&](std::size_t n) {
+    Netlist nl(&lib_);
+    auto net = nl.add_primary_input();
+    const auto inv = *lib_.find("INV_X1");
+    for (std::size_t i = 0; i < n; ++i) net = nl.instance(nl.add_instance(inv, {net})).output_net;
+    nl.mark_primary_output(net);
+    return sta_.run(nl, LibraryDelayModel()).worst_arrival_ps;
+  };
+  EXPECT_GT(build_chain(8), build_chain(3));
+}
+
+TEST_F(StaTest, MaxOfConvergingPaths) {
+  // Two parallel paths of different depth converge on a NAND: arrival is
+  // governed by the deeper path.
+  Netlist nl(&lib_);
+  const auto a = nl.add_primary_input();
+  const auto inv = *lib_.find("INV_X1");
+  // Short path: direct. Long path: 4 inverters.
+  auto net = a;
+  for (int i = 0; i < 4; ++i) net = nl.instance(nl.add_instance(inv, {net})).output_net;
+  const auto nand = nl.add_instance(*lib_.find("NAND2_X1"), {a, net});
+  nl.mark_primary_output(nl.instance(nand).output_net);
+
+  const auto r = sta_.run(nl, LibraryDelayModel());
+  // Critical path goes through the inverter chain (5 cells incl. the NAND).
+  EXPECT_EQ(r.critical_path.size(), 5u);
+}
+
+TEST_F(StaTest, DffBreaksPathsAndLaunchesFresh) {
+  // PI -> INV x12 -> DFF -> INV -> PO. Worst endpoint is the DFF D-pin (the
+  // long inverter chain), while the PO path is only CLK->Q + one inverter.
+  Netlist nl(&lib_);
+  auto net = nl.add_primary_input();
+  const auto inv = *lib_.find("INV_X1");
+  for (int i = 0; i < 12; ++i) net = nl.instance(nl.add_instance(inv, {net})).output_net;
+  const auto ff = nl.add_instance(*lib_.find("DFF_X1"), {net});
+  const auto u_out = nl.add_instance(inv, {nl.instance(ff).output_net});
+  nl.mark_primary_output(nl.instance(u_out).output_net);
+
+  const auto r = sta_.run(nl, LibraryDelayModel());
+  const double d_pin_arrival = r.net_timing[net].arrival_ps;
+  const double po_arrival = r.net_timing[nl.instance(u_out).output_net].arrival_ps;
+  EXPECT_GT(d_pin_arrival, po_arrival);
+  EXPECT_DOUBLE_EQ(r.worst_arrival_ps, d_pin_arrival);
+}
+
+TEST_F(StaTest, DeratedModelScalesArrival) {
+  const auto nl = generate_random_logic(lib_, RandomLogicConfig{.num_gates = 80});
+  const auto nominal = sta_.run(nl, LibraryDelayModel(1.0)).worst_arrival_ps;
+  const auto derated = sta_.run(nl, LibraryDelayModel(1.25)).worst_arrival_ps;
+  EXPECT_GT(derated, nominal * 1.1);
+}
+
+TEST_F(StaTest, SlackAgainstClock) {
+  Netlist nl(&lib_);
+  const auto a = nl.add_primary_input();
+  const auto u = nl.add_instance(*lib_.find("BUF_X2"), {a});
+  nl.mark_primary_output(nl.instance(u).output_net);
+  const auto r = sta_.run(nl, LibraryDelayModel());
+  EXPECT_GT(r.worst_slack_ps(10000.0), 0.0);
+  EXPECT_LT(r.worst_slack_ps(0.001), 0.0);
+}
+
+TEST_F(StaTest, SdfWriterEmitsEveryInstance) {
+  const auto nl = generate_random_logic(lib_, RandomLogicConfig{.num_gates = 10});
+  const auto r = sta_.run(nl, LibraryDelayModel());
+  const auto sdf = write_sdf(nl, r.instance_delay_ps, "DELAY_PS");
+  for (std::size_t i = 0; i < nl.num_instances(); ++i)
+    EXPECT_NE(sdf.find(nl.instance(i).name), std::string::npos);
+  EXPECT_NE(sdf.find("DELAY_PS"), std::string::npos);
+  // The Fig. 3 trick: the same writer carries temperatures.
+  std::vector<double> temps(nl.num_instances(), 42.0);
+  const auto sdf_temp = write_sdf(nl, temps, "SHE_TEMP_K");
+  EXPECT_NE(sdf_temp.find("SHE_TEMP_K"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lore::circuit

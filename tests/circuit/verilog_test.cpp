@@ -1,0 +1,50 @@
+#include "src/circuit/verilog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lore::circuit {
+namespace {
+
+TEST(Verilog, SmallNetlistStructure) {
+  const auto lib = make_skeleton_library("tech");
+  Netlist nl(&lib);
+  const auto a = nl.add_primary_input();
+  const auto b = nl.add_primary_input();
+  const auto g = nl.add_instance(*lib.find("NAND2_X1"), {a, b}, "u_nand");
+  nl.mark_primary_output(nl.instance(g).output_net);
+
+  const auto v = write_verilog(nl, "top");
+  EXPECT_NE(v.find("module top ("), std::string::npos);
+  EXPECT_NE(v.find("input pi0;"), std::string::npos);
+  EXPECT_NE(v.find("input pi1;"), std::string::npos);
+  EXPECT_NE(v.find("output po0;"), std::string::npos);
+  EXPECT_NE(v.find("NAND2_X1 u_nand (.a(pi0), .b(pi1), .y("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, DffUsesDQPins) {
+  const auto lib = make_skeleton_library("tech");
+  Netlist nl(&lib);
+  const auto a = nl.add_primary_input();
+  const auto ff = nl.add_instance(*lib.find("DFF_X1"), {a}, "u_ff");
+  nl.mark_primary_output(nl.instance(ff).output_net);
+  const auto v = write_verilog(nl, "seq");
+  EXPECT_NE(v.find("DFF_X1 u_ff (.d(pi0), .q("), std::string::npos);
+}
+
+TEST(Verilog, GeneratedCircuitEmitsEveryInstance) {
+  const auto lib = make_skeleton_library("tech");
+  const auto nl = generate_random_logic(lib, RandomLogicConfig{.num_gates = 40});
+  const auto v = write_verilog(nl, "rand40");
+  for (std::size_t i = 0; i < nl.num_instances(); ++i)
+    EXPECT_NE(v.find(nl.instance(i).name), std::string::npos) << i;
+  // One wire declaration per driven net.
+  std::size_t wires = 0;
+  for (std::size_t pos = v.find("  wire "); pos != std::string::npos;
+       pos = v.find("  wire ", pos + 1))
+    ++wires;
+  EXPECT_EQ(wires, nl.num_instances());
+}
+
+}  // namespace
+}  // namespace lore::circuit

@@ -1,0 +1,40 @@
+#include "src/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lore {
+namespace {
+
+TEST(Table, AlignedRender) {
+  Table t({"p", "hit_rate"});
+  t.add_row({"1e-6", "0.99"});
+  t.add_row({"1e-5", "0.01"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("p"), std::string::npos);
+  EXPECT_NE(s.find("hit_rate"), std::string::npos);
+  EXPECT_NE(s.find("1e-6"), std::string::npos);
+  EXPECT_NE(s.find("0.01"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, DoubleRowFormatting) {
+  Table t({"a", "b"});
+  t.add_numeric_row({1.23456789, 1e-7}, 3);
+  const auto s = t.to_csv();
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("1e-07"), std::string::npos);
+}
+
+TEST(Table, CsvHasCommasAndNewlines) {
+  Table t({"x", "y", "z"});
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.to_csv(), "x,y,z\n1,2,3\n");
+}
+
+TEST(FmtSig, RespectsDigits) {
+  EXPECT_EQ(fmt_sig(3.14159265, 3), "3.14");
+  EXPECT_EQ(fmt_sig(1000000.0, 4), "1e+06");
+}
+
+}  // namespace
+}  // namespace lore

@@ -1,0 +1,100 @@
+#include "src/core/framework.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/crosslayer.hpp"
+
+namespace lore::core {
+namespace {
+
+/// Minimal two-state environment: action 0 is always right (+1), action 1 is
+/// always wrong (-1).
+class TrivialEnv final : public ReliabilityEnvironment {
+ public:
+  std::size_t num_states() const override { return 2; }
+  std::size_t num_actions() const override { return 2; }
+  std::size_t reset() override {
+    state_ = 0;
+    return state_;
+  }
+  StepResult step(std::size_t action) override {
+    state_ = 1 - state_;
+    return {state_, action == 0 ? 1.0 : -1.0, false};
+  }
+  std::string name() const override { return "trivial"; }
+
+ private:
+  std::size_t state_ = 0;
+};
+
+TEST(ResiliencyModelRegistry, RegisterAndEvaluate) {
+  ResiliencyModelRegistry reg;
+  reg.register_model("double-first", [](std::span<const double> obs) { return 2.0 * obs[0]; });
+  EXPECT_TRUE(reg.has("double-first"));
+  EXPECT_FALSE(reg.has("missing"));
+  const double obs[] = {21.0};
+  EXPECT_DOUBLE_EQ(reg.evaluate("double-first", obs), 42.0);
+  EXPECT_EQ(reg.names().size(), 1u);
+}
+
+TEST(LearningController, SolvesTrivialEnvironment) {
+  TrivialEnv env;
+  LearningController controller;
+  const auto report = controller.train(env, 50, 20);
+  EXPECT_EQ(report.episode_rewards.size(), 50u);
+  EXPECT_GT(report.late_mean(5), report.early_mean(5) - 0.05);
+  EXPECT_EQ(controller.policy(0), 0u);
+  EXPECT_EQ(controller.policy(1), 0u);
+  EXPECT_GT(controller.evaluate(env, 5, 20), 0.99);
+}
+
+TEST(TrainingReport, EarlyLateMeans) {
+  TrainingReport r;
+  r.episode_rewards = {0.0, 0.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(r.early_mean(2), 0.0);
+  EXPECT_DOUBLE_EQ(r.late_mean(2), 1.0);
+}
+
+TEST(CrossLayerEnvironment, StateSpaceAndDynamics) {
+  CrossLayerEnvironment env;
+  EXPECT_EQ(env.num_actions(), 5u);
+  EXPECT_EQ(env.num_states(), 6u * 4u * 5u);
+  const auto s0 = env.reset();
+  EXPECT_LT(s0, env.num_states());
+  const auto result = env.step(2);
+  EXPECT_LT(result.next_state, env.num_states());
+  EXPECT_FALSE(result.terminal);
+  EXPECT_TRUE(std::isfinite(result.reward));
+}
+
+TEST(CrossLayerEnvironment, RegistryCoversThreeLayers) {
+  CrossLayerEnvironment env;
+  EXPECT_TRUE(env.registry().has("energy"));
+  EXPECT_TRUE(env.registry().has("ser"));
+  EXPECT_TRUE(env.registry().has("mttf"));
+}
+
+TEST(CrossLayerEnvironment, SustainedTopSpeedHeats) {
+  CrossLayerEnvironment env;
+  env.reset();
+  for (int i = 0; i < 300; ++i) env.step(4);
+  const double hot = env.temperature_k();
+  for (int i = 0; i < 300; ++i) env.step(0);
+  EXPECT_LT(env.temperature_k(), hot);
+}
+
+TEST(CrossLayerLoop, LearningImprovesReward) {
+  CrossLayerEnvironment env(CrossLayerConfig{.seed = 7});
+  LearningController controller(ml::QLearnerConfig{.alpha = 0.15,
+                                                   .gamma = 0.8,
+                                                   .epsilon = 0.3,
+                                                   .epsilon_decay = 0.97});
+  const auto report = controller.train(env, 80, 150);
+  // The Fig. 1 promise: the loop improves the composite reliability reward.
+  EXPECT_GT(report.late_mean(10), report.early_mean(10));
+}
+
+}  // namespace
+}  // namespace lore::core

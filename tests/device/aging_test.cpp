@@ -1,0 +1,106 @@
+#include "src/device/aging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/device/selfheat.hpp"
+
+namespace lore::device {
+namespace {
+
+TEST(NbtiModel, MonotoneInTimeVoltageTemperature) {
+  NbtiModel m;
+  StressCondition base{};
+  auto shifted = [&](auto mutate) {
+    StressCondition s = base;
+    mutate(s);
+    return m.delta_vth(s);
+  };
+  const double ref = m.delta_vth(base);
+  EXPECT_GT(shifted([](auto& s) { s.years = 10.0; }), ref);
+  EXPECT_GT(shifted([](auto& s) { s.vdd = 1.0; }), ref);
+  EXPECT_GT(shifted([](auto& s) { s.temperature = 380.0; }), ref);
+  EXPECT_LT(shifted([](auto& s) { s.duty_cycle = 0.1; }), ref);
+}
+
+TEST(NbtiModel, PowerLawExponent) {
+  NbtiModel m;
+  StressCondition one_year{.years = 1.0};
+  StressCondition sixtyfour{.years = 64.0};
+  // n = 1/6: 64x time -> 64^(1/6) = 2x shift.
+  EXPECT_NEAR(m.delta_vth(sixtyfour) / m.delta_vth(one_year), 2.0, 1e-9);
+}
+
+TEST(NbtiModel, ZeroStressIsZeroShift) {
+  NbtiModel m;
+  StressCondition none{.duty_cycle = 0.0};
+  EXPECT_DOUBLE_EQ(m.delta_vth(none), 0.0);
+  StressCondition no_time{.years = 0.0};
+  EXPECT_DOUBLE_EQ(m.delta_vth(no_time), 0.0);
+}
+
+TEST(HciModel, GrowsWithActivity) {
+  HciModel m;
+  StressCondition idle{.toggle_rate_ghz = 0.1};
+  StressCondition busy{.toggle_rate_ghz = 2.0};
+  EXPECT_GT(m.delta_vth(busy), m.delta_vth(idle));
+}
+
+TEST(HciModel, SqrtTimeDependence) {
+  HciModel m;
+  StressCondition t1{.years = 1.0};
+  StressCondition t4{.years = 4.0};
+  EXPECT_NEAR(m.delta_vth(t4) / m.delta_vth(t1), 2.0, 1e-9);
+}
+
+TEST(AgingModel, CombinedIsSumOfMechanisms) {
+  AgingModel combined;
+  NbtiModel nbti;
+  HciModel hci;
+  StressCondition s{.vdd = 0.9, .temperature = 350.0, .years = 3.0};
+  EXPECT_NEAR(combined.delta_vth(s), nbti.delta_vth(s) + hci.delta_vth(s), 1e-15);
+}
+
+TEST(SelfHeating, MoreFinsMoreConfinementMoreRth) {
+  SelfHeatingModel she;
+  TransistorParams two_fins{.num_fins = 2};
+  TransistorParams six_fins{.num_fins = 6};
+  EXPECT_GT(she.thermal_resistance(six_fins), she.thermal_resistance(two_fins));
+}
+
+TEST(SelfHeating, WiderDeviceCoolsBetter) {
+  SelfHeatingModel she;
+  TransistorParams narrow{.width_um = 0.3};
+  TransistorParams wide{.width_um = 1.0};
+  EXPECT_GT(she.thermal_resistance(narrow), she.thermal_resistance(wide));
+}
+
+TEST(SelfHeating, TemperatureRiseGrowsWithActivity) {
+  SelfHeatingModel she;
+  GateStage stage(GateStageParams{});
+  OperatingPoint op{};
+  ActivityProfile idle{.toggle_rate_ghz = 0.05};
+  ActivityProfile busy{.toggle_rate_ghz = 2.0};
+  EXPECT_GT(she.temperature_rise(stage, busy, op), she.temperature_rise(stage, idle, op));
+}
+
+TEST(SelfHeating, ZeroActivityZeroRise) {
+  SelfHeatingModel she;
+  GateStage stage(GateStageParams{});
+  OperatingPoint op{};
+  ActivityProfile off{.toggle_rate_ghz = 0.0};
+  EXPECT_DOUBLE_EQ(she.temperature_rise(stage, off, op), 0.0);
+}
+
+TEST(SelfHeating, LoadIncreasesHeat) {
+  SelfHeatingModel she;
+  GateStage stage(GateStageParams{});
+  OperatingPoint op{};
+  ActivityProfile light{.toggle_rate_ghz = 1.0, .load_ff = 1.0};
+  ActivityProfile heavy{.toggle_rate_ghz = 1.0, .load_ff = 20.0};
+  EXPECT_GT(she.temperature_rise(stage, heavy, op), she.temperature_rise(stage, light, op));
+}
+
+}  // namespace
+}  // namespace lore::device

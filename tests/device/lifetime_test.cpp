@@ -1,0 +1,107 @@
+#include "src/device/lifetime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lore::device {
+namespace {
+
+TEST(Electromigration, BlackEquationScaling) {
+  EmParams params{.mttf_ref_years = 100.0};
+  params.current_exponent = 2.0;
+  ElectromigrationModel em(params);
+  LifetimeCondition ref{.temperature = params.ref_temperature_k, .current_density = 1.0};
+  EXPECT_NEAR(em.mttf_years(ref), 100.0, 1e-9);
+  LifetimeCondition doubled = ref;
+  doubled.current_density = 2.0;
+  EXPECT_NEAR(em.mttf_years(doubled), 25.0, 1e-9);
+}
+
+TEST(Electromigration, HotterDiesFaster) {
+  ElectromigrationModel em;
+  LifetimeCondition cool{.temperature = 320.0};
+  LifetimeCondition hot{.temperature = 380.0};
+  EXPECT_GT(em.mttf_years(cool), em.mttf_years(hot));
+}
+
+TEST(Tddb, VoltageAcceleration) {
+  TddbModel tddb;
+  LifetimeCondition nominal{.vdd = 0.8};
+  LifetimeCondition overdrive{.vdd = 1.0};
+  EXPECT_GT(tddb.mttf_years(nominal), 3.0 * tddb.mttf_years(overdrive));
+}
+
+TEST(ThermalCycling, CoffinMansonAmplitude) {
+  ThermalCyclingModel tc(ThermalCyclingParams{.cycles_to_failure_ref = 1e6,
+                                              .delta_t_ref = 20.0,
+                                              .coffin_manson_exponent = 2.0});
+  LifetimeCondition small{.thermal_cycle_amplitude = 20.0, .thermal_cycles_per_day = 24.0};
+  LifetimeCondition big = small;
+  big.thermal_cycle_amplitude = 40.0;
+  EXPECT_NEAR(tc.mttf_years(small) / tc.mttf_years(big), 4.0, 1e-9);
+}
+
+TEST(ThermalCycling, NoCyclingIsNoFailure) {
+  ThermalCyclingModel tc;
+  LifetimeCondition steady{.thermal_cycle_amplitude = 0.0};
+  EXPECT_GE(tc.mttf_years(steady), 1e5);
+}
+
+TEST(NbtiLifetime, InverseOfDeltaVthPowerLaw) {
+  // With critical shift exactly the 1-year shift, lifetime should be 1 year.
+  NbtiParams nbti;
+  NbtiModel model(nbti);
+  LifetimeCondition c{.temperature = 350.0, .vdd = 0.85, .duty_cycle = 0.5};
+  StressCondition s{.vdd = c.vdd, .temperature = c.temperature,
+                    .duty_cycle = c.duty_cycle, .years = 1.0};
+  const double dvth_1y = model.delta_vth(s);
+  NbtiLifetimeModel life(nbti, VthLifetimeParams{.critical_delta_vth = dvth_1y});
+  EXPECT_NEAR(life.mttf_years(c), 1.0, 1e-6);
+}
+
+TEST(NbtiLifetime, HigherCriterionLastsLonger) {
+  NbtiLifetimeModel tight({}, VthLifetimeParams{.critical_delta_vth = 0.03});
+  NbtiLifetimeModel loose({}, VthLifetimeParams{.critical_delta_vth = 0.06});
+  LifetimeCondition c{};
+  EXPECT_GT(loose.mttf_years(c), tight.mttf_years(c));
+}
+
+TEST(CombinedMttf, SumOfRates) {
+  auto mechanisms = standard_mechanisms();
+  LifetimeCondition c{};
+  const double combined = combined_mttf_years(mechanisms, c);
+  double min_single = 1e30;
+  for (const auto& m : mechanisms) min_single = std::min(min_single, m->mttf_years(c));
+  // Combined MTTF is below the weakest single mechanism.
+  EXPECT_LT(combined, min_single);
+  EXPECT_GT(combined, 0.0);
+}
+
+TEST(CombinedMttf, StressMonotonicity) {
+  auto mechanisms = standard_mechanisms();
+  LifetimeCondition gentle{.temperature = 320.0, .vdd = 0.7, .toggle_rate_ghz = 0.2};
+  LifetimeCondition harsh{.temperature = 390.0, .vdd = 1.0, .toggle_rate_ghz = 2.0};
+  EXPECT_GT(combined_mttf_years(mechanisms, gentle), combined_mttf_years(mechanisms, harsh));
+}
+
+TEST(MonteCarloLifetime, ShapeOneMatchesSumOfRates) {
+  auto mechanisms = standard_mechanisms();
+  LifetimeCondition c{};
+  lore::Rng rng(700);
+  const auto mc = monte_carlo_lifetime(mechanisms, c, 20000, 1.0, rng);
+  const double analytic = combined_mttf_years(mechanisms, c);
+  // Weibull(shape=1) per mechanism = exponential; the min is exponential with
+  // the summed rate, so the MC mean must match the closed form.
+  EXPECT_NEAR(mc.mean_years / analytic, 1.0, 0.05);
+}
+
+TEST(MonteCarloLifetime, PercentilesOrdered) {
+  auto mechanisms = standard_mechanisms();
+  LifetimeCondition c{};
+  lore::Rng rng(701);
+  const auto mc = monte_carlo_lifetime(mechanisms, c, 5000, 2.0, rng);
+  EXPECT_LT(mc.p10_years, mc.p50_years);
+  EXPECT_GT(mc.mean_years, 0.0);
+}
+
+}  // namespace
+}  // namespace lore::device

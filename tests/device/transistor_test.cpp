@@ -1,0 +1,78 @@
+#include "src/device/transistor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lore::device {
+namespace {
+
+TEST(Transistor, CurrentIncreasesWithVdd) {
+  Transistor t(TransistorParams{});
+  OperatingPoint lo{.vdd = 0.6};
+  OperatingPoint hi{.vdd = 1.0};
+  EXPECT_GT(t.saturation_current(hi), t.saturation_current(lo));
+}
+
+TEST(Transistor, AgingReducesCurrent) {
+  Transistor t(TransistorParams{});
+  OperatingPoint fresh{.vdd = 0.8, .delta_vth = 0.0};
+  OperatingPoint aged{.vdd = 0.8, .delta_vth = 0.05};
+  EXPECT_GT(t.saturation_current(fresh), t.saturation_current(aged));
+}
+
+TEST(Transistor, HotterIsSlowerAtNominalVdd) {
+  // At nominal overdrive, mobility degradation dominates the Vth drop.
+  Transistor t(TransistorParams{});
+  OperatingPoint cool{.vdd = 0.8, .temperature = 300.0};
+  OperatingPoint hot{.vdd = 0.8, .temperature = 400.0};
+  EXPECT_GT(t.saturation_current(cool), t.saturation_current(hot));
+}
+
+TEST(Transistor, CutoffWhenUnderThreshold) {
+  Transistor t(TransistorParams{.vth0 = 0.35});
+  OperatingPoint op{.vdd = 0.3};
+  EXPECT_TRUE(t.in_cutoff(op));
+  EXPECT_DOUBLE_EQ(t.saturation_current(op), 0.0);
+  EXPECT_GE(t.effective_resistance(op), 1e8);
+}
+
+TEST(Transistor, WidthScalesCurrentLinearly) {
+  TransistorParams narrow{.width_um = 0.5};
+  TransistorParams wide{.width_um = 1.0};
+  OperatingPoint op{};
+  EXPECT_NEAR(Transistor(wide).saturation_current(op),
+              2.0 * Transistor(narrow).saturation_current(op), 1e-12);
+}
+
+TEST(GateStage, DelayIncreasesWithLoad) {
+  GateStage stage(GateStageParams{});
+  OperatingPoint op{};
+  const auto light = stage.fall(20.0, 1.0, op);
+  const auto heavy = stage.fall(20.0, 16.0, op);
+  EXPECT_GT(heavy.delay_ps, light.delay_ps);
+  EXPECT_GT(heavy.out_slew_ps, light.out_slew_ps);
+}
+
+TEST(GateStage, DelayIncreasesWithInputSlew) {
+  GateStage stage(GateStageParams{});
+  OperatingPoint op{};
+  const auto sharp = stage.rise(5.0, 4.0, op);
+  const auto slow = stage.rise(160.0, 4.0, op);
+  EXPECT_GT(slow.delay_ps, sharp.delay_ps);
+}
+
+TEST(GateStage, AgingSlowsTheStage) {
+  GateStage stage(GateStageParams{});
+  OperatingPoint fresh{};
+  OperatingPoint aged{.delta_vth = 0.06};
+  EXPECT_GT(stage.fall(20.0, 4.0, aged).delay_ps, stage.fall(20.0, 4.0, fresh).delay_ps);
+}
+
+TEST(GateStage, SwitchingEnergyGrowsWithLoadAndSlew) {
+  GateStage stage(GateStageParams{});
+  OperatingPoint op{};
+  EXPECT_GT(stage.switching_energy(20.0, 16.0, op), stage.switching_energy(20.0, 1.0, op));
+  EXPECT_GT(stage.switching_energy(160.0, 4.0, op), stage.switching_energy(5.0, 4.0, op));
+}
+
+}  // namespace
+}  // namespace lore::device

@@ -1,0 +1,127 @@
+// Cross-module integration tests: information produced by one abstraction
+// layer drives decisions in another, the way the paper's Fig. 1 loop and
+// Sec. VI-A cross-layer challenge intend.
+#include <gtest/gtest.h>
+
+#include "src/arch/fault.hpp"
+#include "src/common/stats.hpp"
+#include "src/circuit/she_flow.hpp"
+#include "src/device/lifetime.hpp"
+#include "src/os/replica.hpp"
+#include "src/rollback/montecarlo.hpp"
+#include "src/rollback/optimize.hpp"
+
+namespace lore {
+namespace {
+
+TEST(CrossLayer, CircuitSheFeedsDeviceLifetime) {
+  // Circuit layer: per-instance SHE temperatures. Device layer: those
+  // temperatures shorten the hottest instance's wear-out MTTF.
+  using namespace circuit;
+  CellLibrary lib = make_skeleton_library("tech");
+  Characterizer characterizer(
+      CharacterizerConfig{.slew_axis_ps = {10.0, 40.0, 160.0},
+                          .load_axis_ff = {1.0, 4.0, 16.0},
+                          .timestep_ps = 0.4},
+      device::SelfHeatingModel{});
+  device::OperatingPoint op{};
+  op.temperature = 330.0;
+  characterizer.characterize_library(lib, op);
+  const auto nl = generate_core_like(lib, CoreLikeConfig{.pipeline_stages = 2,
+                                                         .regs_per_stage = 6,
+                                                         .gates_per_stage = 40});
+  StaEngine sta;
+  const auto timing = sta.run(nl, LibraryDelayModel());
+  const auto she = instance_she_rise(nl, timing, 1.0);
+
+  double hottest = 0.0, coolest = 1e9;
+  for (double t : she) {
+    hottest = std::max(hottest, t);
+    coolest = std::min(coolest, t);
+  }
+  ASSERT_GT(hottest, coolest);
+
+  const auto mechanisms = device::standard_mechanisms();
+  device::LifetimeCondition hot{.temperature = 330.0 + hottest};
+  device::LifetimeCondition cool{.temperature = 330.0 + coolest};
+  EXPECT_LT(device::combined_mttf_years(mechanisms, hot),
+            device::combined_mttf_years(mechanisms, cool));
+}
+
+TEST(CrossLayer, ArchCampaignDrivesOsReplicaPolicy) {
+  // Architecture layer: measure the workload's real fault-to-failure rate by
+  // injection. OS layer: the replica manager prices redundancy from it.
+  using namespace arch;
+  const auto w = make_checksum(12, 3);
+  FaultInjector injector(w);
+  lore::Rng rng(4);
+  const auto campaign = injector.campaign(400, FaultTarget::kRegister, rng);
+  const auto mix = summarize(campaign);
+
+  os::ReplicaManager calm_mgr(os::ReplicaManagerConfig{.failure_penalty = 50.0});
+  calm_mgr.observe(mix.sdc + mix.crash + mix.hang, campaign.size());
+  // Same observed rate but a catastrophic failure penalty (avionics-class):
+  // redundancy must kick in.
+  os::ReplicaManager critical_mgr(os::ReplicaManagerConfig{.failure_penalty = 5000.0});
+  critical_mgr.observe(mix.sdc + mix.crash + mix.hang, campaign.size());
+  EXPECT_GE(critical_mgr.recommended_replicas(), calm_mgr.recommended_replicas());
+  EXPECT_GE(critical_mgr.recommended_replicas(), 2u);
+}
+
+TEST(CrossLayer, CheckpointOptimizerImprovesMonteCarloRuntime) {
+  // Rollback layer: the analytic optimizer's plan must hold up in the
+  // sampled simulation, not just in expectation.
+  using namespace rollback;
+  const double p = 1.5e-5;
+  const std::uint64_t nc = 220000;
+  const CheckpointParams params{};
+  const auto plan = optimize_checkpoints(p, nc, params);
+  ASSERT_GT(plan.checkpoints, 1u);
+
+  lore::Rng rng(5);
+  lore::RunningStats naive, optimized;
+  for (int run = 0; run < 4000; ++run) {
+    naive.add(static_cast<double>(sample_segment_cycles(p, nc, params, rng)));
+    double total = 0.0;
+    const std::uint64_t sub = nc / plan.checkpoints;
+    for (std::size_t k = 0; k < plan.checkpoints; ++k)
+      total += static_cast<double>(sample_segment_cycles(p, sub, params, rng));
+    optimized.add(total);
+  }
+  EXPECT_LT(optimized.mean(), naive.mean());
+}
+
+TEST(CrossLayer, SheAwareStaChangesOsTimingBudgetFeasibility) {
+  // Circuit timing feeds system-level cycle budgets: an SHE-aware clock
+  // period derived from per-instance STA admits a workload the worst-case
+  // corner would reject.
+  using namespace circuit;
+  CellLibrary lib = make_skeleton_library("tech");
+  Characterizer characterizer(
+      CharacterizerConfig{.slew_axis_ps = {10.0, 40.0, 160.0},
+                          .load_axis_ff = {1.0, 4.0, 16.0},
+                          .timestep_ps = 0.4},
+      device::SelfHeatingModel{});
+  SheFlowConfig cfg;
+  device::OperatingPoint typical{};
+  typical.temperature = cfg.chip_temperature;
+  characterizer.characterize_library(lib, typical);
+  auto nl = generate_core_like(lib, CoreLikeConfig{.pipeline_stages = 2,
+                                                   .regs_per_stage = 6,
+                                                   .gates_per_stage = 40});
+  StaEngine sta;
+  MlLibraryCharacterizer ml(MlCharacterizerConfig{
+      .samples_per_cell = 20, .temperature_samples = 2,
+      .mlp = {.hidden = {24}, .learning_rate = 3e-3, .epochs = 50, .batch_size = 32}});
+  const auto report = run_guardband_flow(nl, lib, characterizer, ml, cfg, sta);
+
+  // A clock between the SHE-aware arrival and the worst-case arrival is
+  // feasible under SHE-aware signoff but infeasible under the blanket corner.
+  const double clock_ps =
+      0.5 * (report.she_exact_arrival_ps + report.worst_case_arrival_ps);
+  EXPECT_GT(clock_ps, report.she_exact_arrival_ps);   // SHE-aware: positive slack
+  EXPECT_LT(clock_ps, report.worst_case_arrival_ps);  // corner: negative slack
+}
+
+}  // namespace
+}  // namespace lore

@@ -1,0 +1,150 @@
+// Cross-family classifier checks on shared synthetic problems, including a
+// parameterized sweep asserting every family clears an accuracy bar on
+// linearly separable data — the invariant the paper's model-selection
+// discussion (Sec. VI-C) presumes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/rng.hpp"
+#include "src/ml/ensemble.hpp"
+#include "src/ml/knn.hpp"
+#include "src/ml/linear.hpp"
+#include "src/ml/metrics.hpp"
+#include "src/ml/mlp.hpp"
+#include "src/ml/naive_bayes.hpp"
+#include "src/ml/svm.hpp"
+
+namespace lore::ml {
+namespace {
+
+Dataset two_blobs(std::size_t n, double separation, std::uint64_t seed) {
+  lore::Rng rng(seed);
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    const double c = cls ? separation : -separation;
+    const double row[] = {rng.normal(c, 1.0), rng.normal(c, 1.0)};
+    d.add(row, cls);
+  }
+  return d;
+}
+
+/// XOR-style problem that linear models cannot solve.
+Dataset xor_blobs(std::size_t n, std::uint64_t seed) {
+  lore::Rng rng(seed);
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    const double b = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    const double row[] = {a + rng.normal(0.0, 0.25), b + rng.normal(0.0, 0.25)};
+    d.add(row, a * b > 0 ? 1 : 0);
+  }
+  return d;
+}
+
+std::unique_ptr<Classifier> make_classifier(const std::string& kind) {
+  if (kind == "knn") return std::make_unique<KnnClassifier>(5);
+  if (kind == "naive-bayes") return std::make_unique<GaussianNaiveBayes>();
+  if (kind == "svm") return std::make_unique<LinearSvm>();
+  if (kind == "logreg") return std::make_unique<LogisticRegression>();
+  if (kind == "tree") return std::make_unique<DecisionTreeClassifier>();
+  if (kind == "forest")
+    return std::make_unique<RandomForestClassifier>(RandomForestConfig{.num_trees = 25, .tree = {}});
+  if (kind == "adaboost") return std::make_unique<AdaBoostClassifier>();
+  if (kind == "gbdt")
+    return std::make_unique<GradientBoostingClassifier>(
+        GradientBoostingClassifierConfig{.num_rounds = 40});
+  if (kind == "mlp")
+    return std::make_unique<MlpClassifier>(MlpConfig{.hidden = {16}, .epochs = 120});
+  ADD_FAILURE() << "unknown classifier " << kind;
+  return nullptr;
+}
+
+class EveryClassifier : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryClassifier, SeparatesBlobs) {
+  const auto d = two_blobs(300, 2.0, 7);
+  lore::Rng rng(8);
+  const auto [train, test] = train_test_split(d, 0.3, rng);
+  auto model = make_classifier(GetParam());
+  model->fit(train.x, train.labels);
+  const auto pred = model->predict_batch(test.x);
+  EXPECT_GT(accuracy(test.labels, pred), 0.9) << model->name();
+}
+
+TEST_P(EveryClassifier, ProbaSumsToOne) {
+  const auto d = two_blobs(120, 2.0, 9);
+  auto model = make_classifier(GetParam());
+  model->fit(d.x, d.labels);
+  const double probe[] = {0.3, -0.2};
+  const auto p = model->predict_proba(probe);
+  double sum = 0.0;
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9) << model->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, EveryClassifier,
+                         ::testing::Values("knn", "naive-bayes", "svm", "logreg", "tree",
+                                           "forest", "adaboost", "gbdt", "mlp"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+class NonlinearClassifier : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NonlinearClassifier, SolvesXor) {
+  const auto d = xor_blobs(400, 10);
+  lore::Rng rng(11);
+  const auto [train, test] = train_test_split(d, 0.3, rng);
+  auto model = make_classifier(GetParam());
+  model->fit(train.x, train.labels);
+  const auto pred = model->predict_batch(test.x);
+  EXPECT_GT(accuracy(test.labels, pred), 0.85) << model->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(NonlinearFamilies, NonlinearClassifier,
+                         ::testing::Values("knn", "tree", "forest", "gbdt", "mlp"),
+                         [](const auto& info) { return info.param; });
+
+TEST(LinearSvm, MarginSignMatchesClass) {
+  const auto d = two_blobs(200, 2.5, 12);
+  LinearSvm svm;
+  svm.fit(d.x, d.labels);
+  const double pos[] = {3.0, 3.0};
+  const double neg[] = {-3.0, -3.0};
+  EXPECT_GT(svm.decision(pos), 0.0);
+  EXPECT_LT(svm.decision(neg), 0.0);
+}
+
+TEST(GaussianNaiveBayes, ThreeClasses) {
+  lore::Rng rng(13);
+  Dataset d;
+  const double centers[3][2] = {{-3.0, 0.0}, {3.0, 0.0}, {0.0, 4.0}};
+  for (int i = 0; i < 450; ++i) {
+    const int cls = i % 3;
+    const double row[] = {rng.normal(centers[cls][0], 0.8), rng.normal(centers[cls][1], 0.8)};
+    d.add(row, cls);
+  }
+  GaussianNaiveBayes nb;
+  nb.fit(d.x, d.labels);
+  const auto pred = nb.predict_batch(d.x);
+  EXPECT_GT(accuracy(d.labels, pred), 0.95);
+}
+
+TEST(KnnClassifier, KOneMemorizesTraining) {
+  const auto d = two_blobs(60, 1.0, 14);
+  KnnClassifier knn(1);
+  knn.fit(d.x, d.labels);
+  const auto pred = knn.predict_batch(d.x);
+  EXPECT_DOUBLE_EQ(accuracy(d.labels, pred), 1.0);
+}
+
+}  // namespace
+}  // namespace lore::ml

@@ -1,0 +1,139 @@
+// Cross-cutting consistency properties of the ML substrate: layer-resume
+// forward passes, probability normalization across families, determinism of
+// stochastic learners under a fixed seed, and batch/scalar agreement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/ml/ensemble.hpp"
+#include "src/ml/hdc.hpp"
+#include "src/ml/metrics.hpp"
+#include "src/ml/mlp.hpp"
+
+namespace lore::ml {
+namespace {
+
+TEST(MlpConsistency, ForwardFromLayerMatchesFullForward) {
+  Mlp net;
+  net.init(4, 3, MlpConfig{.hidden = {8, 6}, .seed = 5});
+  lore::Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double x[] = {rng.normal(), rng.normal(), rng.normal(), rng.normal()};
+    const auto full = net.forward(x);
+    const auto layers = net.forward_layers(x);
+    ASSERT_EQ(layers.size(), 4u);  // input, two hidden, output
+    for (std::size_t l = 0; l <= net.num_layers(); ++l) {
+      const auto resumed = net.forward_from_layer(l, layers[l]);
+      ASSERT_EQ(resumed.size(), full.size());
+      for (std::size_t i = 0; i < full.size(); ++i)
+        EXPECT_NEAR(resumed[i], full[i], 1e-12) << "layer " << l;
+    }
+  }
+}
+
+TEST(MlpConsistency, LayerWidthsMatchTopology) {
+  Mlp net;
+  net.init(5, 2, MlpConfig{.hidden = {7, 3}});
+  EXPECT_EQ(net.layer_width(0), 5u);
+  EXPECT_EQ(net.layer_width(1), 7u);
+  EXPECT_EQ(net.layer_width(2), 3u);
+  EXPECT_EQ(net.num_layers(), 3u);
+  EXPECT_EQ(net.num_outputs(), 2u);
+}
+
+TEST(StochasticLearners, DeterministicUnderFixedSeed) {
+  lore::Rng data_rng(7);
+  Matrix x;
+  std::vector<int> y;
+  for (int i = 0; i < 150; ++i) {
+    const double row[] = {data_rng.normal(i % 2 ? 1.5 : -1.5, 1.0), data_rng.normal()};
+    x.push_row(row);
+    y.push_back(i % 2);
+  }
+  for (int rep = 0; rep < 2; ++rep) {
+    RandomForestClassifier a(RandomForestConfig{.num_trees = 10, .tree = {}, .seed = 99});
+    RandomForestClassifier b(RandomForestConfig{.num_trees = 10, .tree = {}, .seed = 99});
+    a.fit(x, y);
+    b.fit(x, y);
+    const double probe[] = {0.2, -0.1};
+    EXPECT_EQ(a.predict_proba(probe), b.predict_proba(probe));
+  }
+  GradientBoostingClassifier g1(GradientBoostingClassifierConfig{.num_rounds = 15, .seed = 3});
+  GradientBoostingClassifier g2(GradientBoostingClassifierConfig{.num_rounds = 15, .seed = 3});
+  g1.fit(x, y);
+  g2.fit(x, y);
+  const double probe[] = {0.5, 0.5};
+  EXPECT_EQ(g1.predict_proba(probe), g2.predict_proba(probe));
+}
+
+TEST(BatchScalarAgreement, PredictBatchMatchesScalarPredict) {
+  lore::Rng rng(8);
+  Matrix x;
+  std::vector<int> y;
+  for (int i = 0; i < 120; ++i) {
+    const double row[] = {rng.normal(i % 2 ? 2.0 : -2.0, 1.0)};
+    x.push_row(row);
+    y.push_back(i % 2);
+  }
+  GradientBoostingClassifier model(GradientBoostingClassifierConfig{.num_rounds = 20});
+  model.fit(x, y);
+  const auto batch = model.predict_batch(x);
+  ASSERT_EQ(batch.size(), x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) EXPECT_EQ(batch[i], model.predict(x.row(i)));
+}
+
+TEST(GbdtRegressor, MoreRoundsReduceTrainingError) {
+  lore::Rng rng(9);
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double row[] = {a};
+    x.push_row(row);
+    y.push_back(a * a * a + 0.3 * std::sin(5.0 * a));
+  }
+  GradientBoostingRegressor small(GradientBoostingRegressorConfig{.num_rounds = 5});
+  GradientBoostingRegressor large(GradientBoostingRegressorConfig{.num_rounds = 120});
+  small.fit(x, y);
+  large.fit(x, y);
+  EXPECT_LT(mse(y, large.predict_batch(x)), mse(y, small.predict_batch(x)));
+}
+
+TEST(HdcAccumulator, WeightedBundlingBiasesMajority) {
+  lore::Rng rng(10);
+  const std::size_t d = 4096;
+  const auto a = Hypervector::random(d, rng);
+  const auto b = Hypervector::random(d, rng);
+  Accumulator acc(d);
+  acc.add_weighted(a, 5);
+  acc.add_weighted(b, 1);
+  const auto bundle = acc.to_hypervector(&rng);
+  EXPECT_GT(bundle.similarity(a), bundle.similarity(b));
+  EXPECT_GT(bundle.similarity(a), 0.9);
+}
+
+TEST(ProbaNormalization, SurvivesExtremeInputs) {
+  lore::Rng rng(11);
+  Matrix x;
+  std::vector<int> y;
+  for (int i = 0; i < 100; ++i) {
+    const double row[] = {rng.normal(i % 3 == 0 ? 5.0 : -5.0, 0.5)};
+    x.push_row(row);
+    y.push_back(i % 3 == 0 ? 1 : 0);
+  }
+  MlpClassifier mlp(MlpConfig{.hidden = {8}, .epochs = 100});
+  mlp.fit(x, y);
+  const double extreme[] = {1e4};
+  const auto p = mlp.predict_proba(extreme);
+  double sum = 0.0;
+  for (double v : p) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lore::ml

@@ -1,0 +1,94 @@
+#include "src/ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lore::ml {
+namespace {
+
+Dataset make_labeled(std::size_t n) {
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double row[] = {static_cast<double>(i), static_cast<double>(2 * i)};
+    d.add(row, static_cast<int>(i % 3));
+  }
+  return d;
+}
+
+TEST(Dataset, AddAndCounts) {
+  const auto d = make_labeled(9);
+  EXPECT_EQ(d.size(), 9u);
+  EXPECT_EQ(d.features(), 2u);
+  EXPECT_EQ(d.num_classes(), 3u);
+}
+
+TEST(Dataset, SubsetKeepsAlignment) {
+  const auto d = make_labeled(10);
+  const std::vector<std::size_t> idx{3, 7};
+  const auto s = d.subset(idx);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.x(0, 0), 3.0);
+  EXPECT_EQ(s.labels[0], 0);
+  EXPECT_DOUBLE_EQ(s.x(1, 1), 14.0);
+  EXPECT_EQ(s.labels[1], 1);
+}
+
+TEST(Dataset, TrainTestSplitPartitions) {
+  const auto d = make_labeled(20);
+  lore::Rng rng(3);
+  const auto [train, test] = train_test_split(d, 0.25, rng);
+  EXPECT_EQ(train.size() + test.size(), 20u);
+  EXPECT_EQ(test.size(), 5u);
+  // No sample appears in both (features are unique per row here).
+  std::set<double> train_keys, test_keys;
+  for (std::size_t i = 0; i < train.size(); ++i) train_keys.insert(train.x(i, 0));
+  for (std::size_t i = 0; i < test.size(); ++i) test_keys.insert(test.x(i, 0));
+  for (double k : test_keys) EXPECT_EQ(train_keys.count(k), 0u);
+}
+
+TEST(Dataset, KfoldCoversAllDisjointly) {
+  lore::Rng rng(4);
+  const auto folds = kfold_indices(23, 5, rng);
+  EXPECT_EQ(folds.size(), 5u);
+  std::set<std::size_t> seen;
+  for (const auto& f : folds)
+    for (auto i : f) EXPECT_TRUE(seen.insert(i).second);
+  EXPECT_EQ(seen.size(), 23u);
+}
+
+TEST(StandardScaler, ZeroMeanUnitVar) {
+  Matrix x{{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}, {4.0, 40.0}};
+  StandardScaler s;
+  const Matrix t = s.fit_transform(x);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double m = 0.0, v = 0.0;
+    for (std::size_t r = 0; r < 4; ++r) m += t(r, c);
+    m /= 4.0;
+    for (std::size_t r = 0; r < 4; ++r) v += (t(r, c) - m) * (t(r, c) - m);
+    v /= 4.0;
+    EXPECT_NEAR(m, 0.0, 1e-12);
+    EXPECT_NEAR(v, 1.0, 1e-12);
+  }
+}
+
+TEST(StandardScaler, ConstantFeatureStaysFinite) {
+  Matrix x{{5.0, 1.0}, {5.0, 2.0}};
+  StandardScaler s;
+  const Matrix t = s.fit_transform(x);
+  EXPECT_DOUBLE_EQ(t(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t(1, 0), 0.0);
+}
+
+TEST(MinMaxScaler, MapsToUnitInterval) {
+  Matrix x{{0.0}, {5.0}, {10.0}};
+  MinMaxScaler s;
+  s.fit(x);
+  const Matrix t = s.transform(x);
+  EXPECT_DOUBLE_EQ(t(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(t(2, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace lore::ml

@@ -1,0 +1,159 @@
+#include "src/ml/hdc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+
+namespace lore::ml {
+namespace {
+
+TEST(Hypervector, RandomIsNearOrthogonal) {
+  lore::Rng rng(500);
+  const auto a = Hypervector::random(8192, rng);
+  const auto b = Hypervector::random(8192, rng);
+  EXPECT_NEAR(a.similarity(b), 0.0, 0.05);
+  EXPECT_DOUBLE_EQ(a.similarity(a), 1.0);
+}
+
+TEST(Hypervector, BindIsSelfInverse) {
+  lore::Rng rng(501);
+  const auto a = Hypervector::random(2048, rng);
+  const auto key = Hypervector::random(2048, rng);
+  const auto bound = a.bind(key);
+  EXPECT_DOUBLE_EQ(bound.bind(key).similarity(a), 1.0);
+  // Binding decorrelates.
+  EXPECT_NEAR(bound.similarity(a), 0.0, 0.08);
+}
+
+TEST(Hypervector, PermuteIsCyclic) {
+  lore::Rng rng(502);
+  const auto a = Hypervector::random(128, rng);
+  EXPECT_DOUBLE_EQ(a.permute(128).similarity(a), 1.0);
+  EXPECT_DOUBLE_EQ(a.permute(5).permute(123).similarity(a), 1.0);
+  EXPECT_NEAR(a.permute(1).similarity(a), 0.0, 0.25);
+}
+
+TEST(Hypervector, ComponentErrorsReduceSimilarityLinearly) {
+  lore::Rng rng(503);
+  const auto a = Hypervector::random(8192, rng);
+  const auto noisy = a.with_component_errors(0.25, rng);
+  // Expected similarity = 1 - 2p.
+  EXPECT_NEAR(noisy.similarity(a), 0.5, 0.05);
+}
+
+TEST(Accumulator, MajorityBundlingPreservesMembers) {
+  lore::Rng rng(504);
+  const std::size_t d = 8192;
+  Accumulator acc(d);
+  std::vector<Hypervector> members;
+  for (int i = 0; i < 5; ++i) {
+    members.push_back(Hypervector::random(d, rng));
+    acc.add(members.back());
+  }
+  const auto bundle = acc.to_hypervector(&rng);
+  const auto stranger = Hypervector::random(d, rng);
+  for (const auto& m : members) EXPECT_GT(bundle.similarity(m), 0.25);
+  EXPECT_NEAR(bundle.similarity(stranger), 0.0, 0.05);
+}
+
+TEST(ItemMemory, StableAndDistinct) {
+  ItemMemory mem(2048, 505);
+  const auto& a1 = mem.get(7);
+  const auto& a2 = mem.get(7);
+  EXPECT_DOUBLE_EQ(a1.similarity(a2), 1.0);
+  const auto& b = mem.get(8);
+  EXPECT_NEAR(a1.similarity(b), 0.0, 0.1);
+}
+
+TEST(LevelEncoder, AdjacentLevelsCorrelated) {
+  LevelEncoder enc(8192, 16, 0.0, 1.0, 506);
+  const auto& lo = enc.encode(0.0);
+  const auto& next = enc.encode(1.0 / 16.0 + 0.001);
+  const auto& hi = enc.encode(1.0);
+  EXPECT_GT(lo.similarity(next), 0.8);
+  EXPECT_LT(lo.similarity(hi), 0.2);
+}
+
+TEST(LevelEncoder, MonotoneSimilarityDecay) {
+  LevelEncoder enc(8192, 32, 0.0, 1.0, 507);
+  const auto& base = enc.encode(0.0);
+  double prev = 1.1;
+  for (double v : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double s = base.similarity(enc.encode(v));
+    EXPECT_LT(s, prev + 1e-9);
+    prev = s;
+  }
+}
+
+RecordEncoder make_encoder() {
+  return RecordEncoder({{0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0}},
+                       RecordEncoderConfig{.dim = 4096, .levels = 16});
+}
+
+TEST(HdcClassifier, LearnsBlobSeparation) {
+  const auto enc = make_encoder();
+  lore::Rng rng(508);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    const int cls = i % 2;
+    const double base = cls ? 0.75 : 0.25;
+    x.push_back({base + rng.normal(0.0, 0.05), base + rng.normal(0.0, 0.05),
+                 base + rng.normal(0.0, 0.05)});
+    y.push_back(cls);
+  }
+  HdcClassifier clf(&enc);
+  clf.fit(x, y);
+  int hits = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) hits += clf.predict(x[i]) == y[i];
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(x.size()), 0.95);
+}
+
+TEST(HdcClassifier, RobustToLargeComponentErrorRate) {
+  // The paper's headline HDC claim: huge component error rates barely move
+  // the accuracy.
+  const auto enc = make_encoder();
+  lore::Rng rng(509);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    const int cls = i % 2;
+    const double base = cls ? 0.8 : 0.2;
+    x.push_back({base + rng.normal(0.0, 0.04), base + rng.normal(0.0, 0.04),
+                 base + rng.normal(0.0, 0.04)});
+    y.push_back(cls);
+  }
+  HdcClassifier clf(&enc);
+  clf.fit(x, y);
+  lore::Rng noise(510);
+  int clean_hits = 0, noisy_hits = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    clean_hits += clf.predict(x[i]) == y[i];
+    noisy_hits += clf.predict(x[i], 0.3, &noise) == y[i];
+  }
+  EXPECT_GE(noisy_hits, clean_hits - 10);  // <= 5% degradation at 30% errors
+}
+
+TEST(HdcRegressor, ApproximatesSmoothFunction) {
+  const auto enc = RecordEncoder({{0.0, 1.0}}, RecordEncoderConfig{.dim = 4096, .levels = 32});
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    const double v = static_cast<double>(i) / 400.0;
+    x.push_back({v});
+    y.push_back(2.0 * v + 1.0);
+  }
+  HdcRegressor reg(&enc);
+  reg.fit(x, y);
+  double worst = 0.0;
+  for (double v : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double pred = reg.predict(std::vector<double>{v});
+    worst = std::max(worst, std::abs(pred - (2.0 * v + 1.0)));
+  }
+  EXPECT_LT(worst, 0.25);
+}
+
+}  // namespace
+}  // namespace lore::ml

@@ -1,0 +1,70 @@
+#include "src/ml/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.hpp"
+
+namespace lore::ml {
+namespace {
+
+Matrix three_blobs(std::size_t per_cluster, std::uint64_t seed) {
+  lore::Rng rng(seed);
+  Matrix x;
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (int c = 0; c < 3; ++c)
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      const double row[] = {rng.normal(centers[c][0], 0.5), rng.normal(centers[c][1], 0.5)};
+      x.push_row(row);
+    }
+  return x;
+}
+
+TEST(KMeans, RecoversWellSeparatedClusters) {
+  const auto x = three_blobs(50, 400);
+  KMeans km(KMeansConfig{.k = 3});
+  km.fit(x);
+  const auto labels = km.assign_batch(x);
+  // Each true cluster (contiguous block of 50) should map to a single label.
+  for (int c = 0; c < 3; ++c) {
+    std::set<std::size_t> in_cluster;
+    for (std::size_t i = 0; i < 50; ++i) in_cluster.insert(labels[static_cast<std::size_t>(c) * 50 + i]);
+    EXPECT_EQ(in_cluster.size(), 1u) << "cluster " << c << " fragmented";
+  }
+  // And the three labels must be distinct.
+  std::set<std::size_t> reps{labels[0], labels[50], labels[100]};
+  EXPECT_EQ(reps.size(), 3u);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  const auto x = three_blobs(40, 401);
+  KMeans k1(KMeansConfig{.k = 1});
+  KMeans k3(KMeansConfig{.k = 3});
+  k1.fit(x);
+  k3.fit(x);
+  EXPECT_LT(k3.inertia(), k1.inertia());
+}
+
+TEST(KMeans, AssignPicksNearestCentroid) {
+  const auto x = three_blobs(30, 402);
+  KMeans km(KMeansConfig{.k = 3});
+  km.fit(x);
+  const double probe[] = {10.0, 0.0};
+  const auto cluster = km.assign(probe);
+  const auto& c = km.centroids();
+  EXPECT_NEAR(c(cluster, 0), 10.0, 1.0);
+  EXPECT_NEAR(c(cluster, 1), 0.0, 1.0);
+}
+
+TEST(KMeans, DeterministicForSeed) {
+  const auto x = three_blobs(30, 403);
+  KMeans a(KMeansConfig{.k = 3, .seed = 5});
+  KMeans b(KMeansConfig{.k = 3, .seed = 5});
+  a.fit(x);
+  b.fit(x);
+  EXPECT_DOUBLE_EQ(a.inertia(), b.inertia());
+}
+
+}  // namespace
+}  // namespace lore::ml

@@ -1,0 +1,112 @@
+#include "src/ml/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/ml/metrics.hpp"
+
+namespace lore::ml {
+namespace {
+
+TEST(SolveSpd, SolvesKnownSystem) {
+  // A = [[4,1],[1,3]], b = [1,2] -> x = [1/11, 7/11].
+  Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  const auto x = solve_spd(a, {1.0, 2.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-9);
+  EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-9);
+}
+
+TEST(SolveSpd, RejectsIndefinite) {
+  Matrix a{{0.0, 2.0}, {2.0, 0.0}};
+  EXPECT_TRUE(solve_spd(a, {1.0, 1.0}, 0.0).empty());
+}
+
+TEST(RidgeRegression, RecoversLinearFunction) {
+  lore::Rng rng(100);
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(-2.0, 2.0), b = rng.uniform(-2.0, 2.0);
+    const double row[] = {a, b};
+    x.push_row(row);
+    y.push_back(3.0 * a - 1.5 * b + 0.7);
+  }
+  RidgeRegression model(1e-8);
+  model.fit(x, y);
+  EXPECT_NEAR(model.weights()[0], 3.0, 1e-6);
+  EXPECT_NEAR(model.weights()[1], -1.5, 1e-6);
+  EXPECT_NEAR(model.bias(), 0.7, 1e-6);
+}
+
+TEST(RidgeRegression, NoisyFitHasHighR2) {
+  lore::Rng rng(101);
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double row[] = {a};
+    x.push_row(row);
+    y.push_back(2.0 * a + rng.normal(0.0, 0.05));
+  }
+  RidgeRegression model;
+  model.fit(x, y);
+  const auto pred = model.predict_batch(x);
+  EXPECT_GT(r2_score(y, pred), 0.98);
+}
+
+TEST(RidgeRegression, RegularizationShrinksWeights) {
+  lore::Rng rng(102);
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double row[] = {a};
+    x.push_row(row);
+    y.push_back(5.0 * a);
+  }
+  RidgeRegression weak(1e-8), strong(1e3);
+  weak.fit(x, y);
+  strong.fit(x, y);
+  EXPECT_GT(std::abs(weak.weights()[0]), std::abs(strong.weights()[0]));
+}
+
+TEST(LogisticRegression, SeparatesLinearBlobs) {
+  lore::Rng rng(103);
+  Matrix x;
+  std::vector<int> y;
+  for (int i = 0; i < 300; ++i) {
+    const int cls = i % 2;
+    const double cx = cls ? 2.0 : -2.0;
+    const double row[] = {rng.normal(cx, 0.7), rng.normal(cx, 0.7)};
+    x.push_row(row);
+    y.push_back(cls);
+  }
+  LogisticRegression model;
+  model.fit(x, y);
+  const auto pred = model.predict_batch(x);
+  EXPECT_GT(accuracy(y, pred), 0.97);
+}
+
+TEST(LogisticRegression, ProbabilitiesAreCalibratedDirectionally) {
+  lore::Rng rng(104);
+  Matrix x;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    const int cls = i % 2;
+    const double row[] = {cls ? 1.0 + rng.normal(0.0, 0.3) : -1.0 + rng.normal(0.0, 0.3)};
+    x.push_row(row);
+    y.push_back(cls);
+  }
+  LogisticRegression model;
+  model.fit(x, y);
+  const double far_pos[] = {3.0};
+  const double far_neg[] = {-3.0};
+  EXPECT_GT(model.positive_probability(far_pos), 0.95);
+  EXPECT_LT(model.positive_probability(far_neg), 0.05);
+  const auto proba = model.predict_proba(far_pos);
+  EXPECT_NEAR(proba[0] + proba[1], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace lore::ml

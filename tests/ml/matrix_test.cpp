@@ -1,0 +1,106 @@
+#include "src/ml/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lore::ml {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, PushRowGrowsAndSetsCols) {
+  Matrix m;
+  const double r0[] = {1.0, 2.0, 3.0};
+  m.push_row(r0);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 3u);
+  const double r1[] = {4.0, 5.0, 6.0};
+  m.push_row(r1);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, Matmul) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a.matmul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulIdentity) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix eye{{1.0, 0.0}, {0.0, 1.0}};
+  const Matrix c = a.matmul(eye);
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 4.0);
+}
+
+TEST(Matrix, Matvec) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> v{1.0, -1.0};
+  const auto out = a.matvec(v);
+  EXPECT_DOUBLE_EQ(out[0], -1.0);
+  EXPECT_DOUBLE_EQ(out[1], -1.0);
+}
+
+TEST(Matrix, ArithmeticOps) {
+  Matrix a{{1.0, 2.0}};
+  Matrix b{{3.0, 4.0}};
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0, 1), 6.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(0, 1), 2.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+}
+
+TEST(Matrix, GatherRows) {
+  Matrix m{{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}};
+  const std::vector<std::size_t> idx{2, 0};
+  const Matrix g = m.gather_rows(idx);
+  EXPECT_EQ(g.rows(), 2u);
+  EXPECT_DOUBLE_EQ(g(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 0.0);
+}
+
+TEST(VectorOps, DotAndDistance) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  const std::vector<double> c{0.0, 3.0, 4.0};
+  const std::vector<double> zero{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(l2_distance(c, zero), 5.0);
+}
+
+TEST(VectorOps, Axpy) {
+  std::vector<double> a{1.0, 1.0};
+  const std::vector<double> b{2.0, 3.0};
+  axpy(a, 2.0, b);
+  EXPECT_DOUBLE_EQ(a[0], 5.0);
+  EXPECT_DOUBLE_EQ(a[1], 7.0);
+}
+
+}  // namespace
+}  // namespace lore::ml

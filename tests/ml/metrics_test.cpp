@@ -1,0 +1,75 @@
+#include "src/ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace lore::ml {
+namespace {
+
+TEST(Metrics, Accuracy) {
+  const std::vector<int> t{0, 1, 1, 0};
+  const std::vector<int> p{0, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(accuracy(t, p), 0.75);
+}
+
+TEST(Metrics, BinaryConfusionCounts) {
+  const std::vector<int> t{1, 1, 0, 0, 1};
+  const std::vector<int> p{1, 0, 1, 0, 1};
+  const auto c = binary_confusion(t, p);
+  EXPECT_EQ(c.tp, 2u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tn, 1u);
+  EXPECT_DOUBLE_EQ(c.precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 2.0 / 3.0);
+  EXPECT_NEAR(c.f1(), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c.false_positive_rate(), 0.5);
+}
+
+TEST(Metrics, ConfusionMatrixMulticlass) {
+  const std::vector<int> t{0, 1, 2, 2};
+  const std::vector<int> p{0, 2, 2, 1};
+  const auto m = confusion_matrix(t, p, 3);
+  EXPECT_EQ(m[0][0], 1u);
+  EXPECT_EQ(m[1][2], 1u);
+  EXPECT_EQ(m[2][2], 1u);
+  EXPECT_EQ(m[2][1], 1u);
+}
+
+TEST(Metrics, RegressionErrors) {
+  const std::vector<double> t{1.0, 2.0, 3.0};
+  const std::vector<double> p{1.0, 2.0, 5.0};
+  EXPECT_NEAR(mse(t, p), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(mae(t, p), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(rmse(t, p), std::sqrt(4.0 / 3.0), 1e-12);
+}
+
+TEST(Metrics, R2PerfectAndMeanPredictor) {
+  const std::vector<double> t{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r2_score(t, t), 1.0);
+  const std::vector<double> mean_pred{2.5, 2.5, 2.5, 2.5};
+  EXPECT_DOUBLE_EQ(r2_score(t, mean_pred), 0.0);
+}
+
+TEST(Metrics, RocAucPerfectSeparation) {
+  const std::vector<int> t{0, 0, 1, 1};
+  const std::vector<double> s{0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(roc_auc(t, s), 1.0);
+}
+
+TEST(Metrics, RocAucRandomIsHalf) {
+  const std::vector<int> t{0, 1, 0, 1};
+  const std::vector<double> s{0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(roc_auc(t, s), 0.5);
+}
+
+TEST(Metrics, RocAucInverted) {
+  const std::vector<int> t{1, 1, 0, 0};
+  const std::vector<double> s{0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(roc_auc(t, s), 0.0);
+}
+
+}  // namespace
+}  // namespace lore::ml

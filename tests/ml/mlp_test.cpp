@@ -1,0 +1,137 @@
+#include "src/ml/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/ml/metrics.hpp"
+
+namespace lore::ml {
+namespace {
+
+TEST(Mlp, ForwardShapeAndDeterminism) {
+  Mlp net;
+  net.init(3, 2, MlpConfig{.hidden = {5}, .seed = 1});
+  const double x[] = {0.1, -0.2, 0.3};
+  const auto a = net.forward(x);
+  const auto b = net.forward(x);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Mlp, ParameterCount) {
+  Mlp net;
+  net.init(4, 3, MlpConfig{.hidden = {8}});
+  // 4*8+8 + 8*3+3 = 40 + 27 = 67.
+  EXPECT_EQ(net.parameter_count(), 67u);
+}
+
+TEST(MlpRegressor, FitsLinearFunction) {
+  lore::Rng rng(300);
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(-1.0, 1.0), b = rng.uniform(-1.0, 1.0);
+    const double row[] = {a, b};
+    x.push_row(row);
+    y.push_back(2.0 * a - b + 0.5);
+  }
+  MlpRegressor model(MlpConfig{.hidden = {8}, .epochs = 150});
+  model.fit(x, y);
+  const auto pred = model.predict_batch(x);
+  EXPECT_GT(r2_score(y, pred), 0.99);
+}
+
+TEST(MlpRegressor, FitsNonlinearFunction) {
+  lore::Rng rng(301);
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform(-2.0, 2.0);
+    const double row[] = {a};
+    x.push_row(row);
+    y.push_back(std::sin(a));
+  }
+  MlpRegressor model(MlpConfig{.hidden = {24, 24}, .epochs = 300});
+  model.fit(x, y);
+  const auto pred = model.predict_batch(x);
+  EXPECT_GT(r2_score(y, pred), 0.97);
+}
+
+TEST(MlpClassifier, SolvesXor) {
+  lore::Rng rng(302);
+  Matrix x;
+  std::vector<int> y;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    const double b = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    const double row[] = {a + rng.normal(0.0, 0.2), b + rng.normal(0.0, 0.2)};
+    x.push_row(row);
+    y.push_back(a * b > 0.0 ? 1 : 0);
+  }
+  MlpClassifier model(MlpConfig{.hidden = {12}, .epochs = 200});
+  model.fit(x, y);
+  EXPECT_GT(accuracy(y, model.predict_batch(x)), 0.95);
+}
+
+TEST(MlpClassifier, ThreeClassProbabilities) {
+  lore::Rng rng(303);
+  Matrix x;
+  std::vector<int> y;
+  const double centers[3] = {-4.0, 0.0, 4.0};
+  for (int i = 0; i < 300; ++i) {
+    const int cls = i % 3;
+    const double row[] = {rng.normal(centers[cls], 0.6)};
+    x.push_row(row);
+    y.push_back(cls);
+  }
+  MlpClassifier model(MlpConfig{.hidden = {16}, .epochs = 200});
+  model.fit(x, y);
+  const double probe[] = {-4.0};
+  const auto p = model.predict_proba(probe);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_GT(p[0], 0.8);
+  double sum = 0.0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(MlpVectorRegressor, MultiOutput) {
+  lore::Rng rng(304);
+  Matrix x, y;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double row[] = {a};
+    x.push_row(row);
+    const double t[] = {a, -a, 2.0 * a};
+    y.push_row(t);
+  }
+  MlpVectorRegressor model(MlpConfig{.hidden = {16}, .epochs = 200});
+  model.fit(x, y);
+  const double probe[] = {0.5};
+  const auto out = model.predict(probe);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_NEAR(out[0], 0.5, 0.1);
+  EXPECT_NEAR(out[1], -0.5, 0.1);
+  EXPECT_NEAR(out[2], 1.0, 0.15);
+}
+
+TEST(Mlp, TanhActivationAlsoLearns) {
+  lore::Rng rng(305);
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double row[] = {a};
+    x.push_row(row);
+    y.push_back(a * a);
+  }
+  MlpRegressor model(MlpConfig{.hidden = {16}, .activation = Activation::kTanh,
+                               .epochs = 250});
+  model.fit(x, y);
+  EXPECT_GT(r2_score(y, model.predict_batch(x)), 0.95);
+}
+
+}  // namespace
+}  // namespace lore::ml

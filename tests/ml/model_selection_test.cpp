@@ -1,0 +1,72 @@
+#include "src/ml/model_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/ml/knn.hpp"
+#include "src/ml/naive_bayes.hpp"
+
+namespace lore::ml {
+namespace {
+
+Dataset blobs(std::size_t n, double separation, std::uint64_t seed) {
+  lore::Rng rng(seed);
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    const double c = cls ? separation : -separation;
+    const double row[] = {rng.normal(c, 1.0), rng.normal(c, 1.0)};
+    d.add(row, cls);
+  }
+  return d;
+}
+
+TEST(CrossValidate, EasyProblemHighAccuracy) {
+  const auto d = blobs(200, 2.5, 3);
+  lore::Rng rng(4);
+  const auto score = cross_validate([] { return std::make_unique<KnnClassifier>(5); }, d, 5,
+                                    rng);
+  EXPECT_EQ(score.folds, 5u);
+  EXPECT_EQ(score.model, "knn");
+  EXPECT_GT(score.mean_accuracy, 0.93);
+  EXPECT_LT(score.stddev_accuracy, 0.12);
+}
+
+TEST(CrossValidate, ChanceLevelOnNoise) {
+  lore::Rng label_rng(5);
+  Dataset d;
+  for (int i = 0; i < 200; ++i) {
+    const double row[] = {label_rng.uniform(), label_rng.uniform()};
+    d.add(row, label_rng.bernoulli(0.5) ? 1 : 0);
+  }
+  lore::Rng rng(6);
+  const auto score = cross_validate(
+      [] { return std::make_unique<GaussianNaiveBayes>(); }, d, 5, rng);
+  EXPECT_NEAR(score.mean_accuracy, 0.5, 0.13);
+}
+
+TEST(SelectModel, RanksBestFirstAndCoversAllCandidates) {
+  const auto d = blobs(240, 2.0, 7);
+  lore::Rng rng(8);
+  const auto candidates = standard_classifier_candidates();
+  const auto scores = select_model(candidates, d, 4, rng);
+  ASSERT_EQ(scores.size(), candidates.size());
+  for (std::size_t i = 1; i < scores.size(); ++i)
+    EXPECT_GE(scores[i - 1].mean_accuracy, scores[i].mean_accuracy);
+  // On a separable problem the winner must be strong.
+  EXPECT_GT(scores.front().mean_accuracy, 0.9);
+}
+
+TEST(SelectModel, DeterministicForSameRngSeed) {
+  const auto d = blobs(160, 2.0, 9);
+  const auto candidates = standard_classifier_candidates();
+  lore::Rng rng_a(10), rng_b(10);
+  const auto a = select_model(candidates, d, 4, rng_a);
+  const auto b = select_model(candidates, d, 4, rng_b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].model, b[i].model);
+    EXPECT_DOUBLE_EQ(a[i].mean_accuracy, b[i].mean_accuracy);
+  }
+}
+
+}  // namespace
+}  // namespace lore::ml

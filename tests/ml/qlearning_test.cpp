@@ -1,0 +1,105 @@
+#include "src/ml/qlearning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lore::ml {
+namespace {
+
+/// 1-D corridor: states 0..N-1, actions {left, right}, reward 1 at the right
+/// end. Optimal policy is "always right".
+struct Corridor {
+  std::size_t n = 6;
+  std::size_t state = 0;
+
+  void reset() { state = 0; }
+  /// Returns (reward, terminal).
+  std::pair<double, bool> step(std::size_t action) {
+    if (action == 1 && state + 1 < n) ++state;
+    else if (action == 0 && state > 0) --state;
+    if (state == n - 1) return {1.0, true};
+    return {-0.01, false};
+  }
+};
+
+TEST(QLearner, LearnsCorridorPolicy) {
+  Corridor env;
+  QLearner q(env.n, 2, QLearnerConfig{.alpha = 0.3, .gamma = 0.95, .epsilon = 0.3});
+  for (int episode = 0; episode < 300; ++episode) {
+    env.reset();
+    for (int t = 0; t < 100; ++t) {
+      const auto s = env.state;
+      const auto a = q.select_action(s);
+      const auto [r, done] = env.step(a);
+      q.update(s, a, r, env.state, 0, done);
+      if (done) break;
+    }
+    q.end_episode();
+  }
+  for (std::size_t s = 0; s + 1 < env.n; ++s)
+    EXPECT_EQ(q.best_action(s), 1u) << "state " << s;
+}
+
+TEST(QLearner, SarsaAlsoLearnsCorridor) {
+  Corridor env;
+  QLearner q(env.n, 2,
+             QLearnerConfig{.alpha = 0.3, .gamma = 0.95, .epsilon = 0.3, .sarsa = true});
+  for (int episode = 0; episode < 400; ++episode) {
+    env.reset();
+    auto a = q.select_action(env.state);
+    for (int t = 0; t < 100; ++t) {
+      const auto s = env.state;
+      const auto [r, done] = env.step(a);
+      const auto a_next = q.select_action(env.state);
+      q.update(s, a, r, env.state, a_next, done);
+      a = a_next;
+      if (done) break;
+    }
+    q.end_episode();
+  }
+  EXPECT_EQ(q.best_action(0), 1u);
+  EXPECT_EQ(q.best_action(env.n - 2), 1u);
+}
+
+TEST(QLearner, EpsilonDecays) {
+  QLearner q(4, 2, QLearnerConfig{.epsilon = 0.5, .epsilon_decay = 0.9, .epsilon_min = 0.1});
+  EXPECT_DOUBLE_EQ(q.epsilon(), 0.5);
+  for (int i = 0; i < 100; ++i) q.end_episode();
+  EXPECT_DOUBLE_EQ(q.epsilon(), 0.1);
+}
+
+TEST(QLearner, TerminalUpdateIgnoresFuture) {
+  QLearner q(2, 1, QLearnerConfig{.alpha = 1.0, .gamma = 0.9});
+  // Seed next-state value; a terminal transition must not bootstrap from it.
+  q.update(1, 0, 100.0, 1, 0, true);
+  q.update(0, 0, 1.0, 1, 0, true);
+  EXPECT_DOUBLE_EQ(q.q(0, 0), 1.0);
+}
+
+TEST(QLearner, QValueConvergesToDiscountedReturn) {
+  // Single state, single action, reward 1 forever: Q* = 1/(1-gamma).
+  QLearner q(1, 1, QLearnerConfig{.alpha = 0.5, .gamma = 0.5, .epsilon = 0.0});
+  for (int i = 0; i < 200; ++i) q.update(0, 0, 1.0, 0);
+  EXPECT_NEAR(q.q(0, 0), 2.0, 1e-6);
+}
+
+TEST(GridDiscretizer, EncodesCorners) {
+  GridDiscretizer g({{0.0, 1.0, 4}, {0.0, 10.0, 3}});
+  EXPECT_EQ(g.num_states(), 12u);
+  const double lo[] = {0.0, 0.0};
+  const double hi[] = {0.999, 9.99};
+  EXPECT_EQ(g.encode(lo), 0u);
+  EXPECT_EQ(g.encode(hi), 11u);
+}
+
+TEST(GridDiscretizer, ClampsOutOfRange) {
+  GridDiscretizer g({{0.0, 1.0, 4}});
+  const double below[] = {-5.0};
+  const double above[] = {99.0};
+  EXPECT_EQ(g.encode(below), 0u);
+  EXPECT_EQ(g.encode(above), 3u);
+}
+
+}  // namespace
+}  // namespace lore::ml

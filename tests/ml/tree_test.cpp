@@ -1,0 +1,197 @@
+#include "src/ml/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/ml/ensemble.hpp"
+#include "src/ml/metrics.hpp"
+
+namespace lore::ml {
+namespace {
+
+TEST(DecisionTree, AxisAlignedSplitIsExact) {
+  // y = 1 iff x0 > 0: one split suffices.
+  Matrix x;
+  std::vector<int> y;
+  lore::Rng rng(200);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.uniform(-1.0, 1.0);
+    const double row[] = {v, rng.uniform(-1.0, 1.0)};
+    x.push_row(row);
+    y.push_back(v > 0.0 ? 1 : 0);
+  }
+  DecisionTreeClassifier tree(TreeConfig{.max_depth = 3, .min_samples_leaf = 1,
+                                         .min_samples_split = 2});
+  tree.fit(x, y);
+  const auto pred = tree.predict_batch(x);
+  EXPECT_DOUBLE_EQ(accuracy(y, pred), 1.0);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  lore::Rng rng(201);
+  Matrix x;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    const double row[] = {rng.uniform(0.0, 1.0)};
+    x.push_row(row);
+    y.push_back(rng.bernoulli(0.5) ? 1 : 0);  // pure noise forces deep splits
+  }
+  DecisionTree t;
+  t.fit_classifier(x, y, {}, 2, TreeConfig{.max_depth = 3, .min_samples_leaf = 1,
+                                           .min_samples_split = 2});
+  EXPECT_LE(t.depth(), 3u);
+}
+
+TEST(DecisionTree, PureNodeStopsEarly) {
+  Matrix x{{0.0}, {1.0}, {2.0}, {3.0}};
+  const std::vector<int> y{1, 1, 1, 1};
+  DecisionTree t;
+  t.fit_classifier(x, y, {}, 2, TreeConfig{});
+  EXPECT_EQ(t.node_count(), 1u);
+}
+
+TEST(DecisionTree, WeightedSamplesShiftSplit) {
+  // Two class-1 points vs eight class-0 points; huge weights on class 1
+  // should make the root distribution majority class 1.
+  Matrix x;
+  std::vector<int> y;
+  std::vector<double> w;
+  for (int i = 0; i < 8; ++i) {
+    const double row[] = {static_cast<double>(i)};
+    x.push_row(row);
+    y.push_back(0);
+    w.push_back(1.0);
+  }
+  for (int i = 0; i < 2; ++i) {
+    const double row[] = {static_cast<double>(100 + i)};
+    x.push_row(row);
+    y.push_back(1);
+    w.push_back(100.0);
+  }
+  DecisionTree t;
+  t.fit_classifier(x, y, w, 2, TreeConfig{.max_depth = 0});  // leaf only
+  const double probe[] = {50.0};
+  const auto dist = t.leaf_distribution(probe);
+  EXPECT_GT(dist[1], dist[0]);
+}
+
+TEST(DecisionTreeRegressor, FitsPiecewiseConstant) {
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 60; ++i) {
+    const double v = static_cast<double>(i) / 60.0;
+    const double row[] = {v};
+    x.push_row(row);
+    y.push_back(v < 0.5 ? 1.0 : 5.0);
+  }
+  DecisionTreeRegressor tree(TreeConfig{.max_depth = 2, .min_samples_leaf = 1,
+                                        .min_samples_split = 2});
+  tree.fit(x, y);
+  const double lo[] = {0.2};
+  const double hi[] = {0.9};
+  EXPECT_NEAR(tree.predict(lo), 1.0, 1e-9);
+  EXPECT_NEAR(tree.predict(hi), 5.0, 1e-9);
+}
+
+TEST(DecisionTreeRegressor, SmoothFunctionApproximation) {
+  lore::Rng rng(202);
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(0.0, 1.0);
+    const double row[] = {v};
+    x.push_row(row);
+    y.push_back(std::sin(6.28 * v));
+  }
+  DecisionTreeRegressor tree(TreeConfig{.max_depth = 8, .min_samples_leaf = 2});
+  tree.fit(x, y);
+  const auto pred = tree.predict_batch(x);
+  EXPECT_GT(r2_score(y, pred), 0.95);
+}
+
+TEST(GradientBoostingRegressor, BeatsSingleTreeOnSmoothTarget) {
+  lore::Rng rng(203);
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.uniform(-1.0, 1.0), b = rng.uniform(-1.0, 1.0);
+    const double row[] = {a, b};
+    x.push_row(row);
+    y.push_back(a * a + std::sin(3.0 * b));
+  }
+  DecisionTreeRegressor single(TreeConfig{.max_depth = 3});
+  single.fit(x, y);
+  GradientBoostingRegressor gb(GradientBoostingRegressorConfig{.num_rounds = 120});
+  gb.fit(x, y);
+  const auto pred_single = single.predict_batch(x);
+  const auto pred_gb = gb.predict_batch(x);
+  EXPECT_LT(mse(y, pred_gb), mse(y, pred_single));
+  EXPECT_GT(r2_score(y, pred_gb), 0.95);
+}
+
+TEST(RandomForest, MoreTreesNotWorse) {
+  lore::Rng rng(204);
+  Matrix x;
+  std::vector<int> y;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(-1.0, 1.0), b = rng.uniform(-1.0, 1.0);
+    const double row[] = {a, b};
+    x.push_row(row);
+    y.push_back(a * b > 0.0 ? 1 : 0);
+  }
+  lore::Rng split_rng(205);
+  Dataset d;
+  d.x = x;
+  d.labels = y;
+  const auto [train, test] = train_test_split(d, 0.3, split_rng);
+
+  RandomForestClassifier small(RandomForestConfig{.num_trees = 1, .tree = {}});
+  RandomForestClassifier big(RandomForestConfig{.num_trees = 40, .tree = {}});
+  small.fit(train.x, train.labels);
+  big.fit(train.x, train.labels);
+  const double acc_small = accuracy(test.labels, small.predict_batch(test.x));
+  const double acc_big = accuracy(test.labels, big.predict_batch(test.x));
+  EXPECT_GE(acc_big, acc_small - 0.02);
+  EXPECT_GT(acc_big, 0.85);
+}
+
+TEST(AdaBoost, BoostsWeakStumps) {
+  // Nested intervals: single depth-1 stump gets ~2/3; boosting should fix it.
+  Matrix x;
+  std::vector<int> y;
+  for (int i = 0; i < 300; ++i) {
+    const double v = static_cast<double>(i) / 300.0;
+    const double row[] = {v};
+    x.push_row(row);
+    y.push_back((v > 0.33 && v < 0.66) ? 1 : 0);
+  }
+  DecisionTreeClassifier stump(TreeConfig{.max_depth = 1});
+  stump.fit(x, y);
+  AdaBoostClassifier boosted(AdaBoostConfig{.num_rounds = 40, .tree = {.max_depth = 1}});
+  boosted.fit(x, y);
+  const double acc_stump = accuracy(y, stump.predict_batch(x));
+  const double acc_boost = accuracy(y, boosted.predict_batch(x));
+  EXPECT_GT(acc_boost, acc_stump);
+  EXPECT_GT(acc_boost, 0.95);
+}
+
+TEST(GradientBoostingClassifier, MulticlassBlobs) {
+  lore::Rng rng(206);
+  Matrix x;
+  std::vector<int> y;
+  const double centers[3][2] = {{-3.0, -3.0}, {3.0, -3.0}, {0.0, 3.0}};
+  for (int i = 0; i < 300; ++i) {
+    const int cls = i % 3;
+    const double row[] = {rng.normal(centers[cls][0], 0.7), rng.normal(centers[cls][1], 0.7)};
+    x.push_row(row);
+    y.push_back(cls);
+  }
+  GradientBoostingClassifier gb(GradientBoostingClassifierConfig{.num_rounds = 30});
+  gb.fit(x, y);
+  EXPECT_GT(accuracy(y, gb.predict_batch(x)), 0.95);
+}
+
+}  // namespace
+}  // namespace lore::ml

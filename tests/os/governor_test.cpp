@@ -1,0 +1,82 @@
+// Unit tests of the RL governor's mechanics (state encoding, action
+// application, freeze semantics) independent of full simulations.
+#include "src/os/governor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lore::os {
+namespace {
+
+SystemStatus make_status(std::size_t cores, double util, double temp_k) {
+  SystemStatus s;
+  s.core_utilization.assign(cores, util);
+  s.core_temperature_k.assign(cores, temp_k);
+  return s;
+}
+
+TEST(RlDvfsGovernor, ActionsMoveVfWithinBounds) {
+  Platform platform({make_big_core()});
+  RlGovernorConfig cfg;
+  cfg.learner.epsilon = 1.0;  // fully random: exercise every action
+  cfg.learner.epsilon_min = 1.0;
+  RlDvfsGovernor governor(platform.ladder().size(), cfg);
+  for (int epoch = 0; epoch < 200; ++epoch) {
+    governor.control(platform, make_status(1, 0.5, 340.0));
+    EXPECT_LT(platform.core(0).vf_index, platform.ladder().size());
+  }
+}
+
+TEST(RlDvfsGovernor, FrozenGovernorIsDeterministic) {
+  Platform a({make_big_core()}), b({make_big_core()});
+  RlGovernorConfig cfg;
+  RlDvfsGovernor ga(a.ladder().size(), cfg), gb(b.ladder().size(), cfg);
+  ga.freeze();
+  gb.freeze();
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    const auto status = make_status(1, 0.3 + 0.01 * epoch, 335.0 + epoch);
+    ga.control(a, status);
+    gb.control(b, status);
+    EXPECT_EQ(a.core(0).vf_index, b.core(0).vf_index) << "epoch " << epoch;
+  }
+}
+
+TEST(RlDvfsGovernor, LearnsToAvoidPenalizedAction) {
+  // Synthetic environment: reward punishes high V-f via the energy term when
+  // utilization is tiny. After training epochs the greedy action at a cool,
+  // idle state should not be "raise".
+  Platform platform({make_big_core()});
+  RlGovernorConfig cfg;
+  cfg.learner.epsilon = 0.5;
+  RlDvfsGovernor governor(platform.ladder().size(), cfg);
+  for (int epoch = 0; epoch < 3000; ++epoch) {
+    // Utilization mirrors the V-f choice: high levels waste energy.
+    const double util =
+        0.9 * static_cast<double>(platform.core(0).vf_index + 1) /
+        static_cast<double>(platform.ladder().size());
+    governor.control(platform, make_status(1, util, 330.0));
+  }
+  governor.freeze();
+  // From the lowest level at idle, the greedy policy should hold or lower.
+  platform.set_vf(0, 0);
+  governor.control(platform, make_status(1, 0.05, 325.0));
+  EXPECT_LE(platform.core(0).vf_index, 1u);
+}
+
+TEST(TrainRlGovernor, ProducesFrozenReadyGovernor) {
+  Platform platform({make_big_core(), make_little_core()});
+  const auto tasks = generate_taskset(TaskSetConfig{.num_tasks = 4,
+                                                    .total_utilization = 0.6,
+                                                    .seed = 3});
+  const auto mapping = partition_worst_fit(tasks, {1.0, 0.45});
+  SimConfig cfg{.duration_ms = 600.0, .seed = 9};
+  auto governor = train_rl_governor(platform, tasks, mapping, cfg, 3);
+  ASSERT_NE(governor, nullptr);
+  EXPECT_EQ(governor->name(), "rl-dvfs");
+  governor->freeze();
+  SystemSimulator sim(platform, tasks, mapping, cfg);
+  const auto r = sim.run(governor.get());
+  EXPECT_GT(r.jobs_completed, 0u);
+}
+
+}  // namespace
+}  // namespace lore::os

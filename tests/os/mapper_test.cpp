@@ -1,0 +1,139 @@
+#include "src/os/mapper.hpp"
+
+#include "src/os/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lore::os {
+namespace {
+
+struct Fixture {
+  Platform platform{{make_big_core(), make_big_core(), make_little_core(),
+                     make_little_core()}};
+  SerModel ser{SerParams{.lambda0_per_s = 1e-4}};
+  TaskSet tasks = generate_taskset(
+      TaskSetConfig{.num_tasks = 12, .total_utilization = 1.2, .seed = 17});
+
+  Fixture() {
+    // Heterogeneous V-f: bigs at top level, littles mid.
+    platform.set_vf(0, 4);
+    platform.set_vf(1, 4);
+    platform.set_vf(2, 2);
+    platform.set_vf(3, 2);
+  }
+};
+
+TEST(Profile, ExecTimeScalesWithCoreSpeed) {
+  Fixture f;
+  Task t;
+  t.wcet_ms = 10.0;
+  const auto big = profile_task_on_core(t, make_big_core(), f.platform.ladder()[4],
+                                        f.platform.ladder(), f.ser, 2.0);
+  const auto little = profile_task_on_core(t, make_little_core(), f.platform.ladder()[4],
+                                           f.platform.ladder(), f.ser, 2.0);
+  EXPECT_LT(big.exec_time_ms, little.exec_time_ms);
+  EXPECT_NEAR(big.exec_time_ms, 10.0, 1e-9);  // reference core at max freq
+}
+
+TEST(Profile, LowerVfMoreVulnerable) {
+  Fixture f;
+  Task t;
+  t.wcet_ms = 10.0;
+  const auto fast = profile_task_on_core(t, make_big_core(), f.platform.ladder()[4],
+                                         f.platform.ladder(), f.ser, 2.0);
+  const auto slow = profile_task_on_core(t, make_big_core(), f.platform.ladder()[0],
+                                         f.platform.ladder(), f.ser, 2.0);
+  EXPECT_GT(slow.failure_probability, fast.failure_probability);
+}
+
+TEST(MwtfMapper, LearnsProfileSurface) {
+  Fixture f;
+  MwtfMapper mapper(MwtfMapperConfig{.training_samples = 500});
+  mapper.train(f.platform, f.ser);
+  ASSERT_TRUE(mapper.trained());
+  // Spot-check prediction error on a held-out task.
+  Task t;
+  t.wcet_ms = 12.0;
+  t.period_ms = 80.0;
+  t.avf = 0.7;
+  const auto truth = profile_task_on_core(t, make_big_core(), f.platform.ladder()[3],
+                                          f.platform.ladder(), f.ser, 2.0);
+  const auto pred = mapper.predict(t, make_big_core(), f.platform.ladder()[3],
+                                   f.platform.ladder(), 2.0);
+  EXPECT_NEAR(pred.exec_time_ms / truth.exec_time_ms, 1.0, 0.25);
+  EXPECT_NEAR(std::log10(pred.failure_probability + 1e-15) -
+                  std::log10(truth.failure_probability + 1e-15),
+              0.0, 1.0);
+}
+
+TEST(MwtfMapper, BeatsBaselinesOnMwtf) {
+  Fixture f;
+  MwtfMapper mapper(MwtfMapperConfig{.training_samples = 500});
+  mapper.train(f.platform, f.ser);
+  const auto ml_map = mapper.map(f.tasks, f.platform, f.ser);
+
+  lore::Rng rng(23);
+  double random_mwtf = 0.0;
+  for (int i = 0; i < 10; ++i)
+    random_mwtf += mapping_mwtf(f.tasks, map_random(f.tasks, 4, rng), f.platform, f.ser);
+  random_mwtf /= 10.0;
+
+  const double ml_mwtf = mapping_mwtf(f.tasks, ml_map, f.platform, f.ser);
+  EXPECT_GT(ml_mwtf, random_mwtf);
+}
+
+TEST(Baselines, PerformanceOnlyPrefersFastCores) {
+  Fixture f;
+  const auto mapping = map_performance_only(f.tasks, f.platform);
+  std::size_t on_big = 0;
+  for (auto c : mapping) on_big += c <= 1;
+  EXPECT_GT(on_big, f.tasks.size() / 2);
+}
+
+TEST(ThermalAwareMapping, LowerPredictedPeakThanPerformanceOnly) {
+  Fixture f;
+  const auto thermal = map_thermal_aware(f.tasks, f.platform);
+  const auto perf = map_performance_only(f.tasks, f.platform);
+  auto peak = [&](const std::vector<std::size_t>& m) {
+    double hi = 0.0;
+    for (double t : predicted_core_temperatures(f.tasks, m, f.platform))
+      hi = std::max(hi, t);
+    return hi;
+  };
+  EXPECT_LE(peak(thermal), peak(perf) + 1e-9);
+}
+
+TEST(ThermalAwareMapping, SimulatedPeakTemperatureDrops) {
+  Fixture f;
+  const auto thermal = map_thermal_aware(f.tasks, f.platform);
+  const auto perf = map_performance_only(f.tasks, f.platform);
+  SimConfig cfg{.duration_ms = 4000.0, .seed = 77};
+  Platform pa = f.platform, pb = f.platform;
+  SystemSimulator sim_thermal(pa, f.tasks, thermal, cfg);
+  SystemSimulator sim_perf(pb, f.tasks, perf, cfg);
+  const auto rt = sim_thermal.run(nullptr);
+  const auto rp = sim_perf.run(nullptr);
+  EXPECT_LE(rt.peak_temperature_k, rp.peak_temperature_k + 0.5);
+  // Cooler, less cycled silicon lives longer.
+  EXPECT_GE(rt.mttf_years, rp.mttf_years * 0.95);
+}
+
+TEST(PredictedCoreTemperatures, AmbientWhenUnloaded) {
+  Fixture f;
+  TaskSet none;
+  const auto temps = predicted_core_temperatures(none, {}, f.platform);
+  for (double t : temps) EXPECT_GT(t, f.platform.config().ambient_k);  // leakage floor
+}
+
+TEST(MappingMwtf, SensibleScale) {
+  Fixture f;
+  const auto mapping = map_performance_only(f.tasks, f.platform);
+  const double mwtf = mapping_mwtf(f.tasks, mapping, f.platform, f.ser);
+  EXPECT_GT(mwtf, 0.0);
+  EXPECT_LT(mwtf, 1e18);
+}
+
+}  // namespace
+}  // namespace lore::os

@@ -1,0 +1,85 @@
+#include "src/os/replica.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lore::os {
+namespace {
+
+TEST(ReplicaManager, EstimateTracksObservations) {
+  ReplicaManager mgr;
+  mgr.observe(10, 100);
+  EXPECT_NEAR(mgr.fault_probability(), 0.1, 1e-12);
+  // Smoothing pulls slowly toward new evidence.
+  mgr.observe(0, 100);
+  EXPECT_LT(mgr.fault_probability(), 0.1);
+  EXPECT_GT(mgr.fault_probability(), 0.0);
+}
+
+TEST(ReplicaManager, QuietEnvironmentWantsNoReplicas) {
+  ReplicaManager mgr;
+  for (int i = 0; i < 20; ++i) mgr.observe(0, 1000);
+  EXPECT_EQ(mgr.recommended_replicas(), 1u);
+}
+
+TEST(ReplicaManager, HarshEnvironmentAddsReplicas) {
+  ReplicaManager mgr;
+  for (int i = 0; i < 20; ++i) mgr.observe(100, 1000);  // 10% fault rate
+  EXPECT_GE(mgr.recommended_replicas(), 2u);
+}
+
+TEST(ReplicaManager, AdaptsWhenEnvironmentRecovers) {
+  ReplicaManager mgr(ReplicaManagerConfig{.smoothing = 0.5});
+  for (int i = 0; i < 10; ++i) mgr.observe(150, 1000);
+  EXPECT_GE(mgr.recommended_replicas(), 2u);
+  for (int i = 0; i < 20; ++i) mgr.observe(0, 1000);
+  EXPECT_EQ(mgr.recommended_replicas(), 1u);
+}
+
+TEST(ReplicaManager, ExpectedCostTradesOverheadAndEscape) {
+  ReplicaManager mgr;
+  mgr.observe(200, 1000);  // p = 0.2
+  // More replicas: more overhead, smaller escape probability.
+  EXPECT_GT(mgr.expected_cost(1), mgr.expected_cost(2));
+  const double c2 = mgr.expected_cost(2);
+  const double c3 = mgr.expected_cost(3);
+  // At p=0.2 with penalty 400: c2 = 1 + 400*0.04 = 17, c3 = 2 + 3.2.
+  EXPECT_NEAR(c2, 17.0, 1e-9);
+  EXPECT_NEAR(c3, 5.2, 1e-9);
+}
+
+TaskSet mc_taskset() {
+  TaskSet tasks = generate_taskset(TaskSetConfig{.num_tasks = 6,
+                                                 .total_utilization = 0.55,
+                                                 .high_criticality_fraction = 0.4,
+                                                 .seed = 29});
+  // Guarantee at least one of each criticality.
+  tasks[0].criticality = Criticality::kHigh;
+  tasks[1].criticality = Criticality::kLow;
+  return tasks;
+}
+
+TEST(MixedCriticality, HighTasksProtectedUnderOverruns) {
+  const auto tasks = mc_taskset();
+  const auto r = simulate_mixed_criticality(tasks, McSimConfig{.overrun_factor = 1.6});
+  EXPECT_GT(r.hi_jobs, 0u);
+  EXPECT_LT(static_cast<double>(r.hi_misses) / static_cast<double>(r.hi_jobs), 0.02);
+  EXPECT_GT(r.mode_switches, 0u);
+}
+
+TEST(MixedCriticality, NoOverrunsMeansNoModeSwitches) {
+  const auto tasks = mc_taskset();
+  const auto r = simulate_mixed_criticality(tasks, McSimConfig{.overrun_factor = 0.95});
+  EXPECT_EQ(r.mode_switches, 0u);
+  EXPECT_GT(r.lo_qos(), 0.95);
+}
+
+TEST(MixedCriticality, QosDegradesWithOverrunSeverity) {
+  const auto tasks = mc_taskset();
+  const auto gentle = simulate_mixed_criticality(tasks, McSimConfig{.overrun_factor = 1.1});
+  const auto harsh = simulate_mixed_criticality(tasks, McSimConfig{.overrun_factor = 2.2});
+  EXPECT_LE(harsh.lo_qos(), gentle.lo_qos() + 0.02);
+  EXPECT_GE(harsh.mode_switches, gentle.mode_switches);
+}
+
+}  // namespace
+}  // namespace lore::os

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/os/ser.hpp"
+
+namespace lore::os {
+namespace {
+
+TEST(LearnedSerModel, TracksPhysicalModelAcrossLadder) {
+  SerModel truth(SerParams{.lambda0_per_s = 1e-5, .d_exponent = 3.0});
+  const auto ladder = default_vf_ladder();
+  LearnedSerModel learned;
+  lore::Rng rng(1);
+  learned.train(truth, ladder, rng);
+  ASSERT_TRUE(learned.trained());
+
+  // At every ladder point the learned rate is within 25% of truth (the
+  // rates themselves span three decades).
+  for (const auto& level : ladder) {
+    const double t = truth.rate_per_s(level, ladder);
+    const double p = learned.rate_per_s(level);
+    EXPECT_NEAR(p / t, 1.0, 0.25) << "V=" << level.voltage << " f=" << level.freq_ghz;
+  }
+  EXPECT_LT(learned.validation_error(truth, ladder, 200, 2), 0.2);
+}
+
+TEST(LearnedSerModel, PreservesMonotonicityInFrequency) {
+  SerModel truth;
+  const auto ladder = default_vf_ladder();
+  LearnedSerModel learned;
+  lore::Rng rng(3);
+  learned.train(truth, ladder, rng);
+  // Lower frequency -> higher predicted SER, like the physical law.
+  double prev = 0.0;
+  for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) {
+    const double rate = learned.rate_per_s(*it);
+    EXPECT_GT(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(LearnedSerModel, OrdersOfMagnitudeSpanLearned) {
+  SerModel truth(SerParams{.d_exponent = 3.0});
+  const auto ladder = default_vf_ladder();
+  LearnedSerModel learned;
+  lore::Rng rng(5);
+  learned.train(truth, ladder, rng);
+  const double low_f = learned.rate_per_s(ladder.front());
+  const double high_f = learned.rate_per_s(ladder.back());
+  // 10^3 swing within a factor-2 band.
+  EXPECT_GT(low_f / high_f, 500.0);
+  EXPECT_LT(low_f / high_f, 2000.0);
+}
+
+}  // namespace
+}  // namespace lore::os

@@ -1,0 +1,121 @@
+#include "src/os/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/os/governor.hpp"
+
+namespace lore::os {
+namespace {
+
+struct Fixture {
+  Platform platform{{make_big_core(), make_big_core(), make_little_core(),
+                     make_little_core()}};
+  TaskSet tasks = generate_taskset(
+      TaskSetConfig{.num_tasks = 10, .total_utilization = 1.4, .seed = 3});
+  std::vector<std::size_t> mapping =
+      partition_worst_fit(tasks, {1.0, 1.0, 0.45, 0.45});
+  SimConfig cfg{.duration_ms = 4000.0, .seed = 5};
+};
+
+TEST(SystemSimulator, TopSpeedMeetsDeadlines) {
+  Fixture f;
+  StaticGovernor top(f.platform.ladder().size() - 1);
+  SystemSimulator sim(f.platform, f.tasks, f.mapping, f.cfg);
+  const auto r = sim.run(&top);
+  EXPECT_GT(r.jobs_released, 100u);
+  EXPECT_LT(r.deadline_miss_rate(), 0.02) << "misses " << r.deadline_misses;
+  EXPECT_GT(r.energy_j, 0.0);
+}
+
+TEST(SystemSimulator, LowestSpeedMissesDeadlinesButSavesEnergy) {
+  Fixture f;
+  StaticGovernor top(f.platform.ladder().size() - 1);
+  StaticGovernor bottom(0);
+  SystemSimulator sim_top(f.platform, f.tasks, f.mapping, f.cfg);
+  SystemSimulator sim_bottom(f.platform, f.tasks, f.mapping, f.cfg);
+  const auto r_top = sim_top.run(&top);
+  const auto r_bottom = sim_bottom.run(&bottom);
+  EXPECT_GT(r_bottom.deadline_miss_rate(), r_top.deadline_miss_rate());
+  EXPECT_LT(r_bottom.energy_j, r_top.energy_j);
+}
+
+TEST(SystemSimulator, LowVfRaisesSoftErrors) {
+  Fixture f;
+  f.cfg.ser.lambda0_per_s = 2e-2;  // exaggerate so counts are significant
+  StaticGovernor top(f.platform.ladder().size() - 1);
+  StaticGovernor mid(1);
+  SystemSimulator sim_top(f.platform, f.tasks, f.mapping, f.cfg);
+  SystemSimulator sim_mid(f.platform, f.tasks, f.mapping, f.cfg);
+  const auto r_top = sim_top.run(&top);
+  const auto r_mid = sim_mid.run(&mid);
+  EXPECT_GT(r_mid.soft_errors, r_top.soft_errors);
+}
+
+TEST(SystemSimulator, ReplicationMasksFaults) {
+  Fixture f;
+  f.cfg.ser.lambda0_per_s = 8.0;  // harsh radiation environment
+  TaskSet replicated = f.tasks;
+  for (auto& t : replicated) t.replicas = 2;
+  StaticGovernor top(f.platform.ladder().size() - 1);
+  SystemSimulator plain(f.platform, f.tasks, f.mapping, f.cfg);
+  SystemSimulator redundant(f.platform, replicated, f.mapping, f.cfg);
+  const auto r_plain = plain.run(&top);
+  const auto r_red = redundant.run(&top);
+  EXPECT_GT(r_red.masked_faults, 0u);
+  // Far fewer silent corruptions with duplicate executions.
+  EXPECT_LT(r_red.sdc_failures, std::max<std::size_t>(1, r_plain.sdc_failures));
+  EXPECT_GT(r_red.mwtf, r_plain.mwtf);
+}
+
+TEST(SystemSimulator, HotterRunsShortenMttf) {
+  Fixture f;
+  StaticGovernor top(f.platform.ladder().size() - 1);
+  StaticGovernor low(1);
+  SystemSimulator sim_hot(f.platform, f.tasks, f.mapping, f.cfg);
+  SystemSimulator sim_cool(f.platform, f.tasks, f.mapping, f.cfg);
+  const auto r_hot = sim_hot.run(&top);
+  const auto r_cool = sim_cool.run(&low);
+  EXPECT_GT(r_hot.peak_temperature_k, r_cool.peak_temperature_k);
+  EXPECT_LT(r_hot.mttf_years, r_cool.mttf_years);
+}
+
+TEST(OndemandGovernor, TracksUtilization) {
+  Fixture f;
+  OndemandGovernor ondemand;
+  StaticGovernor top(f.platform.ladder().size() - 1);
+  SystemSimulator sim_od(f.platform, f.tasks, f.mapping, f.cfg);
+  SystemSimulator sim_top(f.platform, f.tasks, f.mapping, f.cfg);
+  const auto r_od = sim_od.run(&ondemand);
+  const auto r_top = sim_top.run(&top);
+  // Ondemand saves energy vs always-max while keeping misses moderate.
+  EXPECT_LT(r_od.energy_j, r_top.energy_j);
+  EXPECT_LT(r_od.deadline_miss_rate(), 0.35);
+}
+
+TEST(RlDvfsGovernor, TrainingImprovesOverUntrained) {
+  Fixture f;
+  f.cfg.duration_ms = 2500.0;
+  RlGovernorConfig rl_cfg;
+  auto trained = train_rl_governor(f.platform, f.tasks, f.mapping, f.cfg, 12, rl_cfg);
+  trained->freeze();
+  RlDvfsGovernor untrained(f.platform.ladder().size(), rl_cfg);
+  untrained.freeze();
+
+  SimConfig eval_cfg = f.cfg;
+  eval_cfg.seed = 999;
+  SystemSimulator sim_trained(f.platform, f.tasks, f.mapping, eval_cfg);
+  SystemSimulator sim_untrained(f.platform, f.tasks, f.mapping, eval_cfg);
+  const auto r_trained = sim_trained.run(trained.get());
+  const auto r_untrained = sim_untrained.run(&untrained);
+
+  // The trained governor should reduce the weighted objective (misses
+  // dominate the reward; untrained greedy policy sits at its initial level).
+  const auto objective = [](const SimResult& r) {
+    return 3.0 * r.deadline_miss_rate() + r.energy_j / 200.0;
+  };
+  EXPECT_LE(objective(r_trained), objective(r_untrained) + 0.05);
+  EXPECT_LT(r_trained.deadline_miss_rate(), 0.3);
+}
+
+}  // namespace
+}  // namespace lore::os

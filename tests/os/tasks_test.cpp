@@ -1,0 +1,86 @@
+#include "src/os/tasks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/os/ser.hpp"
+
+namespace lore::os {
+namespace {
+
+TEST(TaskSetGen, UUniFastHitsTargetUtilization) {
+  const auto tasks = generate_taskset(TaskSetConfig{.num_tasks = 12, .total_utilization = 2.0});
+  EXPECT_EQ(tasks.size(), 12u);
+  EXPECT_NEAR(total_utilization(tasks), 2.0, 0.15);  // wcet floor adds slack
+}
+
+TEST(TaskSetGen, PeriodsWithinBounds) {
+  const auto tasks = generate_taskset(
+      TaskSetConfig{.num_tasks = 30, .min_period_ms = 10.0, .max_period_ms = 50.0});
+  for (const auto& t : tasks) {
+    EXPECT_GE(t.period_ms, 10.0);
+    EXPECT_LE(t.period_ms, 50.0);
+    EXPECT_DOUBLE_EQ(t.deadline_ms, t.period_ms);
+    EXPECT_GT(t.wcet_ms, 0.0);
+    EXPECT_LT(t.wcet_lo_ms, t.wcet_ms + 1e-12);
+  }
+}
+
+TEST(TaskSetGen, DeterministicPerSeed) {
+  const auto a = generate_taskset(TaskSetConfig{.seed = 5});
+  const auto b = generate_taskset(TaskSetConfig{.seed = 5});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].wcet_ms, b[i].wcet_ms);
+    EXPECT_DOUBLE_EQ(a[i].period_ms, b[i].period_ms);
+  }
+}
+
+TEST(Partition, WorstFitBalancesLoad) {
+  const auto tasks = generate_taskset(TaskSetConfig{.num_tasks = 20, .total_utilization = 2.0});
+  const auto mapping = partition_worst_fit(tasks, {1.0, 1.0, 1.0, 1.0});
+  std::vector<double> load(4, 0.0);
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    load[mapping[i]] += tasks[i].wcet_ms / tasks[i].period_ms;
+  double lo = 1e9, hi = 0.0;
+  for (double l : load) {
+    lo = std::min(lo, l);
+    hi = std::max(hi, l);
+  }
+  EXPECT_LT(hi - lo, 0.45);  // roughly balanced
+}
+
+TEST(SerModel, RateGrowsAsFrequencyDrops) {
+  SerModel ser;
+  const auto ladder = default_vf_ladder();
+  double prev = 0.0;
+  for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) {
+    const double rate = ser.rate_per_s(*it, ladder);
+    EXPECT_GT(rate, prev);
+    prev = rate;
+  }
+  // Full swing multiplies the rate by 10^d.
+  EXPECT_NEAR(ser.rate_per_s(ladder.front(), ladder) / ser.rate_per_s(ladder.back(), ladder),
+              1e3, 1.0);
+}
+
+TEST(SerModel, FailureProbabilityBehaviour) {
+  SerModel ser(SerParams{.lambda0_per_s = 1e-3});
+  const auto ladder = default_vf_ladder();
+  const double p_short = ser.failure_probability(0.01, 1.0, ladder.back(), ladder);
+  const double p_long = ser.failure_probability(10.0, 1.0, ladder.back(), ladder);
+  EXPECT_GT(p_long, p_short);
+  EXPECT_GE(p_short, 0.0);
+  EXPECT_LE(p_long, 1.0);
+  // Zero AVF means no architectural failures.
+  EXPECT_DOUBLE_EQ(ser.failure_probability(10.0, 0.0, ladder.back(), ladder), 0.0);
+}
+
+TEST(MwtfAccumulator, RatioAndEmptyCase) {
+  MwtfAccumulator acc;
+  EXPECT_GT(acc.mwtf(), 1e17);  // no failures observed yet
+  acc.add(100.0, 0.01);
+  acc.add(100.0, 0.01);
+  EXPECT_DOUBLE_EQ(acc.mwtf(), 200.0 / 0.02);
+}
+
+}  // namespace
+}  // namespace lore::os

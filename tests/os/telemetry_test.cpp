@@ -1,0 +1,103 @@
+#include "src/os/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/ml/ensemble.hpp"
+#include "src/ml/kmeans.hpp"
+#include "src/ml/metrics.hpp"
+
+namespace lore::os {
+namespace {
+
+TEST(Telemetry, TraceShapeAndDeterminism) {
+  const FleetConfig cfg{.nodes = 10, .epochs = 50};
+  const auto a = generate_fleet_telemetry(cfg);
+  const auto b = generate_fleet_telemetry(cfg);
+  EXPECT_EQ(a.size(), 10u * 50u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].temperature_k, b[i].temperature_k);
+    EXPECT_EQ(a[i].corrected_errors, b[i].corrected_errors);
+    EXPECT_EQ(a[i].failure, b[i].failure);
+  }
+}
+
+TEST(Telemetry, DefectiveFleetFailsMoreThanHealthyFleet) {
+  const auto healthy = generate_fleet_telemetry(
+      FleetConfig{.nodes = 30, .epochs = 150, .defective_fraction = 0.0});
+  const auto sick = generate_fleet_telemetry(
+      FleetConfig{.nodes = 30, .epochs = 150, .defective_fraction = 0.6});
+  auto failures = [](const std::vector<TelemetryRecord>& t) {
+    std::size_t f = 0;
+    for (const auto& r : t) f += r.failure;
+    return f;
+  };
+  EXPECT_GT(failures(sick), failures(healthy));
+}
+
+TEST(Telemetry, FeaturesDimensionAndWindow) {
+  const auto trace = generate_fleet_telemetry(FleetConfig{.nodes = 4, .epochs = 40});
+  const auto f = telemetry_features(trace, 2, 30, 10);
+  ASSERT_EQ(f.size(), kTelemetryFeatureDim);
+  EXPECT_NEAR(f[6], 10.0, 0.5);       // epochs observed
+  EXPECT_GT(f[0], 300.0);             // plausible mean temperature
+  EXPECT_LE(f[2], 1.0);               // mean utilization
+}
+
+TEST(Telemetry, DatasetLabelsWithinHorizon) {
+  const auto trace = generate_fleet_telemetry(
+      FleetConfig{.nodes = 24, .epochs = 120, .defective_fraction = 0.5});
+  const auto d = failure_prediction_dataset(trace, 10, 8);
+  EXPECT_GT(d.size(), 50u);
+  EXPECT_EQ(d.features(), kTelemetryFeatureDim);
+  // Some positives must exist with half the fleet defective.
+  std::size_t positives = 0;
+  for (int label : d.labels) positives += label;
+  EXPECT_GT(positives, 0u);
+  EXPECT_LT(positives, d.size());
+}
+
+TEST(Telemetry, GbdtPredictsFailuresAboveChance) {
+  // The [22] experiment in miniature: predict node failures from telemetry.
+  const auto train_trace = generate_fleet_telemetry(
+      FleetConfig{.nodes = 60, .epochs = 200, .defective_fraction = 0.3, .seed = 1});
+  const auto test_trace = generate_fleet_telemetry(
+      FleetConfig{.nodes = 60, .epochs = 200, .defective_fraction = 0.3, .seed = 2});
+  const auto train = failure_prediction_dataset(train_trace, 12, 10);
+  const auto test = failure_prediction_dataset(test_trace, 12, 10);
+
+  ml::GradientBoostingClassifier gbdt(ml::GradientBoostingClassifierConfig{.num_rounds = 60});
+  gbdt.fit(train.x, train.labels);
+
+  std::vector<double> scores;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    scores.push_back(gbdt.predict_proba(test.x.row(i))[1]);
+  const double auc = ml::roc_auc(test.labels, scores);
+  EXPECT_GT(auc, 0.8) << "failure-prediction AUC " << auc;
+}
+
+TEST(Telemetry, ClusteringSeparatesSickNodesFromHealthy) {
+  // The [23]-style unsupervised view: cluster node summaries; sick and
+  // healthy populations should not land in one blob.
+  const auto trace = generate_fleet_telemetry(
+      FleetConfig{.nodes = 40, .epochs = 160, .defective_fraction = 0.4, .seed = 5});
+  ml::Matrix x;
+  std::vector<bool> had_failure(40, false);
+  for (const auto& r : trace)
+    if (r.failure) had_failure[r.node] = true;
+  for (std::size_t node = 0; node < 40; ++node)
+    x.push_row(telemetry_features(trace, node, 159, 60));
+
+  ml::KMeans km(ml::KMeansConfig{.k = 2});
+  km.fit(x);
+  const auto assign = km.assign_batch(x);
+  // Compute cluster purity against the failure flag.
+  std::size_t agree = 0;
+  for (std::size_t node = 0; node < 40; ++node)
+    agree += (assign[node] == 1) == had_failure[node];
+  const double purity =
+      std::max(agree, 40 - agree) / 40.0;  // label-permutation invariant
+  EXPECT_GT(purity, 0.7);
+}
+
+}  // namespace
+}  // namespace lore::os

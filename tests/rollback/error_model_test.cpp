@@ -1,0 +1,111 @@
+// Property tests of the paper's Eq. (1)-(2) implementations, including a
+// parameterized Monte Carlo vs closed-form agreement sweep.
+#include "src/rollback/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/stats.hpp"
+
+namespace lore::rollback {
+namespace {
+
+TEST(ErrorModel, Eq1BasicValues) {
+  EXPECT_DOUBLE_EQ(prob_error_free(0.0, 100000), 1.0);
+  EXPECT_DOUBLE_EQ(prob_error_free(1.0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(prob_error_free(1.0, 0), 1.0);
+  EXPECT_NEAR(prob_error_free(0.5, 2), 0.25, 1e-12);
+  // Tiny-p stability: (1-1e-9)^1e6 = exp(-1e-3) approx.
+  EXPECT_NEAR(prob_error_free(1e-9, 1000000), std::exp(-1e-3), 1e-9);
+}
+
+TEST(ErrorModel, Eq1MonotoneInBoth) {
+  EXPECT_GT(prob_error_free(1e-6, 10000), prob_error_free(1e-5, 10000));
+  EXPECT_GT(prob_error_free(1e-6, 10000), prob_error_free(1e-6, 100000));
+}
+
+TEST(ErrorModel, Eq2IsNormalizedDistribution) {
+  const double p = 2e-5;
+  const std::uint64_t cycles = 50000;
+  double mass = 0.0;
+  for (std::uint64_t n = 0; n < 2000; ++n) mass += prob_rollbacks(p, cycles, n);
+  EXPECT_NEAR(mass, 1.0, 1e-6);
+}
+
+TEST(ErrorModel, Eq2MeanMatchesClosedForm) {
+  const double p = 1e-5;
+  const std::uint64_t cycles = 100000;
+  double mean = 0.0;
+  for (std::uint64_t n = 1; n < 5000; ++n)
+    mean += static_cast<double>(n) * prob_rollbacks(p, cycles, n);
+  EXPECT_NEAR(mean, expected_rollbacks(p, cycles), 1e-6);
+}
+
+TEST(ErrorModel, ExpectedRollbacksGrowsSuperlinearly) {
+  // The "error rate wall": a decade of p costs much more than a decade of
+  // rollbacks once p * n_c approaches 1.
+  const std::uint64_t cycles = 150000;
+  const double r6 = expected_rollbacks(1e-6, cycles);
+  const double r5 = expected_rollbacks(1e-5, cycles);
+  const double r4 = expected_rollbacks(1e-4, cycles);
+  EXPECT_GT(r5 / r6, 10.0);
+  EXPECT_GT(r4 / r5, 100.0);
+}
+
+struct McCase {
+  double p;
+  std::uint64_t cycles;
+};
+
+class RollbackMonteCarlo : public ::testing::TestWithParam<McCase> {};
+
+TEST_P(RollbackMonteCarlo, SampleMeanMatchesEq2) {
+  const auto [p, cycles] = GetParam();
+  lore::Rng rng(1234);
+  lore::RunningStats stats;
+  for (int i = 0; i < 40000; ++i)
+    stats.add(static_cast<double>(sample_rollbacks(p, cycles, rng)));
+  const double expected = expected_rollbacks(p, cycles);
+  EXPECT_NEAR(stats.mean(), expected, 4.0 * stats.sem() + 1e-3)
+      << "p=" << p << " cycles=" << cycles;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RollbackMonteCarlo,
+                         ::testing::Values(McCase{1e-7, 40000}, McCase{1e-6, 40000},
+                                           McCase{1e-6, 270000}, McCase{5e-6, 150000},
+                                           McCase{1e-5, 100000}, McCase{5e-5, 40000}),
+                         [](const auto& info) {
+                           return "p" + std::to_string(static_cast<int>(
+                                            -std::log10(info.param.p) * 10)) +
+                                  "_c" + std::to_string(info.param.cycles);
+                         });
+
+TEST(SegmentTiming, TotalCyclesFormula) {
+  const CheckpointParams params{};
+  // No rollbacks: one attempt = segment + checkpoint.
+  EXPECT_EQ(segment_total_cycles(40000, 0, params), 40100u);
+  // Two rollbacks: three attempts + two restores.
+  EXPECT_EQ(segment_total_cycles(40000, 2, params), 3u * 40100u + 2u * 48u);
+}
+
+TEST(SegmentTiming, ExpectedCyclesMatchesSampling) {
+  const CheckpointParams params{};
+  const double p = 5e-6;
+  const std::uint64_t nc = 120000;
+  lore::Rng rng(77);
+  lore::RunningStats stats;
+  for (int i = 0; i < 30000; ++i)
+    stats.add(static_cast<double>(sample_segment_cycles(p, nc, params, rng)));
+  EXPECT_NEAR(stats.mean() / expected_segment_cycles(p, nc, params), 1.0, 0.02);
+}
+
+TEST(SegmentTiming, ErrorFreeLimit) {
+  const CheckpointParams params{};
+  EXPECT_DOUBLE_EQ(expected_segment_cycles(0.0, 50000, params), 50100.0);
+  lore::Rng rng(78);
+  EXPECT_EQ(sample_segment_cycles(0.0, 50000, params, rng), 50100u);
+}
+
+}  // namespace
+}  // namespace lore::rollback

@@ -1,0 +1,76 @@
+#include "src/rollback/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lore::rollback {
+namespace {
+
+TEST(CheckpointOptimizer, ErrorFreePrefersOneCheckpoint) {
+  const CheckpointParams params{};
+  const auto plan = optimize_checkpoints(0.0, 200000, params);
+  EXPECT_EQ(plan.checkpoints, 1u);
+  EXPECT_NEAR(plan.overhead_factor, 1.0, 1e-12);
+}
+
+TEST(CheckpointOptimizer, HighErrorRateWantsMoreCheckpoints) {
+  const CheckpointParams params{};
+  const auto low = optimize_checkpoints(1e-7, 200000, params);
+  const auto high = optimize_checkpoints(3e-5, 200000, params);
+  EXPECT_GE(high.checkpoints, low.checkpoints);
+  EXPECT_GT(high.checkpoints, 1u);
+}
+
+TEST(CheckpointOptimizer, OptimumBeatsNeighbours) {
+  const CheckpointParams params{};
+  const double p = 1e-5;
+  const std::uint64_t nc = 150000;
+  const auto plan = optimize_checkpoints(p, nc, params);
+  const double at_best = expected_cycles_with_k_checkpoints(p, nc, plan.checkpoints, params);
+  EXPECT_LE(at_best, expected_cycles_with_k_checkpoints(p, nc, 1, params));
+  if (plan.checkpoints > 1) {
+    EXPECT_LE(at_best,
+              expected_cycles_with_k_checkpoints(p, nc, plan.checkpoints - 1, params) + 1e-9);
+  }
+  EXPECT_LE(at_best,
+            expected_cycles_with_k_checkpoints(p, nc, plan.checkpoints + 1, params) + 1e-9);
+}
+
+TEST(CheckpointOptimizer, SplitCostConservesNominalWorkAtZeroError) {
+  const CheckpointParams params{};
+  const std::uint64_t nc = 120000;
+  for (std::size_t k : {1, 2, 5, 9}) {
+    const double cost = expected_cycles_with_k_checkpoints(0.0, nc, k, params);
+    EXPECT_NEAR(cost, static_cast<double>(nc) +
+                          static_cast<double>(k) * params.checkpoint_cycles,
+                1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(CheckpointOptimizer, ApproximationTracksExactWithinFactor) {
+  const CheckpointParams params{};
+  for (double p : {1e-6, 5e-6, 2e-5}) {
+    const std::uint64_t nc = 200000;
+    const auto exact = optimize_checkpoints(p, nc, params);
+    const double approx = approximate_optimal_checkpoints(p, nc, params);
+    // Same order of magnitude is what the closed form promises.
+    EXPECT_LT(std::abs(std::log2(approx / static_cast<double>(exact.checkpoints))), 2.0)
+        << "p=" << p << " exact=" << exact.checkpoints << " approx=" << approx;
+  }
+}
+
+TEST(CheckpointOptimizer, MovesTheWallLikeTheAblation) {
+  // Optimized checkpointing must reduce the expected overhead at wall-range
+  // error rates (the [51] claim the Sec. V discussion cites).
+  const CheckpointParams params{};
+  const double p = 1e-5;
+  const std::uint64_t nc = 250000;
+  const auto plan = optimize_checkpoints(p, nc, params);
+  const double naive = expected_cycles_with_k_checkpoints(p, nc, 1, params);
+  EXPECT_LT(plan.expected_cycles, 0.5 * naive);
+}
+
+}  // namespace
+}  // namespace lore::rollback

@@ -1,0 +1,150 @@
+#include "src/rollback/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.hpp"
+#include "src/rollback/montecarlo.hpp"
+
+namespace lore::rollback {
+namespace {
+
+std::vector<Segment> test_segments() {
+  return segment_adpcm_workload(SegmentationConfig{.num_segments = 16, .seed = 31});
+}
+
+TEST(StaticBudgets, DsVariantsScale) {
+  const auto segments = test_segments();
+  const CheckpointParams cp{};
+  const auto ds = static_budgets(SchedulerKind::kDs, segments, cp);
+  const auto ds15 = static_budgets(SchedulerKind::kDs15, segments, cp);
+  const auto ds2 = static_budgets(SchedulerKind::kDs2, segments, cp);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ds[i], static_cast<double>(segments[i].nominal_cycles + 100));
+    EXPECT_DOUBLE_EQ(ds15[i], 1.5 * ds[i]);
+    EXPECT_DOUBLE_EQ(ds2[i], 2.0 * ds[i]);
+  }
+}
+
+TEST(StaticBudgets, WcetIsUniformWorstCase) {
+  const auto segments = test_segments();
+  const auto wcet = static_budgets(SchedulerKind::kWcet, segments, CheckpointParams{});
+  double worst = 0.0;
+  for (const auto& s : segments)
+    worst = std::max(worst, static_cast<double>(s.nominal_cycles + 100));
+  for (double b : wcet) EXPECT_DOUBLE_EQ(b, worst);
+}
+
+TEST(SimulateRun, ErrorFreeAlwaysHits) {
+  const auto segments = test_segments();
+  const MitigationConfig cfg{};
+  const auto budgets = static_budgets(SchedulerKind::kDs, segments, cfg.checkpoint);
+  lore::Rng rng(41);
+  const auto outcome = simulate_run(segments, budgets, 0.0, cfg, rng);
+  EXPECT_DOUBLE_EQ(outcome.deadline_hit_rate, 1.0);
+  EXPECT_DOUBLE_EQ(outcome.mean_rollbacks_per_segment, 0.0);
+}
+
+TEST(SimulateRun, ExtremeErrorRateMissesEverything) {
+  const auto segments = test_segments();
+  const MitigationConfig cfg{};
+  const auto budgets = static_budgets(SchedulerKind::kWcet, segments, cfg.checkpoint);
+  lore::Rng rng(42);
+  const auto outcome = simulate_run(segments, budgets, 1e-3, cfg, rng);
+  EXPECT_LT(outcome.deadline_hit_rate, 0.1);
+  EXPECT_GT(outcome.mean_rollbacks_per_segment, 10.0);
+}
+
+TEST(SimulateRun, ConservativeBudgetsHitMoreInTheWindow) {
+  const auto segments = test_segments();
+  const MitigationConfig cfg{};
+  const double p = 4e-6;  // inside the transition window
+  lore::RunningStats ds_hits, wcet_hits;
+  for (int run = 0; run < 60; ++run) {
+    lore::Rng rng_a(1000 + run), rng_b(1000 + run);
+    ds_hits.add(simulate_run(segments,
+                             static_budgets(SchedulerKind::kDs, segments, cfg.checkpoint), p,
+                             cfg, rng_a)
+                    .deadline_hit_rate);
+    wcet_hits.add(simulate_run(segments,
+                               static_budgets(SchedulerKind::kWcet, segments, cfg.checkpoint),
+                               p, cfg, rng_b)
+                      .deadline_hit_rate);
+  }
+  EXPECT_GE(wcet_hits.mean(), ds_hits.mean());
+}
+
+TEST(LearnedScheduler, BudgetsAtLeastWindowAndTrackErrors) {
+  const auto segments = test_segments();
+  const CheckpointParams cp{};
+  LearnedBudgetScheduler quiet, noisy;
+  lore::Rng rng(51);
+  quiet.calibrate(segments, 1e-8, cp, 10, rng);
+  noisy.calibrate(segments, 8e-6, cp, 10, rng);
+  const auto quiet_budgets = quiet.budgets(segments, cp);
+  const auto noisy_budgets = noisy.budgets(segments, cp);
+  std::size_t strictly_inflated = 0;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const double window = static_cast<double>(segments[i].nominal_cycles + 100);
+    EXPECT_GE(quiet_budgets[i], window);
+    // Seeing errors during calibration inflates the budgets (up to the
+    // worst-case clamp, where both coincide).
+    EXPECT_GE(noisy_budgets[i], quiet_budgets[i]);
+    strictly_inflated += noisy_budgets[i] > quiet_budgets[i];
+  }
+  EXPECT_GT(strictly_inflated, segments.size() / 2);
+}
+
+TEST(Experiment, ReproducesFig5And6Shape) {
+  ExperimentConfig cfg;
+  cfg.segmentation.num_segments = 12;
+  cfg.runs_per_point = 30;
+  cfg.error_probabilities = {1e-8, 1e-7, 1e-6, 3e-6, 1e-5, 1e-4};
+  const std::vector<SchedulerKind> schedulers{SchedulerKind::kDs, SchedulerKind::kDs15,
+                                              SchedulerKind::kDs2, SchedulerKind::kWcet};
+  const auto result = run_experiment(cfg, schedulers);
+  ASSERT_EQ(result.points.size(), 6u);
+
+  // Fig. 5 shape: rollbacks negligible at 1e-8, >10 beyond 1e-5.
+  EXPECT_LT(result.points[0].avg_rollbacks_per_segment, 0.01);
+  EXPECT_GT(result.points[5].avg_rollbacks_per_segment, 10.0);
+  // Monotone growth.
+  for (std::size_t i = 1; i < result.points.size(); ++i)
+    EXPECT_GE(result.points[i].avg_rollbacks_per_segment,
+              result.points[i - 1].avg_rollbacks_per_segment);
+
+  // Fig. 6 shape: everyone hits at 1e-8, everyone collapses at 1e-4.
+  for (auto kind : schedulers) {
+    EXPECT_GT(result.points[0].hit_rate.at(kind), 0.97) << scheduler_name(kind);
+    EXPECT_LT(result.points[5].hit_rate.at(kind), 0.05) << scheduler_name(kind);
+  }
+  // Inside the window conservative schedulers dominate.
+  const auto& mid = result.points[3];  // p = 3e-6
+  EXPECT_GE(mid.hit_rate.at(SchedulerKind::kWcet), mid.hit_rate.at(SchedulerKind::kDs));
+  EXPECT_GE(mid.hit_rate.at(SchedulerKind::kDs2), mid.hit_rate.at(SchedulerKind::kDs15) - 0.02);
+  EXPECT_GE(mid.hit_rate.at(SchedulerKind::kDs15), mid.hit_rate.at(SchedulerKind::kDs) - 0.02);
+
+  // The wall sits in the 1e-6..1e-5 band for every scheduler.
+  for (auto kind : schedulers) {
+    const double wall = result.wall_position(kind);
+    EXPECT_GE(wall, 1e-7) << scheduler_name(kind);
+    EXPECT_LE(wall, 1e-4) << scheduler_name(kind);
+  }
+}
+
+TEST(Experiment, LearnedSchedulerCompetitive) {
+  ExperimentConfig cfg;
+  cfg.segmentation.num_segments = 10;
+  cfg.runs_per_point = 20;
+  cfg.error_probabilities = {1e-6, 3e-6};
+  const auto result = run_experiment(
+      cfg, {SchedulerKind::kDs, SchedulerKind::kDsLearned, SchedulerKind::kWcet});
+  for (const auto& point : result.points) {
+    // DS-ML should at least match plain DS (it budgets from observed noise).
+    EXPECT_GE(point.hit_rate.at(SchedulerKind::kDsLearned),
+              point.hit_rate.at(SchedulerKind::kDs) - 0.05)
+        << "p=" << point.p;
+  }
+}
+
+}  // namespace
+}  // namespace lore::rollback

@@ -1,0 +1,69 @@
+// Parameterized scheduler properties across the error-probability sweep:
+// larger budgets can never hurt the hit rate under paired error
+// realizations, and the DS-scaling family is ordered everywhere.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/stats.hpp"
+#include "src/rollback/schedule.hpp"
+
+namespace lore::rollback {
+namespace {
+
+class SchedulerOrdering : public ::testing::TestWithParam<double> {
+ protected:
+  SchedulerOrdering()
+      : segments_(segment_adpcm_workload(SegmentationConfig{.num_segments = 14,
+                                                            .seed = 71})) {}
+  std::vector<Segment> segments_;
+  MitigationConfig cfg_{};
+};
+
+TEST_P(SchedulerOrdering, BudgetScalingIsMonotone) {
+  const double p = GetParam();
+  lore::RunningStats ds, ds15, ds2;
+  for (int run = 0; run < 40; ++run) {
+    // Same error realization per scheduler (paired seeds).
+    lore::Rng a(5000 + run), b(5000 + run), c(5000 + run);
+    ds.add(simulate_run(segments_, static_budgets(SchedulerKind::kDs, segments_, cfg_.checkpoint),
+                        p, cfg_, a)
+               .deadline_hit_rate);
+    ds15.add(simulate_run(segments_,
+                          static_budgets(SchedulerKind::kDs15, segments_, cfg_.checkpoint), p,
+                          cfg_, b)
+                 .deadline_hit_rate);
+    ds2.add(simulate_run(segments_,
+                         static_budgets(SchedulerKind::kDs2, segments_, cfg_.checkpoint), p,
+                         cfg_, c)
+                .deadline_hit_rate);
+  }
+  EXPECT_GE(ds15.mean(), ds.mean() - 1e-12) << "p=" << p;
+  EXPECT_GE(ds2.mean(), ds15.mean() - 1e-12) << "p=" << p;
+}
+
+TEST_P(SchedulerOrdering, MoreSpeedHeadroomNeverHurts) {
+  const double p = GetParam();
+  const auto budgets = static_budgets(SchedulerKind::kDs15, segments_, cfg_.checkpoint);
+  lore::RunningStats slow, fast;
+  for (int run = 0; run < 40; ++run) {
+    lore::Rng a(6000 + run), b(6000 + run);
+    MitigationConfig low = cfg_;
+    low.speed_ratio = 1.5;
+    MitigationConfig high = cfg_;
+    high.speed_ratio = 3.0;
+    slow.add(simulate_run(segments_, budgets, p, low, a).deadline_hit_rate);
+    fast.add(simulate_run(segments_, budgets, p, high, b).deadline_hit_rate);
+  }
+  EXPECT_GE(fast.mean(), slow.mean() - 1e-12) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(ProbabilitySweep, SchedulerOrdering,
+                         ::testing::Values(1e-7, 1e-6, 3e-6, 1e-5, 5e-5),
+                         [](const auto& info) {
+                           const int code = static_cast<int>(-std::log10(info.param) * 10);
+                           return "p" + std::to_string(code);
+                         });
+
+}  // namespace
+}  // namespace lore::rollback
