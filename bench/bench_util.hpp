@@ -5,12 +5,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
 #include "src/common/table.hpp"
 
 namespace lore::bench {
+
+/// Wall-clock seconds spent in `fn` (for the serial-vs-parallel throughput
+/// sections of the campaign benches).
+template <typename Fn>
+double timed_seconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
 
 inline void print_header(const std::string& experiment, const std::string& description) {
   std::printf("\n==== %s ====\n%s\n\n", experiment.c_str(), description.c_str());

@@ -4,6 +4,7 @@
 // Trained on one circuit, predicted on unseen circuits — and compared at
 // shrinking fractions of the simulation budget.
 #include "bench/bench_util.hpp"
+#include "src/circuit/characterize.hpp"
 #include "src/circuit/logicsim.hpp"
 #include "src/ml/ensemble.hpp"
 #include "src/ml/knn.hpp"
@@ -14,6 +15,8 @@ namespace {
 
 using namespace lore;
 using namespace lore::circuit;
+
+void report_parallel_characterization();
 
 void report() {
   bench::print_header("Circuit fault-simulation acceleration",
@@ -79,6 +82,55 @@ void report() {
       "Expected ([20] shape): cross-circuit accuracy well above the base rate, with "
       "~20% of the campaign data already within a few points of the full-data "
       "accuracy.");
+  report_parallel_characterization();
+}
+
+void report_parallel_characterization() {
+  bench::print_header(
+      "Cell-characterization sweep — serial vs parallel throughput",
+      "Full skeleton-library characterization (every cell, every arc, SHE "
+      "table) at a SPICE-like 0.05 ps timestep; cells are independent grid "
+      "sweeps, so the tables are bit-identical at any thread count.");
+  const device::OperatingPoint op{};
+  const circuit::CharacterizerConfig grid{};  // default axes + 0.05 ps step
+  circuit::Characterizer characterizer(grid, device::SelfHeatingModel{});
+
+  auto serial_lib = make_skeleton_library("serial");
+  const double serial_s = bench::timed_seconds(
+      [&] { characterizer.characterize_library(serial_lib, op, 1); });
+  const double evals = static_cast<double>(characterizer.evaluations());
+
+  Table t({"threads", "seconds", "sims_per_s", "speedup_vs_serial", "bit_identical"});
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    double elapsed = serial_s;
+    auto lib = make_skeleton_library("parallel");
+    if (threads != 1) {
+      characterizer.reset_evaluations();
+      elapsed = bench::timed_seconds(
+          [&] { characterizer.characterize_library(lib, op, threads); });
+    }
+    bool identical = true;
+    if (threads != 1) {
+      for (std::size_t c = 0; c < serial_lib.size() && identical; ++c) {
+        const auto sv = serial_lib.cell(c).she_temperature.values();
+        const auto pv = lib.cell(c).she_temperature.values();
+        for (std::size_t i = 0; i < sv.size(); ++i) identical &= sv[i] == pv[i];
+        for (std::size_t a = 0; a < serial_lib.cell(c).arcs.size(); ++a) {
+          const auto sd = serial_lib.cell(c).arcs[a].rise_delay.values();
+          const auto pd = lib.cell(c).arcs[a].rise_delay.values();
+          for (std::size_t i = 0; i < sd.size(); ++i) identical &= sd[i] == pd[i];
+        }
+      }
+    }
+    t.add_row({std::to_string(threads), fmt_sig(elapsed, 4),
+               fmt_sig(evals / elapsed, 4), fmt_sig(serial_s / elapsed, 3),
+               identical ? "yes" : "NO"});
+  }
+  bench::print_table(t);
+  bench::print_note(
+      "Expected: the characterization wall-clock drops with core count while "
+      "every table stays bit-identical — the precondition for the ML "
+      "characterizer comparison above it.");
 }
 
 void BM_StuckAtCampaign(benchmark::State& state) {

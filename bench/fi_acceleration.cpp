@@ -31,6 +31,8 @@ ml::Dataset build_dataset() {
   return all;
 }
 
+void report_parallel_campaign();
+
 void report() {
   bench::print_header("Fault-injection acceleration — accuracy vs training fraction",
                       "Register vulnerability prediction (failure rate > 0.15) across "
@@ -65,6 +67,40 @@ void report() {
   bench::print_note(
       "Expected: accuracy at 20% of the data within a few points of the full-data "
       "accuracy — the injection campaign can shrink ~5x ([20]'s observation).");
+  report_parallel_campaign();
+}
+
+void report_parallel_campaign() {
+  bench::print_header(
+      "Campaign engine — serial vs parallel throughput",
+      "10k-trial register fault-injection campaign on the checksum workload; "
+      "counter-based per-trial seeding keeps every thread count bit-identical "
+      "to the serial path (threads=1).");
+  const auto w = make_checksum(12, 5);
+  const FaultInjector injector(w);
+  constexpr std::size_t kTrials = 10000;
+  constexpr std::uint64_t kSeed = 2024;
+
+  std::vector<FaultRecord> serial;
+  const double serial_s = bench::timed_seconds(
+      [&] { serial = injector.campaign(kTrials, FaultTarget::kRegister, kSeed, 1); });
+
+  Table t({"threads", "seconds", "trials_per_s", "speedup_vs_serial", "bit_identical"});
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    std::vector<FaultRecord> records;
+    const double elapsed =
+        threads == 1 ? serial_s : bench::timed_seconds([&] {
+          records = injector.campaign(kTrials, FaultTarget::kRegister, kSeed, threads);
+        });
+    const bool identical = threads == 1 || records == serial;
+    t.add_row({std::to_string(threads), fmt_sig(elapsed, 4),
+               fmt_sig(static_cast<double>(kTrials) / elapsed, 4),
+               fmt_sig(serial_s / elapsed, 3), identical ? "yes" : "NO"});
+  }
+  bench::print_table(t);
+  bench::print_note(
+      "Expected: near-linear scaling up to the machine's core count with "
+      "bit_identical=yes on every row (the determinism contract).");
 }
 
 void BM_RegisterFeatures(benchmark::State& state) {

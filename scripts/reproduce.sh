@@ -8,6 +8,14 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# TSAN=1 additionally runs the `parallel`-labeled determinism/race suite of
+# the campaign engine under ThreadSanitizer (the `tsan` CMake preset).
+if [ "${TSAN:-0}" = "1" ]; then
+  cmake --preset tsan
+  cmake --build build-tsan --target lore_parallel_tests
+  ctest --test-dir build-tsan -L parallel --output-on-failure 2>&1 | tee tsan_output.txt
+fi
+
 : > bench_output.txt
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/common/parallel.hpp"
+
 namespace lore::arch {
 
 std::string outcome_name(Outcome o) {
@@ -130,11 +132,29 @@ FaultSite FaultInjector::random_site(lore::Rng& rng, FaultTarget target) const {
 }
 
 std::vector<FaultRecord> FaultInjector::campaign(std::size_t trials, FaultTarget target,
-                                                 lore::Rng& rng) const {
-  std::vector<FaultRecord> out;
-  out.reserve(trials);
-  for (std::size_t t = 0; t < trials; ++t) out.push_back(inject(random_site(rng, target)));
+                                                 std::uint64_t base_seed,
+                                                 unsigned threads) const {
+  // Pre-sized result buffer: every trial owns its slot, so the merged
+  // campaign is in trial order with no post-hoc sorting or reallocation.
+  std::vector<FaultRecord> out(trials);
+  lore::parallel_for_trials(trials, base_seed, threads,
+                            [&](std::size_t t, lore::Rng& rng) {
+                              out[t] = inject(random_site(rng, target));
+                              out[t].trial_seed = lore::trial_seed(base_seed, t);
+                            });
   return out;
+}
+
+std::vector<FaultRecord> FaultInjector::campaign(std::size_t trials, FaultTarget target,
+                                                 lore::Rng& rng, unsigned threads) const {
+  return campaign(trials, target, rng.next_u64(), threads);
+}
+
+FaultRecord FaultInjector::replay_trial(std::uint64_t seed, FaultTarget target) const {
+  lore::Rng rng(seed);
+  FaultRecord rec = inject(random_site(rng, target));
+  rec.trial_seed = seed;
+  return rec;
 }
 
 double avf(const std::vector<FaultRecord>& records) {

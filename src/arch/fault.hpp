@@ -22,6 +22,8 @@ struct FaultSite {
   std::size_t index = 0;   // register id / memory word / instruction index
   unsigned bit = 0;        // bit position (register & memory: 0-31)
   std::uint64_t cycle = 0; // injection time
+
+  friend bool operator==(const FaultSite&, const FaultSite&) = default;
 };
 
 enum class Outcome : std::uint8_t { kBenign, kSdc, kCrash, kHang, kDetected };
@@ -39,6 +41,12 @@ struct FaultRecord {
   /// Static instruction executing at injection time (for per-instruction
   /// attribution; -1 if the program already finished).
   std::int64_t active_instruction = -1;
+  /// Per-trial RNG seed the site was drawn from (0 for hand-built sites).
+  /// `FaultInjector::replay_trial(seed, target)` regenerates this exact
+  /// trial in isolation — see DESIGN.md, "Replaying a single campaign trial".
+  std::uint64_t trial_seed = 0;
+
+  friend bool operator==(const FaultRecord&, const FaultRecord&) = default;
 };
 
 struct GoldenRun {
@@ -62,9 +70,20 @@ class FaultInjector {
   /// uniformly in time over the golden cycle count.
   FaultSite random_site(lore::Rng& rng, FaultTarget target) const;
 
-  /// A full campaign of `trials` injections over the given target kind.
+  /// A full campaign of `trials` injections over the given target kind,
+  /// executed across `threads` workers (0 = hardware_concurrency, 1 = the
+  /// legacy serial path). Per-trial counter-based seeding makes the records
+  /// bit-identical for every thread count, and each record carries the seed
+  /// that replays it.
   std::vector<FaultRecord> campaign(std::size_t trials, FaultTarget target,
-                                    lore::Rng& rng) const;
+                                    std::uint64_t base_seed, unsigned threads = 0) const;
+
+  /// Compatibility overload: draws the campaign's base seed from `rng`.
+  std::vector<FaultRecord> campaign(std::size_t trials, FaultTarget target,
+                                    lore::Rng& rng, unsigned threads = 0) const;
+
+  /// Re-run one campaign trial from its recorded `FaultRecord::trial_seed`.
+  FaultRecord replay_trial(std::uint64_t seed, FaultTarget target) const;
 
  private:
   void prepare_cpu(Cpu& cpu) const;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/arch/fault.hpp"
+#include "src/common/parallel.hpp"
 
 namespace lore::arch {
 
@@ -289,7 +290,7 @@ Outcome pipeline_inject(const Workload& w, const PipelineFaultSite& site) {
 }
 
 std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials,
-                                           lore::Rng& rng) {
+                                           std::uint64_t base_seed, unsigned threads) {
   // Clean pipeline run to learn the cycle budget for injection times.
   PipelineCpu probe(w.memory_words);
   probe.load_program(w.program);
@@ -301,22 +302,28 @@ std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials
       LatchField::kPc,           LatchField::kIfIdInstr,  LatchField::kIdExOperandA,
       LatchField::kIdExOperandB, LatchField::kExMemAlu,   LatchField::kMemWbValue};
 
-  std::vector<FaultRecord> out;
-  out.reserve(trials);
-  for (std::size_t t = 0; t < trials; ++t) {
-    PipelineFaultSite site;
-    site.field = kFields[rng.uniform_index(6)];
-    site.bit = static_cast<unsigned>(rng.uniform_index(32));
-    site.cycle = rng.uniform_index(total_cycles) + 1;
-    FaultRecord rec;
-    rec.site.target = FaultTarget::kRegister;  // closest legacy category
-    rec.site.index = static_cast<std::size_t>(site.field);
-    rec.site.bit = site.bit;
-    rec.site.cycle = site.cycle;
-    rec.outcome = pipeline_inject(w, site);
-    out.push_back(rec);
-  }
+  std::vector<FaultRecord> out(trials);
+  lore::parallel_for_trials(trials, base_seed, threads,
+                            [&](std::size_t t, lore::Rng& rng) {
+                              PipelineFaultSite site;
+                              site.field = kFields[rng.uniform_index(6)];
+                              site.bit = static_cast<unsigned>(rng.uniform_index(32));
+                              site.cycle = rng.uniform_index(total_cycles) + 1;
+                              FaultRecord rec;
+                              rec.site.target = FaultTarget::kRegister;  // closest legacy category
+                              rec.site.index = static_cast<std::size_t>(site.field);
+                              rec.site.bit = site.bit;
+                              rec.site.cycle = site.cycle;
+                              rec.outcome = pipeline_inject(w, site);
+                              rec.trial_seed = lore::trial_seed(base_seed, t);
+                              out[t] = rec;
+                            });
   return out;
+}
+
+std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials,
+                                           lore::Rng& rng, unsigned threads) {
+  return pipeline_campaign(w, trials, rng.next_u64(), threads);
 }
 
 double architectural_corruption_factor(const std::vector<FaultRecord>& campaign) {

@@ -111,8 +111,14 @@ Outcome pipeline_inject(const Workload& w, const PipelineFaultSite& site);
 
 /// Campaign of random latch faults; returns the outcome records (the
 /// FaultSite in each record carries the field in `index` and bit/cycle).
+/// Runs across `threads` workers (0 = hardware_concurrency, 1 = serial) with
+/// counter-based per-trial seeding: bit-identical for every thread count.
 std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials,
-                                           lore::Rng& rng);
+                                           std::uint64_t base_seed, unsigned threads = 0);
+
+/// Compatibility overload: draws the campaign's base seed from `rng`.
+std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials,
+                                           lore::Rng& rng, unsigned threads = 0);
 
 /// Derived quantity for Section V: the probability that a random single-bit
 /// latch upset corrupts architectural state (i.e. the fraction of non-benign

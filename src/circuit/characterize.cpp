@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/common/parallel.hpp"
+
 namespace lore::circuit {
 namespace {
 
@@ -29,7 +31,7 @@ double drive_current(const device::Transistor& dev, std::size_t stack_depth, dou
 device::StageTiming Characterizer::simulate(const Cell& cell, bool rising_output,
                                             double in_slew_ps, double load_ff,
                                             const device::OperatingPoint& op) const {
-  ++evaluations_;
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
   assert(in_slew_ps > 0.0 && load_ff >= 0.0);
   const auto& stage = cell.stage;
   const device::Transistor dev(rising_output ? stage.pullup : stage.pulldown);
@@ -122,8 +124,13 @@ void Characterizer::characterize_cell(Cell& cell, const device::OperatingPoint& 
 }
 
 void Characterizer::characterize_library(CellLibrary& lib,
-                                         const device::OperatingPoint& op) const {
-  for (std::size_t i = 0; i < lib.size(); ++i) characterize_cell(lib.cell(i), op);
+                                         const device::OperatingPoint& op,
+                                         unsigned threads) const {
+  // Each worker fills a disjoint cell's tables; the grids themselves are
+  // deterministic functions of (cell, corner), so any schedule produces
+  // bit-identical libraries.
+  lore::parallel_for(lib.size(), threads,
+                     [&](std::size_t i) { characterize_cell(lib.cell(i), op); });
   lib.set_corner(op);
 }
 

@@ -5,6 +5,7 @@
 // ML-based characterizer ([9], E2) removes.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 
 #include "src/circuit/liberty.hpp"
@@ -38,8 +39,12 @@ class Characterizer {
   /// Fill all timing arcs and the SHE table of one cell at the given corner.
   void characterize_cell(Cell& cell, const device::OperatingPoint& op) const;
 
-  /// Characterize every cell of the library and record the corner.
-  void characterize_library(CellLibrary& lib, const device::OperatingPoint& op) const;
+  /// Characterize every cell of the library and record the corner. Cells are
+  /// independent grid sweeps, so they run across `threads` workers
+  /// (0 = hardware_concurrency, 1 = the legacy serial path); the tables are
+  /// bit-identical for every thread count.
+  void characterize_library(CellLibrary& lib, const device::OperatingPoint& op,
+                            unsigned threads = 0) const;
 
   /// SHE temperature rise (K) of the cell at one grid condition and the
   /// reference toggle rate.
@@ -47,13 +52,14 @@ class Characterizer {
                   const device::OperatingPoint& op) const;
 
   /// Total transient simulations performed so far (cost/speed metric).
-  std::size_t evaluations() const { return evaluations_; }
-  void reset_evaluations() { evaluations_ = 0; }
+  std::size_t evaluations() const { return evaluations_.load(std::memory_order_relaxed); }
+  void reset_evaluations() { evaluations_.store(0, std::memory_order_relaxed); }
 
  private:
   CharacterizerConfig cfg_;
   device::SelfHeatingModel she_;
-  mutable std::size_t evaluations_ = 0;
+  /// Atomic: cells characterize concurrently and all bump this counter.
+  mutable std::atomic<std::size_t> evaluations_{0};
 };
 
 }  // namespace lore::circuit

@@ -1,0 +1,115 @@
+#include "src/common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace lore {
+
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t trial_index) {
+  // splitmix64 finalizer — a bijection, so distinct trial indices under one
+  // base seed always get distinct, decorrelated seeds.
+  std::uint64_t z = (base_seed ^ trial_index) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+unsigned resolve_threads(unsigned threads, std::size_t n) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  if (n < threads) threads = static_cast<unsigned>(std::max<std::size_t>(1, n));
+  return threads;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned count = resolve_threads(threads, ~std::size_t{0});
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(job));
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    auto error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr error;
+    try {
+      job();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mu_);
+      if (error && !first_error_) first_error_ = error;
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for(std::size_t n, unsigned threads,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const unsigned team = resolve_threads(threads, n);
+  if (team <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // One strand per worker; trials are claimed from a shared cursor so uneven
+  // trial costs balance across the team. Correctness never depends on who
+  // runs which trial — results are keyed by index alone.
+  std::atomic<std::size_t> cursor{0};
+  ThreadPool pool(team);
+  for (unsigned w = 0; w < team; ++w) {
+    pool.submit([&] {
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  pool.wait();
+}
+
+void parallel_for_trials(std::size_t n, std::uint64_t base_seed, unsigned threads,
+                         const std::function<void(std::size_t, Rng&)>& fn) {
+  parallel_for(n, threads, [&](std::size_t i) {
+    Rng rng(trial_seed(base_seed, i));
+    fn(i, rng);
+  });
+}
+
+}  // namespace lore

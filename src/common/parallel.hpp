@@ -1,0 +1,95 @@
+// Deterministic parallel campaign execution.
+//
+// Every statistical campaign in LORE (fault-injection sweeps, Monte Carlo
+// rollback trials, cell-characterization grids) is a loop of independent
+// trials. This header provides the one execution engine they all share: a
+// small thread pool plus `parallel_for_trials`, whose **counter-based
+// per-trial RNG seeding** (splitmix64 of `base_seed ^ trial_index`) makes the
+// results bit-identical regardless of thread count or scheduling order. Each
+// trial writes into its own pre-sized result slot, so merged output is always
+// in trial order and no synchronization touches the data path.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace lore {
+
+/// Seed of one trial in a campaign: splitmix64 finalizer of
+/// `base_seed ^ trial_index`. A pure function of (base_seed, trial_index) —
+/// the scheduling of trials onto threads can never change a trial's stream,
+/// and any single trial can be replayed in isolation from its seed.
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t trial_index);
+
+/// Resolve a `threads` knob against the machine and the trial count:
+/// 0 = hardware_concurrency (at least 1), otherwise the requested count,
+/// clamped to `n` so tiny campaigns never over-spawn.
+unsigned resolve_threads(unsigned threads, std::size_t n);
+
+/// A small fixed-size worker pool. Jobs are arbitrary callables; the first
+/// exception thrown by any job is captured and rethrown from `wait()`. The
+/// pool stays usable after an exception (subsequent submits run normally).
+class ThreadPool {
+ public:
+  /// `threads` = 0 picks hardware_concurrency.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue one job.
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished; rethrows the first
+  /// exception raised by a job (if any) after the queue has drained.
+  void wait();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: job available / stop
+  std::condition_variable done_cv_;  // signals wait(): all jobs finished
+  std::size_t pending_ = 0;          // queued + running jobs
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Run `fn(i)` for every `i` in [0, n) across `threads` workers (0 = all
+/// cores, 1 = plain serial loop). Trials are claimed from an atomic cursor,
+/// so callers must not depend on execution order — only on `i`.
+void parallel_for(std::size_t n, unsigned threads,
+                  const std::function<void(std::size_t)>& fn);
+
+/// The deterministic campaign executor: `fn(i, rng)` runs for every trial
+/// `i` in [0, n), where `rng` is freshly seeded with
+/// `trial_seed(base_seed, i)`. Outputs are bit-identical for every thread
+/// count, including the serial path.
+void parallel_for_trials(std::size_t n, std::uint64_t base_seed, unsigned threads,
+                         const std::function<void(std::size_t, Rng&)>& fn);
+
+/// Map-style wrapper: collect one result per trial, merged in trial order
+/// into a pre-sized buffer (each trial owns its slot — no merge races).
+template <typename T, typename Fn>
+std::vector<T> parallel_trials(std::size_t n, std::uint64_t base_seed, unsigned threads,
+                               Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for_trials(n, base_seed, threads,
+                      [&](std::size_t i, Rng& rng) { out[i] = fn(i, rng); });
+  return out;
+}
+
+}  // namespace lore

@@ -4,9 +4,23 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/common/parallel.hpp"
 #include "src/common/stats.hpp"
 
 namespace lore::rollback {
+namespace {
+
+/// Domain-separation tag so DS-ML calibration streams never overlap the
+/// Monte Carlo run streams derived from the same experiment seed.
+constexpr std::uint64_t kCalibrationTag = 0x63616c6962726174ULL;  // "calibrat"
+
+/// Outcomes of one Monte Carlo run, aligned with the scheduler list.
+struct RunSample {
+  double rollbacks = 0.0;
+  std::vector<double> hit_rate;
+};
+
+}  // namespace
 
 std::vector<double> ExperimentConfig::default_probability_grid() {
   std::vector<double> grid;
@@ -28,7 +42,6 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   assert(!schedulers.empty());
   ExperimentResult result;
   result.segments = segment_adpcm_workload(cfg.segmentation);
-  lore::Rng rng(cfg.seed);
 
   // Static budgets are p-independent; DS-ML recalibrates per point (it sees
   // the field error rate through its calibration runs).
@@ -37,7 +50,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     if (kind != SchedulerKind::kDsLearned)
       budgets[kind] = static_budgets(kind, result.segments, cfg.mitigation.checkpoint);
 
-  for (double p : cfg.error_probabilities) {
+  for (std::size_t pi = 0; pi < cfg.error_probabilities.size(); ++pi) {
+    const double p = cfg.error_probabilities[pi];
     SweepPoint point;
     point.p = p;
 
@@ -48,33 +62,45 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
       // DS-ML recalibrates at every sweep point: in deployment it would
       // track the observed field error rate.
       LearnedBudgetScheduler learned;
-      lore::Rng calib_rng = rng.split();
+      lore::Rng calib_rng(lore::trial_seed(cfg.seed ^ kCalibrationTag, pi));
       learned.calibrate(result.segments, p, cfg.mitigation.checkpoint, 10, calib_rng);
       budgets[SchedulerKind::kDsLearned] =
           learned.budgets(result.segments, cfg.mitigation.checkpoint);
     }
 
+    // The runs of a point are independent trials: each draws its stream from
+    // the (point, run) counter, runs every scheduler against the same error
+    // realization (paired comparison), and fills its own result slot.
+    const std::uint64_t point_seed = lore::trial_seed(cfg.seed, pi);
+    const auto samples = lore::parallel_trials<RunSample>(
+        cfg.runs_per_point, point_seed, cfg.threads,
+        [&](std::size_t run, lore::Rng&) {
+          RunSample sample;
+          sample.hit_rate.reserve(schedulers.size());
+          for (auto kind : schedulers) {
+            lore::Rng run_rng(lore::trial_seed(point_seed, run));
+            const auto outcome = simulate_run(result.segments, budgets.at(kind), p,
+                                              cfg.mitigation, run_rng);
+            sample.hit_rate.push_back(outcome.deadline_hit_rate);
+            if (sample.hit_rate.size() == 1)
+              sample.rollbacks = outcome.mean_rollbacks_per_segment;
+          }
+          return sample;
+        });
+
+    // Merge serially in run order: the accumulation sequence — and thus the
+    // floating-point result — is identical for every thread count.
     lore::RunningStats rollback_stats;
-    std::map<SchedulerKind, lore::RunningStats> hit_stats;
-    for (std::size_t run = 0; run < cfg.runs_per_point; ++run) {
-      // Every scheduler sees the same error realization for this run
-      // (paired comparison): reuse one RNG stream per (point, run).
-      const std::uint64_t run_seed = rng.next_u64();
-      bool rollbacks_recorded = false;
-      for (auto kind : schedulers) {
-        lore::Rng run_rng(run_seed);
-        const auto outcome =
-            simulate_run(result.segments, budgets.at(kind), p, cfg.mitigation, run_rng);
-        hit_stats[kind].add(outcome.deadline_hit_rate);
-        if (!rollbacks_recorded) {
-          rollback_stats.add(outcome.mean_rollbacks_per_segment);
-          rollbacks_recorded = true;
-        }
-      }
+    std::vector<lore::RunningStats> hit_stats(schedulers.size());
+    for (const auto& sample : samples) {
+      rollback_stats.add(sample.rollbacks);
+      for (std::size_t k = 0; k < schedulers.size(); ++k)
+        hit_stats[k].add(sample.hit_rate[k]);
     }
     point.avg_rollbacks_per_segment = rollback_stats.mean();
     point.sem_rollbacks = rollback_stats.sem();
-    for (auto kind : schedulers) point.hit_rate[kind] = hit_stats[kind].mean();
+    for (std::size_t k = 0; k < schedulers.size(); ++k)
+      point.hit_rate[schedulers[k]] = hit_stats[k].mean();
     result.points.push_back(std::move(point));
   }
   return result;

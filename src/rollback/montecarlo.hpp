@@ -16,6 +16,10 @@ struct ExperimentConfig {
   std::vector<double> error_probabilities = default_probability_grid();
   std::size_t runs_per_point = 100;  // the paper's count
   std::uint64_t seed = 97;
+  /// Worker threads for the Monte Carlo runs of each sweep point
+  /// (0 = hardware_concurrency, 1 = the legacy serial path). Per-run
+  /// counter-based seeding keeps results bit-identical for any value.
+  unsigned threads = 0;
 
   static std::vector<double> default_probability_grid();
 };

@@ -114,6 +114,65 @@ TEST(Crossbar, ActivationProfileMatchesNetworkLayers) {
   }
 }
 
+TEST(Crossbar, RandomFaultStaysInsideGeometry) {
+  Mission m;
+  CrossbarAccelerator accel(m.classifier.network());
+  lore::Rng rng(913);
+  for (int i = 0; i < 300; ++i) {
+    const auto f = accel.random_fault(rng);
+    ASSERT_LT(f.layer, accel.num_layers());
+    EXPECT_LT(f.row, accel.layer_rows(f.layer));
+    EXPECT_LT(f.col, accel.layer_cols(f.layer));
+  }
+}
+
+TEST(Crossbar, RandomFaultSequenceDeterministicUnderSeed) {
+  Mission m;
+  CrossbarAccelerator accel(m.classifier.network());
+  lore::Rng a(914), b(914);
+  for (int i = 0; i < 100; ++i) {
+    const auto fa = accel.random_fault(a);
+    const auto fb = accel.random_fault(b);
+    EXPECT_EQ(fa.layer, fb.layer);
+    EXPECT_EQ(fa.row, fb.row);
+    EXPECT_EQ(fa.col, fb.col);
+    EXPECT_EQ(fa.type, fb.type);
+  }
+}
+
+TEST(Crossbar, FaultMapsToSourceNetworkWeight) {
+  // Fault mapping: the cell a fault strikes must carry the (clipped) weight
+  // of the corresponding source-network connection.
+  Mission m;
+  CrossbarAccelerator accel(m.classifier.network(), /*g_max=*/2.0);
+  lore::Rng rng(915);
+  for (int i = 0; i < 100; ++i) {
+    const auto f = accel.random_fault(rng);
+    const double w = accel.cell_weight(f);
+    EXPECT_GE(w, -2.0);
+    EXPECT_LE(w, 2.0);
+    // A stuck cell overrides toward the matching conductance rail.
+    EXPECT_DOUBLE_EQ(std::abs(accel.stuck_value(f)), 2.0);
+  }
+}
+
+TEST(Crossbar, FaultDatasetReproducibleUnderSeed) {
+  Mission m;
+  CrossbarAccelerator accel(m.classifier.network());
+  lore::Rng a(916), b(916);
+  const auto da =
+      crossbar_fault_dataset(accel, m.classifier.network(), m.inputs, 60, 0.02, a);
+  const auto db =
+      crossbar_fault_dataset(accel, m.classifier.network(), m.inputs, 60, 0.02, b);
+  ASSERT_EQ(da.size(), db.size());
+  EXPECT_EQ(da.labels, db.labels);
+  for (std::size_t r = 0; r < da.size(); ++r) {
+    const auto ra = da.x.row(r);
+    const auto rb = db.x.row(r);
+    for (std::size_t c = 0; c < ra.size(); ++c) EXPECT_EQ(ra[c], rb[c]);
+  }
+}
+
 TEST(Crossbar, SmallNnPredictsCriticality) {
   // The [28] experiment: train a small NN to classify critical faults.
   Mission m;

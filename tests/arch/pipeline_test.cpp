@@ -133,5 +133,48 @@ TEST(PipelineFaults, DeterministicOutcome) {
   EXPECT_EQ(pipeline_inject(w, site), pipeline_inject(w, site));
 }
 
+TEST(PipelineFaults, EveryLatchFieldClassifies) {
+  // Flip-flop state advance: injection into each pipeline latch field must
+  // yield a valid outcome class, at an early and a mid-execution cycle.
+  const auto w = make_dot_product(8, 2);
+  for (auto field : {LatchField::kPc, LatchField::kIfIdInstr, LatchField::kIdExOperandA,
+                     LatchField::kIdExOperandB, LatchField::kExMemAlu,
+                     LatchField::kMemWbValue}) {
+    for (std::uint64_t cycle : {2ull, 25ull}) {
+      const auto outcome = pipeline_inject(w, PipelineFaultSite{field, 4, cycle});
+      EXPECT_FALSE(outcome_name(outcome).empty());
+      EXPECT_NE(outcome_name(outcome), "?");
+    }
+  }
+}
+
+TEST(PipelineFaults, CampaignReproducibleFromSeed) {
+  const auto w = make_checksum(8, 3);
+  lore::Rng a(21), b(21);
+  const auto first = pipeline_campaign(w, 120, a);
+  const auto second = pipeline_campaign(w, 120, b);
+  EXPECT_TRUE(first == second);
+}
+
+TEST(FaultCampaign, SerialVsParallelEquivalence) {
+  // The FaultInjector campaign engine must produce bit-identical records
+  // whether it runs on one worker or many (counter-based per-trial seeding).
+  const auto w = make_checksum(10, 4);
+  const FaultInjector injector(w);
+  const auto serial = injector.campaign(300, FaultTarget::kRegister, 77, 1);
+  for (unsigned threads : {2u, 8u})
+    EXPECT_TRUE(serial == injector.campaign(300, FaultTarget::kRegister, 77, threads))
+        << "threads=" << threads;
+}
+
+TEST(FaultCampaign, RecordsCarryReplayableSeeds) {
+  const auto w = make_dot_product(8, 6);
+  const FaultInjector injector(w);
+  const auto records = injector.campaign(50, FaultTarget::kInstruction, 13, 0);
+  ASSERT_EQ(records.size(), 50u);
+  for (const auto& rec : records)
+    EXPECT_TRUE(injector.replay_trial(rec.trial_seed, FaultTarget::kInstruction) == rec);
+}
+
 }  // namespace
 }  // namespace lore::arch

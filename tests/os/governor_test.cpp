@@ -62,6 +62,49 @@ TEST(RlDvfsGovernor, LearnsToAvoidPenalizedAction) {
   EXPECT_LE(platform.core(0).vf_index, 1u);
 }
 
+TEST(RlDvfsGovernor, VfTransitionsRespectPlatformLimits) {
+  // Fully random policy for many epochs: every transition must stay inside
+  // the ladder and move at most one V-f step per control epoch.
+  Platform platform({make_big_core(), make_little_core()});
+  RlGovernorConfig cfg;
+  cfg.learner.epsilon = 1.0;
+  cfg.learner.epsilon_min = 1.0;
+  RlDvfsGovernor governor(platform.ladder().size(), cfg);
+  std::vector<std::size_t> prev(platform.num_cores());
+  for (std::size_t c = 0; c < platform.num_cores(); ++c)
+    prev[c] = platform.core(c).vf_index;
+  for (int epoch = 0; epoch < 500; ++epoch) {
+    governor.control(platform, make_status(platform.num_cores(), 0.6, 345.0));
+    for (std::size_t c = 0; c < platform.num_cores(); ++c) {
+      const std::size_t vf = platform.core(c).vf_index;
+      ASSERT_LT(vf, platform.ladder().size()) << "epoch " << epoch;
+      const std::size_t delta = vf > prev[c] ? vf - prev[c] : prev[c] - vf;
+      EXPECT_LE(delta, 1u) << "core " << c << " epoch " << epoch;
+      prev[c] = vf;
+    }
+  }
+}
+
+TEST(RlDvfsGovernor, HoldsAtLadderBoundaries) {
+  // Pinned at the ends of the ladder, a raise (or lower) request must clamp
+  // rather than step outside the platform's V-f range.
+  Platform platform({make_big_core()});
+  RlGovernorConfig cfg;
+  cfg.learner.epsilon = 1.0;
+  cfg.learner.epsilon_min = 1.0;
+  RlDvfsGovernor governor(platform.ladder().size(), cfg);
+  const std::size_t top = platform.ladder().size() - 1;
+  for (int epoch = 0; epoch < 100; ++epoch) {
+    platform.set_vf(0, top);
+    governor.control(platform, make_status(1, 0.9, 350.0));
+    EXPECT_LE(platform.core(0).vf_index, top);
+    EXPECT_GE(platform.core(0).vf_index, top - 1);
+    platform.set_vf(0, 0);
+    governor.control(platform, make_status(1, 0.1, 325.0));
+    EXPECT_LE(platform.core(0).vf_index, 1u);
+  }
+}
+
 TEST(TrainRlGovernor, ProducesFrozenReadyGovernor) {
   Platform platform({make_big_core(), make_little_core()});
   const auto tasks = generate_taskset(TaskSetConfig{.num_tasks = 4,

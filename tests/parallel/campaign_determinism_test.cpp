@@ -1,0 +1,132 @@
+// Serial-vs-parallel equivalence of every ported campaign consumer. These
+// tests ARE the determinism contract of src/common/parallel: a campaign's
+// output may depend only on (inputs, base seed) — never on thread count or
+// scheduling. They double as the race suite for `ctest -L parallel` under
+// the ThreadSanitizer preset (-DLORE_SANITIZE=thread).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/arch/fault.hpp"
+#include "src/arch/workloads.hpp"
+#include "src/circuit/characterize.hpp"
+#include "src/circuit/liberty.hpp"
+#include "src/common/parallel.hpp"
+#include "src/rollback/montecarlo.hpp"
+
+namespace {
+
+using namespace lore;
+
+TEST(FaultCampaignDeterminism, BitIdenticalAcrossThreadCounts) {
+  const auto w = arch::make_checksum(12, 5);
+  const arch::FaultInjector injector(w);
+  for (auto target : {arch::FaultTarget::kRegister, arch::FaultTarget::kMemory,
+                      arch::FaultTarget::kInstruction}) {
+    const auto serial = injector.campaign(400, target, 2024, 1);
+    ASSERT_EQ(serial.size(), 400u);
+    for (unsigned threads : {2u, 8u}) {
+      const auto parallel = injector.campaign(400, target, 2024, threads);
+      EXPECT_TRUE(serial == parallel)
+          << "target=" << static_cast<int>(target) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(FaultCampaignDeterminism, DifferentSeedsDifferentCampaigns) {
+  const auto w = arch::make_dot_product(12, 3);
+  const arch::FaultInjector injector(w);
+  const auto a = injector.campaign(200, arch::FaultTarget::kRegister, 1, 8);
+  const auto b = injector.campaign(200, arch::FaultTarget::kRegister, 2, 8);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(FaultCampaignDeterminism, EveryRecordReplaysInIsolation) {
+  const auto w = arch::make_dot_product(10, 7);
+  const arch::FaultInjector injector(w);
+  const auto campaign = injector.campaign(100, arch::FaultTarget::kRegister, 99, 8);
+  for (const auto& rec : campaign) {
+    EXPECT_NE(rec.trial_seed, 0u);
+    const auto replayed = injector.replay_trial(rec.trial_seed, rec.site.target);
+    EXPECT_TRUE(replayed == rec);
+  }
+}
+
+TEST(MonteCarloDeterminism, ExperimentBitIdenticalAcrossThreadCounts) {
+  rollback::ExperimentConfig cfg;
+  cfg.error_probabilities = {1e-7, 1e-5, 1e-4};
+  cfg.runs_per_point = 40;
+  const std::vector<rollback::SchedulerKind> schedulers = {
+      rollback::SchedulerKind::kDs, rollback::SchedulerKind::kWcet,
+      rollback::SchedulerKind::kDsLearned};
+
+  cfg.threads = 1;
+  const auto serial = rollback::run_experiment(cfg, schedulers);
+  cfg.threads = 8;
+  const auto parallel = rollback::run_experiment(cfg, schedulers);
+
+  ASSERT_EQ(serial.points.size(), parallel.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    const auto& s = serial.points[i];
+    const auto& p = parallel.points[i];
+    EXPECT_EQ(s.p, p.p);
+    EXPECT_EQ(s.avg_rollbacks_per_segment, p.avg_rollbacks_per_segment);
+    EXPECT_EQ(s.sem_rollbacks, p.sem_rollbacks);
+    ASSERT_EQ(s.hit_rate.size(), p.hit_rate.size());
+    for (const auto& [kind, rate] : s.hit_rate) EXPECT_EQ(rate, p.hit_rate.at(kind));
+  }
+  for (auto kind : schedulers)
+    EXPECT_EQ(serial.wall_position(kind), parallel.wall_position(kind));
+}
+
+TEST(CharacterizeDeterminism, LibraryBitIdenticalAcrossThreadCounts) {
+  const circuit::CharacterizerConfig grid{.slew_axis_ps = {10.0, 40.0, 160.0},
+                                          .load_axis_ff = {2.0, 8.0, 24.0},
+                                          .timestep_ps = 0.2};
+  circuit::Characterizer characterizer(grid, device::SelfHeatingModel{});
+  const device::OperatingPoint op{};
+
+  auto serial_lib = circuit::make_skeleton_library("serial");
+  characterizer.characterize_library(serial_lib, op, 1);
+  const std::size_t serial_evals = characterizer.evaluations();
+
+  auto parallel_lib = circuit::make_skeleton_library("parallel");
+  characterizer.reset_evaluations();
+  characterizer.characterize_library(parallel_lib, op, 8);
+  EXPECT_EQ(characterizer.evaluations(), serial_evals);
+
+  ASSERT_EQ(serial_lib.size(), parallel_lib.size());
+  for (std::size_t c = 0; c < serial_lib.size(); ++c) {
+    const auto& sc = serial_lib.cell(c);
+    const auto& pc = parallel_lib.cell(c);
+    ASSERT_EQ(sc.arcs.size(), pc.arcs.size());
+    for (std::size_t a = 0; a < sc.arcs.size(); ++a) {
+      const auto sv = sc.arcs[a].rise_delay.values();
+      const auto pv = pc.arcs[a].rise_delay.values();
+      ASSERT_EQ(sv.size(), pv.size());
+      for (std::size_t i = 0; i < sv.size(); ++i) EXPECT_EQ(sv[i], pv[i]);
+      const auto sf = sc.arcs[a].fall_slew.values();
+      const auto pf = pc.arcs[a].fall_slew.values();
+      for (std::size_t i = 0; i < sf.size(); ++i) EXPECT_EQ(sf[i], pf[i]);
+    }
+    const auto st = sc.she_temperature.values();
+    const auto pt = pc.she_temperature.values();
+    ASSERT_EQ(st.size(), pt.size());
+    for (std::size_t i = 0; i < st.size(); ++i) EXPECT_EQ(st[i], pt[i]);
+  }
+}
+
+TEST(CampaignStress, ConcurrentCampaignsOnOneInjector) {
+  // Several threads each run full campaigns against one shared injector —
+  // the const-path (golden run, workload) must be data-race free under TSan.
+  const auto w = arch::make_checksum(10, 9);
+  const arch::FaultInjector injector(w);
+  std::vector<std::vector<arch::FaultRecord>> results(4);
+  parallel_for(results.size(), 4, [&](std::size_t i) {
+    results[i] = injector.campaign(150, arch::FaultTarget::kMemory, 7, 1);
+  });
+  for (std::size_t i = 1; i < results.size(); ++i)
+    EXPECT_TRUE(results[0] == results[i]);
+}
+
+}  // namespace
