@@ -1,15 +1,28 @@
-// Shared helpers for LORE's benchmark binaries: every bench prints the data
+// Shared helpers for LORE's benchmark binaries. Every bench prints the data
 // series behind its paper figure as an aligned table (consumed by
-// EXPERIMENTS.md) and then runs its google-benchmark timing section.
+// EXPERIMENTS.md), runs its google-benchmark timing section, and then emits
+// one machine-readable artifact, `BENCH_<name>.json`, containing every
+// printed table plus a snapshot of the global metrics registry — the repo's
+// perf trajectory (`scripts/bench_report.py` aggregates the artifacts).
+//
+// Flags / environment understood by LORE_BENCH_MAIN:
+//   --quiet         disable metrics collection and skip the JSON artifact
+//   LORE_OBS=0      same as --quiet for the metrics half (env-level switch)
+//   LORE_BENCH_DIR  directory for BENCH_<name>.json (default: cwd)
+//   LORE_TRACE=f    additionally dump a Chrome trace of all recorded spans
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/common/table.hpp"
+#include "src/obs/obs.hpp"
 
 namespace lore::bench {
 
@@ -22,24 +35,120 @@ double timed_seconds(Fn&& fn) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
+/// One printed table, remembered for the JSON artifact.
+struct RecordedTable {
+  std::string section;
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+};
+
+namespace detail {
+
+inline std::vector<RecordedTable>& recorded_tables() {
+  static std::vector<RecordedTable> tables;
+  return tables;
+}
+
+inline std::string& current_section() {
+  static std::string section;
+  return section;
+}
+
+inline bool& artifact_enabled() {
+  static bool enabled = true;
+  return enabled;
+}
+
+/// `build/bench/fi_acceleration` -> `fi_acceleration`.
+inline std::string bench_name_from_argv0(const char* argv0) {
+  std::string name = argv0 ? argv0 : "bench";
+  const auto slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name.empty() ? "bench" : name;
+}
+
+}  // namespace detail
+
 inline void print_header(const std::string& experiment, const std::string& description) {
+  detail::current_section() = experiment;
   std::printf("\n==== %s ====\n%s\n\n", experiment.c_str(), description.c_str());
 }
 
-inline void print_table(const Table& table) { std::fputs(table.to_string().c_str(), stdout); }
+inline void print_table(const Table& table) {
+  detail::recorded_tables().push_back(
+      {detail::current_section(), table.headers(), table.data()});
+  std::fputs(table.to_string().c_str(), stdout);
+}
 
 inline void print_note(const std::string& note) { std::printf("%s\n", note.c_str()); }
+
+/// Write `BENCH_<name>.json`: every recorded table plus the global metrics
+/// snapshot. Returns the path written, or "" when writing failed.
+inline std::string write_bench_artifact(const std::string& bench_name) {
+  obs::Json doc = obs::Json::object();
+  doc["schema"] = "lore.bench.v1";
+  doc["bench"] = bench_name;
+  obs::Json tables = obs::Json::array();
+  for (const auto& rec : detail::recorded_tables()) {
+    obs::Json tj = obs::Json::object();
+    tj["section"] = rec.section;
+    obs::Json headers = obs::Json::array();
+    for (const auto& h : rec.headers) headers.push_back(h);
+    tj["headers"] = std::move(headers);
+    obs::Json rows = obs::Json::array();
+    for (const auto& row : rec.rows) {
+      obs::Json rj = obs::Json::array();
+      for (const auto& cell : row) rj.push_back(cell);
+      rows.push_back(std::move(rj));
+    }
+    tj["rows"] = std::move(rows);
+    tables.push_back(std::move(tj));
+  }
+  doc["tables"] = std::move(tables);
+  doc["metrics"] = obs::metrics_to_json(obs::MetricsRegistry::global().snapshot());
+
+  const char* dir = std::getenv("LORE_BENCH_DIR");
+  std::string path = (dir && *dir) ? std::string(dir) + "/" : std::string();
+  path += "BENCH_" + bench_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return "";
+  }
+  const std::string text = doc.dump(2);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return path;
+}
 
 }  // namespace lore::bench
 
 /// Each bench defines `run_experiment_report()` (prints its series) and
-/// registers micro-benchmarks; this main runs both.
-#define LORE_BENCH_MAIN(report_fn)                                 \
-  int main(int argc, char** argv) {                                \
-    report_fn();                                                   \
-    ::benchmark::Initialize(&argc, argv);                          \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
-    ::benchmark::RunSpecifiedBenchmarks();                         \
-    ::benchmark::Shutdown();                                       \
-    return 0;                                                      \
+/// registers micro-benchmarks; this main runs both, then emits the
+/// machine-readable artifact (unless --quiet) and flushes any LORE_TRACE.
+#define LORE_BENCH_MAIN(report_fn)                                        \
+  int main(int argc, char** argv) {                                       \
+    for (int i = 1; i < argc; ++i) {                                      \
+      if (std::strcmp(argv[i], "--quiet") == 0) {                         \
+        ::lore::obs::set_enabled(false);                                  \
+        ::lore::bench::detail::artifact_enabled() = false;                \
+        for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];         \
+        --argc;                                                           \
+        break;                                                            \
+      }                                                                   \
+    }                                                                     \
+    report_fn();                                                          \
+    ::benchmark::Initialize(&argc, argv);                                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
+    ::benchmark::RunSpecifiedBenchmarks();                                \
+    ::benchmark::Shutdown();                                              \
+    if (::lore::bench::detail::artifact_enabled()) {                      \
+      const std::string path = ::lore::bench::write_bench_artifact(       \
+          ::lore::bench::detail::bench_name_from_argv0(argv[0]));         \
+      if (!path.empty()) std::printf("\nbench artifact: %s\n", path.c_str()); \
+    }                                                                     \
+    if (::lore::obs::flush_trace_if_requested())                          \
+      std::printf("trace written to %s\n", std::getenv("LORE_TRACE"));    \
+    return 0;                                                             \
   }

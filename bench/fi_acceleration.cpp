@@ -32,6 +32,8 @@ ml::Dataset build_dataset() {
 }
 
 void report_parallel_campaign();
+void report_obs_overhead(const FaultInjector& injector,
+                         const std::vector<FaultRecord>& reference);
 
 void report() {
   bench::print_header("Fault-injection acceleration — accuracy vs training fraction",
@@ -101,6 +103,42 @@ void report_parallel_campaign() {
   bench::print_note(
       "Expected: near-linear scaling up to the machine's core count with "
       "bit_identical=yes on every row (the determinism contract).");
+  report_obs_overhead(injector, serial);
+}
+
+/// Satellite check for the observability subsystem: the instrumented
+/// campaign path must cost the same with metrics collection on and off
+/// (and the off path is also reachable at compile time via -DLORE_OBS=OFF).
+void report_obs_overhead(const FaultInjector& injector,
+                         const std::vector<FaultRecord>& reference) {
+  bench::print_header(
+      "Observability overhead — metrics on vs off",
+      "Same 10k-trial serial campaign with the metrics registry enabled and "
+      "disabled (LORE_OBS runtime switch); the hot path carries one "
+      "predictable branch, so the two timings should be within noise.");
+  constexpr std::size_t kTrials = 10000;
+  constexpr std::uint64_t kSeed = 2024;
+  const bool was_enabled = obs::enabled();
+
+  Table t({"metrics", "seconds", "trials_per_s", "overhead_vs_off"});
+  double off_s = 0.0;
+  for (const bool on : {false, true}) {
+    obs::set_enabled(on);
+    std::vector<FaultRecord> records;
+    const double elapsed = bench::timed_seconds(
+        [&] { records = injector.campaign(kTrials, FaultTarget::kRegister, kSeed, 1); });
+    obs::set_enabled(was_enabled);
+    if (records != reference)
+      bench::print_note("WARNING: obs toggle changed campaign results");
+    if (!on) off_s = elapsed;
+    t.add_row({on ? "on" : "off", fmt_sig(elapsed, 4),
+               fmt_sig(static_cast<double>(kTrials) / elapsed, 4),
+               on ? fmt_sig(elapsed / off_s, 3) : std::string("1.000")});
+  }
+  bench::print_table(t);
+  bench::print_note(
+      "Expected: overhead_vs_off ~ 1.0 (instrumentation is zero-cost when "
+      "compiled out and branch-cheap when merely disabled).");
 }
 
 void BM_RegisterFeatures(benchmark::State& state) {

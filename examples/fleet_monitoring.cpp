@@ -3,17 +3,51 @@
 // predictor, rank the fleet by risk, and let the adaptive replica manager
 // price redundancy for the riskiest nodes.
 //
-//   $ ./fleet_monitoring
+// The simulated fleet telemetry (src/os/telemetry) is also folded into an
+// obs::MetricsRegistry, so the monitoring corpus exports through the same
+// `lore.metrics.v1` JSON schema as LORE's first-party instrumentation
+// (src/obs) — one consumer can read both.
+//
+//   $ ./fleet_monitoring                  # prints the summary table
+//   $ ./fleet_monitoring fleet.json      # additionally writes the metrics JSON
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
 
 #include "src/ml/ensemble.hpp"
 #include "src/ml/metrics.hpp"
+#include "src/obs/obs.hpp"
 #include "src/os/replica.hpp"
 #include "src/os/telemetry.hpp"
 
-int main() {
+namespace {
+
+/// Fold the simulated telemetry corpus into a (local, not global) metrics
+/// registry: fleet-wide counters for the event totals and histograms for the
+/// per-record operating conditions.
+lore::obs::Snapshot fleet_metrics(const std::vector<lore::os::TelemetryRecord>& history) {
+  using lore::obs::Histogram;
+  lore::obs::MetricsRegistry reg;
+  auto& records = reg.counter("fleet.records");
+  auto& failures = reg.counter("fleet.failures");
+  auto& corrected = reg.counter("fleet.corrected_errors");
+  auto& temp = reg.histogram("fleet.temperature_k", Histogram::linear_bounds(300.0, 400.0, 51));
+  auto& util = reg.histogram("fleet.utilization", Histogram::linear_bounds(0.0, 1.0, 21));
+  auto& power = reg.histogram("fleet.power_w", Histogram::linear_bounds(0.0, 250.0, 26));
+  for (const auto& r : history) {
+    records.add(1);
+    if (r.failure) failures.add(1);
+    corrected.add(r.corrected_errors);
+    temp.observe(r.temperature_k);
+    util.observe(r.utilization);
+    power.observe(r.power_w);
+  }
+  return reg.snapshot();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace lore;
   using namespace lore::os;
 
@@ -24,6 +58,25 @@ int main() {
   for (const auto& r : history) failures += r.failure;
   std::printf("fleet history: %zu records, %zu uncorrected failures\n", history.size(),
               failures);
+
+  // The corpus as metrics: same snapshot/JSON path the benches use, so a
+  // dashboard that reads BENCH_*.json artifacts can ingest fleet telemetry
+  // unchanged.
+  const auto snap = fleet_metrics(history);
+  std::printf("\nfleet telemetry as lore.metrics.v1:\n%s\n",
+              obs::summary_table(snap).c_str());
+  if (argc > 1) {
+    const std::string path = argv[1];
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      const std::string text = obs::metrics_to_json(snap).dump(2);
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("fleet metrics written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    }
+  }
 
   // Train the failure predictor on history; score the current epoch.
   const auto train = failure_prediction_dataset(history, 12, 10);

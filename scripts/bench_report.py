@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Aggregate LORE bench artifacts (BENCH_<name>.json, schema lore.bench.v1)
+into one plain-text trajectory report.
+
+Each bench binary emits its artifact via bench/bench_util.hpp: every table it
+printed plus a snapshot of the global metrics registry (schema
+lore.metrics.v1 — the same schema examples/fleet_monitoring exports for the
+simulated fleet-telemetry corpus). This script is the consumer side: it
+collects the artifacts of one run into a single report so successive runs can
+be diffed as the repo's perf trajectory.
+
+Usage:
+  scripts/bench_report.py [DIR_OR_FILE ...]
+
+With no arguments, scans $LORE_BENCH_DIR (or the current directory) for
+BENCH_*.json. Only the Python standard library is used.
+"""
+
+import json
+import os
+import sys
+
+
+def find_artifacts(args):
+    paths = []
+    if not args:
+        args = [os.environ.get("LORE_BENCH_DIR") or "."]
+    for a in args:
+        if os.path.isdir(a):
+            names = sorted(n for n in os.listdir(a)
+                           if n.startswith("BENCH_") and n.endswith(".json"))
+            paths.extend(os.path.join(a, n) for n in names)
+        else:
+            paths.append(a)
+    return paths
+
+
+def load_artifact(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    schema = doc.get("schema")
+    if schema != "lore.bench.v1":
+        raise ValueError(f"{path}: unexpected schema {schema!r}")
+    return doc
+
+
+def render_table(headers, rows):
+    """Aligned text table (mirrors lore::obs::summary_table's layout)."""
+    cols = [list(map(str, col)) for col in zip(*([headers] + rows))] if rows else [
+        [h] for h in headers]
+    widths = [max(len(cell) for cell in col) for col in cols]
+    lines = []
+
+    def fmt(row):
+        return "  ".join(str(c).ljust(w) for c, w in zip(row, widths)).rstrip()
+
+    lines.append(fmt(headers))
+    lines.append(fmt(["-" * w for w in widths]))
+    for row in rows:
+        lines.append(fmt(row))
+    return "\n".join(lines)
+
+
+def metrics_rows(metrics):
+    """Flatten a lore.metrics.v1 document into (instrument, name, value) rows."""
+    rows = []
+    for name, v in sorted(metrics.get("counters", {}).items()):
+        rows.append(["counter", name, str(v)])
+    for name, v in sorted(metrics.get("gauges", {}).items()):
+        rows.append(["gauge", name, f"{v:.6g}"])
+    for name, h in sorted(metrics.get("histograms", {}).items()):
+        summary = (f"count={h.get('count', 0)} mean="
+                   f"{(h.get('sum', 0.0) / h['count']) if h.get('count') else 0.0:.6g} "
+                   f"p50={h.get('p50', 0.0):.6g} p95={h.get('p95', 0.0):.6g} "
+                   f"p99={h.get('p99', 0.0):.6g}")
+        rows.append(["histogram", name, summary])
+    return rows
+
+
+def report(paths):
+    out = []
+    seen = 0
+    for path in paths:
+        try:
+            doc = load_artifact(path)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"bench_report: skipping {path}: {e}", file=sys.stderr)
+            continue
+        seen += 1
+        out.append(f"=== {doc.get('bench', os.path.basename(path))} ({path}) ===")
+        for table in doc.get("tables", []):
+            out.append("")
+            out.append(f"-- {table.get('section', '(untitled)')}")
+            out.append(render_table(table.get("headers", []), table.get("rows", [])))
+        metrics = doc.get("metrics", {})
+        rows = metrics_rows(metrics)
+        if rows:
+            out.append("")
+            out.append("-- metrics registry snapshot")
+            out.append(render_table(["kind", "name", "value"], rows))
+        out.append("")
+    out.append(f"bench_report: aggregated {seen} artifact(s)")
+    return "\n".join(out), seen
+
+
+def main():
+    paths = find_artifacts(sys.argv[1:])
+    if not paths:
+        print("bench_report: no BENCH_*.json artifacts found", file=sys.stderr)
+        return 1
+    text, seen = report(paths)
+    print(text)
+    return 0 if seen else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,9 +17,20 @@ if [ "${TSAN:-0}" = "1" ]; then
 fi
 
 : > bench_output.txt
+# Each bench also drops a machine-readable BENCH_<name>.json artifact
+# (schema lore.bench.v1) into $LORE_BENCH_DIR.
+export LORE_BENCH_DIR="${LORE_BENCH_DIR:-bench_artifacts}"
+mkdir -p "$LORE_BENCH_DIR"
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
     "$b" 2>&1 | tee -a bench_output.txt
   fi
 done
-echo "done: see test_output.txt and bench_output.txt"
+
+# Aggregate the artifacts into one trajectory report (stdlib-only python3).
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/bench_report.py "$LORE_BENCH_DIR" 2>&1 | tee bench_report.txt
+else
+  echo "python3 not found; skipping bench_report.py" | tee bench_report.txt
+fi
+echo "done: see test_output.txt, bench_output.txt, and bench_report.txt"

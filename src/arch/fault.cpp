@@ -3,8 +3,26 @@
 #include <cassert>
 
 #include "src/common/parallel.hpp"
+#include "src/obs/obs.hpp"
 
 namespace lore::arch {
+
+/// Campaign outcome counters under `prefix` ("masked" is the paper's name
+/// for architecturally benign injections). Counts are derived from the
+/// merged record list, so they inherit the engine's bit-identical-for-any-
+/// thread-count guarantee.
+void count_campaign_outcomes(const char* prefix, const std::vector<FaultRecord>& records) {
+  if (!obs::kCompiledIn || !obs::enabled()) return;
+  const OutcomeMix mix = summarize(records);
+  auto& registry = obs::MetricsRegistry::global();
+  const std::string base(prefix);
+  registry.counter(base + ".trials").add(records.size());
+  registry.counter(base + ".outcome.masked").add(mix.benign);
+  registry.counter(base + ".outcome.sdc").add(mix.sdc);
+  registry.counter(base + ".outcome.crash").add(mix.crash);
+  registry.counter(base + ".outcome.hang").add(mix.hang);
+  registry.counter(base + ".outcome.detected").add(mix.detected);
+}
 
 std::string outcome_name(Outcome o) {
   switch (o) {
@@ -134,6 +152,8 @@ FaultSite FaultInjector::random_site(lore::Rng& rng, FaultTarget target) const {
 std::vector<FaultRecord> FaultInjector::campaign(std::size_t trials, FaultTarget target,
                                                  std::uint64_t base_seed,
                                                  unsigned threads) const {
+  LORE_OBS_SPAN(span, "campaign.arch");
+  LORE_OBS_TIMER(timer, "campaign.arch_us");
   // Pre-sized result buffer: every trial owns its slot, so the merged
   // campaign is in trial order with no post-hoc sorting or reallocation.
   std::vector<FaultRecord> out(trials);
@@ -142,6 +162,7 @@ std::vector<FaultRecord> FaultInjector::campaign(std::size_t trials, FaultTarget
                               out[t] = inject(random_site(rng, target));
                               out[t].trial_seed = lore::trial_seed(base_seed, t);
                             });
+  count_campaign_outcomes("campaign.arch", out);
   return out;
 }
 

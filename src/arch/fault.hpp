@@ -106,4 +106,9 @@ struct OutcomeMix {
 
 OutcomeMix summarize(const std::vector<FaultRecord>& records);
 
+/// Report a finished campaign's outcome mix to the global metrics registry
+/// as counters `<prefix>.trials` and `<prefix>.outcome.{masked,sdc,crash,
+/// hang,detected}`. No-op when observability is disabled.
+void count_campaign_outcomes(const char* prefix, const std::vector<FaultRecord>& records);
+
 }  // namespace lore::arch

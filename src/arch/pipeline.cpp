@@ -5,6 +5,7 @@
 
 #include "src/arch/fault.hpp"
 #include "src/common/parallel.hpp"
+#include "src/obs/obs.hpp"
 
 namespace lore::arch {
 
@@ -291,6 +292,8 @@ Outcome pipeline_inject(const Workload& w, const PipelineFaultSite& site) {
 
 std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials,
                                            std::uint64_t base_seed, unsigned threads) {
+  LORE_OBS_SPAN(span, "campaign.pipeline");
+  LORE_OBS_TIMER(timer, "campaign.pipeline_us");
   // Clean pipeline run to learn the cycle budget for injection times.
   PipelineCpu probe(w.memory_words);
   probe.load_program(w.program);
@@ -318,6 +321,7 @@ std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials
                               rec.trial_seed = lore::trial_seed(base_seed, t);
                               out[t] = rec;
                             });
+  count_campaign_outcomes("campaign.pipeline", out);
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "src/common/parallel.hpp"
+#include "src/obs/obs.hpp"
 
 namespace lore::circuit {
 namespace {
@@ -31,7 +32,7 @@ double drive_current(const device::Transistor& dev, std::size_t stack_depth, dou
 device::StageTiming Characterizer::simulate(const Cell& cell, bool rising_output,
                                             double in_slew_ps, double load_ff,
                                             const device::OperatingPoint& op) const {
-  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  evaluations_.add(1);
   assert(in_slew_ps > 0.0 && load_ff >= 0.0);
   const auto& stage = cell.stage;
   const device::Transistor dev(rising_output ? stage.pullup : stage.pulldown);
@@ -91,6 +92,7 @@ double Characterizer::she_rise(const Cell& cell, double in_slew_ps, double load_
 }
 
 void Characterizer::characterize_cell(Cell& cell, const device::OperatingPoint& op) const {
+  LORE_OBS_TIMER(timer, "characterize.cell_us");
   const auto& slews = cfg_.slew_axis_ps;
   const auto& loads = cfg_.load_axis_ff;
   cell.arcs.clear();
@@ -126,6 +128,9 @@ void Characterizer::characterize_cell(Cell& cell, const device::OperatingPoint& 
 void Characterizer::characterize_library(CellLibrary& lib,
                                          const device::OperatingPoint& op,
                                          unsigned threads) const {
+  LORE_OBS_SPAN(span, "circuit.characterize_library");
+  LORE_OBS_TIMER(timer, "characterize.library_us");
+  LORE_OBS_COUNT("characterize.cells", lib.size());
   // Each worker fills a disjoint cell's tables; the grids themselves are
   // deterministic functions of (cell, corner), so any schedule produces
   // bit-identical libraries.

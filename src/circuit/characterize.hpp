@@ -5,12 +5,12 @@
 // ML-based characterizer ([9], E2) removes.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 
 #include "src/circuit/liberty.hpp"
 #include "src/device/selfheat.hpp"
 #include "src/device/transistor.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace lore::circuit {
 
@@ -27,7 +27,9 @@ struct CharacterizerConfig {
 class Characterizer {
  public:
   Characterizer(CharacterizerConfig cfg, device::SelfHeatingModel she_model)
-      : cfg_(std::move(cfg)), she_(she_model) {}
+      : cfg_(std::move(cfg)),
+        she_(she_model),
+        evaluations_(obs::MetricsRegistry::global().counter("characterize.evaluations")) {}
 
   const CharacterizerConfig& config() const { return cfg_; }
 
@@ -51,15 +53,20 @@ class Characterizer {
   double she_rise(const Cell& cell, double in_slew_ps, double load_ff,
                   const device::OperatingPoint& op) const;
 
-  /// Total transient simulations performed so far (cost/speed metric).
-  std::size_t evaluations() const { return evaluations_.load(std::memory_order_relaxed); }
-  void reset_evaluations() { evaluations_.store(0, std::memory_order_relaxed); }
+  /// Total transient simulations performed so far (cost/speed metric). Reads
+  /// the process-wide `characterize.evaluations` counter — the evaluation
+  /// budget accounting of the Fig. 3 flows (she_flow, benches) consumes it as
+  /// before/after deltas, and the observability exports see the same number.
+  std::size_t evaluations() const { return evaluations_.value(); }
+  void reset_evaluations() { evaluations_.reset(); }
 
  private:
   CharacterizerConfig cfg_;
   device::SelfHeatingModel she_;
-  /// Atomic: cells characterize concurrently and all bump this counter.
-  mutable std::atomic<std::size_t> evaluations_{0};
+  /// Resolved once; concurrent cell workers bump it lock-free. Counts are
+  /// functional outputs (evaluation budgets), so this is not gated on
+  /// obs::enabled().
+  obs::Counter& evaluations_;
 };
 
 }  // namespace lore::circuit

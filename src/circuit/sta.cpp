@@ -4,6 +4,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "src/obs/obs.hpp"
+
 namespace lore::circuit {
 
 device::StageTiming LibraryDelayModel::arc_timing(const Netlist& nl, std::size_t instance,
@@ -47,6 +49,11 @@ device::StageTiming InstanceTableDelayModel::arc_timing(const Netlist& nl,
 }
 
 StaResult StaEngine::run(const Netlist& nl, const DelayModel& delays) const {
+  LORE_OBS_SPAN(span, "circuit.sta.run");
+  LORE_OBS_TIMER(timer, "sta.run_us");
+  // Arc evaluations are tallied locally and added once at the end, so the
+  // exported counter is a deterministic function of the netlist.
+  std::size_t arc_evaluations = 0;
   StaResult r;
   r.net_timing.assign(nl.num_nets(), NetTiming{});
   r.instance_delay_ps.assign(nl.num_instances(), 0.0);
@@ -74,6 +81,7 @@ StaResult StaEngine::run(const Netlist& nl, const DelayModel& delays) const {
     if (cell.is_sequential()) {
       // Launch from the clock edge: CLK->Q delay at the D-pin slew.
       const double in_slew = cfg_.primary_input_slew_ps;
+      ++arc_evaluations;
       const auto t = delays.arc_timing(nl, inst_id, 0, in_slew, load);
       out_arrival = t.delay_ps;
       out_slew = t.out_slew_ps;
@@ -82,6 +90,7 @@ StaResult StaEngine::run(const Netlist& nl, const DelayModel& delays) const {
     } else {
       for (std::size_t pin = 0; pin < inst.input_nets.size(); ++pin) {
         const auto& in_net = r.net_timing[inst.input_nets[pin]];
+        ++arc_evaluations;
         const auto t = delays.arc_timing(nl, inst_id, pin, in_net.slew_ps, load);
         const double arrival = in_net.arrival_ps + t.delay_ps;
         if (arrival >= out_arrival) {
@@ -124,6 +133,8 @@ StaResult StaEngine::run(const Netlist& nl, const DelayModel& delays) const {
       break;  // launched from a register: path starts here
   }
   std::reverse(r.critical_path.begin(), r.critical_path.end());
+  LORE_OBS_COUNT("sta.runs", 1);
+  LORE_OBS_COUNT("sta.arc_evaluations", arc_evaluations);
   return r;
 }
 

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <utility>
 
+#include "src/obs/obs.hpp"
+
 namespace lore {
 
 std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t trial_index) {
@@ -37,12 +39,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> job) {
+  std::size_t depth;
   {
     std::lock_guard lock(mu_);
     queue_.push_back(std::move(job));
-    ++pending_;
+    depth = ++pending_;
   }
   work_cv_.notify_one();
+  // Queue pressure at submit time: how many jobs were queued or running when
+  // this one arrived (submit is per-strand, so the map lookup is cold-path).
+  if (obs::kCompiledIn && obs::enabled())
+    obs::MetricsRegistry::global()
+        .histogram("parallel.queue_depth", obs::Histogram::linear_bounds(0.0, 64.0, 33))
+        .observe(static_cast<double>(depth));
 }
 
 void ThreadPool::wait() {
@@ -83,8 +92,32 @@ void parallel_for(std::size_t n, unsigned threads,
                   const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   const unsigned team = resolve_threads(threads, n);
+
+  // Engine instrumentation: trial count and team size are deterministic;
+  // the per-trial latency histogram is wall-clock and therefore not part of
+  // the determinism contract. Trials can be sub-microsecond, so latency is
+  // sampled — every 16th trial by index (schedule-independent) — keeping the
+  // common-path cost of an instrumented campaign to one branch per trial.
+  constexpr std::size_t kLatencySampleStride = 16;
+  obs::Histogram* latency = nullptr;
+  if (obs::kCompiledIn && obs::enabled()) {
+    auto& registry = obs::MetricsRegistry::global();
+    registry.counter("parallel.trials").add(n);
+    registry.gauge("parallel.threads").set(static_cast<double>(team));
+    latency = &registry.histogram("parallel.trial_latency_us");
+  }
+  const auto run_one = [&](std::size_t i) {
+    if (latency && i % kLatencySampleStride == 0) {
+      const double start = obs::TraceRecorder::now_us();
+      fn(i);
+      latency->observe(obs::TraceRecorder::now_us() - start);
+    } else {
+      fn(i);
+    }
+  };
+
   if (team <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) run_one(i);
     return;
   }
   // One strand per worker; trials are claimed from a shared cursor so uneven
@@ -97,7 +130,7 @@ void parallel_for(std::size_t n, unsigned threads,
       for (;;) {
         const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
-        fn(i);
+        run_one(i);
       }
     });
   }

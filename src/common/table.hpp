@@ -17,6 +17,9 @@ class Table {
   void add_numeric_row(const std::vector<double>& cells, int precision = 6);
 
   std::size_t rows() const { return rows_.size(); }
+  /// Structured access (the machine-readable bench artifacts export these).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
   /// Render with padded columns, header underline, trailing newline.
   std::string to_string() const;
   /// Render as CSV (no padding), suitable for plotting scripts.

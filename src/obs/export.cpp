@@ -1,0 +1,162 @@
+#include "src/obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace lore::obs {
+
+Json metrics_to_json(const Snapshot& snap) {
+  Json doc = Json::object();
+  doc["schema"] = "lore.metrics.v1";
+  Json counters = Json::object();
+  for (const auto& [name, value] : snap.counters) counters[name] = value;
+  doc["counters"] = std::move(counters);
+  Json gauges = Json::object();
+  for (const auto& [name, value] : snap.gauges) gauges[name] = value;
+  doc["gauges"] = std::move(gauges);
+  Json histograms = Json::object();
+  for (const auto& h : snap.histograms) {
+    Json hj = Json::object();
+    hj["count"] = h.count;
+    hj["sum"] = h.sum;
+    hj["min"] = h.min;
+    hj["max"] = h.max;
+    hj["p50"] = h.p50;
+    hj["p95"] = h.p95;
+    hj["p99"] = h.p99;
+    Json bounds = Json::array();
+    for (double b : h.upper_bounds) bounds.push_back(b);
+    hj["upper_bounds"] = std::move(bounds);
+    Json buckets = Json::array();
+    for (auto c : h.buckets) buckets.push_back(c);
+    hj["buckets"] = std::move(buckets);
+    histograms[h.name] = std::move(hj);
+  }
+  doc["histograms"] = std::move(histograms);
+  return doc;
+}
+
+Snapshot snapshot_from_json(const Json& doc) {
+  if (!doc.has("schema") || doc.at("schema").as_string() != "lore.metrics.v1")
+    throw std::runtime_error("snapshot_from_json: not a lore.metrics.v1 document");
+  Snapshot snap;
+  for (const auto& [name, value] : doc.at("counters").members())
+    snap.counters.emplace_back(name, static_cast<std::uint64_t>(value.as_int()));
+  for (const auto& [name, value] : doc.at("gauges").members())
+    snap.gauges.emplace_back(name, value.as_double());
+  for (const auto& [name, value] : doc.at("histograms").members()) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = static_cast<std::uint64_t>(value.at("count").as_int());
+    hs.sum = value.at("sum").as_double();
+    hs.min = value.at("min").as_double();
+    hs.max = value.at("max").as_double();
+    hs.p50 = value.at("p50").as_double();
+    hs.p95 = value.at("p95").as_double();
+    hs.p99 = value.at("p99").as_double();
+    for (const auto& b : value.at("upper_bounds").items())
+      hs.upper_bounds.push_back(b.as_double());
+    for (const auto& c : value.at("buckets").items())
+      hs.buckets.push_back(static_cast<std::uint64_t>(c.as_int()));
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void append_aligned(std::string& out, const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  }
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out += row[i];
+      if (i + 1 < row.size())
+        out.append(widths[i] - row[i].size() + 2, ' ');
+    }
+    out += '\n';
+  }
+}
+
+}  // namespace
+
+std::string summary_table(const Snapshot& snap) {
+  std::string out;
+  if (!snap.counters.empty()) {
+    out += "counters\n";
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& [name, value] : snap.counters)
+      rows.push_back({"  " + name, std::to_string(value)});
+    append_aligned(out, rows);
+  }
+  if (!snap.gauges.empty()) {
+    out += "gauges\n";
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& [name, value] : snap.gauges)
+      rows.push_back({"  " + name, fmt_double(value)});
+    append_aligned(out, rows);
+  }
+  if (!snap.histograms.empty()) {
+    out += "histograms\n";
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"  name", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& h : snap.histograms) {
+      const double mean = h.count ? h.sum / static_cast<double>(h.count) : 0.0;
+      rows.push_back({"  " + h.name, std::to_string(h.count), fmt_double(mean),
+                      fmt_double(h.p50), fmt_double(h.p95), fmt_double(h.p99),
+                      fmt_double(h.max)});
+    }
+    append_aligned(out, rows);
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+Json chrome_trace_json(const std::vector<TraceEvent>& events) {
+  Json doc = Json::object();
+  Json list = Json::array();
+  for (const auto& e : events) {
+    Json ev = Json::object();
+    ev["name"] = e.name;
+    ev["cat"] = e.category.empty() ? std::string("lore") : e.category;
+    ev["ph"] = "X";  // complete event: begin + duration in one record
+    ev["ts"] = e.start_us;
+    ev["dur"] = e.dur_us;
+    ev["pid"] = 1;
+    ev["tid"] = e.tid;
+    Json args = Json::object();
+    args["depth"] = static_cast<std::uint64_t>(e.depth);
+    ev["args"] = std::move(args);
+    list.push_back(std::move(ev));
+  }
+  doc["traceEvents"] = std::move(list);
+  doc["displayTimeUnit"] = "ms";
+  return doc;
+}
+
+bool write_chrome_trace(const std::string& path, const TraceRecorder& recorder) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace_json(recorder.events()).dump(2) << '\n';
+  return static_cast<bool>(out);
+}
+
+bool flush_trace_if_requested() {
+  const char* path = std::getenv("LORE_TRACE");
+  if (!path || !*path) return false;
+  return write_chrome_trace(path, TraceRecorder::global());
+}
+
+}  // namespace lore::obs

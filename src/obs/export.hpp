@@ -1,0 +1,40 @@
+// Pluggable sinks for the observability subsystem: turn a metrics Snapshot
+// into JSON or an aligned text table, and a span buffer into the Chrome
+// `chrome://tracing` / Perfetto JSON trace format. All output is
+// deterministic for deterministic inputs (instruments sorted by name, object
+// keys in fixed order).
+#pragma once
+
+#include <string>
+
+#include "src/obs/json.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/span.hpp"
+
+namespace lore::obs {
+
+/// Snapshot -> JSON document:
+/// {"schema":"lore.metrics.v1","counters":{...},"gauges":{...},
+///  "histograms":{name:{count,sum,min,max,p50,p95,p99,upper_bounds,buckets}}}
+Json metrics_to_json(const Snapshot& snap);
+
+/// Inverse of metrics_to_json (round-trip support for tests and tooling).
+/// Throws std::runtime_error on a document with a different schema tag.
+Snapshot snapshot_from_json(const Json& doc);
+
+/// Human-readable aligned table of every instrument (the plain-text sink).
+std::string summary_table(const Snapshot& snap);
+
+/// Span buffer -> Chrome trace document ({"traceEvents":[...],...}); load
+/// the dumped file in chrome://tracing or ui.perfetto.dev.
+Json chrome_trace_json(const std::vector<TraceEvent>& events);
+
+/// Write the global recorder's events to `path` as a Chrome trace.
+/// Returns false (and writes nothing) when the file cannot be opened.
+bool write_chrome_trace(const std::string& path, const TraceRecorder& recorder);
+
+/// If the `LORE_TRACE` environment variable names a file, dump the global
+/// recorder there and return true. Benches call this at exit.
+bool flush_trace_if_requested();
+
+}  // namespace lore::obs

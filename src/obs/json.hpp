@@ -1,0 +1,88 @@
+// Minimal JSON document model for the observability sinks: build a value,
+// dump it deterministically (objects keep insertion order), parse it back.
+// Covers the full JSON grammar we emit — objects, arrays, strings with
+// escapes, integers, doubles, booleans, null — with nothing beyond the
+// standard library, so `BENCH_*.json`, metric exports, and Chrome traces
+// round-trip without an external dependency.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <type_traits>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lore::obs {
+
+class Json;
+using JsonMembers = std::vector<std::pair<std::string, Json>>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>>>
+  Json(T v) : type_(Type::kInt), int_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  static Json object() { Json j; j.type_ = Type::kObject; return j; }
+  static Json array() { Json j; j.type_ = Type::kArray; return j; }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kInt || type_ == Type::kDouble; }
+
+  bool as_bool() const { expect(Type::kBool); return bool_; }
+  std::int64_t as_int() const;
+  /// Numeric value of either number flavour.
+  double as_double() const;
+  const std::string& as_string() const { expect(Type::kString); return string_; }
+
+  // --- array ---
+  void push_back(Json v) { expect(Type::kArray); array_.push_back(std::move(v)); }
+  std::size_t size() const;
+  const Json& at(std::size_t i) const { expect(Type::kArray); return array_.at(i); }
+  const std::vector<Json>& items() const { expect(Type::kArray); return array_; }
+
+  // --- object ---
+  /// Insert-or-get member; insertion order is preserved by dump().
+  Json& operator[](const std::string& key);
+  const Json* find(const std::string& key) const;
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+  /// Member access that throws on a missing key (parse-side convenience).
+  const Json& at(const std::string& key) const;
+  const JsonMembers& members() const { expect(Type::kObject); return object_; }
+
+  /// Serialize. `indent` < 0 means compact single-line output; otherwise
+  /// pretty-print with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document; throws std::runtime_error with a byte
+  /// offset on malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
+ private:
+  void expect(Type t) const {
+    if (type_ != t) throw std::runtime_error("json: wrong type access");
+  }
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  JsonMembers object_;
+};
+
+}  // namespace lore::obs

@@ -1,0 +1,70 @@
+// Umbrella header + instrumentation macros for the observability subsystem.
+//
+// Instrument hot paths with the LORE_OBS_* macros rather than direct registry
+// calls: when the library is configured with -DLORE_OBS=OFF (which defines
+// LORE_OBS_DISABLED), every macro compiles to nothing, making the
+// instrumentation zero-cost by construction. With the default build the
+// macros still honour the runtime switch (`LORE_OBS=0` env or
+// obs::set_enabled(false)), which reduces them to one predictable branch.
+#pragma once
+
+#include "src/obs/export.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/span.hpp"
+
+namespace lore::obs {
+
+/// True when the instrumentation macros are compiled in (build-time switch).
+#ifdef LORE_OBS_DISABLED
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+}  // namespace lore::obs
+
+#ifdef LORE_OBS_DISABLED
+
+// sizeof keeps the argument unevaluated (truly zero-cost) while still
+// "using" locals that exist only to feed the instrumentation.
+#define LORE_OBS_COUNT(name, n) ((void)sizeof(n))
+#define LORE_OBS_GAUGE(name, v) ((void)sizeof(v))
+#define LORE_OBS_OBSERVE(name, v) ((void)sizeof(v))
+#define LORE_OBS_TIMER(var, name) ((void)0)
+#define LORE_OBS_SPAN(var, name) ((void)0)
+
+#else
+
+/// Bump counter `name` by `n` on the global registry.
+#define LORE_OBS_COUNT(name, n)                                         \
+  do {                                                                  \
+    if (::lore::obs::enabled())                                         \
+      ::lore::obs::MetricsRegistry::global().counter(name).add(         \
+          static_cast<std::uint64_t>(n));                               \
+  } while (0)
+
+/// Set gauge `name` to `v`. Call only from deterministic (serial) sites.
+#define LORE_OBS_GAUGE(name, v)                                         \
+  do {                                                                  \
+    if (::lore::obs::enabled())                                         \
+      ::lore::obs::MetricsRegistry::global().gauge(name).set(           \
+          static_cast<double>(v));                                      \
+  } while (0)
+
+/// Observe value `v` into histogram `name` (default time buckets).
+#define LORE_OBS_OBSERVE(name, v)                                       \
+  do {                                                                  \
+    if (::lore::obs::enabled())                                         \
+      ::lore::obs::MetricsRegistry::global().histogram(name).observe(   \
+          static_cast<double>(v));                                      \
+  } while (0)
+
+/// Declare a scoped timer `var` feeding histogram `name` (µs).
+#define LORE_OBS_TIMER(var, name) \
+  ::lore::obs::ScopedTimer var(::lore::obs::MetricsRegistry::global(), name)
+
+/// Declare a trace span `var` named `name` on the global recorder.
+#define LORE_OBS_SPAN(var, name) ::lore::obs::Span var(name)
+
+#endif  // LORE_OBS_DISABLED

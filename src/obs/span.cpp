@@ -1,0 +1,105 @@
+#include "src/obs/span.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+
+#include "src/obs/export.hpp"
+
+namespace lore::obs {
+namespace {
+
+std::chrono::steady_clock::time_point process_start() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+thread_local std::uint32_t t_span_depth = 0;
+
+}  // namespace
+
+void TraceRecorder::record(TraceEvent event) {
+  std::lock_guard lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mu_);
+  events_.clear();
+}
+
+TraceRecorder& TraceRecorder::global() {
+  // Leaked on purpose: spans may close during static destruction, and the
+  // atexit flush below reads the recorder after main() returns.
+  static TraceRecorder* recorder = [] {
+    auto* r = new TraceRecorder();
+    if (std::getenv("LORE_TRACE") != nullptr) {
+      r->set_enabled(true);
+      std::atexit([] { flush_trace_if_requested(); });
+    }
+    return r;
+  }();
+  return *recorder;
+}
+
+double TraceRecorder::now_us() {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   process_start())
+      .count();
+}
+
+std::uint32_t TraceRecorder::thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Span::Span(std::string name, std::string category)
+    : name_(std::move(name)),
+      category_(std::move(category)),
+      start_us_(TraceRecorder::now_us()),
+      depth_(t_span_depth),
+      active_(TraceRecorder::global().recording()) {
+  ++t_span_depth;
+}
+
+Span::~Span() {
+  --t_span_depth;
+  if (!active_) return;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = std::move(category_);
+  event.start_us = start_us_;
+  event.dur_us = TraceRecorder::now_us() - start_us_;
+  event.tid = TraceRecorder::thread_id();
+  event.depth = depth_;
+  TraceRecorder::global().record(std::move(event));
+}
+
+std::uint32_t Span::current_depth() { return t_span_depth; }
+
+ScopedTimer::ScopedTimer(Histogram& hist)
+    : hist_(enabled() ? &hist : nullptr) {
+  if (hist_) start_us_ = TraceRecorder::now_us();
+}
+
+ScopedTimer::ScopedTimer(MetricsRegistry& registry, const std::string& name)
+    : hist_(enabled() ? &registry.histogram(name) : nullptr) {
+  if (hist_) start_us_ = TraceRecorder::now_us();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (hist_) hist_->observe(TraceRecorder::now_us() - start_us_);
+}
+
+}  // namespace lore::obs

@@ -1,0 +1,102 @@
+// RAII trace spans and timers. A `Span` marks a named region of work; on
+// destruction it records one complete event (name, category, start, duration,
+// thread, nesting depth) into a `TraceRecorder`, whose buffer exports to the
+// Chrome `chrome://tracing` / Perfetto JSON format (export.hpp). A
+// `ScopedTimer` is the metrics-side sibling: it feeds the elapsed time of a
+// scope into a registry histogram so hot-path latencies get percentiles.
+//
+// Recording is off unless the `LORE_TRACE` environment variable names an
+// output file (or `TraceRecorder::set_enabled(true)` is called), so spans on
+// hot paths cost one branch when tracing is disabled.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+
+namespace lore::obs {
+
+/// One completed span, in Chrome-trace "complete event" terms.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double start_us = 0.0;  // relative to process start
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;  // dense per-process thread id, not the OS id
+  std::uint32_t depth = 0;  // nesting level at the span's open
+};
+
+/// Thread-safe append-only buffer of completed spans.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  bool recording() const { return recording_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { recording_.store(on, std::memory_order_relaxed); }
+
+  void record(TraceEvent event);
+  std::vector<TraceEvent> events() const;
+  std::size_t event_count() const;
+  void clear();
+
+  /// Process-wide recorder; starts enabled iff `LORE_TRACE` is set.
+  static TraceRecorder& global();
+
+  /// Monotonic microseconds since process start (first call anchors zero).
+  static double now_us();
+  /// Dense thread id: 0 for the first thread that asks, 1 for the next, ...
+  static std::uint32_t thread_id();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::atomic<bool> recording_{false};
+};
+
+/// RAII span over the global recorder. Nesting is tracked per thread, so
+/// concurrent campaign workers each get their own well-formed stack.
+class Span {
+ public:
+  explicit Span(std::string name, std::string category = "lore");
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  double elapsed_us() const { return TraceRecorder::now_us() - start_us_; }
+
+  /// Current nesting depth on the calling thread (0 = no open span).
+  static std::uint32_t current_depth();
+
+ private:
+  std::string name_;
+  std::string category_;
+  double start_us_;
+  std::uint32_t depth_;
+  bool active_;  // false when recording was off at construction
+};
+
+/// RAII timer that observes the scope's wall time (µs) into a histogram.
+/// Resolve the histogram once and reuse it in loops; the per-scope cost is
+/// two clock reads and one lock-free observe.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist);
+  /// Convenience: registry histogram `name` with the default time buckets.
+  ScopedTimer(MetricsRegistry& registry, const std::string& name);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;  // null when obs is disabled at construction
+  double start_us_ = 0.0;
+};
+
+}  // namespace lore::obs

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/obs/obs.hpp"
+
 namespace lore::os {
 
 RlDvfsGovernor::RlDvfsGovernor(std::size_t num_vf_levels, RlGovernorConfig cfg)
@@ -47,22 +49,39 @@ void RlDvfsGovernor::control(Platform& platform, const SystemStatus& status) {
     previous_.assign(n, {0, 1});
     has_previous_ = false;
   }
+  // Per-epoch instrumentation: the control loop is serial, so last-writer
+  // gauges are deterministic. Reward/temperature are aggregated over cores.
+  double reward_sum = 0.0;
+  double max_temp_k = 0.0;
+  std::size_t action_counts[3] = {0, 0, 0};
   for (std::size_t c = 0; c < n; ++c) {
+    max_temp_k = std::max(max_temp_k, status.core_temperature_k[c]);
     const std::size_t state =
         encode(status.core_temperature_k[c], status.core_utilization[c],
                platform.core(c).vf_index);
     if (has_previous_ && !frozen_) {
       const auto [prev_state, prev_action] = previous_[c];
-      learner_.update(prev_state, prev_action, reward(platform, status, c), state);
+      const double r = reward(platform, status, c);
+      reward_sum += r;
+      learner_.update(prev_state, prev_action, r, state);
     }
     const std::size_t action =
         frozen_ ? learner_.best_action(state) : learner_.select_action(state);
+    ++action_counts[action];
     std::size_t vf = platform.core(c).vf_index;
     if (action == 0 && vf > 0) --vf;
     else if (action == 2 && vf + 1 < num_vf_) ++vf;
     platform.set_vf(c, vf);
     previous_[c] = {state, action};
   }
+  LORE_OBS_COUNT("governor.control_epochs", 1);
+  LORE_OBS_COUNT("governor.actions.lower", action_counts[0]);
+  LORE_OBS_COUNT("governor.actions.hold", action_counts[1]);
+  LORE_OBS_COUNT("governor.actions.raise", action_counts[2]);
+  LORE_OBS_GAUGE("governor.temperature_k", max_temp_k);
+  LORE_OBS_GAUGE("governor.epsilon", learner_.epsilon());
+  if (has_previous_ && !frozen_ && n > 0)
+    LORE_OBS_GAUGE("governor.reward", reward_sum / static_cast<double>(n));
   has_previous_ = true;
 }
 
@@ -77,6 +96,8 @@ std::unique_ptr<RlDvfsGovernor> train_rl_governor(
     std::size_t episodes, RlGovernorConfig cfg) {
   auto governor = std::make_unique<RlDvfsGovernor>(platform.ladder().size(), cfg);
   for (std::size_t e = 0; e < episodes; ++e) {
+    LORE_OBS_SPAN(span, "os.governor.episode");
+    LORE_OBS_COUNT("governor.episodes", 1);
     SimConfig episode_cfg = sim_cfg;
     episode_cfg.seed = sim_cfg.seed + e;  // fresh fault realizations per episode
     SystemSimulator sim(platform, tasks, mapping, episode_cfg);

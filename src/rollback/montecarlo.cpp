@@ -6,6 +6,7 @@
 
 #include "src/common/parallel.hpp"
 #include "src/common/stats.hpp"
+#include "src/obs/obs.hpp"
 
 namespace lore::rollback {
 namespace {
@@ -40,6 +41,8 @@ double ExperimentResult::wall_position(SchedulerKind kind) const {
 ExperimentResult run_experiment(const ExperimentConfig& cfg,
                                 const std::vector<SchedulerKind>& schedulers) {
   assert(!schedulers.empty());
+  LORE_OBS_SPAN(span, "rollback.experiment");
+  LORE_OBS_TIMER(timer, "rollback.experiment_us");
   ExperimentResult result;
   result.segments = segment_adpcm_workload(cfg.segmentation);
 
@@ -52,6 +55,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
 
   for (std::size_t pi = 0; pi < cfg.error_probabilities.size(); ++pi) {
     const double p = cfg.error_probabilities[pi];
+    LORE_OBS_SPAN(point_span, "rollback.sweep_point");
+    LORE_OBS_TIMER(point_timer, "rollback.point_us");
+    LORE_OBS_COUNT("rollback.sweep_points", 1);
+    LORE_OBS_COUNT("rollback.mc_runs", cfg.runs_per_point);
     SweepPoint point;
     point.p = p;
 

@@ -1,0 +1,136 @@
+// JSON document model: dump/parse round-trips, escapes, and the metrics
+// snapshot round-trip through metrics_to_json / snapshot_from_json.
+#include "src/obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/obs/export.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace lore::obs {
+namespace {
+
+TEST(Json, BuildAndDumpCompact) {
+  Json doc = Json::object();
+  doc["name"] = "lore";
+  doc["count"] = 42;
+  doc["ratio"] = 0.5;
+  doc["ok"] = true;
+  doc["none"] = nullptr;
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  doc["list"] = std::move(arr);
+  EXPECT_EQ(doc.dump(),
+            R"({"name":"lore","count":42,"ratio":0.5,"ok":true,"none":null,"list":[1,"two"]})");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json doc = Json::object();
+  doc["zeta"] = 1;
+  doc["alpha"] = 2;
+  const auto& members = doc.members();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0].first, "zeta");
+  EXPECT_EQ(members[1].first, "alpha");
+}
+
+TEST(Json, ParseBasicDocument) {
+  const Json doc = Json::parse(R"({"a": [1, 2.5, -3], "b": {"c": "text"}, "d": false})");
+  EXPECT_EQ(doc.at("a").at(0).as_int(), 1);
+  EXPECT_DOUBLE_EQ(doc.at("a").at(1).as_double(), 2.5);
+  EXPECT_EQ(doc.at("a").at(2).as_int(), -3);
+  EXPECT_EQ(doc.at("b").at("c").as_string(), "text");
+  EXPECT_FALSE(doc.at("d").as_bool());
+}
+
+TEST(Json, RoundTripWithEscapes) {
+  Json doc = Json::object();
+  doc["s"] = "line1\nline2\t\"quoted\" back\\slash";
+  doc["ctrl"] = std::string("\x01\x02");
+  const std::string text = doc.dump(2);
+  const Json back = Json::parse(text);
+  EXPECT_EQ(back.at("s").as_string(), doc.at("s").as_string());
+  EXPECT_EQ(back.at("ctrl").as_string(), doc.at("ctrl").as_string());
+}
+
+TEST(Json, RoundTripDoublesExactly) {
+  Json doc = Json::array();
+  for (double v : {0.1, 1e-12, 3.141592653589793, -2.5e17, 1e300})
+    doc.push_back(v);
+  const Json back = Json::parse(doc.dump());
+  for (std::size_t i = 0; i < doc.size(); ++i)
+    EXPECT_DOUBLE_EQ(back.at(i).as_double(), doc.at(i).as_double());
+}
+
+TEST(Json, LargeIntegersStayIntegral) {
+  Json doc = Json::object();
+  doc["big"] = std::int64_t{4611686018427387905};  // > 2^53: would lose bits as double
+  const Json back = Json::parse(doc.dump());
+  EXPECT_EQ(back.at("big").as_int(), 4611686018427387905);
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]2"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), std::runtime_error);
+  EXPECT_THROW(Json::parse("nul"), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(Json, PrettyDumpParsesBack) {
+  Json doc = Json::object();
+  doc["nested"] = Json::object();
+  doc["nested"]["k"] = 7;
+  Json arr = Json::array();
+  arr.push_back(Json::object());
+  doc["arr"] = std::move(arr);
+  const Json back = Json::parse(doc.dump(4));
+  EXPECT_EQ(back.at("nested").at("k").as_int(), 7);
+  EXPECT_EQ(back.at("arr").size(), 1u);
+}
+
+// The acceptance-criteria round-trip: a populated registry snapshot survives
+// export -> dump -> parse -> import bit-for-bit (integers) / value-for-value
+// (doubles, shortest-round-trip formatting).
+TEST(Json, MetricsSnapshotRoundTrip) {
+  MetricsRegistry reg;
+  reg.counter("campaign.trials").add(12345);
+  reg.counter("campaign.outcome.sdc").add(67);
+  reg.gauge("governor.reward").set(-0.125);
+  Histogram& h = reg.histogram("lat_us", Histogram::exponential_bounds(1.0, 1e4, 9));
+  for (int i = 1; i <= 50; ++i) h.observe(static_cast<double>(i * i));
+
+  const Snapshot snap = reg.snapshot();
+  const Json doc = metrics_to_json(snap);
+  const Snapshot back = snapshot_from_json(Json::parse(doc.dump(2)));
+
+  ASSERT_EQ(back.counters.size(), snap.counters.size());
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    EXPECT_EQ(back.counters[i].first, snap.counters[i].first);
+    EXPECT_EQ(back.counters[i].second, snap.counters[i].second);
+  }
+  ASSERT_EQ(back.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.gauges[0].second, -0.125);
+  ASSERT_EQ(back.histograms.size(), 1u);
+  const auto& hb = back.histograms[0];
+  const auto& hs = snap.histograms[0];
+  EXPECT_EQ(hb.count, hs.count);
+  EXPECT_DOUBLE_EQ(hb.sum, hs.sum);
+  EXPECT_DOUBLE_EQ(hb.p50, hs.p50);
+  EXPECT_DOUBLE_EQ(hb.p95, hs.p95);
+  EXPECT_DOUBLE_EQ(hb.p99, hs.p99);
+  EXPECT_EQ(hb.buckets, hs.buckets);
+  ASSERT_EQ(hb.upper_bounds.size(), hs.upper_bounds.size());
+  for (std::size_t i = 0; i < hs.upper_bounds.size(); ++i)
+    EXPECT_DOUBLE_EQ(hb.upper_bounds[i], hs.upper_bounds[i]);
+}
+
+TEST(Json, RejectsWrongSchema) {
+  Json doc = Json::object();
+  doc["schema"] = "something.else";
+  EXPECT_THROW(snapshot_from_json(doc), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lore::obs

@@ -1,0 +1,143 @@
+// Registry + histogram correctness for the observability subsystem,
+// including percentile estimates against closed-form quantiles.
+#include "src/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lore::obs {
+namespace {
+
+TEST(Counter, AccumulatesAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, LastWriterWins) {
+  Gauge g;
+  g.set(1.5);
+  g.set(-3.25);
+  EXPECT_DOUBLE_EQ(g.value(), -3.25);
+}
+
+TEST(Histogram, CountsSumMinMax) {
+  Histogram h(Histogram::linear_bounds(0.0, 10.0, 11));
+  for (double v : {1.0, 2.0, 3.0, 9.5}) h.observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 9.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 15.5 / 4.0);
+}
+
+TEST(Histogram, OverflowBucketCatchesOutOfRange) {
+  Histogram h(Histogram::linear_bounds(0.0, 10.0, 11));
+  h.observe(1e9);
+  const auto buckets = h.bucket_counts();
+  EXPECT_EQ(buckets.size(), h.upper_bounds().size() + 1);
+  EXPECT_EQ(buckets.back(), 1u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// Uniform grid of samples: quantiles have the closed form q * range. With
+// bucket width 10 over [0, 1000], interpolation must land within one bucket
+// width of the exact quantile.
+TEST(Histogram, PercentilesMatchClosedFormUniform) {
+  Histogram h(Histogram::linear_bounds(0.0, 1000.0, 101));
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  const double bucket_width = 10.0;
+  EXPECT_NEAR(h.percentile(0.50), 500.0, bucket_width);
+  EXPECT_NEAR(h.percentile(0.95), 950.0, bucket_width);
+  EXPECT_NEAR(h.percentile(0.99), 990.0, bucket_width);
+  EXPECT_NEAR(h.percentile(0.0), 1.0, bucket_width);
+  EXPECT_NEAR(h.percentile(1.0), 1000.0, bucket_width);
+}
+
+// Point mass: every quantile must collapse to the single observed value.
+TEST(Histogram, PercentileOfPointMass) {
+  Histogram h(Histogram::exponential_bounds(1.0, 1e6, 20));
+  for (int i = 0; i < 100; ++i) h.observe(77.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 77.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 77.0);
+}
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  Histogram h(Histogram::linear_bounds(0.0, 1.0, 2));
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, BoundHelpersAreSortedAndCover) {
+  const auto exp = Histogram::exponential_bounds(1.0, 1e6, 13);
+  ASSERT_EQ(exp.size(), 13u);
+  EXPECT_DOUBLE_EQ(exp.front(), 1.0);
+  EXPECT_DOUBLE_EQ(exp.back(), 1e6);
+  for (std::size_t i = 1; i < exp.size(); ++i) EXPECT_GT(exp[i], exp[i - 1]);
+
+  const auto lin = Histogram::linear_bounds(-5.0, 5.0, 11);
+  ASSERT_EQ(lin.size(), 11u);
+  EXPECT_DOUBLE_EQ(lin.front(), -5.0);
+  EXPECT_DOUBLE_EQ(lin.back(), 5.0);
+  for (std::size_t i = 1; i < lin.size(); ++i) EXPECT_GT(lin[i], lin[i - 1]);
+}
+
+TEST(MetricsRegistry, ReturnsStableInstruments) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(reg.counter("x").value(), 3u);
+
+  Histogram& h1 = reg.histogram("lat", Histogram::linear_bounds(0.0, 1.0, 2));
+  Histogram& h2 = reg.histogram("lat");  // bounds of the first registration win
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.upper_bounds().size(), 2u);
+}
+
+TEST(MetricsRegistry, SnapshotSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("zeta").add(1);
+  reg.counter("alpha").add(2);
+  reg.gauge("mid").set(0.5);
+  reg.histogram("h").observe(10.0);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "zeta");
+  EXPECT_EQ(snap.counter_value("zeta"), 1u);
+  EXPECT_EQ(snap.counter_value("missing"), 0u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+}
+
+TEST(MetricsRegistry, ResetZeroesEverything) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  c.add(9);
+  reg.gauge("g").set(2.0);
+  reg.histogram("h").observe(5.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // cached reference still valid after reset
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("c"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 0.0);
+  EXPECT_EQ(snap.histograms[0].count, 0u);
+}
+
+TEST(Enabled, RuntimeToggle) {
+  const bool original = enabled();
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  set_enabled(true);
+  EXPECT_TRUE(enabled());
+  set_enabled(original);
+}
+
+}  // namespace
+}  // namespace lore::obs

@@ -1,0 +1,118 @@
+// Trace spans: nesting depth bookkeeping, recorder capture, Chrome trace
+// export shape, and the ScopedTimer -> histogram path.
+#include "src/obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/obs/export.hpp"
+#include "src/obs/json.hpp"
+
+namespace lore::obs {
+namespace {
+
+/// Tests drive the global recorder; save/restore its state around each case.
+class SpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_recording_ = TraceRecorder::global().recording();
+    TraceRecorder::global().clear();
+    TraceRecorder::global().set_enabled(true);
+  }
+  void TearDown() override {
+    TraceRecorder::global().clear();
+    TraceRecorder::global().set_enabled(was_recording_);
+  }
+  bool was_recording_ = false;
+};
+
+TEST_F(SpanTest, RecordsCompleteEventsWithNestingDepth) {
+  {
+    Span outer("outer");
+    EXPECT_EQ(Span::current_depth(), 1u);
+    {
+      Span inner("inner");
+      EXPECT_EQ(Span::current_depth(), 2u);
+    }
+    EXPECT_EQ(Span::current_depth(), 1u);
+  }
+  EXPECT_EQ(Span::current_depth(), 0u);
+
+  const auto events = TraceRecorder::global().events();
+  ASSERT_EQ(events.size(), 2u);  // inner closes first
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  EXPECT_GE(events[1].dur_us, events[0].dur_us);  // outer encloses inner
+  EXPECT_LE(events[1].start_us, events[0].start_us);
+}
+
+TEST_F(SpanTest, DisabledRecorderKeepsDepthButDropsEvents) {
+  TraceRecorder::global().set_enabled(false);
+  {
+    Span s("quiet");
+    EXPECT_EQ(Span::current_depth(), 1u);
+  }
+  EXPECT_EQ(TraceRecorder::global().event_count(), 0u);
+  EXPECT_EQ(Span::current_depth(), 0u);
+}
+
+TEST_F(SpanTest, ChromeTraceExportShape) {
+  { Span s("phase-1", "campaign"); }
+  { Span s("phase-2", "campaign"); }
+  const Json doc = chrome_trace_json(TraceRecorder::global().events());
+  ASSERT_TRUE(doc.has("traceEvents"));
+  const Json& list = doc.at("traceEvents");
+  ASSERT_EQ(list.size(), 2u);
+  const Json& ev = list.at(0);
+  EXPECT_EQ(ev.at("ph").as_string(), "X");
+  EXPECT_EQ(ev.at("cat").as_string(), "campaign");
+  EXPECT_EQ(ev.at("pid").as_int(), 1);
+  EXPECT_GE(ev.at("dur").as_double(), 0.0);
+  // The export must be parseable JSON end to end.
+  const Json back = Json::parse(doc.dump(2));
+  EXPECT_EQ(back.at("traceEvents").size(), 2u);
+}
+
+TEST_F(SpanTest, ElapsedGrowsMonotonically) {
+  Span s("timing");
+  const double first = s.elapsed_us();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(s.elapsed_us(), first);
+}
+
+TEST(ScopedTimerTest, FeedsHistogram) {
+  const bool original = enabled();
+  set_enabled(true);
+  Histogram h(Histogram::default_time_bounds_us());
+  { ScopedTimer t(h); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+  set_enabled(original);
+}
+
+TEST(ScopedTimerTest, DisabledObsSkipsObservation) {
+  const bool original = enabled();
+  set_enabled(false);
+  Histogram h(Histogram::default_time_bounds_us());
+  { ScopedTimer t(h); }
+  EXPECT_EQ(h.count(), 0u);
+  set_enabled(original);
+}
+
+TEST(ScopedTimerTest, RegistryConvenienceCreatesHistogram) {
+  const bool original = enabled();
+  set_enabled(true);
+  MetricsRegistry reg;
+  { ScopedTimer t(reg, "scope_us"); }
+  EXPECT_EQ(reg.snapshot().histograms.at(0).count, 1u);
+  set_enabled(original);
+}
+
+TEST(TraceRecorderTest, ThreadIdsAreDense) {
+  const auto id = TraceRecorder::thread_id();
+  EXPECT_EQ(TraceRecorder::thread_id(), id);  // stable within a thread
+}
+
+}  // namespace
+}  // namespace lore::obs
