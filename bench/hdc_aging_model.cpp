@@ -79,6 +79,70 @@ void report() {
       "hidden inside hypervectors.");
 }
 
+// End-to-end cost of the aging-mimicry pipeline on the packed engine vs the
+// retained scalar reference path (LORE_HDC_SCALAR mode: every kernel
+// round-trips through the original int8 loops).
+void packed_vs_scalar_report() {
+  bench::print_header(
+      "HDC aging model — packed engine vs scalar reference path (dim 8192)",
+      "Regressor fit (600 samples) and predict (200 queries) with the "
+      "word-parallel kernels vs LORE_HDC_SCALAR reference mode.");
+  const std::vector<std::pair<double, double>> ranges{
+      {0.6, 1.1}, {300.0, 400.0}, {0.05, 1.0}, {0.05, 2.0}, {-1.0, 1.3}};
+
+  lore::Rng rng(33);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  device::AgingModel foundry_model;
+  for (int i = 0; i < 600; ++i) {
+    device::StressCondition stress;
+    stress.vdd = rng.uniform(0.6, 1.1);
+    stress.temperature = rng.uniform(300.0, 400.0);
+    stress.duty_cycle = rng.uniform(0.05, 1.0);
+    stress.toggle_rate_ghz = rng.uniform(0.05, 2.0);
+    const double log_years = rng.uniform(-1.0, 1.3);
+    stress.years = std::pow(10.0, log_years);
+    x.push_back({stress.vdd, stress.temperature, stress.duty_cycle,
+                 stress.toggle_rate_ghz, log_years});
+    y.push_back(foundry_model.delta_vth(stress));
+  }
+
+  struct Run {
+    double fit_ms = 0.0, predict_ms = 0.0, checksum = 0.0;
+  };
+  auto run_mode = [&](bool scalar) {
+    ml::set_hdc_scalar_reference_mode(scalar);
+    Run r;
+    RecordEncoder encoder(ranges, RecordEncoderConfig{.dim = 8192, .levels = 48});
+    HdcRegressor hdc(&encoder, HdcRegressorConfig{.target_levels = 40, .threads = 1});
+    r.fit_ms = bench::timed_seconds([&] { hdc.fit(x, y); }) * 1e3;
+    r.predict_ms = bench::timed_seconds([&] {
+      for (int i = 0; i < 200; ++i) r.checksum += hdc.predict(x[static_cast<std::size_t>(i)]);
+    }) * 1e3;
+    return r;
+  };
+  const Run scalar = run_mode(true);
+  const Run packed = run_mode(false);
+  ml::set_hdc_scalar_reference_mode(false);
+
+  Table t({"stage", "scalar_ms", "packed_ms", "speedup", "bit_identical"});
+  const char* same = scalar.checksum == packed.checksum ? "yes" : "NO";
+  t.add_row({"fit (600 samples)", fmt_sig(scalar.fit_ms, 4), fmt_sig(packed.fit_ms, 4),
+             fmt_sig(scalar.fit_ms / packed.fit_ms, 3), "-"});
+  t.add_row({"predict (200 queries)", fmt_sig(scalar.predict_ms, 4),
+             fmt_sig(packed.predict_ms, 4),
+             fmt_sig(scalar.predict_ms / packed.predict_ms, 3), same});
+  bench::print_table(t);
+  bench::print_note(
+      "Reference mode pays pack/unpack on every kernel on top of the scalar "
+      "loops; it exists for differential testing, not production.");
+}
+
+void full_report() {
+  report();
+  packed_vs_scalar_report();
+}
+
 void BM_HdcAgingPredict(benchmark::State& state) {
   const std::vector<std::pair<double, double>> ranges{
       {0.6, 1.1}, {300.0, 400.0}, {0.05, 1.0}, {0.05, 2.0}, {-1.0, 1.3}};
@@ -100,4 +164,4 @@ BENCHMARK(BM_FoundryModel);
 
 }  // namespace
 
-LORE_BENCH_MAIN(report)
+LORE_BENCH_MAIN(full_report)

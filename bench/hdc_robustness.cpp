@@ -8,6 +8,7 @@
 #include "bench/bench_util.hpp"
 #include "src/common/rng.hpp"
 #include "src/ml/hdc.hpp"
+#include "src/ml/hdc_ref.hpp"
 #include "src/ml/mlp.hpp"
 
 namespace {
@@ -82,6 +83,103 @@ void report() {
       "percent to a few percent), while the corrupted MLP degrades far more.");
 }
 
+/// ns/op of `fn` over `iters` calls (a DoNotOptimize sink defeats DCE).
+template <typename Fn>
+double ns_per_op(std::size_t iters, Fn&& fn) {
+  const double secs = bench::timed_seconds([&] {
+    for (std::size_t i = 0; i < iters; ++i) benchmark::DoNotOptimize(fn());
+  });
+  return secs * 1e9 / static_cast<double>(iters);
+}
+
+// The microbench table behind the packed engine: the same kernel on the
+// original one-int8-per-component representation (src/ml/hdc_ref) vs the
+// word-parallel path, at the production dim of the robustness experiment.
+void kernel_speedup_report() {
+  bench::print_header(
+      "HDC packed vs scalar kernels (dim 4096)",
+      "Scalar = original int8-per-component loops (retained reference); "
+      "packed = uint64 word-parallel (bind: XOR, hamming: XOR+popcount, "
+      "permute: rotate w/ carry, bundle: carry-save bit-plane counters).");
+  const std::size_t dim = 4096;
+  lore::Rng rng(61);
+  const auto ua = hdcref::random(dim, rng);
+  const auto ub = hdcref::random(dim, rng);
+  const auto pa = Hypervector::pack(ua), pb = Hypervector::pack(ub);
+
+  Table t({"kernel", "scalar_ns", "packed_ns", "speedup"});
+  auto add_row = [&](const char* kernel, double scalar_ns, double packed_ns) {
+    t.add_row({kernel, fmt_sig(scalar_ns, 4), fmt_sig(packed_ns, 4),
+               fmt_sig(scalar_ns / packed_ns, 3)});
+  };
+
+  add_row("bind", ns_per_op(20000, [&] { return hdcref::bind(ua, ub); }),
+          ns_per_op(400000, [&] { return pa.bind(pb); }));
+  add_row("hamming", ns_per_op(20000, [&] { return hdcref::hamming(ua, ub); }),
+          ns_per_op(400000, [&] { return pa.hamming(pb); }));
+  add_row("similarity", ns_per_op(20000, [&] { return hdcref::similarity(ua, ub); }),
+          ns_per_op(400000, [&] { return pa.similarity(pb); }));
+  add_row("permute", ns_per_op(20000, [&] { return hdcref::permute(ua, 129); }),
+          ns_per_op(400000, [&] { return pa.permute(129); }));
+  {
+    std::vector<std::int32_t> ref_sums(dim, 0);
+    Accumulator acc(dim);
+    add_row("accumulate",
+            ns_per_op(20000, [&] {
+              hdcref::accumulate(ref_sums, ua, 1);
+              return ref_sums[0];
+            }),
+            ns_per_op(100000, [&] {
+              acc.add(pa);
+              return acc.count();
+            }));
+  }
+  bench::print_table(t);
+  bench::print_note(
+      "Expected: >= 8x on bind/hamming at dim 4096 (acceptance floor); XOR + "
+      "popcount over 64 words typically lands well above that.");
+}
+
+// predict_batch thread scaling (the PR-1 contract: identical outputs for any
+// team size, wall-clock drops with threads).
+void batch_predict_scaling_report() {
+  bench::print_header(
+      "HDC batch predict — thread scaling (dim 4096, 20% component errors)",
+      "predict_batch over the full 600-query robustness dataset; per-query "
+      "noise streams are trial-seeded, so every team size returns the same "
+      "predictions.");
+  Problem problem(14);
+  RecordEncoder encoder(
+      std::vector<std::pair<double, double>>(problem.features, {0.0, 1.0}),
+      RecordEncoderConfig{.dim = 4096, .levels = 24});
+  std::vector<int> baseline;
+  double t1 = 0.0;
+  Table t({"threads", "batch_ms", "speedup_vs_1t", "identical_to_1t"});
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    HdcClassifier hdc(&encoder, HdcClassifierConfig{.threads = threads});
+    hdc.fit(problem.x, problem.y);
+    std::vector<int> preds;
+    const double secs = bench::timed_seconds(
+        [&] { preds = hdc.predict_batch(problem.x, 0.2, /*noise_seed=*/15); });
+    if (threads == 1) {
+      baseline = preds;
+      t1 = secs;
+    }
+    t.add_row({std::to_string(threads), fmt_sig(secs * 1e3, 4),
+               fmt_sig(t1 / secs, 3), preds == baseline ? "yes" : "NO"});
+  }
+  bench::print_table(t);
+  bench::print_note(
+      "Wall-clock scaling tracks the cores actually available; the invariance "
+      "column is the contract — every team size must predict identically.");
+}
+
+void full_report() {
+  report();
+  kernel_speedup_report();
+  batch_predict_scaling_report();
+}
+
 void BM_HdcEncode(benchmark::State& state) {
   Problem problem(12);
   RecordEncoder encoder(
@@ -104,4 +202,4 @@ BENCHMARK(BM_HdcPredict)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-LORE_BENCH_MAIN(report)
+LORE_BENCH_MAIN(full_report)

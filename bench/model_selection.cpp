@@ -66,6 +66,52 @@ void report() {
       "system designer would consult before deploying a resilience model.");
 }
 
+/// The textbook i-j-k ordering (strided column walk over the RHS) — the
+/// baseline Matrix::matmul's cache-friendly i-k-j loop is measured against.
+ml::Matrix matmul_ijk(const ml::Matrix& a, const ml::Matrix& b) {
+  ml::Matrix out(a.rows(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += a(r, k) * b(k, c);
+      out(r, c) = s;
+    }
+  return out;
+}
+
+void matmul_timing_report() {
+  bench::print_header(
+      "Matrix::matmul loop order (serial, square n x n)",
+      "Library i-k-j ordering (unit-stride inner axpy from src/common/kernels) "
+      "vs the naive i-j-k column walk.");
+  Table t({"n", "ijk_ms", "ikj_ms", "speedup"});
+  lore::Rng rng(89);
+  for (const std::size_t n : {64u, 128u, 256u, 384u}) {
+    ml::Matrix a(n, n), b(n, n);
+    for (auto& v : a.flat()) v = rng.normal();
+    for (auto& v : b.flat()) v = rng.normal();
+    const std::size_t reps = std::max<std::size_t>(1, 96 / (n / 64));
+    double sink = 0.0;
+    const double naive_ms = bench::timed_seconds([&] {
+                              for (std::size_t i = 0; i < reps; ++i)
+                                sink += matmul_ijk(a, b)(0, 0);
+                            }) * 1e3 / static_cast<double>(reps);
+    const double ikj_ms = bench::timed_seconds([&] {
+                            for (std::size_t i = 0; i < reps; ++i)
+                              sink += a.matmul(b)(0, 0);
+                          }) * 1e3 / static_cast<double>(reps);
+    benchmark::DoNotOptimize(sink);
+    t.add_row({std::to_string(n), fmt_sig(naive_ms, 4), fmt_sig(ikj_ms, 4),
+               fmt_sig(naive_ms / ikj_ms, 3)});
+  }
+  bench::print_table(t);
+}
+
+void full_report() {
+  report();
+  matmul_timing_report();
+}
+
 void BM_FiveFoldCv(benchmark::State& state) {
   const auto data = register_dataset();
   for (auto _ : state) {
@@ -78,4 +124,4 @@ BENCHMARK(BM_FiveFoldCv)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-LORE_BENCH_MAIN(report)
+LORE_BENCH_MAIN(full_report)

@@ -11,9 +11,13 @@ be diffed as the repo's perf trajectory.
 
 Usage:
   scripts/bench_report.py [DIR_OR_FILE ...]
+  scripts/bench_report.py --diff OLD NEW
 
 With no arguments, scans $LORE_BENCH_DIR (or the current directory) for
-BENCH_*.json. Only the Python standard library is used.
+BENCH_*.json. `--diff` takes two runs (directories or single artifacts),
+matches tables by (bench, section), and prints per-cell ratios for every
+numeric column — speedup deltas for timing tables, drift for accuracy
+tables. Only the Python standard library is used.
 """
 
 import json
@@ -103,8 +107,85 @@ def report(paths):
     return "\n".join(out), seen
 
 
+def _to_float(cell):
+    try:
+        return float(cell)
+    except (TypeError, ValueError):
+        return None
+
+
+def load_run(arg):
+    """Map (bench, section) -> table for one run (a directory or one file)."""
+    tables = {}
+    for path in find_artifacts([arg]):
+        try:
+            doc = load_artifact(path)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"bench_report: skipping {path}: {e}", file=sys.stderr)
+            continue
+        for table in doc.get("tables", []):
+            tables[(doc.get("bench", ""), table.get("section", ""))] = table
+    return tables
+
+
+def diff_tables(old, new):
+    """Per-cell new/old ratios for every numeric column of matching tables.
+
+    Rows are matched positionally and must agree on their first (label)
+    column; a ratio > 1 means the value grew — for an `*_ns`/`*_ms` column
+    that is a slowdown, so timing columns are annotated with the inverted
+    ratio (the speedup of NEW over OLD) instead.
+    """
+    out = []
+    for key in sorted(set(old) & set(new)):
+        told, tnew = old[key], new[key]
+        if told.get("headers") != tnew.get("headers"):
+            out.append(f"-- {key[0]}: {key[1]}: headers changed, skipping")
+            continue
+        headers = told.get("headers", [])
+        timing = [h.endswith(("_ns", "_us", "_ms", "_s")) and not h.endswith("per_s")
+                  for h in headers]
+        rows = []
+        for rold, rnew in zip(told.get("rows", []), tnew.get("rows", [])):
+            if rold[:1] != rnew[:1]:
+                continue
+            cells = [str(rnew[0])]
+            for c, (a, b) in enumerate(zip(rold[1:], rnew[1:]), start=1):
+                fa, fb = _to_float(a), _to_float(b)
+                if fa is None or fb is None or fa == 0.0 or fb == 0.0:
+                    cells.append("-" if a == b else f"{a}->{b}")
+                elif timing[c]:
+                    cells.append(f"{fa / fb:.3g}x faster" if fa >= fb
+                                 else f"{fb / fa:.3g}x slower")
+                else:
+                    cells.append(f"{fb / fa:.3g}x")
+            rows.append(cells)
+        out.append(f"-- {key[0]}: {key[1]}")
+        out.append(render_table(headers, rows))
+        out.append("")
+    missing = sorted(set(old) - set(new))
+    added = sorted(set(new) - set(old))
+    for key in missing:
+        out.append(f"-- only in OLD: {key[0]}: {key[1]}")
+    for key in added:
+        out.append(f"-- only in NEW: {key[0]}: {key[1]}")
+    out.append(f"bench_report: diffed {len(set(old) & set(new))} table(s)")
+    return "\n".join(out)
+
+
 def main():
-    paths = find_artifacts(sys.argv[1:])
+    argv = sys.argv[1:]
+    if argv[:1] == ["--diff"]:
+        if len(argv) != 3:
+            print("usage: bench_report.py --diff OLD NEW", file=sys.stderr)
+            return 2
+        old, new = load_run(argv[1]), load_run(argv[2])
+        if not old or not new:
+            print("bench_report: no artifacts in one of the runs", file=sys.stderr)
+            return 1
+        print(diff_tables(old, new))
+        return 0
+    paths = find_artifacts(argv)
     if not paths:
         print("bench_report: no BENCH_*.json artifacts found", file=sys.stderr)
         return 1

@@ -1,0 +1,192 @@
+// Shared low-level compute kernels.
+//
+// One header for the innermost loops the whole repo leans on, so every user
+// (dense ML in `src/ml/matrix`, the bit-packed HDC engine in `src/ml/hdc`,
+// future bitwise fault masks) pulls the same implementation:
+//
+//   * dense float kernels: `dot`, `axpy`, `l2_distance` — deliberately plain
+//     sequential accumulation so results stay bit-identical across call sites
+//     and refactors (no reassociation, no FMA contract surprises);
+//   * bit kernels over little-endian `uint64_t` word arrays: popcounts,
+//     XOR/XNOR combines, and a dim-bit rotate with carry — the packed
+//     hypervector primitives (bind = XOR, Hamming = XOR + popcount,
+//     permute = rotate).
+//
+// Bit layout convention: component `i` of a `dim`-bit vector lives in word
+// `i / 64`, bit `i % 64`. Words past `dim` bits (the tail) must be kept zero
+// by callers; `tail_mask` is the canonical mask for re-establishing that
+// invariant after a shifting operation.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lore::kernels {
+
+// ---------------------------------------------------------------------------
+// Dense float kernels.
+
+/// Dot product of equal-length spans (sequential accumulation).
+inline double dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// In-place a += s * b.
+inline void axpy(std::span<double> a, double s, std::span<const double> b) {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
+}
+
+/// Squared Euclidean distance (callers take the sqrt when they need it).
+inline double l2_distance_sq(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Bit kernels (little-endian uint64_t word arrays).
+
+inline constexpr std::size_t kWordBits = 64;
+
+/// Number of 64-bit words needed to hold `bits` bits.
+constexpr std::size_t word_count(std::size_t bits) {
+  return (bits + kWordBits - 1) / kWordBits;
+}
+
+/// Mask of the valid bits in the last word of a `bits`-bit vector
+/// (all-ones when `bits` is a multiple of 64). `bits` must be > 0.
+constexpr std::uint64_t tail_mask(std::size_t bits) {
+  const std::size_t rem = bits % kWordBits;
+  return rem == 0 ? ~0ULL : (~0ULL >> (kWordBits - rem));
+}
+
+/// Total population count of a word array.
+inline std::size_t popcount_words(std::span<const std::uint64_t> w) {
+  std::size_t n = 0;
+  for (const std::uint64_t x : w) n += static_cast<std::size_t>(std::popcount(x));
+  return n;
+}
+
+/// popcount(a XOR b) — the Hamming distance of two packed bit vectors
+/// (both tails must be zero so the tail contributes nothing).
+inline std::size_t xor_popcount(std::span<const std::uint64_t> a,
+                                std::span<const std::uint64_t> b) {
+  assert(a.size() == b.size());
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    n += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  return n;
+}
+
+/// out = a XOR b, word-parallel.
+inline void xor_words(std::span<std::uint64_t> out, std::span<const std::uint64_t> a,
+                      std::span<const std::uint64_t> b) {
+  assert(out.size() == a.size() && a.size() == b.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a[i] ^ b[i];
+}
+
+/// out |= in << k over a multi-word array (k < 64 * in.size()); bits shifted
+/// past the top are dropped, vacated low bits are left untouched.
+inline void or_shifted_left(std::span<std::uint64_t> out,
+                            std::span<const std::uint64_t> in, std::size_t k) {
+  assert(out.size() == in.size());
+  const std::size_t ws = k / kWordBits, bs = k % kWordBits;
+  for (std::size_t j = out.size(); j-- > ws;) {
+    std::uint64_t v = in[j - ws] << bs;
+    if (bs != 0 && j >= ws + 1) v |= in[j - ws - 1] >> (kWordBits - bs);
+    out[j] |= v;
+  }
+}
+
+/// out |= in >> k over a multi-word array (k < 64 * in.size()).
+inline void or_shifted_right(std::span<std::uint64_t> out,
+                             std::span<const std::uint64_t> in, std::size_t k) {
+  assert(out.size() == in.size());
+  const std::size_t ws = k / kWordBits, bs = k % kWordBits;
+  for (std::size_t j = 0; j + ws < out.size(); ++j) {
+    std::uint64_t v = in[j + ws] >> bs;
+    if (bs != 0 && j + ws + 1 < in.size()) v |= in[j + ws + 1] << (kWordBits - bs);
+    out[j] |= v;
+  }
+}
+
+namespace detail {
+/// lut[byte][b] = byte bit b set ? -1 : +1, for block-unpacking sign words.
+inline constexpr auto kSignLut = [] {
+  struct Table {
+    std::int8_t v[256][8];
+  } t{};
+  for (int byte = 0; byte < 256; ++byte)
+    for (int b = 0; b < 8; ++b)
+      t.v[byte][b] = (byte >> b) & 1 ? std::int8_t{-1} : std::int8_t{1};
+  return t;
+}();
+}  // namespace detail
+
+/// Expand one packed sign word into 64 ±1 int8 components (bit set = -1).
+inline void unpack_sign_word(std::int8_t out[64], std::uint64_t word) {
+  for (std::size_t byte = 0; byte < 8; ++byte) {
+    const auto& row = detail::kSignLut.v[(word >> (8 * byte)) & 0xff];
+    for (std::size_t b = 0; b < 8; ++b) out[8 * byte + b] = row[b];
+  }
+}
+
+/// Carry-save ripple add of one bit vector into a stack of bit-plane
+/// counters: per component i, the count held across planes (Σ_p plane_p[i]
+/// << p) grows by `v[i] << shift`. Planes are appended as carries overflow
+/// the stack; `scratch` is caller-provided carry storage (resized here) so
+/// hot loops can amortize the allocation. Word-parallel: each pass is one
+/// XOR + AND over the word array, and the loop ends as soon as the carry
+/// dies, so an N-add sequence costs O(words) amortized per add (binary
+/// counter increment argument), not O(components).
+inline void ripple_add_planes(std::vector<std::vector<std::uint64_t>>& planes,
+                              std::span<const std::uint64_t> v, std::size_t shift,
+                              std::vector<std::uint64_t>& scratch) {
+  scratch.assign(v.begin(), v.end());
+  for (std::size_t idx = shift; true; ++idx) {
+    while (idx >= planes.size()) planes.emplace_back(v.size(), 0);
+    auto& plane = planes[idx];
+    std::uint64_t alive = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const std::uint64_t carry = scratch[i];
+      scratch[i] = plane[i] & carry;
+      plane[i] ^= carry;
+      alive |= scratch[i];
+    }
+    if (alive == 0) return;
+  }
+}
+
+/// Rotate a `dim`-bit vector left by `k`: result bit (i + k) mod dim = input
+/// bit i. Word-level shifts with carry across word boundaries; the tail of
+/// `out` is re-masked so the zero-tail invariant holds. `in` must have a zero
+/// tail and `out` must not alias `in`.
+inline void rotate_left_bits(std::span<std::uint64_t> out,
+                             std::span<const std::uint64_t> in, std::size_t dim,
+                             std::size_t k) {
+  assert(out.size() == in.size() && in.size() == word_count(dim));
+  if (dim == 0) return;
+  k %= dim;
+  for (auto& w : out) w = 0;
+  if (k == 0) {
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i];
+    return;
+  }
+  or_shifted_left(out, in, k);        // input bits [0, dim-k) -> output [k, dim)
+  or_shifted_right(out, in, dim - k); // input bits [dim-k, dim) wrap to [0, k)
+  out[out.size() - 1] &= tail_mask(dim);
+}
+
+}  // namespace lore::kernels

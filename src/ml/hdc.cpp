@@ -1,38 +1,111 @@
 #include "src/ml/hdc.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+
+#include "src/common/parallel.hpp"
+#include "src/ml/hdc_ref.hpp"
+#include "src/obs/obs.hpp"
 
 namespace lore::ml {
 
+namespace {
+
+bool scalar_mode_default() {
+#ifdef LORE_HDC_SCALAR_DEFAULT
+  constexpr bool build_default = true;
+#else
+  constexpr bool build_default = false;
+#endif
+  if (const char* env = std::getenv("LORE_HDC_SCALAR"))
+    return !(env[0] == '\0' || (env[0] == '0' && env[1] == '\0'));
+  return build_default;
+}
+
+std::atomic<bool>& scalar_mode_flag() {
+  static std::atomic<bool> flag{scalar_mode_default()};
+  return flag;
+}
+
+}  // namespace
+
+bool hdc_scalar_reference_mode() {
+  return scalar_mode_flag().load(std::memory_order_relaxed);
+}
+
+void set_hdc_scalar_reference_mode(bool on) {
+  scalar_mode_flag().store(on, std::memory_order_relaxed);
+}
+
 Hypervector Hypervector::random(std::size_t dim, lore::Rng& rng) {
+  // One bernoulli(0.5) per component in index order — the exact RNG stream
+  // of the scalar reference, so packed and scalar agree bit-for-bit.
+  if (hdc_scalar_reference_mode()) return pack(hdcref::random(dim, rng));
   Hypervector hv(dim);
-  for (std::size_t i = 0; i < dim; ++i) hv.v_[i] = rng.bernoulli(0.5) ? 1 : -1;
+  for (std::size_t w = 0; w < hv.words_.size(); ++w) {
+    const std::size_t block =
+        std::min<std::size_t>(kernels::kWordBits, dim - w * kernels::kWordBits);
+    std::uint64_t word = 0;
+    for (std::size_t b = 0; b < block; ++b)
+      if (!rng.bernoulli(0.5)) word |= 1ULL << b;  // bernoulli true -> +1 -> clear
+    hv.words_[w] = word;
+  }
   return hv;
+}
+
+Hypervector Hypervector::pack(std::span<const std::int8_t> components) {
+  Hypervector hv(components.size());
+  for (std::size_t i = 0; i < components.size(); ++i)
+    if (components[i] < 0)
+      hv.words_[i / kernels::kWordBits] |= 1ULL << (i % kernels::kWordBits);
+  return hv;
+}
+
+std::vector<std::int8_t> Hypervector::unpack() const {
+  std::vector<std::int8_t> out(dim_);
+  const std::size_t full = dim_ / kernels::kWordBits;
+  for (std::size_t w = 0; w < full; ++w)
+    kernels::unpack_sign_word(&out[w * kernels::kWordBits], words_[w]);
+  if (const std::size_t rem = dim_ % kernels::kWordBits; rem != 0) {
+    std::int8_t tail[kernels::kWordBits];
+    kernels::unpack_sign_word(tail, words_[full]);
+    std::copy_n(tail, rem, &out[full * kernels::kWordBits]);
+  }
+  return out;
 }
 
 Hypervector Hypervector::bind(const Hypervector& other) const {
   assert(dim() == other.dim());
-  Hypervector out(dim());
-  for (std::size_t i = 0; i < dim(); ++i)
-    out.v_[i] = static_cast<std::int8_t>(v_[i] * other.v_[i]);
+  if (hdc_scalar_reference_mode())
+    return pack(hdcref::bind(unpack(), other.unpack()));
+  Hypervector out(dim_);
+  kernels::xor_words(out.words_, words_, other.words_);
   return out;
 }
 
 Hypervector Hypervector::permute(std::size_t k) const {
-  Hypervector out(dim());
-  if (dim() == 0) return out;
-  k %= dim();
-  for (std::size_t i = 0; i < dim(); ++i) out.v_[(i + k) % dim()] = v_[i];
+  if (dim_ == 0) return Hypervector(0);
+  if (hdc_scalar_reference_mode()) return pack(hdcref::permute(unpack(), k));
+  Hypervector out(dim_);
+  kernels::rotate_left_bits(out.words_, words_, dim_, k);
   return out;
 }
 
 double Hypervector::similarity(const Hypervector& other) const {
   assert(dim() == other.dim() && dim() > 0);
-  std::int64_t s = 0;
-  for (std::size_t i = 0; i < dim(); ++i) s += v_[i] * other.v_[i];
-  return static_cast<double>(s) / static_cast<double>(dim());
+  LORE_OBS_COUNT("hdc.similarity_ops", 1);
+  if (hdc_scalar_reference_mode())
+    return hdcref::similarity(unpack(), other.unpack());
+  // Differing sign bits contribute -1 to the dot product, agreeing bits +1:
+  // dot = dim - 2 * popcount(a XOR b). The division matches the scalar
+  // reference expression exactly, so the double result is bit-identical.
+  const auto h = static_cast<std::int64_t>(kernels::xor_popcount(words_, other.words_));
+  const std::int64_t s = static_cast<std::int64_t>(dim_) - 2 * h;
+  return static_cast<double>(s) / static_cast<double>(dim_);
 }
 
 double Hypervector::hamming(const Hypervector& other) const {
@@ -40,27 +113,81 @@ double Hypervector::hamming(const Hypervector& other) const {
 }
 
 Hypervector Hypervector::with_component_errors(double p, lore::Rng& rng) const {
+  if (hdc_scalar_reference_mode()) {
+    auto out = hdcref::with_component_errors(unpack(), p, rng);
+    return pack(out);
+  }
   Hypervector out = *this;
   if (p <= 0.0) return out;
-  for (std::size_t i = 0; i < dim(); ++i)
-    if (rng.bernoulli(p)) out.v_[i] = static_cast<std::int8_t>(-out.v_[i]);
+  std::uint64_t flips = 0;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (rng.bernoulli(p)) {
+      out.words_[i / kernels::kWordBits] ^= 1ULL << (i % kernels::kWordBits);
+      ++flips;
+    }
+  }
+  LORE_OBS_COUNT("hdc.component_flips", flips);
   return out;
 }
 
 void Accumulator::add(const Hypervector& hv) { add_weighted(hv, 1); }
 
 void Accumulator::add_weighted(const Hypervector& hv, int weight) {
-  assert(hv.dim() == sums_.size());
-  for (std::size_t i = 0; i < sums_.size(); ++i) sums_[i] += weight * hv[i];
+  assert(hv.dim() == dim_);
+  dirty_ = true;
   ++count_;
+  if (hdc_scalar_reference_mode()) {
+    hdcref::accumulate(scalar_sums_, hv.unpack(), weight);
+    return;
+  }
+  packed_weight_total_ += weight;
+  if (weight == 0) return;
+  // Carry-save bundle: each set bit of |weight| ripples the sign words into
+  // the matching plane of the counter stack — word-parallel XOR/AND passes
+  // instead of `dim` integer adds.
+  auto& planes = weight > 0 ? pos_planes_ : neg_planes_;
+  const auto mag = static_cast<std::uint64_t>(std::abs(static_cast<std::int64_t>(weight)));
+  for (std::size_t bit = 0; mag >> bit != 0; ++bit)
+    if ((mag >> bit) & 1)
+      kernels::ripple_add_planes(planes, hv.words(), bit, carry_scratch_);
+}
+
+void Accumulator::materialize() const {
+  if (!dirty_) return;
+  // sum[i] = scalar-mode adds + Σw_packed − 2·(pos_count[i] − neg_count[i]),
+  // where the counts are read off the bit planes (bit at plane p ⇒ 2^p).
+  sums_cache_ = scalar_sums_;
+  const std::size_t nwords = kernels::word_count(dim_);
+  std::int64_t delta[kernels::kWordBits];
+  for (std::size_t w = 0; w < nwords; ++w) {
+    for (auto& d : delta) d = packed_weight_total_;
+    for (std::size_t p = 0; p < pos_planes_.size(); ++p)
+      for (std::uint64_t bits = pos_planes_[p][w]; bits != 0; bits &= bits - 1)
+        delta[std::countr_zero(bits)] -= std::int64_t{2} << p;
+    for (std::size_t p = 0; p < neg_planes_.size(); ++p)
+      for (std::uint64_t bits = neg_planes_[p][w]; bits != 0; bits &= bits - 1)
+        delta[std::countr_zero(bits)] += std::int64_t{2} << p;
+    const std::size_t base = w * kernels::kWordBits;
+    const std::size_t n = std::min<std::size_t>(kernels::kWordBits, dim_ - base);
+    for (std::size_t b = 0; b < n; ++b)
+      sums_cache_[base + b] += static_cast<std::int32_t>(delta[b]);
+  }
+  dirty_ = false;
+}
+
+std::span<const std::int32_t> Accumulator::sums() const {
+  materialize();
+  return sums_cache_;
 }
 
 Hypervector Accumulator::to_hypervector(lore::Rng* rng) const {
-  Hypervector out(sums_.size());
-  for (std::size_t i = 0; i < sums_.size(); ++i) {
-    if (sums_[i] > 0) out[i] = 1;
-    else if (sums_[i] < 0) out[i] = -1;
-    else out[i] = (rng && rng->bernoulli(0.5)) ? 1 : -1;
+  materialize();
+  if (hdc_scalar_reference_mode())
+    return Hypervector::pack(hdcref::threshold(sums_cache_, rng));
+  Hypervector out(dim_);  // starts all +1 (bits clear)
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (sums_cache_[i] < 0) out.set(i, -1);
+    else if (sums_cache_[i] == 0 && !(rng && rng->bernoulli(0.5))) out.set(i, -1);
   }
   return out;
 }
@@ -126,6 +253,7 @@ RecordEncoder::RecordEncoder(std::vector<std::pair<double, double>> ranges, Conf
 
 Hypervector RecordEncoder::encode(std::span<const double> features) const {
   assert(features.size() == per_feature_.size());
+  LORE_OBS_COUNT("hdc.encodes", 1);
   Accumulator acc(cfg_.dim);
   for (std::size_t f = 0; f < features.size(); ++f)
     acc.add(feature_ids_[f].bind(per_feature_[f].encode(features[f])));
@@ -138,9 +266,11 @@ void HdcClassifier::fit(const std::vector<std::vector<double>>& x, std::span<con
   std::size_t num_classes = 0;
   for (int label : y) num_classes = std::max<std::size_t>(num_classes, static_cast<std::size_t>(label) + 1);
 
-  std::vector<Hypervector> encoded;
-  encoded.reserve(x.size());
-  for (const auto& row : x) encoded.push_back(encoder_->encode(row));
+  // Encoding is a pure function of the row, so rows fan out across the team;
+  // each writes its own slot, keeping the result thread-count-invariant.
+  std::vector<Hypervector> encoded(x.size());
+  lore::parallel_for(x.size(), cfg_.threads,
+                     [&](std::size_t i) { encoded[i] = encoder_->encode(x[i]); });
 
   std::vector<Accumulator> acc(num_classes, Accumulator(encoder_->dim()));
   for (std::size_t i = 0; i < x.size(); ++i)
@@ -151,18 +281,23 @@ void HdcClassifier::fit(const std::vector<std::vector<double>>& x, std::span<con
   for (auto& a : acc) prototypes_.push_back(a.to_hypervector(&rng));
 
   // Perceptron-style retraining: move prototypes toward mispredicted samples.
+  // Predictions within a pass only read the prototypes fixed at pass start,
+  // so the per-sample predicts run in parallel; the accumulator update stays
+  // serial and in sample order (bit-identical for any thread count).
+  std::vector<int> preds(x.size());
   for (std::size_t pass = 0; pass < cfg_.retrain_passes; ++pass) {
+    lore::parallel_for(x.size(), cfg_.threads,
+                       [&](std::size_t i) { preds[i] = predict_encoded(encoded[i]); });
     std::vector<Accumulator> adj(num_classes, Accumulator(encoder_->dim()));
     bool any_error = false;
     // Start accumulators at scaled prototypes so corrections shift, not replace.
     for (std::size_t c = 0; c < num_classes; ++c)
       adj[c].add_weighted(prototypes_[c], static_cast<int>(x.size() / num_classes + 1));
     for (std::size_t i = 0; i < x.size(); ++i) {
-      const int pred = predict_encoded(encoded[i]);
-      if (pred != y[i]) {
+      if (preds[i] != y[i]) {
         any_error = true;
         adj[static_cast<std::size_t>(y[i])].add_weighted(encoded[i], 1);
-        adj[static_cast<std::size_t>(pred)].add_weighted(encoded[i], -1);
+        adj[static_cast<std::size_t>(preds[i])].add_weighted(encoded[i], -1);
       }
     }
     if (!any_error) break;
@@ -194,11 +329,24 @@ int HdcClassifier::predict(std::span<const double> x, double error_rate,
   return predict_encoded(q);
 }
 
+std::vector<int> HdcClassifier::predict_batch(const std::vector<std::vector<double>>& x,
+                                              double error_rate,
+                                              std::uint64_t noise_seed) const {
+  return lore::parallel_trials<int>(
+      x.size(), noise_seed, cfg_.threads, [&](std::size_t i, lore::Rng& rng) {
+        return predict(x[i], error_rate, error_rate > 0.0 ? &rng : nullptr);
+      });
+}
+
 void HdcRegressor::fit(const std::vector<std::vector<double>>& x, std::span<const double> y) {
   assert(x.size() == y.size() && !x.empty());
   y_lo_ = *std::min_element(y.begin(), y.end());
   y_hi_ = *std::max_element(y.begin(), y.end());
   if (y_hi_ - y_lo_ < 1e-12) y_hi_ = y_lo_ + 1e-12;
+
+  std::vector<Hypervector> encoded(x.size());
+  lore::parallel_for(x.size(), cfg_.threads,
+                     [&](std::size_t i) { encoded[i] = encoder_->encode(x[i]); });
 
   const std::size_t levels = cfg_.target_levels;
   std::vector<Accumulator> acc(levels, Accumulator(encoder_->dim()));
@@ -207,7 +355,7 @@ void HdcRegressor::fit(const std::vector<std::vector<double>>& x, std::span<cons
     const double t = (y[i] - y_lo_) / (y_hi_ - y_lo_);
     auto l = static_cast<std::size_t>(std::min(t * static_cast<double>(levels),
                                                static_cast<double>(levels) - 1.0));
-    acc[l].add(encoder_->encode(x[i]));
+    acc[l].add(encoded[i]);
     level_present_[l] = true;
   }
   lore::Rng rng(cfg_.seed);
@@ -241,6 +389,15 @@ double HdcRegressor::predict(std::span<const double> x, double error_rate,
     vsum += w * (y_lo_ + (static_cast<double>(l) + 0.5) * step);
   }
   return vsum / wsum;
+}
+
+std::vector<double> HdcRegressor::predict_batch(const std::vector<std::vector<double>>& x,
+                                                double error_rate,
+                                                std::uint64_t noise_seed) const {
+  return lore::parallel_trials<double>(
+      x.size(), noise_seed, cfg_.threads, [&](std::size_t i, lore::Rng& rng) {
+        return predict(x[i], error_rate, error_rate > 0.0 ? &rng : nullptr);
+      });
 }
 
 }  // namespace lore::ml

@@ -3,6 +3,19 @@
 // (the paper: ~40 % error rate costs only ~0.5 % accuracy), and HDC models
 // can mimic confidential physics-based aging models ([18]) because the
 // hypervector representation abstracts the underlying parameters.
+//
+// Representation: the sign of each component is bit-packed into uint64_t
+// words (bit set = -1, clear = +1; component i lives in word i/64, bit i%64;
+// tail bits past `dim` are kept zero). Bind is then a word-parallel XOR,
+// Hamming/similarity is XOR + popcount, permute is a word-level rotate with
+// carry, and bundling ripples sign words into carry-save bit-plane counters,
+// unpacking to per-bit integer sums in word blocks only when thresholding —
+// a ~64× cut in memory traffic over the one-int8-per-component layout. All
+// randomness (random(), with_component_errors(), threshold tie-breaks) draws
+// from the Rng once per component in index order, so packed results are
+// bit-identical to the scalar reference in `src/ml/hdc_ref` for the same
+// seed. The scalar path is retained behind `LORE_HDC_SCALAR` (env var, or
+// the -DLORE_HDC_SCALAR=ON build default) for differential testing.
 #pragma once
 
 #include <cstdint>
@@ -11,21 +24,64 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/kernels.hpp"
 #include "src/common/rng.hpp"
 
 namespace lore::ml {
 
-/// Bipolar hypervector: components in {-1, +1} stored as int8.
+/// True when Hypervector/Accumulator operations route through the scalar
+/// reference kernels (`hdcref`) instead of the word-parallel path. Initial
+/// value comes from the LORE_HDC_SCALAR environment variable (unset or "0" =
+/// packed) or the LORE_HDC_SCALAR build option; results are bit-identical in
+/// both modes, only the speed differs.
+bool hdc_scalar_reference_mode();
+void set_hdc_scalar_reference_mode(bool on);
+
+/// Bipolar hypervector: components in {-1, +1}, sign-bit-packed into uint64
+/// words (see header comment for the layout).
 class Hypervector {
  public:
+  /// Proxy for `hv[i]` assignment: packed storage cannot hand out an int8
+  /// lvalue, so writes go through set(). Reads convert to the ±1 component.
+  class ComponentRef {
+   public:
+    operator std::int8_t() const { return hv_->get(i_); }
+    ComponentRef& operator=(std::int8_t v) {
+      hv_->set(i_, v);
+      return *this;
+    }
+    ComponentRef& operator=(const ComponentRef& o) {
+      hv_->set(i_, static_cast<std::int8_t>(o));
+      return *this;
+    }
+
+   private:
+    friend class Hypervector;
+    ComponentRef(Hypervector* hv, std::size_t i) : hv_(hv), i_(i) {}
+    Hypervector* hv_;
+    std::size_t i_;
+  };
+
   Hypervector() = default;
-  explicit Hypervector(std::size_t dim) : v_(dim, 1) {}
+  /// All components +1 (all sign bits clear).
+  explicit Hypervector(std::size_t dim)
+      : dim_(dim), words_(kernels::word_count(dim), 0) {}
 
   static Hypervector random(std::size_t dim, lore::Rng& rng);
+  /// Pack an explicit ±1 component vector (negative -> sign bit set).
+  static Hypervector pack(std::span<const std::int8_t> components);
 
-  std::size_t dim() const { return v_.size(); }
-  std::int8_t operator[](std::size_t i) const { return v_[i]; }
-  std::int8_t& operator[](std::size_t i) { return v_[i]; }
+  std::size_t dim() const { return dim_; }
+  std::int8_t operator[](std::size_t i) const { return get(i); }
+  ComponentRef operator[](std::size_t i) { return ComponentRef(this, i); }
+  std::int8_t get(std::size_t i) const {
+    return (words_[i / kernels::kWordBits] >> (i % kernels::kWordBits)) & 1 ? -1 : 1;
+  }
+  void set(std::size_t i, std::int8_t value) {
+    const std::uint64_t mask = 1ULL << (i % kernels::kWordBits);
+    if (value < 0) words_[i / kernels::kWordBits] |= mask;
+    else words_[i / kernels::kWordBits] &= ~mask;
+  }
 
   /// Elementwise multiply (binding). Self-inverse: a.bind(b).bind(b) == a.
   Hypervector bind(const Hypervector& other) const;
@@ -39,24 +95,58 @@ class Hypervector {
   /// injection for the robustness experiment).
   Hypervector with_component_errors(double p, lore::Rng& rng) const;
 
+  /// Unpack to one int8 component per entry (the scalar reference layout).
+  std::vector<std::int8_t> unpack() const;
+  /// Raw packed words (tail bits past dim() are zero).
+  std::span<const std::uint64_t> words() const { return words_; }
+
+  bool operator==(const Hypervector& other) const {
+    return dim_ == other.dim_ && words_ == other.words_;
+  }
+
  private:
-  std::vector<std::int8_t> v_;
+  std::size_t dim_ = 0;
+  std::vector<std::uint64_t> words_;
 };
 
 /// Integer accumulator for bundling many hypervectors then thresholding.
+///
+/// Packed-mode adds are carry-save: per weight bit, the sign words ripple
+/// into a stack of bit-plane counters (one XOR + AND pass per live plane —
+/// amortized O(dim/64) words per add instead of `dim` integer adds). The
+/// exact per-component int32 sums are materialized lazily from
+///   sum[i] = Σw − 2·(pos_planes[i] − neg_planes[i]) (+ scalar-mode adds),
+/// so `sums()`/`to_hypervector()` observe exactly the integers the original
+/// int8 loop would have produced. Not safe for concurrent use from multiple
+/// threads (lazy cache); every current call site is thread-local.
 class Accumulator {
  public:
-  explicit Accumulator(std::size_t dim) : sums_(dim, 0) {}
+  explicit Accumulator(std::size_t dim) : dim_(dim), scalar_sums_(dim, 0) {}
 
   void add(const Hypervector& hv);
   void add_weighted(const Hypervector& hv, int weight);
   std::size_t count() const { return count_; }
+  /// Exact per-component sums (materialized from the bit planes on demand;
+  /// the span is invalidated by the next add).
+  std::span<const std::int32_t> sums() const;
   /// Majority threshold -> bipolar hypervector. Ties broken by rng if given.
   Hypervector to_hypervector(lore::Rng* rng = nullptr) const;
 
  private:
-  std::vector<std::int32_t> sums_;
+  void materialize() const;
+
+  std::size_t dim_ = 0;
   std::size_t count_ = 0;
+  /// Σ weight over packed-mode adds (sums decompose against this total).
+  std::int64_t packed_weight_total_ = 0;
+  /// Bit-plane counters of sign bits: pos_ for positive weights, neg_ for
+  /// magnitudes of negative weights.
+  std::vector<std::vector<std::uint64_t>> pos_planes_, neg_planes_;
+  std::vector<std::uint64_t> carry_scratch_;
+  /// Scalar-reference-mode adds bypass the planes and land here directly.
+  std::vector<std::int32_t> scalar_sums_;
+  mutable std::vector<std::int32_t> sums_cache_;
+  mutable bool dirty_ = true;
 };
 
 /// Item memory: stable random hypervector per symbol id.
@@ -117,6 +207,9 @@ class RecordEncoder {
 struct HdcClassifierConfig {
   std::size_t retrain_passes = 3;
   std::uint64_t seed = 41;
+  /// Worker threads for fit()'s encode/retrain passes and predict_batch()
+  /// (0 = all cores, 1 = serial). Results are bit-identical for any value.
+  unsigned threads = 0;
 };
 
 /// Prototype-per-class HDC classifier with optional retraining passes.
@@ -133,6 +226,12 @@ class HdcClassifier {
   int predict(std::span<const double> x, double error_rate = 0.0,
               lore::Rng* rng = nullptr) const;
   int predict_encoded(const Hypervector& query) const;
+  /// Batch predict across `cfg.threads` workers. When error_rate > 0, query
+  /// i draws its flips from trial_seed(noise_seed, i), so the output is a
+  /// pure function of (queries, noise_seed) — thread-count-invariant.
+  std::vector<int> predict_batch(const std::vector<std::vector<double>>& x,
+                                 double error_rate = 0.0,
+                                 std::uint64_t noise_seed = 0) const;
   std::size_t num_classes() const { return prototypes_.size(); }
 
  private:
@@ -146,6 +245,8 @@ struct HdcRegressorConfig {
   /// Softmax temperature over similarities when mixing level centers.
   double temperature = 0.05;
   std::uint64_t seed = 43;
+  /// Worker threads for fit() encoding and predict_batch() (0 = all cores).
+  unsigned threads = 0;
 };
 
 /// HDC regressor: discretizes the target into levels, learns a prototype per
@@ -161,6 +262,11 @@ class HdcRegressor {
   void fit(const std::vector<std::vector<double>>& x, std::span<const double> y);
   double predict(std::span<const double> x, double error_rate = 0.0,
                  lore::Rng* rng = nullptr) const;
+  /// Batch predict; same trial-seeded noise contract as
+  /// HdcClassifier::predict_batch.
+  std::vector<double> predict_batch(const std::vector<std::vector<double>>& x,
+                                    double error_rate = 0.0,
+                                    std::uint64_t noise_seed = 0) const;
 
  private:
   const RecordEncoder* encoder_;

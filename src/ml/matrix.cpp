@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/common/kernels.hpp"
+
 namespace lore::ml {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
@@ -27,14 +29,17 @@ Matrix Matrix::transposed() const {
 
 Matrix Matrix::matmul(const Matrix& other) const {
   assert(cols_ == other.rows_);
+  // i-k-j ordering: the inner loop streams one row of `other` and one row of
+  // `out` sequentially (unit stride on both sides), which is the
+  // cache-friendly orientation for row-major storage. The inner loop is the
+  // shared axpy kernel; zero multipliers skip a whole row pass.
   Matrix out(rows_, other.cols_);
   for (std::size_t r = 0; r < rows_; ++r) {
+    auto out_row = out.row(r);
     for (std::size_t k = 0; k < cols_; ++k) {
       const double a = (*this)(r, k);
       if (a == 0.0) continue;
-      const auto orow = other.row(k);
-      auto out_row = out.row(r);
-      for (std::size_t c = 0; c < other.cols_; ++c) out_row[c] += a * orow[c];
+      kernels::axpy(out_row, a, other.row(k));
     }
   }
   return out;
@@ -74,26 +79,19 @@ Matrix Matrix::gather_rows(std::span<const std::size_t> indices) const {
   return out;
 }
 
+// The element loops live in src/common/kernels.hpp so the dense ML substrate
+// and other kernel users share one implementation (and one accumulation
+// order — results here are bit-identical to the pre-hoist versions).
 double dot(std::span<const double> a, std::span<const double> b) {
-  assert(a.size() == b.size());
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return kernels::dot(a, b);
 }
 
 double l2_distance(std::span<const double> a, std::span<const double> b) {
-  assert(a.size() == b.size());
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return std::sqrt(s);
+  return std::sqrt(kernels::l2_distance_sq(a, b));
 }
 
 void axpy(std::span<double> a, double s, std::span<const double> b) {
-  assert(a.size() == b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
+  kernels::axpy(a, s, b);
 }
 
 }  // namespace lore::ml

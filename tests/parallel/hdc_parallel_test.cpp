@@ -1,0 +1,101 @@
+// Thread-count invariance of the parallel HDC paths: fit's encode/retrain
+// fan-out and predict_batch's trial-seeded noise must give bit-identical
+// models and predictions for 1, 2, 4, and 8 workers (the same contract the
+// campaign engine guarantees). Runs under the `parallel` ctest label, i.e.
+// also under the TSan preset.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/ml/hdc.hpp"
+
+namespace lore::ml {
+namespace {
+
+const unsigned kThreadCounts[] = {1, 2, 4, 8};
+
+struct Blobs {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+
+  explicit Blobs(std::uint64_t seed) {
+    lore::Rng rng(seed);
+    for (int i = 0; i < 160; ++i) {
+      const int cls = i % 2;
+      const double base = cls ? 0.72 : 0.28;
+      x.push_back({base + rng.normal(0.0, 0.05), base + rng.normal(0.0, 0.05),
+                   base + rng.normal(0.0, 0.05)});
+      y.push_back(cls);
+    }
+  }
+};
+
+RecordEncoder make_encoder() {
+  return RecordEncoder({{0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0}},
+                       RecordEncoderConfig{.dim = 520, .levels = 16});
+}
+
+TEST(HdcParallel, ClassifierFitInvariantAcrossThreadCounts) {
+  const Blobs data(920);
+  const auto enc = make_encoder();
+  std::vector<std::vector<int>> per_team;
+  for (const unsigned threads : kThreadCounts) {
+    HdcClassifier clf(&enc, HdcClassifierConfig{.threads = threads});
+    clf.fit(data.x, data.y);
+    std::vector<int> preds;
+    for (const auto& row : data.x) preds.push_back(clf.predict(row));
+    per_team.push_back(std::move(preds));
+  }
+  for (std::size_t t = 1; t < per_team.size(); ++t)
+    EXPECT_EQ(per_team[0], per_team[t]) << kThreadCounts[t] << " threads";
+}
+
+TEST(HdcParallel, PredictBatchInvariantAcrossThreadCounts) {
+  const Blobs data(921);
+  const auto enc = make_encoder();
+  HdcClassifier trained(&enc, HdcClassifierConfig{.threads = 2});
+  trained.fit(data.x, data.y);
+
+  std::vector<std::vector<int>> clean, noisy;
+  for (const unsigned threads : kThreadCounts) {
+    HdcClassifier clf(&enc, HdcClassifierConfig{.threads = threads});
+    clf.fit(data.x, data.y);
+    clean.push_back(clf.predict_batch(data.x));
+    noisy.push_back(clf.predict_batch(data.x, 0.25, /*noise_seed=*/922));
+  }
+  for (std::size_t t = 1; t < clean.size(); ++t) {
+    EXPECT_EQ(clean[0], clean[t]) << kThreadCounts[t] << " threads";
+    EXPECT_EQ(noisy[0], noisy[t]) << kThreadCounts[t] << " threads (noisy)";
+  }
+  // The noisy batch is a pure function of (queries, noise_seed): replaying
+  // the same seed reproduces it, a different seed perturbs the error draws.
+  EXPECT_EQ(noisy[0], trained.predict_batch(data.x, 0.25, 922));
+}
+
+TEST(HdcParallel, RegressorInvariantAcrossThreadCounts) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  lore::Rng rng(923);
+  for (int i = 0; i < 150; ++i) {
+    const double v = static_cast<double>(i) / 150.0;
+    x.push_back({v});
+    y.push_back(0.5 * v * v + 0.1 * rng.normal());
+  }
+  const auto enc = RecordEncoder({{0.0, 1.0}}, RecordEncoderConfig{.dim = 520, .levels = 24});
+  std::vector<std::vector<double>> per_team;
+  for (const unsigned threads : kThreadCounts) {
+    HdcRegressor reg(&enc, HdcRegressorConfig{.threads = threads});
+    reg.fit(x, y);
+    per_team.push_back(reg.predict_batch(x, 0.1, /*noise_seed=*/924));
+  }
+  for (std::size_t t = 1; t < per_team.size(); ++t) {
+    ASSERT_EQ(per_team[0].size(), per_team[t].size());
+    for (std::size_t i = 0; i < per_team[0].size(); ++i)
+      EXPECT_EQ(per_team[0][i], per_team[t][i])
+          << kThreadCounts[t] << " threads, query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace lore::ml
