@@ -32,7 +32,12 @@ void report() {
     const auto nl =
         generate_random_logic(lib, RandomLogicConfig{.num_gates = 110,
                                                      .seed = 500 + static_cast<unsigned>(i)});
-    const auto campaign = stuck_at_campaign(nl, 24, rng);
+    // Resumable under LORE_CHECKPOINT_DIR (one checkpoint per circuit).
+    const auto campaign = stuck_at_campaign(
+        nl, {.trials = 24,
+             .base_seed = rng.next_u64(),
+             .checkpoint_path =
+                 lore::default_checkpoint_path("circuit_fi_" + std::to_string(i))});
     const auto d = gate_criticality_dataset(nl, campaign, 0.3);
     auto& sink = i < 3 ? train : test;
     for (std::size_t r = 0; r < d.size(); ++r) sink.add(d.x.row(r), d.labels[r]);
@@ -137,7 +142,7 @@ void BM_StuckAtCampaign(benchmark::State& state) {
   const auto lib = make_skeleton_library("lore-tech");
   const auto nl = generate_random_logic(lib, RandomLogicConfig{.num_gates = 60});
   lore::Rng rng(1);
-  for (auto _ : state) benchmark::DoNotOptimize(stuck_at_campaign(nl, 8, rng));
+  for (auto _ : state) benchmark::DoNotOptimize(stuck_at_campaign(nl, {.trials = 8, .base_seed = rng.next_u64()}));
 }
 BENCHMARK(BM_StuckAtCampaign)->Unit(benchmark::kMillisecond);
 

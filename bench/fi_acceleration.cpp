@@ -19,10 +19,18 @@ ml::Dataset build_dataset() {
   // Registers across all standard workloads form the sample population.
   ml::Dataset all;
   lore::Rng rng(41);
+  std::size_t campaign_idx = 0;
   for (std::size_t scale : {1, 2, 3}) {
     for (const auto& w : standard_workloads(scale, 100 + scale)) {
       FaultInjector injector(w);
-      const auto campaign = injector.campaign(400, FaultTarget::kRegister, rng);
+      // One checkpoint per (scale, workload) campaign; resumable under
+      // LORE_CHECKPOINT_DIR, a no-op when the variable is unset.
+      lore::CampaignSpec spec;
+      spec.trials = 400;
+      spec.base_seed = rng.next_u64();
+      spec.checkpoint_path = lore::default_checkpoint_path(
+          "fi_acceleration_" + std::to_string(campaign_idx++));
+      const auto campaign = injector.campaign(spec, FaultTarget::kRegister);
       const auto d = register_vulnerability_dataset(w, campaign, 0.15);
       for (std::size_t i = 0; i < d.size(); ++i)
         all.add(d.x.row(i), d.labels[i], d.targets[i]);

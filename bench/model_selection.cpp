@@ -20,7 +20,7 @@ ml::Dataset register_dataset() {
   for (std::size_t scale : {1, 2, 3}) {
     for (const auto& w : arch::standard_workloads(scale, 700 + scale)) {
       arch::FaultInjector injector(w);
-      const auto campaign = injector.campaign(350, arch::FaultTarget::kRegister, rng);
+      const auto campaign = injector.campaign(350, arch::FaultTarget::kRegister, rng.next_u64());
       const auto d = arch::register_vulnerability_dataset(w, campaign, 0.15);
       for (std::size_t i = 0; i < d.size(); ++i) all.add(d.x.row(i), d.labels[i]);
     }
@@ -36,7 +36,7 @@ ml::Dataset gate_dataset() {
     const auto nl = circuit::generate_random_logic(
         lib, circuit::RandomLogicConfig{.num_gates = 90,
                                         .seed = 800 + static_cast<unsigned>(i)});
-    const auto campaign = circuit::stuck_at_campaign(nl, 20, rng);
+    const auto campaign = circuit::stuck_at_campaign(nl, {.trials = 20, .base_seed = rng.next_u64()});
     const auto d = circuit::gate_criticality_dataset(nl, campaign, 0.3);
     for (std::size_t r = 0; r < d.size(); ++r) all.add(d.x.row(r), d.labels[r]);
   }

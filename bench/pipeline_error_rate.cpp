@@ -31,7 +31,7 @@ void report() {
     for (const auto& [addr, value] : w.memory_init) probe.set_mem(addr, value);
     probe.run(4 * w.max_cycles + 64);
 
-    const auto records = pipeline_campaign(w, 250, rng);
+    const auto records = pipeline_campaign(w, 250, rng.next_u64());
     const auto mix = summarize(records);
     const double factor = architectural_corruption_factor(records);
     mean_factor += factor;
@@ -53,7 +53,7 @@ void report() {
   std::array<std::size_t, 6> field_fail{};
   lore::Rng field_rng(32);
   for (const auto& w : standard_workloads(2, 900)) {
-    for (const auto& rec : pipeline_campaign(w, 150, field_rng)) {
+    for (const auto& rec : pipeline_campaign(w, 150, field_rng.next_u64())) {
       const auto field = rec.site.index;
       ++field_total[field];
       field_fail[field] += rec.outcome != Outcome::kBenign;

@@ -24,7 +24,7 @@ ml::Dataset scale_dataset(std::size_t scale, std::uint64_t seed) {
   lore::Rng rng(seed);
   for (const auto& w : standard_workloads(scale, 200 + scale)) {
     FaultInjector injector(w);
-    const auto campaign = injector.campaign(350, FaultTarget::kRegister, rng);
+    const auto campaign = injector.campaign(350, FaultTarget::kRegister, rng.next_u64());
     const auto d = register_vulnerability_dataset(w, campaign, 0.15);
     for (std::size_t i = 0; i < d.size(); ++i) all.add(d.x.row(i), d.labels[i]);
   }

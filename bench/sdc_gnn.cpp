@@ -19,7 +19,7 @@ struct LabeledProgram {
 
 LabeledProgram label_program(const Workload& w, std::size_t trials, lore::Rng& rng) {
   FaultInjector injector(w);
-  const auto campaign = injector.campaign(trials, FaultTarget::kInstruction, rng);
+  const auto campaign = injector.campaign(trials, FaultTarget::kInstruction, rng.next_u64());
   return {build_program_graph(w.program), instruction_outcome_labels(w.program, campaign)};
 }
 

@@ -21,7 +21,7 @@ void report() {
   for (const auto& w : {make_checksum(14, 61), make_dot_product(14, 62)}) {
     // Train the IPAS SVM on an instruction-level campaign.
     FaultInjector injector(w);
-    const auto campaign = injector.campaign(800, FaultTarget::kInstruction, rng);
+    const auto campaign = injector.campaign(800, FaultTarget::kInstruction, rng.next_u64());
     const auto labels = instruction_vulnerability_labels(w.program, campaign, 0.25);
     ml::Matrix x;
     std::vector<int> y;
@@ -62,7 +62,7 @@ void report() {
   Table budget({"kernel", "k", "svm_coverage", "fanout_coverage", "random_coverage"});
   for (const auto& w : {make_checksum(14, 61), make_dot_product(14, 62)}) {
     FaultInjector injector(w);
-    const auto campaign = injector.campaign(800, FaultTarget::kInstruction, rng);
+    const auto campaign = injector.campaign(800, FaultTarget::kInstruction, rng.next_u64());
     const auto labels = instruction_vulnerability_labels(w.program, campaign, 0.25);
     ml::Matrix x;
     std::vector<int> y;

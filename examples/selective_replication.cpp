@@ -22,7 +22,7 @@ int main() {
   // 1. Fault-injection campaign into instruction encodings.
   FaultInjector injector(workload);
   lore::Rng rng(11);
-  const auto campaign = injector.campaign(800, FaultTarget::kInstruction, rng);
+  const auto campaign = injector.campaign(800, FaultTarget::kInstruction, rng.next_u64());
   const auto mix = summarize(campaign);
   std::printf("\ncampaign: %zu injections -> %zu benign, %zu SDC, %zu crash, %zu hang\n",
               mix.total(), mix.benign, mix.sdc, mix.crash, mix.hang);

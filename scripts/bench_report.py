@@ -81,16 +81,56 @@ def metrics_rows(metrics):
     return rows
 
 
+# Campaign-runtime health counters (src/common/campaign.cpp + parallel.cpp):
+# nonzero timeouts/retries/failures/suppressed exceptions mean a figure was
+# produced by a degraded campaign and should be read with that in mind.
+RESILIENCE_COUNTERS = [
+    "campaign.trials_completed",
+    "campaign.trials_resumed",
+    "campaign.timeouts",
+    "campaign.retries",
+    "campaign.trial_failures",
+    "campaign.checkpoints",
+    "pool.suppressed_exceptions",
+]
+
+
+def resilience_summary(docs):
+    """One row per bench of the campaign-health counters, if any are present."""
+    rows = []
+    for doc in docs:
+        counters = doc.get("metrics", {}).get("counters", {})
+        if not any(name in counters for name in RESILIENCE_COUNTERS):
+            continue
+        rows.append([doc.get("bench", "?")] +
+                    [str(counters.get(name, 0)) for name in RESILIENCE_COUNTERS])
+    if not rows:
+        return []
+    headers = ["bench"] + [n.split(".", 1)[1] for n in RESILIENCE_COUNTERS]
+    degraded = [r[0] for r in rows
+                if any(int(v) for v in r[3:6]) or int(r[7])]
+    out = ["=== campaign resilience summary ===",
+           render_table(headers, rows)]
+    if degraded:
+        out.append("WARNING: degraded campaigns (timeouts/retries/failures/"
+                   f"suppressed exceptions) in: {', '.join(degraded)}")
+    else:
+        out.append("all campaigns healthy: no timeouts, retries, failures, or "
+                   "suppressed exceptions")
+    out.append("")
+    return out
+
+
 def report(paths):
     out = []
-    seen = 0
+    docs = []
     for path in paths:
         try:
             doc = load_artifact(path)
         except (OSError, ValueError, json.JSONDecodeError) as e:
             print(f"bench_report: skipping {path}: {e}", file=sys.stderr)
             continue
-        seen += 1
+        docs.append(doc)
         out.append(f"=== {doc.get('bench', os.path.basename(path))} ({path}) ===")
         for table in doc.get("tables", []):
             out.append("")
@@ -103,8 +143,9 @@ def report(paths):
             out.append("-- metrics registry snapshot")
             out.append(render_table(["kind", "name", "value"], rows))
         out.append("")
-    out.append(f"bench_report: aggregated {seen} artifact(s)")
-    return "\n".join(out), seen
+    out.extend(resilience_summary(docs))
+    out.append(f"bench_report: aggregated {len(docs)} artifact(s)")
+    return "\n".join(out), len(docs)
 
 
 def _to_float(cell):

@@ -8,12 +8,13 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
-# TSAN=1 additionally runs the `parallel`-labeled determinism/race suite of
-# the campaign engine under ThreadSanitizer (the `tsan` CMake preset).
+# TSAN=1 additionally runs the `parallel`- and `resilience`-labeled
+# determinism/race suites of the campaign engine under ThreadSanitizer
+# (the `tsan` CMake preset).
 if [ "${TSAN:-0}" = "1" ]; then
   cmake --preset tsan
-  cmake --build build-tsan --target lore_parallel_tests
-  ctest --test-dir build-tsan -L parallel --output-on-failure 2>&1 | tee tsan_output.txt
+  cmake --build build-tsan --target lore_parallel_tests lore_resilience_tests
+  ctest --test-dir build-tsan -L '(parallel|resilience)' --output-on-failure 2>&1 | tee tsan_output.txt
 fi
 
 : > bench_output.txt
@@ -21,11 +22,18 @@ fi
 # (schema lore.bench.v1) into $LORE_BENCH_DIR.
 export LORE_BENCH_DIR="${LORE_BENCH_DIR:-bench_artifacts}"
 mkdir -p "$LORE_BENCH_DIR"
+# Figure-series campaigns checkpoint into $LORE_CHECKPOINT_DIR, so an
+# interrupted run of this script resumes instead of restarting: rerun it and
+# every completed trial is loaded from its .ckpt file. The directory is
+# removed once the whole bench suite finishes cleanly.
+export LORE_CHECKPOINT_DIR="${LORE_CHECKPOINT_DIR:-$LORE_BENCH_DIR/checkpoints}"
+mkdir -p "$LORE_CHECKPOINT_DIR"
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
     "$b" 2>&1 | tee -a bench_output.txt
   fi
 done
+rm -rf "$LORE_CHECKPOINT_DIR"
 
 # Aggregate the artifacts into one trajectory report (stdlib-only python3).
 if command -v python3 >/dev/null 2>&1; then

@@ -1,6 +1,7 @@
 #include "src/arch/fault.hpp"
 
 #include <cassert>
+#include <cstdio>
 
 #include "src/common/parallel.hpp"
 #include "src/obs/obs.hpp"
@@ -149,21 +150,105 @@ FaultSite FaultInjector::random_site(lore::Rng& rng, FaultTarget target) const {
   return site;
 }
 
+namespace {
+
+/// Field-wise checkpoint codec for FaultRecord (stable across struct padding
+/// and layout changes; the format is what's versioned, not the struct).
+struct FaultRecordCodec {
+  static void encode(lore::ByteWriter& w, const FaultRecord& r) {
+    w.put_u8(static_cast<std::uint8_t>(r.site.target));
+    w.put_u64(r.site.index);
+    w.put_u32(r.site.bit);
+    w.put_u64(r.site.cycle);
+    w.put_u8(static_cast<std::uint8_t>(r.outcome));
+    w.put_u64(static_cast<std::uint64_t>(r.active_instruction));
+    w.put_u64(r.trial_seed);
+  }
+  static FaultRecord decode(lore::ByteReader& r) {
+    FaultRecord rec;
+    rec.site.target = static_cast<FaultTarget>(r.get_u8());
+    rec.site.index = static_cast<std::size_t>(r.get_u64());
+    rec.site.bit = r.get_u32();
+    rec.site.cycle = r.get_u64();
+    rec.outcome = static_cast<Outcome>(r.get_u8());
+    rec.active_instruction = static_cast<std::int64_t>(r.get_u64());
+    rec.trial_seed = r.get_u64();
+    return rec;
+  }
+};
+
+/// Workload fingerprint folded into the campaign identity: golden output,
+/// cycle count, program size, and the fault target. Distinguishes any two
+/// campaigns whose records could differ.
+std::string fault_campaign_domain(const char* kind, const GoldenRun& golden,
+                                  std::size_t program_size, int target) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(golden.cycles);
+  for (const auto word : golden.output) mix(word);
+  mix(program_size);
+  mix(static_cast<std::uint64_t>(target));
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s/%016llx", kind,
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+/// Outcome counters must only cover trials that produced a record; failed or
+/// skipped slots hold value-initialized records and would masquerade as
+/// benign injections.
+void count_completed_outcomes(const char* prefix,
+                              const lore::CampaignResult<FaultRecord>& result) {
+  if (result.report.complete()) {
+    count_campaign_outcomes(prefix, result.records);
+    return;
+  }
+  std::vector<FaultRecord> ok;
+  ok.reserve(result.report.completed);
+  for (std::size_t i = 0; i < result.records.size(); ++i)
+    if (result.status[i] == lore::TrialStatus::kOk) ok.push_back(result.records[i]);
+  count_campaign_outcomes(prefix, ok);
+}
+
+}  // namespace
+
+lore::CampaignResult<FaultRecord> FaultInjector::campaign_run(
+    const lore::CampaignSpec& spec, FaultTarget target) const {
+  LORE_OBS_SPAN(span, "campaign.arch");
+  LORE_OBS_TIMER(timer, "campaign.arch_us");
+  lore::CampaignSpec s = spec;
+  if (s.domain.empty())
+    s.domain = fault_campaign_domain("arch.fault", golden_, workload_.program.size(),
+                                     static_cast<int>(target));
+  auto result = lore::run_campaign<FaultRecord, FaultRecordCodec>(
+      s, [&](std::size_t t, lore::Rng& rng, const lore::CancelToken& cancel) {
+        cancel.throw_if_cancelled();
+        FaultRecord rec = inject(random_site(rng, target));
+        rec.trial_seed = lore::trial_seed(s.base_seed, t);
+        return rec;
+      });
+  count_completed_outcomes("campaign.arch", result);
+  return result;
+}
+
+std::vector<FaultRecord> FaultInjector::campaign(const lore::CampaignSpec& spec,
+                                                 FaultTarget target) const {
+  return campaign_run(spec, target).records;
+}
+
 std::vector<FaultRecord> FaultInjector::campaign(std::size_t trials, FaultTarget target,
                                                  std::uint64_t base_seed,
                                                  unsigned threads) const {
-  LORE_OBS_SPAN(span, "campaign.arch");
-  LORE_OBS_TIMER(timer, "campaign.arch_us");
-  // Pre-sized result buffer: every trial owns its slot, so the merged
-  // campaign is in trial order with no post-hoc sorting or reallocation.
-  std::vector<FaultRecord> out(trials);
-  lore::parallel_for_trials(trials, base_seed, threads,
-                            [&](std::size_t t, lore::Rng& rng) {
-                              out[t] = inject(random_site(rng, target));
-                              out[t].trial_seed = lore::trial_seed(base_seed, t);
-                            });
-  count_campaign_outcomes("campaign.arch", out);
-  return out;
+  lore::CampaignSpec spec;
+  spec.trials = trials;
+  spec.base_seed = base_seed;
+  spec.threads = threads;
+  return campaign(spec, target);
 }
 
 std::vector<FaultRecord> FaultInjector::campaign(std::size_t trials, FaultTarget target,

@@ -11,6 +11,7 @@
 
 #include "src/arch/cpu.hpp"
 #include "src/arch/workloads.hpp"
+#include "src/common/campaign.hpp"
 #include "src/common/rng.hpp"
 
 namespace lore::arch {
@@ -70,15 +71,24 @@ class FaultInjector {
   /// uniformly in time over the golden cycle count.
   FaultSite random_site(lore::Rng& rng, FaultTarget target) const;
 
-  /// A full campaign of `trials` injections over the given target kind,
-  /// executed across `threads` workers (0 = hardware_concurrency, 1 = the
-  /// legacy serial path). Per-trial counter-based seeding makes the records
-  /// bit-identical for every thread count, and each record carries the seed
-  /// that replays it.
+  /// Spec-driven campaign over the given target kind on the resilient
+  /// runtime: checkpoint/resume, per-trial deadlines with retry, partial
+  /// reports (see src/common/campaign.hpp). Per-trial counter-based seeding
+  /// makes the records bit-identical for every thread count — and across
+  /// interrupt/resume — and each record carries the seed that replays it.
+  /// `spec.domain` is filled with a workload fingerprint when empty, so a
+  /// checkpoint can never be resumed against a different workload.
+  CampaignResult<FaultRecord> campaign_run(const CampaignSpec& spec,
+                                           FaultTarget target) const;
+
+  /// Convenience: records of `campaign_run` (the common complete-run case).
+  std::vector<FaultRecord> campaign(const CampaignSpec& spec, FaultTarget target) const;
+
+  /// Positional convenience over the spec entry point (no checkpointing).
   std::vector<FaultRecord> campaign(std::size_t trials, FaultTarget target,
                                     std::uint64_t base_seed, unsigned threads = 0) const;
 
-  /// Compatibility overload: draws the campaign's base seed from `rng`.
+  [[deprecated("draws the base seed from rng; use the CampaignSpec entry point")]]
   std::vector<FaultRecord> campaign(std::size_t trials, FaultTarget target,
                                     lore::Rng& rng, unsigned threads = 0) const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 #include "src/arch/fault.hpp"
 #include "src/common/parallel.hpp"
@@ -290,8 +291,37 @@ Outcome pipeline_inject(const Workload& w, const PipelineFaultSite& site) {
   return Outcome::kBenign;
 }
 
-std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials,
-                                           std::uint64_t base_seed, unsigned threads) {
+namespace {
+
+/// Same wire format as the FaultInjector campaign records (field-wise, layout
+/// independent).
+struct PipelineRecordCodec {
+  static void encode(lore::ByteWriter& w, const FaultRecord& r) {
+    w.put_u8(static_cast<std::uint8_t>(r.site.target));
+    w.put_u64(r.site.index);
+    w.put_u32(r.site.bit);
+    w.put_u64(r.site.cycle);
+    w.put_u8(static_cast<std::uint8_t>(r.outcome));
+    w.put_u64(static_cast<std::uint64_t>(r.active_instruction));
+    w.put_u64(r.trial_seed);
+  }
+  static FaultRecord decode(lore::ByteReader& r) {
+    FaultRecord rec;
+    rec.site.target = static_cast<FaultTarget>(r.get_u8());
+    rec.site.index = static_cast<std::size_t>(r.get_u64());
+    rec.site.bit = r.get_u32();
+    rec.site.cycle = r.get_u64();
+    rec.outcome = static_cast<Outcome>(r.get_u8());
+    rec.active_instruction = static_cast<std::int64_t>(r.get_u64());
+    rec.trial_seed = r.get_u64();
+    return rec;
+  }
+};
+
+}  // namespace
+
+CampaignResult<FaultRecord> pipeline_campaign_run(const Workload& w,
+                                                  const CampaignSpec& spec) {
   LORE_OBS_SPAN(span, "campaign.pipeline");
   LORE_OBS_TIMER(timer, "campaign.pipeline_us");
   // Clean pipeline run to learn the cycle budget for injection times.
@@ -305,24 +335,52 @@ std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials
       LatchField::kPc,           LatchField::kIfIdInstr,  LatchField::kIdExOperandA,
       LatchField::kIdExOperandB, LatchField::kExMemAlu,   LatchField::kMemWbValue};
 
-  std::vector<FaultRecord> out(trials);
-  lore::parallel_for_trials(trials, base_seed, threads,
-                            [&](std::size_t t, lore::Rng& rng) {
-                              PipelineFaultSite site;
-                              site.field = kFields[rng.uniform_index(6)];
-                              site.bit = static_cast<unsigned>(rng.uniform_index(32));
-                              site.cycle = rng.uniform_index(total_cycles) + 1;
-                              FaultRecord rec;
-                              rec.site.target = FaultTarget::kRegister;  // closest legacy category
-                              rec.site.index = static_cast<std::size_t>(site.field);
-                              rec.site.bit = site.bit;
-                              rec.site.cycle = site.cycle;
-                              rec.outcome = pipeline_inject(w, site);
-                              rec.trial_seed = lore::trial_seed(base_seed, t);
-                              out[t] = rec;
-                            });
-  count_campaign_outcomes("campaign.pipeline", out);
-  return out;
+  lore::CampaignSpec s = spec;
+  if (s.domain.empty()) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "arch.pipeline/%zu-%llu", w.program.size(),
+                  static_cast<unsigned long long>(total_cycles));
+    s.domain = buf;
+  }
+  auto result = lore::run_campaign<FaultRecord, PipelineRecordCodec>(
+      s, [&](std::size_t t, lore::Rng& rng, const lore::CancelToken& cancel) {
+        cancel.throw_if_cancelled();
+        PipelineFaultSite site;
+        site.field = kFields[rng.uniform_index(6)];
+        site.bit = static_cast<unsigned>(rng.uniform_index(32));
+        site.cycle = rng.uniform_index(total_cycles) + 1;
+        FaultRecord rec;
+        rec.site.target = FaultTarget::kRegister;  // closest legacy category
+        rec.site.index = static_cast<std::size_t>(site.field);
+        rec.site.bit = site.bit;
+        rec.site.cycle = site.cycle;
+        rec.outcome = pipeline_inject(w, site);
+        rec.trial_seed = lore::trial_seed(s.base_seed, t);
+        return rec;
+      });
+  if (result.report.complete()) {
+    count_campaign_outcomes("campaign.pipeline", result.records);
+  } else {
+    std::vector<FaultRecord> ok;
+    ok.reserve(result.report.completed);
+    for (std::size_t i = 0; i < result.records.size(); ++i)
+      if (result.status[i] == lore::TrialStatus::kOk) ok.push_back(result.records[i]);
+    count_campaign_outcomes("campaign.pipeline", ok);
+  }
+  return result;
+}
+
+std::vector<FaultRecord> pipeline_campaign(const Workload& w, const CampaignSpec& spec) {
+  return pipeline_campaign_run(w, spec).records;
+}
+
+std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials,
+                                           std::uint64_t base_seed, unsigned threads) {
+  CampaignSpec spec;
+  spec.trials = trials;
+  spec.base_seed = base_seed;
+  spec.threads = threads;
+  return pipeline_campaign(w, spec);
 }
 
 std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials,

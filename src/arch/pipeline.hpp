@@ -109,14 +109,22 @@ bool pipeline_matches_golden(const Workload& w);
 /// Outcome of a single pipeline-latch fault on a workload.
 Outcome pipeline_inject(const Workload& w, const PipelineFaultSite& site);
 
-/// Campaign of random latch faults; returns the outcome records (the
-/// FaultSite in each record carries the field in `index` and bit/cycle).
-/// Runs across `threads` workers (0 = hardware_concurrency, 1 = serial) with
-/// counter-based per-trial seeding: bit-identical for every thread count.
+/// Campaign of random latch faults on the resilient runtime (checkpoint/
+/// resume, deadlines, partial reports — src/common/campaign.hpp); returns the
+/// outcome records plus the campaign report. The FaultSite in each record
+/// carries the field in `index` and bit/cycle. Counter-based per-trial
+/// seeding: bit-identical for every thread count and across interrupt/resume.
+CampaignResult<FaultRecord> pipeline_campaign_run(const Workload& w,
+                                                  const CampaignSpec& spec);
+
+/// Convenience: records of `pipeline_campaign_run`.
+std::vector<FaultRecord> pipeline_campaign(const Workload& w, const CampaignSpec& spec);
+
+/// Positional convenience over the spec entry point (no checkpointing).
 std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials,
                                            std::uint64_t base_seed, unsigned threads = 0);
 
-/// Compatibility overload: draws the campaign's base seed from `rng`.
+[[deprecated("draws the base seed from rng; use the CampaignSpec entry point")]]
 std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials,
                                            lore::Rng& rng, unsigned threads = 0);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 
 #include "src/common/parallel.hpp"
 #include "src/obs/obs.hpp"
@@ -91,7 +93,8 @@ double Characterizer::she_rise(const Cell& cell, double in_slew_ps, double load_
   return she_.temperature_rise(stage, activity, op);
 }
 
-void Characterizer::characterize_cell(Cell& cell, const device::OperatingPoint& op) const {
+void Characterizer::characterize_cell(Cell& cell, const device::OperatingPoint& op,
+                                      const lore::CancelToken* cancel) const {
   LORE_OBS_TIMER(timer, "characterize.cell_us");
   const auto& slews = cfg_.slew_axis_ps;
   const auto& loads = cfg_.load_axis_ff;
@@ -107,6 +110,7 @@ void Characterizer::characterize_cell(Cell& cell, const device::OperatingPoint& 
     // deterministic derating distinguishes the arcs.
     const double pin_factor = 1.0 + 0.06 * static_cast<double>(pin);
     for (std::size_t si = 0; si < slews.size(); ++si) {
+      if (cancel) cancel->throw_if_cancelled();
       for (std::size_t li = 0; li < loads.size(); ++li) {
         const auto rise = simulate(cell, true, slews[si], loads[li], op);
         const auto fall = simulate(cell, false, slews[si], loads[li], op);
@@ -137,6 +141,131 @@ void Characterizer::characterize_library(CellLibrary& lib,
   lore::parallel_for(lib.size(), threads,
                      [&](std::size_t i) { characterize_cell(lib.cell(i), op); });
   lib.set_corner(op);
+}
+
+namespace {
+
+/// One cell's characterization result, flattened in a canonical order: per
+/// arc the four tables' row-major values (pin factors already baked in), then
+/// the SHE table. Pure doubles — the table axes are reconstructed from the
+/// Characterizer config on apply.
+struct CellTablesRecord {
+  std::vector<double> values;
+};
+
+struct CellTablesCodec {
+  static void encode(lore::ByteWriter& w, const CellTablesRecord& r) {
+    w.put_u64(r.values.size());
+    for (const double v : r.values) w.put_f64(v);
+  }
+  static CellTablesRecord decode(lore::ByteReader& r) {
+    CellTablesRecord rec;
+    const std::uint64_t n = r.get_u64();
+    rec.values.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) rec.values.push_back(r.get_f64());
+    return rec;
+  }
+};
+
+void append_values(std::vector<double>& out, const TimingTable& t) {
+  out.insert(out.end(), t.values().begin(), t.values().end());
+}
+
+/// Library/corner/config fingerprint folded into the campaign identity: any
+/// change to the grid axes, timestep, corner, or cell set must invalidate a
+/// checkpoint, because all of them change the produced tables.
+std::string characterize_domain(const CellLibrary& lib, const device::OperatingPoint& op,
+                                const CharacterizerConfig& cfg) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  const auto mix_f64 = [&mix](double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    mix(bits);
+  };
+  mix(lib.size());
+  for (std::size_t i = 0; i < lib.size(); ++i) {
+    const Cell& cell = lib.cell(i);
+    mix(static_cast<std::uint64_t>(cell.function));
+    mix(cell.num_inputs());
+    mix(cell.stack_depth);
+    mix_f64(cell.drive_strength);
+  }
+  for (const double v : cfg.slew_axis_ps) mix_f64(v);
+  for (const double v : cfg.load_axis_ff) mix_f64(v);
+  mix_f64(cfg.timestep_ps);
+  mix_f64(cfg.she_reference_toggle_ghz);
+  mix_f64(op.vdd);
+  mix_f64(op.temperature);
+  mix_f64(op.delta_vth);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "circuit.characterize/%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+lore::CampaignReport Characterizer::characterize_library(
+    CellLibrary& lib, const device::OperatingPoint& op,
+    const lore::CampaignSpec& spec) const {
+  LORE_OBS_SPAN(span, "circuit.characterize_library");
+  LORE_OBS_TIMER(timer, "characterize.library_us");
+  LORE_OBS_COUNT("characterize.cells", lib.size());
+
+  lore::CampaignSpec s = spec;
+  s.trials = lib.size();  // trial t characterizes cell t — the grid IS the campaign
+  if (s.domain.empty()) s.domain = characterize_domain(lib, op, cfg_);
+
+  auto result = lore::run_campaign<CellTablesRecord, CellTablesCodec>(
+      s, [&](std::size_t t, lore::Rng&, const lore::CancelToken& cancel) {
+        Cell cell = lib.cell(t);  // work on a copy; apply only completed cells
+        characterize_cell(cell, op, &cancel);
+        CellTablesRecord rec;
+        for (const TimingArc& arc : cell.arcs) {
+          append_values(rec.values, arc.rise_delay);
+          append_values(rec.values, arc.fall_delay);
+          append_values(rec.values, arc.rise_slew);
+          append_values(rec.values, arc.fall_slew);
+        }
+        append_values(rec.values, cell.she_temperature);
+        return rec;
+      });
+
+  const auto& slews = cfg_.slew_axis_ps;
+  const auto& loads = cfg_.load_axis_ff;
+  const std::size_t grid = slews.size() * loads.size();
+  for (std::size_t t = 0; t < result.records.size(); ++t) {
+    if (result.status[t] != lore::TrialStatus::kOk) continue;
+    Cell& cell = lib.cell(t);
+    const auto& vals = result.records[t].values;
+    assert(vals.size() == grid * (4 * cell.num_inputs() + 1));
+    std::size_t off = 0;
+    const auto take_table = [&](TimingTable& table) {
+      table = TimingTable(slews, loads);
+      std::copy_n(vals.begin() + static_cast<std::ptrdiff_t>(off), grid,
+                  table.values().begin());
+      off += grid;
+    };
+    cell.arcs.clear();
+    for (std::size_t pin = 0; pin < cell.num_inputs(); ++pin) {
+      TimingArc arc;
+      arc.input_pin = pin;
+      take_table(arc.rise_delay);
+      take_table(arc.fall_delay);
+      take_table(arc.rise_slew);
+      take_table(arc.fall_slew);
+      cell.arcs.push_back(std::move(arc));
+    }
+    take_table(cell.she_temperature);
+  }
+  lib.set_corner(op);
+  return result.report;
 }
 
 }  // namespace lore::circuit

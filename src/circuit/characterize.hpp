@@ -8,6 +8,7 @@
 #include <cstddef>
 
 #include "src/circuit/liberty.hpp"
+#include "src/common/campaign.hpp"
 #include "src/device/selfheat.hpp"
 #include "src/device/transistor.hpp"
 #include "src/obs/metrics.hpp"
@@ -39,7 +40,10 @@ class Characterizer {
                                double load_ff, const device::OperatingPoint& op) const;
 
   /// Fill all timing arcs and the SHE table of one cell at the given corner.
-  void characterize_cell(Cell& cell, const device::OperatingPoint& op) const;
+  /// When `cancel` is given it is polled once per slew row, so a library
+  /// campaign's per-trial deadline can interrupt a pathological grid sweep.
+  void characterize_cell(Cell& cell, const device::OperatingPoint& op,
+                         const lore::CancelToken* cancel = nullptr) const;
 
   /// Characterize every cell of the library and record the corner. Cells are
   /// independent grid sweeps, so they run across `threads` workers
@@ -47,6 +51,18 @@ class Characterizer {
   /// bit-identical for every thread count.
   void characterize_library(CellLibrary& lib, const device::OperatingPoint& op,
                             unsigned threads = 0) const;
+
+  /// Spec-driven library characterization on the resilient campaign runtime:
+  /// one trial per cell (spec.trials is overridden to lib.size()), each trial
+  /// producing the cell's flattened tables, with checkpoint/resume and
+  /// per-cell deadlines. Cells whose trial completed are written back into
+  /// `lib`; the rest keep their prior tables (see the returned report). The
+  /// grids are deterministic functions of (cell, corner), so the resulting
+  /// library is bit-identical to `characterize_library` above whenever the
+  /// report is complete.
+  lore::CampaignReport characterize_library(CellLibrary& lib,
+                                            const device::OperatingPoint& op,
+                                            const lore::CampaignSpec& spec) const;
 
   /// SHE temperature rise (K) of the cell at one grid condition and the
   /// reference toggle rate.

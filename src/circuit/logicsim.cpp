@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstring>
 #include <limits>
 
 namespace lore::circuit {
@@ -41,30 +43,134 @@ std::vector<bool> LogicSimulator::outputs(const std::vector<bool>& net_values) c
   return out;
 }
 
-std::vector<GateCriticality> stuck_at_campaign(const Netlist& nl, std::size_t vectors,
-                                               lore::Rng& rng) {
-  assert(vectors > 0);
-  LogicSimulator sim(&nl);
-  const std::size_t n_pi = nl.primary_inputs().size();
-  std::vector<GateCriticality> out(nl.num_instances());
-  std::vector<bool> pi(n_pi);
+namespace {
 
-  for (std::size_t v = 0; v < vectors; ++v) {
-    for (std::size_t i = 0; i < n_pi; ++i) pi[i] = rng.bernoulli(0.5);
-    const auto golden = sim.outputs(sim.evaluate(pi));
-    for (std::size_t g = 0; g < nl.num_instances(); ++g) {
-      const auto s0 = sim.outputs(sim.evaluate(pi, static_cast<std::ptrdiff_t>(g), false));
-      const auto s1 = sim.outputs(sim.evaluate(pi, static_cast<std::ptrdiff_t>(g), true));
-      out[g].instance = g;
-      out[g].stuck0_observability += s0 != golden ? 1.0 : 0.0;
-      out[g].stuck1_observability += s1 != golden ? 1.0 : 0.0;
+/// One campaign trial's worth of stuck-at evidence: 2 bits per gate (bit 0 =
+/// stuck-at-0 flipped a PO, bit 1 = stuck-at-1 did), packed 4 gates per byte.
+struct StuckAtTrialRecord {
+  std::vector<std::uint8_t> bits;
+
+  void set(std::size_t gate, bool s0_flip, bool s1_flip) {
+    const std::size_t slot = 2 * gate;
+    std::uint8_t& byte = bits[slot / 8];
+    if (s0_flip) byte = static_cast<std::uint8_t>(byte | (1u << (slot % 8)));
+    if (s1_flip) byte = static_cast<std::uint8_t>(byte | (1u << (slot % 8 + 1)));
+  }
+  bool s0(std::size_t gate) const { return (bits[gate / 4] >> (2 * gate % 8)) & 1u; }
+  bool s1(std::size_t gate) const { return (bits[gate / 4] >> (2 * gate % 8 + 1)) & 1u; }
+};
+
+struct StuckAtTrialCodec {
+  static void encode(lore::ByteWriter& w, const StuckAtTrialRecord& r) {
+    w.put_u64(r.bits.size());
+    w.put_bytes(r.bits.data(), r.bits.size());
+  }
+  static StuckAtTrialRecord decode(lore::ByteReader& r) {
+    StuckAtTrialRecord rec;
+    const std::uint64_t n = r.get_u64();
+    rec.bits.resize(static_cast<std::size_t>(n));
+    r.get_bytes(rec.bits.data(), rec.bits.size());
+    return rec;
+  }
+};
+
+/// Netlist/options fingerprint folded into the campaign identity so a
+/// checkpoint can never be resumed against a different circuit or bias.
+std::string stuck_at_domain(const Netlist& nl, const StuckAtOptions& options) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(nl.num_instances());
+  mix(nl.num_nets());
+  mix(nl.primary_inputs().size());
+  mix(nl.primary_outputs().size());
+  for (std::size_t g = 0; g < nl.num_instances(); ++g) {
+    const auto& inst = nl.instance(g);
+    mix(static_cast<std::uint64_t>(inst.cell_id) << 32 | inst.output_net);
+  }
+  std::uint64_t bias_bits = 0;
+  static_assert(sizeof bias_bits == sizeof options.one_bias);
+  std::memcpy(&bias_bits, &options.one_bias, sizeof bias_bits);
+  mix(bias_bits);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "circuit.stuckat/%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+StuckAtResult stuck_at_campaign_run(const Netlist& nl, const lore::CampaignSpec& spec,
+                                    const StuckAtOptions& options) {
+  assert(spec.trials > 0);
+  const LogicSimulator sim(&nl);  // shared read-only across worker threads
+  const std::size_t n_pi = nl.primary_inputs().size();
+  const std::size_t n_gates = nl.num_instances();
+  const std::size_t record_bytes = (2 * n_gates + 7) / 8;
+
+  lore::CampaignSpec s = spec;
+  if (s.domain.empty()) s.domain = stuck_at_domain(nl, options);
+
+  auto result = lore::run_campaign<StuckAtTrialRecord, StuckAtTrialCodec>(
+      s, [&](std::size_t, lore::Rng& rng, const lore::CancelToken& cancel) {
+        cancel.throw_if_cancelled();
+        std::vector<bool> pi(n_pi);
+        for (std::size_t i = 0; i < n_pi; ++i) pi[i] = rng.bernoulli(options.one_bias);
+        const auto golden = sim.outputs(sim.evaluate(pi));
+        StuckAtTrialRecord rec;
+        rec.bits.assign(record_bytes, 0);
+        for (std::size_t g = 0; g < n_gates; ++g) {
+          if (g % 64 == 0) cancel.throw_if_cancelled();
+          const auto gi = static_cast<std::ptrdiff_t>(g);
+          const auto s0 = sim.outputs(sim.evaluate(pi, gi, false));
+          const auto s1 = sim.outputs(sim.evaluate(pi, gi, true));
+          rec.set(g, s0 != golden, s1 != golden);
+        }
+        return rec;
+      });
+
+  // Merge in trial order over the vectors that completed, so the outcome is a
+  // pure function of (identity, completed set) — independent of scheduling.
+  StuckAtResult out;
+  out.report = result.report;
+  out.criticality.resize(n_gates);
+  std::size_t ok = 0;
+  for (std::size_t t = 0; t < result.records.size(); ++t) {
+    if (result.status[t] != lore::TrialStatus::kOk) continue;
+    ++ok;
+    const auto& rec = result.records[t];
+    for (std::size_t g = 0; g < n_gates; ++g) {
+      out.criticality[g].stuck0_observability += rec.s0(g) ? 1.0 : 0.0;
+      out.criticality[g].stuck1_observability += rec.s1(g) ? 1.0 : 0.0;
     }
   }
-  for (auto& g : out) {
-    g.stuck0_observability /= static_cast<double>(vectors);
-    g.stuck1_observability /= static_cast<double>(vectors);
+  for (std::size_t g = 0; g < n_gates; ++g) {
+    out.criticality[g].instance = g;
+    if (ok) {
+      out.criticality[g].stuck0_observability /= static_cast<double>(ok);
+      out.criticality[g].stuck1_observability /= static_cast<double>(ok);
+    }
   }
   return out;
+}
+
+std::vector<GateCriticality> stuck_at_campaign(const Netlist& nl,
+                                               const lore::CampaignSpec& spec,
+                                               const StuckAtOptions& options) {
+  return stuck_at_campaign_run(nl, spec, options).criticality;
+}
+
+std::vector<GateCriticality> stuck_at_campaign(const Netlist& nl, std::size_t vectors,
+                                               lore::Rng& rng) {
+  lore::CampaignSpec spec;
+  spec.trials = vectors;
+  spec.base_seed = rng.next_u64();
+  spec.threads = 1;
+  return stuck_at_campaign(nl, spec);
 }
 
 std::vector<double> gate_features(const Netlist& nl, std::size_t instance) {

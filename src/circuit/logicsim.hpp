@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "src/circuit/netlist.hpp"
+#include "src/common/campaign.hpp"
 #include "src/common/rng.hpp"
 #include "src/ml/dataset.hpp"
 
@@ -43,8 +44,33 @@ struct GateCriticality {
   double criticality() const { return 0.5 * (stuck0_observability + stuck1_observability); }
 };
 
-/// Exhaustive-per-gate random-vector fault simulation (`vectors` PI vectors
-/// per gate per polarity). This is the expensive ground truth ML replaces.
+/// Per-campaign options for the stuck-at sweep (designated-initializer
+/// friendly; the execution/resilience knobs live in the CampaignSpec).
+struct StuckAtOptions {
+  /// Probability of a 1 on each primary input of a random vector.
+  double one_bias = 0.5;
+};
+
+struct StuckAtResult {
+  std::vector<GateCriticality> criticality;
+  lore::CampaignReport report;
+};
+
+/// Exhaustive-per-gate random-vector fault simulation: each campaign trial is
+/// one PI vector simulated against every gate in both stuck-at polarities —
+/// the expensive ground truth ML replaces. Runs on the resilient campaign
+/// runtime (spec.trials = vector count): parallel over vectors, bit-identical
+/// for any thread count and across checkpoint/resume; observabilities are
+/// normalized over the vectors that actually completed.
+StuckAtResult stuck_at_campaign_run(const Netlist& nl, const lore::CampaignSpec& spec,
+                                    const StuckAtOptions& options = {});
+
+/// Convenience: criticalities of `stuck_at_campaign_run`.
+std::vector<GateCriticality> stuck_at_campaign(const Netlist& nl,
+                                               const lore::CampaignSpec& spec,
+                                               const StuckAtOptions& options = {});
+
+[[deprecated("draws the base seed from rng; use the CampaignSpec entry point")]]
 std::vector<GateCriticality> stuck_at_campaign(const Netlist& nl, std::size_t vectors,
                                                lore::Rng& rng);
 

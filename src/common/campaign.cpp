@@ -1,0 +1,396 @@
+#include "src/common/campaign.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "src/obs/obs.hpp"
+
+#ifndef LORE_BUILD_TAG
+#define LORE_BUILD_TAG "unknown"
+#endif
+
+namespace lore {
+namespace {
+
+constexpr char kMagic[8] = {'L', 'O', 'R', 'E', 'C', 'K', 'P', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+/// CRC-32 (IEEE 802.3, reflected), table built on first use.
+std::uint32_t crc32(const char* data, std::size_t n) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ (0xedb88320u & (0u - (c & 1u)));
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i)
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<std::uint8_t>(data[i])) & 0xffu];
+  return crc ^ 0xffffffffu;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void warn_checkpoint(const std::string& path, const char* reason) {
+  std::fprintf(stderr, "lore: checkpoint %s: %s; starting fresh\n", path.c_str(),
+               reason);
+}
+
+}  // namespace
+
+const char* trial_status_name(TrialStatus s) {
+  switch (s) {
+    case TrialStatus::kOk: return "ok";
+    case TrialStatus::kTimeout: return "timeout";
+    case TrialStatus::kFailed: return "failed";
+    case TrialStatus::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+std::uint64_t CampaignSpec::identity_hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  const std::uint64_t t = trials;
+  h = fnv1a(h, &t, sizeof t);
+  h = fnv1a(h, &base_seed, sizeof base_seed);
+  h = fnv1a(h, domain.data(), domain.size());
+  return h;
+}
+
+std::string checkpoint_build_tag() { return LORE_BUILD_TAG; }
+
+std::string default_checkpoint_path(std::string_view campaign_name) {
+  const char* dir = std::getenv("LORE_CHECKPOINT_DIR");
+  if (!dir || !*dir) return {};
+  std::string path(dir);
+  path += '/';
+  path += campaign_name;
+  path += ".ckpt";
+  return path;
+}
+
+#ifdef LORE_CHECKPOINT_DISABLED
+
+bool write_checkpoint(const std::string&, const CampaignCheckpoint&) { return false; }
+
+std::optional<CampaignCheckpoint> load_checkpoint(const std::string&,
+                                                  const CampaignSpec&) {
+  return std::nullopt;
+}
+
+#else
+
+bool write_checkpoint(const std::string& path, const CampaignCheckpoint& ck) {
+  ByteWriter w;
+  w.put_bytes(kMagic, sizeof kMagic);
+  w.put_u32(kVersion);
+  w.put_u64(ck.identity);
+  w.put_str(ck.build_tag);
+  w.put_u64(ck.trials);
+  w.put_u64(ck.entries.size());
+  for (const auto& e : ck.entries) {
+    w.put_u64(e.trial);
+    w.put_str(e.payload);
+  }
+  const std::string body = std::move(w).take();
+  const std::uint32_t crc = crc32(body.data(), body.size());
+
+  // Write to a sibling temp file and rename into place: a SIGKILL mid-write
+  // leaves either the previous checkpoint or a stray .tmp — never a torn file
+  // at `path`.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+  bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  char crc_bytes[4];
+  for (int i = 0; i < 4; ++i) crc_bytes[i] = static_cast<char>(crc >> (8 * i));
+  ok = std::fwrite(crc_bytes, 1, 4, f) == 4 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path,
+                                                  const CampaignSpec& spec) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return std::nullopt;  // no checkpoint yet: silent fresh start
+  std::string bytes;
+  char buf[1 << 16];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;) bytes.append(buf, n);
+  std::fclose(f);
+
+  if (bytes.size() < sizeof kMagic + 4) {
+    warn_checkpoint(path, "file too short");
+    return std::nullopt;
+  }
+  const std::size_t body_len = bytes.size() - 4;
+  std::uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i)
+    stored_crc |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[body_len + i]))
+                  << (8 * i);
+  if (crc32(bytes.data(), body_len) != stored_crc) {
+    warn_checkpoint(path, "CRC mismatch (corrupted or torn write)");
+    return std::nullopt;
+  }
+
+  try {
+    ByteReader r(std::string_view(bytes).substr(0, body_len));
+    char magic[sizeof kMagic];
+    r.get_bytes(magic, sizeof magic);
+    if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+      warn_checkpoint(path, "bad magic");
+      return std::nullopt;
+    }
+    if (r.get_u32() != kVersion) {
+      warn_checkpoint(path, "unsupported version");
+      return std::nullopt;
+    }
+    CampaignCheckpoint ck;
+    ck.identity = r.get_u64();
+    ck.build_tag = r.get_str();
+    ck.trials = r.get_u64();
+    if (ck.identity != spec.identity_hash() || ck.trials != spec.trials) {
+      warn_checkpoint(path, "spec mismatch (different campaign identity)");
+      return std::nullopt;
+    }
+    if (ck.build_tag != checkpoint_build_tag()) {
+      warn_checkpoint(path, "stale build tag (produced by a different build)");
+      return std::nullopt;
+    }
+    const std::uint64_t count = r.get_u64();
+    ck.entries.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      CheckpointEntry e;
+      e.trial = r.get_u64();
+      if (e.trial >= ck.trials) {
+        warn_checkpoint(path, "trial index out of range");
+        return std::nullopt;
+      }
+      e.payload = r.get_str();
+      ck.entries.push_back(std::move(e));
+    }
+    return ck;
+  } catch (const CheckpointError&) {
+    warn_checkpoint(path, "truncated");
+    return std::nullopt;
+  }
+}
+
+#endif  // LORE_CHECKPOINT_DISABLED
+
+namespace campaign_detail {
+
+RawResult run_campaign_raw(const CampaignSpec& spec, const RawTrialFn& trial) {
+  using Clock = CancelToken::Clock;
+  const auto t_start = Clock::now();
+  const std::size_t n = spec.trials;
+
+  RawResult res;
+  res.payloads.resize(n);
+  res.status.assign(n, TrialStatus::kSkipped);
+  res.report.trials = n;
+
+  const bool checkpointing =
+      kCheckpointCompiledIn && !spec.checkpoint_path.empty() && spec.checkpoint_every > 0;
+
+  // `done[i]` is the publication flag of slot i: the owning worker stores the
+  // payload, then releases the flag; the checkpoint writer acquires it before
+  // reading the slot. Resumed slots are published before workers start.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> done(new std::atomic<std::uint8_t>[n]);
+  for (std::size_t i = 0; i < n; ++i) done[i].store(0, std::memory_order_relaxed);
+
+  if (checkpointing) {
+    if (auto ck = load_checkpoint(spec.checkpoint_path, spec)) {
+      for (auto& e : ck->entries) {
+        const auto i = static_cast<std::size_t>(e.trial);
+        if (res.status[i] == TrialStatus::kOk) continue;  // duplicate entry
+        res.payloads[i] = std::move(e.payload);
+        res.status[i] = TrialStatus::kOk;
+        done[i].store(1, std::memory_order_relaxed);
+        ++res.report.resumed;
+      }
+      res.report.loaded_checkpoint = true;
+    }
+  }
+
+  std::vector<std::size_t> missing;
+  missing.reserve(n - res.report.resumed);
+  for (std::size_t i = 0; i < n; ++i)
+    if (res.status[i] != TrialStatus::kOk) missing.push_back(i);
+  if (spec.max_trials_per_run && missing.size() > spec.max_trials_per_run)
+    missing.resize(spec.max_trials_per_run);
+
+  std::atomic<std::size_t> completed{res.report.resumed};
+  std::atomic<std::size_t> newly_completed{0};
+  std::atomic<std::size_t> retries{0}, timeout_attempts{0}, suppressed{0};
+  std::atomic<std::size_t> checkpoints_written{0};
+  std::atomic<std::size_t> since_checkpoint{0};
+  std::mutex io_mu;    // serializes checkpoint writes
+  std::mutex err_mu;   // guards first_error
+  std::string first_error;
+
+  const bool obs_on = obs::kCompiledIn && obs::enabled();
+  if (obs_on) {
+    obs::MetricsRegistry::global().counter("campaign.trials_resumed")
+        .add(res.report.resumed);
+    obs::MetricsRegistry::global().gauge("campaign.progress")
+        .set(n ? static_cast<double>(res.report.resumed) / static_cast<double>(n) : 1.0);
+  }
+
+  // Snapshot every published slot into the checkpoint file. Runs concurrently
+  // with trial execution: unpublished slots are simply absent from this
+  // snapshot and appear in the next one.
+  const auto write_snapshot = [&] {
+    CampaignCheckpoint ck;
+    ck.identity = spec.identity_hash();
+    ck.build_tag = checkpoint_build_tag();
+    ck.trials = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i].load(std::memory_order_acquire) == 0) continue;
+      ck.entries.push_back({static_cast<std::uint64_t>(i), res.payloads[i]});
+    }
+    const auto w0 = Clock::now();
+    if (write_checkpoint(spec.checkpoint_path, ck)) {
+      checkpoints_written.fetch_add(1, std::memory_order_relaxed);
+      if (obs_on) {
+        const double us =
+            std::chrono::duration<double, std::micro>(Clock::now() - w0).count();
+        auto& reg = obs::MetricsRegistry::global();
+        reg.histogram("campaign.checkpoint_write_us").observe(us);
+        reg.counter("campaign.checkpoints").add(1);
+        // ETA from this run's own throughput (resumed trials cost nothing).
+        const auto fresh = newly_completed.load(std::memory_order_relaxed);
+        const auto total_done = completed.load(std::memory_order_relaxed);
+        if (fresh > 0 && total_done < n) {
+          const double elapsed_s =
+              std::chrono::duration<double>(Clock::now() - t_start).count();
+          reg.gauge("campaign.eta_s")
+              .set(elapsed_s / static_cast<double>(fresh) *
+                   static_cast<double>(n - total_done));
+        }
+      }
+    }
+  };
+
+  parallel_for(missing.size(), spec.threads, [&](std::size_t j) {
+    const std::size_t idx = missing[j];
+    if (spec.overall_budget.count() > 0 && Clock::now() - t_start >= spec.overall_budget)
+      return;  // stays kSkipped; a resume picks it up
+
+    bool last_was_timeout = false;
+    for (unsigned attempt = 0; attempt <= spec.max_retries; ++attempt) {
+      if (attempt > 0) {
+        retries.fetch_add(1, std::memory_order_relaxed);
+        if (obs_on)
+          obs::MetricsRegistry::global().counter("campaign.retries").add(1);
+        std::this_thread::sleep_for(spec.retry_backoff * (1u << (attempt - 1)));
+      }
+      const CancelToken cancel =
+          spec.trial_deadline.count() > 0
+              ? CancelToken::with_deadline(Clock::now() + spec.trial_deadline)
+              : CancelToken();
+      try {
+        // A fresh stream per attempt: a retried trial replays the exact
+        // stream of its first attempt, keeping resumed/retried campaigns
+        // bit-identical to uninterrupted ones.
+        Rng rng(trial_seed(spec.base_seed, idx));
+        std::string payload = trial(idx, rng, cancel);
+        res.payloads[idx] = std::move(payload);
+        res.status[idx] = TrialStatus::kOk;
+        done[idx].store(1, std::memory_order_release);
+        completed.fetch_add(1, std::memory_order_relaxed);
+        newly_completed.fetch_add(1, std::memory_order_relaxed);
+        if (obs_on) {
+          auto& reg = obs::MetricsRegistry::global();
+          reg.counter("campaign.trials_completed").add(1);
+          reg.gauge("campaign.progress")
+              .set(static_cast<double>(completed.load(std::memory_order_relaxed)) /
+                   static_cast<double>(n));
+        }
+        if (checkpointing &&
+            since_checkpoint.fetch_add(1, std::memory_order_relaxed) + 1 >=
+                spec.checkpoint_every) {
+          since_checkpoint.store(0, std::memory_order_relaxed);
+          // Only one writer at a time; if another write is in flight the next
+          // interval catches this batch.
+          if (io_mu.try_lock()) {
+            write_snapshot();
+            io_mu.unlock();
+          }
+        }
+        return;
+      } catch (const TrialTimeout&) {
+        last_was_timeout = true;
+        timeout_attempts.fetch_add(1, std::memory_order_relaxed);
+        if (obs_on)
+          obs::MetricsRegistry::global().counter("campaign.timeouts").add(1);
+      } catch (const std::exception& e) {
+        last_was_timeout = false;
+        suppressed.fetch_add(1, std::memory_order_relaxed);
+        if (obs_on)
+          obs::MetricsRegistry::global().counter("campaign.trial_failures").add(1);
+        std::lock_guard lock(err_mu);
+        if (first_error.empty()) first_error = e.what();
+      } catch (...) {
+        last_was_timeout = false;
+        suppressed.fetch_add(1, std::memory_order_relaxed);
+        if (obs_on)
+          obs::MetricsRegistry::global().counter("campaign.trial_failures").add(1);
+        std::lock_guard lock(err_mu);
+        if (first_error.empty()) first_error = "unknown trial exception";
+      }
+    }
+    res.status[idx] = last_was_timeout ? TrialStatus::kTimeout : TrialStatus::kFailed;
+  });
+
+  // Final snapshot so an interrupt between intervals loses nothing, and a
+  // finished campaign's checkpoint replays instantly on the next invocation.
+  if (checkpointing && newly_completed.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard lock(io_mu);
+    write_snapshot();
+  }
+
+  auto& rep = res.report;
+  for (const auto s : res.status) {
+    switch (s) {
+      case TrialStatus::kOk: break;
+      case TrialStatus::kTimeout: ++rep.timeouts; break;
+      case TrialStatus::kFailed: ++rep.failed; break;
+      case TrialStatus::kSkipped: ++rep.skipped; break;
+    }
+  }
+  rep.completed = completed.load(std::memory_order_relaxed);
+  rep.retries = retries.load(std::memory_order_relaxed);
+  rep.timeout_attempts = timeout_attempts.load(std::memory_order_relaxed);
+  rep.suppressed_exceptions = suppressed.load(std::memory_order_relaxed);
+  rep.checkpoints_written = checkpoints_written.load(std::memory_order_relaxed);
+  rep.first_error = std::move(first_error);
+  if (obs_on)
+    obs::MetricsRegistry::global().gauge("campaign.progress")
+        .set(n ? static_cast<double>(rep.completed) / static_cast<double>(n) : 1.0);
+  return res;
+}
+
+}  // namespace campaign_detail
+}  // namespace lore

@@ -1,0 +1,349 @@
+// Resilient campaign runtime — the one API every long-running statistical
+// campaign in LORE shares (Sec. III fault-injection/AVF sweeps, the Fig. 5
+// rollback Monte Carlo, circuit stuck-at and cell-characterization grids).
+//
+// A `CampaignSpec` names everything about a campaign: its identity (trial
+// count, base seed, a domain fingerprint) and its resilience policy (worker
+// threads, per-trial deadline, overall budget, retry/backoff, checkpoint path
+// and interval). `run_campaign<Record>` executes it on top of the
+// deterministic engine of parallel.hpp and adds what a multi-hour production
+// run needs to survive preemption, hangs, and crashes:
+//
+//  * checkpoint/resume — completed trial payloads are periodically written to
+//    an atomically-renamed, CRC-guarded file; on start a matching checkpoint
+//    (identity hash + build tag) is loaded and only the missing trial indices
+//    re-run. Because every trial's RNG stream is a pure function of
+//    (base_seed, index), a resumed campaign is bit-identical to an
+//    uninterrupted one at any thread count.
+//  * per-trial deadlines — each attempt gets a `CancelToken`; bodies poll it
+//    (`throw_if_cancelled`) and a timed-out trial is retried with exponential
+//    backoff, then recorded as `TrialStatus::kTimeout` instead of aborting
+//    the run. Trial exceptions are likewise retried, tallied, and degraded
+//    into the final `CampaignReport`.
+//  * observability — trials-complete counters, checkpoint-write histogram,
+//    timeout/retry counters and an ETA gauge through `src/obs`.
+//
+// The convention for campaign call sites (see DESIGN.md §9): each domain
+// exposes `<name>_run(..., const CampaignSpec&, <Options>)` returning records
+// plus the `CampaignReport`, and a thin `<name>(...)` convenience returning
+// just the domain payload. Legacy `Rng&`-drawing overloads are deprecated
+// wrappers over these entry points.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/parallel.hpp"
+#include "src/common/rng.hpp"
+
+namespace lore {
+
+/// True when checkpoint persistence is compiled in. With -DLORE_CHECKPOINT=OFF
+/// (which defines LORE_CHECKPOINT_DISABLED) the file I/O half of the runtime
+/// compiles down to a pass-through: `write_checkpoint` fails benignly,
+/// `load_checkpoint` always reports "no checkpoint", and campaigns simply run
+/// start-to-finish like plain `parallel_for_trials`.
+#ifdef LORE_CHECKPOINT_DISABLED
+inline constexpr bool kCheckpointCompiledIn = false;
+#else
+inline constexpr bool kCheckpointCompiledIn = true;
+#endif
+
+/// Final disposition of one trial in a campaign.
+enum class TrialStatus : std::uint8_t {
+  kOk,       // completed (possibly after retries), record present
+  kTimeout,  // every attempt exceeded the per-trial deadline
+  kFailed,   // every attempt threw a non-timeout exception
+  kSkipped,  // never attempted (overall budget exhausted / per-run trial cap)
+};
+
+const char* trial_status_name(TrialStatus s);
+
+/// Thrown by trial bodies (via CancelToken::throw_if_cancelled) when their
+/// deadline has passed; the engine converts it into a timeout + retry rather
+/// than a campaign failure.
+struct TrialTimeout : std::runtime_error {
+  TrialTimeout() : std::runtime_error("trial deadline exceeded") {}
+};
+
+/// Cooperative cancellation handle passed to every trial attempt. Bodies poll
+/// `cancelled()` (or call `throw_if_cancelled()`) at natural phase boundaries
+/// — per gate, per grid row, per scheduler — and must signal cancellation by
+/// throwing (normal return always counts as success). A default-constructed
+/// token never cancels.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  static CancelToken with_deadline(Clock::time_point deadline) {
+    CancelToken t;
+    t.has_deadline_ = true;
+    t.deadline_ = deadline;
+    return t;
+  }
+
+  bool cancelled() const { return has_deadline_ && Clock::now() >= deadline_; }
+
+  void throw_if_cancelled() const {
+    if (cancelled()) throw TrialTimeout();
+  }
+
+ private:
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+/// Everything that defines a campaign. The *identity* fields (trials,
+/// base_seed, domain) determine the records and are hashed into checkpoints;
+/// the *policy* fields (threads, deadlines, budget, checkpointing, retries)
+/// only shape execution, so a checkpoint taken under one policy resumes
+/// cleanly under another — e.g. interrupt at 4 threads, resume at 32.
+struct CampaignSpec {
+  // -- identity --------------------------------------------------------------
+  std::size_t trials = 0;
+  std::uint64_t base_seed = 0;
+  /// Campaign-kind + payload fingerprint (set by the domain entry point, e.g.
+  /// "arch.fault/9f3a..."); folded into the checkpoint identity hash so a
+  /// checkpoint can never be replayed against a different workload.
+  std::string domain{};
+
+  // -- policy ----------------------------------------------------------------
+  /// Worker threads (0 = hardware_concurrency, 1 = serial).
+  unsigned threads = 0;
+  /// Per-trial deadline; 0 = none. Timed-out trials retry, then degrade.
+  std::chrono::milliseconds trial_deadline{0};
+  /// Wall-clock budget for this invocation; 0 = none. Trials not started
+  /// before it expires are left kSkipped (and picked up by a resume).
+  std::chrono::milliseconds overall_budget{0};
+  /// Extra attempts after a timeout or trial exception.
+  unsigned max_retries = 2;
+  /// Backoff before retry k is `retry_backoff << k`.
+  std::chrono::milliseconds retry_backoff{1};
+  /// Checkpoint file; empty = checkpointing off.
+  std::string checkpoint_path{};
+  /// Completed trials between checkpoint writes.
+  std::size_t checkpoint_every = 64;
+  /// Cap on trials attempted by this invocation (0 = unlimited) — lets an
+  /// operator run a huge campaign in bounded slices, one resume per slice.
+  std::size_t max_trials_per_run = 0;
+
+  /// FNV-1a over the identity fields only.
+  std::uint64_t identity_hash() const;
+};
+
+/// Aggregate outcome of one `run_campaign` invocation.
+struct CampaignReport {
+  std::size_t trials = 0;
+  std::size_t completed = 0;  // includes trials restored from a checkpoint
+  std::size_t resumed = 0;    // subset of completed restored from a checkpoint
+  std::size_t timeouts = 0;   // trials whose final status is kTimeout
+  std::size_t failed = 0;     // trials whose final status is kFailed
+  std::size_t skipped = 0;    // never attempted (budget / per-run cap)
+  std::size_t retries = 0;         // attempts beyond the first, all trials
+  std::size_t timeout_attempts = 0;     // individual attempts that timed out
+  std::size_t suppressed_exceptions = 0;  // attempts that threw (non-timeout)
+  std::size_t checkpoints_written = 0;
+  bool loaded_checkpoint = false;
+  std::string first_error;  // message of the first suppressed trial exception
+
+  bool complete() const { return completed == trials; }
+};
+
+/// Records + per-trial status + report. `records[i]` is value-initialized
+/// whenever `status[i] != kOk`.
+template <typename Record>
+struct CampaignResult {
+  std::vector<Record> records;
+  std::vector<TrialStatus> status;
+  CampaignReport report;
+};
+
+/// Thrown by ByteReader on truncated/corrupt payload bytes.
+struct CheckpointError : std::runtime_error {
+  explicit CheckpointError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Little-endian byte serialization for checkpoint payloads.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) put_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) put_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void put_f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    put_u64(bits);
+  }
+  void put_bytes(const void* data, std::size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+  void put_str(std::string_view s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s);
+  }
+  std::string take() && { return std::move(buf_); }
+  const std::string& str() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t get_u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint32_t get_u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(get_u8()) << (8 * i);
+    return v;
+  }
+  std::uint64_t get_u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(get_u8()) << (8 * i);
+    return v;
+  }
+  double get_f64() {
+    const std::uint64_t bits = get_u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  void get_bytes(void* out, std::size_t n) {
+    need(n);
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::string get_str() {
+    const std::uint32_t n = get_u32();
+    need(n);
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) throw CheckpointError("truncated payload");
+  }
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// Default codec for trivially-copyable records. Domain records with pointers
+/// or containers define their own codec struct with the same two members.
+template <typename Record>
+struct PodCodec {
+  static_assert(std::is_trivially_copyable_v<Record>,
+                "PodCodec needs a trivially copyable Record; write a custom codec");
+  static void encode(ByteWriter& w, const Record& r) { w.put_bytes(&r, sizeof r); }
+  static Record decode(ByteReader& r) {
+    Record rec{};
+    r.get_bytes(&rec, sizeof rec);
+    return rec;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Checkpoint persistence (exposed so tests and tooling can craft/inspect
+// files; campaigns only ever touch it through run_campaign).
+
+struct CheckpointEntry {
+  std::uint64_t trial = 0;
+  std::string payload;
+};
+
+struct CampaignCheckpoint {
+  std::uint64_t identity = 0;  // CampaignSpec::identity_hash() of the producer
+  std::string build_tag;       // git-describe of the producing binary
+  std::uint64_t trials = 0;
+  std::vector<CheckpointEntry> entries;
+};
+
+/// git-describe tag baked into this binary (LORE_BUILD_TAG; "unknown" when
+/// built outside git). Checkpoints from a different build are not trusted.
+std::string checkpoint_build_tag();
+
+/// Serialize + CRC-guard + atomically rename into place (write to
+/// `path.tmp`, fsync-free rename). Returns false on I/O failure or when
+/// checkpointing is compiled out.
+bool write_checkpoint(const std::string& path, const CampaignCheckpoint& ck);
+
+/// Load `path` and validate magic, version, CRC, identity hash, trial count,
+/// and build tag against `spec`. Any problem — missing file aside — warns on
+/// stderr with the reason and returns nullopt, so a corrupted/truncated/stale
+/// checkpoint degrades to a fresh run instead of poisoning it.
+std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path,
+                                                  const CampaignSpec& spec);
+
+/// `$LORE_CHECKPOINT_DIR/<name>.ckpt` when the environment variable is set
+/// and non-empty, otherwise "" (checkpointing off). The hook benches use so
+/// `LORE_CHECKPOINT_DIR=... reproduce.sh` is interruptible end-to-end.
+std::string default_checkpoint_path(std::string_view campaign_name);
+
+// ---------------------------------------------------------------------------
+// Engine
+
+namespace campaign_detail {
+
+/// Type-erased core: trial bodies return their record pre-serialized, so the
+/// whole checkpoint/deadline/retry machinery lives in one non-template
+/// translation unit.
+using RawTrialFn = std::function<std::string(std::size_t, Rng&, const CancelToken&)>;
+
+struct RawResult {
+  std::vector<std::string> payloads;
+  std::vector<TrialStatus> status;
+  CampaignReport report;
+};
+
+RawResult run_campaign_raw(const CampaignSpec& spec, const RawTrialFn& trial);
+
+}  // namespace campaign_detail
+
+/// Run a campaign under `spec`. `trial(i, rng, cancel)` computes the record of
+/// trial `i` from an rng seeded with `trial_seed(spec.base_seed, i)` — the
+/// identical contract to `parallel_for_trials`, so results are bit-identical
+/// for every thread count, across interrupt/resume, and across retries.
+template <typename Record, typename Codec = PodCodec<Record>>
+CampaignResult<Record> run_campaign(
+    const CampaignSpec& spec,
+    const std::function<Record(std::size_t, Rng&, const CancelToken&)>& trial) {
+  const auto raw = campaign_detail::run_campaign_raw(
+      spec, [&](std::size_t i, Rng& rng, const CancelToken& cancel) {
+        ByteWriter w;
+        Codec::encode(w, trial(i, rng, cancel));
+        return std::move(w).take();
+      });
+  CampaignResult<Record> out;
+  out.records.resize(spec.trials);
+  for (std::size_t i = 0; i < spec.trials; ++i) {
+    if (raw.status[i] != TrialStatus::kOk) continue;
+    ByteReader r(raw.payloads[i]);
+    out.records[i] = Codec::decode(r);
+  }
+  out.status = raw.status;
+  out.report = raw.report;
+  return out;
+}
+
+}  // namespace lore

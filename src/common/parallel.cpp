@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "src/obs/obs.hpp"
@@ -59,8 +61,21 @@ void ThreadPool::wait() {
   done_cv_.wait(lock, [this] { return pending_ == 0; });
   if (first_error_) {
     auto error = std::exchange(first_error_, nullptr);
+    const std::size_t suppressed = std::exchange(suppressed_errors_, 0);
     lock.unlock();
-    std::rethrow_exception(error);
+    if (suppressed == 0) std::rethrow_exception(error);
+    // Later failures in the batch must not vanish: tally them and carry the
+    // count in the rethrown message so callers see the blast radius.
+    if (obs::kCompiledIn && obs::enabled())
+      obs::MetricsRegistry::global().counter("pool.suppressed_exceptions").add(suppressed);
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(std::string(e.what()) + " (+" +
+                               std::to_string(suppressed) +
+                               " suppressed job exception(s))");
+    }
+    // Non-std exceptions propagate as-is from the rethrow above.
   }
 }
 
@@ -82,7 +97,10 @@ void ThreadPool::worker_loop() {
     }
     {
       std::lock_guard lock(mu_);
-      if (error && !first_error_) first_error_ = error;
+      if (error) {
+        if (!first_error_) first_error_ = error;
+        else ++suppressed_errors_;
+      }
       if (--pending_ == 0) done_cv_.notify_all();
     }
   }

@@ -35,8 +35,11 @@ std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t trial_index);
 unsigned resolve_threads(unsigned threads, std::size_t n);
 
 /// A small fixed-size worker pool. Jobs are arbitrary callables; the first
-/// exception thrown by any job is captured and rethrown from `wait()`. The
-/// pool stays usable after an exception (subsequent submits run normally).
+/// exception thrown by any job is captured and rethrown from `wait()`. Later
+/// job exceptions in the same batch are not lost silently: they are counted,
+/// reported through the obs counter `pool.suppressed_exceptions`, and the
+/// count is appended to the rethrown message. The pool stays usable after an
+/// exception (subsequent submits run normally).
 class ThreadPool {
  public:
   /// `threads` = 0 picks hardware_concurrency.
@@ -66,6 +69,7 @@ class ThreadPool {
   std::size_t pending_ = 0;          // queued + running jobs
   bool stop_ = false;
   std::exception_ptr first_error_;
+  std::size_t suppressed_errors_ = 0;  // job exceptions after the first
 };
 
 /// Run `fn(i)` for every `i` in [0, n) across `threads` workers (0 = all

@@ -5,6 +5,7 @@
 
 #include <map>
 
+#include "src/common/campaign.hpp"
 #include "src/rollback/schedule.hpp"
 
 namespace lore::rollback {
@@ -15,12 +16,15 @@ struct ExperimentConfig {
   /// Error probabilities swept (the paper spans ~1e-8 .. 1e-3).
   std::vector<double> error_probabilities = default_probability_grid();
   std::size_t runs_per_point = 100;  // the paper's count
-  std::uint64_t seed = 97;
-  /// Worker threads for the Monte Carlo runs of each sweep point
-  /// (0 = hardware_concurrency, 1 = the legacy serial path). Per-run
-  /// counter-based seeding keeps results bit-identical for any value.
-  unsigned threads = 0;
+  /// Execution/resilience knobs of the Monte Carlo campaign (threads,
+  /// deadlines, checkpoint path — src/common/campaign.hpp). `campaign.trials`
+  /// and `campaign.domain` are derived from the sweep and overridden;
+  /// `campaign.base_seed` (default 97) seeds every run and calibration
+  /// stream. Per-(point, run) counter-based seeding keeps results
+  /// bit-identical for any thread count and across interrupt/resume.
+  lore::CampaignSpec campaign = default_campaign_spec();
 
+  static lore::CampaignSpec default_campaign_spec();
   static std::vector<double> default_probability_grid();
 };
 
@@ -34,6 +38,10 @@ struct SweepPoint {
 struct ExperimentResult {
   std::vector<Segment> segments;
   std::vector<SweepPoint> points;
+  /// Resilience report of the underlying campaign (one trial per Monte Carlo
+  /// run). When it is not `complete()`, each point's statistics cover only
+  /// the runs that finished.
+  lore::CampaignReport campaign_report;
 
   /// Error probability where the average hit rate of a scheduler first drops
   /// below 0.5 (the "error rate wall" position).

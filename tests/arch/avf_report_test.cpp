@@ -14,7 +14,7 @@ class AvfReportTest : public ::testing::Test {
 
 TEST_F(AvfReportTest, PerRegisterRowsSumToCampaign) {
   lore::Rng rng(1);
-  const auto campaign = injector_.campaign(300, FaultTarget::kRegister, rng);
+  const auto campaign = injector_.campaign(300, FaultTarget::kRegister, rng.next_u64());
   const auto rows = avf_by_register(campaign);
   std::size_t total = 0;
   for (const auto& r : rows) {
@@ -28,7 +28,7 @@ TEST_F(AvfReportTest, PerRegisterRowsSumToCampaign) {
 
 TEST_F(AvfReportTest, LiveRegistersMoreVulnerableThanDead) {
   lore::Rng rng(2);
-  const auto campaign = injector_.campaign(1500, FaultTarget::kRegister, rng);
+  const auto campaign = injector_.campaign(1500, FaultTarget::kRegister, rng.next_u64());
   const auto rows = avf_by_register(campaign);
   double acc_avf = 0.0, dead_avf = 1.0;
   for (const auto& r : rows) {
@@ -41,7 +41,7 @@ TEST_F(AvfReportTest, LiveRegistersMoreVulnerableThanDead) {
 
 TEST_F(AvfReportTest, InstructionClassesPresent) {
   lore::Rng rng(3);
-  const auto campaign = injector_.campaign(600, FaultTarget::kInstruction, rng);
+  const auto campaign = injector_.campaign(600, FaultTarget::kInstruction, rng.next_u64());
   const auto rows = avf_by_instruction_class(workload_.program, campaign);
   bool saw_alu = false, saw_mem = false, saw_branch = false;
   for (const auto& r : rows) {
@@ -56,7 +56,7 @@ TEST_F(AvfReportTest, InstructionClassesPresent) {
 
 TEST_F(AvfReportTest, BitRangesPartitionInjections) {
   lore::Rng rng(4);
-  const auto campaign = injector_.campaign(400, FaultTarget::kRegister, rng);
+  const auto campaign = injector_.campaign(400, FaultTarget::kRegister, rng.next_u64());
   const auto rows = avf_by_bit_range(campaign);
   ASSERT_EQ(rows.size(), 3u);
   std::size_t total = 0;
@@ -66,7 +66,7 @@ TEST_F(AvfReportTest, BitRangesPartitionInjections) {
 
 TEST_F(AvfReportTest, RenderContainsStructuresAndHeader) {
   lore::Rng rng(5);
-  const auto campaign = injector_.campaign(120, FaultTarget::kRegister, rng);
+  const auto campaign = injector_.campaign(120, FaultTarget::kRegister, rng.next_u64());
   const auto text = render_avf_report(avf_by_register(campaign));
   EXPECT_NE(text.find("structure"), std::string::npos);
   EXPECT_NE(text.find("avf"), std::string::npos);

@@ -52,7 +52,7 @@ TEST_F(FaultTest, OutputMemoryFaultAfterStoreIsSdc) {
 
 TEST_F(FaultTest, CampaignProducesAllRecords) {
   lore::Rng rng(1);
-  const auto records = injector_.campaign(200, FaultTarget::kRegister, rng);
+  const auto records = injector_.campaign(200, FaultTarget::kRegister, rng.next_u64());
   EXPECT_EQ(records.size(), 200u);
   const auto mix = summarize(records);
   EXPECT_EQ(mix.total(), 200u);
@@ -62,14 +62,14 @@ TEST_F(FaultTest, CampaignProducesAllRecords) {
 
 TEST_F(FaultTest, AvfMatchesSummary) {
   lore::Rng rng(2);
-  const auto records = injector_.campaign(150, FaultTarget::kRegister, rng);
+  const auto records = injector_.campaign(150, FaultTarget::kRegister, rng.next_u64());
   const auto mix = summarize(records);
   EXPECT_DOUBLE_EQ(avf(records), mix.fraction_failure());
 }
 
 TEST_F(FaultTest, InstructionFaultsCanCrash) {
   lore::Rng rng(3);
-  const auto records = injector_.campaign(300, FaultTarget::kInstruction, rng);
+  const auto records = injector_.campaign(300, FaultTarget::kInstruction, rng.next_u64());
   const auto mix = summarize(records);
   // Opcode/field corruption is much more disruptive than register noise.
   EXPECT_GT(mix.fraction_failure(), 0.05);

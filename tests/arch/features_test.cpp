@@ -60,7 +60,7 @@ TEST(VulnerabilityDataset, LabelsFollowThreshold) {
   const auto w = make_checksum(10, 3);
   FaultInjector injector(w);
   lore::Rng rng(5);
-  const auto records = injector.campaign(400, FaultTarget::kRegister, rng);
+  const auto records = injector.campaign(400, FaultTarget::kRegister, rng.next_u64());
   const auto d = register_vulnerability_dataset(w, records, 0.2);
   EXPECT_GT(d.size(), 4u);
   EXPECT_EQ(d.features(), kRegisterFeatureDim);

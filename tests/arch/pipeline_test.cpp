@@ -117,7 +117,7 @@ TEST(PipelineFaults, LateInjectionBenign) {
 TEST(PipelineFaults, CampaignMixContainsFailures) {
   const auto w = make_checksum(10, 5);
   lore::Rng rng(7);
-  const auto records = pipeline_campaign(w, 200, rng);
+  const auto records = pipeline_campaign(w, 200, rng.next_u64());
   EXPECT_EQ(records.size(), 200u);
   const auto mix = summarize(records);
   EXPECT_GT(mix.benign, 0u);
@@ -151,8 +151,8 @@ TEST(PipelineFaults, EveryLatchFieldClassifies) {
 TEST(PipelineFaults, CampaignReproducibleFromSeed) {
   const auto w = make_checksum(8, 3);
   lore::Rng a(21), b(21);
-  const auto first = pipeline_campaign(w, 120, a);
-  const auto second = pipeline_campaign(w, 120, b);
+  const auto first = pipeline_campaign(w, 120, a.next_u64());
+  const auto second = pipeline_campaign(w, 120, b.next_u64());
   EXPECT_TRUE(first == second);
 }
 

@@ -36,7 +36,7 @@ TEST(RandomProgram, InjectableAndClassifiable) {
   const auto w = make_random_program(100, 31);
   FaultInjector injector(w);
   lore::Rng rng(32);
-  const auto records = injector.campaign(150, FaultTarget::kRegister, rng);
+  const auto records = injector.campaign(150, FaultTarget::kRegister, rng.next_u64());
   const auto mix = summarize(records);
   EXPECT_EQ(mix.total(), 150u);
   // Random programs have dense dataflow into stores: some failures expected.

@@ -55,7 +55,7 @@ TEST_F(ReplicateTest, ModelDrivenPolicyProtectsSubset) {
   // Train an SVM on labels from an instruction campaign, as IPAS does.
   FaultInjector injector(workload_);
   lore::Rng rng(11);
-  const auto campaign = injector.campaign(600, FaultTarget::kInstruction, rng);
+  const auto campaign = injector.campaign(600, FaultTarget::kInstruction, rng.next_u64());
   const auto labels = instruction_vulnerability_labels(workload_.program, campaign, 0.3);
 
   ml::Matrix x;

@@ -49,7 +49,7 @@ TEST_F(LogicSimTest, StuckAtForcesOutput) {
 TEST_F(LogicSimTest, CampaignObservabilityBounds) {
   const auto nl = generate_random_logic(lib_, RandomLogicConfig{.num_gates = 60, .seed = 3});
   lore::Rng rng(4);
-  const auto campaign = stuck_at_campaign(nl, 16, rng);
+  const auto campaign = stuck_at_campaign(nl, {.trials = 16, .base_seed = rng.next_u64()});
   ASSERT_EQ(campaign.size(), nl.num_instances());
   for (const auto& g : campaign) {
     EXPECT_GE(g.criticality(), 0.0);
@@ -80,8 +80,8 @@ TEST_F(LogicSimTest, FeaturesPredictCriticality) {
   const auto test_nl =
       generate_random_logic(lib_, RandomLogicConfig{.num_gates = 90, .seed = 8});
   lore::Rng rng(9);
-  const auto train_campaign = stuck_at_campaign(train_nl, 24, rng);
-  const auto test_campaign = stuck_at_campaign(test_nl, 24, rng);
+  const auto train_campaign = stuck_at_campaign(train_nl, {.trials = 24, .base_seed = rng.next_u64()});
+  const auto test_campaign = stuck_at_campaign(test_nl, {.trials = 24, .base_seed = rng.next_u64()});
   const auto train = gate_criticality_dataset(train_nl, train_campaign, 0.3);
   const auto test = gate_criticality_dataset(test_nl, test_campaign, 0.3);
 

@@ -55,7 +55,7 @@ TEST(CrossLayer, ArchCampaignDrivesOsReplicaPolicy) {
   const auto w = make_checksum(12, 3);
   FaultInjector injector(w);
   lore::Rng rng(4);
-  const auto campaign = injector.campaign(400, FaultTarget::kRegister, rng);
+  const auto campaign = injector.campaign(400, FaultTarget::kRegister, rng.next_u64());
   const auto mix = summarize(campaign);
 
   os::ReplicaManager calm_mgr(os::ReplicaManagerConfig{.failure_penalty = 50.0});

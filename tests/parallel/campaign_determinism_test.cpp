@@ -60,9 +60,9 @@ TEST(MonteCarloDeterminism, ExperimentBitIdenticalAcrossThreadCounts) {
       rollback::SchedulerKind::kDs, rollback::SchedulerKind::kWcet,
       rollback::SchedulerKind::kDsLearned};
 
-  cfg.threads = 1;
+  cfg.campaign.threads = 1;
   const auto serial = rollback::run_experiment(cfg, schedulers);
-  cfg.threads = 8;
+  cfg.campaign.threads = 8;
   const auto parallel = rollback::run_experiment(cfg, schedulers);
 
   ASSERT_EQ(serial.points.size(), parallel.points.size());

@@ -1,0 +1,59 @@
+// The deprecated `Rng&`-drawing campaign overloads are thin wrappers that
+// draw one u64 for the spec's base seed. This is the one place in the repo
+// allowed to call them: it pins the wrapper behavior (bit-identical to the
+// spec entry points) so out-of-tree callers can migrate mechanically.
+#include <gtest/gtest.h>
+
+#include "src/arch/fault.hpp"
+#include "src/arch/pipeline.hpp"
+#include "src/circuit/logicsim.hpp"
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace lore {
+namespace {
+
+TEST(DeprecatedOverloads, FaultCampaignMatchesSpecEntryPoint) {
+  const auto workload = arch::make_dot_product(12, 42);
+  const arch::FaultInjector injector(workload);
+  Rng legacy_rng(5);
+  const auto legacy = injector.campaign(80, arch::FaultTarget::kRegister, legacy_rng);
+
+  Rng seed_rng(5);
+  const auto migrated =
+      injector.campaign(80, arch::FaultTarget::kRegister, seed_rng.next_u64());
+  EXPECT_EQ(legacy, migrated);
+}
+
+TEST(DeprecatedOverloads, PipelineCampaignMatchesSpecEntryPoint) {
+  const auto workload = arch::make_dot_product(10, 7);
+  Rng legacy_rng(9);
+  const auto legacy = arch::pipeline_campaign(workload, 60, legacy_rng);
+
+  Rng seed_rng(9);
+  const auto migrated = arch::pipeline_campaign(workload, 60, seed_rng.next_u64());
+  EXPECT_EQ(legacy, migrated);
+}
+
+TEST(DeprecatedOverloads, StuckAtCampaignMatchesSpecEntryPoint) {
+  const auto lib = circuit::make_skeleton_library("tech");
+  const auto nl = circuit::generate_random_logic(
+      lib, circuit::RandomLogicConfig{.num_gates = 30, .seed = 3});
+  Rng legacy_rng(4);
+  const auto legacy = circuit::stuck_at_campaign(nl, 12, legacy_rng);
+
+  Rng seed_rng(4);
+  const auto migrated = circuit::stuck_at_campaign(
+      nl, CampaignSpec{.trials = 12, .base_seed = seed_rng.next_u64(), .threads = 1});
+  ASSERT_EQ(legacy.size(), migrated.size());
+  for (std::size_t g = 0; g < legacy.size(); ++g) {
+    EXPECT_EQ(legacy[g].stuck0_observability, migrated[g].stuck0_observability);
+    EXPECT_EQ(legacy[g].stuck1_observability, migrated[g].stuck1_observability);
+  }
+}
+
+}  // namespace
+}  // namespace lore
+
+#pragma GCC diagnostic pop
