@@ -10,6 +10,12 @@
 //   LORE_OBS=0      same as --quiet for the metrics half (env-level switch)
 //   LORE_BENCH_DIR  directory for BENCH_<name>.json (default: cwd)
 //   LORE_TRACE=f    additionally dump a Chrome trace of all recorded spans
+//   LORE_SERVE=p    serve /metrics, /metrics.json, /intervals.json, /healthz
+//                   on port p (0 = ephemeral) while the bench runs
+//
+// Unless --quiet / LORE_OBS=0, the live pipeline's Aggregator runs for the
+// whole bench, and the artifact gains an `intervals` member — the
+// `lore.intervals.v1` per-interval rate history (DESIGN.md §10).
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -105,6 +111,10 @@ inline std::string write_bench_artifact(const std::string& bench_name) {
     tables.push_back(std::move(tj));
   }
   doc["tables"] = std::move(tables);
+  if (auto* agg = obs::Pipeline::global().aggregator()) {
+    agg->tick();  // flush the tail interval so nothing is lost to timing
+    doc["intervals"] = agg->intervals_json();
+  }
   doc["metrics"] = obs::metrics_to_json(obs::MetricsRegistry::global().snapshot());
 
   const char* dir = std::getenv("LORE_BENCH_DIR");
@@ -138,6 +148,9 @@ inline std::string write_bench_artifact(const std::string& bench_name) {
         break;                                                            \
       }                                                                   \
     }                                                                     \
+    if (::lore::obs::kCompiledIn && ::lore::obs::enabled() &&             \
+        !::lore::obs::start_pipeline_from_env())                          \
+      ::lore::obs::Pipeline::global().start();                            \
     report_fn();                                                          \
     ::benchmark::Initialize(&argc, argv);                                 \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
@@ -150,5 +163,6 @@ inline std::string write_bench_artifact(const std::string& bench_name) {
     }                                                                     \
     if (::lore::obs::flush_trace_if_requested())                          \
       std::printf("trace written to %s\n", std::getenv("LORE_TRACE"));    \
+    ::lore::obs::Pipeline::global().stop();                               \
     return 0;                                                             \
   }

@@ -115,38 +115,62 @@ void report_parallel_campaign() {
 }
 
 /// Satellite check for the observability subsystem: the instrumented
-/// campaign path must cost the same with metrics collection on and off
-/// (and the off path is also reachable at compile time via -DLORE_OBS=OFF).
+/// campaign path must cost (nearly) the same with metrics collection off,
+/// on, and on with the whole live pipeline — event ring + Aggregator +
+/// /metrics exposition server — running alongside (DESIGN.md §10). The off
+/// path is also reachable at compile time via -DLORE_OBS=OFF.
 void report_obs_overhead(const FaultInjector& injector,
                          const std::vector<FaultRecord>& reference) {
   bench::print_header(
-      "Observability overhead — metrics on vs off",
-      "Same 10k-trial serial campaign with the metrics registry enabled and "
-      "disabled (LORE_OBS runtime switch); the hot path carries one "
-      "predictable branch, so the two timings should be within noise.");
+      "Observability overhead — off vs on vs on+serve",
+      "Same 10k-trial serial campaign with (1) the metrics registry disabled "
+      "(LORE_OBS runtime switch), (2) enabled, and (3) enabled with the live "
+      "pipeline running: event ring drained by a 50 ms Aggregator plus the "
+      "HTTP exposition server bound on an ephemeral port.");
   constexpr std::size_t kTrials = 10000;
   constexpr std::uint64_t kSeed = 2024;
   const bool was_enabled = obs::enabled();
+  // The section manages its own pipeline so the three rows are comparable
+  // even when LORE_SERVE already started the global one.
+  const bool global_pipeline = obs::Pipeline::global().running();
+  if (global_pipeline) obs::Pipeline::global().stop();
 
-  Table t({"metrics", "seconds", "trials_per_s", "overhead_vs_off"});
+  Table t({"mode", "seconds", "trials_per_s", "overhead_vs_off"});
   double off_s = 0.0;
-  for (const bool on : {false, true}) {
-    obs::set_enabled(on);
+  for (int mode = 0; mode < 3; ++mode) {
+    obs::set_enabled(mode != 0);
+    obs::AggregatorConfig acfg;
+    acfg.interval = std::chrono::milliseconds(50);
+    obs::Aggregator agg(acfg);
+    obs::MetricsServer server(&agg);
+    if (mode == 2) {
+      agg.start();
+      server.start(obs::ServeConfig{.port = 0});
+    }
     std::vector<FaultRecord> records;
     const double elapsed = bench::timed_seconds(
         [&] { records = injector.campaign(kTrials, FaultTarget::kRegister, kSeed, 1); });
+    if (mode == 2) {
+      server.stop();
+      agg.stop();
+    }
     obs::set_enabled(was_enabled);
     if (records != reference)
       bench::print_note("WARNING: obs toggle changed campaign results");
-    if (!on) off_s = elapsed;
-    t.add_row({on ? "on" : "off", fmt_sig(elapsed, 4),
+    if (mode == 0) off_s = elapsed;
+    const char* label = mode == 0 ? "off" : mode == 1 ? "on" : "on+serve";
+    t.add_row({label, fmt_sig(elapsed, 4),
                fmt_sig(static_cast<double>(kTrials) / elapsed, 4),
-               on ? fmt_sig(elapsed / off_s, 3) : std::string("1.000")});
+               mode ? fmt_sig(elapsed / off_s, 3) : std::string("1.000")});
   }
   bench::print_table(t);
   bench::print_note(
-      "Expected: overhead_vs_off ~ 1.0 (instrumentation is zero-cost when "
-      "compiled out and branch-cheap when merely disabled).");
+      "Expected: overhead_vs_off ~ 1.0 on every row (instrumentation is "
+      "zero-cost when compiled out, branch-cheap when disabled, and the "
+      "pipeline rides on one CAS + 64-byte copy per event).");
+
+  if (global_pipeline && !obs::start_pipeline_from_env())
+    obs::Pipeline::global().start();
 }
 
 void BM_RegisterFeatures(benchmark::State& state) {

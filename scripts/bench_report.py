@@ -95,6 +95,36 @@ RESILIENCE_COUNTERS = [
 ]
 
 
+def interval_rows(doc):
+    """Per-interval rate rows from the live aggregator's history, if the
+    artifact embeds one (schema lore.intervals.v1 under the `intervals` key:
+    the bench ran with the telemetry pipeline active)."""
+    block = doc.get("intervals")
+    if not isinstance(block, dict) or block.get("schema") != "lore.intervals.v1":
+        return []
+    rows = []
+    for iv in block.get("intervals", []):
+        try:
+            rows.append([
+                str(iv["seq"]),
+                f"{iv['dt_s']:.3f}",
+                str(iv["trials_completed"]),
+                f"{iv['trials_per_s']:.6g}",
+                f"{iv['events_per_s']:.6g}",
+                f"{iv['timeout_rate']:.4g}",
+                str(iv["events_dropped"]),
+                str(iv["alerts"]),
+            ])
+        except (KeyError, TypeError) as e:
+            print(f"bench_report: skipping malformed interval in "
+                  f"{doc.get('bench', '?')}: {e}", file=sys.stderr)
+    return rows
+
+
+INTERVAL_HEADERS = ["seq", "dt_s", "trials", "trials_per_s", "events_per_s",
+                    "timeout_rate", "dropped", "alerts"]
+
+
 def resilience_summary(docs):
     """One row per bench of the campaign-health counters, if any are present."""
     rows = []
@@ -127,7 +157,7 @@ def report(paths):
     for path in paths:
         try:
             doc = load_artifact(path)
-        except (OSError, ValueError, json.JSONDecodeError) as e:
+        except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError) as e:
             print(f"bench_report: skipping {path}: {e}", file=sys.stderr)
             continue
         docs.append(doc)
@@ -142,6 +172,11 @@ def report(paths):
             out.append("")
             out.append("-- metrics registry snapshot")
             out.append(render_table(["kind", "name", "value"], rows))
+        ivs = interval_rows(doc)
+        if ivs:
+            out.append("")
+            out.append("-- live pipeline intervals (lore.intervals.v1)")
+            out.append(render_table(INTERVAL_HEADERS, ivs))
         out.append("")
     out.extend(resilience_summary(docs))
     out.append(f"bench_report: aggregated {len(docs)} artifact(s)")
@@ -161,7 +196,7 @@ def load_run(arg):
     for path in find_artifacts([arg]):
         try:
             doc = load_artifact(path)
-        except (OSError, ValueError, json.JSONDecodeError) as e:
+        except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError) as e:
             print(f"bench_report: skipping {path}: {e}", file=sys.stderr)
             continue
         for table in doc.get("tables", []):

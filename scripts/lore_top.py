@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Live terminal view of a running LORE process's /metrics.json endpoint.
+
+Start any campaign or bench with `LORE_SERVE=<port>` (see README "Live
+monitoring"), then point this at it:
+
+  scripts/lore_top.py --url http://127.0.0.1:9464 --interval 1.0
+
+Each refresh polls /metrics.json (schema lore.metrics.v1) and /healthz,
+prints every gauge, and turns counter deltas between polls into per-second
+rates — the consumer-side mirror of the in-process Aggregator. Only the
+Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def fetch_json(url, timeout):
+    with urllib.request.urlopen(url, timeout=timeout) as r:
+        return json.loads(r.read().decode("utf-8"))
+
+
+def fetch_health(base, timeout):
+    """(state, alerts_total) from /healthz; 503 still carries the body."""
+    try:
+        with urllib.request.urlopen(base + "/healthz", timeout=timeout) as r:
+            doc = json.loads(r.read().decode("utf-8"))
+    except urllib.error.HTTPError as e:
+        doc = json.loads(e.read().decode("utf-8"))
+    return doc.get("status", "?"), doc.get("alerts_total", 0)
+
+
+def render(snapshot, prev, dt, health):
+    lines = []
+    state, alerts = health
+    lines.append(f"health: {state}  alerts_total: {alerts}")
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<40} {'total':>14} {'rate/s':>12}")
+        for name in sorted(counters):
+            total = counters[name]
+            rate = ""
+            if prev is not None and dt > 0:
+                delta = total - prev.get("counters", {}).get(name, 0)
+                rate = f"{delta / dt:.6g}"
+            lines.append(f"{name:<40} {total:>14} {rate:>12}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append(f"{'gauge':<40} {'value':>14}")
+        for name in sorted(gauges):
+            lines.append(f"{name:<40} {gauges[name]:>14.6g}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append(f"{'histogram':<40} {'count':>10} {'p50':>10} {'p99':>10}")
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(f"{name:<40} {h.get('count', 0):>10} "
+                         f"{h.get('p50', 0.0):>10.4g} {h.get('p99', 0.0):>10.4g}")
+    return "\n".join(lines)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--url", default="http://127.0.0.1:9464",
+                    help="base URL of the LORE exposition server")
+    ap.add_argument("--interval", type=float, default=1.0,
+                    help="seconds between polls")
+    ap.add_argument("--iterations", type=int, default=0,
+                    help="stop after N polls (0 = until interrupted)")
+    ap.add_argument("--timeout", type=float, default=2.0,
+                    help="per-request timeout in seconds")
+    args = ap.parse_args()
+    base = args.url.rstrip("/")
+
+    prev, prev_t, n = None, None, 0
+    try:
+        while True:
+            try:
+                snapshot = fetch_json(base + "/metrics.json", args.timeout)
+                health = fetch_health(base, args.timeout)
+            except (urllib.error.URLError, OSError, ValueError) as e:
+                print(f"lore_top: {base}: {e}", file=sys.stderr)
+                return 1
+            now = time.monotonic()
+            dt = (now - prev_t) if prev_t is not None else 0.0
+            # ANSI clear screen + home; harmless when piped to a file.
+            if sys.stdout.isatty():
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(f"lore_top — {base}  (poll {n + 1}, dt {dt:.2f}s)")
+            print(render(snapshot, prev, dt, health))
+            sys.stdout.flush()
+            prev, prev_t, n = snapshot, now, n + 1
+            if args.iterations and n >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

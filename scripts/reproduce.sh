@@ -8,13 +8,23 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
-# TSAN=1 additionally runs the `parallel`- and `resilience`-labeled
-# determinism/race suites of the campaign engine under ThreadSanitizer
-# (the `tsan` CMake preset).
+# TSAN=1 additionally runs the `parallel`-, `resilience`-, and `obs`-labeled
+# determinism/race suites — campaign engine plus the live telemetry pipeline
+# (event-ring producers vs the aggregator drain and serve threads) — under
+# ThreadSanitizer (the `tsan` CMake preset).
 if [ "${TSAN:-0}" = "1" ]; then
   cmake --preset tsan
-  cmake --build build-tsan --target lore_parallel_tests lore_resilience_tests
-  ctest --test-dir build-tsan -L '(parallel|resilience)' --output-on-failure 2>&1 | tee tsan_output.txt
+  cmake --build build-tsan --target lore_parallel_tests lore_resilience_tests lore_obs_tests
+  ctest --test-dir build-tsan -L '(parallel|resilience|obs)' --output-on-failure 2>&1 | tee tsan_output.txt
+fi
+
+# Smoke the -DLORE_OBS=OFF build (the `obs-off` preset): the telemetry
+# pipeline compiles out to no-ops, campaigns still run, and the obs suite's
+# compile-switch-aware tests pass against the stubbed Pipeline/Aggregator.
+if [ "${OBS_OFF:-0}" = "1" ]; then
+  cmake --preset obs-off
+  cmake --build build-obs-off --target lore_obs_tests
+  ctest --test-dir build-obs-off -L obs --output-on-failure 2>&1 | tee obs_off_output.txt
 fi
 
 : > bench_output.txt

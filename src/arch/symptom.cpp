@@ -13,6 +13,16 @@ int argmax(std::span<const double> v) {
 
 }  // namespace
 
+std::vector<std::size_t> ewma_symptom_epochs(const std::vector<double>& series,
+                                             double alpha, double k_sigma,
+                                             std::size_t warmup) {
+  EwmaSymptomDetector detector(alpha, k_sigma, warmup);
+  std::vector<std::size_t> anomalous;
+  for (std::size_t i = 0; i < series.size(); ++i)
+    if (detector.update(series[i])) anomalous.push_back(i);
+  return anomalous;
+}
+
 std::vector<double> activation_statistics(const std::vector<std::vector<double>>& layers) {
   std::vector<double> stats;
   stats.reserve(4 * layers.size());

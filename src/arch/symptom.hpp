@@ -15,8 +15,22 @@
 #include "src/ml/dataset.hpp"
 #include "src/ml/metrics.hpp"
 #include "src/ml/mlp.hpp"
+#include "src/obs/health.hpp"
 
 namespace lore::arch {
+
+/// Streaming EWMA k-sigma detector for scalar telemetry series (temperature,
+/// error rate, throughput). The implementation lives in the obs layer because
+/// the self-monitoring health loop (DESIGN.md §10) runs below this library in
+/// the link order; this alias is the architecture-level name for the same
+/// Sec. III-B3 symptom machinery.
+using EwmaSymptomDetector = lore::obs::EwmaDetector;
+
+/// Indices of anomalous epochs in `series` under EWMA k-sigma detection —
+/// the batch convenience over EwmaSymptomDetector for offline fleet logs.
+std::vector<std::size_t> ewma_symptom_epochs(const std::vector<double>& series,
+                                             double alpha = 0.3, double k_sigma = 4.0,
+                                             std::size_t warmup = 3);
 
 /// Per-layer activation statistics (mean, std, max-abs, top-2 margin) — a
 /// compact summary used for reporting and by lightweight monitors.

@@ -273,9 +273,10 @@ RawResult run_campaign_raw(const CampaignSpec& spec, const RawTrialFn& trial) {
     const auto w0 = Clock::now();
     if (write_checkpoint(spec.checkpoint_path, ck)) {
       checkpoints_written.fetch_add(1, std::memory_order_relaxed);
+      const double us =
+          std::chrono::duration<double, std::micro>(Clock::now() - w0).count();
+      LORE_OBS_EVENT(obs::EventKind::kCheckpointWritten, ck.entries.size(), us);
       if (obs_on) {
-        const double us =
-            std::chrono::duration<double, std::micro>(Clock::now() - w0).count();
         auto& reg = obs::MetricsRegistry::global();
         reg.histogram("campaign.checkpoint_write_us").observe(us);
         reg.counter("campaign.checkpoints").add(1);
@@ -304,12 +305,14 @@ RawResult run_campaign_raw(const CampaignSpec& spec, const RawTrialFn& trial) {
         retries.fetch_add(1, std::memory_order_relaxed);
         if (obs_on)
           obs::MetricsRegistry::global().counter("campaign.retries").add(1);
+        LORE_OBS_EVENT(obs::EventKind::kTrialRetry, idx, attempt);
         std::this_thread::sleep_for(spec.retry_backoff * (1u << (attempt - 1)));
       }
       const CancelToken cancel =
           spec.trial_deadline.count() > 0
               ? CancelToken::with_deadline(Clock::now() + spec.trial_deadline)
               : CancelToken();
+      const auto a0 = Clock::now();
       try {
         // A fresh stream per attempt: a retried trial replays the exact
         // stream of its first attempt, keeping resumed/retried campaigns
@@ -328,6 +331,9 @@ RawResult run_campaign_raw(const CampaignSpec& spec, const RawTrialFn& trial) {
               .set(static_cast<double>(completed.load(std::memory_order_relaxed)) /
                    static_cast<double>(n));
         }
+        LORE_OBS_EVENT(
+            obs::EventKind::kTrialCompleted, idx,
+            (std::chrono::duration<double, std::micro>(Clock::now() - a0).count()));
         if (checkpointing &&
             since_checkpoint.fetch_add(1, std::memory_order_relaxed) + 1 >=
                 spec.checkpoint_every) {
@@ -345,11 +351,13 @@ RawResult run_campaign_raw(const CampaignSpec& spec, const RawTrialFn& trial) {
         timeout_attempts.fetch_add(1, std::memory_order_relaxed);
         if (obs_on)
           obs::MetricsRegistry::global().counter("campaign.timeouts").add(1);
+        LORE_OBS_EVENT(obs::EventKind::kTrialTimeout, idx, attempt);
       } catch (const std::exception& e) {
         last_was_timeout = false;
         suppressed.fetch_add(1, std::memory_order_relaxed);
         if (obs_on)
           obs::MetricsRegistry::global().counter("campaign.trial_failures").add(1);
+        LORE_OBS_EVENT(obs::EventKind::kTrialFailed, idx, attempt);
         std::lock_guard lock(err_mu);
         if (first_error.empty()) first_error = e.what();
       } catch (...) {
@@ -357,6 +365,7 @@ RawResult run_campaign_raw(const CampaignSpec& spec, const RawTrialFn& trial) {
         suppressed.fetch_add(1, std::memory_order_relaxed);
         if (obs_on)
           obs::MetricsRegistry::global().counter("campaign.trial_failures").add(1);
+        LORE_OBS_EVENT(obs::EventKind::kTrialFailed, idx, attempt);
         std::lock_guard lock(err_mu);
         if (first_error.empty()) first_error = "unknown trial exception";
       }

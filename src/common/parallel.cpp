@@ -157,9 +157,15 @@ void parallel_for(std::size_t n, unsigned threads,
 
 void parallel_for_trials(std::size_t n, std::uint64_t base_seed, unsigned threads,
                          const std::function<void(std::size_t, Rng&)>& fn) {
+  // Resolve the completion counter once; per-trial updates are lock-free.
+  obs::Counter* completed = nullptr;
+  if (obs::kCompiledIn && obs::enabled())
+    completed = &obs::MetricsRegistry::global().counter("parallel.trials_completed");
   parallel_for(n, threads, [&](std::size_t i) {
     Rng rng(trial_seed(base_seed, i));
     fn(i, rng);
+    if (completed) completed->add(1);
+    LORE_OBS_EVENT(obs::EventKind::kTrialCompleted, i, 0.0);
   });
 }
 

@@ -124,6 +124,49 @@ std::string summary_table(const Snapshot& snap) {
   return out;
 }
 
+namespace {
+
+/// `campaign.trials_completed` -> `lore_campaign_trials_completed`.
+std::string prom_name(const std::string& name) {
+  std::string out = "lore_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text(const Snapshot& snap) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + fmt_double(value) + "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string n = prom_name(h.name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      const std::string le =
+          i < h.upper_bounds.size() ? fmt_double(h.upper_bounds[i]) : "+Inf";
+      out += n + "_bucket{le=\"" + le + "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += n + "_sum " + fmt_double(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
 Json chrome_trace_json(const std::vector<TraceEvent>& events) {
   Json doc = Json::object();
   Json list = Json::array();

@@ -25,6 +25,12 @@ Snapshot snapshot_from_json(const Json& doc);
 /// Human-readable aligned table of every instrument (the plain-text sink).
 std::string summary_table(const Snapshot& snap);
 
+/// Snapshot -> Prometheus text exposition format (0.0.4), the `/metrics`
+/// endpoint of the live pipeline (serve.hpp). Instrument names are prefixed
+/// `lore_` and sanitized to [a-zA-Z0-9_:]; histograms are exported with full
+/// cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+std::string prometheus_text(const Snapshot& snap);
+
 /// Span buffer -> Chrome trace document ({"traceEvents":[...],...}); load
 /// the dumped file in chrome://tracing or ui.perfetto.dev.
 Json chrome_trace_json(const std::vector<TraceEvent>& events);

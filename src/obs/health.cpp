@@ -1,0 +1,109 @@
+#include "src/obs/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lore::obs {
+
+bool EwmaDetector::update(double x) {
+  bool anomalous = false;
+  if (warmed_up()) {
+    const double s = sigma();
+    // Guard against a degenerate flat history: a zero-variance stream makes
+    // any deviation infinite-sigma, so require a small absolute floor.
+    const double band = k_sigma_ * std::max(s, 1e-12);
+    anomalous = std::abs(x - mean_) > band;
+  }
+  if (n_ == 0) {
+    mean_ = x;
+    var_ = 0.0;
+  } else {
+    const double d = x - mean_;
+    mean_ += alpha_ * d;
+    var_ = (1.0 - alpha_) * (var_ + alpha_ * d * d);
+  }
+  ++n_;
+  return anomalous;
+}
+
+double EwmaDetector::sigma() const { return std::sqrt(std::max(var_, 0.0)); }
+
+void EwmaDetector::reset() {
+  mean_ = 0.0;
+  var_ = 0.0;
+  n_ = 0;
+}
+
+const char* health_state_name(HealthState s) {
+  return s == HealthState::kOk ? "ok" : "degraded";
+}
+
+std::vector<HealthAlert> HealthMonitor::update(const HealthSample& s) {
+  std::lock_guard lock(mu_);
+  if (!detectors_init_) {
+    throughput_ = EwmaDetector(cfg_.ewma_alpha, cfg_.k_sigma, cfg_.warmup_intervals);
+    detectors_init_ = true;
+  }
+
+  std::vector<HealthAlert> raised;
+  const auto raise = [&](const char* signal, double value, double threshold) {
+    raised.push_back({signal, value, threshold, s.interval_seq});
+  };
+
+  // Absolute symptoms first: a timeout-rate spike or a saturated pool is
+  // degradation regardless of history.
+  if (s.trials_attempted > 0 && s.timeout_rate > cfg_.timeout_rate_alert)
+    raise("health.timeout_rate", s.timeout_rate, cfg_.timeout_rate_alert);
+  if (cfg_.queue_depth_alert > 0.0 && s.queue_depth > cfg_.queue_depth_alert)
+    raise("health.queue_depth", s.queue_depth, cfg_.queue_depth_alert);
+
+  // Throughput collapse is relative: compare against the EWMA of *busy*
+  // intervals only, so an idle pipeline (campaign finished, nothing running)
+  // does not read as a collapse.
+  if (s.trials_attempted > 0) {
+    const bool was_warm = throughput_.warmed_up();
+    const double baseline = throughput_.mean();
+    throughput_.update(s.trials_per_s);
+    if (was_warm && baseline > 0.0 &&
+        s.trials_per_s < cfg_.throughput_collapse_ratio * baseline)
+      raise("health.throughput", s.trials_per_s,
+            cfg_.throughput_collapse_ratio * baseline);
+  }
+
+  if (raised.empty()) {
+    if (state_ == HealthState::kDegraded &&
+        ++clean_streak_ >= cfg_.recovery_intervals) {
+      state_ = HealthState::kOk;
+      clean_streak_ = 0;
+      recent_.clear();
+    }
+  } else {
+    state_ = HealthState::kDegraded;
+    clean_streak_ = 0;
+    alerts_total_ += raised.size();
+    recent_.insert(recent_.end(), raised.begin(), raised.end());
+    // Keep the episode log bounded; the newest alerts are the diagnosis.
+    constexpr std::size_t kMaxRecent = 32;
+    if (recent_.size() > kMaxRecent)
+      recent_.erase(recent_.begin(),
+                    recent_.begin() + static_cast<std::ptrdiff_t>(recent_.size() - kMaxRecent));
+  }
+  return raised;
+}
+
+HealthStatus HealthMonitor::status() const {
+  std::lock_guard lock(mu_);
+  return {state_, alerts_total_, recent_};
+}
+
+void HealthMonitor::reset() {
+  std::lock_guard lock(mu_);
+  throughput_.reset();
+  detectors_init_ = false;
+  state_ = HealthState::kOk;
+  clean_streak_ = 0;
+  alerts_total_ = 0;
+  recent_.clear();
+}
+
+}  // namespace lore::obs

@@ -1,0 +1,129 @@
+// Self-monitoring health loop (DESIGN.md §10): the paper's symptom-based
+// detection (Sec. III-B3, WarningNet [32]) applied to the repository's own
+// telemetry. The Aggregator feeds each finished interval into a
+// `HealthMonitor`, which combines absolute thresholds (timeout ratio, pool
+// saturation) with streaming EWMA z-score detectors (throughput collapse,
+// generic spikes) to classify the running campaign as ok or degraded, set the
+// `health.*` gauges, and raise `kAlert` events. `src/arch/symptom` re-exports
+// the EWMA detector as `EwmaSymptomDetector` so the same machinery watches
+// simulated fleet telemetry at the architecture layer.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lore::obs {
+
+/// Streaming anomaly detector: exponentially weighted moving estimates of
+/// mean and variance, flagging samples more than `k_sigma` standard
+/// deviations away from the running mean. The first `warmup` samples only
+/// train the estimates (a cold detector never alerts). Deterministic: state
+/// is a pure function of the fed sequence.
+class EwmaDetector {
+ public:
+  explicit EwmaDetector(double alpha = 0.3, double k_sigma = 4.0,
+                        std::size_t warmup = 3)
+      : alpha_(alpha), k_sigma_(k_sigma), warmup_(warmup) {}
+
+  /// Feed one sample; returns true when it is anomalous (pre-update test,
+  /// post-warmup). The sample always updates the estimates afterwards, so a
+  /// sustained shift eventually becomes the new normal.
+  bool update(double x);
+
+  double mean() const { return mean_; }
+  double sigma() const;
+  std::size_t samples() const { return n_; }
+  bool warmed_up() const { return n_ >= warmup_; }
+  void reset();
+
+ private:
+  double alpha_;
+  double k_sigma_;
+  std::size_t warmup_;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+/// Thresholds of the health loop. Absolute limits catch outright failure
+/// modes; the EWMA terms catch relative degradation of a previously healthy
+/// run.
+struct HealthConfig {
+  /// Alert when the interval's timeout ratio (timed-out attempts over
+  /// attempted trials) exceeds this.
+  double timeout_rate_alert = 0.10;
+  /// Alert when the mean submit-time queue depth of the interval exceeds
+  /// this (pool saturation); 0 disables.
+  double queue_depth_alert = 0.0;
+  /// Alert when interval throughput falls below this fraction of the EWMA
+  /// mean while trials are still being attempted (throughput collapse).
+  double throughput_collapse_ratio = 0.25;
+  /// EWMA smoothing and z-score threshold for the relative detectors.
+  double ewma_alpha = 0.3;
+  double k_sigma = 4.0;
+  /// Intervals before the relative detectors may alert.
+  std::size_t warmup_intervals = 3;
+  /// Consecutive clean intervals required to leave the degraded state.
+  std::size_t recovery_intervals = 3;
+};
+
+enum class HealthState : std::uint8_t { kOk = 0, kDegraded = 1 };
+
+const char* health_state_name(HealthState s);
+
+/// One raised alert: which signal tripped, at what value, against what
+/// threshold, on which aggregation interval.
+struct HealthAlert {
+  std::string signal;  // e.g. "health.timeout_rate"
+  double value = 0.0;
+  double threshold = 0.0;
+  std::uint64_t interval_seq = 0;
+};
+
+struct HealthStatus {
+  HealthState state = HealthState::kOk;
+  std::uint64_t alerts_total = 0;
+  /// Alerts of the most recent degraded episode (cleared on recovery).
+  std::vector<HealthAlert> recent;
+};
+
+/// The per-interval signals the monitor consumes (filled by the Aggregator
+/// from counter deltas and drained events; see aggregate.hpp).
+struct HealthSample {
+  std::uint64_t interval_seq = 0;
+  double dt_s = 0.0;               // interval wall length
+  std::uint64_t trials_attempted = 0;  // completed + timed-out + failed
+  double trials_per_s = 0.0;
+  double timeout_rate = 0.0;       // timed-out attempts / attempted
+  double queue_depth = 0.0;        // mean submit-time queue depth, 0 if idle
+};
+
+/// Threshold + EWMA symptom detector over the live interval series.
+/// Thread-safe; normally driven by the Aggregator thread and read by the
+/// /healthz handler.
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Feed one interval; returns the alerts it raised (empty = clean).
+  std::vector<HealthAlert> update(const HealthSample& s);
+
+  HealthStatus status() const;
+  HealthState state() const { return status().state; }
+  const HealthConfig& config() const { return cfg_; }
+  void reset();
+
+ private:
+  HealthConfig cfg_;
+  mutable std::mutex mu_;
+  EwmaDetector throughput_{0.3, 4.0, 3};
+  bool detectors_init_ = false;
+  HealthState state_ = HealthState::kOk;
+  std::size_t clean_streak_ = 0;
+  std::uint64_t alerts_total_ = 0;
+  std::vector<HealthAlert> recent_;
+};
+
+}  // namespace lore::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -146,6 +147,19 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   if (!slot) {
     if (upper_bounds.empty()) upper_bounds = Histogram::default_time_bounds_us();
     slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  } else if (!upper_bounds.empty() && upper_bounds != slot->upper_bounds()) {
+    // First-registration-wins is the contract, but a caller that asked for a
+    // different layout will silently observe into buckets it did not expect;
+    // surface the mismatch once per name instead of ignoring it.
+    bool& warned = histogram_layout_warned_[name];
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "lore: obs: histogram '%s' re-registered with a different "
+                   "bucket layout (%zu vs %zu edges); keeping the first "
+                   "registration's buckets\n",
+                   name.c_str(), upper_bounds.size(), slot->upper_bounds().size());
+    }
   }
   return *slot;
 }

@@ -128,8 +128,12 @@ class MetricsRegistry {
 
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
-  /// `upper_bounds` is used only on first registration; later calls with the
-  /// same name return the existing histogram. Empty = default time buckets.
+  /// `upper_bounds` is used only on first registration (empty = default time
+  /// buckets); later calls with the same name return the existing histogram
+  /// unchanged — first registration wins. Re-registering a name with a
+  /// *different* non-empty bucket layout is almost always a bug (the caller
+  /// expects its layout but observes into another), so the mismatch is
+  /// detected and warned about on stderr, once per name.
   Histogram& histogram(const std::string& name, std::vector<double> upper_bounds = {});
 
   Snapshot snapshot() const;
@@ -144,6 +148,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, bool> histogram_layout_warned_;  // once-per-name
 };
 
 /// Runtime switch for all built-in instrumentation (macros in obs.hpp and

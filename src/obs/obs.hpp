@@ -6,11 +6,20 @@
 // instrumentation zero-cost by construction. With the default build the
 // macros still honour the runtime switch (`LORE_OBS=0` env or
 // obs::set_enabled(false)), which reduces them to one predictable branch.
+//
+// The live half of the subsystem (DESIGN.md §10) — the event ring, the
+// Aggregator, the health loop, and the /metrics exposition server — follows
+// the same rule: LORE_OBS_EVENT costs one relaxed load while no pipeline is
+// running, and -DLORE_OBS=OFF compiles the pipeline down to inert stubs.
 #pragma once
 
+#include "src/obs/aggregate.hpp"
 #include "src/obs/export.hpp"
+#include "src/obs/health.hpp"
 #include "src/obs/json.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/ring.hpp"
+#include "src/obs/serve.hpp"
 #include "src/obs/span.hpp"
 
 namespace lore::obs {
@@ -33,6 +42,7 @@ inline constexpr bool kCompiledIn = true;
 #define LORE_OBS_OBSERVE(name, v) ((void)sizeof(v))
 #define LORE_OBS_TIMER(var, name) ((void)0)
 #define LORE_OBS_SPAN(var, name) ((void)0)
+#define LORE_OBS_EVENT(kind, a, value) ((void)sizeof(a), (void)sizeof(value))
 
 #else
 
@@ -66,5 +76,13 @@ inline constexpr bool kCompiledIn = true;
 
 /// Declare a trace span `var` named `name` on the global recorder.
 #define LORE_OBS_SPAN(var, name) ::lore::obs::Span var(name)
+
+/// Push one structured event onto the global ring — one relaxed-load branch
+/// while no aggregator is draining, one CAS + 64-byte copy while one is.
+#define LORE_OBS_EVENT(kind, a, value)                                  \
+  do {                                                                  \
+    if (::lore::obs::EventRing::global().enabled())                     \
+      ::lore::obs::emit_event((kind), (a), (value));                    \
+  } while (0)
 
 #endif  // LORE_OBS_DISABLED

@@ -1,0 +1,123 @@
+#include "src/obs/ring.hpp"
+
+#include <cstdlib>
+
+#include "src/obs/span.hpp"
+
+namespace lore::obs {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kTrialCompleted: return "trial_completed";
+    case EventKind::kTrialTimeout: return "trial_timeout";
+    case EventKind::kTrialRetry: return "trial_retry";
+    case EventKind::kTrialFailed: return "trial_failed";
+    case EventKind::kCheckpointWritten: return "checkpoint_written";
+    case EventKind::kSpanBegin: return "span_begin";
+    case EventKind::kSpanEnd: return "span_end";
+    case EventKind::kAlert: return "alert";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+EventRing::EventRing(std::size_t capacity) {
+  const std::size_t cap = round_up_pow2(capacity < 2 ? 2 : capacity);
+  mask_ = cap - 1;
+  cells_ = std::make_unique<Cell[]>(cap);
+  for (std::size_t i = 0; i < cap; ++i)
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+}
+
+bool EventRing::try_push(const Event& e) {
+  Cell* cell;
+  std::uint64_t pos = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    cell = &cells_[pos & mask_];
+    const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+    const auto dif =
+        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+    if (dif == 0) {
+      if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed))
+        break;  // claimed this cell
+    } else if (dif < 0) {
+      // The cell one lap back has not been consumed: the ring is full. Never
+      // block the hot path — account the drop and move on.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      if (Counter* c = drop_counter_.load(std::memory_order_acquire)) c->add(1);
+      return false;
+    } else {
+      pos = head_.load(std::memory_order_relaxed);
+    }
+  }
+  cell->event = e;
+  cell->seq.store(pos + 1, std::memory_order_release);
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool EventRing::try_pop(Event& out) {
+  Cell* cell;
+  std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+  for (;;) {
+    cell = &cells_[pos & mask_];
+    const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+    const auto dif =
+        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
+    if (dif == 0) {
+      if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed))
+        break;
+    } else if (dif < 0) {
+      return false;  // empty
+    } else {
+      pos = tail_.load(std::memory_order_relaxed);
+    }
+  }
+  out = cell->event;
+  cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+  return true;
+}
+
+std::size_t EventRing::drain(std::vector<Event>& out, std::size_t max) {
+  std::size_t n = 0;
+  Event e;
+  while (n < max && try_pop(e)) {
+    out.push_back(e);
+    ++n;
+  }
+  return n;
+}
+
+EventRing& EventRing::global() {
+  static EventRing ring([] {
+    if (const char* v = std::getenv("LORE_EVENT_RING")) {
+      const long cap = std::atol(v);
+      if (cap > 1) return static_cast<std::size_t>(cap);
+    }
+    return std::size_t{8192};
+  }());
+  return ring;
+}
+
+void emit_event(EventKind kind, std::uint64_t a, double value,
+                std::string_view label) {
+  Event e;
+  e.kind = kind;
+  e.tid = TraceRecorder::thread_id();
+  e.t_us = TraceRecorder::now_us();
+  e.a = a;
+  e.value = value;
+  if (!label.empty()) e.set_label(label);
+  EventRing::global().try_push(e);
+}
+
+}  // namespace lore::obs

@@ -1,0 +1,120 @@
+// Bounded lock-free MPMC event ring — the transport of the live telemetry
+// pipeline (DESIGN.md §10). Hot paths (campaign workers, parallel_for trials,
+// spans) push fixed-size structured events; the background Aggregator drains
+// them into per-interval rates. The ring NEVER blocks a producer: when it is
+// full the event is dropped and accounted (`dropped()`, surfaced as the
+// `obs.events_dropped` counter), so a stalled or absent consumer costs the
+// hot path one failed CAS, not a stall.
+//
+// The queue is the classic bounded MPMC design of per-cell sequence numbers
+// (Vyukov): each cell carries a ticket; producers claim a position with one
+// CAS on the head, write the payload, and release the cell by bumping its
+// sequence; consumers mirror the dance on the tail. Payloads are plain
+// structs, so a push is one CAS + one 64-byte copy.
+//
+// Determinism contract: events carry wall-clock timestamps and are advisory
+// telemetry only — nothing in the ring feeds back into trial execution, so
+// campaign results and campaign counters are bit-identical whether the ring
+// is enabled, disabled, full, or compiled out.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+
+namespace lore::obs {
+
+/// Structured event kinds of the `lore.events.v1` schema.
+enum class EventKind : std::uint8_t {
+  kTrialCompleted = 0,  // a = trial index, value = attempt wall time (us)
+  kTrialTimeout,        // a = trial index (one timed-out attempt)
+  kTrialRetry,          // a = trial index, value = attempt number
+  kTrialFailed,         // a = trial index (one attempt threw)
+  kCheckpointWritten,   // a = entries in the snapshot, value = write time (us)
+  kSpanBegin,           // label = span name
+  kSpanEnd,             // label = span name, value = duration (us)
+  kAlert,               // label = signal name, value = offending value
+};
+
+inline constexpr std::size_t kEventKindCount = 8;
+
+const char* event_kind_name(EventKind k);
+
+/// One fixed-size telemetry event. `a` and `value` are kind-specific (see
+/// EventKind); `label` is a truncated name for span/alert events.
+struct Event {
+  EventKind kind = EventKind::kTrialCompleted;
+  std::uint32_t tid = 0;  // dense thread id (TraceRecorder::thread_id)
+  double t_us = 0.0;      // TraceRecorder::now_us timeline
+  std::uint64_t a = 0;
+  double value = 0.0;
+  char label[24] = {};
+
+  void set_label(std::string_view s) {
+    const std::size_t n = s.size() < sizeof(label) - 1 ? s.size() : sizeof(label) - 1;
+    std::memcpy(label, s.data(), n);
+    label[n] = '\0';
+  }
+};
+
+/// Bounded lock-free MPMC ring of Events. Capacity is rounded up to a power
+/// of two. Producers and consumers may be arbitrary threads.
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity);
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  /// Non-blocking push. Returns false (and counts a drop) when full.
+  bool try_push(const Event& e);
+  /// Non-blocking pop. Returns false when empty.
+  bool try_pop(Event& out);
+  /// Pop up to `max` events into `out` (appended). Returns the number popped.
+  std::size_t drain(std::vector<Event>& out, std::size_t max);
+
+  std::size_t capacity() const { return mask_ + 1; }
+  std::uint64_t pushed() const { return pushed_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Producer gate: emit sites check this one relaxed load before building an
+  /// event, so an idle pipeline costs the hot path a single branch.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Mirror drops into a registry counter (`obs.events_dropped`); the pointer
+  /// must outlive the ring's producers. Null detaches.
+  void set_drop_counter(Counter* c) { drop_counter_.store(c, std::memory_order_release); }
+
+  /// The process-wide ring all built-in emit sites push to. Capacity comes
+  /// from `LORE_EVENT_RING` (default 8192 events).
+  static EventRing& global();
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq;
+    Event event;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // next enqueue ticket
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // next dequeue ticket
+  alignas(64) std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<bool> enabled_{false};
+  std::atomic<Counter*> drop_counter_{nullptr};
+};
+
+/// Build + push one event onto the global ring (timestamp and thread id are
+/// filled in). Call sites should use the LORE_OBS_EVENT macro (obs.hpp),
+/// which short-circuits on `EventRing::global().enabled()` and compiles out
+/// under -DLORE_OBS=OFF.
+void emit_event(EventKind kind, std::uint64_t a = 0, double value = 0.0,
+                std::string_view label = {});
+
+}  // namespace lore::obs

@@ -1,0 +1,235 @@
+#include "src/obs/serve.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/obs/export.hpp"
+
+#ifndef LORE_OBS_DISABLED
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace lore::obs {
+
+MetricsServer::MetricsServer(Aggregator* aggregator, MetricsRegistry& registry)
+    : aggregator_(aggregator), registry_(registry) {}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+#ifndef LORE_OBS_DISABLED
+
+bool MetricsServer::start(const ServeConfig& cfg) {
+  if (running_) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg.port);
+  if (::inet_pton(AF_INET, cfg.bind_address.c_str(), &addr.sin_addr) != 1 ||
+      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  running_ = true;
+  thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void MetricsServer::stop() {
+  if (!running_) return;
+  running_ = false;  // accept_loop polls this between accepts
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void MetricsServer::accept_loop() {
+  while (running_) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (!running_) return;
+    if (ready <= 0 || !(pfd.revents & POLLIN)) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    // One short request per connection: read until the end of the request
+    // line (we route on the method + path alone).
+    std::string req;
+    char buf[1024];
+    while (req.find("\r\n") == std::string::npos && req.size() < 8192) {
+      const ssize_t n = ::recv(client, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      req.append(buf, static_cast<std::size_t>(n));
+    }
+    const auto eol = req.find("\r\n");
+    const std::string response =
+        handle_request(eol == std::string::npos ? req : req.substr(0, eol));
+    std::size_t off = 0;
+    while (off < response.size()) {
+      const ssize_t n = ::send(client, response.data() + off,
+                               response.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    ::shutdown(client, SHUT_RDWR);
+    ::close(client);
+  }
+}
+
+namespace {
+
+std::string http_response(int status, const char* reason,
+                          const std::string& content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(status) + " " + reason + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsServer::handle_request(const std::string& request_line) const {
+  // "GET /path HTTP/1.x" -> path
+  if (request_line.rfind("GET ", 0) != 0)
+    return http_response(405, "Method Not Allowed", "text/plain",
+                         "only GET is supported\n");
+  const auto path_start = 4u;
+  const auto path_end = request_line.find(' ', path_start);
+  std::string path = request_line.substr(
+      path_start, path_end == std::string::npos ? std::string::npos
+                                                : path_end - path_start);
+  const auto query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (path == "/metrics")
+    return http_response(200, "OK",
+                         "text/plain; version=0.0.4; charset=utf-8",
+                         prometheus_text(registry_.snapshot()));
+  if (path == "/metrics.json")
+    return http_response(200, "OK", "application/json",
+                         metrics_to_json(registry_.snapshot()).dump(2) + "\n");
+  if (path == "/intervals.json") {
+    const Json doc = aggregator_ ? aggregator_->intervals_json() : [] {
+      Json d = Json::object();
+      d["schema"] = "lore.intervals.v1";
+      d["intervals"] = Json::array();
+      return d;
+    }();
+    return http_response(200, "OK", "application/json", doc.dump(2) + "\n");
+  }
+  if (path == "/healthz") {
+    const HealthStatus st =
+        aggregator_ ? aggregator_->health_status() : HealthStatus{};
+    Json body = Json::object();
+    body["status"] = health_state_name(st.state);
+    body["alerts_total"] = st.alerts_total;
+    Json alerts = Json::array();
+    for (const auto& a : st.recent) {
+      Json aj = Json::object();
+      aj["signal"] = a.signal;
+      aj["value"] = a.value;
+      aj["threshold"] = a.threshold;
+      aj["interval"] = a.interval_seq;
+      alerts.push_back(std::move(aj));
+    }
+    body["alerts"] = std::move(alerts);
+    const bool ok = st.state == HealthState::kOk;
+    return http_response(ok ? 200 : 503, ok ? "OK" : "Service Unavailable",
+                         "application/json", body.dump(2) + "\n");
+  }
+  return http_response(404, "Not Found", "text/plain",
+                       "unknown path; try /metrics, /metrics.json, "
+                       "/intervals.json, or /healthz\n");
+}
+
+bool Pipeline::start(const PipelineConfig& cfg) {
+  if (aggregator_) return false;
+  aggregator_ = std::make_unique<Aggregator>(cfg.aggregator);
+  aggregator_->start();
+  if (cfg.port >= 0) {
+    server_ = std::make_unique<MetricsServer>(aggregator_.get());
+    ServeConfig scfg;
+    scfg.port = static_cast<std::uint16_t>(cfg.port);
+    scfg.bind_address = cfg.bind_address;
+    if (!server_->start(scfg)) {
+      server_.reset();
+      aggregator_->stop();
+      aggregator_.reset();
+      return false;
+    }
+  }
+  return true;
+}
+
+void Pipeline::stop() {
+  if (server_) {
+    server_->stop();
+    server_.reset();
+  }
+  if (aggregator_) {
+    aggregator_->stop();
+    aggregator_.reset();
+  }
+}
+
+bool start_pipeline_from_env() {
+  const char* v = std::getenv("LORE_SERVE");
+  if (!v || !*v) return false;
+  char* end = nullptr;
+  const long port = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || port < 0 || port > 65535) {
+    std::fprintf(stderr, "lore: ignoring invalid LORE_SERVE=%s\n", v);
+    return false;
+  }
+  PipelineConfig cfg;
+  cfg.port = static_cast<int>(port);
+  if (!Pipeline::global().start(cfg)) {
+    std::fprintf(stderr, "lore: cannot serve /metrics on port %ld\n", port);
+    return false;
+  }
+  std::fprintf(stderr, "lore: serving /metrics on http://127.0.0.1:%u\n",
+               Pipeline::global().server()->port());
+  return true;
+}
+
+#else  // LORE_OBS_DISABLED: the whole pipeline compiles out.
+
+bool MetricsServer::start(const ServeConfig&) { return false; }
+void MetricsServer::stop() {}
+void MetricsServer::accept_loop() {}
+std::string MetricsServer::handle_request(const std::string&) const { return {}; }
+
+bool Pipeline::start(const PipelineConfig&) { return false; }
+void Pipeline::stop() {}
+
+bool start_pipeline_from_env() { return false; }
+
+#endif  // LORE_OBS_DISABLED
+
+Pipeline& Pipeline::global() {
+  static Pipeline pipeline;
+  return pipeline;
+}
+
+}  // namespace lore::obs

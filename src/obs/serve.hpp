@@ -1,0 +1,110 @@
+// Std-only TCP exposition server for the live telemetry pipeline
+// (DESIGN.md §10). Serves, over plain HTTP/1.0 on a loopback (by default)
+// socket:
+//
+//   GET /metrics        Prometheus text exposition of the current registry
+//   GET /metrics.json   the existing `lore.metrics.v1` JSON document
+//   GET /intervals.json the Aggregator's per-interval history
+//                       (`lore.intervals.v1`)
+//   GET /healthz        200 {"status":"ok"} or 503 {"status":"degraded",...}
+//                       from the self-monitoring health loop
+//
+// The server is deliberately minimal — one accept thread, one request per
+// connection, no keep-alive — because its job is a scrape target for
+// `curl`, Prometheus, and `scripts/lore_top.py`, not a web framework.
+// Opt-in: nothing listens unless `Pipeline::start` is given a port (the
+// benches wire `LORE_SERVE=<port>`); a campaign's results and counters are
+// bit-identical with the server on or off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/obs/aggregate.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace lore::obs {
+
+struct ServeConfig {
+  /// TCP port to bind; 0 picks an ephemeral port (see MetricsServer::port).
+  std::uint16_t port = 0;
+  /// Bind address; loopback by default so a bench never listens publicly
+  /// unless explicitly asked to.
+  std::string bind_address = "127.0.0.1";
+};
+
+class MetricsServer {
+ public:
+  /// `aggregator` may be null (then /intervals.json serves an empty history
+  /// and /healthz is always ok).
+  explicit MetricsServer(Aggregator* aggregator = nullptr,
+                         MetricsRegistry& registry = MetricsRegistry::global());
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// Bind + listen + spawn the accept thread. Returns false when the socket
+  /// cannot be bound or the pipeline is compiled out (-DLORE_OBS=OFF).
+  bool start(const ServeConfig& cfg = {});
+  void stop();
+  bool running() const { return running_; }
+  /// The actually bound port (resolves port 0), 0 when not running.
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void accept_loop();
+  std::string handle_request(const std::string& request_line) const;
+
+  Aggregator* aggregator_;
+  MetricsRegistry& registry_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};  // read by the accept thread
+};
+
+/// The opt-in live half of `src/obs` as one switch: a global Aggregator
+/// (+ health loop) and, when a port is configured, the exposition server.
+struct PipelineConfig {
+  AggregatorConfig aggregator;
+  /// Port for the exposition server; negative = aggregator only, no server.
+  int port = -1;
+  std::string bind_address = "127.0.0.1";
+};
+
+class Pipeline {
+ public:
+  Pipeline() = default;
+  ~Pipeline() { stop(); }
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Start the aggregator (and server when cfg.port >= 0). Returns false when
+  /// already running, the pipeline is compiled out, or the server cannot
+  /// bind (in which case nothing is left running).
+  bool start(const PipelineConfig& cfg = {});
+  void stop();
+  bool running() const { return aggregator_ != nullptr; }
+
+  Aggregator* aggregator() { return aggregator_.get(); }
+  MetricsServer* server() { return server_.get(); }
+
+  /// The process-wide pipeline (benches, LORE_SERVE).
+  static Pipeline& global();
+
+ private:
+  std::unique_ptr<Aggregator> aggregator_;
+  std::unique_ptr<MetricsServer> server_;
+};
+
+/// `LORE_SERVE=<port>` -> start the global pipeline with the exposition
+/// server on that port (0 = ephemeral). Unset/empty/invalid -> false, and
+/// nothing starts. Prints one stderr line with the bound port on success.
+bool start_pipeline_from_env();
+
+}  // namespace lore::obs

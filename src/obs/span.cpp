@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "src/obs/export.hpp"
+#include "src/obs/ring.hpp"
 
 namespace lore::obs {
 namespace {
@@ -71,10 +72,20 @@ Span::Span(std::string name, std::string category)
       depth_(t_span_depth),
       active_(TraceRecorder::global().recording()) {
   ++t_span_depth;
+#ifndef LORE_OBS_DISABLED
+  // Mirror span boundaries onto the live event ring (advisory stream for the
+  // Aggregator); the Chrome-trace recorder above stays the durable sink.
+  if (EventRing::global().enabled())
+    emit_event(EventKind::kSpanBegin, depth_, 0.0, name_);
+#endif
 }
 
 Span::~Span() {
   --t_span_depth;
+#ifndef LORE_OBS_DISABLED
+  if (EventRing::global().enabled())
+    emit_event(EventKind::kSpanEnd, depth_, TraceRecorder::now_us() - start_us_, name_);
+#endif
   if (!active_) return;
   TraceEvent event;
   event.name = std::move(name_);

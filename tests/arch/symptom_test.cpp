@@ -115,5 +115,24 @@ TEST(InputPerturbationMonitor, CleanInputsScoreLow) {
   EXPECT_LT(mean_score, 0.45);
 }
 
+// The EWMA symptom machinery (re-exported from the obs health loop) flags
+// injected spikes in simulated fleet telemetry and ignores stationary noise.
+TEST(EwmaSymptom, FlagsInjectedTelemetrySpikes) {
+  lore::Rng rng(31);
+  std::vector<double> series(200);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    series[i] = 55.0 + rng.normal(0.0, 1.0);  // stable die temperature (°C)
+  series[80] = 95.0;   // thermal runaway epochs
+  series[150] = 110.0;
+  const auto flagged = ewma_symptom_epochs(series, 0.3, 6.0, 5);
+  EXPECT_EQ(flagged, (std::vector<std::size_t>{80, 150}));
+
+  // The streaming detector behind the helper is the same class.
+  EwmaSymptomDetector d(0.3, 6.0, 5);
+  bool any = false;
+  for (double x : series) any = d.update(x) || any;
+  EXPECT_TRUE(any);
+}
+
 }  // namespace
 }  // namespace lore::arch

@@ -4,6 +4,8 @@
 // counters are bit-identical for every thread count.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -116,6 +118,33 @@ TEST(ObsParallel, CampaignCountersThreadCountInvariant) {
   EXPECT_EQ(total_outcomes, 600u);
   for (unsigned threads : {2u, 4u, 8u})
     EXPECT_EQ(campaign_counters(injector, threads), reference) << threads << " threads";
+  obs::MetricsRegistry::global().reset();
+  obs::set_enabled(was);
+}
+
+// Acceptance criterion for the live pipeline: campaign counters stay
+// bit-identical with the full pipeline — event ring enabled, a fast
+// Aggregator draining it, and the exposition server bound — running
+// alongside, at 1, 4, and hardware_concurrency threads.
+TEST(ObsParallel, CampaignCountersPipelineOnOffInvariant) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "live pipeline compiled out";
+  const bool was = obs::enabled();
+  obs::set_enabled(true);
+  const auto w = arch::make_checksum(10, 4);
+  const arch::FaultInjector injector(w);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (const unsigned threads : {1u, 4u, hw}) {
+    const auto reference = campaign_counters(injector, threads);
+    ASSERT_FALSE(reference.empty());
+    obs::Pipeline pipeline;
+    obs::PipelineConfig cfg;
+    cfg.port = 0;  // ephemeral: a real socket is listening during the run
+    cfg.aggregator.interval = std::chrono::milliseconds(5);
+    ASSERT_TRUE(pipeline.start(cfg));
+    const auto live = campaign_counters(injector, threads);
+    pipeline.stop();
+    EXPECT_EQ(live, reference) << threads << " threads";
+  }
   obs::MetricsRegistry::global().reset();
   obs::set_enabled(was);
 }

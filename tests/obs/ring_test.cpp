@@ -1,0 +1,201 @@
+// Event-ring contention suite (ctest label `obs`, part of the TSan preset):
+// FIFO semantics, exact drop accounting when producers overrun the ring, and
+// MPMC delivery uniqueness under heavy contention. The ring itself compiles
+// (and must work) in both LORE_OBS builds — only the emit macro and the
+// pipeline bodies are gated on -DLORE_OBS=OFF.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/obs/obs.hpp"
+
+namespace {
+
+using namespace lore::obs;
+
+Event make_event(std::uint64_t a) {
+  Event e;
+  e.kind = EventKind::kTrialCompleted;
+  e.a = a;
+  return e;
+}
+
+TEST(EventRing, FifoSingleThread) {
+  EventRing ring(8);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_TRUE(ring.try_push(make_event(i)));
+  Event e;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.try_pop(e));
+    EXPECT_EQ(e.a, i);
+  }
+  EXPECT_FALSE(ring.try_pop(e));
+  EXPECT_EQ(ring.pushed(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(EventRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(EventRing(5).capacity(), 8u);
+  EXPECT_EQ(EventRing(1).capacity(), 2u);
+  EXPECT_EQ(EventRing(64).capacity(), 64u);
+  EXPECT_EQ(EventRing(65).capacity(), 128u);
+}
+
+TEST(EventRing, FullRingDropsWithoutBlocking) {
+  EventRing ring(4);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(make_event(i)));
+  EXPECT_FALSE(ring.try_push(make_event(99)));
+  EXPECT_EQ(ring.pushed(), 4u);
+  EXPECT_EQ(ring.dropped(), 1u);
+  Event e;
+  ASSERT_TRUE(ring.try_pop(e));
+  EXPECT_EQ(e.a, 0u);  // the dropped event never displaced anything
+  EXPECT_TRUE(ring.try_push(make_event(4)));  // freed slot is reusable
+}
+
+TEST(EventRing, DropCounterMirrorsIntoRegistry) {
+  MetricsRegistry reg;
+  EventRing ring(2);
+  ring.set_drop_counter(&reg.counter("obs.events_dropped"));
+  ring.try_push(make_event(0));
+  ring.try_push(make_event(1));
+  EXPECT_FALSE(ring.try_push(make_event(2)));
+  EXPECT_EQ(reg.counter("obs.events_dropped").value(), 1u);
+  ring.set_drop_counter(nullptr);  // detached: raw count keeps going
+  EXPECT_FALSE(ring.try_push(make_event(3)));
+  EXPECT_EQ(ring.dropped(), 2u);
+  EXPECT_EQ(reg.counter("obs.events_dropped").value(), 1u);
+}
+
+TEST(EventRing, LabelTruncatesAndStaysTerminated) {
+  Event e;
+  e.set_label("a-label-much-longer-than-the-fixed-24-byte-field");
+  EXPECT_EQ(std::string(e.label).size(), sizeof e.label - 1);
+  e.set_label("short");
+  EXPECT_STREQ(e.label, "short");
+}
+
+// Producers ≫ capacity with concurrent consumers: every push either lands or
+// is counted as dropped, nothing is delivered twice, and nothing is torn.
+TEST(EventRing, ContentionExactDropAccounting) {
+  EventRing ring(64);
+  constexpr unsigned kProducers = 8;
+  constexpr unsigned kConsumers = 2;
+  constexpr std::uint64_t kPerProducer = 20000;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<Event>> drained(kConsumers);
+  std::vector<std::thread> consumers;
+  for (unsigned c = 0; c < kConsumers; ++c)
+    consumers.emplace_back([&ring, &stop, &out = drained[c]] {
+      Event e;
+      while (!stop.load(std::memory_order_acquire)) {
+        if (ring.try_pop(e)) out.push_back(e);
+        else std::this_thread::yield();
+      }
+      while (ring.try_pop(e)) out.push_back(e);
+    });
+
+  std::vector<std::thread> producers;
+  for (unsigned p = 0; p < kProducers; ++p)
+    producers.emplace_back([&ring, p] {
+      // Payload encodes (producer, sequence) so delivery uniqueness and
+      // integrity are checkable per event.
+      for (std::uint64_t i = 0; i < kPerProducer; ++i)
+        ring.try_push(make_event(p * kPerProducer + i));
+    });
+  for (auto& t : producers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(ring.pushed() + ring.dropped(), kProducers * kPerProducer);
+  std::size_t delivered = 0;
+  std::set<std::uint64_t> seen;
+  for (const auto& out : drained)
+    for (const auto& e : out) {
+      ++delivered;
+      EXPECT_TRUE(seen.insert(e.a).second) << "event " << e.a << " delivered twice";
+      EXPECT_LT(e.a, kProducers * kPerProducer);
+    }
+  EXPECT_EQ(delivered, ring.pushed());
+}
+
+// No consumer at all: exactly `capacity` events land, the rest are dropped —
+// the hot path never waits for a drain that is not coming.
+TEST(EventRing, AbsentConsumerDropsAreExact) {
+  EventRing ring(16);
+  constexpr unsigned kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 10000;
+  std::vector<std::thread> producers;
+  for (unsigned p = 0; p < kProducers; ++p)
+    producers.emplace_back([&ring] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) ring.try_push(make_event(i));
+    });
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(ring.pushed(), ring.capacity());
+  EXPECT_EQ(ring.pushed() + ring.dropped(), kProducers * kPerProducer);
+}
+
+TEST(EventRing, DrainRespectsMax) {
+  EventRing ring(16);
+  for (std::uint64_t i = 0; i < 10; ++i) ring.try_push(make_event(i));
+  std::vector<Event> out;
+  EXPECT_EQ(ring.drain(out, 4), 4u);
+  EXPECT_EQ(ring.drain(out, 100), 6u);
+  ASSERT_EQ(out.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(out[i].a, i);
+}
+
+// The LORE_OBS_EVENT macro honours both the compile-time switch and the
+// runtime producer gate on the global ring.
+TEST(EventRing, MacroRespectsCompileAndRuntimeGates) {
+  auto& ring = EventRing::global();
+  std::vector<Event> sink;
+  ring.set_enabled(true);
+  ring.drain(sink, ring.capacity());  // clear leftovers from other tests
+  sink.clear();
+  LORE_OBS_EVENT(EventKind::kAlert, 7, 1.5);
+  ring.set_enabled(false);
+  LORE_OBS_EVENT(EventKind::kAlert, 8, 2.5);  // gate closed: no event
+  ring.set_enabled(true);
+  ring.drain(sink, ring.capacity());
+  ring.set_enabled(false);
+  if (kCompiledIn) {
+    ASSERT_EQ(sink.size(), 1u);
+    EXPECT_EQ(sink[0].kind, EventKind::kAlert);
+    EXPECT_EQ(sink[0].a, 7u);
+    EXPECT_DOUBLE_EQ(sink[0].value, 1.5);
+  } else {
+    EXPECT_TRUE(sink.empty());
+  }
+}
+
+TEST(EventRing, EmitEventFillsTimestampAndLabel) {
+  auto& ring = EventRing::global();
+  ring.set_enabled(true);
+  std::vector<Event> sink;
+  ring.drain(sink, ring.capacity());
+  sink.clear();
+  emit_event(EventKind::kSpanEnd, 3, 42.0, "roi");
+  ring.drain(sink, ring.capacity());
+  ring.set_enabled(false);
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink[0].kind, EventKind::kSpanEnd);
+  EXPECT_EQ(sink[0].a, 3u);
+  EXPECT_DOUBLE_EQ(sink[0].value, 42.0);
+  EXPECT_STREQ(sink[0].label, "roi");
+  EXPECT_GE(sink[0].t_us, 0.0);
+}
+
+TEST(EventRing, KindNamesCoverSchema) {
+  std::set<std::string> names;
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    const char* name = event_kind_name(static_cast<EventKind>(k));
+    EXPECT_STRNE(name, "?");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate kind name " << name;
+  }
+}
+
+}  // namespace
