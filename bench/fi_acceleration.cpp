@@ -5,6 +5,8 @@
 // held-out accuracy.
 #include "bench/bench_util.hpp"
 #include "src/arch/features.hpp"
+#include "src/common/campaign.hpp"
+#include "src/common/kernels.hpp"
 #include "src/ml/ensemble.hpp"
 #include "src/ml/knn.hpp"
 #include "src/ml/metrics.hpp"
@@ -40,6 +42,7 @@ ml::Dataset build_dataset() {
 }
 
 void report_parallel_campaign();
+void report_batch_modes(const FaultInjector& injector);
 void report_obs_overhead(const FaultInjector& injector,
                          const std::vector<FaultRecord>& reference);
 
@@ -111,7 +114,63 @@ void report_parallel_campaign() {
   bench::print_note(
       "Expected: near-linear scaling up to the machine's core count with "
       "bit_identical=yes on every row (the determinism contract).");
+  report_batch_modes(injector);
   report_obs_overhead(injector, serial);
+}
+
+/// Tentpole section for the allocation-free trial hot path (DESIGN.md §11):
+/// the legacy per-trial reference engine (fresh Cpu + full golden replay per
+/// trial) vs the SoA batch engine restoring golden snapshots from
+/// arena-backed scratch, with scalar and runtime-dispatched SIMD kernels.
+/// All three modes must produce bit-identical records — speed is the only
+/// permitted difference.
+void report_batch_modes(const FaultInjector& injector) {
+  bench::print_header(
+      "Trial hot path — reference vs SoA batch (scalar / SIMD kernels)",
+      "100k-trial serial register campaign on the checksum workload. "
+      "`reference` forces the legacy engine (set_campaign_batch_enabled(false), "
+      "also reachable via LORE_SIMD_SCALAR=1); `soa+scalar` pins the batch "
+      "engine to scalar kernels; `soa+simd` uses the best runtime dispatch.");
+  constexpr std::size_t kTrials = 100000;
+  constexpr std::uint64_t kSeed = 2024;
+  const bool engine_saved = lore::campaign_batch_enabled();
+  const auto dispatch_saved = kernels::active_dispatch();
+
+  std::vector<FaultRecord> reference;
+  Table t({"mode", "threads", "seconds", "trials_per_s", "speedup_vs_reference",
+           "bit_identical"});
+  double reference_s = 0.0;
+  const auto add_mode = [&](const char* mode, unsigned threads) {
+    std::vector<FaultRecord> records;
+    const double elapsed = bench::timed_seconds([&] {
+      records = injector.campaign(kTrials, FaultTarget::kRegister, kSeed, threads);
+    });
+    if (reference.empty()) {
+      reference = std::move(records);
+      reference_s = elapsed;
+    }
+    const bool identical = records.empty() || records == reference;
+    t.add_row({mode, std::to_string(threads), fmt_sig(elapsed, 4),
+               fmt_sig(static_cast<double>(kTrials) / elapsed, 4),
+               fmt_sig(reference_s / elapsed, 3), identical ? "yes" : "NO"});
+  };
+
+  lore::set_campaign_batch_enabled(false);
+  add_mode("reference", 1);
+  lore::set_campaign_batch_enabled(true);
+  kernels::set_dispatch(kernels::Dispatch::kScalar);
+  add_mode("soa+scalar", 1);
+  kernels::set_dispatch(kernels::best_dispatch());
+  const bool simd = kernels::active_dispatch() == kernels::Dispatch::kAvx2;
+  add_mode(simd ? "soa+simd" : "soa+simd (no avx2: scalar)", 1);
+
+  kernels::set_dispatch(dispatch_saved);
+  lore::set_campaign_batch_enabled(engine_saved);
+  bench::print_table(t);
+  bench::print_note(
+      "Expected: bit_identical=yes on every row; the SoA rows amortize golden "
+      "re-execution into snapshot restores (undo-logged memory writes), so "
+      "speedup_vs_reference should be >= 5x on the serial row.");
 }
 
 /// Satellite check for the observability subsystem: the instrumented

@@ -213,6 +213,7 @@ def diff_tables(old, new):
     ratio (the speedup of NEW over OLD) instead.
     """
     out = []
+    throughput = []  # (bench, section, row label, column, ratio) for *per_s cols
     for key in sorted(set(old) & set(new)):
         told, tnew = old[key], new[key]
         if told.get("headers") != tnew.get("headers"):
@@ -235,9 +236,24 @@ def diff_tables(old, new):
                                  else f"{fb / fa:.3g}x slower")
                 else:
                     cells.append(f"{fb / fa:.3g}x")
+                    if headers[c].endswith("per_s"):
+                        throughput.append(
+                            (key[0], key[1], str(rnew[0]), headers[c], fb / fa))
             rows.append(cells)
         out.append(f"-- {key[0]}: {key[1]}")
         out.append(render_table(headers, rows))
+        out.append("")
+    if throughput:
+        # Throughput (`*per_s`) is the headline perf number — resurface every
+        # rate ratio in one table so a regression can't hide mid-diff.
+        out.append("-- throughput summary (NEW/OLD, >1 is faster)")
+        rows = [[f"{bench}: {section}"[:60], label, column, f"{ratio:.3g}x"]
+                for bench, section, label, column, ratio in throughput]
+        out.append(render_table(["table", "row", "column", "ratio"], rows))
+        worst = min(throughput, key=lambda e: e[4])
+        best = max(throughput, key=lambda e: e[4])
+        out.append(f"throughput: best {best[4]:.3g}x ({best[2]}), "
+                   f"worst {worst[4]:.3g}x ({worst[2]})")
         out.append("")
     missing = sorted(set(old) - set(new))
     added = sorted(set(new) - set(old))

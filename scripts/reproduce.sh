@@ -8,14 +8,15 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
-# TSAN=1 additionally runs the `parallel`-, `resilience`-, and `obs`-labeled
-# determinism/race suites — campaign engine plus the live telemetry pipeline
-# (event-ring producers vs the aggregator drain and serve threads) — under
-# ThreadSanitizer (the `tsan` CMake preset).
+# TSAN=1 additionally runs the `parallel`-, `resilience`-, `obs`-, and
+# `simd`-labeled determinism/race suites — campaign engine, the live
+# telemetry pipeline (event-ring producers vs the aggregator drain and serve
+# threads), and the chunked batch engine with its thread-local arenas —
+# under ThreadSanitizer (the `tsan` CMake preset).
 if [ "${TSAN:-0}" = "1" ]; then
   cmake --preset tsan
-  cmake --build build-tsan --target lore_parallel_tests lore_resilience_tests lore_obs_tests
-  ctest --test-dir build-tsan -L '(parallel|resilience|obs)' --output-on-failure 2>&1 | tee tsan_output.txt
+  cmake --build build-tsan --target lore_parallel_tests lore_resilience_tests lore_obs_tests lore_simd_tests
+  ctest --test-dir build-tsan -L '(parallel|resilience|obs|simd)' --output-on-failure 2>&1 | tee tsan_output.txt
 fi
 
 # Smoke the -DLORE_OBS=OFF build (the `obs-off` preset): the telemetry
@@ -25,6 +26,15 @@ if [ "${OBS_OFF:-0}" = "1" ]; then
   cmake --preset obs-off
   cmake --build build-obs-off --target lore_obs_tests
   ctest --test-dir build-obs-off -L obs --output-on-failure 2>&1 | tee obs_off_output.txt
+fi
+
+# Smoke the -DLORE_SIMD=OFF build (the `simd-off` preset): the AVX2 kernel
+# variants compile out, dispatch clamps to scalar, and the differential
+# `simd` suite still proves the batch engine against the reference.
+if [ "${SIMD_OFF:-0}" = "1" ]; then
+  cmake --preset simd-off
+  cmake --build build-simd-off --target lore_simd_tests
+  ctest --test-dir build-simd-off -L simd --output-on-failure 2>&1 | tee simd_off_output.txt
 fi
 
 : > bench_output.txt

@@ -1,5 +1,6 @@
 #include "src/arch/cpu.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace lore::arch {
@@ -54,30 +55,40 @@ void Cpu::flip_register_bit(std::size_t reg_index, unsigned bit) {
 
 void Cpu::flip_memory_bit(std::size_t word, unsigned bit) {
   assert(word < memory_.size() && bit < 32);
-  memory_[word] ^= (1u << bit);
+  const std::uint32_t before = memory_[word];
+  memory_[word] = before ^ (1u << bit);
+  if (write_log_)
+    write_log_->push_back({static_cast<std::uint32_t>(word), before, memory_[word]});
 }
 
-std::uint32_t Cpu::read_reg(unsigned r) {
-  ++reg_reads_[r];
-  return regs_[r];
+void Cpu::restore_registers(std::span<const std::uint32_t> regs) {
+  assert(regs.size() == kNumRegisters);
+  std::copy(regs.begin(), regs.end(), regs_.begin());
 }
 
-void Cpu::write_reg(unsigned r, std::uint32_t v) {
-  ++reg_writes_[r];
-  regs_[r] = v;
-}
-
-RunState Cpu::step() {
+template <bool Profile>
+RunState Cpu::step_impl() {
   if (state_ != RunState::kRunning) return state_;
   if (pc_ >= program_.size()) {
     state_ = RunState::kTrapped;
     return state_;
   }
   const Instruction ins = program_[pc_];
-  ++inst_counts_[pc_];
+  if constexpr (Profile) ++inst_counts_[pc_];
   ++cycles_;
   std::uint32_t next_pc = pc_ + 1;
 
+  // Architectural effects are identical with profiling on or off; the lambdas
+  // only gate the usage tallies. Operand read order (rs1 before rs2) is part
+  // of the profile contract and preserved by evaluating explicitly below.
+  const auto read_reg = [&](unsigned r) -> std::uint32_t {
+    if constexpr (Profile) ++reg_reads_[r];
+    return regs_[r];
+  };
+  const auto write_reg = [&](unsigned r, std::uint32_t v) {
+    if constexpr (Profile) ++reg_writes_[r];
+    regs_[r] = v;
+  };
   auto branch_to = [&](std::int32_t target) {
     if (target < 0 || static_cast<std::size_t>(target) > program_.size()) {
       state_ = RunState::kTrapped;
@@ -115,7 +126,9 @@ RunState Cpu::step() {
         state_ = RunState::kTrapped;
         return state_;
       }
-      memory_[addr] = read_reg(ins.rs2);
+      const std::uint32_t value = read_reg(ins.rs2);
+      if (write_log_) write_log_->push_back({addr, memory_[addr], value});
+      memory_[addr] = value;
       break;
     }
     case Opcode::kBeq:
@@ -136,13 +149,28 @@ RunState Cpu::step() {
   return state_;
 }
 
+RunState Cpu::step() { return step_impl<true>(); }
+
+RunState Cpu::step_fast() { return step_impl<false>(); }
+
 RunState Cpu::run(std::uint64_t max_cycles) {
   while (state_ == RunState::kRunning) {
     if (cycles_ >= max_cycles) {
       state_ = RunState::kTimedOut;
       break;
     }
-    step();
+    step_impl<true>();
+  }
+  return state_;
+}
+
+RunState Cpu::run_fast(std::uint64_t max_cycles) {
+  while (state_ == RunState::kRunning) {
+    if (cycles_ >= max_cycles) {
+      state_ = RunState::kTimedOut;
+      break;
+    }
+    step_impl<false>();
   }
   return state_;
 }

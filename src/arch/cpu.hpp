@@ -19,6 +19,17 @@ enum class RunState : std::uint8_t {
   kTimedOut,     // exceeded the cycle budget (hang)
 };
 
+/// One logged mutation of a memory word (a `St` retire or an injected bit
+/// flip). The batched fault-injection engine keeps scratch memory equal to a
+/// baseline image between trials by replaying a trial's log in reverse and
+/// writing each `before` back — so a 4096-word memory costs O(stores) to
+/// restore instead of O(words).
+struct MemWrite {
+  std::uint32_t addr;
+  std::uint32_t before;
+  std::uint32_t after;
+};
+
 class Cpu {
  public:
   explicit Cpu(std::size_t memory_words = 4096);
@@ -32,6 +43,28 @@ class Cpu {
   RunState step();
   /// Run until halt/trap or `max_cycles`.
   RunState run(std::uint64_t max_cycles);
+
+  /// `step()` without the per-register / per-instruction usage counters.
+  /// Architectural state (registers, memory, PC, cycles, run state) evolves
+  /// bit-identically to `step()`; only the profiling side tallies are
+  /// skipped. The campaign hot path uses this — profiling features are a
+  /// golden-run product, never a per-trial one.
+  RunState step_fast();
+  /// `run()` on top of `step_fast()`.
+  RunState run_fast(std::uint64_t max_cycles);
+
+  /// Record every memory-word mutation (St stores and injected memory-bit
+  /// flips — NOT `set_mem`, which is the restore primitive itself) into
+  /// `log`. Pass nullptr to stop logging. The log is append-only; callers
+  /// own truncation.
+  void set_write_log(std::vector<MemWrite>* log) { write_log_ = log; }
+
+  /// Bulk-restore architectural state from a snapshot. These write exactly
+  /// the named field; no counters, logs, or derived state are touched.
+  void restore_registers(std::span<const std::uint32_t> regs);
+  void set_pc(std::uint32_t pc) { pc_ = pc; }
+  void set_cycles(std::uint64_t cycles) { cycles_ = cycles; }
+  void set_state(RunState state) { state_ = state; }
 
   RunState state() const { return state_; }
   std::uint64_t cycles() const { return cycles_; }
@@ -61,8 +94,9 @@ class Cpu {
   std::span<const std::uint64_t> instruction_counts() const { return inst_counts_; }
 
  private:
-  std::uint32_t read_reg(unsigned r);
-  void write_reg(unsigned r, std::uint32_t v);
+  /// Shared interpreter body; `Profile` compiles the usage counters in/out.
+  template <bool Profile>
+  RunState step_impl();
 
   Program program_;
   std::vector<std::uint32_t> regs_;
@@ -73,6 +107,7 @@ class Cpu {
   std::vector<std::uint64_t> reg_reads_;
   std::vector<std::uint64_t> reg_writes_;
   std::vector<std::uint64_t> inst_counts_;
+  std::vector<MemWrite>* write_log_ = nullptr;
 };
 
 }  // namespace lore::arch

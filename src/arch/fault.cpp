@@ -1,8 +1,11 @@
 #include "src/arch/fault.hpp"
 
+#include <array>
+#include <atomic>
 #include <cassert>
 #include <cstdio>
 
+#include "src/common/kernels.hpp"
 #include "src/common/parallel.hpp"
 #include "src/obs/obs.hpp"
 
@@ -217,6 +220,191 @@ void count_completed_outcomes(const char* prefix,
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Batched trial hot path. The reference `inject()` constructs and golden-
+// replays a fresh Cpu per trial: five vector allocations, a 16 KiB memory
+// zero, and up to `site.cycle` interpreted cycles before the fault even
+// lands. The batched path pays the golden work once per campaign — an
+// instrumented golden replay records periodic architectural snapshots plus
+// the full ordered store log — and then each trial on a thread-local scratch
+// Cpu is: apply the golden store prefix up to the nearest snapshot (logging
+// undos), restore registers/PC from the snapshot, interpret at most
+// `stride` cycles to the injection point, flip, run to completion with the
+// profiling-free interpreter, classify, and unwind the store log so scratch
+// memory is back at the workload baseline. Trajectories are bit-identical to
+// the reference by construction: pre-injection state is the golden
+// trajectory either way, and injection/classification code is shared.
+// The differential suite in tests/common/ holds this equal to `inject()`
+// across dispatch modes, chunk sizes, and thread counts.
+
+/// Architectural state at one golden cycle boundary. `write_count` indexes
+/// into GoldenTrace::writes: applying writes [0, write_count) to the baseline
+/// memory image reproduces golden memory at `cycles`.
+struct FaultInjector::TraceSnap {
+  std::uint64_t cycles = 0;
+  std::uint32_t pc = 0;
+  RunState state = RunState::kRunning;
+  std::size_t write_count = 0;
+  std::array<std::uint32_t, kNumRegisters> regs{};
+};
+
+/// One instrumented golden replay: snapshots every `stride` cycles (at most
+/// ~1024 of them) and the ordered log of every retired store.
+struct FaultInjector::GoldenTrace {
+  std::vector<TraceSnap> snaps;
+  std::vector<MemWrite> writes;
+  std::uint64_t stride = 1;
+};
+
+namespace {
+
+/// Campaign-scoped identity for the thread-local scratch state. ThreadPool
+/// workers are fresh per campaign, but the serial path runs on the caller's
+/// thread which persists across campaigns — the id forces a rebuild whenever
+/// the scratch meets a different campaign context.
+std::atomic<std::uint64_t> g_batch_context_serial{0};
+
+}  // namespace
+
+struct FaultInjector::BatchContext {
+  const Workload& workload;
+  const GoldenRun& golden;
+  GoldenTrace trace;
+  std::uint64_t id = ++g_batch_context_serial;
+};
+
+/// Per-thread scratch: one live Cpu holding the workload baseline between
+/// trials, plus the undo log that maintains that invariant.
+struct FaultInjector::BatchScratch {
+  std::uint64_t ctx_id = 0;
+  Cpu cpu{1};
+  std::vector<MemWrite> undo;
+};
+
+FaultInjector::GoldenTrace FaultInjector::build_golden_trace() const {
+  GoldenTrace trace;
+  // <= ~1024 snapshots regardless of workload length; pre-injection replay
+  // from the nearest snapshot is then at most `stride` cycles.
+  trace.stride = std::max<std::uint64_t>(1, (golden_.cycles + 1023) / 1024);
+  Cpu cpu(workload_.memory_words);
+  prepare_cpu(cpu);
+  cpu.set_write_log(&trace.writes);
+  std::uint64_t next_snap = 0;
+  while (cpu.state() == RunState::kRunning && cpu.cycles() <= workload_.max_cycles) {
+    if (cpu.cycles() == next_snap) {
+      TraceSnap snap;
+      snap.cycles = cpu.cycles();
+      snap.pc = cpu.pc();
+      snap.state = cpu.state();
+      snap.write_count = trace.writes.size();
+      for (std::size_t r = 0; r < kNumRegisters; ++r)
+        snap.regs[r] = cpu.reg(r);
+      trace.snaps.push_back(snap);
+      next_snap += trace.stride;
+    }
+    cpu.step_fast();
+  }
+  cpu.set_write_log(nullptr);
+  return trace;
+}
+
+FaultInjector::BatchScratch& FaultInjector::scratch_for(const BatchContext& ctx) {
+  thread_local BatchScratch scratch;
+  if (scratch.ctx_id != ctx.id) {
+    scratch.cpu = Cpu(ctx.workload.memory_words);
+    scratch.cpu.load_program(ctx.workload.program);
+    for (const auto& [addr, value] : ctx.workload.memory_init)
+      scratch.cpu.set_mem(addr, value);
+    scratch.undo.clear();
+    scratch.undo.reserve(256);
+    scratch.ctx_id = ctx.id;
+  }
+  return scratch;
+}
+
+FaultRecord FaultInjector::inject_batched(const BatchContext& ctx, BatchScratch& scratch,
+                                          const FaultSite& site) const {
+  FaultRecord rec;
+  rec.site = site;
+  Cpu& cpu = scratch.cpu;
+  auto& undo = scratch.undo;
+  undo.clear();
+
+  // Nearest snapshot at or before the injection cycle (clamped: the golden
+  // run may halt before the last stride boundary).
+  const std::size_t snap_index = std::min<std::size_t>(
+      static_cast<std::size_t>(site.cycle / ctx.trace.stride), ctx.trace.snaps.size() - 1);
+  const TraceSnap& snap = ctx.trace.snaps[snap_index];
+
+  // Scratch memory holds the baseline image; the golden store prefix brings
+  // it to the snapshot cycle. Applies are undo-logged manually (`set_mem` is
+  // the restore primitive and never logs); every later mutation — replayed
+  // stores, post-injection stores, injected memory flips — logs through the
+  // Cpu's write log.
+  for (std::size_t k = 0; k < snap.write_count; ++k) {
+    const MemWrite& w = ctx.trace.writes[k];
+    undo.push_back({w.addr, cpu.mem(w.addr), w.after});
+    cpu.set_mem(w.addr, w.after);
+  }
+  cpu.restore_registers(snap.regs);
+  cpu.set_pc(snap.pc);
+  cpu.set_cycles(snap.cycles);
+  cpu.set_state(snap.state);
+  cpu.set_write_log(&undo);
+
+  // Run to the injection cycle — the same loop (and so the same reachable
+  // states) as the reference inject().
+  while (cpu.state() == RunState::kRunning && cpu.cycles() < site.cycle) cpu.step_fast();
+  rec.active_instruction =
+      cpu.state() == RunState::kRunning ? static_cast<std::int64_t>(cpu.pc()) : -1;
+
+  Instruction saved_instruction{};
+  bool program_touched = false;
+  if (cpu.state() == RunState::kRunning || cpu.state() == RunState::kHalted) {
+    switch (site.target) {
+      case FaultTarget::kRegister:
+        cpu.flip_register_bit(site.index, site.bit);
+        break;
+      case FaultTarget::kMemory:
+        cpu.flip_memory_bit(site.index, site.bit);
+        break;
+      case FaultTarget::kInstruction: {
+        auto& prog = cpu.mutable_program();
+        if (site.index < prog.size()) {
+          saved_instruction = prog[site.index];
+          corrupt_instruction_field(prog[site.index], site.bit);
+          program_touched = true;
+        }
+        break;
+      }
+    }
+  }
+
+  const auto state = cpu.run_fast(workload_.max_cycles);
+  switch (state) {
+    case RunState::kTrapped:
+      rec.outcome = Outcome::kCrash;
+      break;
+    case RunState::kTimedOut:
+      rec.outcome = Outcome::kHang;
+      break;
+    default: {
+      const auto mismatches = lore::kernels::count_mismatch_u32(
+          cpu.memory().subspan(workload_.output_base, workload_.output_words),
+          std::span<const std::uint32_t>(golden_.output));
+      rec.outcome = mismatches ? Outcome::kSdc : Outcome::kBenign;
+      break;
+    }
+  }
+
+  // Teardown: pristine program, baseline memory (regs/PC/cycles/state are
+  // overwritten from a snapshot at the next trial's start).
+  if (program_touched) cpu.mutable_program()[site.index] = saved_instruction;
+  cpu.set_write_log(nullptr);
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) cpu.set_mem(it->addr, it->before);
+  return rec;
+}
+
 lore::CampaignResult<FaultRecord> FaultInjector::campaign_run(
     const lore::CampaignSpec& spec, FaultTarget target) const {
   LORE_OBS_SPAN(span, "campaign.arch");
@@ -225,13 +413,24 @@ lore::CampaignResult<FaultRecord> FaultInjector::campaign_run(
   if (s.domain.empty())
     s.domain = fault_campaign_domain("arch.fault", golden_, workload_.program.size(),
                                      static_cast<int>(target));
-  auto result = lore::run_campaign<FaultRecord, FaultRecordCodec>(
-      s, [&](std::size_t t, lore::Rng& rng, const lore::CancelToken& cancel) {
-        cancel.throw_if_cancelled();
-        FaultRecord rec = inject(random_site(rng, target));
-        rec.trial_seed = lore::trial_seed(s.base_seed, t);
-        return rec;
-      });
+  lore::CampaignResult<FaultRecord> result;
+  if (lore::campaign_uses_batch(s)) {
+    const BatchContext ctx{workload_, golden_, build_golden_trace()};
+    result = lore::run_campaign_batched<FaultRecord, FaultRecordCodec>(
+        s, [&](std::size_t t, lore::Rng& rng, const lore::CancelToken&) {
+          FaultRecord rec = inject_batched(ctx, scratch_for(ctx), random_site(rng, target));
+          rec.trial_seed = lore::trial_seed(s.base_seed, t);
+          return rec;
+        });
+  } else {
+    result = lore::run_campaign<FaultRecord, FaultRecordCodec>(
+        s, [&](std::size_t t, lore::Rng& rng, const lore::CancelToken& cancel) {
+          cancel.throw_if_cancelled();
+          FaultRecord rec = inject(random_site(rng, target));
+          rec.trial_seed = lore::trial_seed(s.base_seed, t);
+          return rec;
+        });
+  }
   count_completed_outcomes("campaign.arch", result);
   return result;
 }

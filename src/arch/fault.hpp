@@ -96,6 +96,21 @@ class FaultInjector {
   FaultRecord replay_trial(std::uint64_t seed, FaultTarget target) const;
 
  private:
+  // Batched campaign hot path (see fault.cpp): one instrumented golden
+  // replay per campaign yields periodic snapshots + an ordered store log;
+  // each trial then restores the nearest snapshot onto a thread-local
+  // scratch Cpu instead of re-running the golden prefix from scratch.
+  // Bit-identical to `inject()` — enforced by the `simd`-labelled
+  // differential tests.
+  struct TraceSnap;
+  struct GoldenTrace;
+  struct BatchContext;
+  struct BatchScratch;
+  GoldenTrace build_golden_trace() const;
+  static BatchScratch& scratch_for(const BatchContext& ctx);
+  FaultRecord inject_batched(const BatchContext& ctx, BatchScratch& scratch,
+                             const FaultSite& site) const;
+
   void prepare_cpu(Cpu& cpu) const;
 
   const Workload& workload_;

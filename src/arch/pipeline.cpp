@@ -1,10 +1,12 @@
 #include "src/arch/pipeline.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdio>
 
 #include "src/arch/fault.hpp"
+#include "src/common/kernels.hpp"
 #include "src/common/parallel.hpp"
 #include "src/obs/obs.hpp"
 
@@ -49,6 +51,38 @@ void PipelineCpu::set_mem(std::size_t word, std::uint32_t value) {
   memory_[word] = value;
 }
 
+PipelineCpu::Snapshot PipelineCpu::capture() const {
+  Snapshot snap;
+  snap.cycles = cycles_;
+  snap.pc = pc_;
+  snap.retired = retired_;
+  snap.stalls = stalls_;
+  snap.flushes = flushes_;
+  snap.state = state_;
+  snap.halt_seen = halt_seen_;
+  snap.if_id = if_id_;
+  snap.id_ex = id_ex_;
+  snap.ex_mem = ex_mem_;
+  snap.mem_wb = mem_wb_;
+  std::copy(regs_.begin(), regs_.end(), snap.regs.begin());
+  return snap;
+}
+
+void PipelineCpu::restore(const Snapshot& snap) {
+  cycles_ = snap.cycles;
+  pc_ = snap.pc;
+  retired_ = snap.retired;
+  stalls_ = snap.stalls;
+  flushes_ = snap.flushes;
+  state_ = snap.state;
+  halt_seen_ = snap.halt_seen;
+  if_id_ = snap.if_id;
+  id_ex_ = snap.id_ex;
+  ex_mem_ = snap.ex_mem;
+  mem_wb_ = snap.mem_wb;
+  std::copy(snap.regs.begin(), snap.regs.end(), regs_.begin());
+}
+
 RunState PipelineCpu::step() {
   if (state_ != RunState::kRunning) return state_;
   ++cycles_;
@@ -81,6 +115,8 @@ RunState PipelineCpu::step() {
           state_ = RunState::kTrapped;
           return state_;
         }
+        if (write_log_)
+          write_log_->push_back({ex_mem_.alu, memory_[ex_mem_.alu], ex_mem_.store_val});
         memory_[ex_mem_.alu] = ex_mem_.store_val;
         break;
       default:
@@ -320,6 +356,122 @@ struct PipelineRecordCodec {
 
 }  // namespace
 
+// Batched pipeline trial hot path — the same snapshot + store-undo-log
+// scheme as the functional FaultInjector (see fault.cpp): one instrumented
+// clean pipeline run records periodic `PipelineCpu::Snapshot`s and the
+// ordered store log; each trial restores the nearest snapshot onto a
+// thread-local scratch machine, runs `run_with_fault` from there, classifies
+// against the (hoisted) golden output, and unwinds the stores. The reference
+// `pipeline_inject` re-runs the functional golden AND a cold pipeline per
+// trial — the batched path pays both exactly once per campaign.
+
+namespace {
+
+/// ~1024 snapshots over the clean pipeline run plus the ordered store log.
+struct PipeTrace {
+  struct Snap {
+    PipelineCpu::Snapshot state;
+    std::size_t write_count = 0;
+  };
+  std::vector<Snap> snaps;
+  std::vector<MemWrite> writes;
+  std::uint64_t stride = 1;
+};
+
+std::atomic<std::uint64_t> g_pipe_context_serial{0};
+
+PipeTrace build_pipeline_trace(const Workload& w, std::uint64_t budget,
+                               std::uint64_t total_cycles) {
+  PipeTrace trace;
+  trace.stride = std::max<std::uint64_t>(1, (total_cycles + 1023) / 1024);
+  PipelineCpu cpu(w.memory_words);
+  cpu.load_program(w.program);
+  for (const auto& [addr, value] : w.memory_init) cpu.set_mem(addr, value);
+  cpu.set_write_log(&trace.writes);
+  std::uint64_t next_snap = 0;
+  while (cpu.state() == RunState::kRunning && cpu.cycles() <= budget) {
+    if (cpu.cycles() == next_snap) {
+      trace.snaps.push_back({cpu.capture(), trace.writes.size()});
+      next_snap += trace.stride;
+    }
+    cpu.step();
+  }
+  cpu.set_write_log(nullptr);
+  return trace;
+}
+
+struct PipeBatchContext {
+  const Workload& workload;
+  const GoldenRun& golden;
+  std::uint64_t budget;
+  PipeTrace trace;
+  std::uint64_t id = ++g_pipe_context_serial;
+};
+
+/// Per-thread scratch machine holding the workload baseline between trials.
+struct PipeScratch {
+  std::uint64_t ctx_id = 0;
+  PipelineCpu cpu{1};
+  std::vector<MemWrite> undo;
+};
+
+PipeScratch& pipe_scratch_for(const PipeBatchContext& ctx) {
+  thread_local PipeScratch scratch;
+  if (scratch.ctx_id != ctx.id) {
+    scratch.cpu = PipelineCpu(ctx.workload.memory_words);
+    scratch.cpu.load_program(ctx.workload.program);
+    for (const auto& [addr, value] : ctx.workload.memory_init)
+      scratch.cpu.set_mem(addr, value);
+    scratch.undo.clear();
+    scratch.undo.reserve(256);
+    scratch.ctx_id = ctx.id;
+  }
+  return scratch;
+}
+
+Outcome pipeline_inject_batched(const PipeBatchContext& ctx, PipeScratch& scratch,
+                                const PipelineFaultSite& site) {
+  PipelineCpu& cpu = scratch.cpu;
+  auto& undo = scratch.undo;
+  undo.clear();
+
+  const std::size_t snap_index = std::min<std::size_t>(
+      static_cast<std::size_t>(site.cycle / ctx.trace.stride), ctx.trace.snaps.size() - 1);
+  const PipeTrace::Snap& snap = ctx.trace.snaps[snap_index];
+
+  // Baseline memory -> snapshot memory via the clean-run store prefix;
+  // applies are undo-logged manually, later stores through the write log.
+  for (std::size_t k = 0; k < snap.write_count; ++k) {
+    const MemWrite& w = ctx.trace.writes[k];
+    undo.push_back({w.addr, cpu.mem(w.addr), w.after});
+    cpu.set_mem(w.addr, w.after);
+  }
+  cpu.restore(snap.state);
+  cpu.set_write_log(&undo);
+
+  // run_with_fault applies the site at `cycles_ == site.cycle` at loop top —
+  // restoring any earlier loop-top state reproduces the reference trajectory.
+  const auto state = cpu.run_with_fault(ctx.budget, site);
+
+  Outcome outcome;
+  if (state == RunState::kTrapped) {
+    outcome = Outcome::kCrash;
+  } else if (state == RunState::kTimedOut) {
+    outcome = Outcome::kHang;
+  } else {
+    const auto mismatches = lore::kernels::count_mismatch_u32(
+        cpu.memory().subspan(ctx.workload.output_base, ctx.workload.output_words),
+        std::span<const std::uint32_t>(ctx.golden.output));
+    outcome = mismatches ? Outcome::kSdc : Outcome::kBenign;
+  }
+
+  cpu.set_write_log(nullptr);
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) cpu.set_mem(it->addr, it->before);
+  return outcome;
+}
+
+}  // namespace
+
 CampaignResult<FaultRecord> pipeline_campaign_run(const Workload& w,
                                                   const CampaignSpec& spec) {
   LORE_OBS_SPAN(span, "campaign.pipeline");
@@ -342,22 +494,47 @@ CampaignResult<FaultRecord> pipeline_campaign_run(const Workload& w,
                   static_cast<unsigned long long>(total_cycles));
     s.domain = buf;
   }
-  auto result = lore::run_campaign<FaultRecord, PipelineRecordCodec>(
-      s, [&](std::size_t t, lore::Rng& rng, const lore::CancelToken& cancel) {
-        cancel.throw_if_cancelled();
-        PipelineFaultSite site;
-        site.field = kFields[rng.uniform_index(6)];
-        site.bit = static_cast<unsigned>(rng.uniform_index(32));
-        site.cycle = rng.uniform_index(total_cycles) + 1;
-        FaultRecord rec;
-        rec.site.target = FaultTarget::kRegister;  // closest legacy category
-        rec.site.index = static_cast<std::size_t>(site.field);
-        rec.site.bit = site.bit;
-        rec.site.cycle = site.cycle;
-        rec.outcome = pipeline_inject(w, site);
-        rec.trial_seed = lore::trial_seed(s.base_seed, t);
-        return rec;
-      });
+  const auto draw_site = [&](lore::Rng& rng) {
+    PipelineFaultSite site;
+    site.field = kFields[rng.uniform_index(6)];
+    site.bit = static_cast<unsigned>(rng.uniform_index(32));
+    site.cycle = rng.uniform_index(total_cycles) + 1;
+    return site;
+  };
+  const auto make_record = [&](const PipelineFaultSite& site, Outcome outcome,
+                               std::size_t t) {
+    FaultRecord rec;
+    rec.site.target = FaultTarget::kRegister;  // closest legacy category
+    rec.site.index = static_cast<std::size_t>(site.field);
+    rec.site.bit = site.bit;
+    rec.site.cycle = site.cycle;
+    rec.outcome = outcome;
+    rec.trial_seed = lore::trial_seed(s.base_seed, t);
+    return rec;
+  };
+
+  const std::uint64_t budget = 4 * w.max_cycles + 64;
+  lore::CampaignResult<FaultRecord> result;
+  if (lore::campaign_uses_batch(s)) {
+    // Golden output and the instrumented clean-run trace are hoisted out of
+    // the trial loop; the reference body recomputes both per trial.
+    const GoldenRun golden = run_golden(w);
+    const PipeBatchContext ctx{w, golden, budget,
+                               build_pipeline_trace(w, budget, total_cycles)};
+    result = lore::run_campaign_batched<FaultRecord, PipelineRecordCodec>(
+        s, [&](std::size_t t, lore::Rng& rng, const lore::CancelToken&) {
+          const PipelineFaultSite site = draw_site(rng);
+          return make_record(
+              site, pipeline_inject_batched(ctx, pipe_scratch_for(ctx), site), t);
+        });
+  } else {
+    result = lore::run_campaign<FaultRecord, PipelineRecordCodec>(
+        s, [&](std::size_t t, lore::Rng& rng, const lore::CancelToken& cancel) {
+          cancel.throw_if_cancelled();
+          const PipelineFaultSite site = draw_site(rng);
+          return make_record(site, pipeline_inject(w, site), t);
+        });
+  }
   if (result.report.complete()) {
     count_campaign_outcomes("campaign.pipeline", result.records);
   } else {

@@ -8,6 +8,7 @@
 // analysis abstracts.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "src/arch/cpu.hpp"
@@ -34,33 +35,9 @@ struct PipelineFaultSite {
 
 class PipelineCpu {
  public:
-  explicit PipelineCpu(std::size_t memory_words = 4096);
-
-  void load_program(Program program);
-  void reset(bool clear_memory = false);
-
-  /// Advance one clock cycle.
-  RunState step();
-  RunState run(std::uint64_t max_cycles);
-  /// Run and inject one latch fault at the site's cycle.
-  RunState run_with_fault(std::uint64_t max_cycles, const PipelineFaultSite& site);
-
-  RunState state() const { return state_; }
-  std::uint64_t cycles() const { return cycles_; }
-  std::uint32_t reg(std::size_t index) const;
-  std::uint32_t mem(std::size_t word) const;
-  void set_mem(std::size_t word, std::uint32_t value);
-  std::size_t memory_words() const { return memory_.size(); }
-
-  /// Dynamic instruction count retired (for CPI accounting).
-  std::uint64_t instructions_retired() const { return retired_; }
-  double cpi() const {
-    return retired_ ? static_cast<double>(cycles_) / static_cast<double>(retired_) : 0.0;
-  }
-  std::uint64_t stall_cycles() const { return stalls_; }
-  std::uint64_t flush_cycles() const { return flushes_; }
-
- private:
+  // Pipeline-stage latches. Public because Snapshot (the batched campaign
+  // engine's restore unit) carries them; injection still goes through
+  // run_with_fault, never by poking latches directly.
   struct IfId {
     bool valid = false;
     Instruction ins{};
@@ -83,6 +60,60 @@ class PipelineCpu {
     std::uint32_t value = 0;
   };
 
+  /// Full machine state minus memory (register file, PC, latches, counters).
+  /// Memory is deliberately excluded: the batched campaign engine restores it
+  /// via an undo log of `MemWrite`s, which is O(stores) instead of O(words).
+  struct Snapshot {
+    std::uint64_t cycles = 0;
+    std::uint32_t pc = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t flushes = 0;
+    RunState state = RunState::kRunning;
+    bool halt_seen = false;
+    IfId if_id{};
+    IdEx id_ex{};
+    ExMem ex_mem{};
+    MemWb mem_wb{};
+    std::array<std::uint32_t, kNumRegisters> regs{};
+  };
+
+  explicit PipelineCpu(std::size_t memory_words = 4096);
+
+  void load_program(Program program);
+  void reset(bool clear_memory = false);
+
+  /// Advance one clock cycle.
+  RunState step();
+  RunState run(std::uint64_t max_cycles);
+  /// Run and inject one latch fault at the site's cycle.
+  RunState run_with_fault(std::uint64_t max_cycles, const PipelineFaultSite& site);
+
+  RunState state() const { return state_; }
+  std::uint64_t cycles() const { return cycles_; }
+  std::uint32_t reg(std::size_t index) const;
+  std::uint32_t mem(std::size_t word) const;
+  void set_mem(std::size_t word, std::uint32_t value);
+  std::size_t memory_words() const { return memory_.size(); }
+  std::span<const std::uint32_t> memory() const { return memory_; }
+
+  /// Capture / restore everything but memory (see Snapshot).
+  Snapshot capture() const;
+  void restore(const Snapshot& snap);
+
+  /// Record every retired store (and nothing else — `set_mem` is the restore
+  /// primitive) into `log`; nullptr stops logging.
+  void set_write_log(std::vector<MemWrite>* log) { write_log_ = log; }
+
+  /// Dynamic instruction count retired (for CPI accounting).
+  std::uint64_t instructions_retired() const { return retired_; }
+  double cpi() const {
+    return retired_ ? static_cast<double>(cycles_) / static_cast<double>(retired_) : 0.0;
+  }
+  std::uint64_t stall_cycles() const { return stalls_; }
+  std::uint64_t flush_cycles() const { return flushes_; }
+
+ private:
   void apply_fault(const PipelineFaultSite& site);
 
   Program program_;
@@ -100,6 +131,7 @@ class PipelineCpu {
   IdEx id_ex_{};
   ExMem ex_mem_{};
   MemWb mem_wb_{};
+  std::vector<MemWrite>* write_log_ = nullptr;
 };
 
 /// Run a workload on the pipeline and compare architectural results against

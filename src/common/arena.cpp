@@ -1,0 +1,81 @@
+#include "src/common/arena.hpp"
+
+#include <cassert>
+
+#include "src/obs/obs.hpp"
+
+namespace lore {
+
+Arena::Arena(std::size_t first_block)
+    : first_block_(first_block ? first_block : 1024) {}
+
+Arena::~Arena() {
+  for (auto& b : blocks_) ::operator delete(b.data, std::align_val_t{kMaxAlign});
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  assert(align > 0 && (align & (align - 1)) == 0 && align <= kMaxAlign);
+  if (bytes == 0) bytes = 1;
+  for (;;) {
+    if (block_index_ < blocks_.size()) {
+      Block& b = blocks_[block_index_];
+      // Block bases are kMaxAlign-aligned, so aligning the offset aligns the
+      // pointer for any supported `align`.
+      const std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+      if (aligned + bytes <= b.size) {
+        void* p = b.data + aligned;
+        used_ += (aligned - offset_) + bytes;
+        offset_ = aligned + bytes;
+        if (used_ > high_water_) high_water_ = used_;
+        return p;
+      }
+      // This block is full for the request; move on (its tail is not counted
+      // in used_ — high_water tracks granted bytes plus alignment padding).
+      ++block_index_;
+      offset_ = 0;
+      continue;
+    }
+    std::size_t want =
+        blocks_.empty() ? first_block_ : std::min(kMaxBlock, blocks_.back().size * 2);
+    if (want < bytes + align) want = bytes + align;
+    Block b;
+    b.data = static_cast<char*>(::operator new(want, std::align_val_t{kMaxAlign}));
+    b.size = want;
+    blocks_.push_back(b);
+    block_index_ = blocks_.size() - 1;
+    offset_ = 0;
+  }
+}
+
+void Arena::reset() {
+  block_index_ = 0;
+  offset_ = 0;
+  used_ = 0;
+  if (high_water_ > published_high_water_) publish_high_water();
+}
+
+std::size_t Arena::capacity() const {
+  std::size_t total = 0;
+  for (const auto& b : blocks_) total += b.size;
+  return total;
+}
+
+void Arena::publish_high_water() {
+  published_high_water_ = high_water_;
+  // Gauge semantics: the max high-water any arena has reported. The
+  // read-compare-set below is racy across threads, but each writer only ever
+  // raises the value toward the true max, and steady-state campaigns stop
+  // publishing entirely once their footprint stabilizes.
+  if (obs::kCompiledIn && obs::enabled()) {
+    auto& gauge = obs::MetricsRegistry::global().gauge("arena.bytes_high_water");
+    const double hw = static_cast<double>(high_water_);
+    if (gauge.value() < hw) gauge.set(hw);
+  }
+}
+
+Arena& Arena::for_thread() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace lore

@@ -52,6 +52,42 @@ void warn_checkpoint(const std::string& path, const char* reason) {
 
 }  // namespace
 
+namespace {
+
+/// LORE_SIMD_SCALAR=1 forces the full scalar/per-trial reference path: the
+/// batched engine starts disabled alongside the SIMD kernels (one switch,
+/// one bit-identity contract — DESIGN.md §11).
+bool batch_enabled_from_env() {
+  const char* env = std::getenv("LORE_SIMD_SCALAR");
+  return !(env && *env && *env != '0');
+}
+
+std::atomic<bool> g_batch_enabled{batch_enabled_from_env()};
+
+}  // namespace
+
+bool campaign_batch_enabled() { return g_batch_enabled.load(std::memory_order_relaxed); }
+
+void set_campaign_batch_enabled(bool on) {
+  g_batch_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::size_t resolve_trial_chunk(std::size_t requested) {
+  if (requested > 0) return requested;
+  static const std::size_t env_chunk = [] {
+    const char* env = std::getenv("LORE_TRIAL_CHUNK");
+    if (!env || !*env) return std::size_t{0};
+    const long v = std::atol(env);
+    return v > 0 ? static_cast<std::size_t>(v) : std::size_t{0};
+  }();
+  return env_chunk > 0 ? env_chunk : 256;
+}
+
+bool plain_campaign_spec(const CampaignSpec& spec) {
+  return spec.checkpoint_path.empty() && spec.trial_deadline.count() == 0 &&
+         spec.overall_budget.count() == 0 && spec.max_trials_per_run == 0;
+}
+
 const char* trial_status_name(TrialStatus s) {
   switch (s) {
     case TrialStatus::kOk: return "ok";

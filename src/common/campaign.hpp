@@ -35,15 +35,20 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "src/common/arena.hpp"
+#include "src/common/kernels.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/rng.hpp"
+#include "src/obs/obs.hpp"
 
 namespace lore {
 
@@ -343,6 +348,139 @@ CampaignResult<Record> run_campaign(
   }
   out.status = raw.status;
   out.report = raw.report;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Batched (allocation-free) campaign execution — DESIGN.md §11.
+
+/// Runtime switch for the batched fast path (initialized from the
+/// environment: LORE_SIMD_SCALAR=1 starts it off, forcing the legacy
+/// per-trial reference path everywhere). The differential suite toggles this
+/// to prove batched == reference bit-identically.
+bool campaign_batch_enabled();
+void set_campaign_batch_enabled(bool on);
+
+/// Chunk-size resolution: explicit request > LORE_TRIAL_CHUNK environment
+/// variable > 256. Always >= 1.
+std::size_t resolve_trial_chunk(std::size_t requested);
+
+/// True when `spec` carries no resilience policy that requires the
+/// serializing reference engine: no checkpointing, no per-trial deadline, no
+/// overall budget, no per-run trial cap. Such "plain" specs are eligible for
+/// the batched fast path.
+bool plain_campaign_spec(const CampaignSpec& spec);
+
+/// True when `run_campaign_batched` would take the fast path for `spec`.
+inline bool campaign_uses_batch(const CampaignSpec& spec) {
+  return campaign_batch_enabled() && plain_campaign_spec(spec);
+}
+
+struct BatchOptions {
+  /// Trials per chunk (0 = resolve_trial_chunk default).
+  std::size_t chunk = 0;
+  /// Force the serializing reference engine regardless of spec/switch — the
+  /// differential test hook.
+  bool force_reference = false;
+};
+
+/// Batched campaign executor. Same record/status/report contract and the
+/// same per-trial semantics as `run_campaign` — trial `i` always computes
+/// from a fresh Rng seeded with `trial_seed(spec.base_seed, i)`, failed
+/// trials retry up to `spec.max_retries` times with backoff, and results are
+/// bit-identical for every thread count AND to the reference engine. What
+/// changes is the execution shape: plain specs (see `plain_campaign_spec`)
+/// run in chunks of trials claimed by `parallel_for_chunks`, per-chunk seed
+/// buffers come from the thread-local Arena and the batched seed kernel, and
+/// records are written straight into their slots — no per-trial
+/// encode/decode round trip, no per-trial heap traffic, no per-trial ring
+/// events (progress counters are maintained per chunk; the Aggregator's
+/// trials/s rates derive from counter deltas and keep working). Non-plain
+/// specs and `force_reference` fall back to `run_campaign` wholesale, so
+/// checkpoint/resume, deadlines, and budgets keep their exact semantics.
+template <typename Record, typename Codec = PodCodec<Record>, typename TrialFn>
+CampaignResult<Record> run_campaign_batched(const CampaignSpec& spec, TrialFn&& trial,
+                                            const BatchOptions& opt = {}) {
+  if (opt.force_reference || !campaign_batch_enabled() || !plain_campaign_spec(spec)) {
+    return run_campaign<Record, Codec>(
+        spec, std::function<Record(std::size_t, Rng&, const CancelToken&)>(
+                  std::forward<TrialFn>(trial)));
+  }
+  const std::size_t n = spec.trials;
+  CampaignResult<Record> out;
+  out.records.resize(n);
+  out.status.assign(n, TrialStatus::kSkipped);
+  out.report.trials = n;
+  if (n == 0) return out;
+
+  std::atomic<std::size_t> retries{0}, suppressed{0};
+  std::mutex err_mu;
+  std::string first_error;
+  const std::size_t chunk = resolve_trial_chunk(opt.chunk);
+
+  obs::Counter* completed_counter = nullptr;
+  obs::Gauge* progress_gauge = nullptr;
+  std::atomic<std::size_t> completed_so_far{0};
+  if (obs::kCompiledIn && obs::enabled()) {
+    auto& registry = obs::MetricsRegistry::global();
+    completed_counter = &registry.counter("campaign.trials_completed");
+    progress_gauge = &registry.gauge("campaign.progress");
+  }
+
+  parallel_for_chunks(n, spec.threads, chunk, [&](std::size_t begin, std::size_t end) {
+    Arena& arena = Arena::for_thread();
+    ArenaScope epoch(arena);
+    const auto seeds = arena.alloc<std::uint64_t>(end - begin);
+    kernels::fill_trial_seeds(seeds, spec.base_seed, begin);
+    const CancelToken cancel;  // plain specs have no deadline
+    std::size_t chunk_ok = 0, chunk_retries = 0, chunk_suppressed = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      for (unsigned attempt = 0; attempt <= spec.max_retries; ++attempt) {
+        if (attempt > 0) {
+          ++chunk_retries;
+          std::this_thread::sleep_for(spec.retry_backoff * (1u << (attempt - 1)));
+        }
+        try {
+          // Fresh stream per attempt — identical to the reference engine.
+          Rng rng(seeds[i - begin]);
+          out.records[i] = trial(i, rng, cancel);
+          out.status[i] = TrialStatus::kOk;
+          ++chunk_ok;
+          break;
+        } catch (const std::exception& e) {
+          ++chunk_suppressed;
+          out.status[i] = TrialStatus::kFailed;
+          std::lock_guard lock(err_mu);
+          if (first_error.empty()) first_error = e.what();
+        } catch (...) {
+          ++chunk_suppressed;
+          out.status[i] = TrialStatus::kFailed;
+          std::lock_guard lock(err_mu);
+          if (first_error.empty()) first_error = "unknown trial exception";
+        }
+      }
+      if (out.status[i] != TrialStatus::kOk) out.records[i] = Record{};
+    }
+    if (chunk_retries) retries.fetch_add(chunk_retries, std::memory_order_relaxed);
+    if (chunk_suppressed)
+      suppressed.fetch_add(chunk_suppressed, std::memory_order_relaxed);
+    if (completed_counter && chunk_ok) {
+      completed_counter->add(chunk_ok);
+      const auto done =
+          completed_so_far.fetch_add(chunk_ok, std::memory_order_relaxed) + chunk_ok;
+      progress_gauge->set(static_cast<double>(done) / static_cast<double>(n));
+    }
+  });
+
+  const auto status_bytes = std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(out.status.data()), n);
+  out.report.completed =
+      kernels::count_equal_u8(status_bytes, static_cast<std::uint8_t>(TrialStatus::kOk));
+  out.report.failed = kernels::count_equal_u8(
+      status_bytes, static_cast<std::uint8_t>(TrialStatus::kFailed));
+  out.report.retries = retries.load(std::memory_order_relaxed);
+  out.report.suppressed_exceptions = suppressed.load(std::memory_order_relaxed);
+  out.report.first_error = std::move(first_error);
   return out;
 }
 

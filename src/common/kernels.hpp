@@ -10,7 +10,14 @@
 //   * bit kernels over little-endian `uint64_t` word arrays: popcounts,
 //     XOR/XNOR combines, and a dim-bit rotate with carry — the packed
 //     hypervector primitives (bind = XOR, Hamming = XOR + popcount,
-//     permute = rotate).
+//     permute = rotate);
+//   * batch trial kernels for the allocation-free campaign hot path
+//     (DESIGN.md §11): per-chunk trial-seed generation, output-window
+//     mismatch counting, word copies, and status tallies. These follow the
+//     packed/scalar split of the HDC engine: `scalar::` holds the
+//     bit-identical reference, and the unqualified entry points dispatch at
+//     runtime to an AVX2 variant when the build (`-DLORE_SIMD=ON`), the host
+//     CPU, and the environment (`LORE_SIMD_SCALAR` unset) all allow it.
 //
 // Bit layout convention: component `i` of a `dim`-bit vector lives in word
 // `i / 64`, bit `i % 64`. Words past `dim` bits (the tail) must be kept zero
@@ -24,6 +31,16 @@
 #include <cstdint>
 #include <span>
 #include <vector>
+
+/// True when the AVX2 kernel variants are compiled into the binary. The
+/// `-DLORE_SIMD=OFF` build (which defines LORE_SIMD_DISABLED) and non-x86
+/// targets compile only the scalar reference; dispatch then always resolves
+/// to it.
+#if defined(__x86_64__) && !defined(LORE_SIMD_DISABLED)
+#define LORE_SIMD_COMPILED 1
+#else
+#define LORE_SIMD_COMPILED 0
+#endif
 
 namespace lore::kernels {
 
@@ -187,6 +204,119 @@ inline void rotate_left_bits(std::span<std::uint64_t> out,
   or_shifted_left(out, in, k);        // input bits [0, dim-k) -> output [k, dim)
   or_shifted_right(out, in, dim - k); // input bits [dim-k, dim) wrap to [0, k)
   out[out.size() - 1] &= tail_mask(dim);
+}
+
+// ---------------------------------------------------------------------------
+// Batch trial kernels with runtime SIMD dispatch (DESIGN.md §11).
+
+/// Implementation selected by the dispatched batch-kernel entry points.
+enum class Dispatch : std::uint8_t { kScalar, kAvx2 };
+
+const char* dispatch_name(Dispatch d);
+
+/// Strongest implementation this process may use: kAvx2 when compiled in,
+/// supported by the host CPU, and not vetoed by LORE_SIMD_SCALAR=1 in the
+/// environment; kScalar otherwise.
+Dispatch best_dispatch();
+
+/// The implementation the dispatched entry points currently use (initialized
+/// lazily from `best_dispatch`).
+Dispatch active_dispatch();
+
+/// Override the active implementation — the differential test hook. Requests
+/// for an unavailable implementation clamp to kScalar.
+void set_dispatch(Dispatch d);
+
+/// Bit-identical scalar reference implementations. Always compiled; the
+/// differential suite (tests/common/simd_kernels_test) proves the dispatched
+/// paths equal to these at every size.
+namespace scalar {
+
+/// splitmix64 finalizer of `base_seed ^ index` — the engine-wide per-trial
+/// seed function (`lore::trial_seed` forwards here).
+inline std::uint64_t trial_seed_at(std::uint64_t base_seed, std::uint64_t index) {
+  std::uint64_t z = (base_seed ^ index) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// out[i] = trial_seed_at(base_seed, first_index + i).
+inline void fill_trial_seeds(std::span<std::uint64_t> out, std::uint64_t base_seed,
+                             std::uint64_t first_index) {
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = trial_seed_at(base_seed, first_index + i);
+}
+
+/// Number of positions where a and b differ.
+inline std::size_t count_mismatch_u32(std::span<const std::uint32_t> a,
+                                      std::span<const std::uint32_t> b) {
+  assert(a.size() == b.size());
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) n += a[i] != b[i];
+  return n;
+}
+
+/// dst = src (no aliasing).
+inline void copy_u32(std::span<std::uint32_t> dst, std::span<const std::uint32_t> src) {
+  assert(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i];
+}
+
+/// Number of bytes equal to `value` (status-vector tallies).
+inline std::size_t count_equal_u8(std::span<const std::uint8_t> v, std::uint8_t value) {
+  std::size_t n = 0;
+  for (const std::uint8_t x : v) n += x == value;
+  return n;
+}
+
+}  // namespace scalar
+
+#if LORE_SIMD_COMPILED
+/// AVX2 variants (src/common/simd.cpp, compiled with target("avx2") so the
+/// rest of the binary keeps the baseline ISA; call only when
+/// `best_dispatch() == kAvx2`).
+namespace avx2 {
+void fill_trial_seeds(std::span<std::uint64_t> out, std::uint64_t base_seed,
+                      std::uint64_t first_index);
+std::size_t count_mismatch_u32(std::span<const std::uint32_t> a,
+                               std::span<const std::uint32_t> b);
+void copy_u32(std::span<std::uint32_t> dst, std::span<const std::uint32_t> src);
+std::size_t count_equal_u8(std::span<const std::uint8_t> v, std::uint8_t value);
+}  // namespace avx2
+#endif
+
+// Dispatched entry points — what the campaign engine calls.
+
+inline void fill_trial_seeds(std::span<std::uint64_t> out, std::uint64_t base_seed,
+                             std::uint64_t first_index) {
+#if LORE_SIMD_COMPILED
+  if (active_dispatch() == Dispatch::kAvx2)
+    return avx2::fill_trial_seeds(out, base_seed, first_index);
+#endif
+  scalar::fill_trial_seeds(out, base_seed, first_index);
+}
+
+inline std::size_t count_mismatch_u32(std::span<const std::uint32_t> a,
+                                      std::span<const std::uint32_t> b) {
+#if LORE_SIMD_COMPILED
+  if (active_dispatch() == Dispatch::kAvx2) return avx2::count_mismatch_u32(a, b);
+#endif
+  return scalar::count_mismatch_u32(a, b);
+}
+
+inline void copy_u32(std::span<std::uint32_t> dst, std::span<const std::uint32_t> src) {
+#if LORE_SIMD_COMPILED
+  if (active_dispatch() == Dispatch::kAvx2) return avx2::copy_u32(dst, src);
+#endif
+  scalar::copy_u32(dst, src);
+}
+
+inline std::size_t count_equal_u8(std::span<const std::uint8_t> v, std::uint8_t value) {
+#if LORE_SIMD_COMPILED
+  if (active_dispatch() == Dispatch::kAvx2) return avx2::count_equal_u8(v, value);
+#endif
+  return scalar::count_equal_u8(v, value);
 }
 
 }  // namespace lore::kernels

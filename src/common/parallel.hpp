@@ -73,10 +73,21 @@ class ThreadPool {
 };
 
 /// Run `fn(i)` for every `i` in [0, n) across `threads` workers (0 = all
-/// cores, 1 = plain serial loop). Trials are claimed from an atomic cursor,
-/// so callers must not depend on execution order — only on `i`.
+/// cores, 1 = plain serial loop). Trials are claimed from an atomic cursor
+/// in small adaptive chunks (so sub-microsecond trial bodies don't serialize
+/// on the claim counter), so callers must not depend on execution order —
+/// only on `i`.
 void parallel_for(std::size_t n, unsigned threads,
                   const std::function<void(std::size_t)>& fn);
+
+/// Chunked variant for batch execution: `fn(begin, end)` is called for
+/// contiguous disjoint ranges covering [0, n), each at most `chunk` indices
+/// (`chunk` = 0 behaves as 1). Workers claim whole ranges from one atomic
+/// counter — the work-distribution engine of the allocation-free campaign
+/// path (DESIGN.md §11). Range boundaries are deterministic (multiples of
+/// `chunk`); which worker runs which range is not.
+void parallel_for_chunks(std::size_t n, unsigned threads, std::size_t chunk,
+                         const std::function<void(std::size_t, std::size_t)>& fn);
 
 /// The deterministic campaign executor: `fn(i, rng)` runs for every trial
 /// `i` in [0, n), where `rng` is freshly seeded with

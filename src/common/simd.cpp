@@ -1,0 +1,154 @@
+// Runtime SIMD dispatch + AVX2 batch-kernel variants (DESIGN.md §11).
+//
+// The AVX2 functions are compiled with __attribute__((target("avx2"))) so
+// the translation unit — and the rest of the binary — keeps the baseline
+// ISA; they are only ever called after `best_dispatch()` has confirmed the
+// host CPU supports AVX2. Every variant is proven bit-identical to its
+// `kernels::scalar::` reference by the differential suite
+// (tests/common/simd_kernels_test.cpp, ctest label `simd`).
+#include "src/common/kernels.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+
+#if LORE_SIMD_COMPILED
+#include <immintrin.h>
+#endif
+
+namespace lore::kernels {
+namespace {
+
+std::atomic<Dispatch> g_dispatch{Dispatch::kScalar};
+std::atomic<bool> g_dispatch_init{false};
+
+bool avx2_supported() {
+#if LORE_SIMD_COMPILED
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const char* dispatch_name(Dispatch d) {
+  switch (d) {
+    case Dispatch::kScalar: return "scalar";
+    case Dispatch::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+Dispatch best_dispatch() {
+  const char* env = std::getenv("LORE_SIMD_SCALAR");
+  if (env && *env && *env != '0') return Dispatch::kScalar;
+  return avx2_supported() ? Dispatch::kAvx2 : Dispatch::kScalar;
+}
+
+Dispatch active_dispatch() {
+  // Benign init race: concurrent first callers all compute the same
+  // best_dispatch() value.
+  if (!g_dispatch_init.load(std::memory_order_acquire)) {
+    g_dispatch.store(best_dispatch(), std::memory_order_relaxed);
+    g_dispatch_init.store(true, std::memory_order_release);
+  }
+  return g_dispatch.load(std::memory_order_relaxed);
+}
+
+void set_dispatch(Dispatch d) {
+  if (d == Dispatch::kAvx2 && !avx2_supported()) d = Dispatch::kScalar;
+  g_dispatch.store(d, std::memory_order_relaxed);
+  g_dispatch_init.store(true, std::memory_order_release);
+}
+
+#if LORE_SIMD_COMPILED
+
+namespace avx2 {
+namespace {
+
+/// 4-lane 64-bit multiply from 32x32->64 partial products (AVX2 has no
+/// 64-bit multiply): lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32).
+__attribute__((target("avx2"))) inline __m256i mul64(__m256i a, __m256i b) {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(a_hi, b), _mm256_mul_epu32(a, b_hi));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) void fill_trial_seeds(std::span<std::uint64_t> out,
+                                                      std::uint64_t base_seed,
+                                                      std::uint64_t first_index) {
+  const __m256i base = _mm256_set1_epi64x(static_cast<long long>(base_seed));
+  const __m256i c1 = _mm256_set1_epi64x(static_cast<long long>(0x9e3779b97f4a7c15ULL));
+  const __m256i c2 = _mm256_set1_epi64x(static_cast<long long>(0xbf58476d1ce4e5b9ULL));
+  const __m256i c3 = _mm256_set1_epi64x(static_cast<long long>(0x94d049bb133111ebULL));
+  const __m256i four = _mm256_set1_epi64x(4);
+  __m256i idx = _mm256_add_epi64(
+      _mm256_set1_epi64x(static_cast<long long>(first_index)),
+      _mm256_set_epi64x(3, 2, 1, 0));
+  std::size_t i = 0;
+  for (; i + 4 <= out.size(); i += 4) {
+    __m256i z = _mm256_add_epi64(_mm256_xor_si256(base, idx), c1);
+    z = mul64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 30)), c2);
+    z = mul64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 27)), c3);
+    z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out.data() + i), z);
+    idx = _mm256_add_epi64(idx, four);
+  }
+  for (; i < out.size(); ++i) out[i] = scalar::trial_seed_at(base_seed, first_index + i);
+}
+
+__attribute__((target("avx2"))) std::size_t count_mismatch_u32(
+    std::span<const std::uint32_t> a, std::span<const std::uint32_t> b) {
+  assert(a.size() == b.size());
+  std::size_t mismatches = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= a.size(); i += 8) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.data() + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b.data() + i));
+    const __m256i eq = _mm256_cmpeq_epi32(va, vb);
+    const unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+    mismatches += 8 - static_cast<std::size_t>(std::popcount(mask & 0xffu));
+  }
+  for (; i < a.size(); ++i) mismatches += a[i] != b[i];
+  return mismatches;
+}
+
+__attribute__((target("avx2"))) void copy_u32(std::span<std::uint32_t> dst,
+                                              std::span<const std::uint32_t> src) {
+  assert(dst.size() == src.size());
+  std::size_t i = 0;
+  for (; i + 8 <= dst.size(); i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src.data() + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst.data() + i), v);
+  }
+  for (; i < dst.size(); ++i) dst[i] = src[i];
+}
+
+__attribute__((target("avx2"))) std::size_t count_equal_u8(
+    std::span<const std::uint8_t> v, std::uint8_t value) {
+  const __m256i needle = _mm256_set1_epi8(static_cast<char>(value));
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 32 <= v.size(); i += 32) {
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v.data() + i));
+    const unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(x, needle)));
+    count += static_cast<std::size_t>(std::popcount(mask));
+  }
+  for (; i < v.size(); ++i) count += v[i] == value;
+  return count;
+}
+
+}  // namespace avx2
+
+#endif  // LORE_SIMD_COMPILED
+
+}  // namespace lore::kernels

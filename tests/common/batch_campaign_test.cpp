@@ -1,0 +1,172 @@
+// Contract tests for `run_campaign_batched` (DESIGN.md §11): record/status/
+// report equivalence with the reference engine across chunk sizes and thread
+// counts, per-trial RNG stream identity, retry and failure degradation, and
+// the fall-back rules (non-plain specs and the global batch switch).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/campaign.hpp"
+
+namespace {
+
+using namespace lore;
+
+struct Sample {
+  std::uint64_t value = 0;
+  std::uint64_t index = 0;
+  friend bool operator==(const Sample&, const Sample&) = default;
+};
+
+CampaignSpec plain_spec(std::size_t trials, unsigned threads) {
+  CampaignSpec spec;
+  spec.trials = trials;
+  spec.base_seed = 4242;
+  spec.threads = threads;
+  spec.domain = "test.batch";
+  return spec;
+}
+
+TEST(BatchCampaign, MatchesReferenceAcrossChunkSizesAndThreads) {
+  const auto trial = [](std::size_t t, Rng& rng, const CancelToken&) {
+    return Sample{rng.next_u64(), t};
+  };
+  BatchOptions reference_opt;
+  reference_opt.force_reference = true;
+  const auto reference =
+      run_campaign_batched<Sample>(plain_spec(1000, 1), trial, reference_opt);
+  ASSERT_EQ(reference.report.completed, 1000u);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{64},
+                                  std::size_t{1000}, std::size_t{4096}}) {
+    for (const unsigned threads : {1u, 4u, 0u}) {
+      BatchOptions opt;
+      opt.chunk = chunk;
+      const auto batched = run_campaign_batched<Sample>(plain_spec(1000, threads), trial, opt);
+      EXPECT_EQ(reference.records, batched.records)
+          << "chunk=" << chunk << " threads=" << threads;
+      EXPECT_EQ(reference.status, batched.status);
+      EXPECT_EQ(batched.report.completed, 1000u);
+      EXPECT_TRUE(batched.report.complete());
+    }
+  }
+}
+
+TEST(BatchCampaign, TrialRngStreamIsTheEngineContract) {
+  // Trial i must see a fresh Rng seeded with trial_seed(base_seed, i) —
+  // exactly the documented determinism contract.
+  const auto result = run_campaign_batched<std::uint64_t>(
+      plain_spec(257, 0),
+      [](std::size_t, Rng& rng, const CancelToken&) { return rng.next_u64(); });
+  ASSERT_EQ(result.report.completed, 257u);
+  for (std::size_t t = 0; t < 257; ++t) {
+    Rng expected(trial_seed(4242, t));
+    EXPECT_EQ(result.records[t], expected.next_u64()) << "t=" << t;
+  }
+}
+
+TEST(BatchCampaign, PersistentFailuresDegradeToFailedStatus) {
+  CampaignSpec spec = plain_spec(100, 4);
+  spec.max_retries = 2;
+  spec.retry_backoff = std::chrono::milliseconds(0);
+  const auto result = run_campaign_batched<Sample>(
+      spec, [](std::size_t t, Rng&, const CancelToken&) {
+        if (t % 10 == 3) throw std::runtime_error("trial exploded");
+        return Sample{t * 2, t};
+      });
+  EXPECT_EQ(result.report.completed, 90u);
+  EXPECT_EQ(result.report.failed, 10u);
+  EXPECT_FALSE(result.report.complete());
+  // Each failing trial burns the initial attempt plus max_retries retries.
+  EXPECT_EQ(result.report.retries, 10u * 2u);
+  EXPECT_EQ(result.report.suppressed_exceptions, 10u * 3u);
+  EXPECT_EQ(result.report.first_error, "trial exploded");
+  for (std::size_t t = 0; t < 100; ++t) {
+    if (t % 10 == 3) {
+      EXPECT_EQ(result.status[t], TrialStatus::kFailed);
+      EXPECT_EQ(result.records[t], Sample{}) << "failed slot must be value-initialized";
+    } else {
+      EXPECT_EQ(result.status[t], TrialStatus::kOk);
+      EXPECT_EQ(result.records[t].value, t * 2);
+    }
+  }
+}
+
+TEST(BatchCampaign, TransientFailuresRecoverViaRetry) {
+  CampaignSpec spec = plain_spec(64, 4);
+  spec.max_retries = 1;
+  spec.retry_backoff = std::chrono::milliseconds(0);
+  std::vector<std::atomic<int>> attempts(64);
+  const auto result = run_campaign_batched<Sample>(
+      spec, [&](std::size_t t, Rng& rng, const CancelToken&) {
+        if (t % 8 == 1 && attempts[t].fetch_add(1) == 0)
+          throw std::runtime_error("transient");
+        return Sample{rng.next_u64(), t};
+      });
+  EXPECT_EQ(result.report.completed, 64u);
+  EXPECT_TRUE(result.report.complete());
+  EXPECT_EQ(result.report.retries, 8u);
+  EXPECT_EQ(result.report.suppressed_exceptions, 8u);
+  // The retried attempt re-seeds from scratch: same stream as never failing.
+  for (std::size_t t = 0; t < 64; ++t) {
+    Rng expected(trial_seed(4242, t));
+    EXPECT_EQ(result.records[t].value, expected.next_u64());
+    EXPECT_EQ(result.status[t], TrialStatus::kOk);
+  }
+}
+
+TEST(BatchCampaign, NonPlainSpecsFallBackToReferenceEngine) {
+  // Deadlines, budgets, per-run caps, and checkpoints are reference-engine
+  // features; campaign_uses_batch must refuse them.
+  CampaignSpec plain = plain_spec(10, 1);
+  EXPECT_TRUE(plain_campaign_spec(plain));
+  auto with_deadline = plain;
+  with_deadline.trial_deadline = std::chrono::milliseconds(100);
+  EXPECT_FALSE(plain_campaign_spec(with_deadline));
+  auto with_budget = plain;
+  with_budget.overall_budget = std::chrono::milliseconds(100);
+  EXPECT_FALSE(plain_campaign_spec(with_budget));
+  auto with_cap = plain;
+  with_cap.max_trials_per_run = 5;
+  EXPECT_FALSE(plain_campaign_spec(with_cap));
+  auto with_checkpoint = plain;
+  with_checkpoint.checkpoint_path = "/tmp/never-written.ckpt";
+  EXPECT_FALSE(plain_campaign_spec(with_checkpoint));
+
+  // A non-plain spec still produces correct results (via the fallback).
+  const auto result = run_campaign_batched<Sample>(
+      with_deadline,
+      [](std::size_t t, Rng& rng, const CancelToken&) { return Sample{rng.next_u64(), t}; });
+  EXPECT_EQ(result.report.completed, 10u);
+  for (std::size_t t = 0; t < 10; ++t) {
+    Rng expected(trial_seed(4242, t));
+    EXPECT_EQ(result.records[t].value, expected.next_u64());
+  }
+}
+
+TEST(BatchCampaign, GlobalSwitchForcesReferenceEngine) {
+  const bool saved = campaign_batch_enabled();
+  set_campaign_batch_enabled(false);
+  const CampaignSpec spec = plain_spec(10, 1);
+  EXPECT_FALSE(campaign_uses_batch(spec));
+  const auto off = run_campaign_batched<std::uint64_t>(
+      spec, [](std::size_t, Rng& rng, const CancelToken&) { return rng.next_u64(); });
+  set_campaign_batch_enabled(true);
+  EXPECT_TRUE(campaign_uses_batch(spec));
+  const auto on = run_campaign_batched<std::uint64_t>(
+      spec, [](std::size_t, Rng& rng, const CancelToken&) { return rng.next_u64(); });
+  set_campaign_batch_enabled(saved);
+  EXPECT_EQ(off.records, on.records) << "engines must agree bit-for-bit";
+}
+
+TEST(BatchCampaign, ZeroTrials) {
+  const auto result = run_campaign_batched<Sample>(
+      plain_spec(0, 4),
+      [](std::size_t t, Rng&, const CancelToken&) { return Sample{0, t}; });
+  EXPECT_EQ(result.records.size(), 0u);
+  EXPECT_TRUE(result.report.complete());
+}
+
+}  // namespace
