@@ -1,0 +1,122 @@
+// Fleet throughput of the sharded campaign fabric (DESIGN.md §12): the same
+// fault-injection campaign run single-process and through the coordinator at
+// 1/2/4 worker processes, with the bit-identity contract checked on every
+// row. The workers are re-exec'd copies of this binary (spawn_self_worker),
+// because by the time the report runs the bench's telemetry pipeline already
+// owns threads and a plain fork() would be unsafe.
+#include "bench/bench_util.hpp"
+
+#include <vector>
+
+#include "src/arch/fault.hpp"
+#include "src/common/campaign.hpp"
+#include "src/common/table.hpp"
+#include "src/fabric/coordinator.hpp"
+#include "src/fabric/runners.hpp"
+#include "src/fabric/spawn.hpp"
+
+namespace {
+
+using namespace lore;
+
+constexpr std::size_t kTrials = 4000;
+constexpr std::size_t kScale = 16;
+constexpr std::uint64_t kSeed = 42;
+
+obs::Json campaign_params() {
+  obs::Json params = obs::Json::object();
+  params["workload"] = "matmul";
+  params["scale"] = static_cast<std::int64_t>(kScale);
+  params["wseed"] = static_cast<std::int64_t>(7);
+  params["target"] = "register";
+  return params;
+}
+
+CampaignSpec campaign_spec() {
+  CampaignSpec spec;
+  spec.trials = kTrials;
+  spec.base_seed = kSeed;
+  spec.threads = 1;  // scaling comes from processes, not threads
+  return spec;
+}
+
+std::vector<arch::FaultRecord> run_fleet(std::size_t workers, double& seconds) {
+  const obs::Json params = campaign_params();
+  const auto spec = fabric::resolve_job_spec("arch.fault", params, campaign_spec());
+  fabric::CoordinatorConfig cfg;
+  cfg.expected_workers = static_cast<unsigned>(workers);
+  fabric::Coordinator coord;
+  if (!spec || !coord.bind(cfg)) return {};
+
+  std::vector<pid_t> kids;
+  fabric::SpawnOptions sopts;
+  sopts.threads = 1;
+  sopts.metrics_port = 0;
+  for (std::size_t i = 0; i < workers; ++i)
+    kids.push_back(fabric::spawn_self_worker(coord.port(), sopts));
+
+  CampaignCheckpoint merged;
+  seconds = bench::timed_seconds([&] {
+    coord.serve({"arch.fault", params, *spec});
+    coord.wait();
+    merged = coord.finish();
+  });
+  for (const pid_t pid : kids) fabric::wait_worker(pid);
+  const auto result = fabric::records_from_checkpoint("arch.fault", *spec, merged);
+  return result ? result->records : std::vector<arch::FaultRecord>{};
+}
+
+void run_experiment_report() {
+  fabric::maybe_run_worker_from_env();  // re-exec'd children become workers here
+
+  bench::print_header("Fabric fleet throughput",
+                      "Sharded multi-process campaign vs single-process, matmul "
+                      "scale " + std::to_string(kScale) + ", " +
+                      std::to_string(kTrials) + " register-fault trials. Speedup is\n"
+                      "bounded by the host's core count (this table is honest, not ideal).");
+
+  const auto w = fabric::workload_from_params(campaign_params());
+  const arch::FaultInjector inj(*w);
+  double base_s = 0.0;
+  std::vector<arch::FaultRecord> reference;
+  base_s = bench::timed_seconds([&] {
+    reference = inj.campaign_run(campaign_spec(), arch::FaultTarget::kRegister).records;
+  });
+
+  Table t({"config", "workers", "seconds", "trials/s", "speedup", "identical"});
+  t.add_row({"single-process", "-", fmt_sig(base_s, 3),
+             fmt_sig(kTrials / base_s, 4), "1.00", "-"});
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    double s = 0.0;
+    const auto records = run_fleet(workers, s);
+    t.add_row({"fabric", std::to_string(workers), fmt_sig(s, 3),
+               fmt_sig(kTrials / s, 4), fmt_sig(base_s / s, 3),
+               records == reference ? "yes" : "NO"});
+  }
+  bench::print_table(t);
+  bench::print_note("identical = merged fleet records match the single-process run "
+                    "bit for bit (the fabric's correctness contract).");
+}
+
+void BM_checkpoint_roundtrip(benchmark::State& state) {
+  const auto w = fabric::workload_from_params(campaign_params());
+  const arch::FaultInjector inj(*w);
+  CampaignSpec spec = campaign_spec();
+  spec.trials = 256;
+  const CampaignCheckpoint ck =
+      inj.campaign_shard(inj.resolved_spec(spec, arch::FaultTarget::kRegister),
+                         {0, 256}, arch::FaultTarget::kRegister);
+  const auto resolved = inj.resolved_spec(spec, arch::FaultTarget::kRegister);
+  for (auto _ : state) {
+    const std::string wire = encode_checkpoint(ck);
+    auto back = decode_checkpoint(wire, resolved, "bench");
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * encode_checkpoint(ck).size()));
+}
+BENCHMARK(BM_checkpoint_roundtrip);
+
+}  // namespace
+
+LORE_BENCH_MAIN(run_experiment_report)

@@ -1,0 +1,204 @@
+// lore_fabric — drive a sharded multi-process fault-injection campaign
+// (DESIGN.md §12). One binary plays both roles:
+//
+//   coordinator (default): bind, fork N local workers, dispatch shards,
+//     merge, report the outcome mix. `--verify` additionally runs the same
+//     campaign single-process and diffs the records (exit 1 on mismatch —
+//     the fabric's bit-identity contract, checked end to end).
+//   worker (`--worker --connect HOST:PORT`): join a coordinator somewhere
+//     else; lets a fleet span machines or pre-started containers.
+//
+//   lore_fabric --campaign arch.fault --workload dot_product --scale 24
+//               --trials 2000 --workers 4 --verify
+//   lore_fabric --worker --connect 127.0.0.1:7070 --metrics-port 0
+//
+// `--serve PORT` exposes the coordinator's own /metrics (fleet.* gauges) for
+// `scripts/lore_top.py --fleet`.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/arch/fault.hpp"
+#include "src/arch/pipeline.hpp"
+#include "src/fabric/coordinator.hpp"
+#include "src/fabric/runners.hpp"
+#include "src/fabric/spawn.hpp"
+#include "src/fabric/worker.hpp"
+#include "src/obs/obs.hpp"
+
+namespace {
+
+struct Options {
+  std::string campaign = "arch.fault";
+  std::string workload = "dot_product";
+  long scale = 24;
+  long wseed = 7;
+  std::string target = "register";
+  long trials = 1000;
+  long seed = 42;
+  long workers = 2;
+  long threads = 1;
+  long shards = 0;
+  long steal_ms = 3000;
+  long serve_port = -1;
+  bool verify = false;
+  bool worker_mode = false;
+  std::string connect;
+  long metrics_port = 0;
+};
+
+[[noreturn]] void usage(int rc) {
+  std::fputs(
+      "usage: lore_fabric [--campaign arch.fault|arch.pipeline] [--workload NAME]\n"
+      "                   [--scale N] [--wseed S] [--target register|memory|instruction]\n"
+      "                   [--trials N] [--seed S] [--workers K] [--threads T]\n"
+      "                   [--shards M] [--steal-ms MS] [--serve PORT] [--verify]\n"
+      "       lore_fabric --worker --connect HOST:PORT [--threads T] [--metrics-port P]\n",
+      rc == 0 ? stdout : stderr);
+  std::exit(rc);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(2);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--campaign") o.campaign = next(i);
+    else if (a == "--workload") o.workload = next(i);
+    else if (a == "--scale") o.scale = std::atol(next(i));
+    else if (a == "--wseed") o.wseed = std::atol(next(i));
+    else if (a == "--target") o.target = next(i);
+    else if (a == "--trials") o.trials = std::atol(next(i));
+    else if (a == "--seed") o.seed = std::atol(next(i));
+    else if (a == "--workers") o.workers = std::atol(next(i));
+    else if (a == "--threads") o.threads = std::atol(next(i));
+    else if (a == "--shards") o.shards = std::atol(next(i));
+    else if (a == "--steal-ms") o.steal_ms = std::atol(next(i));
+    else if (a == "--serve") o.serve_port = std::atol(next(i));
+    else if (a == "--verify") o.verify = true;
+    else if (a == "--worker") o.worker_mode = true;
+    else if (a == "--connect") o.connect = next(i);
+    else if (a == "--metrics-port") o.metrics_port = std::atol(next(i));
+    else if (a == "--help" || a == "-h") usage(0);
+    else usage(2);
+  }
+  return o;
+}
+
+int run_standalone_worker(const Options& o) {
+  const auto colon = o.connect.rfind(':');
+  if (colon == std::string::npos) usage(2);
+  lore::fabric::WorkerConfig cfg;
+  cfg.host = o.connect.substr(0, colon);
+  cfg.port = static_cast<std::uint16_t>(std::atoi(o.connect.c_str() + colon + 1));
+  cfg.threads = static_cast<unsigned>(o.threads);
+  cfg.metrics_port = static_cast<int>(o.metrics_port);
+  return lore::fabric::run_worker(cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lore::fabric::maybe_run_worker_from_env();
+  const Options o = parse(argc, argv);
+  if (o.worker_mode) {
+    if (o.connect.empty()) usage(2);
+    return run_standalone_worker(o);
+  }
+
+  using namespace lore;
+
+  obs::Json params = obs::Json::object();
+  params["workload"] = o.workload;
+  params["scale"] = static_cast<std::int64_t>(o.scale);
+  params["wseed"] = static_cast<std::int64_t>(o.wseed);
+  if (o.campaign == "arch.fault") params["target"] = o.target;
+
+  CampaignSpec base;
+  base.trials = static_cast<std::size_t>(o.trials);
+  base.base_seed = static_cast<std::uint64_t>(o.seed);
+  base.threads = static_cast<unsigned>(o.threads);
+
+  const auto spec = fabric::resolve_job_spec(o.campaign, params, base);
+  if (!spec) {
+    std::fprintf(stderr, "lore_fabric: cannot resolve campaign %s / workload %s\n",
+                 o.campaign.c_str(), o.workload.c_str());
+    return 2;
+  }
+
+  fabric::CoordinatorConfig cfg;
+  cfg.expected_workers = static_cast<unsigned>(o.workers);
+  cfg.shard_count = static_cast<std::size_t>(o.shards);
+  cfg.steal_after = std::chrono::milliseconds(o.steal_ms);
+  fabric::Coordinator coord;
+  if (!coord.bind(cfg)) {
+    std::fprintf(stderr, "lore_fabric: cannot bind coordinator socket\n");
+    return 1;
+  }
+  std::printf("coordinator on %s:%u, %ld workers x %ld threads, %ld trials\n",
+              cfg.bind_address.c_str(), coord.port(), o.workers, o.threads, o.trials);
+
+  // Fork while still single-threaded — serve() is what spawns threads.
+  std::vector<pid_t> kids;
+  fabric::SpawnOptions sopts;
+  sopts.threads = static_cast<unsigned>(o.threads);
+  for (long i = 0; i < o.workers; ++i)
+    kids.push_back(fabric::fork_local_worker(coord.port(), sopts, coord.listen_fd()));
+
+  // Fleet telemetry (post-fork: the pipeline owns threads).
+  obs::Pipeline pipeline;
+  if (o.serve_port >= 0) {
+    obs::PipelineConfig pc;
+    pc.port = static_cast<int>(o.serve_port);
+    if (pipeline.start(pc) && pipeline.server())
+      std::printf("fleet metrics on http://127.0.0.1:%u/metrics\n",
+                  pipeline.server()->port());
+  }
+
+  fabric::FabricJob job{o.campaign, params, *spec};
+  coord.serve(job);
+  coord.wait();
+  const auto snap = coord.snapshot();
+  const CampaignCheckpoint merged = coord.finish();
+  for (const pid_t pid : kids) fabric::wait_worker(pid);
+
+  const auto result = fabric::records_from_checkpoint(o.campaign, *spec, merged);
+  if (!result) {
+    std::fprintf(stderr, "lore_fabric: merged checkpoint failed to decode\n");
+    return 1;
+  }
+  const arch::OutcomeMix mix = arch::summarize(result->records);
+  std::printf(
+      "\ncampaign %s/%s: %zu trials  benign=%zu sdc=%zu crash=%zu hang=%zu  "
+      "avf=%.4f\n",
+      o.campaign.c_str(), o.workload.c_str(), result->records.size(), mix.benign,
+      mix.sdc, mix.crash, mix.hang, arch::avf(result->records));
+  std::printf(
+      "fleet: workers=%zu shards=%zu done=%zu steals=%zu dup_discarded=%zu "
+      "rejects=%zu\n",
+      snap.workers_seen, snap.shards_pending + snap.shards_inflight + snap.shards_done,
+      snap.shards_done, snap.steals, snap.duplicates_discarded, snap.payload_rejects);
+
+  if (o.verify) {
+    const auto w = fabric::workload_from_params(params);
+    CampaignResult<arch::FaultRecord> reference;
+    if (o.campaign == "arch.pipeline") {
+      reference = arch::pipeline_campaign_run(*w, base);
+    } else {
+      const arch::FaultInjector inj(*w);
+      const auto target = o.target == "memory"      ? arch::FaultTarget::kMemory
+                          : o.target == "instruction" ? arch::FaultTarget::kInstruction
+                                                      : arch::FaultTarget::kRegister;
+      reference = inj.campaign_run(base, target);
+    }
+    const bool identical = reference.records == result->records;
+    std::printf("verify vs single-process: %s\n", identical ? "IDENTICAL" : "MISMATCH");
+    if (!identical) return 1;
+  }
+  return 0;
+}

@@ -151,6 +151,33 @@ def resilience_summary(docs):
     return out
 
 
+def fleet_summary(docs):
+    """Resurface the campaign fabric's fleet-throughput table (bench/fabric.cpp)
+    so multi-process scaling — and any bit-identity violation — is visible at
+    the top level of the report."""
+    out = []
+    for doc in docs:
+        for table in doc.get("tables", []):
+            headers = table.get("headers", [])
+            if "workers" not in headers or "identical" not in headers:
+                continue
+            rows = table.get("rows", [])
+            out.append("=== fleet throughput summary "
+                       f"({doc.get('bench', '?')}) ===")
+            out.append(render_table(headers, rows))
+            ident_col = headers.index("identical")
+            broken = [r for r in rows if len(r) > ident_col and r[ident_col] == "NO"]
+            if broken:
+                out.append("WARNING: fleet results NOT bit-identical to the "
+                           "single-process reference — the fabric's merge "
+                           "contract is broken")
+            else:
+                out.append("all fleet runs bit-identical to the single-process "
+                           "reference")
+            out.append("")
+    return out
+
+
 def report(paths):
     out = []
     docs = []
@@ -178,6 +205,7 @@ def report(paths):
             out.append("-- live pipeline intervals (lore.intervals.v1)")
             out.append(render_table(INTERVAL_HEADERS, ivs))
         out.append("")
+    out.extend(fleet_summary(docs))
     out.extend(resilience_summary(docs))
     out.append(f"bench_report: aggregated {len(docs)} artifact(s)")
     return "\n".join(out), len(docs)

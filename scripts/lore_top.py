@@ -10,6 +10,12 @@ Each refresh polls /metrics.json (schema lore.metrics.v1) and /healthz,
 prints every gauge, and turns counter deltas between polls into per-second
 rates — the consumer-side mirror of the in-process Aggregator. Only the
 Python standard library is used.
+
+`--fleet` renders the campaign-fabric coordinator's `fleet.*` gauges as a
+progress dashboard instead of the raw dump — point it at a
+`lore_fabric --serve PORT` run:
+
+  scripts/lore_top.py --fleet --url http://127.0.0.1:9464
 """
 
 import argparse
@@ -67,6 +73,36 @@ def render(snapshot, prev, dt, health):
     return "\n".join(lines)
 
 
+def render_fleet(snapshot, health):
+    """Dashboard view of the fabric coordinator's fleet.* gauges (DESIGN.md
+    §12): worker liveness, shard dispatch state, merged-trial progress, and
+    the scraped fleet throughput."""
+    g = snapshot.get("gauges", {})
+
+    def v(name):
+        return g.get("fleet." + name, 0.0)
+
+    if not any(k.startswith("fleet.") for k in g):
+        return ("no fleet.* gauges yet — is this a lore_fabric coordinator "
+                "started with --serve?")
+    state, alerts = health
+    lines = [f"health: {state}  alerts_total: {alerts}", ""]
+    lines.append(f"workers   alive {v('workers_alive'):.0f} / "
+                 f"seen {v('workers_seen'):.0f}")
+    lines.append(f"shards    pending {v('shards_pending'):.0f}  "
+                 f"inflight {v('shards_inflight'):.0f}  "
+                 f"done {v('shards_done'):.0f}  steals {v('steals'):.0f}")
+    done, total = v("trials_done"), v("trials_total")
+    frac = done / total if total > 0 else 0.0
+    bar = "#" * int(frac * 40) + "." * (40 - int(frac * 40))
+    lines.append(f"trials    [{bar}] {done:.0f}/{total:.0f} ({frac:6.1%})")
+    lines.append(f"merge     rejects {v('payload_rejects'):.0f}  "
+                 f"duplicates discarded {v('duplicates_discarded'):.0f}")
+    lines.append(f"rate      {v('trials_per_s'):.6g} trials/s (scraped from "
+                 f"worker /metrics)")
+    return "\n".join(lines)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--url", default="http://127.0.0.1:9464",
@@ -77,6 +113,9 @@ def main():
                     help="stop after N polls (0 = until interrupted)")
     ap.add_argument("--timeout", type=float, default=2.0,
                     help="per-request timeout in seconds")
+    ap.add_argument("--fleet", action="store_true",
+                    help="render the campaign fabric's fleet.* gauges as a "
+                         "progress dashboard (coordinator endpoint)")
     args = ap.parse_args()
     base = args.url.rstrip("/")
 
@@ -95,7 +134,10 @@ def main():
             if sys.stdout.isatty():
                 sys.stdout.write("\x1b[2J\x1b[H")
             print(f"lore_top — {base}  (poll {n + 1}, dt {dt:.2f}s)")
-            print(render(snapshot, prev, dt, health))
+            if args.fleet:
+                print(render_fleet(snapshot, health))
+            else:
+                print(render(snapshot, prev, dt, health))
             sys.stdout.flush()
             prev, prev_t, n = snapshot, now, n + 1
             if args.iterations and n >= args.iterations:

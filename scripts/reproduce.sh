@@ -8,15 +8,15 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
-# TSAN=1 additionally runs the `parallel`-, `resilience`-, `obs`-, and
-# `simd`-labeled determinism/race suites — campaign engine, the live
+# TSAN=1 additionally runs the `parallel`-, `resilience`-, `obs`-, `simd`-,
+# and `fabric`-labeled determinism/race suites — campaign engine, the live
 # telemetry pipeline (event-ring producers vs the aggregator drain and serve
 # threads), and the chunked batch engine with its thread-local arenas —
 # under ThreadSanitizer (the `tsan` CMake preset).
 if [ "${TSAN:-0}" = "1" ]; then
   cmake --preset tsan
-  cmake --build build-tsan --target lore_parallel_tests lore_resilience_tests lore_obs_tests lore_simd_tests
-  ctest --test-dir build-tsan -L '(parallel|resilience|obs|simd)' --output-on-failure 2>&1 | tee tsan_output.txt
+  cmake --build build-tsan --target lore_parallel_tests lore_resilience_tests lore_obs_tests lore_simd_tests lore_fabric_tests
+  ctest --test-dir build-tsan -L '(parallel|resilience|obs|simd|fabric)' --output-on-failure 2>&1 | tee tsan_output.txt
 fi
 
 # Smoke the -DLORE_OBS=OFF build (the `obs-off` preset): the telemetry
@@ -35,6 +35,17 @@ if [ "${SIMD_OFF:-0}" = "1" ]; then
   cmake --preset simd-off
   cmake --build build-simd-off --target lore_simd_tests
   ctest --test-dir build-simd-off -L simd --output-on-failure 2>&1 | tee simd_off_output.txt
+fi
+
+# FABRIC=1 smokes the sharded multi-process campaign fabric end to end: a
+# 2-worker coordinator run of the same campaign as the single-process
+# reference, diffed by the driver's --verify (exit 1 on any bit difference).
+if [ "${FABRIC:-0}" = "1" ]; then
+  cmake --build build --target ex_lore_fabric
+  ./build/examples/lore_fabric --campaign arch.fault --workload dot_product \
+    --scale 16 --trials 400 --workers 2 --verify 2>&1 | tee fabric_output.txt
+  ./build/examples/lore_fabric --campaign arch.pipeline --workload checksum \
+    --scale 12 --trials 200 --workers 2 --verify 2>&1 | tee -a fabric_output.txt
 fi
 
 : > bench_output.txt

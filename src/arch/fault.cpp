@@ -405,14 +405,48 @@ FaultRecord FaultInjector::inject_batched(const BatchContext& ctx, BatchScratch&
   return rec;
 }
 
-lore::CampaignResult<FaultRecord> FaultInjector::campaign_run(
-    const lore::CampaignSpec& spec, FaultTarget target) const {
-  LORE_OBS_SPAN(span, "campaign.arch");
-  LORE_OBS_TIMER(timer, "campaign.arch_us");
+lore::CampaignSpec FaultInjector::resolved_spec(const lore::CampaignSpec& spec,
+                                                FaultTarget target) const {
   lore::CampaignSpec s = spec;
   if (s.domain.empty())
     s.domain = fault_campaign_domain("arch.fault", golden_, workload_.program.size(),
                                      static_cast<int>(target));
+  return s;
+}
+
+lore::CampaignCheckpoint FaultInjector::campaign_shard(const lore::CampaignSpec& spec,
+                                                       lore::TrialRange range,
+                                                       FaultTarget target) const {
+  LORE_OBS_SPAN(span, "campaign.arch_shard");
+  const lore::CampaignSpec s = resolved_spec(spec, target);
+  if (lore::campaign_batch_enabled()) {
+    const BatchContext ctx{workload_, golden_, build_golden_trace()};
+    return lore::run_campaign_shard<FaultRecord, FaultRecordCodec>(
+        s, range, [&](std::size_t t, lore::Rng& rng, const lore::CancelToken&) {
+          FaultRecord rec =
+              inject_batched(ctx, scratch_for(ctx), random_site(rng, target));
+          rec.trial_seed = lore::trial_seed(s.base_seed, t);
+          return rec;
+        });
+  }
+  return lore::run_campaign_shard<FaultRecord, FaultRecordCodec>(
+      s, range, [&](std::size_t t, lore::Rng& rng, const lore::CancelToken&) {
+        FaultRecord rec = inject(random_site(rng, target));
+        rec.trial_seed = lore::trial_seed(s.base_seed, t);
+        return rec;
+      });
+}
+
+lore::CampaignResult<FaultRecord> FaultInjector::records_from_checkpoint(
+    const lore::CampaignSpec& spec, const lore::CampaignCheckpoint& ck) {
+  return lore::result_from_checkpoint<FaultRecord, FaultRecordCodec>(spec, ck);
+}
+
+lore::CampaignResult<FaultRecord> FaultInjector::campaign_run(
+    const lore::CampaignSpec& spec, FaultTarget target) const {
+  LORE_OBS_SPAN(span, "campaign.arch");
+  LORE_OBS_TIMER(timer, "campaign.arch_us");
+  const lore::CampaignSpec s = resolved_spec(spec, target);
   lore::CampaignResult<FaultRecord> result;
   if (lore::campaign_uses_batch(s)) {
     const BatchContext ctx{workload_, golden_, build_golden_trace()};

@@ -84,6 +84,24 @@ class FaultInjector {
   /// Convenience: records of `campaign_run` (the common complete-run case).
   std::vector<FaultRecord> campaign(const CampaignSpec& spec, FaultTarget target) const;
 
+  /// Copy of `spec` with the workload-fingerprint domain filled in when
+  /// empty — the exact identity `campaign_run` executes under, which the
+  /// fabric coordinator validates incoming shard payloads against.
+  CampaignSpec resolved_spec(const CampaignSpec& spec, FaultTarget target) const;
+
+  /// Fabric worker entry point: run trials [range.begin, range.end) of the
+  /// campaign — identical per-trial seeding and trial bodies to
+  /// `campaign_run`, batched hot path included — and return them as a
+  /// LORECKP1-ready checkpoint payload (DESIGN.md §12).
+  CampaignCheckpoint campaign_shard(const CampaignSpec& spec, TrialRange range,
+                                    FaultTarget target) const;
+
+  /// Decode a merged fabric checkpoint (or any resume checkpoint of this
+  /// campaign kind) into records, using the same wire codec `campaign_run`
+  /// checkpoints with.
+  static CampaignResult<FaultRecord> records_from_checkpoint(
+      const CampaignSpec& spec, const CampaignCheckpoint& ck);
+
   /// Positional convenience over the spec entry point (no checkpointing).
   std::vector<FaultRecord> campaign(std::size_t trials, FaultTarget target,
                                     std::uint64_t base_seed, unsigned threads = 0) const;

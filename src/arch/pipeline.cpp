@@ -470,48 +470,97 @@ Outcome pipeline_inject_batched(const PipeBatchContext& ctx, PipeScratch& scratc
   return outcome;
 }
 
+/// Clean pipeline run: the cycle budget injection times are drawn from.
+std::uint64_t pipeline_probe_cycles(const Workload& w) {
+  PipelineCpu probe(w.memory_words);
+  probe.load_program(w.program);
+  for (const auto& [addr, value] : w.memory_init) probe.set_mem(addr, value);
+  probe.run(4 * w.max_cycles + 64);
+  return probe.cycles();
+}
+
+constexpr LatchField kCampaignFields[] = {
+    LatchField::kPc,           LatchField::kIfIdInstr,  LatchField::kIdExOperandA,
+    LatchField::kIdExOperandB, LatchField::kExMemAlu,   LatchField::kMemWbValue};
+
+/// The campaign's site distribution — shared verbatim by the single-process
+/// engine and the fabric shard entry point, so both draw the identical site
+/// from a trial's stream.
+PipelineFaultSite draw_pipeline_site(lore::Rng& rng, std::uint64_t total_cycles) {
+  PipelineFaultSite site;
+  site.field = kCampaignFields[rng.uniform_index(6)];
+  site.bit = static_cast<unsigned>(rng.uniform_index(32));
+  site.cycle = rng.uniform_index(total_cycles) + 1;
+  return site;
+}
+
+FaultRecord make_pipeline_record(const PipelineFaultSite& site, Outcome outcome,
+                                 std::uint64_t seed) {
+  FaultRecord rec;
+  rec.site.target = FaultTarget::kRegister;  // closest legacy category
+  rec.site.index = static_cast<std::size_t>(site.field);
+  rec.site.bit = site.bit;
+  rec.site.cycle = site.cycle;
+  rec.outcome = outcome;
+  rec.trial_seed = seed;
+  return rec;
+}
+
+lore::CampaignSpec pipeline_spec_with_domain(const Workload& w,
+                                             const lore::CampaignSpec& spec,
+                                             std::uint64_t total_cycles) {
+  if (!spec.domain.empty()) return spec;
+  lore::CampaignSpec s = spec;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "arch.pipeline/%zu-%llu", w.program.size(),
+                static_cast<unsigned long long>(total_cycles));
+  s.domain = buf;
+  return s;
+}
+
 }  // namespace
+
+CampaignSpec pipeline_campaign_spec(const Workload& w, const CampaignSpec& spec) {
+  return pipeline_spec_with_domain(w, spec, pipeline_probe_cycles(w));
+}
+
+CampaignCheckpoint pipeline_campaign_shard(const Workload& w, const CampaignSpec& spec,
+                                           lore::TrialRange range) {
+  LORE_OBS_SPAN(span, "campaign.pipeline_shard");
+  const std::uint64_t total_cycles = pipeline_probe_cycles(w);
+  const lore::CampaignSpec s = pipeline_spec_with_domain(w, spec, total_cycles);
+  const std::uint64_t budget = 4 * w.max_cycles + 64;
+  if (lore::campaign_batch_enabled()) {
+    const GoldenRun golden = run_golden(w);
+    const PipeBatchContext ctx{w, golden, budget,
+                               build_pipeline_trace(w, budget, total_cycles)};
+    return lore::run_campaign_shard<FaultRecord, PipelineRecordCodec>(
+        s, range, [&](std::size_t t, lore::Rng& rng, const lore::CancelToken&) {
+          const PipelineFaultSite site = draw_pipeline_site(rng, total_cycles);
+          return make_pipeline_record(
+              site, pipeline_inject_batched(ctx, pipe_scratch_for(ctx), site),
+              lore::trial_seed(s.base_seed, t));
+        });
+  }
+  return lore::run_campaign_shard<FaultRecord, PipelineRecordCodec>(
+      s, range, [&](std::size_t t, lore::Rng& rng, const lore::CancelToken&) {
+        const PipelineFaultSite site = draw_pipeline_site(rng, total_cycles);
+        return make_pipeline_record(site, pipeline_inject(w, site),
+                                    lore::trial_seed(s.base_seed, t));
+      });
+}
+
+CampaignResult<FaultRecord> pipeline_records_from_checkpoint(
+    const CampaignSpec& spec, const CampaignCheckpoint& ck) {
+  return lore::result_from_checkpoint<FaultRecord, PipelineRecordCodec>(spec, ck);
+}
 
 CampaignResult<FaultRecord> pipeline_campaign_run(const Workload& w,
                                                   const CampaignSpec& spec) {
   LORE_OBS_SPAN(span, "campaign.pipeline");
   LORE_OBS_TIMER(timer, "campaign.pipeline_us");
-  // Clean pipeline run to learn the cycle budget for injection times.
-  PipelineCpu probe(w.memory_words);
-  probe.load_program(w.program);
-  for (const auto& [addr, value] : w.memory_init) probe.set_mem(addr, value);
-  probe.run(4 * w.max_cycles + 64);
-  const std::uint64_t total_cycles = probe.cycles();
-
-  static constexpr LatchField kFields[] = {
-      LatchField::kPc,           LatchField::kIfIdInstr,  LatchField::kIdExOperandA,
-      LatchField::kIdExOperandB, LatchField::kExMemAlu,   LatchField::kMemWbValue};
-
-  lore::CampaignSpec s = spec;
-  if (s.domain.empty()) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "arch.pipeline/%zu-%llu", w.program.size(),
-                  static_cast<unsigned long long>(total_cycles));
-    s.domain = buf;
-  }
-  const auto draw_site = [&](lore::Rng& rng) {
-    PipelineFaultSite site;
-    site.field = kFields[rng.uniform_index(6)];
-    site.bit = static_cast<unsigned>(rng.uniform_index(32));
-    site.cycle = rng.uniform_index(total_cycles) + 1;
-    return site;
-  };
-  const auto make_record = [&](const PipelineFaultSite& site, Outcome outcome,
-                               std::size_t t) {
-    FaultRecord rec;
-    rec.site.target = FaultTarget::kRegister;  // closest legacy category
-    rec.site.index = static_cast<std::size_t>(site.field);
-    rec.site.bit = site.bit;
-    rec.site.cycle = site.cycle;
-    rec.outcome = outcome;
-    rec.trial_seed = lore::trial_seed(s.base_seed, t);
-    return rec;
-  };
+  const std::uint64_t total_cycles = pipeline_probe_cycles(w);
+  const lore::CampaignSpec s = pipeline_spec_with_domain(w, spec, total_cycles);
 
   const std::uint64_t budget = 4 * w.max_cycles + 64;
   lore::CampaignResult<FaultRecord> result;
@@ -523,16 +572,18 @@ CampaignResult<FaultRecord> pipeline_campaign_run(const Workload& w,
                                build_pipeline_trace(w, budget, total_cycles)};
     result = lore::run_campaign_batched<FaultRecord, PipelineRecordCodec>(
         s, [&](std::size_t t, lore::Rng& rng, const lore::CancelToken&) {
-          const PipelineFaultSite site = draw_site(rng);
-          return make_record(
-              site, pipeline_inject_batched(ctx, pipe_scratch_for(ctx), site), t);
+          const PipelineFaultSite site = draw_pipeline_site(rng, total_cycles);
+          return make_pipeline_record(
+              site, pipeline_inject_batched(ctx, pipe_scratch_for(ctx), site),
+              lore::trial_seed(s.base_seed, t));
         });
   } else {
     result = lore::run_campaign<FaultRecord, PipelineRecordCodec>(
         s, [&](std::size_t t, lore::Rng& rng, const lore::CancelToken& cancel) {
           cancel.throw_if_cancelled();
-          const PipelineFaultSite site = draw_site(rng);
-          return make_record(site, pipeline_inject(w, site), t);
+          const PipelineFaultSite site = draw_pipeline_site(rng, total_cycles);
+          return make_pipeline_record(site, pipeline_inject(w, site),
+                                      lore::trial_seed(s.base_seed, t));
         });
   }
   if (result.report.complete()) {

@@ -152,6 +152,22 @@ CampaignResult<FaultRecord> pipeline_campaign_run(const Workload& w,
 /// Convenience: records of `pipeline_campaign_run`.
 std::vector<FaultRecord> pipeline_campaign(const Workload& w, const CampaignSpec& spec);
 
+/// Copy of `spec` with the campaign's domain fingerprint filled in when
+/// empty — the identity the fabric coordinator validates shard payloads
+/// against (runs the clean pipeline probe to learn the cycle count).
+CampaignSpec pipeline_campaign_spec(const Workload& w, const CampaignSpec& spec);
+
+/// Fabric worker entry point: run trials [range.begin, range.end) of the
+/// latch-fault campaign — identical per-trial seeding and site distribution
+/// to `pipeline_campaign_run` — returned as a LORECKP1-ready checkpoint
+/// payload (DESIGN.md §12).
+CampaignCheckpoint pipeline_campaign_shard(const Workload& w, const CampaignSpec& spec,
+                                           TrialRange range);
+
+/// Decode a merged fabric checkpoint of this campaign kind into records.
+CampaignResult<FaultRecord> pipeline_records_from_checkpoint(
+    const CampaignSpec& spec, const CampaignCheckpoint& ck);
+
 /// Positional convenience over the spec entry point (no checkpointing).
 std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials,
                                            std::uint64_t base_seed, unsigned threads = 0);

@@ -45,9 +45,9 @@ std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
   return h;
 }
 
-void warn_checkpoint(const std::string& path, const char* reason) {
-  std::fprintf(stderr, "lore: checkpoint %s: %s; starting fresh\n", path.c_str(),
-               reason);
+void warn_checkpoint(std::string_view source, const char* reason) {
+  std::fprintf(stderr, "lore: checkpoint %.*s: %s; ignored\n",
+               static_cast<int>(source.size()), source.data(), reason);
 }
 
 }  // namespace
@@ -119,6 +119,106 @@ std::string default_checkpoint_path(std::string_view campaign_name) {
   return path;
 }
 
+std::string encode_checkpoint(const CampaignCheckpoint& ck) {
+  ByteWriter w;
+  w.put_bytes(kMagic, sizeof kMagic);
+  w.put_u32(kVersion);
+  w.put_u64(ck.identity);
+  w.put_str(ck.build_tag);
+  w.put_u64(ck.trials);
+  w.put_u64(ck.entries.size());
+  for (const auto& e : ck.entries) {
+    w.put_u64(e.trial);
+    w.put_str(e.payload);
+  }
+  std::string bytes = std::move(w).take();
+  const std::uint32_t crc = crc32(bytes.data(), bytes.size());
+  for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<char>(crc >> (8 * i)));
+  return bytes;
+}
+
+std::optional<CampaignCheckpoint> decode_checkpoint(std::string_view bytes,
+                                                    const CampaignSpec& spec,
+                                                    std::string_view source) {
+  if (bytes.size() < sizeof kMagic + 4) {
+    warn_checkpoint(source, "payload too short");
+    return std::nullopt;
+  }
+  const std::size_t body_len = bytes.size() - 4;
+  std::uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i)
+    stored_crc |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[body_len + i]))
+                  << (8 * i);
+  if (crc32(bytes.data(), body_len) != stored_crc) {
+    warn_checkpoint(source, "CRC mismatch (corrupted or torn payload)");
+    return std::nullopt;
+  }
+
+  try {
+    ByteReader r(bytes.substr(0, body_len));
+    char magic[sizeof kMagic];
+    r.get_bytes(magic, sizeof magic);
+    if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+      warn_checkpoint(source, "bad magic");
+      return std::nullopt;
+    }
+    if (r.get_u32() != kVersion) {
+      warn_checkpoint(source, "unsupported version");
+      return std::nullopt;
+    }
+    CampaignCheckpoint ck;
+    ck.identity = r.get_u64();
+    ck.build_tag = r.get_str();
+    ck.trials = r.get_u64();
+    // Mis-routed payloads (a shard for a different campaign, a checkpoint
+    // from another workload) are an expected fabric failure mode: name both
+    // sides of every mismatch so the operator can tell *which* campaign the
+    // stray payload belonged to.
+    if (ck.identity != spec.identity_hash()) {
+      char msg[192];
+      std::snprintf(msg, sizeof msg,
+                    "identity mismatch (expected %016llx, found %016llx, "
+                    "payload build tag \"%s\")",
+                    static_cast<unsigned long long>(spec.identity_hash()),
+                    static_cast<unsigned long long>(ck.identity),
+                    ck.build_tag.c_str());
+      warn_checkpoint(source, msg);
+      return std::nullopt;
+    }
+    if (ck.trials != spec.trials) {
+      char msg[128];
+      std::snprintf(msg, sizeof msg, "trial count mismatch (expected %llu, found %llu)",
+                    static_cast<unsigned long long>(spec.trials),
+                    static_cast<unsigned long long>(ck.trials));
+      warn_checkpoint(source, msg);
+      return std::nullopt;
+    }
+    if (ck.build_tag != checkpoint_build_tag()) {
+      char msg[192];
+      std::snprintf(msg, sizeof msg, "stale build tag (expected \"%s\", found \"%s\")",
+                    checkpoint_build_tag().c_str(), ck.build_tag.c_str());
+      warn_checkpoint(source, msg);
+      return std::nullopt;
+    }
+    const std::uint64_t count = r.get_u64();
+    ck.entries.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      CheckpointEntry e;
+      e.trial = r.get_u64();
+      if (e.trial >= ck.trials) {
+        warn_checkpoint(source, "trial index out of range");
+        return std::nullopt;
+      }
+      e.payload = r.get_str();
+      ck.entries.push_back(std::move(e));
+    }
+    return ck;
+  } catch (const CheckpointError&) {
+    warn_checkpoint(source, "truncated");
+    return std::nullopt;
+  }
+}
+
 #ifdef LORE_CHECKPOINT_DISABLED
 
 bool write_checkpoint(const std::string&, const CampaignCheckpoint&) { return false; }
@@ -131,19 +231,7 @@ std::optional<CampaignCheckpoint> load_checkpoint(const std::string&,
 #else
 
 bool write_checkpoint(const std::string& path, const CampaignCheckpoint& ck) {
-  ByteWriter w;
-  w.put_bytes(kMagic, sizeof kMagic);
-  w.put_u32(kVersion);
-  w.put_u64(ck.identity);
-  w.put_str(ck.build_tag);
-  w.put_u64(ck.trials);
-  w.put_u64(ck.entries.size());
-  for (const auto& e : ck.entries) {
-    w.put_u64(e.trial);
-    w.put_str(e.payload);
-  }
-  const std::string body = std::move(w).take();
-  const std::uint32_t crc = crc32(body.data(), body.size());
+  const std::string bytes = encode_checkpoint(ck);
 
   // Write to a sibling temp file and rename into place: a SIGKILL mid-write
   // leaves either the previous checkpoint or a stray .tmp — never a torn file
@@ -151,10 +239,7 @@ bool write_checkpoint(const std::string& path, const CampaignCheckpoint& ck) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) return false;
-  bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
-  char crc_bytes[4];
-  for (int i = 0; i < 4; ++i) crc_bytes[i] = static_cast<char>(crc >> (8 * i));
-  ok = std::fwrite(crc_bytes, 1, 4, f) == 4 && ok;
+  bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
   ok = std::fclose(f) == 0 && ok;
   if (!ok) {
     std::remove(tmp.c_str());
@@ -175,67 +260,88 @@ std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path,
   char buf[1 << 16];
   for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;) bytes.append(buf, n);
   std::fclose(f);
-
-  if (bytes.size() < sizeof kMagic + 4) {
-    warn_checkpoint(path, "file too short");
-    return std::nullopt;
-  }
-  const std::size_t body_len = bytes.size() - 4;
-  std::uint32_t stored_crc = 0;
-  for (int i = 0; i < 4; ++i)
-    stored_crc |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[body_len + i]))
-                  << (8 * i);
-  if (crc32(bytes.data(), body_len) != stored_crc) {
-    warn_checkpoint(path, "CRC mismatch (corrupted or torn write)");
-    return std::nullopt;
-  }
-
-  try {
-    ByteReader r(std::string_view(bytes).substr(0, body_len));
-    char magic[sizeof kMagic];
-    r.get_bytes(magic, sizeof magic);
-    if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
-      warn_checkpoint(path, "bad magic");
-      return std::nullopt;
-    }
-    if (r.get_u32() != kVersion) {
-      warn_checkpoint(path, "unsupported version");
-      return std::nullopt;
-    }
-    CampaignCheckpoint ck;
-    ck.identity = r.get_u64();
-    ck.build_tag = r.get_str();
-    ck.trials = r.get_u64();
-    if (ck.identity != spec.identity_hash() || ck.trials != spec.trials) {
-      warn_checkpoint(path, "spec mismatch (different campaign identity)");
-      return std::nullopt;
-    }
-    if (ck.build_tag != checkpoint_build_tag()) {
-      warn_checkpoint(path, "stale build tag (produced by a different build)");
-      return std::nullopt;
-    }
-    const std::uint64_t count = r.get_u64();
-    ck.entries.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-      CheckpointEntry e;
-      e.trial = r.get_u64();
-      if (e.trial >= ck.trials) {
-        warn_checkpoint(path, "trial index out of range");
-        return std::nullopt;
-      }
-      e.payload = r.get_str();
-      ck.entries.push_back(std::move(e));
-    }
-    return ck;
-  } catch (const CheckpointError&) {
-    warn_checkpoint(path, "truncated");
-    return std::nullopt;
-  }
+  return decode_checkpoint(bytes, spec, path);
 }
 
 #endif  // LORE_CHECKPOINT_DISABLED
 
+std::vector<TrialRange> shard_trial_ranges(std::size_t trials, std::size_t shard_count) {
+  std::vector<TrialRange> out;
+  if (trials == 0 || shard_count == 0) return out;
+  if (shard_count > trials) shard_count = trials;
+  out.reserve(shard_count);
+  const std::size_t base = trials / shard_count;
+  const std::size_t extra = trials % shard_count;
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    out.push_back({begin, begin + len});
+    begin += len;
+  }
+  return out;
+}
+
+std::size_t merge_checkpoint_entries(CampaignCheckpoint& into,
+                                     const CampaignCheckpoint& from,
+                                     std::vector<std::uint8_t>& seen) {
+  seen.resize(static_cast<std::size_t>(into.trials), 0);
+  std::size_t accepted = 0;
+  for (const auto& e : from.entries) {
+    const auto i = static_cast<std::size_t>(e.trial);
+    if (i >= into.trials || seen[i]) continue;
+    seen[i] = 1;
+    into.entries.push_back(e);
+    ++accepted;
+  }
+  return accepted;
+}
+
+std::size_t merge_checkpoint_entries(CampaignCheckpoint& into,
+                                     const CampaignCheckpoint& from) {
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(into.trials), 0);
+  for (const auto& e : into.entries)
+    if (e.trial < into.trials) seen[static_cast<std::size_t>(e.trial)] = 1;
+  return merge_checkpoint_entries(into, from, seen);
+}
+
 namespace campaign_detail {
+
+CampaignCheckpoint run_campaign_shard_raw(const CampaignSpec& spec, TrialRange range,
+                                          const RawTrialFn& trial) {
+  CampaignCheckpoint ck;
+  ck.identity = spec.identity_hash();
+  ck.build_tag = checkpoint_build_tag();
+  ck.trials = spec.trials;
+  if (range.end > spec.trials) range.end = spec.trials;
+  if (range.begin >= range.end) return ck;
+
+  const std::size_t n = range.size();
+  const bool obs_on = obs::kCompiledIn && obs::enabled();
+  ck.entries.resize(n);
+  parallel_for(n, spec.threads, [&](std::size_t j) {
+    const std::size_t idx = range.begin + j;
+    for (unsigned attempt = 0;; ++attempt) {
+      if (attempt > 0)
+        std::this_thread::sleep_for(spec.retry_backoff * (1u << (attempt - 1)));
+      try {
+        // Fresh stream per attempt, seeded from the *global* trial index —
+        // the invariant that makes a sharded run merge bit-identical to a
+        // single-process one.
+        Rng rng(trial_seed(spec.base_seed, idx));
+        ck.entries[j] = {static_cast<std::uint64_t>(idx),
+                         trial(idx, rng, CancelToken())};
+        // The fabric coordinator derives fleet throughput from scraping this
+        // counter off each worker's /metrics endpoint.
+        if (obs_on)
+          obs::MetricsRegistry::global().counter("campaign.trials_completed").add(1);
+        return;
+      } catch (...) {
+        if (attempt >= spec.max_retries) throw;  // shard fails as a unit
+      }
+    }
+  });
+  return ck;
+}
 
 RawResult run_campaign_raw(const CampaignSpec& spec, const RawTrialFn& trial) {
   using Clock = CancelToken::Clock;

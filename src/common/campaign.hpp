@@ -288,6 +288,21 @@ struct CampaignCheckpoint {
 /// built outside git). Checkpoints from a different build are not trusted.
 std::string checkpoint_build_tag();
 
+/// Serialize to the LORECKP1 wire format (magic, version, identity, build
+/// tag, trial count, entries, trailing CRC-32) — the exact bytes
+/// `write_checkpoint` puts on disk, reused by the campaign fabric as the
+/// shard hand-off payload (DESIGN.md §12).
+std::string encode_checkpoint(const CampaignCheckpoint& ck);
+
+/// Parse + validate LORECKP1 bytes against `spec`: magic, version, CRC,
+/// identity hash, trial count, build tag, entry ranges. Any problem warns on
+/// stderr — naming `source` (a file path or "shard 3 from worker-1") and,
+/// for identity/build-tag mismatches, both the expected and found values so
+/// a mis-routed payload is diagnosable — and returns nullopt.
+std::optional<CampaignCheckpoint> decode_checkpoint(std::string_view bytes,
+                                                    const CampaignSpec& spec,
+                                                    std::string_view source);
+
 /// Serialize + CRC-guard + atomically rename into place (write to
 /// `path.tmp`, fsync-free rename). Returns false on I/O failure or when
 /// checkpointing is compiled out.
@@ -304,6 +319,68 @@ std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path,
 /// and non-empty, otherwise "" (checkpointing off). The hook benches use so
 /// `LORE_CHECKPOINT_DIR=... reproduce.sh` is interruptible end-to-end.
 std::string default_checkpoint_path(std::string_view campaign_name);
+
+// ---------------------------------------------------------------------------
+// Shard construction + checkpoint merge — the campaign fabric's hand-off
+// units (DESIGN.md §12). A coordinator splits a spec's [0, trials) index
+// range into contiguous shards, workers run each shard with the identical
+// counter-based per-trial seeding, results travel back as LORECKP1 payloads,
+// and the coordinator folds them together entry by entry. Because every
+// trial's stream is a pure function of (base_seed, index), the merged result
+// is bit-identical to a single-process run at any shard/worker count.
+
+/// Half-open sub-range [begin, end) of a campaign's trial indices.
+struct TrialRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+  friend bool operator==(const TrialRange&, const TrialRange&) = default;
+};
+
+/// Split [0, trials) into `shard_count` contiguous near-equal ranges (the
+/// first `trials % shard_count` ranges are one longer). Empty ranges are
+/// never produced: asking for more shards than trials yields `trials`
+/// one-trial shards.
+std::vector<TrialRange> shard_trial_ranges(std::size_t trials, std::size_t shard_count);
+
+/// Merge `from`'s entries into `into`, discarding duplicates by trial index
+/// (first valid result wins — the fabric's rule for stolen-then-completed
+/// straggler shards) and entries outside [0, into.trials). `seen` is the
+/// merger's occupancy bitmap, one byte per trial of `into`; it is updated in
+/// place so a long-lived merger stays O(new entries). Returns the number of
+/// entries accepted.
+std::size_t merge_checkpoint_entries(CampaignCheckpoint& into,
+                                     const CampaignCheckpoint& from,
+                                     std::vector<std::uint8_t>& seen);
+
+/// Convenience over the three-argument form: rebuilds the occupancy bitmap
+/// from `into`'s current entries each call (fine for tests and one-shot
+/// merges).
+std::size_t merge_checkpoint_entries(CampaignCheckpoint& into,
+                                     const CampaignCheckpoint& from);
+
+/// Decode a (fully or partially) merged checkpoint into campaign records:
+/// entries become kOk records via `Codec`, absent trials stay kSkipped.
+/// Throws CheckpointError on a corrupt payload (fabric payloads are CRC-
+/// verified on receipt, so this indicates a codec mismatch).
+template <typename Record, typename Codec = PodCodec<Record>>
+CampaignResult<Record> result_from_checkpoint(const CampaignSpec& spec,
+                                              const CampaignCheckpoint& ck) {
+  CampaignResult<Record> out;
+  out.records.resize(spec.trials);
+  out.status.assign(spec.trials, TrialStatus::kSkipped);
+  out.report.trials = spec.trials;
+  for (const auto& e : ck.entries) {
+    const auto i = static_cast<std::size_t>(e.trial);
+    if (i >= spec.trials || out.status[i] == TrialStatus::kOk) continue;
+    ByteReader r(e.payload);
+    out.records[i] = Codec::decode(r);
+    out.status[i] = TrialStatus::kOk;
+    ++out.report.completed;
+  }
+  out.report.skipped = spec.trials - out.report.completed;
+  return out;
+}
 
 // ---------------------------------------------------------------------------
 // Engine
@@ -323,7 +400,31 @@ struct RawResult {
 
 RawResult run_campaign_raw(const CampaignSpec& spec, const RawTrialFn& trial);
 
+/// Worker half of the fabric hand-off: run trials [range.begin, range.end)
+/// of `spec` — each seeded `trial_seed(spec.base_seed, global_index)`, the
+/// same contract as run_campaign — and return their encoded payloads as a
+/// LORECKP1-ready checkpoint (identity + build tag filled in, one entry per
+/// trial in index order). Failed trials retry up to spec.max_retries times
+/// with backoff; a trial that still fails propagates its exception, failing
+/// the shard as a unit (the coordinator re-dispatches it).
+CampaignCheckpoint run_campaign_shard_raw(const CampaignSpec& spec, TrialRange range,
+                                          const RawTrialFn& trial);
+
 }  // namespace campaign_detail
+
+/// Typed wrapper over `run_campaign_shard_raw`: encode each record of the
+/// sub-range through `Codec`, exactly as run_campaign's checkpoint writer
+/// would.
+template <typename Record, typename Codec = PodCodec<Record>, typename TrialFn>
+CampaignCheckpoint run_campaign_shard(const CampaignSpec& spec, TrialRange range,
+                                      TrialFn&& trial) {
+  return campaign_detail::run_campaign_shard_raw(
+      spec, range, [&](std::size_t i, Rng& rng, const CancelToken& cancel) {
+        ByteWriter w;
+        Codec::encode(w, trial(i, rng, cancel));
+        return std::move(w).take();
+      });
+}
 
 /// Run a campaign under `spec`. `trial(i, rng, cancel)` computes the record of
 /// trial `i` from an rng seeded with `trial_seed(spec.base_seed, i)` — the

@@ -1,0 +1,308 @@
+#include "src/fabric/coordinator.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "src/fabric/protocol.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/netutil.hpp"
+#include "src/obs/scrape.hpp"
+
+namespace lore::fabric {
+
+namespace {
+
+std::string peer_address(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0 ||
+      addr.sin_family != AF_INET)
+    return "127.0.0.1";
+  char buf[16];
+  const auto ip = ntohl(addr.sin_addr.s_addr);
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+}  // namespace
+
+Coordinator::~Coordinator() {
+  if (serving_ || listen_fd_.load() >= 0) finish();
+}
+
+bool Coordinator::bind(const CoordinatorConfig& cfg) {
+  cfg_ = cfg;
+  const auto sock = obs::listen_tcp(cfg.bind_address, cfg.port);
+  if (!sock) return false;
+  listen_fd_.store(sock->fd);
+  listen_port_ = sock->port;
+  return true;
+}
+
+void Coordinator::serve(const FabricJob& job) {
+  std::size_t shards = cfg_.shard_count;
+  if (shards == 0) shards = 4 * std::max(1u, cfg_.expected_workers);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    table_.emplace(job.spec.trials, shards);
+    merged_ = CampaignCheckpoint{};
+    merged_.identity = job.spec.identity_hash();
+    merged_.build_tag = checkpoint_build_tag();
+    merged_.trials = job.spec.trials;
+    seen_.assign(job.spec.trials, 0);
+    trials_done_ = 0;
+    publish_gauges_locked();
+  }
+  serving_ = true;
+  stopping_.store(false);
+  accept_thread_ = std::thread(&Coordinator::accept_loop, this);
+  if (cfg_.scrape_interval.count() > 0)
+    scrape_thread_ = std::thread(&Coordinator::scrape_loop, this);
+}
+
+void Coordinator::accept_loop() {
+  for (;;) {
+    const int fd = obs::accept_retry(listen_fd_.load());
+    if (fd < 0) return;  // listener closed by finish()
+    if (stopping_.load()) {
+      obs::close_fd(fd);
+      return;
+    }
+    std::string host = peer_address(fd);
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_fds_.push_back(fd);
+    handlers_.emplace_back(&Coordinator::handle_connection, this, fd, std::move(host));
+  }
+}
+
+obs::Json Coordinator::next_directive_locked(std::optional<std::size_t>& held_shard) {
+  held_shard.reset();
+  if (!table_ || table_->all_done()) {
+    obs::Json head = obs::Json::object();
+    head["type"] = "shutdown";
+    return head;
+  }
+  const auto shard = table_->acquire(ShardTable::Clock::now(), cfg_.steal_after);
+  if (!shard) {
+    obs::Json head = obs::Json::object();
+    head["type"] = "wait";
+    head["ms"] = static_cast<std::int64_t>(cfg_.wait_hint.count());
+    return head;
+  }
+  held_shard = *shard;
+  const TrialRange range = table_->info(*shard).range;
+  obs::Json head = obs::Json::object();
+  head["type"] = "assign";
+  head["shard"] = static_cast<std::int64_t>(*shard);
+  head["kind"] = job_.kind;
+  head["begin"] = static_cast<std::int64_t>(range.begin);
+  head["end"] = static_cast<std::int64_t>(range.end);
+  head["spec"] = spec_to_json(job_.spec);
+  head["params"] = job_.params;
+  return head;
+}
+
+void Coordinator::handle_connection(int fd, std::string peer_host) {
+  std::optional<std::size_t> held_shard;
+  std::size_t worker_index = static_cast<std::size_t>(-1);
+
+  for (;;) {
+    std::optional<Frame> msg = recv_frame(fd);
+    if (!msg) break;
+    const std::string type = msg->type();
+
+    Frame reply;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (type == "hello") {
+        WorkerInfo info;
+        if (const obs::Json* n = msg->head.find("worker"))
+          if (n->type() == obs::Json::Type::kString) info.name = n->as_string();
+        if (const obs::Json* p = msg->head.find("metrics_port"))
+          if (p->is_number())
+            info.metrics_port = static_cast<int>(p->as_int());
+        info.host = std::move(peer_host);
+        info.alive = true;
+        worker_index = workers_.size();
+        workers_.push_back(std::move(info));
+      } else if (type == "result") {
+        const obs::Json* s = msg->head.find("shard");
+        const std::int64_t shard = s && s->is_number()
+                                       ? s->as_int()
+                                       : -1;
+        const std::string source =
+            "shard " + std::to_string(shard) + " from " +
+            (worker_index < workers_.size() ? workers_[worker_index].name
+                                            : std::string("<unknown>"));
+        std::optional<CampaignCheckpoint> ck =
+            decode_checkpoint(msg->body, job_.spec, source);
+        if (ck && shard >= 0) {
+          const std::size_t fresh = merge_checkpoint_entries(merged_, *ck, seen_);
+          duplicates_discarded_ += ck->entries.size() - fresh;
+          trials_done_ += fresh;
+          table_->complete(static_cast<std::size_t>(shard));
+          held_shard.reset();
+          if (table_->all_done()) done_cv_.notify_all();
+        } else {
+          // Invalid payload (CRC, identity, truncation): count it, put the
+          // shard back in play, and keep the worker — the next assign may
+          // succeed.
+          ++payload_rejects_;
+          if (shard >= 0) table_->abandon(static_cast<std::size_t>(shard));
+          held_shard.reset();
+        }
+      } else if (type == "error") {
+        const obs::Json* m = msg->head.find("message");
+        std::fprintf(stderr, "lore-fabric: worker error: %s\n",
+                     m && m->type() == obs::Json::Type::kString
+                         ? m->as_string().c_str()
+                         : "(no message)");
+        if (held_shard) table_->abandon(*held_shard);
+        held_shard.reset();
+      } else if (type != "ready") {
+        break;  // protocol violation; drop the connection
+      }
+      reply.head = next_directive_locked(held_shard);
+      publish_gauges_locked();
+    }
+    if (!send_frame(fd, reply)) break;
+  }
+
+  // Connection gone: release anything it still held so another worker can
+  // pick it up (the SIGKILLed-worker re-dispatch path).
+  std::lock_guard<std::mutex> lock(mu_);
+  if (held_shard && table_) table_->abandon(*held_shard);
+  if (worker_index < workers_.size()) workers_[worker_index].alive = false;
+  publish_gauges_locked();
+  obs::close_fd(fd);
+  std::erase(conn_fds_, fd);
+}
+
+void Coordinator::scrape_loop() {
+  while (!stopping_.load()) {
+    std::this_thread::sleep_for(cfg_.scrape_interval);
+    if (stopping_.load()) return;
+
+    // Snapshot scrape targets without holding the lock during network I/O.
+    struct Target {
+      std::size_t index;
+      std::string host;
+      int port;
+    };
+    std::vector<Target> targets;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t i = 0; i < workers_.size(); ++i)
+        if (workers_[i].alive && workers_[i].metrics_port >= 0)
+          targets.push_back({i, workers_[i].host, workers_[i].metrics_port});
+    }
+
+    double rate_sum = 0.0;
+    std::vector<std::pair<std::size_t, double>> observed;
+    const auto now = std::chrono::steady_clock::now();
+    for (const Target& t : targets) {
+      const auto doc = obs::scrape_metrics_json(
+          t.host, static_cast<std::uint16_t>(t.port));
+      if (!doc) continue;
+      const auto v = obs::metric_value(*doc, "counters", "campaign.trials_completed");
+      if (v) observed.push_back({t.index, *v});
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [i, trials] : observed) {
+      WorkerInfo& w = workers_[i];
+      if (w.last_scrape.time_since_epoch().count() != 0) {
+        const double dt = std::chrono::duration<double>(now - w.last_scrape).count();
+        if (dt > 0 && trials >= w.last_trials)
+          rate_sum += (trials - w.last_trials) / dt;
+      }
+      w.last_trials = trials;
+      w.last_scrape = now;
+    }
+    fleet_trials_per_s_ = rate_sum;
+    publish_gauges_locked();
+  }
+}
+
+void Coordinator::publish_gauges_locked() {
+  auto& reg = obs::MetricsRegistry::global();
+  std::size_t alive = 0;
+  for (const auto& w : workers_) alive += w.alive;
+  reg.gauge("fleet.workers_alive").set(static_cast<double>(alive));
+  reg.gauge("fleet.workers_seen").set(static_cast<double>(workers_.size()));
+  if (table_) {
+    reg.gauge("fleet.shards_pending").set(static_cast<double>(table_->pending()));
+    reg.gauge("fleet.shards_inflight").set(static_cast<double>(table_->inflight()));
+    reg.gauge("fleet.shards_done").set(static_cast<double>(table_->done()));
+    reg.gauge("fleet.steals").set(static_cast<double>(table_->steals()));
+  }
+  reg.gauge("fleet.trials_done").set(static_cast<double>(trials_done_));
+  reg.gauge("fleet.trials_total").set(static_cast<double>(merged_.trials));
+  reg.gauge("fleet.payload_rejects").set(static_cast<double>(payload_rejects_));
+  reg.gauge("fleet.duplicates_discarded")
+      .set(static_cast<double>(duplicates_discarded_));
+  reg.gauge("fleet.trials_per_s").set(fleet_trials_per_s_);
+}
+
+bool Coordinator::wait(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto complete = [&] { return table_ && table_->all_done(); };
+  if (timeout.count() <= 0) {
+    done_cv_.wait(lock, complete);
+    return true;
+  }
+  return done_cv_.wait_for(lock, timeout, complete);
+}
+
+CampaignCheckpoint Coordinator::finish() {
+  stopping_.store(true);
+  // Closing the listener unblocks accept_retry; shutting down each live
+  // connection unblocks its handler's recv_frame.
+  if (const int lfd = listen_fd_.exchange(-1); lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    obs::close_fd(lfd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (scrape_thread_.joinable()) scrape_thread_.join();
+  // Handlers remove themselves from conn_fds_ but never from handlers_, so
+  // joining under the lock would deadlock; the vector is append-only and
+  // accept_loop has exited, so its size is stable here.
+  for (auto& t : handlers_)
+    if (t.joinable()) t.join();
+  handlers_.clear();
+  serving_ = false;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::move(merged_);
+}
+
+FleetSnapshot Coordinator::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FleetSnapshot s;
+  for (const auto& w : workers_) s.workers_alive += w.alive;
+  s.workers_seen = workers_.size();
+  if (table_) {
+    s.shards_pending = table_->pending();
+    s.shards_inflight = table_->inflight();
+    s.shards_done = table_->done();
+    s.steals = table_->steals();
+  }
+  s.trials_done = trials_done_;
+  s.trials_total = merged_.trials;
+  s.payload_rejects = payload_rejects_;
+  s.duplicates_discarded = duplicates_discarded_;
+  s.trials_per_s = fleet_trials_per_s_;
+  return s;
+}
+
+}  // namespace lore::fabric

@@ -1,0 +1,65 @@
+// `lore.fabric.v1` — the wire protocol of the sharded campaign fabric
+// (DESIGN.md §12). A frame is two little-endian u32 length prefixes followed
+// by a JSON head (src/obs/json) and an opaque binary body:
+//
+//   u32 head_len | u32 body_len | head (JSON object) | body (raw bytes)
+//
+// The head always carries a "type" member; the body is empty for every type
+// except "result", where it holds the shard's LORECKP1 checkpoint payload
+// (CRC + campaign-identity verified by the receiver through
+// `decode_checkpoint`). Conversation, always worker-initiated:
+//
+//   worker → hello    {type, schema, worker, pid, metrics_port}
+//   worker → ready    {type}                       (after a wait directive)
+//   worker → result   {type, shard}                + LORECKP1 body
+//   worker → error    {type, shard, message}
+//   coord  → assign   {type, shard, kind, begin, end, spec, params}
+//   coord  → wait     {type, ms}
+//   coord  → shutdown {type}
+//
+// The coordinator answers every worker frame with exactly one directive, so
+// the socket never carries more than one unacknowledged message per side and
+// a blocking read loop on either end is a complete implementation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/common/campaign.hpp"
+#include "src/obs/json.hpp"
+
+namespace lore::fabric {
+
+inline constexpr const char* kSchema = "lore.fabric.v1";
+
+/// Sanity caps: a head larger than 1 MiB or a body larger than 1 GiB means a
+/// desynchronized or hostile peer, not a real message.
+inline constexpr std::uint32_t kMaxHeadBytes = 1u << 20;
+inline constexpr std::uint32_t kMaxBodyBytes = 1u << 30;
+
+struct Frame {
+  obs::Json head;
+  std::string body;
+
+  /// head["type"] or "" when absent/not a string.
+  std::string type() const;
+};
+
+/// Build a frame with `{"type": type}` as its head.
+Frame make_frame(const std::string& type);
+
+/// Serialize + write the whole frame. False when the peer is gone.
+bool send_frame(int fd, const Frame& frame);
+
+/// Blocking read of one complete frame. nullopt on orderly EOF, a truncated
+/// frame (peer died mid-message), an oversized length prefix, or a head that
+/// does not parse as a JSON object — callers treat all of these as
+/// connection loss.
+std::optional<Frame> recv_frame(int fd);
+
+/// Campaign identity + execution policy a worker needs to run a shard.
+obs::Json spec_to_json(const CampaignSpec& spec);
+CampaignSpec spec_from_json(const obs::Json& j);
+
+}  // namespace lore::fabric

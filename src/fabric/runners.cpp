@@ -1,0 +1,155 @@
+#include "src/fabric/runners.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "src/arch/pipeline.hpp"
+
+namespace lore::fabric {
+
+namespace {
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, ShardRunner>& registry() {
+  static std::map<std::string, ShardRunner> r;
+  return r;
+}
+
+std::optional<arch::FaultTarget> target_from_params(const obs::Json& params) {
+  const obs::Json* t =
+      params.type() == obs::Json::Type::kObject ? params.find("target") : nullptr;
+  const std::string name =
+      t && t->type() == obs::Json::Type::kString ? t->as_string() : "register";
+  if (name == "register") return arch::FaultTarget::kRegister;
+  if (name == "memory") return arch::FaultTarget::kMemory;
+  if (name == "instruction") return arch::FaultTarget::kInstruction;
+  return std::nullopt;
+}
+
+// Rebuilding a workload and its golden trace is far more expensive than one
+// shard, and the coordinator re-dispatches shards of the same campaign to the
+// same worker repeatedly — so cache the last (kind-independent) workload and
+// its injector. FaultInjector holds a reference into the workload, so both
+// live in one heap-stable holder.
+struct InjectorCache {
+  std::string key;
+  std::unique_ptr<arch::Workload> workload;
+  std::unique_ptr<arch::FaultInjector> injector;
+};
+
+std::string params_cache_key(const obs::Json& params) {
+  return params.dump();
+}
+
+const InjectorCache& cached_injector(const obs::Json& params) {
+  static std::mutex m;
+  static InjectorCache cache;
+  std::lock_guard<std::mutex> lock(m);
+  const std::string key = params_cache_key(params);
+  if (cache.key != key || !cache.injector) {
+    std::optional<arch::Workload> w = workload_from_params(params);
+    if (!w) throw std::runtime_error("fabric: unknown workload in shard params");
+    cache.workload = std::make_unique<arch::Workload>(std::move(*w));
+    cache.injector = std::make_unique<arch::FaultInjector>(*cache.workload);
+    cache.key = key;
+  }
+  return cache;
+}
+
+const arch::Workload& cached_workload(const obs::Json& params) {
+  return *cached_injector(params).workload;
+}
+
+CampaignCheckpoint run_fault_shard(const ShardJob& job) {
+  const std::optional<arch::FaultTarget> target = target_from_params(job.params);
+  if (!target) throw std::runtime_error("fabric: unknown fault target in shard params");
+  const InjectorCache& cache = cached_injector(job.params);
+  return cache.injector->campaign_shard(job.spec, job.range, *target);
+}
+
+CampaignCheckpoint run_pipeline_shard(const ShardJob& job) {
+  return arch::pipeline_campaign_shard(cached_workload(job.params), job.spec, job.range);
+}
+
+void ensure_builtin_runners() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    registry().emplace("arch.fault", run_fault_shard);
+    registry().emplace("arch.pipeline", run_pipeline_shard);
+  });
+}
+
+}  // namespace
+
+void register_runner(const std::string& kind, ShardRunner runner) {
+  ensure_builtin_runners();
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[kind] = std::move(runner);
+}
+
+ShardRunner find_runner(const std::string& kind) {
+  ensure_builtin_runners();
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto it = registry().find(kind);
+  return it == registry().end() ? ShardRunner{} : it->second;
+}
+
+std::optional<arch::Workload> workload_from_params(const obs::Json& params) {
+  if (params.type() != obs::Json::Type::kObject) return std::nullopt;
+  const obs::Json* w = params.find("workload");
+  const std::string name =
+      w && w->type() == obs::Json::Type::kString ? w->as_string() : "dot_product";
+  auto int_or = [&](const char* field, std::int64_t fallback) {
+    const obs::Json* v = params.find(field);
+    return v && v->is_number() ? v->as_int() : fallback;
+  };
+  const auto scale = static_cast<std::size_t>(int_or("scale", 16));
+  const auto seed = static_cast<std::uint64_t>(int_or("wseed", 7));
+  if (name == "dot_product") return arch::make_dot_product(scale, seed);
+  if (name == "matmul") return arch::make_matmul(scale, seed);
+  if (name == "bubble_sort") return arch::make_bubble_sort(scale, seed);
+  if (name == "checksum") return arch::make_checksum(scale, seed);
+  if (name == "fibonacci") return arch::make_fibonacci(scale);
+  if (name == "find_max") return arch::make_find_max(scale, seed);
+  if (name == "random_program") return arch::make_random_program(scale, seed);
+  return std::nullopt;
+}
+
+std::optional<CampaignSpec> resolve_job_spec(const std::string& kind,
+                                             const obs::Json& params,
+                                             const CampaignSpec& spec) {
+  if (kind == "arch.fault") {
+    const std::optional<arch::FaultTarget> target = target_from_params(params);
+    if (!target) return std::nullopt;
+    try {
+      return cached_injector(params).injector->resolved_spec(spec, *target);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  if (kind == "arch.pipeline") {
+    try {
+      return arch::pipeline_campaign_spec(cached_workload(params), spec);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CampaignResult<arch::FaultRecord>> records_from_checkpoint(
+    const std::string& kind, const CampaignSpec& spec, const CampaignCheckpoint& ck) {
+  if (kind == "arch.fault") return arch::FaultInjector::records_from_checkpoint(spec, ck);
+  if (kind == "arch.pipeline") return arch::pipeline_records_from_checkpoint(spec, ck);
+  return std::nullopt;
+}
+
+}  // namespace lore::fabric

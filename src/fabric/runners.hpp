@@ -1,0 +1,63 @@
+// Campaign-kind registry — how a fabric worker knows what code a shard
+// assignment means. A kind names a campaign entry point ("arch.fault",
+// "arch.pipeline"); its JSON params rebuild the workload deterministically
+// in the worker process, and its runner executes one trial sub-range into a
+// LORECKP1 checkpoint via the domain's `*_campaign_shard` entry point. The
+// registry is extensible so tests (and future domains) can add kinds; the
+// two arch kinds are built in.
+//
+// Params understood by the built-in kinds:
+//   arch.fault    {"workload": <name>, "scale": N, "wseed": S,
+//                  "target": "register"|"memory"|"instruction"}
+//   arch.pipeline {"workload": <name>, "scale": N, "wseed": S}
+// with <name> one of dot_product, matmul, bubble_sort, checksum, fibonacci,
+// find_max, random_program.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/arch/fault.hpp"
+#include "src/arch/workloads.hpp"
+#include "src/common/campaign.hpp"
+#include "src/obs/json.hpp"
+
+namespace lore::fabric {
+
+/// One shard assignment, as decoded from an `assign` frame.
+struct ShardJob {
+  std::string kind;
+  obs::Json params;
+  CampaignSpec spec;
+  TrialRange range;
+};
+
+using ShardRunner = std::function<CampaignCheckpoint(const ShardJob&)>;
+
+/// Register/overwrite a kind. Thread-safe; typically called before workers
+/// are spawned so forked children inherit the registration.
+void register_runner(const std::string& kind, ShardRunner runner);
+
+/// Runner for `kind`, or an empty function when unknown.
+ShardRunner find_runner(const std::string& kind);
+
+/// Rebuild the workload a params object names (shared by the built-in
+/// runners and the lore_fabric driver). nullopt on an unknown name.
+std::optional<arch::Workload> workload_from_params(const obs::Json& params);
+
+/// Resolve `spec`'s campaign identity exactly as a worker executing
+/// (kind, params) will — i.e. fill the domain fingerprint — so the
+/// coordinator can validate shard payloads before any worker exists.
+/// nullopt for an unknown kind or bad params.
+std::optional<CampaignSpec> resolve_job_spec(const std::string& kind,
+                                             const obs::Json& params,
+                                             const CampaignSpec& spec);
+
+/// Decode a merged checkpoint of a built-in arch kind into records.
+/// nullopt for kinds without a FaultRecord payload.
+std::optional<CampaignResult<arch::FaultRecord>> records_from_checkpoint(
+    const std::string& kind, const CampaignSpec& spec, const CampaignCheckpoint& ck);
+
+}  // namespace lore::fabric

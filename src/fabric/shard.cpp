@@ -1,0 +1,55 @@
+#include "src/fabric/shard.hpp"
+
+namespace lore::fabric {
+
+ShardTable::ShardTable(std::size_t trials, std::size_t shard_count) {
+  for (const TrialRange& r : shard_trial_ranges(trials, shard_count))
+    shards_.push_back(ShardInfo{r});
+}
+
+std::optional<std::size_t> ShardTable::acquire(Clock::time_point now,
+                                               std::chrono::milliseconds steal_after) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].state != ShardState::kPending) continue;
+    shards_[i].state = ShardState::kInflight;
+    ++shards_[i].dispatches;
+    ++shards_[i].holders;
+    shards_[i].last_dispatch = now;
+    return i;
+  }
+  // Nothing pending: steal the longest-overdue straggler, if any.
+  std::optional<std::size_t> victim;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const ShardInfo& s = shards_[i];
+    if (s.state != ShardState::kInflight) continue;
+    if (now - s.last_dispatch < steal_after) continue;
+    if (!victim || s.last_dispatch < shards_[*victim].last_dispatch) victim = i;
+  }
+  if (victim) {
+    ++shards_[*victim].dispatches;
+    ++shards_[*victim].holders;
+    shards_[*victim].last_dispatch = now;
+    ++steals_;
+  }
+  return victim;
+}
+
+void ShardTable::complete(std::size_t shard) {
+  if (shard >= shards_.size()) return;
+  shards_[shard].state = ShardState::kDone;
+}
+
+void ShardTable::abandon(std::size_t shard) {
+  if (shard >= shards_.size()) return;
+  ShardInfo& s = shards_[shard];
+  if (s.holders > 0) --s.holders;
+  if (s.state == ShardState::kInflight && s.holders == 0) s.state = ShardState::kPending;
+}
+
+std::size_t ShardTable::count(ShardState state) const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s.state == state;
+  return n;
+}
+
+}  // namespace lore::fabric

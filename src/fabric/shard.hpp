@@ -1,0 +1,73 @@
+// Shard table — the coordinator's view of a campaign split into contiguous
+// trial ranges (DESIGN.md §12). Owns only bookkeeping, no I/O, and is not
+// internally synchronized: the coordinator serializes access under its own
+// lock, which keeps this class trivially unit-testable.
+//
+// Lifecycle of a shard:  pending → inflight → done, with two backward edges:
+//   * abandon()  — a holder died or delivered an invalid payload; when the
+//     last holder drops, the shard returns to pending.
+//   * stealing   — acquire() hands an inflight shard whose last dispatch is
+//     older than `steal_after` to a second worker (a straggler re-dispatch).
+//     Both keep running; the first valid result wins and the merge layer
+//     discards the loser's duplicate trial indices.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "src/common/campaign.hpp"
+
+namespace lore::fabric {
+
+enum class ShardState : std::uint8_t { kPending, kInflight, kDone };
+
+struct ShardInfo {
+  TrialRange range;
+  ShardState state = ShardState::kPending;
+  /// Times this shard has been handed out (1 = normal, >1 = stolen).
+  unsigned dispatches = 0;
+  /// Live connections currently working on it.
+  unsigned holders = 0;
+  std::chrono::steady_clock::time_point last_dispatch{};
+};
+
+class ShardTable {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ShardTable(std::size_t trials, std::size_t shard_count);
+
+  std::size_t size() const { return shards_.size(); }
+  const ShardInfo& info(std::size_t shard) const { return shards_[shard]; }
+
+  /// Next shard to dispatch: any pending shard first; otherwise the
+  /// longest-overdue inflight straggler (last dispatch older than
+  /// `steal_after`). Marks it inflight on return. nullopt when nothing is
+  /// dispatchable right now.
+  std::optional<std::size_t> acquire(Clock::time_point now,
+                                     std::chrono::milliseconds steal_after);
+
+  /// A valid result was merged for this shard.
+  void complete(std::size_t shard);
+
+  /// One holder gave up (died, or its payload failed validation). Returns
+  /// the shard to pending when no other worker still runs it.
+  void abandon(std::size_t shard);
+
+  std::size_t pending() const { return count(ShardState::kPending); }
+  std::size_t inflight() const { return count(ShardState::kInflight); }
+  std::size_t done() const { return count(ShardState::kDone); }
+  bool all_done() const { return done() == shards_.size(); }
+  /// Total number of straggler re-dispatches handed out so far.
+  std::size_t steals() const { return steals_; }
+
+ private:
+  std::size_t count(ShardState s) const;
+
+  std::vector<ShardInfo> shards_;
+  std::size_t steals_ = 0;
+};
+
+}  // namespace lore::fabric

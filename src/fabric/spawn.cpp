@@ -1,0 +1,91 @@
+#include "src/fabric/spawn.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/fabric/worker.hpp"
+
+extern char** environ;
+
+namespace lore::fabric {
+
+pid_t fork_local_worker(std::uint16_t port, const SpawnOptions& opts,
+                        int close_in_child) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  // Child. Only async-signal-unsafe work the parent's single-threadedness
+  // permits; no return to the caller's stack.
+  if (close_in_child >= 0) close(close_in_child);
+  WorkerConfig cfg;
+  cfg.host = opts.host;
+  cfg.port = port;
+  cfg.threads = opts.threads;
+  cfg.metrics_port = opts.metrics_port;
+  const int rc = run_worker(cfg);
+  _exit(rc);
+}
+
+pid_t spawn_self_worker(std::uint16_t port, const SpawnOptions& opts) {
+  // Build the child environment BEFORE forking: between fork and execve in a
+  // multi-threaded parent only async-signal-safe calls are allowed, and
+  // malloc isn't one of them.
+  std::vector<std::string> env_store;
+  for (char** e = environ; e && *e; ++e) {
+    if (std::strncmp(*e, "LORE_FABRIC_", 12) == 0) continue;
+    if (std::strncmp(*e, "LORE_SERVE=", 11) == 0) continue;
+    env_store.push_back(*e);
+  }
+  env_store.push_back("LORE_FABRIC_WORKER=" + opts.host + ":" + std::to_string(port));
+  env_store.push_back("LORE_FABRIC_THREADS=" + std::to_string(opts.threads));
+  env_store.push_back("LORE_FABRIC_METRICS_PORT=" + std::to_string(opts.metrics_port));
+  std::vector<char*> envp;
+  envp.reserve(env_store.size() + 1);
+  for (auto& s : env_store) envp.push_back(s.data());
+  envp.push_back(nullptr);
+  char self[] = "/proc/self/exe";
+  char* argv[] = {self, nullptr};
+
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  execve(self, argv, envp.data());
+  _exit(127);  // execve failed
+}
+
+void maybe_run_worker_from_env() {
+  const char* target = std::getenv("LORE_FABRIC_WORKER");
+  if (!target || !*target) return;
+  const char* colon = std::strrchr(target, ':');
+  if (!colon) {
+    std::fprintf(stderr, "lore-fabric: bad LORE_FABRIC_WORKER \"%s\"\n", target);
+    std::exit(2);
+  }
+  WorkerConfig cfg;
+  cfg.host.assign(target, colon - target);
+  cfg.port = static_cast<std::uint16_t>(std::atoi(colon + 1));
+  if (const char* t = std::getenv("LORE_FABRIC_THREADS"))
+    cfg.threads = static_cast<unsigned>(std::atoi(t));
+  if (const char* m = std::getenv("LORE_FABRIC_METRICS_PORT"))
+    cfg.metrics_port = std::atoi(m);
+  std::exit(run_worker(cfg));
+}
+
+int wait_worker(pid_t pid) {
+  int status = 0;
+  if (waitpid(pid, &status, 0) < 0) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+void kill_worker(pid_t pid) {
+  kill(pid, SIGKILL);
+  int status = 0;
+  waitpid(pid, &status, 0);
+}
+
+}  // namespace lore::fabric

@@ -1,0 +1,52 @@
+// Launching local fabric workers. Two flavors:
+//
+//  * fork_local_worker — plain fork(); the child runs `run_worker` in the
+//    same binary image and `_exit`s. ONLY safe while the parent is still
+//    single-threaded, i.e. between Coordinator::bind() and serve() — which is
+//    exactly why that lifecycle is split in two.
+//  * spawn_self_worker — fork + execve("/proc/self/exe") with
+//    LORE_FABRIC_WORKER=<host:port> in the child environment. Safe from
+//    multi-threaded parents (benches); requires the binary to call
+//    `maybe_run_worker_from_env()` early in main (LORE_BENCH_MAIN does).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+
+namespace lore::fabric {
+
+struct SpawnOptions {
+  std::string host = "127.0.0.1";
+  /// Shard-execution threads in the worker (0 = spec's count).
+  unsigned threads = 0;
+  /// Worker /metrics port (-2 none, 0 ephemeral) — see WorkerConfig.
+  int metrics_port = 0;
+};
+
+/// fork() a worker child connecting to `port`. The child closes
+/// `close_in_child` (the coordinator's listen fd) if >= 0, runs the worker
+/// loop, and _exit()s. Returns the child pid, or -1 on fork failure.
+/// Parent must be single-threaded at the call.
+pid_t fork_local_worker(std::uint16_t port, const SpawnOptions& opts = {},
+                        int close_in_child = -1);
+
+/// fork + execve(/proc/self/exe) with LORE_FABRIC_WORKER/LORE_FABRIC_THREADS/
+/// LORE_FABRIC_METRICS_PORT set (and LORE_SERVE stripped so the re-executed
+/// binary doesn't fight over the parent's exposition port). Returns the
+/// child pid, or -1 on failure.
+pid_t spawn_self_worker(std::uint16_t port, const SpawnOptions& opts = {});
+
+/// If LORE_FABRIC_WORKER=<host:port> is set, run the worker loop and
+/// std::exit with its status — never returns in that case. Call first thing
+/// in main() of any binary used with spawn_self_worker.
+void maybe_run_worker_from_env();
+
+/// waitpid for the child; returns its exit status (-1 on wait failure).
+int wait_worker(pid_t pid);
+
+/// SIGKILL + reap. For the killed-worker re-dispatch tests.
+void kill_worker(pid_t pid);
+
+}  // namespace lore::fabric

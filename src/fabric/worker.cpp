@@ -1,0 +1,127 @@
+#include "src/fabric/worker.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <thread>
+
+#include "src/fabric/protocol.hpp"
+#include "src/fabric/runners.hpp"
+#include "src/obs/netutil.hpp"
+#include "src/obs/serve.hpp"
+
+namespace lore::fabric {
+
+namespace {
+
+int connect_with_retry(const WorkerConfig& cfg) {
+  for (unsigned attempt = 0;; ++attempt) {
+    const int fd = obs::connect_tcp(cfg.host, cfg.port);
+    if (fd >= 0) return fd;
+    if (attempt + 1 >= cfg.connect_attempts) return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+ShardJob job_from_assign(const obs::Json& head) {
+  ShardJob job;
+  job.kind = head.at("kind").as_string();
+  if (const obs::Json* p = head.find("params")) job.params = *p;
+  job.spec = spec_from_json(head.at("spec"));
+  job.range.begin = static_cast<std::size_t>(head.at("begin").as_int());
+  job.range.end = static_cast<std::size_t>(head.at("end").as_int());
+  return job;
+}
+
+}  // namespace
+
+int run_worker(const WorkerConfig& cfg) {
+  const int fd = connect_with_retry(cfg);
+  if (fd < 0) {
+    std::fprintf(stderr, "lore-fabric: worker cannot reach coordinator %s:%u\n",
+                 cfg.host.c_str(), static_cast<unsigned>(cfg.port));
+    return 1;
+  }
+
+  // Worker-local scrape endpoint: the coordinator polls it for
+  // campaign.trials_completed to publish fleet throughput.
+  obs::MetricsServer metrics;
+  int bound_metrics_port = -1;
+  if (cfg.metrics_port >= 0) {
+    obs::ServeConfig sc;
+    sc.port = static_cast<std::uint16_t>(cfg.metrics_port);
+    if (metrics.start(sc)) bound_metrics_port = metrics.port();
+  }
+
+  Frame hello = make_frame("hello");
+  hello.head["schema"] = kSchema;
+  hello.head["worker"] =
+      cfg.name.empty() ? "w" + std::to_string(getpid()) : cfg.name;
+  hello.head["pid"] = static_cast<std::int64_t>(getpid());
+  hello.head["metrics_port"] = static_cast<std::int64_t>(bound_metrics_port);
+  if (!send_frame(fd, hello)) {
+    obs::close_fd(fd);
+    return 1;
+  }
+
+  int rc = 0;
+  for (;;) {
+    std::optional<Frame> directive = recv_frame(fd);
+    if (!directive) {
+      rc = 1;  // connection lost mid-conversation
+      break;
+    }
+    const std::string type = directive->type();
+    if (type == "shutdown") break;
+
+    if (type == "wait") {
+      const obs::Json* ms = directive->head.find("ms");
+      const std::int64_t sleep_ms =
+          ms && ms->is_number() ? ms->as_int() : 25;
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      if (!send_frame(fd, make_frame("ready"))) {
+        rc = 1;
+        break;
+      }
+      continue;
+    }
+
+    if (type != "assign") {
+      std::fprintf(stderr, "lore-fabric: worker got unknown directive \"%s\"\n",
+                   type.c_str());
+      rc = 1;
+      break;
+    }
+
+    const std::int64_t shard = directive->head.at("shard").as_int();
+    Frame reply;
+    try {
+      ShardJob job = job_from_assign(directive->head);
+      if (cfg.threads != 0) job.spec.threads = cfg.threads;
+      const ShardRunner runner = find_runner(job.kind);
+      if (!runner)
+        throw std::runtime_error("unknown campaign kind \"" + job.kind + "\"");
+      const CampaignCheckpoint ck = runner(job);
+      reply = make_frame("result");
+      reply.head["shard"] = shard;
+      reply.body = encode_checkpoint(ck);
+    } catch (const std::exception& e) {
+      reply = make_frame("error");
+      reply.head["shard"] = shard;
+      reply.head["message"] = std::string(e.what());
+    }
+    if (!send_frame(fd, reply)) {
+      rc = 1;
+      break;
+    }
+  }
+
+  obs::close_fd(fd);
+  metrics.stop();
+  return rc;
+}
+
+}  // namespace lore::fabric

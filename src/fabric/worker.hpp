@@ -1,0 +1,33 @@
+// Fabric worker — one process executing campaign shards on behalf of a
+// coordinator (DESIGN.md §12). Connects out, introduces itself with a
+// `hello`, then loops: receive a directive, act, answer. All campaign code
+// runs through the kind registry in runners.hpp, so the worker itself knows
+// nothing about fault models or pipelines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lore::fabric {
+
+struct WorkerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Name reported in `hello` (diagnostics); defaults to "w<pid>".
+  std::string name;
+  /// Thread override for shard execution; 0 keeps the spec's thread count.
+  unsigned threads = 0;
+  /// Worker-local /metrics port: -2 = no server, >= 0 = serve on that port
+  /// (0 = ephemeral). The bound port is reported in `hello` so the
+  /// coordinator can scrape fleet throughput.
+  int metrics_port = -2;
+  /// Connect retries while the coordinator's listener comes up.
+  unsigned connect_attempts = 50;
+};
+
+/// Run the worker loop until the coordinator sends `shutdown` or the
+/// connection drops. Returns 0 on orderly shutdown, nonzero on failure to
+/// connect or a protocol error.
+int run_worker(const WorkerConfig& cfg);
+
+}  // namespace lore::fabric

@@ -1,0 +1,61 @@
+#include "src/obs/scrape.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/obs/netutil.hpp"
+
+namespace lore::obs {
+
+std::optional<std::string> http_get(const std::string& host, std::uint16_t port,
+                                    const std::string& path) {
+  const int fd = connect_tcp(host, port);
+  if (fd < 0) return std::nullopt;
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (!send_all(fd, request.data(), request.size())) {
+    close_fd(fd);
+    return std::nullopt;
+  }
+  ::shutdown(fd, SHUT_WR);
+
+  std::string response;
+  char buf[1 << 12];
+  for (;;) {
+    const long n = recv_retry(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  close_fd(fd);
+
+  // "HTTP/1.0 200 OK\r\n...headers...\r\n\r\nbody"
+  if (response.rfind("HTTP/", 0) != 0) return std::nullopt;
+  const auto status_at = response.find(' ');
+  if (status_at == std::string::npos || response.size() < status_at + 2 ||
+      response[status_at + 1] != '2')
+    return std::nullopt;
+  const auto body_at = response.find("\r\n\r\n");
+  if (body_at == std::string::npos) return std::nullopt;
+  return response.substr(body_at + 4);
+}
+
+std::optional<Json> scrape_metrics_json(const std::string& host, std::uint16_t port) {
+  const auto body = http_get(host, port, "/metrics.json");
+  if (!body) return std::nullopt;
+  try {
+    return Json::parse(*body);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<double> metric_value(const Json& metrics_doc, const std::string& kind,
+                                   const std::string& name) {
+  if (metrics_doc.type() != Json::Type::kObject) return std::nullopt;
+  const Json* section = metrics_doc.find(kind);
+  if (!section || section->type() != Json::Type::kObject) return std::nullopt;
+  const Json* value = section->find(name);
+  if (!value || !value->is_number()) return std::nullopt;
+  return value->as_double();
+}
+
+}  // namespace lore::obs

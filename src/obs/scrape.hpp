@@ -1,0 +1,29 @@
+// Minimal HTTP/1.0 scrape client — the consumer side of serve.cpp, used by
+// the campaign fabric's coordinator to poll each worker's /metrics.json and
+// publish fleet-level aggregates (DESIGN.md §12). One request per
+// connection, std-only, same netutil discipline as the server.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/obs/json.hpp"
+
+namespace lore::obs {
+
+/// GET `path` from host:port. Returns the response body on any 2xx status,
+/// nullopt on connect failure, timeout-less read error, or non-2xx.
+std::optional<std::string> http_get(const std::string& host, std::uint16_t port,
+                                    const std::string& path);
+
+/// GET + parse /metrics.json (`lore.metrics.v1`). nullopt when the endpoint
+/// is unreachable or the body is not valid JSON.
+std::optional<Json> scrape_metrics_json(const std::string& host, std::uint16_t port);
+
+/// Convenience over a scraped `lore.metrics.v1` document: numeric value of
+/// counter/gauge `name`, or nullopt when absent.
+std::optional<double> metric_value(const Json& metrics_doc, const std::string& kind,
+                                   const std::string& name);
+
+}  // namespace lore::obs

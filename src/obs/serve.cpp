@@ -5,11 +5,9 @@
 #include <cstring>
 
 #include "src/obs/export.hpp"
+#include "src/obs/netutil.hpp"
 
 #ifndef LORE_OBS_DISABLED
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -26,27 +24,10 @@ MetricsServer::~MetricsServer() { stop(); }
 
 bool MetricsServer::start(const ServeConfig& cfg) {
   if (running_) return false;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return false;
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(cfg.port);
-  if (::inet_pton(AF_INET, cfg.bind_address.c_str(), &addr.sin_addr) != 1 ||
-      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(fd, 16) != 0) {
-    ::close(fd);
-    return false;
-  }
-  socklen_t len = sizeof addr;
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-    ::close(fd);
-    return false;
-  }
-  port_ = ntohs(addr.sin_port);
-  listen_fd_ = fd;
+  const auto sock = listen_tcp(cfg.bind_address, cfg.port);
+  if (!sock) return false;
+  port_ = sock->port;
+  listen_fd_ = sock->fd;
   running_ = true;
   thread_ = std::thread([this] { accept_loop(); });
   return true;
@@ -67,7 +48,7 @@ void MetricsServer::accept_loop() {
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (!running_) return;
     if (ready <= 0 || !(pfd.revents & POLLIN)) continue;
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    const int client = accept_retry(listen_fd_);
     if (client < 0) continue;
 
     // One short request per connection: read until the end of the request
@@ -75,20 +56,14 @@ void MetricsServer::accept_loop() {
     std::string req;
     char buf[1024];
     while (req.find("\r\n") == std::string::npos && req.size() < 8192) {
-      const ssize_t n = ::recv(client, buf, sizeof buf, 0);
+      const long n = recv_retry(client, buf, sizeof buf);
       if (n <= 0) break;
       req.append(buf, static_cast<std::size_t>(n));
     }
     const auto eol = req.find("\r\n");
     const std::string response =
         handle_request(eol == std::string::npos ? req : req.substr(0, eol));
-    std::size_t off = 0;
-    while (off < response.size()) {
-      const ssize_t n = ::send(client, response.data() + off,
-                               response.size() - off, MSG_NOSIGNAL);
-      if (n <= 0) break;
-      off += static_cast<std::size_t>(n);
-    }
+    send_all(client, response.data(), response.size());
     ::shutdown(client, SHUT_RDWR);
     ::close(client);
   }

@@ -1,0 +1,117 @@
+// lore.fabric.v1 framing: roundtrips over a real socketpair, truncation
+// mid-frame (a peer dying between the prefix and the body), oversized length
+// prefixes, and the CampaignSpec JSON carrier.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/fabric/protocol.hpp"
+#include "src/obs/netutil.hpp"
+
+namespace {
+
+using namespace lore;
+using namespace lore::fabric;
+
+struct SocketPair {
+  int a = -1, b = -1;
+  SocketPair() { EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, &a), 0); }
+  ~SocketPair() {
+    obs::close_fd(a);
+    obs::close_fd(b);
+  }
+};
+
+TEST(FabricProtocol, FrameRoundtripsHeadAndBody) {
+  SocketPair sp;
+  Frame out = make_frame("result");
+  out.head["shard"] = std::int64_t{7};
+  out.body = std::string("\x00\x01payload\xff", 9);
+
+  ASSERT_TRUE(send_frame(sp.a, out));
+  const auto in = recv_frame(sp.b);
+  ASSERT_TRUE(in.has_value());
+  EXPECT_EQ(in->type(), "result");
+  EXPECT_EQ(in->head.at("shard").as_int(), 7);
+  EXPECT_EQ(in->body, out.body);
+}
+
+TEST(FabricProtocol, EmptyBodyAndLargeBodyRoundtrip) {
+  SocketPair sp;
+  Frame small = make_frame("ready");
+  ASSERT_TRUE(send_frame(sp.a, small));
+
+  Frame big = make_frame("result");
+  big.body.assign(1 << 18, 'x');  // larger than any socket buffer: exercises
+                                  // the short-write loop in send_all
+  std::thread sender([&] { EXPECT_TRUE(send_frame(sp.a, big)); });
+  const auto in_small = recv_frame(sp.b);
+  const auto in_big = recv_frame(sp.b);
+  sender.join();
+  ASSERT_TRUE(in_small && in_big);
+  EXPECT_EQ(in_small->type(), "ready");
+  EXPECT_EQ(in_big->body.size(), big.body.size());
+  EXPECT_EQ(in_big->body, big.body);
+}
+
+TEST(FabricProtocol, TruncatedMidFrameIsConnectionLoss) {
+  // Peer dies after the prefix but before the promised bytes arrive.
+  SocketPair sp;
+  Frame f = make_frame("result");
+  f.body = "0123456789";
+  // Manually send only the first half of the wire image.
+  std::string wire;
+  {
+    SocketPair probe;
+    ASSERT_TRUE(send_frame(probe.a, f));
+    wire.resize(8 + f.head.dump().size() + f.body.size());
+    ASSERT_TRUE(obs::recv_all(probe.b, wire.data(), wire.size()));
+  }
+  ASSERT_TRUE(obs::send_all(sp.a, wire.data(), wire.size() / 2));
+  obs::close_fd(sp.a);
+  sp.a = -1;
+  EXPECT_FALSE(recv_frame(sp.b).has_value());
+}
+
+TEST(FabricProtocol, OversizedPrefixRejected) {
+  SocketPair sp;
+  unsigned char prefix[8] = {0};
+  prefix[3] = 0xff;  // head_len with a high byte set: way past kMaxHeadBytes
+  ASSERT_TRUE(obs::send_all(sp.a, prefix, sizeof prefix));
+  EXPECT_FALSE(recv_frame(sp.b).has_value());
+}
+
+TEST(FabricProtocol, NonObjectHeadRejected) {
+  SocketPair sp;
+  const std::string head = "[1,2,3]";
+  std::string wire;
+  for (int i = 0; i < 4; ++i) wire.push_back(static_cast<char>(head.size() >> (8 * i)));
+  wire.append(4, '\0');
+  wire += head;
+  ASSERT_TRUE(obs::send_all(sp.a, wire.data(), wire.size()));
+  EXPECT_FALSE(recv_frame(sp.b).has_value());
+}
+
+TEST(FabricProtocol, SpecJsonRoundtripPreservesIdentity) {
+  CampaignSpec spec;
+  spec.trials = 12345;
+  spec.base_seed = 0xdeadbeefcafe;
+  spec.domain = "arch.fault/abc123";
+  spec.threads = 3;
+  spec.max_retries = 5;
+  spec.retry_backoff = std::chrono::milliseconds(17);
+
+  const CampaignSpec back = spec_from_json(spec_to_json(spec));
+  EXPECT_EQ(back.trials, spec.trials);
+  EXPECT_EQ(back.base_seed, spec.base_seed);
+  EXPECT_EQ(back.domain, spec.domain);
+  EXPECT_EQ(back.threads, spec.threads);
+  EXPECT_EQ(back.max_retries, spec.max_retries);
+  EXPECT_EQ(back.retry_backoff, spec.retry_backoff);
+  EXPECT_EQ(back.identity_hash(), spec.identity_hash());
+}
+
+}  // namespace
