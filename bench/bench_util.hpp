@@ -20,13 +20,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/common/campaign.hpp"
+#include "src/common/kernels.hpp"
 #include "src/common/table.hpp"
 #include "src/obs/obs.hpp"
 
@@ -39,6 +43,16 @@ double timed_seconds(Fn&& fn) {
   const auto start = std::chrono::steady_clock::now();
   fn();
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// Minimum wall-clock seconds over `reps` runs of `fn`. Single-shot timing of
+/// millisecond-scale sections jitters ±30% on shared hosts; the minimum is
+/// the standard noise-rejecting estimator for deterministic work.
+template <typename Fn>
+double best_of_seconds(int reps, Fn&& fn) {
+  double best = timed_seconds(fn);
+  for (int i = 1; i < reps; ++i) best = std::min(best, timed_seconds(fn));
+  return best;
 }
 
 /// One printed table, remembered for the JSON artifact.
@@ -94,6 +108,13 @@ inline std::string write_bench_artifact(const std::string& bench_name) {
   obs::Json doc = obs::Json::object();
   doc["schema"] = "lore.bench.v1";
   doc["bench"] = bench_name;
+  // Host context: numbers from a different machine shape are not comparable
+  // (bench_report.py --diff warns on a core-count mismatch).
+  obs::Json meta = obs::Json::object();
+  meta["host_cores"] = static_cast<double>(std::thread::hardware_concurrency());
+  meta["build_tag"] = checkpoint_build_tag();
+  meta["simd"] = kernels::dispatch_name(kernels::active_dispatch());
+  doc["meta"] = std::move(meta);
   obs::Json tables = obs::Json::array();
   for (const auto& rec : detail::recorded_tables()) {
     obs::Json tj = obs::Json::object();

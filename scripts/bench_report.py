@@ -178,6 +178,40 @@ def fleet_summary(docs):
     return out
 
 
+def prune_summary(docs):
+    """Resurface the predict-and-prune table (bench/fi_acceleration.cpp) so the
+    accuracy-for-speed trade — prune rate vs audit-measured false-benign
+    rate — is visible at the top level of the report."""
+    out = []
+    for doc in docs:
+        for table in doc.get("tables", []):
+            headers = table.get("headers", [])
+            if "pruned" not in headers or "false_benign_rate" not in headers:
+                continue
+            rows = table.get("rows", [])
+            out.append(f"=== predict-and-prune summary ({doc.get('bench', '?')}) ===")
+            out.append(render_table(headers, rows))
+            fb_col = headers.index("false_benign_rate")
+            high = [r for r in rows
+                    if len(r) > fb_col and (_to_float(r[fb_col]) or 0.0) > 0.2]
+            if high:
+                out.append("WARNING: audit-measured false-benign rate above 0.2 — "
+                           "pruning is trading away campaign accuracy")
+            out.append("")
+    return out
+
+
+def meta_line(doc):
+    """One-line host context from the artifact's `meta` block, if present."""
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        return None
+    cores = meta.get("host_cores")
+    cores_s = f"{cores:.0f}" if isinstance(cores, (int, float)) else "?"
+    return (f"host_cores={cores_s} build={meta.get('build_tag', '?')} "
+            f"simd={meta.get('simd', '?')}")
+
+
 def report(paths):
     out = []
     docs = []
@@ -189,6 +223,9 @@ def report(paths):
             continue
         docs.append(doc)
         out.append(f"=== {doc.get('bench', os.path.basename(path))} ({path}) ===")
+        ml = meta_line(doc)
+        if ml:
+            out.append(ml)
         for table in doc.get("tables", []):
             out.append("")
             out.append(f"-- {table.get('section', '(untitled)')}")
@@ -206,6 +243,7 @@ def report(paths):
             out.append(render_table(INTERVAL_HEADERS, ivs))
         out.append("")
     out.extend(fleet_summary(docs))
+    out.extend(prune_summary(docs))
     out.extend(resilience_summary(docs))
     out.append(f"bench_report: aggregated {len(docs)} artifact(s)")
     return "\n".join(out), len(docs)
@@ -219,17 +257,35 @@ def _to_float(cell):
 
 
 def load_run(arg):
-    """Map (bench, section) -> table for one run (a directory or one file)."""
+    """One run (a directory or single file) as a pair:
+    (bench, section) -> table, plus bench -> artifact meta block."""
     tables = {}
+    metas = {}
     for path in find_artifacts([arg]):
         try:
             doc = load_artifact(path)
         except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError) as e:
             print(f"bench_report: skipping {path}: {e}", file=sys.stderr)
             continue
+        if isinstance(doc.get("meta"), dict):
+            metas[doc.get("bench", "")] = doc["meta"]
         for table in doc.get("tables", []):
             tables[(doc.get("bench", ""), table.get("section", ""))] = table
-    return tables
+    return tables, metas
+
+
+def host_context_warnings(old_meta, new_meta):
+    """Warn when the two runs disagree on machine shape: timing and
+    throughput ratios across different core counts are apples to oranges."""
+    out = []
+    for bench in sorted(set(old_meta) & set(new_meta)):
+        oc = _to_float(old_meta[bench].get("host_cores"))
+        nc = _to_float(new_meta[bench].get("host_cores"))
+        if oc and nc and oc != nc:
+            out.append(f"WARNING: {bench}: host core count changed "
+                       f"{oc:.0f} -> {nc:.0f}; throughput and parallel-scaling "
+                       "ratios below are not comparable across machine shapes")
+    return out
 
 
 def diff_tables(old, new):
@@ -299,10 +355,15 @@ def main():
         if len(argv) != 3:
             print("usage: bench_report.py --diff OLD NEW", file=sys.stderr)
             return 2
-        old, new = load_run(argv[1]), load_run(argv[2])
+        (old, old_meta), (new, new_meta) = load_run(argv[1]), load_run(argv[2])
         if not old or not new:
             print("bench_report: no artifacts in one of the runs", file=sys.stderr)
             return 1
+        warnings = host_context_warnings(old_meta, new_meta)
+        for w in warnings:
+            print(w)
+        if warnings:
+            print()
         print(diff_tables(old, new))
         return 0
     paths = find_artifacts(argv)

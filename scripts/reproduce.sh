@@ -9,14 +9,15 @@ cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
 # TSAN=1 additionally runs the `parallel`-, `resilience`-, `obs`-, `simd`-,
-# and `fabric`-labeled determinism/race suites — campaign engine, the live
-# telemetry pipeline (event-ring producers vs the aggregator drain and serve
-# threads), and the chunked batch engine with its thread-local arenas —
-# under ThreadSanitizer (the `tsan` CMake preset).
+# `fabric`-, and `ml`-labeled determinism/race suites — campaign engine, the
+# live telemetry pipeline (event-ring producers vs the aggregator drain and
+# serve threads), the chunked batch engine with its thread-local arenas, and
+# the Predictor's background trainer racing observers/scorers — under
+# ThreadSanitizer (the `tsan` CMake preset).
 if [ "${TSAN:-0}" = "1" ]; then
   cmake --preset tsan
-  cmake --build build-tsan --target lore_parallel_tests lore_resilience_tests lore_obs_tests lore_simd_tests lore_fabric_tests
-  ctest --test-dir build-tsan -L '(parallel|resilience|obs|simd|fabric)' --output-on-failure 2>&1 | tee tsan_output.txt
+  cmake --build build-tsan --target lore_parallel_tests lore_resilience_tests lore_obs_tests lore_simd_tests lore_fabric_tests lore_ml_batch_tests
+  ctest --test-dir build-tsan -L '(parallel|resilience|obs|simd|fabric|ml)' --output-on-failure 2>&1 | tee tsan_output.txt
 fi
 
 # Smoke the -DLORE_OBS=OFF build (the `obs-off` preset): the telemetry
@@ -35,6 +36,15 @@ if [ "${SIMD_OFF:-0}" = "1" ]; then
   cmake --preset simd-off
   cmake --build build-simd-off --target lore_simd_tests
   ctest --test-dir build-simd-off -L simd --output-on-failure 2>&1 | tee simd_off_output.txt
+fi
+
+# PRUNE=1 smokes the online predict-and-prune campaign loop end to end: the
+# example warms a Predictor on a real fault-injection campaign, prunes a
+# second campaign, and --verify re-runs it with audit=1.0, exiting 1 unless
+# the executed outcomes are bit-identical to the unpruned reference.
+if [ "${PRUNE:-0}" = "1" ]; then
+  cmake --build build --target ex_predict_prune
+  ./build/examples/predict_prune --verify 2>&1 | tee prune_output.txt
 fi
 
 # FABRIC=1 smokes the sharded multi-process campaign fabric end to end: a

@@ -5,8 +5,10 @@
 #include <cassert>
 #include <cstdio>
 
+#include "src/arch/features.hpp"
 #include "src/common/kernels.hpp"
 #include "src/common/parallel.hpp"
+#include "src/ml/predictor.hpp"
 #include "src/obs/obs.hpp"
 
 namespace lore::arch {
@@ -465,6 +467,72 @@ lore::CampaignResult<FaultRecord> FaultInjector::campaign_run(
           return rec;
         });
   }
+  count_completed_outcomes("campaign.arch", result);
+  return result;
+}
+
+lore::CampaignResult<FaultRecord> FaultInjector::campaign_run_pruned(
+    const lore::CampaignSpec& spec, FaultTarget target, ml::Predictor& predictor,
+    const PruneCampaignOptions& opt) const {
+  const lore::CampaignSpec s = resolved_spec(spec, target);
+  // The reference engine never prunes; keep its exact semantics.
+  if (!lore::campaign_uses_batch(s)) return campaign_run(spec, target);
+
+  LORE_OBS_SPAN(span, "campaign.arch_pruned");
+  LORE_OBS_TIMER(timer, "campaign.arch_us");
+  const BatchContext ctx{workload_, golden_, build_golden_trace()};
+  const FaultSiteFeaturizer featurizer(workload_, golden_.cycles);
+  const double threshold = opt.benign_threshold >= 0.0
+                               ? opt.benign_threshold
+                               : predictor.config().benign_threshold;
+
+  lore::PruneHooks<FaultRecord> hooks;
+  hooks.audit_fraction = opt.audit_fraction;
+  hooks.controller = opt.controller;
+  hooks.predict = [&](std::size_t begin, std::size_t end,
+                      std::span<const std::uint64_t> seeds,
+                      std::span<std::uint8_t> benign) {
+    (void)begin;
+    (void)end;
+    const auto snap = predictor.snapshot();
+    if (!snap) return;  // no validated model yet — nothing is predicted benign
+    const std::size_t n = seeds.size();
+    // The engine holds an ArenaScope for the chunk; these live until chunk end.
+    Arena& arena = Arena::for_thread();
+    const auto features = arena.alloc<double>(n * kFaultSiteFeatureDim);
+    const auto p_benign = arena.alloc<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Regenerate trial i's site from its seed: the first draws of the same
+      // stream the trial body would consume, so prediction and execution see
+      // the same descriptor.
+      lore::Rng rng(seeds[i]);
+      const FaultSite site = random_site(rng, target);
+      featurizer.featurize(
+          site, features.subspan(i * kFaultSiteFeatureDim, kFaultSiteFeatureDim));
+    }
+    snap->predict_benign(features.data(), n, p_benign, /*threads=*/1);
+    for (std::size_t i = 0; i < n; ++i) benign[i] = p_benign[i] >= threshold ? 1 : 0;
+  };
+  hooks.is_benign = [](const FaultRecord& r) { return r.outcome == Outcome::kBenign; };
+  hooks.on_executed = [&](std::size_t index, const FaultRecord& rec, bool predicted,
+                          bool audited) {
+    (void)predicted;
+    if (!audited && (opt.feedback_stride == 0 || index % opt.feedback_stride != 0))
+      return;
+    double f[kFaultSiteFeatureDim];
+    featurizer.featurize(rec.site, f);
+    predictor.observe(std::span<const double>(f, kFaultSiteFeatureDim),
+                      rec.outcome == Outcome::kBenign);
+  };
+
+  auto result = lore::run_campaign_pruned<FaultRecord, FaultRecordCodec>(
+      s,
+      [&](std::size_t t, lore::Rng& rng, const lore::CancelToken&) {
+        FaultRecord rec = inject_batched(ctx, scratch_for(ctx), random_site(rng, target));
+        rec.trial_seed = lore::trial_seed(s.base_seed, t);
+        return rec;
+      },
+      hooks);
   count_completed_outcomes("campaign.arch", result);
   return result;
 }

@@ -14,6 +14,10 @@
 #include "src/common/campaign.hpp"
 #include "src/common/rng.hpp"
 
+namespace lore::ml {
+class Predictor;
+}  // namespace lore::ml
+
 namespace lore::arch {
 
 enum class FaultTarget : std::uint8_t { kRegister, kMemory, kInstruction };
@@ -58,6 +62,24 @@ struct GoldenRun {
 /// Run the workload cleanly and capture the reference output.
 GoldenRun run_golden(const Workload& w);
 
+/// Knobs for `FaultInjector::campaign_run_pruned`.
+struct PruneCampaignOptions {
+  /// Fraction of predicted-benign trials executed anyway as audits
+  /// (< 0 = LORE_PRUNE_AUDIT environment variable, default 0.05;
+  /// 1.0 = audit everything, outcomes bit-identical to `campaign_run`).
+  double audit_fraction = -1.0;
+  /// P(benign) at or above which a trial is pruned
+  /// (< 0 = the predictor config's benign_threshold).
+  double benign_threshold = -1.0;
+  /// Feed every Nth executed non-audit trial back into the predictor as a
+  /// training observation (0 = audits only). Audited trials always feed
+  /// back.
+  std::size_t feedback_stride = 8;
+  /// Optional shared breaker: trips when the audit-measured false-benign
+  /// rate crosses its alert threshold, disabling pruning for later chunks.
+  PruneController* controller = nullptr;
+};
+
 class FaultInjector {
  public:
   explicit FaultInjector(const Workload& workload);
@@ -83,6 +105,19 @@ class FaultInjector {
 
   /// Convenience: records of `campaign_run` (the common complete-run case).
   std::vector<FaultRecord> campaign(const CampaignSpec& spec, FaultTarget target) const;
+
+  /// `campaign_run` with the online predict-and-prune stage (DESIGN.md §13):
+  /// each chunk's fault sites are regenerated from the trial seeds,
+  /// featurized (FaultSiteFeaturizer), and scored against the predictor's
+  /// current snapshot; predicted-benign trials are skipped as
+  /// `TrialStatus::kPruned` except for the seeded audit fraction. Executed
+  /// trials feed back into the predictor, so the model improves while the
+  /// campaign runs. Falls back to the full (never-pruning) engine when the
+  /// batched fast path is off or the spec is not plain.
+  CampaignResult<FaultRecord> campaign_run_pruned(const CampaignSpec& spec,
+                                                  FaultTarget target,
+                                                  ml::Predictor& predictor,
+                                                  const PruneCampaignOptions& opt = {}) const;
 
   /// Copy of `spec` with the workload-fingerprint domain filled in when
   /// empty — the exact identity `campaign_run` executes under, which the

@@ -176,4 +176,37 @@ std::vector<int> instruction_outcome_labels(const Program& p,
   return labels;
 }
 
+FaultSiteFeaturizer::FaultSiteFeaturizer(const Workload& w, std::uint64_t golden_cycles) {
+  inv_cycles_ = golden_cycles > 0 ? 1.0 / static_cast<double>(golden_cycles) : 0.0;
+  // Same live data window as FaultInjector::random_site.
+  std::size_t mem_hi = w.output_base + w.output_words;
+  for (const auto& [addr, value] : w.memory_init) mem_hi = std::max(mem_hi, addr + 1);
+  inv_mem_ = mem_hi > 0 ? 1.0 / static_cast<double>(mem_hi) : 0.0;
+  inv_prog_ = w.program.empty() ? 0.0 : 1.0 / static_cast<double>(w.program.size());
+  reg_features_.reserve(kNumRegisters * kRegisterFeatureDim);
+  for (std::size_t reg = 0; reg < kNumRegisters; ++reg) {
+    const auto f = register_features(w, reg);
+    reg_features_.insert(reg_features_.end(), f.begin(), f.end());
+  }
+}
+
+void FaultSiteFeaturizer::featurize(const FaultSite& site, std::span<double> out) const {
+  assert(out.size() >= kFaultSiteFeatureDim);
+  std::fill(out.begin(), out.begin() + kFaultSiteFeatureDim, 0.0);
+  double inv_index = 0.0;
+  switch (site.target) {
+    case FaultTarget::kRegister: inv_index = 1.0 / static_cast<double>(kNumRegisters); break;
+    case FaultTarget::kMemory: inv_index = inv_mem_; break;
+    case FaultTarget::kInstruction: inv_index = inv_prog_; break;
+  }
+  out[static_cast<std::size_t>(site.target)] = 1.0;
+  out[3] = static_cast<double>(site.index) * inv_index;
+  out[4] = static_cast<double>(site.bit) / 32.0;
+  out[5] = static_cast<double>(site.cycle) * inv_cycles_;
+  if (site.target == FaultTarget::kRegister && site.index < kNumRegisters) {
+    const double* rf = reg_features_.data() + site.index * kRegisterFeatureDim;
+    std::copy(rf, rf + kRegisterFeatureDim, out.begin() + 6);
+  }
+}
+
 }  // namespace lore::arch

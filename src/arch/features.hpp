@@ -5,6 +5,7 @@
 //    data-dependency and control-adjacency edges.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "src/arch/fault.hpp"
@@ -47,6 +48,34 @@ ml::Dataset register_vulnerability_dataset(const Workload& w,
 /// with no observations get label 0.
 std::vector<int> instruction_vulnerability_labels(
     const Program& p, const std::vector<FaultRecord>& instruction_campaign, double threshold);
+
+/// Number of fault-site features (see FaultSiteFeaturizer).
+inline constexpr std::size_t kFaultSiteFeatureDim = 6 + kRegisterFeatureDim;
+
+/// Fault-descriptor featurization for the online predict-and-prune campaign
+/// loop (DESIGN.md §13). Construction precomputes everything expensive once
+/// per workload (per-register feature table, normalization constants);
+/// `featurize` is then allocation-free and cheap enough to score every trial
+/// of a chunk before execution. Feature layout:
+///   [0..2]  target one-hot (register / memory / instruction)
+///   [3]     site index normalized by the target's site count
+///   [4]     bit position / 32
+///   [5]     injection cycle / golden cycle count
+///   [6..]   the target register's `register_features` (zero for memory and
+///           instruction targets)
+class FaultSiteFeaturizer {
+ public:
+  FaultSiteFeaturizer(const Workload& w, std::uint64_t golden_cycles);
+
+  /// Write kFaultSiteFeatureDim features for `site` into `out`.
+  void featurize(const FaultSite& site, std::span<double> out) const;
+
+ private:
+  double inv_cycles_ = 0.0;
+  double inv_mem_ = 0.0;
+  double inv_prog_ = 0.0;
+  std::vector<double> reg_features_;  // kNumRegisters x kRegisterFeatureDim
+};
 
 /// Per-instruction SDC-proneness labels (for the graph experiment, E7):
 /// classes are the argmax outcome of injections attributed to the

@@ -94,8 +94,38 @@ const char* trial_status_name(TrialStatus s) {
     case TrialStatus::kTimeout: return "timeout";
     case TrialStatus::kFailed: return "failed";
     case TrialStatus::kSkipped: return "skipped";
+    case TrialStatus::kPruned: return "pruned";
   }
   return "?";
+}
+
+double resolve_prune_audit(double requested) {
+  if (requested >= 0.0) return requested > 1.0 ? 1.0 : requested;
+  static const double env_audit = [] {
+    const char* env = std::getenv("LORE_PRUNE_AUDIT");
+    if (!env || !*env) return -1.0;
+    const double v = std::atof(env);
+    return v >= 0.0 ? (v > 1.0 ? 1.0 : v) : -1.0;
+  }();
+  return env_audit >= 0.0 ? env_audit : 0.05;
+}
+
+void PruneController::record_audit(bool was_benign) {
+  const auto a = audits_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const auto fb = false_benign_.fetch_add(was_benign ? 0 : 1, std::memory_order_relaxed) +
+                  (was_benign ? 0 : 1);
+  if (was_benign || a < cfg_.min_audits) return;
+  const double rate = static_cast<double>(fb) / static_cast<double>(a);
+  if (rate > cfg_.false_benign_alert) disable("campaign.prune.false_benign");
+}
+
+void PruneController::disable(const char* reason) {
+  if (tripped_.exchange(true, std::memory_order_relaxed)) return;  // first trip only
+  if (obs::kCompiledIn && obs::enabled()) {
+    obs::MetricsRegistry::global().counter("campaign.prune_trips").add(1);
+    if (obs::EventRing::global().enabled())
+      obs::emit_event(obs::EventKind::kAlert, audits(), false_benign_rate(), reason);
+  }
 }
 
 std::uint64_t CampaignSpec::identity_hash() const {
@@ -529,6 +559,7 @@ RawResult run_campaign_raw(const CampaignSpec& spec, const RawTrialFn& trial) {
       case TrialStatus::kTimeout: ++rep.timeouts; break;
       case TrialStatus::kFailed: ++rep.failed; break;
       case TrialStatus::kSkipped: ++rep.skipped; break;
+      case TrialStatus::kPruned: ++rep.pruned; break;  // reference engine never prunes
     }
   }
   rep.completed = completed.load(std::memory_order_relaxed);

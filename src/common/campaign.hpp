@@ -69,6 +69,7 @@ enum class TrialStatus : std::uint8_t {
   kTimeout,  // every attempt exceeded the per-trial deadline
   kFailed,   // every attempt threw a non-timeout exception
   kSkipped,  // never attempted (overall budget exhausted / per-run trial cap)
+  kPruned,   // skipped as predicted-benign by the prune stage (DESIGN.md §13)
 };
 
 const char* trial_status_name(TrialStatus s);
@@ -155,6 +156,10 @@ struct CampaignReport {
   std::size_t timeouts = 0;   // trials whose final status is kTimeout
   std::size_t failed = 0;     // trials whose final status is kFailed
   std::size_t skipped = 0;    // never attempted (budget / per-run cap)
+  std::size_t pruned = 0;            // skipped as predicted-benign
+  std::size_t prune_audits = 0;      // predicted-benign trials executed anyway
+  std::size_t prune_false_benign = 0;  // audits whose true outcome was not benign
+  bool prune_disabled = false;  // the controller tripped during this run
   std::size_t retries = 0;         // attempts beyond the first, all trials
   std::size_t timeout_attempts = 0;     // individual attempts that timed out
   std::size_t suppressed_exceptions = 0;  // attempts that threw (non-timeout)
@@ -485,10 +490,104 @@ struct BatchOptions {
   bool force_reference = false;
 };
 
-/// Batched campaign executor. Same record/status/report contract and the
-/// same per-trial semantics as `run_campaign` — trial `i` always computes
-/// from a fresh Rng seeded with `trial_seed(spec.base_seed, i)`, failed
-/// trials retry up to `spec.max_retries` times with backoff, and results are
+// ---------------------------------------------------------------------------
+// Online predict-and-prune stage (DESIGN.md §13).
+
+/// Audit-fraction resolution: explicit request in [0, 1] > LORE_PRUNE_AUDIT
+/// environment variable > 0.05. The audit fraction is the share of
+/// predicted-benign trials that execute anyway so the live false-benign rate
+/// is measurable (and feeds back into training).
+double resolve_prune_audit(double requested);
+
+/// True when pruned trial `index` is selected for audit: a pure function of
+/// (audit_seed, index), so the audit subsample is identical at any thread or
+/// chunk count — the same determinism contract as trial seeding.
+inline bool prune_audit_selected(std::uint64_t audit_seed, std::size_t index,
+                                 double fraction) {
+  if (fraction >= 1.0) return true;
+  if (fraction <= 0.0) return false;
+  const std::uint64_t z = kernels::scalar::trial_seed_at(audit_seed, index);
+  return static_cast<double>(z >> 11) * 0x1.0p-53 < fraction;
+}
+
+/// Shared safety breaker for predict-and-prune campaigns: counts pruned /
+/// audited / false-benign trials and disables pruning for good when the
+/// audit-measured false-benign rate crosses the alert threshold (with at
+/// least `min_audits` audits behind it). Tripping publishes obs counters and
+/// a kAlert event into the PR 5 health loop — graceful degradation back to
+/// full execution, never silent accuracy loss. Thread-safe; share one
+/// controller across campaigns to accumulate audit statistics.
+class PruneController {
+ public:
+  struct Config {
+    /// False-benign rate (false_benign / audits) that trips the breaker.
+    double false_benign_alert = 0.2;
+    /// Audits required before the rate is trusted.
+    std::size_t min_audits = 20;
+  };
+
+  PruneController() = default;
+  explicit PruneController(Config cfg) : cfg_(cfg) {}
+
+  bool enabled() const { return !tripped_.load(std::memory_order_relaxed); }
+  bool tripped() const { return tripped_.load(std::memory_order_relaxed); }
+
+  void record_pruned(std::size_t n) {
+    pruned_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Record one audited trial's ground truth; may trip the breaker.
+  void record_audit(bool was_benign);
+  /// Manually trip (health loop / operator hook).
+  void disable(const char* reason);
+
+  std::size_t pruned() const { return pruned_.load(std::memory_order_relaxed); }
+  std::size_t audits() const { return audits_.load(std::memory_order_relaxed); }
+  std::size_t false_benign() const {
+    return false_benign_.load(std::memory_order_relaxed);
+  }
+  double false_benign_rate() const {
+    const auto a = audits();
+    return a == 0 ? 0.0 : static_cast<double>(false_benign()) / static_cast<double>(a);
+  }
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_{};
+  std::atomic<std::size_t> pruned_{0}, audits_{0}, false_benign_{0};
+  std::atomic<bool> tripped_{false};
+};
+
+/// Prune-stage hooks for `run_campaign_pruned`. With no `predict` hook the
+/// engine degenerates to `run_campaign_batched` exactly. `predict` scores one
+/// chunk's trials — `benign[i - begin] = 1` marks trial i predicted-benign —
+/// from whatever descriptor the domain derives from the trial seed (the seed
+/// span holds `trial_seed(spec.base_seed, i)` for the chunk, the same seeds
+/// the trial bodies will draw). `is_benign` maps an executed Record to ground
+/// truth for audit statistics; `on_executed` observes every executed trial
+/// (prediction feedback / training — sampling is the callee's business).
+template <typename Record>
+struct PruneHooks {
+  std::function<void(std::size_t begin, std::size_t end,
+                     std::span<const std::uint64_t> seeds, std::span<std::uint8_t> benign)>
+      predict;
+  std::function<bool(const Record&)> is_benign;
+  std::function<void(std::size_t index, const Record& record, bool predicted_benign,
+                     bool audited)>
+      on_executed;
+  /// Fraction of predicted-benign trials executed anyway as audits
+  /// (< 0 = resolve_prune_audit: LORE_PRUNE_AUDIT or 0.05).
+  double audit_fraction = -1.0;
+  /// Seed of the audit subsample (0 = derived from spec.base_seed).
+  std::uint64_t audit_seed = 0;
+  /// Optional shared breaker; when it trips, later chunks execute in full.
+  PruneController* controller = nullptr;
+};
+
+/// Batched campaign executor with an optional predict-and-prune stage. Same
+/// record/status/report contract and the same per-trial semantics as
+/// `run_campaign` — an *executed* trial `i` always computes from a fresh Rng
+/// seeded with `trial_seed(spec.base_seed, i)`, failed trials retry up to
+/// `spec.max_retries` times with backoff, and executed results are
 /// bit-identical for every thread count AND to the reference engine. What
 /// changes is the execution shape: plain specs (see `plain_campaign_spec`)
 /// run in chunks of trials claimed by `parallel_for_chunks`, per-chunk seed
@@ -496,12 +595,26 @@ struct BatchOptions {
 /// records are written straight into their slots — no per-trial
 /// encode/decode round trip, no per-trial heap traffic, no per-trial ring
 /// events (progress counters are maintained per chunk; the Aggregator's
-/// trials/s rates derive from counter deltas and keep working). Non-plain
-/// specs and `force_reference` fall back to `run_campaign` wholesale, so
-/// checkpoint/resume, deadlines, and budgets keep their exact semantics.
+/// trials/s rates derive from counter deltas and keep working).
+///
+/// The prune stage (DESIGN.md §13) runs when `hooks.predict` is set: each
+/// chunk is scored before execution, predicted-benign trials are skipped
+/// with `TrialStatus::kPruned` (value-initialized record), except for a
+/// seeded audit fraction that executes anyway so the live false-benign rate
+/// stays measurable. Which trials are pruned is a pure function of
+/// (predictions, audit_seed) — never of thread or chunk boundaries — so
+/// `audit_fraction = 1.0` reproduces prune=off outcomes bit-identically at
+/// any thread count. A tripped PruneController stops pruning on chunks that
+/// score after the trip; trials already marked kPruned stay pruned.
+///
+/// Non-plain specs and `force_reference` fall back to `run_campaign`
+/// wholesale (checkpoint/resume, deadlines, and budgets keep their exact
+/// semantics) — the reference engine never prunes, so hooks are ignored on
+/// that path and every trial executes.
 template <typename Record, typename Codec = PodCodec<Record>, typename TrialFn>
-CampaignResult<Record> run_campaign_batched(const CampaignSpec& spec, TrialFn&& trial,
-                                            const BatchOptions& opt = {}) {
+CampaignResult<Record> run_campaign_pruned(const CampaignSpec& spec, TrialFn&& trial,
+                                           const PruneHooks<Record>& hooks,
+                                           const BatchOptions& opt = {}) {
   if (opt.force_reference || !campaign_batch_enabled() || !plain_campaign_spec(spec)) {
     return run_campaign<Record, Codec>(
         spec, std::function<Record(std::size_t, Rng&, const CancelToken&)>(
@@ -515,17 +628,31 @@ CampaignResult<Record> run_campaign_batched(const CampaignSpec& spec, TrialFn&& 
   if (n == 0) return out;
 
   std::atomic<std::size_t> retries{0}, suppressed{0};
+  std::atomic<std::size_t> audits{0}, false_benign{0};
   std::mutex err_mu;
   std::string first_error;
   const std::size_t chunk = resolve_trial_chunk(opt.chunk);
+  const bool pruning = static_cast<bool>(hooks.predict);
+  const double audit_fraction = pruning ? resolve_prune_audit(hooks.audit_fraction) : 0.0;
+  // Decorrelate the audit subsample from the trial seed stream by default.
+  const std::uint64_t audit_seed =
+      hooks.audit_seed != 0 ? hooks.audit_seed : spec.base_seed ^ 0x9e3779b97f4a7c15ULL;
 
   obs::Counter* completed_counter = nullptr;
+  obs::Counter* pruned_counter = nullptr;
+  obs::Counter* audit_counter = nullptr;
+  obs::Counter* false_benign_counter = nullptr;
   obs::Gauge* progress_gauge = nullptr;
   std::atomic<std::size_t> completed_so_far{0};
   if (obs::kCompiledIn && obs::enabled()) {
     auto& registry = obs::MetricsRegistry::global();
     completed_counter = &registry.counter("campaign.trials_completed");
     progress_gauge = &registry.gauge("campaign.progress");
+    if (pruning) {
+      pruned_counter = &registry.counter("campaign.trials_pruned");
+      audit_counter = &registry.counter("campaign.prune_audits");
+      false_benign_counter = &registry.counter("campaign.prune_false_benign");
+    }
   }
 
   parallel_for_chunks(n, spec.threads, chunk, [&](std::size_t begin, std::size_t end) {
@@ -533,9 +660,28 @@ CampaignResult<Record> run_campaign_batched(const CampaignSpec& spec, TrialFn&& 
     ArenaScope epoch(arena);
     const auto seeds = arena.alloc<std::uint64_t>(end - begin);
     kernels::fill_trial_seeds(seeds, spec.base_seed, begin);
+    // Re-evaluated per chunk so a controller trip stops pruning on every
+    // chunk scored after it.
+    const bool prune_chunk =
+        pruning && (hooks.controller == nullptr || hooks.controller->enabled());
+    std::span<std::uint8_t> benign;
+    if (prune_chunk) {
+      benign = arena.alloc<std::uint8_t>(end - begin, /*zeroed=*/true);
+      hooks.predict(begin, end, std::span<const std::uint64_t>(seeds), benign);
+    }
     const CancelToken cancel;  // plain specs have no deadline
     std::size_t chunk_ok = 0, chunk_retries = 0, chunk_suppressed = 0;
+    std::size_t chunk_pruned = 0, chunk_audits = 0, chunk_false_benign = 0;
     for (std::size_t i = begin; i < end; ++i) {
+      const bool predicted_benign = prune_chunk && benign[i - begin] != 0;
+      const bool audited =
+          predicted_benign && prune_audit_selected(audit_seed, i, audit_fraction);
+      if (predicted_benign && !audited) {
+        out.status[i] = TrialStatus::kPruned;
+        out.records[i] = Record{};
+        ++chunk_pruned;
+        continue;
+      }
       for (unsigned attempt = 0; attempt <= spec.max_retries; ++attempt) {
         if (attempt > 0) {
           ++chunk_retries;
@@ -560,11 +706,30 @@ CampaignResult<Record> run_campaign_batched(const CampaignSpec& spec, TrialFn&& 
           if (first_error.empty()) first_error = "unknown trial exception";
         }
       }
-      if (out.status[i] != TrialStatus::kOk) out.records[i] = Record{};
+      if (out.status[i] != TrialStatus::kOk) {
+        out.records[i] = Record{};
+        continue;
+      }
+      if (audited) {
+        const bool truth = hooks.is_benign ? hooks.is_benign(out.records[i]) : true;
+        ++chunk_audits;
+        if (!truth) ++chunk_false_benign;
+        if (hooks.controller) hooks.controller->record_audit(truth);
+      }
+      if (hooks.on_executed)
+        hooks.on_executed(i, out.records[i], predicted_benign, audited);
     }
     if (chunk_retries) retries.fetch_add(chunk_retries, std::memory_order_relaxed);
     if (chunk_suppressed)
       suppressed.fetch_add(chunk_suppressed, std::memory_order_relaxed);
+    if (chunk_pruned && hooks.controller) hooks.controller->record_pruned(chunk_pruned);
+    if (chunk_audits) audits.fetch_add(chunk_audits, std::memory_order_relaxed);
+    if (chunk_false_benign)
+      false_benign.fetch_add(chunk_false_benign, std::memory_order_relaxed);
+    if (pruned_counter && chunk_pruned) pruned_counter->add(chunk_pruned);
+    if (audit_counter && chunk_audits) audit_counter->add(chunk_audits);
+    if (false_benign_counter && chunk_false_benign)
+      false_benign_counter->add(chunk_false_benign);
     if (completed_counter && chunk_ok) {
       completed_counter->add(chunk_ok);
       const auto done =
@@ -579,10 +744,24 @@ CampaignResult<Record> run_campaign_batched(const CampaignSpec& spec, TrialFn&& 
       kernels::count_equal_u8(status_bytes, static_cast<std::uint8_t>(TrialStatus::kOk));
   out.report.failed = kernels::count_equal_u8(
       status_bytes, static_cast<std::uint8_t>(TrialStatus::kFailed));
+  out.report.pruned = kernels::count_equal_u8(
+      status_bytes, static_cast<std::uint8_t>(TrialStatus::kPruned));
+  out.report.prune_audits = audits.load(std::memory_order_relaxed);
+  out.report.prune_false_benign = false_benign.load(std::memory_order_relaxed);
+  out.report.prune_disabled =
+      pruning && hooks.controller != nullptr && hooks.controller->tripped();
   out.report.retries = retries.load(std::memory_order_relaxed);
   out.report.suppressed_exceptions = suppressed.load(std::memory_order_relaxed);
   out.report.first_error = std::move(first_error);
   return out;
+}
+
+/// `run_campaign_pruned` with no prune stage — the PR 6 batched fast path.
+template <typename Record, typename Codec = PodCodec<Record>, typename TrialFn>
+CampaignResult<Record> run_campaign_batched(const CampaignSpec& spec, TrialFn&& trial,
+                                            const BatchOptions& opt = {}) {
+  return run_campaign_pruned<Record, Codec>(spec, std::forward<TrialFn>(trial),
+                                            PruneHooks<Record>{}, opt);
 }
 
 }  // namespace lore

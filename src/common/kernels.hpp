@@ -25,6 +25,7 @@
 // invariant after a shifting operation.
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cstddef>
@@ -207,6 +208,59 @@ inline void rotate_left_bits(std::span<std::uint64_t> out,
 }
 
 // ---------------------------------------------------------------------------
+// Panel layout for batched ML inference (DESIGN.md §13).
+//
+// Feature rows are packed into blocks ("panels") of `kPanelLanes` rows with
+// the features of one block interleaved lane-wise: one feature of 4
+// consecutive rows is one contiguous 4-double load. The blocked kernels below
+// run 4 independent rows per pass, each accumulating feature-sequentially in
+// exactly the order of the per-sample reference — vectorization is across
+// rows, never within a row's accumulation, which is what keeps scalar and
+// AVX2 results bit-identical (no reassociation, no FMA contraction).
+//
+// Only kNN uses panels: its training block is packed once at fit() and then
+// streamed by every query, so the layout cost is amortized away. The SVM and
+// tree-ensemble kernels read row-major feature blocks directly instead —
+// packing per predict_batch call costs more memory traffic than their tiny
+// per-row arithmetic saves, and tree traversal in panel layout needs either
+// hardware gathers (a measured ~3x pessimization on gather-mitigated Intel
+// cores) or strided loads that defeat the row's cache-line locality.
+
+inline constexpr std::size_t kPanelLanes = 4;
+
+/// Rows rounded up to a whole number of panel lanes.
+constexpr std::size_t panel_rows_padded(std::size_t rows) {
+  return (rows + kPanelLanes - 1) / kPanelLanes * kPanelLanes;
+}
+
+/// Doubles needed to hold a `rows` x `cols` block in panel layout.
+constexpr std::size_t panel_size(std::size_t rows, std::size_t cols) {
+  return panel_rows_padded(rows) * cols;
+}
+
+/// Flat index of element (row, col) in panel layout.
+constexpr std::size_t panel_index(std::size_t row, std::size_t col, std::size_t cols) {
+  return (row / kPanelLanes) * (kPanelLanes * cols) + col * kPanelLanes +
+         row % kPanelLanes;
+}
+
+/// Flattened structure-of-arrays forest for batched tree-ensemble traversal:
+/// the nodes of every tree share five parallel arrays (gather-friendly), and
+/// `root[t]` indexes tree t's root. `feature[n] < 0` marks node n a leaf
+/// whose payload is `value[n]`; interior nodes branch left when
+/// x[feature] <= threshold, exactly like ml::DecisionTree.
+struct TreeSoa {
+  std::vector<std::int32_t> feature;
+  std::vector<double> threshold;
+  std::vector<std::int32_t> left, right;
+  std::vector<double> value;
+  std::vector<std::int32_t> root;
+
+  std::size_t tree_count() const { return root.size(); }
+  std::size_t node_count() const { return feature.size(); }
+};
+
+// ---------------------------------------------------------------------------
 // Batch trial kernels with runtime SIMD dispatch (DESIGN.md §11).
 
 /// Implementation selected by the dispatched batch-kernel entry points.
@@ -270,6 +324,168 @@ inline std::size_t count_equal_u8(std::span<const std::uint8_t> v, std::uint8_t 
   return n;
 }
 
+/// Pack a row-major [rows x cols] block into panel layout (see panel_index);
+/// the padding lanes of a final partial panel are zeroed so blocked kernels
+/// can run them harmlessly.
+inline void pack_row_panels(std::span<double> out, const double* src, std::size_t rows,
+                            std::size_t cols) {
+  assert(out.size() == panel_size(rows, cols));
+  const std::size_t padded = panel_rows_padded(rows);
+  for (std::size_t r = 0; r < padded; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      out[panel_index(r, c, cols)] = r < rows ? src[r * cols + c] : 0.0;
+}
+
+/// out[qi * rows + r] = squared L2 distance between query qi and panel row r,
+/// for `qn` (1..kPanelLanes) queries per call. Each (query, row) pair
+/// accumulates feature-sequentially, exactly like `l2_distance_sq`, so every
+/// result is bit-identical to the per-row reference. The scalar walk is
+/// query-major (one full panel pass per query): sharing the panel pass across
+/// queries only pays in the register-tiled AVX2 variant, and measured slower
+/// here — the campaign-scale panel sits in cache anyway.
+inline void l2_sq_blocked(std::span<double> out, const double* q, std::size_t qn,
+                          std::span<const double> panel, std::size_t rows,
+                          std::size_t cols) {
+  assert(qn >= 1 && qn <= kPanelLanes && out.size() >= qn * rows &&
+         panel.size() == panel_size(rows, cols));
+  for (std::size_t qi = 0; qi < qn; ++qi) {
+    const double* qv = q + qi * cols;
+    double* out_q = out.data() + qi * rows;
+    for (std::size_t base = 0; base < rows; base += kPanelLanes) {
+      const double* block = panel.data() + (base / kPanelLanes) * kPanelLanes * cols;
+      const std::size_t lanes = std::min(kPanelLanes, rows - base);
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < cols; ++c) {
+          const double d = block[c * kPanelLanes + lane] - qv[c];
+          s += d * d;
+        }
+        out_q[base + lane] = s;
+      }
+    }
+  }
+}
+
+/// out[r] = dot(w, row r of the row-major [rows x cols] block `x`), four
+/// independent feature-sequential accumulation chains in flight (bit-identical
+/// to the `dot` reference — interleaving rows never reorders a row's sum).
+inline void dot_rows(std::span<double> out, std::span<const double> w, const double* x,
+                     std::size_t rows, std::size_t cols) {
+  assert(out.size() >= rows && w.size() == cols);
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const double* a = x + r * cols;
+    const double* b = a + cols;
+    const double* c2 = b + cols;
+    const double* d = c2 + cols;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double wc = w[c];
+      s0 += wc * a[c];
+      s1 += wc * b[c];
+      s2 += wc * c2[c];
+      s3 += wc * d[c];
+    }
+    out[r] = s0;
+    out[r + 1] = s1;
+    out[r + 2] = s2;
+    out[r + 3] = s3;
+  }
+  for (; r < rows; ++r) {
+    const double* row = x + r * cols;
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) s += w[c] * row[c];
+    out[r] = s;
+  }
+}
+
+/// Indices of the `out_idx.size()` smallest values under the total order
+/// (value, index) — ties break toward the lower index, so the selected set
+/// and its output order (ascending) are unique regardless of implementation.
+/// The kNN top-k primitive.
+inline void top_k_select(std::span<const double> values, std::span<std::uint32_t> out_idx) {
+  const std::size_t k = out_idx.size();
+  assert(k > 0 && k <= values.size());
+  std::size_t filled = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double v = values[i];
+    if (filled == k && !(v < values[out_idx[k - 1]])) continue;
+    std::size_t pos = filled < k ? filled++ : k - 1;
+    while (pos > 0 && v < values[out_idx[pos - 1]]) {
+      out_idx[pos] = out_idx[pos - 1];
+      --pos;
+    }
+    out_idx[pos] = static_cast<std::uint32_t>(i);
+  }
+}
+
+/// out[r] += scale * leaf_value(tree, row r of the row-major block `x`) for
+/// every tree of `forest`, accumulated tree-by-tree in forest order — the
+/// same per-sample accumulation sequence as the reference
+/// (base + sum of lr * tree.predict_value), so margins stay bit-identical.
+/// Four rows traverse in interleaved lockstep: each step issues four
+/// independent node loads, hiding the pointer-chase latency the one-row-at-
+/// a-time walk is bound by. Lanes that reach a leaf park until the slowest
+/// lane finishes the tree.
+inline void tree_accumulate_rows(std::span<double> out, const TreeSoa& forest,
+                                 const double* x, std::size_t rows, std::size_t cols,
+                                 double scale) {
+  assert(out.size() >= rows);
+  const std::int32_t* feat = forest.feature.data();
+  const double* thr = forest.threshold.data();
+  const std::int32_t* lft = forest.left.data();
+  const std::int32_t* rgt = forest.right.data();
+  const double* val = forest.value.data();
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const double* x0 = x + r * cols;
+    const double* x1 = x0 + cols;
+    const double* x2 = x1 + cols;
+    const double* x3 = x2 + cols;
+    double s0 = out[r], s1 = out[r + 1], s2 = out[r + 2], s3 = out[r + 3];
+    for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+      std::int32_t n0 = forest.root[t], n1 = n0, n2 = n0, n3 = n0;
+      std::int32_t f0 = feat[n0], f1 = f0, f2 = f0, f3 = f0;
+      while (std::max(std::max(f0, f1), std::max(f2, f3)) >= 0) {
+        if (f0 >= 0) {
+          n0 = x0[f0] <= thr[n0] ? lft[n0] : rgt[n0];
+          f0 = feat[n0];
+        }
+        if (f1 >= 0) {
+          n1 = x1[f1] <= thr[n1] ? lft[n1] : rgt[n1];
+          f1 = feat[n1];
+        }
+        if (f2 >= 0) {
+          n2 = x2[f2] <= thr[n2] ? lft[n2] : rgt[n2];
+          f2 = feat[n2];
+        }
+        if (f3 >= 0) {
+          n3 = x3[f3] <= thr[n3] ? lft[n3] : rgt[n3];
+          f3 = feat[n3];
+        }
+      }
+      s0 += scale * val[n0];
+      s1 += scale * val[n1];
+      s2 += scale * val[n2];
+      s3 += scale * val[n3];
+    }
+    out[r] = s0;
+    out[r + 1] = s1;
+    out[r + 2] = s2;
+    out[r + 3] = s3;
+  }
+  for (; r < rows; ++r) {
+    const double* row = x + r * cols;
+    double s = out[r];
+    for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+      std::int32_t node = forest.root[t];
+      while (feat[node] >= 0) node = row[feat[node]] <= thr[node] ? lft[node] : rgt[node];
+      s += scale * val[node];
+    }
+    out[r] = s;
+  }
+}
+
 }  // namespace scalar
 
 #if LORE_SIMD_COMPILED
@@ -283,6 +499,9 @@ std::size_t count_mismatch_u32(std::span<const std::uint32_t> a,
                                std::span<const std::uint32_t> b);
 void copy_u32(std::span<std::uint32_t> dst, std::span<const std::uint32_t> src);
 std::size_t count_equal_u8(std::span<const std::uint8_t> v, std::uint8_t value);
+void l2_sq_blocked(std::span<double> out, const double* q, std::size_t qn,
+                   std::span<const double> panel, std::size_t rows, std::size_t cols);
+void top_k_select(std::span<const double> values, std::span<std::uint32_t> out_idx);
 }  // namespace avx2
 #endif
 
@@ -317,6 +536,47 @@ inline std::size_t count_equal_u8(std::span<const std::uint8_t> v, std::uint8_t 
   if (active_dispatch() == Dispatch::kAvx2) return avx2::count_equal_u8(v, value);
 #endif
   return scalar::count_equal_u8(v, value);
+}
+
+/// Panel packing is a pure memory shuffle (no arithmetic to vectorize away
+/// from the reference); exposed unqualified for a uniform call surface.
+inline void pack_row_panels(std::span<double> out, const double* src, std::size_t rows,
+                            std::size_t cols) {
+  scalar::pack_row_panels(out, src, rows, cols);
+}
+
+inline void l2_sq_blocked(std::span<double> out, const double* q, std::size_t qn,
+                          std::span<const double> panel, std::size_t rows,
+                          std::size_t cols) {
+#if LORE_SIMD_COMPILED
+  if (active_dispatch() == Dispatch::kAvx2)
+    return avx2::l2_sq_blocked(out, q, qn, panel, rows, cols);
+#endif
+  scalar::l2_sq_blocked(out, q, qn, panel, rows, cols);
+}
+
+inline void top_k_select(std::span<const double> values, std::span<std::uint32_t> out_idx) {
+#if LORE_SIMD_COMPILED
+  if (active_dispatch() == Dispatch::kAvx2) return avx2::top_k_select(values, out_idx);
+#endif
+  scalar::top_k_select(values, out_idx);
+}
+
+/// `dot_rows` and `tree_accumulate_rows` have no AVX2 variant on purpose:
+/// both read row-major rows, so cross-row vectorization needs either strided
+/// loads or hardware gathers, and gathers measure ~3x SLOWER than the
+/// interleaved scalar walk on gather-mitigated Intel cores. The scalar
+/// kernels already extract the available parallelism (four independent
+/// dependency chains in flight); exposed unqualified for a uniform surface.
+inline void dot_rows(std::span<double> out, std::span<const double> w, const double* x,
+                     std::size_t rows, std::size_t cols) {
+  scalar::dot_rows(out, w, x, rows, cols);
+}
+
+inline void tree_accumulate_rows(std::span<double> out, const TreeSoa& forest,
+                                 const double* x, std::size_t rows, std::size_t cols,
+                                 double scale) {
+  scalar::tree_accumulate_rows(out, forest, x, rows, cols, scale);
 }
 
 }  // namespace lore::kernels

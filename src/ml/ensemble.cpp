@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/common/parallel.hpp"
+
 namespace lore::ml {
 namespace {
 
@@ -198,6 +200,63 @@ void GradientBoostingClassifier::fit(const Matrix& x, std::span<const int> y) {
       trees_[head].push_back(std::move(tree));
     }
   }
+
+  // Flatten every head's forest once so batched inference never touches the
+  // pointer-heavy DecisionTree storage.
+  feature_dim_ = x.cols();
+  packed_.assign(heads, {});
+  for (std::size_t head = 0; head < heads; ++head)
+    for (const auto& tree : trees_[head]) tree.pack_into(packed_[head]);
+}
+
+void GradientBoostingClassifier::margin_batch(std::size_t head, const double* x,
+                                              std::size_t n, std::span<double> out,
+                                              unsigned threads) const {
+  assert(head < packed_.size() && out.size() >= n);
+  if (n == 0) return;
+  const std::size_t p = feature_dim_;
+  // Row-major traversal — a row's features share a cache line, where panel
+  // layout strides them 32 bytes apart and needs gathers to win them back.
+  parallel_for_chunks(n, threads, 256, [&](std::size_t begin, std::size_t end) {
+    const std::size_t rows = end - begin;
+    for (std::size_t r = begin; r < end; ++r) out[r] = base_[head];
+    kernels::tree_accumulate_rows(out.subspan(begin, rows), packed_[head],
+                                  x + begin * p, rows, p, cfg_.learning_rate);
+  });
+}
+
+std::vector<int> GradientBoostingClassifier::predict_batch(const Matrix& x) const {
+  const std::size_t n = x.rows();
+  std::vector<int> out(n);
+  if (n == 0) return out;
+  const std::size_t heads = packed_.size();
+  if (heads == 1) {
+    // Binary: argmax of {1-p, p} is exactly margin > 0.
+    std::vector<double> margin(n);
+    margin_batch(0, x.flat().data(), n, margin);
+    for (std::size_t r = 0; r < n; ++r) out[r] = margin[r] > 0.0 ? 1 : 0;
+    return out;
+  }
+  std::vector<std::vector<double>> margin(heads, std::vector<double>(n));
+  for (std::size_t h = 0; h < heads; ++h) margin_batch(h, x.flat().data(), n, margin[h]);
+  // Replicate the reference softmax + first-max argmax arithmetic exactly on
+  // the (bit-identical) margins so degenerate ties resolve the same way.
+  std::vector<double> s(heads);
+  for (std::size_t r = 0; r < n; ++r) {
+    double hi = -1e30;
+    for (std::size_t h = 0; h < heads; ++h) {
+      s[h] = margin[h][r];
+      hi = std::max(hi, s[h]);
+    }
+    double sum = 0.0;
+    for (auto& v : s) {
+      v = std::exp(v - hi);
+      sum += v;
+    }
+    for (auto& v : s) v /= sum;
+    out[r] = static_cast<int>(std::max_element(s.begin(), s.end()) - s.begin());
+  }
+  return out;
 }
 
 double GradientBoostingClassifier::score(std::size_t head, std::span<const double> x) const {

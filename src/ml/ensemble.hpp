@@ -109,14 +109,27 @@ class GradientBoostingClassifier final : public Classifier {
   std::vector<double> predict_proba(std::span<const double> x) const override;
   std::string name() const override { return "gbdt"; }
 
+  /// Batched raw margins of head `head` for a row-major [n x feature_dim]
+  /// query block: the flattened forest (packed once at fit) is traversed by
+  /// the node-batch kernel with Arena scratch, bit-identical to per-sample
+  /// score() (DESIGN.md §13).
+  void margin_batch(std::size_t head, const double* x, std::size_t n,
+                    std::span<double> out, unsigned threads = 0) const;
+  std::vector<int> predict_batch(const Matrix& x) const override;
+
+  std::size_t feature_dim() const { return feature_dim_; }
+  std::size_t head_count() const { return trees_.size(); }
+
  private:
   /// Raw additive score for one one-vs-rest head.
   double score(std::size_t cls, std::span<const double> x) const;
 
   Config cfg_;
   std::size_t num_classes_ = 0;
+  std::size_t feature_dim_ = 0;
   std::vector<double> base_;                       // per class
   std::vector<std::vector<DecisionTree>> trees_;   // [class][round]
+  std::vector<kernels::TreeSoa> packed_;           // per head, built at fit
 };
 
 }  // namespace lore::ml

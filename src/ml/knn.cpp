@@ -4,7 +4,21 @@
 #include <cassert>
 #include <numeric>
 
+#include "src/common/arena.hpp"
+#include "src/common/parallel.hpp"
+
 namespace lore::ml {
+namespace {
+
+/// Queries per work chunk of the batched path; each query scans the whole
+/// training panel, so chunks stay small to keep claims balanced.
+constexpr std::size_t kQueryChunk = 16;
+
+int argmax_first(std::span<const double> v) {
+  return static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace
 
 void KnnClassifier::fit(const Matrix& x, std::span<const int> y) {
   assert(x.rows() == y.size() && x.rows() > 0);
@@ -12,32 +26,112 @@ void KnnClassifier::fit(const Matrix& x, std::span<const int> y) {
   train_y_.assign(y.begin(), y.end());
   num_classes_ = 0;
   for (int label : y) num_classes_ = std::max<std::size_t>(num_classes_, static_cast<std::size_t>(label) + 1);
+  panel_.assign(kernels::panel_size(x.rows(), x.cols()), 0.0);
+  kernels::pack_row_panels(panel_, x.flat().data(), x.rows(), x.cols());
 }
 
-std::vector<std::size_t> KnnClassifier::neighbours(std::span<const double> x) const {
-  const std::size_t k = std::min(k_, train_x_.rows());
-  std::vector<double> dist(train_x_.rows());
-  for (std::size_t r = 0; r < train_x_.rows(); ++r) dist[r] = l2_distance(train_x_.row(r), x);
-  std::vector<std::size_t> idx(train_x_.rows());
-  std::iota(idx.begin(), idx.end(), 0);
-  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end(),
-                    [&](std::size_t a, std::size_t b) { return dist[a] < dist[b]; });
-  idx.resize(k);
-  return idx;
+void KnnClassifier::neighbours_into(std::span<const double> x, KnnScratch& s) const {
+  const std::size_t n = train_x_.rows();
+  const std::size_t k = std::min(k_, n);
+  s.dist.resize(n);
+  for (std::size_t r = 0; r < n; ++r)
+    s.dist[r] = kernels::l2_distance_sq(train_x_.row(r), x);
+  s.idx.resize(n);
+  std::iota(s.idx.begin(), s.idx.end(), 0u);
+  // (distance, index) lexicographic: a unique total order, so the selected
+  // set and its order match the batched top-k kernel exactly (squared
+  // distance orders identically to the distance itself).
+  std::partial_sort(s.idx.begin(), s.idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    s.idx.end(), [&](std::uint32_t a, std::uint32_t b) {
+                      return s.dist[a] < s.dist[b] || (s.dist[a] == s.dist[b] && a < b);
+                    });
+  s.idx.resize(k);
 }
 
 int KnnClassifier::predict(std::span<const double> x) const {
-  const auto proba = predict_proba(x);
-  return static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
+  thread_local KnnScratch scratch;
+  return predict(x, scratch);
 }
 
 std::vector<double> KnnClassifier::predict_proba(std::span<const double> x) const {
+  thread_local KnnScratch scratch;
+  return predict_proba(x, scratch);
+}
+
+int KnnClassifier::predict(std::span<const double> x, KnnScratch& scratch) const {
   assert(!train_y_.empty());
+  neighbours_into(x, scratch);
+  scratch.votes.assign(num_classes_, 0.0);
+  for (auto i : scratch.idx) scratch.votes[static_cast<std::size_t>(train_y_[i])] += 1.0;
+  for (auto& v : scratch.votes) v /= static_cast<double>(scratch.idx.size());
+  return argmax_first(scratch.votes);
+}
+
+std::vector<double> KnnClassifier::predict_proba(std::span<const double> x,
+                                                 KnnScratch& scratch) const {
+  assert(!train_y_.empty());
+  neighbours_into(x, scratch);
   std::vector<double> votes(num_classes_, 0.0);
-  const auto nn = neighbours(x);
-  for (auto i : nn) votes[static_cast<std::size_t>(train_y_[i])] += 1.0;
-  for (auto& v : votes) v /= static_cast<double>(nn.size());
+  for (auto i : scratch.idx) votes[static_cast<std::size_t>(train_y_[i])] += 1.0;
+  for (auto& v : votes) v /= static_cast<double>(scratch.idx.size());
   return votes;
+}
+
+void KnnClassifier::predict_batch(const double* x, std::size_t n, std::span<int> out,
+                                  unsigned threads) const {
+  assert(!train_y_.empty() && out.size() >= n);
+  if (n == 0) return;
+  const std::size_t rows = train_x_.rows(), cols = train_x_.cols();
+  const std::size_t k = std::min(k_, rows);
+  parallel_for_chunks(n, threads, kQueryChunk, [&](std::size_t begin, std::size_t end) {
+    Arena& arena = Arena::for_thread();
+    ArenaScope epoch(arena);
+    const auto dist = arena.alloc<double>(kernels::kPanelLanes * rows);
+    const auto idx = arena.alloc<std::uint32_t>(k);
+    const auto votes = arena.alloc<double>(num_classes_);
+    // Tiles of up to 4 queries share each pass over the training panel.
+    for (std::size_t q = begin; q < end; q += kernels::kPanelLanes) {
+      const std::size_t qn = std::min(kernels::kPanelLanes, end - q);
+      kernels::l2_sq_blocked(dist, x + q * cols, qn, panel_, rows, cols);
+      for (std::size_t qi = 0; qi < qn; ++qi) {
+        kernels::top_k_select(dist.subspan(qi * rows, rows), idx);
+        for (std::size_t c = 0; c < num_classes_; ++c) votes[c] = 0.0;
+        for (auto i : idx) votes[static_cast<std::size_t>(train_y_[i])] += 1.0;
+        for (auto& v : votes) v /= static_cast<double>(k);
+        out[q + qi] = argmax_first(votes);
+      }
+    }
+  });
+}
+
+void KnnClassifier::class_votes_batch(const double* x, std::size_t n, int cls,
+                                      std::span<double> out, unsigned threads) const {
+  assert(!train_y_.empty() && out.size() >= n);
+  if (n == 0) return;
+  const std::size_t rows = train_x_.rows(), cols = train_x_.cols();
+  const std::size_t k = std::min(k_, rows);
+  parallel_for_chunks(n, threads, kQueryChunk, [&](std::size_t begin, std::size_t end) {
+    Arena& arena = Arena::for_thread();
+    ArenaScope epoch(arena);
+    const auto dist = arena.alloc<double>(kernels::kPanelLanes * rows);
+    const auto idx = arena.alloc<std::uint32_t>(k);
+    for (std::size_t q = begin; q < end; q += kernels::kPanelLanes) {
+      const std::size_t qn = std::min(kernels::kPanelLanes, end - q);
+      kernels::l2_sq_blocked(dist, x + q * cols, qn, panel_, rows, cols);
+      for (std::size_t qi = 0; qi < qn; ++qi) {
+        kernels::top_k_select(dist.subspan(qi * rows, rows), idx);
+        double v = 0.0;
+        for (auto i : idx) v += train_y_[i] == cls ? 1.0 : 0.0;
+        out[q + qi] = v / static_cast<double>(k);
+      }
+    }
+  });
+}
+
+std::vector<int> KnnClassifier::predict_batch(const Matrix& x) const {
+  std::vector<int> out(x.rows());
+  predict_batch(x.flat().data(), x.rows(), out);
+  return out;
 }
 
 }  // namespace lore::ml

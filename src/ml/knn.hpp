@@ -1,13 +1,33 @@
 // k-nearest-neighbour classifier — one of the "simple ML models" the paper
 // cites for flip-flop vulnerability prediction ([20], Sec. III-B1).
+//
+// Two inference paths (DESIGN.md §13):
+//  * the per-sample reference (`predict`/`predict_proba`): squared-distance
+//    scan + partial sort under the (distance, index) total order;
+//  * the batched hot path (`predict_batch`/`class_votes_batch`): the training
+//    set lives in a packed panel (built once at fit), queries stream through
+//    the blocked L2 + top-k kernels with Arena scratch — zero per-query heap
+//    allocation, runtime-dispatched scalar/AVX2, bit-identical to the
+//    reference by the shared total order.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "src/common/kernels.hpp"
 #include "src/ml/model.hpp"
 
 namespace lore::ml {
+
+/// Reusable distance/index/vote scratch for the per-sample path, so replay
+/// loops don't allocate a fresh distance vector per call (the buffers warm up
+/// on first use and are reused verbatim afterwards).
+struct KnnScratch {
+  std::vector<double> dist;
+  std::vector<std::uint32_t> idx;
+  std::vector<double> votes;
+};
 
 class KnnClassifier final : public Classifier {
  public:
@@ -18,14 +38,33 @@ class KnnClassifier final : public Classifier {
   std::vector<double> predict_proba(std::span<const double> x) const override;
   std::string name() const override { return "knn"; }
 
+  /// Allocation-free per-sample variants: all working storage comes from
+  /// `scratch`, which the caller keeps across calls.
+  int predict(std::span<const double> x, KnnScratch& scratch) const;
+  std::vector<double> predict_proba(std::span<const double> x, KnnScratch& scratch) const;
+
+  /// Batched hot path over a row-major [n x cols] query block.
+  std::vector<int> predict_batch(const Matrix& x) const override;
+  void predict_batch(const double* x, std::size_t n, std::span<int> out,
+                     unsigned threads = 0) const;
+  /// out[r] = fraction of the k nearest training rows labeled `cls` (the
+  /// vote share the Predictor thresholds into a benign probability).
+  void class_votes_batch(const double* x, std::size_t n, int cls, std::span<double> out,
+                         unsigned threads = 0) const;
+
+  std::size_t feature_dim() const { return train_x_.cols(); }
+  std::size_t num_classes() const { return num_classes_; }
+
  private:
-  /// Indices of the k nearest training rows to `x`.
-  std::vector<std::size_t> neighbours(std::span<const double> x) const;
+  /// Reference neighbour selection: fills `scratch.idx[0..k)` with the k
+  /// nearest training rows under the (squared distance, index) total order.
+  void neighbours_into(std::span<const double> x, KnnScratch& scratch) const;
 
   std::size_t k_;
   Matrix train_x_;
   std::vector<int> train_y_;
   std::size_t num_classes_ = 0;
+  std::vector<double> panel_;  // training rows in panel layout (built at fit)
 };
 
 }  // namespace lore::ml

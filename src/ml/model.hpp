@@ -24,7 +24,11 @@ class Classifier {
   virtual std::vector<double> predict_proba(std::span<const double> x) const;
   virtual std::string name() const = 0;
 
-  std::vector<int> predict_batch(const Matrix& x) const;
+  /// Predicted class per row. The base implementation is the per-sample
+  /// reference loop; learners with a batched inference hot path (knn, svm,
+  /// gbdt — DESIGN.md §13) override it, staying bit-identical to this loop
+  /// (pinned by tests/ml/predict_batch_test).
+  virtual std::vector<int> predict_batch(const Matrix& x) const;
   void fit(const Dataset& d) { fit(d.x, d.labels); }
 };
 

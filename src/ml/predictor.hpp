@@ -1,0 +1,150 @@
+// Online vulnerability-prediction service (DESIGN.md §13).
+//
+// The paper's ML-assisted fault injection needs a model *inside* the
+// campaign loop: score a chunk of fault descriptors, skip the
+// predicted-benign ones, keep training on the trials that do execute. The
+// pieces here:
+//
+//  * `PredictorSnapshot` — an immutable trained model (knn / linear SVM /
+//    gbdt, all with the batched inference hot path) plus its validation
+//    pedigree. Campaign workers grab a shared_ptr and score against it with
+//    zero locking while the trainer builds the next version.
+//  * `Predictor` — the mutable service: a bounded observation buffer fed by
+//    completed trials (`observe`), periodic retraining on that buffer
+//    (`train_if_due` / a background trainer thread), a seeded holdout split
+//    for validation, and an atomic snapshot swap that only happens on a
+//    validation win — a worse candidate never replaces a better live model.
+//
+// Labels are binary: 1 = benign (the outcome pruning wants to skip),
+// 0 = anything else (SDC/crash/hang/detected).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "src/ml/ensemble.hpp"
+#include "src/ml/knn.hpp"
+#include "src/ml/svm.hpp"
+
+namespace lore::ml {
+
+enum class PredictorModel : std::uint8_t { kKnn, kSvm, kGbdt };
+
+const char* predictor_model_name(PredictorModel m);
+
+struct PredictorConfig {
+  PredictorModel model = PredictorModel::kGbdt;
+  /// P(benign) at or above which a trial counts as predicted-benign.
+  double benign_threshold = 0.9;
+  /// Observations buffered before the first training may run.
+  std::size_t min_train_samples = 64;
+  /// New observations between `train_if_due` trainings.
+  std::size_t retrain_interval = 256;
+  /// Fraction of the buffer held out (seeded split) for validation; when the
+  /// holdout would be empty the candidate validates on its training set.
+  double holdout_fraction = 0.25;
+  /// A candidate must reach this holdout accuracy AND at least the live
+  /// snapshot's accuracy to be swapped in.
+  double min_validation_accuracy = 0.6;
+  /// Observation ring capacity (oldest samples overwritten first).
+  std::size_t max_buffer = 8192;
+  std::uint64_t seed = 1;
+  // Per-family hyperparameters (only the configured family's are used).
+  std::size_t knn_k = 5;
+  LinearSvmConfig svm{};
+  GradientBoostingClassifierConfig gbdt{};
+};
+
+/// One trained, immutable model version. Thread-safe by construction: all
+/// state is written before publication and never mutated after.
+class PredictorSnapshot {
+ public:
+  std::uint64_t version() const { return version_; }
+  double validation_accuracy() const { return validation_accuracy_; }
+  std::size_t trained_on() const { return trained_on_; }
+  PredictorModel family() const { return family_; }
+
+  /// p_benign[r] = model probability that row r of the row-major
+  /// [n x feature_dim] block is benign — knn: benign vote share; svm:
+  /// 1/(1+exp(-2*margin)); gbdt: 1/(1+exp(-margin)). Batched kernels with
+  /// Arena scratch throughout (zero per-query heap allocation).
+  void predict_benign(const double* x, std::size_t n, std::span<double> p_benign,
+                      unsigned threads = 0) const;
+
+ private:
+  friend class Predictor;
+  PredictorModel family_ = PredictorModel::kGbdt;
+  std::uint64_t version_ = 0;
+  double validation_accuracy_ = 0.0;
+  std::size_t trained_on_ = 0;
+  KnnClassifier knn_;
+  LinearSvm svm_;
+  GradientBoostingClassifier gbdt_;
+};
+
+class Predictor {
+ public:
+  explicit Predictor(PredictorConfig cfg = {});
+  ~Predictor();
+
+  Predictor(const Predictor&) = delete;
+  Predictor& operator=(const Predictor&) = delete;
+
+  /// The live model, or nullptr before the first validation win.
+  std::shared_ptr<const PredictorSnapshot> snapshot() const;
+
+  /// Record one completed trial: its feature row and whether its outcome was
+  /// benign. Thread-safe; O(dim) under a mutex.
+  void observe(std::span<const double> features, bool benign);
+
+  /// Train + validate + maybe swap when at least `retrain_interval` new
+  /// observations arrived since the last training (and the buffer holds
+  /// `min_train_samples`). Returns true when a new snapshot went live.
+  bool train_if_due();
+  /// Unconditional train + validate + maybe swap (still requires
+  /// `min_train_samples` buffered). Returns true when a new snapshot went
+  /// live.
+  bool train_now();
+
+  /// Background trainer thread: polls `train_if_due` every `interval` until
+  /// `stop_background` (or destruction). Idempotent.
+  void start_background(std::chrono::milliseconds interval = std::chrono::milliseconds(50));
+  void stop_background();
+
+  const PredictorConfig& config() const { return cfg_; }
+  std::size_t observed() const;   // total observe() calls
+  std::size_t buffered() const;   // samples currently held
+  std::size_t trainings() const;  // candidates trained
+  std::uint64_t version() const;  // live snapshot version (0 = none)
+
+ private:
+  bool train_candidate();
+
+  PredictorConfig cfg_;
+
+  mutable std::mutex mu_;  // guards buffer state + snapshot pointer
+  std::shared_ptr<const PredictorSnapshot> snap_;
+  std::vector<double> features_;  // ring storage, dim-strided
+  std::vector<std::uint8_t> labels_;
+  std::size_t dim_ = 0;
+  std::size_t count_ = 0;      // samples currently in the ring
+  std::size_t write_pos_ = 0;  // next ring slot
+  std::size_t observed_total_ = 0;
+  std::size_t observed_at_last_train_ = 0;
+  std::size_t trainings_ = 0;
+  std::uint64_t next_version_ = 1;
+
+  std::mutex bg_mu_;  // guards the trainer thread handle + wakeups
+  std::condition_variable bg_cv_;
+  bool bg_stop_ = false;
+  std::thread bg_;
+};
+
+}  // namespace lore::ml

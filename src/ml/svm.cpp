@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/common/kernels.hpp"
+#include "src/common/parallel.hpp"
+
 namespace lore::ml {
 
 void LinearSvm::fit(const Matrix& x, std::span<const int> y) {
@@ -32,6 +35,28 @@ void LinearSvm::fit(const Matrix& x, std::span<const int> y) {
 double LinearSvm::decision(std::span<const double> x) const {
   assert(x.size() == w_.size());
   return dot(w_, x) + b_;
+}
+
+void LinearSvm::decision_batch(const double* x, std::size_t n, std::span<double> out,
+                               unsigned threads) const {
+  assert(!w_.empty() && out.size() >= n);
+  if (n == 0) return;
+  const std::size_t p = w_.size();
+  // Row-major interleaved dot — no packing: at campaign feature dims the
+  // pack-then-reread traffic costs more than the dot itself.
+  parallel_for_chunks(n, threads, 256, [&](std::size_t begin, std::size_t end) {
+    const std::size_t rows = end - begin;
+    kernels::dot_rows(out.subspan(begin, rows), w_, x + begin * p, rows, p);
+    for (std::size_t r = begin; r < end; ++r) out[r] += b_;
+  });
+}
+
+std::vector<int> LinearSvm::predict_batch(const Matrix& x) const {
+  std::vector<double> margin(x.rows());
+  decision_batch(x.flat().data(), x.rows(), margin);
+  std::vector<int> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = margin[r] > 0.0 ? 1 : 0;
+  return out;
 }
 
 int LinearSvm::predict(std::span<const double> x) const { return decision(x) > 0.0 ? 1 : 0; }

@@ -31,6 +31,15 @@ class LinearSvm final : public Classifier {
   /// Signed margin; positive means class 1.
   double decision(std::span<const double> x) const;
 
+  /// Batched margins for a row-major [n x w.size()] query block: queries are
+  /// packed into Arena panels and run through the blocked dot kernel
+  /// (scalar/AVX2 runtime dispatch), bit-identical to per-sample decision().
+  void decision_batch(const double* x, std::size_t n, std::span<double> out,
+                      unsigned threads = 0) const;
+  std::vector<int> predict_batch(const Matrix& x) const override;
+
+  std::size_t feature_dim() const { return w_.size(); }
+
  private:
   Config cfg_;
   std::vector<double> w_;

@@ -226,6 +226,19 @@ std::size_t DecisionTree::depth() const {
   return d;
 }
 
+void DecisionTree::pack_into(kernels::TreeSoa& soa) const {
+  assert(!nodes_.empty());
+  const auto off = static_cast<std::int32_t>(soa.node_count());
+  soa.root.push_back(off);
+  for (const Node& n : nodes_) {
+    soa.feature.push_back(n.feature);
+    soa.threshold.push_back(n.threshold);
+    soa.left.push_back(static_cast<std::int32_t>(n.left) + off);
+    soa.right.push_back(static_cast<std::int32_t>(n.right) + off);
+    soa.value.push_back(n.value);
+  }
+}
+
 void DecisionTreeClassifier::fit(const Matrix& x, std::span<const int> y) {
   std::size_t num_classes = 0;
   for (int label : y) num_classes = std::max<std::size_t>(num_classes, static_cast<std::size_t>(label) + 1);

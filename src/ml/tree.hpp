@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/kernels.hpp"
 #include "src/common/rng.hpp"
 #include "src/ml/model.hpp"
 
@@ -40,6 +41,12 @@ class DecisionTree {
 
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t depth() const;
+
+  /// Append this tree's nodes (regression payloads) to a flattened
+  /// structure-of-arrays forest for the batched traversal kernel
+  /// (kernels::tree_accumulate_rows). Node ids are rebased past the
+  /// forest's current nodes; the tree's root index lands on `soa.root`.
+  void pack_into(kernels::TreeSoa& soa) const;
 
  private:
   struct Node {

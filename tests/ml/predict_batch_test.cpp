@@ -1,0 +1,305 @@
+// Differential suite for the batched ML inference hot path (DESIGN.md §13):
+// the panel kernels (pack / multi-query blocked L2 / top-k), the row-major
+// kernels (interleaved dot / tree-ensemble traversal), and the knn / svm /
+// gbdt predict_batch overrides must be bit-identical to the per-sample
+// reference loops — across dispatch modes (scalar vs AVX2), thread counts,
+// and adversarial sizes around the panel and vector widths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/common/kernels.hpp"
+#include "src/common/rng.hpp"
+#include "src/ml/ensemble.hpp"
+#include "src/ml/knn.hpp"
+#include "src/ml/svm.hpp"
+
+namespace {
+
+using namespace lore;
+using namespace lore::ml;
+
+// Below / at / above the 4-row panel width and the 4-lane vector width, plus
+// a large size not a multiple of either.
+constexpr std::size_t kRowCounts[] = {1, 63, 64, 65, 4095};
+
+/// Restore the process-wide dispatch override on scope exit.
+class DispatchGuard {
+ public:
+  DispatchGuard() : saved_(kernels::active_dispatch()) {}
+  ~DispatchGuard() { kernels::set_dispatch(saved_); }
+
+ private:
+  kernels::Dispatch saved_;
+};
+
+bool avx2_available() {
+  DispatchGuard guard;
+  kernels::set_dispatch(kernels::Dispatch::kAvx2);
+  return kernels::active_dispatch() == kernels::Dispatch::kAvx2;
+}
+
+std::vector<double> random_doubles(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-3.0, 3.0);
+  return v;
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  const auto v = random_doubles(rows * cols, seed);
+  std::copy(v.begin(), v.end(), m.flat().begin());
+  return m;
+}
+
+std::vector<int> random_labels(std::size_t n, int classes, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> y(n);
+  for (auto& l : y) l = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(classes)));
+  return y;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-level differentials: avx2 variant == scalar reference, bitwise.
+
+TEST(PanelLayout, PackRoundTrips) {
+  for (const std::size_t rows : kRowCounts) {
+    const std::size_t cols = 7;
+    const auto src = random_doubles(rows * cols, 11 + rows);
+    std::vector<double> panel(kernels::panel_size(rows, cols), -1.0);
+    kernels::pack_row_panels(panel, src.data(), rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c)
+        ASSERT_EQ(panel[kernels::panel_index(r, c, cols)], src[r * cols + c]);
+    // Tail lanes are zero-padded.
+    for (std::size_t r = rows; r < kernels::panel_rows_padded(rows); ++r)
+      for (std::size_t c = 0; c < cols; ++c)
+        ASSERT_EQ(panel[kernels::panel_index(r, c, cols)], 0.0);
+  }
+}
+
+TEST(BlockedKernels, L2MultiQueryMatchesScalarBitwise) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this host";
+  DispatchGuard guard;
+  for (const std::size_t rows : kRowCounts) {
+    for (const std::size_t cols : {1u, 13u, 32u}) {
+      const auto src = random_doubles(rows * cols, 100 + rows + cols);
+      std::vector<double> panel(kernels::panel_size(rows, cols));
+      kernels::pack_row_panels(panel, src.data(), rows, cols);
+      // Every query-tile width the kNN hot loop can issue.
+      for (std::size_t qn = 1; qn <= kernels::kPanelLanes; ++qn) {
+        const auto q = random_doubles(qn * cols, 7 + cols + qn);
+        std::vector<double> ref(qn * rows), simd(qn * rows);
+        kernels::scalar::l2_sq_blocked(ref, q.data(), qn, panel, rows, cols);
+        kernels::set_dispatch(kernels::Dispatch::kAvx2);
+        kernels::l2_sq_blocked(simd, q.data(), qn, panel, rows, cols);
+        kernels::set_dispatch(kernels::Dispatch::kScalar);
+        ASSERT_EQ(ref, simd) << "rows=" << rows << " cols=" << cols << " qn=" << qn;
+
+        // The blocked scalar kernel itself must equal the flat reference.
+        for (std::size_t qi = 0; qi < qn; ++qi) {
+          const std::span<const double> qv(q.data() + qi * cols, cols);
+          for (std::size_t r = 0; r < rows; ++r) {
+            const std::span<const double> row(src.data() + r * cols, cols);
+            ASSERT_EQ(ref[qi * rows + r], kernels::l2_distance_sq(row, qv));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockedKernels, DotRowsMatchesFlatReference) {
+  // dot_rows is scalar-only by design (see kernels.hpp); the contract is
+  // bitwise equality with the sequential `dot` reference, including the
+  // sub-4-row remainder.
+  for (const std::size_t rows : kRowCounts) {
+    for (const std::size_t cols : {1u, 13u, 32u}) {
+      const auto src = random_doubles(rows * cols, 200 + rows + cols);
+      const auto w = random_doubles(cols, 17 + cols);
+      std::vector<double> out(rows);
+      kernels::dot_rows(out, w, src.data(), rows, cols);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const std::span<const double> row(src.data() + r * cols, cols);
+        ASSERT_EQ(out[r], kernels::dot(w, row)) << "rows=" << rows << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(BlockedKernels, TopKMatchesScalarExactly) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this host";
+  DispatchGuard guard;
+  for (const std::size_t n : kRowCounts) {
+    for (const std::size_t k : {std::size_t{1}, std::size_t{5}, n}) {
+      if (k > n) continue;
+      auto values = random_doubles(n, 1000 + n + k);
+      // Duplicates force the (value, index) tie-break order.
+      for (std::size_t i = 0; i + 4 < n; i += 5) values[i] = values[0];
+      std::vector<std::uint32_t> ref(k), simd(k);
+      kernels::scalar::top_k_select(values, ref);
+      kernels::set_dispatch(kernels::Dispatch::kAvx2);
+      kernels::top_k_select(values, simd);
+      kernels::set_dispatch(kernels::Dispatch::kScalar);
+      ASSERT_EQ(ref, simd) << "n=" << n << " k=" << k;
+      // Reference semantics: the k smallest under (value, index) lex order.
+      std::vector<std::uint32_t> brute(n);
+      for (std::size_t i = 0; i < n; ++i) brute[i] = static_cast<std::uint32_t>(i);
+      std::sort(brute.begin(), brute.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return values[a] < values[b] || (values[a] == values[b] && a < b);
+      });
+      brute.resize(k);
+      ASSERT_EQ(ref, brute) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BlockedKernels, TreeAccumulateRowsMatchesReference) {
+  const std::size_t cols = 9;
+  // A small trained forest exercises realistic shapes (leaves at varying
+  // depths, shared features) — the lanes of the interleaved walk diverge.
+  const auto x = random_matrix(300, cols, 77);
+  std::vector<double> y(300);
+  for (std::size_t i = 0; i < 300; ++i)
+    y[i] = x(i, 2) * 1.5 - x(i, 5) + (x(i, 0) > 0 ? 2.0 : -1.0);
+  kernels::TreeSoa forest;
+  std::vector<DecisionTree> trees(7);
+  for (int t = 0; t < 7; ++t) {
+    std::vector<double> shifted(y);
+    for (auto& v : shifted) v += t;
+    trees[static_cast<std::size_t>(t)].fit_regressor(x, shifted, TreeConfig{.max_depth = 4});
+    trees[static_cast<std::size_t>(t)].pack_into(forest);
+  }
+  ASSERT_EQ(forest.tree_count(), 7u);
+
+  for (const std::size_t rows : kRowCounts) {
+    const auto src = random_doubles(rows * cols, 500 + rows);
+    std::vector<double> out(rows, 0.5);
+    kernels::tree_accumulate_rows(out, forest, src.data(), rows, cols, 0.1);
+    // Bitwise equality with the per-sample accumulation sequence
+    // (init + sum of scale * predict_value in forest order).
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::span<const double> row(src.data() + r * cols, cols);
+      double ref = 0.5;
+      for (const auto& tree : trees) ref += 0.1 * tree.predict_value(row);
+      ASSERT_EQ(out[r], ref) << "rows=" << rows << " r=" << r;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Model-level differentials: predict_batch == per-sample predict loop, under
+// every dispatch and thread count.
+
+std::vector<unsigned> thread_counts() {
+  std::vector<unsigned> t{1, 4};
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 1 && hw != 4) t.push_back(hw);
+  return t;
+}
+
+template <typename Model>
+void expect_batch_matches_reference(const Model& model, const Matrix& queries) {
+  std::vector<int> ref(queries.rows());
+  for (std::size_t r = 0; r < queries.rows(); ++r) ref[r] = model.predict(queries.row(r));
+
+  DispatchGuard guard;
+  std::vector<kernels::Dispatch> modes{kernels::Dispatch::kScalar};
+  if (avx2_available()) modes.push_back(kernels::Dispatch::kAvx2);
+  for (const auto mode : modes) {
+    kernels::set_dispatch(mode);
+    ASSERT_EQ(model.predict_batch(queries), ref)
+        << "dispatch=" << kernels::dispatch_name(mode) << " rows=" << queries.rows();
+  }
+}
+
+TEST(PredictBatch, KnnMatchesReference) {
+  const std::size_t cols = 6;
+  const auto train = random_matrix(400, cols, 21);
+  const auto labels = random_labels(400, 3, 22);
+  KnnClassifier knn(5);
+  knn.fit(train, labels);
+  for (const std::size_t rows : kRowCounts)
+    expect_batch_matches_reference(knn, random_matrix(rows, cols, 900 + rows));
+}
+
+TEST(PredictBatch, SvmMatchesReference) {
+  const std::size_t cols = 8;
+  const auto train = random_matrix(300, cols, 31);
+  const auto labels = random_labels(300, 2, 32);
+  LinearSvm svm;
+  svm.fit(train, labels);
+  for (const std::size_t rows : kRowCounts)
+    expect_batch_matches_reference(svm, random_matrix(rows, cols, 910 + rows));
+}
+
+TEST(PredictBatch, GbdtBinaryMatchesReference) {
+  const std::size_t cols = 7;
+  const auto train = random_matrix(300, cols, 41);
+  const auto labels = random_labels(300, 2, 42);
+  GradientBoostingClassifier gbdt(GradientBoostingClassifierConfig{.num_rounds = 15});
+  gbdt.fit(train, labels);
+  for (const std::size_t rows : kRowCounts)
+    expect_batch_matches_reference(gbdt, random_matrix(rows, cols, 920 + rows));
+}
+
+TEST(PredictBatch, GbdtMulticlassMatchesReference) {
+  const std::size_t cols = 5;
+  const auto train = random_matrix(300, cols, 51);
+  const auto labels = random_labels(300, 4, 52);
+  GradientBoostingClassifier gbdt(GradientBoostingClassifierConfig{.num_rounds = 10});
+  gbdt.fit(train, labels);
+  for (const std::size_t rows : kRowCounts)
+    expect_batch_matches_reference(gbdt, random_matrix(rows, cols, 930 + rows));
+}
+
+TEST(PredictBatch, ThreadCountDoesNotChangeResults) {
+  const std::size_t cols = 6;
+  const auto train = random_matrix(400, cols, 61);
+  const auto labels = random_labels(400, 2, 62);
+  KnnClassifier knn(5);
+  LinearSvm svm;
+  GradientBoostingClassifier gbdt(GradientBoostingClassifierConfig{.num_rounds = 12});
+  knn.fit(train, labels);
+  svm.fit(train, labels);
+  gbdt.fit(train, labels);
+
+  const std::size_t rows = 4095;
+  const auto queries = random_matrix(rows, cols, 63);
+  std::vector<int> knn1(rows);
+  std::vector<double> svm1(rows), gbdt1(rows);
+  knn.predict_batch(queries.flat().data(), rows, knn1, 1);
+  svm.decision_batch(queries.flat().data(), rows, svm1, 1);
+  gbdt.margin_batch(0, queries.flat().data(), rows, gbdt1, 1);
+  for (const unsigned threads : thread_counts()) {
+    std::vector<int> knn_t(rows);
+    std::vector<double> svm_t(rows), gbdt_t(rows);
+    knn.predict_batch(queries.flat().data(), rows, knn_t, threads);
+    svm.decision_batch(queries.flat().data(), rows, svm_t, threads);
+    gbdt.margin_batch(0, queries.flat().data(), rows, gbdt_t, threads);
+    ASSERT_EQ(knn1, knn_t) << "threads=" << threads;
+    ASSERT_EQ(svm1, svm_t) << "threads=" << threads;
+    ASSERT_EQ(gbdt1, gbdt_t) << "threads=" << threads;
+  }
+}
+
+TEST(PredictBatch, KnnScratchReuseMatchesLegacyPredict) {
+  const std::size_t cols = 6;
+  const auto train = random_matrix(200, cols, 71);
+  const auto labels = random_labels(200, 3, 72);
+  KnnClassifier knn(3);
+  knn.fit(train, labels);
+  KnnScratch scratch;
+  for (std::size_t r = 0; r < 50; ++r) {
+    const auto q = random_doubles(cols, 800 + r);
+    ASSERT_EQ(knn.predict(q, scratch), knn.predict(q));
+    ASSERT_EQ(knn.predict_proba(q, scratch), knn.predict_proba(q));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Tests for the online vulnerability-prediction service (DESIGN.md §13):
+// buffering and ring eviction, the validation-gated snapshot swap, seeded
+// holdout determinism, every model family's predict_benign path, and the
+// background trainer racing concurrent observers/scorers (the TSan target).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/ml/predictor.hpp"
+
+namespace {
+
+using namespace lore;
+using namespace lore::ml;
+
+constexpr std::size_t kDim = 4;
+
+/// Linearly separable observations: benign iff f0 + f1 > 0.
+void feed_separable(Predictor& p, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    double f[kDim];
+    for (auto& v : f) v = rng.uniform(-1.0, 1.0);
+    p.observe(std::span<const double>(f, kDim), f[0] + f[1] > 0.0);
+  }
+}
+
+PredictorConfig small_config(PredictorModel model) {
+  PredictorConfig cfg;
+  cfg.model = model;
+  cfg.min_train_samples = 32;
+  cfg.retrain_interval = 64;
+  cfg.gbdt.num_rounds = 10;
+  return cfg;
+}
+
+TEST(Predictor, NoSnapshotBeforeEnoughSamples) {
+  Predictor p(small_config(PredictorModel::kGbdt));
+  EXPECT_EQ(p.snapshot(), nullptr);
+  EXPECT_FALSE(p.train_now());
+  feed_separable(p, 31, 1);
+  EXPECT_FALSE(p.train_if_due());
+  EXPECT_EQ(p.version(), 0u);
+}
+
+TEST(Predictor, TrainsAndSwapsOnValidationWin) {
+  for (const auto model :
+       {PredictorModel::kKnn, PredictorModel::kSvm, PredictorModel::kGbdt}) {
+    Predictor p(small_config(model));
+    feed_separable(p, 256, 2);
+    ASSERT_TRUE(p.train_now()) << predictor_model_name(model);
+    const auto snap = p.snapshot();
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->family(), model);
+    EXPECT_GE(snap->validation_accuracy(), p.config().min_validation_accuracy);
+    EXPECT_GT(snap->trained_on(), 0u);
+    EXPECT_EQ(snap->version(), 1u);
+
+    // The learned rule generalizes: score fresh separable points.
+    Rng rng(99);
+    std::vector<double> x(64 * kDim), prob(64);
+    for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+    snap->predict_benign(x.data(), 64, prob);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < 64; ++i) {
+      const bool truth = x[i * kDim] + x[i * kDim + 1] > 0.0;
+      correct += (prob[i] >= 0.5) == truth;
+    }
+    EXPECT_GE(correct, 44u) << predictor_model_name(model);  // ~0.7 accuracy floor
+  }
+}
+
+TEST(Predictor, TrainIfDueHonorsRetrainInterval) {
+  Predictor p(small_config(PredictorModel::kSvm));
+  feed_separable(p, 256, 3);
+  ASSERT_TRUE(p.train_now());
+  EXPECT_EQ(p.trainings(), 1u);
+  // Fewer than retrain_interval new samples: no retrain.
+  feed_separable(p, 10, 4);
+  EXPECT_FALSE(p.train_if_due());
+  EXPECT_EQ(p.trainings(), 1u);
+  feed_separable(p, 64, 5);
+  p.train_if_due();  // may or may not swap, but must train
+  EXPECT_EQ(p.trainings(), 2u);
+}
+
+TEST(Predictor, RingBufferEvictsOldest) {
+  auto cfg = small_config(PredictorModel::kSvm);
+  cfg.max_buffer = 64;
+  Predictor p(cfg);
+  feed_separable(p, 200, 6);
+  EXPECT_EQ(p.buffered(), 64u);
+  EXPECT_EQ(p.observed(), 200u);
+}
+
+TEST(Predictor, WorseCandidateNeverReplacesBetterSnapshot) {
+  Predictor p(small_config(PredictorModel::kGbdt));
+  feed_separable(p, 256, 7);
+  ASSERT_TRUE(p.train_now());
+  const auto good = p.snapshot();
+  ASSERT_NE(good, nullptr);
+  // Poison the buffer with pure label noise; the retrained candidate
+  // validates poorly and must not go live.
+  Rng rng(8);
+  for (std::size_t i = 0; i < 256; ++i) {
+    double f[kDim];
+    for (auto& v : f) v = rng.uniform(-1.0, 1.0);
+    p.observe(std::span<const double>(f, kDim), rng.uniform() < 0.5);
+  }
+  p.train_now();
+  const auto now = p.snapshot();
+  ASSERT_NE(now, nullptr);
+  EXPECT_GE(now->validation_accuracy(), good->validation_accuracy());
+}
+
+TEST(Predictor, SnapshotSurvivesOwnerAdvancing) {
+  Predictor p(small_config(PredictorModel::kSvm));
+  feed_separable(p, 256, 9);
+  ASSERT_TRUE(p.train_now());
+  const auto held = p.snapshot();
+  const double acc = held->validation_accuracy();
+  feed_separable(p, 256, 10);
+  p.train_now();
+  // The old snapshot is immutable regardless of later swaps.
+  EXPECT_EQ(held->validation_accuracy(), acc);
+  std::vector<double> x(kDim, 0.25), prob(1);
+  held->predict_benign(x.data(), 1, prob);
+  EXPECT_TRUE(std::isfinite(prob[0]));
+}
+
+// The TSan race target: a background trainer thread swapping snapshots while
+// observer threads feed samples and scorer threads read + use snapshots.
+TEST(Predictor, BackgroundTrainerRacesObserversAndScorers) {
+  Predictor p(small_config(PredictorModel::kSvm));
+  feed_separable(p, 64, 11);
+  p.start_background(std::chrono::milliseconds(1));
+  std::atomic<bool> stop{false};
+
+  std::thread observer([&] {
+    Rng rng(12);
+    while (!stop.load(std::memory_order_relaxed)) {
+      double f[kDim];
+      for (auto& v : f) v = rng.uniform(-1.0, 1.0);
+      p.observe(std::span<const double>(f, kDim), f[0] + f[1] > 0.0);
+    }
+  });
+  std::thread scorer([&] {
+    Rng rng(13);
+    std::vector<double> x(8 * kDim), prob(8);
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (const auto snap = p.snapshot()) {
+        for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+        snap->predict_benign(x.data(), 8, prob);
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true, std::memory_order_relaxed);
+  observer.join();
+  scorer.join();
+  p.stop_background();
+  EXPECT_GE(p.trainings(), 1u);
+  EXPECT_NE(p.snapshot(), nullptr);
+}
+
+TEST(Predictor, StopBackgroundIsIdempotent) {
+  Predictor p(small_config(PredictorModel::kSvm));
+  p.start_background(std::chrono::milliseconds(5));
+  p.start_background(std::chrono::milliseconds(5));  // second start is a no-op
+  p.stop_background();
+  p.stop_background();
+}
+
+}  // namespace
