@@ -153,37 +153,69 @@ inline std::string write_bench_artifact(const std::string& bench_name) {
   return path;
 }
 
+/// Everything LORE_BENCH_MAIN used to parse per-file, in one place. Filled
+/// from argv/env by `parse_bench_options`; a bench with special needs can
+/// build one by hand and call `bench_main` directly.
+struct BenchMainOptions {
+  /// --quiet: disable metrics collection and skip the JSON artifact.
+  bool quiet = false;
+  /// Emit BENCH_<name>.json after the run (off under --quiet).
+  bool artifact = true;
+  /// Artifact / display name; default derives from argv[0].
+  std::string bench_name;
+};
+
+/// Strip the flags `bench_main` owns out of argv (google-benchmark rejects
+/// unknown arguments) and return the resulting options.
+inline BenchMainOptions parse_bench_options(int& argc, char** argv) {
+  BenchMainOptions opts;
+  opts.bench_name = detail::bench_name_from_argv0(argc > 0 ? argv[0] : nullptr);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      opts.quiet = true;
+      opts.artifact = false;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  return opts;
+}
+
+/// The shared bench main: start the live obs pipeline (unless quiet), print
+/// the report series, run the registered micro-benchmarks, emit the
+/// machine-readable artifact, and flush any LORE_TRACE. Every bench binary
+/// funnels through here via LORE_BENCH_MAIN.
+template <typename ReportFn>
+int bench_main(int argc, char** argv, ReportFn&& report) {
+  const BenchMainOptions opts = parse_bench_options(argc, argv);
+  if (opts.quiet) {
+    obs::set_enabled(false);
+    detail::artifact_enabled() = false;
+  }
+  if (obs::kCompiledIn && obs::enabled() && !obs::start_pipeline_from_env())
+    obs::Pipeline::global().start();
+  report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (opts.artifact && detail::artifact_enabled()) {
+    const std::string path = write_bench_artifact(opts.bench_name);
+    if (!path.empty()) std::printf("\nbench artifact: %s\n", path.c_str());
+  }
+  if (obs::flush_trace_if_requested())
+    std::printf("trace written to %s\n", std::getenv("LORE_TRACE"));
+  obs::Pipeline::global().stop();
+  return 0;
+}
+
 }  // namespace lore::bench
 
 /// Each bench defines `run_experiment_report()` (prints its series) and
-/// registers micro-benchmarks; this main runs both, then emits the
-/// machine-readable artifact (unless --quiet) and flushes any LORE_TRACE.
+/// registers micro-benchmarks; the shared `lore::bench::bench_main` runs
+/// both — see BenchMainOptions for the flags/env it understands.
 #define LORE_BENCH_MAIN(report_fn)                                        \
   int main(int argc, char** argv) {                                       \
-    for (int i = 1; i < argc; ++i) {                                      \
-      if (std::strcmp(argv[i], "--quiet") == 0) {                         \
-        ::lore::obs::set_enabled(false);                                  \
-        ::lore::bench::detail::artifact_enabled() = false;                \
-        for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];         \
-        --argc;                                                           \
-        break;                                                            \
-      }                                                                   \
-    }                                                                     \
-    if (::lore::obs::kCompiledIn && ::lore::obs::enabled() &&             \
-        !::lore::obs::start_pipeline_from_env())                          \
-      ::lore::obs::Pipeline::global().start();                            \
-    report_fn();                                                          \
-    ::benchmark::Initialize(&argc, argv);                                 \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
-    ::benchmark::RunSpecifiedBenchmarks();                                \
-    ::benchmark::Shutdown();                                              \
-    if (::lore::bench::detail::artifact_enabled()) {                      \
-      const std::string path = ::lore::bench::write_bench_artifact(       \
-          ::lore::bench::detail::bench_name_from_argv0(argv[0]));         \
-      if (!path.empty()) std::printf("\nbench artifact: %s\n", path.c_str()); \
-    }                                                                     \
-    if (::lore::obs::flush_trace_if_requested())                          \
-      std::printf("trace written to %s\n", std::getenv("LORE_TRACE"));    \
-    ::lore::obs::Pipeline::global().stop();                               \
-    return 0;                                                             \
+    return ::lore::bench::bench_main(argc, argv, report_fn);              \
   }

@@ -3,53 +3,63 @@
 // from three layers (energy, SER, wear-out MTTF) through the registry. The
 // series shows the learning curve and compares the learned policy against
 // every fixed V-f policy.
+//
+// The experiment itself is declarative: the spec below is byte-for-byte the
+// committed scenarios/crosslayer_loop.scenario.json, and the numbers printed
+// here are the scenario engine's — `lore_scenario` reproduces this bench
+// from the file alone.
 #include "bench/bench_util.hpp"
 #include "src/core/crosslayer.hpp"
+#include "src/scenario/scenario.hpp"
 
 namespace {
 
 using namespace lore;
-using namespace lore::core;
+using namespace lore::scenario;
+
+constexpr const char* kSpec = R"json({
+  "schema": "lore.scenario.v1",
+  "name": "crosslayer_loop",
+  "seed": 13,
+  "crosslayer": {
+    "env_seed": 13,
+    "alpha": 0.15,
+    "gamma": 0.8,
+    "epsilon": 0.3,
+    "epsilon_decay": 0.97,
+    "learner_seed": 31,
+    "episodes": 120,
+    "steps_per_episode": 200,
+    "eval_episodes": 10,
+    "fixed_policy_baselines": true
+  }
+})json";
 
 void report() {
   bench::print_header("Cross-layer learning loop (Fig. 1)",
                       "State: (temperature, demanded load, V-f); actions: V-f levels; "
                       "reward: -energy - w*log(SER) + w*log(MTTF) - thermal excess - "
-                      "undone work.");
-  CrossLayerEnvironment env(CrossLayerConfig{.seed = 13});
-  LearningController controller(ml::QLearnerConfig{.alpha = 0.15,
-                                                   .gamma = 0.8,
-                                                   .epsilon = 0.3,
-                                                   .epsilon_decay = 0.97});
-  const auto report = controller.train(env, 120, 200);
+                      "undone work. Declarative twin: scenarios/crosslayer_loop.scenario.json.");
+  const ScenarioResult result = run_scenario(parse_scenario(kSpec, "crosslayer_loop"));
+  const CrossLayerStageResult& cl = *result.crosslayer;
 
   Table curve({"episode_block", "mean_reward"});
-  for (std::size_t block = 0; block < report.episode_rewards.size(); block += 20) {
+  const auto& rewards = cl.training.episode_rewards;
+  for (std::size_t block = 0; block < rewards.size(); block += 20) {
     double mean = 0.0;
-    const std::size_t end = std::min(block + 20, report.episode_rewards.size());
-    for (std::size_t e = block; e < end; ++e) mean += report.episode_rewards[e];
+    const std::size_t end = std::min(block + 20, rewards.size());
+    for (std::size_t e = block; e < end; ++e) mean += rewards[e];
     mean /= static_cast<double>(end - block);
     curve.add_row({std::to_string(block) + ".." + std::to_string(end - 1),
                    fmt_sig(mean, 5)});
   }
   bench::print_table(curve);
 
-  // Fixed-policy comparison.
   Table fixed({"policy", "mean_reward"});
-  fixed.add_row({"learned (greedy)", fmt_sig(controller.evaluate(env, 10, 200), 5)});
-  for (std::size_t vf = 0; vf < env.num_actions(); ++vf) {
-    double total = 0.0;
-    std::size_t count = 0;
-    for (int episode = 0; episode < 10; ++episode) {
-      env.reset();
-      for (int s = 0; s < 200; ++s) {
-        total += env.step(vf).reward;
-        ++count;
-      }
-    }
+  fixed.add_row({"learned (greedy)", fmt_sig(cl.learned_eval, 5)});
+  for (std::size_t vf = 0; vf < cl.fixed_policy_rewards.size(); ++vf)
     fixed.add_row({"fixed V-f level " + std::to_string(vf),
-                   fmt_sig(total / static_cast<double>(count), 5)});
-  }
+                   fmt_sig(cl.fixed_policy_rewards[vf], 5)});
   bench::print_table(fixed);
   bench::print_note(
       "Expected: late-training reward above early-training reward, and the learned "
@@ -58,16 +68,16 @@ void report() {
 }
 
 void BM_EnvironmentStep(benchmark::State& state) {
-  CrossLayerEnvironment env;
+  core::CrossLayerEnvironment env;
   env.reset();
   for (auto _ : state) benchmark::DoNotOptimize(env.step(2));
 }
 BENCHMARK(BM_EnvironmentStep)->Unit(benchmark::kMicrosecond);
 
 void BM_TrainingEpisode(benchmark::State& state) {
-  CrossLayerEnvironment env;
+  core::CrossLayerEnvironment env;
   for (auto _ : state) {
-    LearningController controller;
+    core::LearningController controller;
     benchmark::DoNotOptimize(controller.train(env, 1, 200));
   }
 }

@@ -3,38 +3,54 @@
 // learning-based extension (DS-ML). Paper shape: all near 1 below the wall,
 // conservative schedulers win inside the 1e-6..1e-5 window, all collapse to
 // 0 beyond it regardless of algorithm.
+//
+// The experiment itself is declarative: the spec below is byte-for-byte the
+// committed scenarios/fig6_deadline_hit.scenario.json, and the numbers
+// printed here are the scenario engine's — `lore_scenario` reproduces this
+// bench from the file alone.
 #include "bench/bench_util.hpp"
 #include "src/rollback/montecarlo.hpp"
+#include "src/scenario/scenario.hpp"
 
 namespace {
 
 using namespace lore;
 using namespace lore::rollback;
+using namespace lore::scenario;
+
+constexpr const char* kSpec = R"json({
+  "schema": "lore.scenario.v1",
+  "name": "fig6_deadline_hit",
+  "seed": 97,
+  "rollback": {
+    "schedulers": ["ds", "ds-1.5x", "ds-2x", "wcet", "ds-ml"],
+    "runs_per_point": 100,
+    "base_seed": 97
+  }
+})json";
 
 void report() {
   bench::print_header("Fig. 6 — deadline hit rate vs error probability",
                       "Cycle-noise mitigation with speed headroom 2x; 100 Monte Carlo "
                       "runs per point; schedulers DS / DS 1.5x / DS 2x / WCET (+ DS-ML "
-                      "learning extension).");
-  const std::vector<SchedulerKind> schedulers{SchedulerKind::kDs, SchedulerKind::kDs15,
-                                              SchedulerKind::kDs2, SchedulerKind::kWcet,
-                                              SchedulerKind::kDsLearned};
-  ExperimentConfig cfg;
-  const auto result = run_experiment(cfg, schedulers);
+                      "learning extension). Declarative twin: "
+                      "scenarios/fig6_deadline_hit.scenario.json.");
+  const ScenarioResult result = run_scenario(parse_scenario(kSpec, "fig6_deadline_hit"));
+  const RollbackStageResult& rb = *result.rollback;
 
   std::vector<std::string> headers{"error_prob"};
-  for (auto kind : schedulers) headers.push_back(scheduler_name(kind));
+  for (auto kind : rb.schedulers) headers.push_back(scheduler_name(kind));
   Table t(headers);
-  for (const auto& point : result.points) {
+  for (const auto& point : rb.experiment.points) {
     std::vector<double> row{point.p};
-    for (auto kind : schedulers) row.push_back(point.hit_rate.at(kind));
+    for (auto kind : rb.schedulers) row.push_back(point.hit_rate.at(kind));
     t.add_numeric_row(row, 4);
   }
   bench::print_table(t);
 
   Table walls({"scheduler", "wall_position(p where hit<0.5)"});
-  for (auto kind : schedulers)
-    walls.add_row({scheduler_name(kind), fmt_sig(result.wall_position(kind), 3)});
+  for (auto kind : rb.schedulers)
+    walls.add_row({scheduler_name(kind), fmt_sig(rb.experiment.wall_position(kind), 3)});
   bench::print_table(walls);
   bench::print_note(
       "Expected: hit rates ~1 at p<=1e-7; ordered WCET >= DS2x >= DS1.5x >= DS inside "

@@ -2,36 +2,65 @@
 // even when they overrun their optimistic budgets; LO-task QoS degrades
 // gracefully with overrun severity. Plus the adaptive replica manager
 // responding to a drifting fault environment (Sec. IV-A4, [45]).
+//
+// The experiment itself is declarative: the spec below is byte-for-byte the
+// committed scenarios/mixed_criticality.scenario.json, and the numbers
+// printed here are the scenario engine's — `lore_scenario` reproduces this
+// bench from the file alone.
 #include "bench/bench_util.hpp"
 #include "src/os/replica.hpp"
+#include "src/scenario/scenario.hpp"
 
 namespace {
 
 using namespace lore;
-using namespace lore::os;
+using namespace lore::scenario;
+
+constexpr const char* kSpec = R"json({
+  "schema": "lore.scenario.v1",
+  "name": "mixed_criticality",
+  "seed": 41,
+  "mixed_criticality": {
+    "tasks": {
+      "num_tasks": 8,
+      "utilization": 0.6,
+      "hi_fraction": 0.35,
+      "seed": 41
+    },
+    "force_criticality": [
+      { "task": 0, "level": "high" },
+      { "task": 1, "level": "low" }
+    ],
+    "overrun_factors": [0.9, 1.1, 1.4, 1.8, 2.4],
+    "duration_ms": 30000,
+    "sim_seed": 83
+  },
+  "replica_drift": {
+    "seed": 43,
+    "jobs_per_window": 1000,
+    "phases": [
+      { "name": "calm", "fault_rate": 0.001, "windows": 10 },
+      { "name": "radiation burst", "fault_rate": 0.08, "windows": 10 },
+      { "name": "recovered", "fault_rate": 0.001, "windows": 25 }
+    ]
+  }
+})json";
 
 void report() {
   bench::print_header("Mixed-criticality scheduling under overruns",
                       "Single-core EDF with LO budgets; HI overruns trigger mode "
-                      "switches that shed LO jobs until an idle instant.");
-  TaskSet tasks = generate_taskset(TaskSetConfig{.num_tasks = 8,
-                                                 .total_utilization = 0.6,
-                                                 .high_criticality_fraction = 0.35,
-                                                 .seed = 41});
-  tasks[0].criticality = Criticality::kHigh;
-  tasks[1].criticality = Criticality::kLow;
+                      "switches that shed LO jobs until an idle instant. Declarative "
+                      "twin: scenarios/mixed_criticality.scenario.json.");
+  const ScenarioResult result = run_scenario(parse_scenario(kSpec, "mixed_criticality"));
 
   Table t({"overrun_factor", "hi_miss_rate", "lo_qos", "mode_switches"});
-  for (double overrun : {0.9, 1.1, 1.4, 1.8, 2.4}) {
-    const auto r = simulate_mixed_criticality(
-        tasks, McSimConfig{.duration_ms = 30000.0, .overrun_factor = overrun});
-    t.add_numeric_row({overrun,
-                       r.hi_jobs ? static_cast<double>(r.hi_misses) /
-                                       static_cast<double>(r.hi_jobs)
-                                 : 0.0,
-                       r.lo_qos(), static_cast<double>(r.mode_switches)},
+  for (const MixedCritRow& row : result.mixed_criticality->rows)
+    t.add_numeric_row({row.overrun_factor,
+                       row.hi_jobs ? static_cast<double>(row.hi_misses) /
+                                         static_cast<double>(row.hi_jobs)
+                                   : 0.0,
+                       row.lo_qos, static_cast<double>(row.mode_switches)},
                       4);
-  }
   bench::print_table(t);
   bench::print_note(
       "Expected: HI miss rate pinned near zero at every overrun level; LO QoS "
@@ -40,21 +69,10 @@ void report() {
   bench::print_header("Adaptive replica management under a drifting environment",
                       "Fault rate steps 0.1% -> 8% -> 0.1%; the manager learns the "
                       "rate from observations and re-tunes the replica count.");
-  ReplicaManager mgr;
-  lore::Rng rng(43);
   Table r({"phase", "true_fault_rate", "estimated_rate", "replicas"});
-  auto run_phase = [&](const std::string& name, double rate, int windows) {
-    for (int w = 0; w < windows; ++w) {
-      std::size_t faults = 0;
-      for (int j = 0; j < 1000; ++j) faults += rng.bernoulli(rate);
-      mgr.observe(faults, 1000);
-    }
-    r.add_row({name, fmt_sig(rate, 3), fmt_sig(mgr.fault_probability(), 3),
-               std::to_string(mgr.recommended_replicas())});
-  };
-  run_phase("calm", 0.001, 10);
-  run_phase("radiation burst", 0.08, 10);
-  run_phase("recovered", 0.001, 25);
+  for (const ReplicaPhaseRow& row : result.replica_drift->rows)
+    r.add_row({row.phase, fmt_sig(row.true_rate, 3), fmt_sig(row.estimated_rate, 3),
+               std::to_string(row.replicas)});
   bench::print_table(r);
   bench::print_note(
       "Expected: 1 replica in calm phases, >=2 during the burst, back to 1 after "
@@ -62,12 +80,12 @@ void report() {
 }
 
 void BM_McSimulation(benchmark::State& state) {
-  const auto tasks = generate_taskset(TaskSetConfig{.num_tasks = 8,
-                                                    .total_utilization = 0.6,
-                                                    .seed = 41});
+  const auto tasks = os::generate_taskset(os::TaskSetConfig{.num_tasks = 8,
+                                                            .total_utilization = 0.6,
+                                                            .seed = 41});
   for (auto _ : state)
     benchmark::DoNotOptimize(
-        simulate_mixed_criticality(tasks, McSimConfig{.duration_ms = 5000.0}));
+        os::simulate_mixed_criticality(tasks, os::McSimConfig{.duration_ms = 5000.0}));
 }
 BENCHMARK(BM_McSimulation)->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,233 @@
+// lore_scenario — the generic runner behind every committed .scenario.json
+// (DESIGN.md §14). One binary subsumes the bespoke bench wiring: load a
+// declarative scenario, compose the cross-layer stages, print each stage's
+// series, and cross-examine the layers with the invariant checker.
+//
+//   lore_scenario scenarios/fig6_deadline_hit.scenario.json
+//   lore_scenario --verify scenarios/crosslayer_loop.scenario.json
+//   lore_scenario --sweep 100 --seed 7
+//   lore_scenario --json FILE        # machine-readable result on stdout
+//
+// `--verify` runs the scenario at 1, 4, and hardware-concurrency threads
+// and exits 1 unless every run's result fingerprint (fault records, stage
+// rows, hit rates) is bit-identical — the scenario determinism contract.
+// `--sweep N` enumerates N generated scenarios (counter-seeded: same seed,
+// same scenarios, same findings) and reports invariant findings.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/table.hpp"
+#include "src/scenario/scenario.hpp"
+
+namespace {
+
+using namespace lore;
+using namespace lore::scenario;
+
+struct Options {
+  std::vector<std::string> files;
+  bool verify = false;
+  bool json = false;
+  long sweep = -1;
+  long seed = 2026;
+  double plant = 0.0;
+  long threads = -1;
+};
+
+[[noreturn]] void usage(int rc) {
+  std::fputs(
+      "usage: lore_scenario [--verify] [--json] [--threads T] FILE.scenario.json...\n"
+      "       lore_scenario --sweep N [--seed S] [--plant RATE]\n",
+      rc == 0 ? stdout : stderr);
+  std::exit(rc);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(2);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--verify") o.verify = true;
+    else if (a == "--json") o.json = true;
+    else if (a == "--sweep") o.sweep = std::atol(next(i));
+    else if (a == "--seed") o.seed = std::atol(next(i));
+    else if (a == "--plant") o.plant = std::atof(next(i));
+    else if (a == "--threads") o.threads = std::atol(next(i));
+    else if (a == "--help" || a == "-h") usage(0);
+    else if (!a.empty() && a[0] == '-') usage(2);
+    else o.files.push_back(a);
+  }
+  if (o.files.empty() && o.sweep < 0) usage(2);
+  return o;
+}
+
+void print_findings(const std::vector<InvariantFinding>& findings) {
+  if (findings.empty()) {
+    std::printf("invariants: all checks passed\n");
+    return;
+  }
+  Table t({"invariant", "severity", "detail"});
+  for (const auto& f : findings) t.add_row({f.id, severity_name(f.severity), f.message});
+  std::fputs(t.to_string().c_str(), stdout);
+}
+
+void print_result(const ScenarioResult& r) {
+  std::printf("\n==== scenario: %s ====\n", r.spec.name.c_str());
+  if (!r.spec.description.empty()) std::printf("%s\n", r.spec.description.c_str());
+  if (r.device) {
+    Table t({"stress_temp_k", "delta_vth_mv", "guardband", "safe_fmax_ghz"});
+    t.add_numeric_row({r.device->stress_temperature_k, r.device->delta_vth_v * 1e3,
+                       r.device->guardband, r.device->safe_fmax_ghz},
+                      4);
+    std::fputs(t.to_string().c_str(), stdout);
+  }
+  if (!r.faults.empty()) {
+    Table t({"layer", "target", "trials", "avf", "corruption_factor"});
+    for (const auto& f : r.faults)
+      t.add_row({f.layer, f.target, std::to_string(f.report.trials), fmt_sig(f.avf, 4),
+                 fmt_sig(f.corruption_factor, 4)});
+    std::fputs(t.to_string().c_str(), stdout);
+  }
+  if (r.os) {
+    Table t({"governor", "max_freq_ghz", "peak_temp_k", "energy_j", "misses", "sdc"});
+    t.add_row({r.os->governor, fmt_sig(r.os->max_freq_used_ghz, 4),
+               fmt_sig(r.os->peak_temperature_k, 4), fmt_sig(r.os->total_energy_j, 4),
+               std::to_string(r.os->deadline_misses), std::to_string(r.os->sdc_failures)});
+    std::fputs(t.to_string().c_str(), stdout);
+  }
+  if (r.mixed_criticality) {
+    Table t({"overrun_factor", "hi_miss_rate", "lo_qos", "mode_switches"});
+    for (const auto& row : r.mixed_criticality->rows)
+      t.add_numeric_row(
+          {row.overrun_factor,
+           row.hi_jobs ? static_cast<double>(row.hi_misses) /
+                             static_cast<double>(row.hi_jobs)
+                       : 0.0,
+           row.lo_qos, static_cast<double>(row.mode_switches)},
+          4);
+    std::fputs(t.to_string().c_str(), stdout);
+  }
+  if (r.replica_drift) {
+    Table t({"phase", "true_rate", "estimated_rate", "replicas"});
+    for (const auto& row : r.replica_drift->rows)
+      t.add_row({row.phase, fmt_sig(row.true_rate, 3), fmt_sig(row.estimated_rate, 3),
+                 std::to_string(row.replicas)});
+    std::fputs(t.to_string().c_str(), stdout);
+  }
+  if (r.rollback) {
+    std::vector<std::string> headers{"error_prob"};
+    for (auto kind : r.rollback->schedulers)
+      headers.push_back(rollback::scheduler_name(kind));
+    Table t(headers);
+    for (const auto& point : r.rollback->experiment.points) {
+      std::vector<double> row{point.p};
+      for (auto kind : r.rollback->schedulers) row.push_back(point.hit_rate.at(kind));
+      t.add_numeric_row(row, 4);
+    }
+    std::fputs(t.to_string().c_str(), stdout);
+  }
+  if (r.crosslayer) {
+    Table t({"policy", "mean_reward"});
+    t.add_row({"learned (greedy)", fmt_sig(r.crosslayer->learned_eval, 5)});
+    for (std::size_t vf = 0; vf < r.crosslayer->fixed_policy_rewards.size(); ++vf)
+      t.add_row({"fixed V-f level " + std::to_string(vf),
+                 fmt_sig(r.crosslayer->fixed_policy_rewards[vf], 5)});
+    std::fputs(t.to_string().c_str(), stdout);
+    std::printf("training: early mean %s -> late mean %s over %zu episodes\n",
+                fmt_sig(r.crosslayer->training.early_mean(), 5).c_str(),
+                fmt_sig(r.crosslayer->training.late_mean(), 5).c_str(),
+                r.crosslayer->training.episode_rewards.size());
+  }
+  std::printf("trials: %zu  wall: %ss\n", r.total_trials(),
+              fmt_sig(r.wall_seconds, 3).c_str());
+}
+
+int verify_file(const std::string& path, ScenarioSpec spec) {
+  std::vector<unsigned> thread_counts{1, 4, std::thread::hardware_concurrency()};
+  std::printf("verify %s: thread counts 1/4/%u\n", path.c_str(), thread_counts.back());
+  std::uint64_t reference = 0;
+  bool first = true, ok = true;
+  for (unsigned t : thread_counts) {
+    spec.campaign.threads = t;
+    const ScenarioResult result = run_scenario(spec);
+    const std::uint64_t fp = result_fingerprint(result);
+    std::printf("  threads=%-2u  fingerprint=%016llx  trials=%zu\n", t,
+                static_cast<unsigned long long>(fp), result.total_trials());
+    if (first) {
+      reference = fp;
+      first = false;
+      print_findings(check_invariants(result));
+    } else if (fp != reference) {
+      ok = false;
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr, "verify %s: FINGERPRINT MISMATCH across thread counts\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("verify %s: bit-identical across thread counts\n", path.c_str());
+  return 0;
+}
+
+int run_sweep_mode(const Options& o) {
+  GeneratorConfig cfg;
+  cfg.base_seed = static_cast<std::uint64_t>(o.seed);
+  cfg.planted_violation_rate = o.plant;
+  const SweepReport report = run_sweep(cfg, static_cast<std::size_t>(o.sweep));
+  if (o.json) {
+    std::printf("%s\n", report.to_json().dump(2).c_str());
+    return 0;
+  }
+  Table t({"scenarios", "trials", "violations", "warnings", "trials_per_s",
+           "fingerprint"});
+  char fp[19];
+  std::snprintf(fp, sizeof fp, "0x%016llx",
+                static_cast<unsigned long long>(report.findings_fingerprint()));
+  t.add_row({std::to_string(report.scenarios), std::to_string(report.trials),
+             std::to_string(report.violations), std::to_string(report.warnings),
+             fmt_sig(report.trials_per_second(), 4), fp});
+  std::fputs(t.to_string().c_str(), stdout);
+  for (const SweepOutcome& out : report.outcomes) {
+    if (out.findings.empty()) continue;
+    std::printf("\n%s:\n", out.name.c_str());
+    print_findings(out.findings);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  if (o.sweep >= 0) return run_sweep_mode(o);
+  int rc = 0;
+  for (const std::string& path : o.files) {
+    try {
+      ScenarioSpec spec = load_scenario_file(path);
+      if (o.threads >= 0) spec.campaign.threads = static_cast<unsigned>(o.threads);
+      if (o.verify) {
+        rc |= verify_file(path, std::move(spec));
+        continue;
+      }
+      const ScenarioResult result = run_scenario(spec);
+      if (o.json) {
+        std::printf("%s\n", result_to_json(result).dump(2).c_str());
+      } else {
+        print_result(result);
+        print_findings(check_invariants(result));
+      }
+    } catch (const SpecError& e) {
+      std::fprintf(stderr, "lore_scenario: %s\n", e.what());
+      rc = 1;
+    }
+  }
+  return rc;
+}

@@ -201,6 +201,31 @@ def prune_summary(docs):
     return out
 
 
+def scenario_summary(docs):
+    """Resurface the generative sweep table (bench/scenario_sweep.cpp) —
+    scenarios run, invariant violations, sweep throughput — so cross-layer
+    health is visible at the top level of the report."""
+    out = []
+    for doc in docs:
+        for table in doc.get("tables", []):
+            headers = table.get("headers", [])
+            if "scenarios" not in headers or "violations" not in headers:
+                continue
+            rows = table.get("rows", [])
+            out.append(f"=== scenario sweep summary ({doc.get('bench', '?')}) ===")
+            out.append(render_table(headers, rows))
+            v_col = headers.index("violations")
+            flagged = [r for r in rows
+                       if len(r) > v_col and (_to_float(r[v_col]) or 0.0) > 0]
+            if flagged:
+                out.append("NOTE: the sweep surfaced invariant violations — see the "
+                           "bench's findings output for the offending scenarios")
+            else:
+                out.append("no invariant violations across the sweep")
+            out.append("")
+    return out
+
+
 def meta_line(doc):
     """One-line host context from the artifact's `meta` block, if present."""
     meta = doc.get("meta")
@@ -244,6 +269,7 @@ def report(paths):
         out.append("")
     out.extend(fleet_summary(docs))
     out.extend(prune_summary(docs))
+    out.extend(scenario_summary(docs))
     out.extend(resilience_summary(docs))
     out.append(f"bench_report: aggregated {len(docs)} artifact(s)")
     return "\n".join(out), len(docs)

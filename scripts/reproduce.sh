@@ -9,15 +9,16 @@ cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
 # TSAN=1 additionally runs the `parallel`-, `resilience`-, `obs`-, `simd`-,
-# `fabric`-, and `ml`-labeled determinism/race suites — campaign engine, the
-# live telemetry pipeline (event-ring producers vs the aggregator drain and
-# serve threads), the chunked batch engine with its thread-local arenas, and
-# the Predictor's background trainer racing observers/scorers — under
-# ThreadSanitizer (the `tsan` CMake preset).
+# `fabric`-, `ml`-, and `scenario`-labeled determinism/race suites — campaign
+# engine, the live telemetry pipeline (event-ring producers vs the aggregator
+# drain and serve threads), the chunked batch engine with its thread-local
+# arenas, the Predictor's background trainer racing observers/scorers, and
+# the scenario engine's threaded composed campaigns — under ThreadSanitizer
+# (the `tsan` CMake preset).
 if [ "${TSAN:-0}" = "1" ]; then
   cmake --preset tsan
-  cmake --build build-tsan --target lore_parallel_tests lore_resilience_tests lore_obs_tests lore_simd_tests lore_fabric_tests lore_ml_batch_tests
-  ctest --test-dir build-tsan -L '(parallel|resilience|obs|simd|fabric|ml)' --output-on-failure 2>&1 | tee tsan_output.txt
+  cmake --build build-tsan --target lore_parallel_tests lore_resilience_tests lore_obs_tests lore_simd_tests lore_fabric_tests lore_ml_batch_tests lore_scenario_tests
+  ctest --test-dir build-tsan -L '(parallel|resilience|obs|simd|fabric|ml|scenario)' --output-on-failure 2>&1 | tee tsan_output.txt
 fi
 
 # Smoke the -DLORE_OBS=OFF build (the `obs-off` preset): the telemetry
@@ -45,6 +46,20 @@ fi
 if [ "${PRUNE:-0}" = "1" ]; then
   cmake --build build --target ex_predict_prune
   ./build/examples/predict_prune --verify 2>&1 | tee prune_output.txt
+fi
+
+# SCENARIO=1 smokes the declarative scenario DSL end to end: each committed
+# .scenario.json is re-run at 1/4/hw threads by `lore_scenario --verify`
+# (exit 1 unless the result fingerprints are bit-identical), then a seeded
+# 100-scenario generative sweep runs the differential invariant checker
+# across every composed campaign.
+if [ "${SCENARIO:-0}" = "1" ]; then
+  cmake --build build --target ex_lore_scenario
+  : > scenario_output.txt
+  for s in scenarios/*.scenario.json; do
+    ./build/examples/lore_scenario --verify "$s" 2>&1 | tee -a scenario_output.txt
+  done
+  ./build/examples/lore_scenario --sweep 100 --seed 2026 2>&1 | tee -a scenario_output.txt
 fi
 
 # FABRIC=1 smokes the sharded multi-process campaign fabric end to end: a

@@ -552,11 +552,6 @@ std::vector<FaultRecord> FaultInjector::campaign(std::size_t trials, FaultTarget
   return campaign(spec, target);
 }
 
-std::vector<FaultRecord> FaultInjector::campaign(std::size_t trials, FaultTarget target,
-                                                 lore::Rng& rng, unsigned threads) const {
-  return campaign(trials, target, rng.next_u64(), threads);
-}
-
 FaultRecord FaultInjector::replay_trial(std::uint64_t seed, FaultTarget target) const {
   lore::Rng rng(seed);
   FaultRecord rec = inject(random_site(rng, target));

@@ -141,10 +141,6 @@ class FaultInjector {
   std::vector<FaultRecord> campaign(std::size_t trials, FaultTarget target,
                                     std::uint64_t base_seed, unsigned threads = 0) const;
 
-  [[deprecated("draws the base seed from rng; use the CampaignSpec entry point")]]
-  std::vector<FaultRecord> campaign(std::size_t trials, FaultTarget target,
-                                    lore::Rng& rng, unsigned threads = 0) const;
-
   /// Re-run one campaign trial from its recorded `FaultRecord::trial_seed`.
   FaultRecord replay_trial(std::uint64_t seed, FaultTarget target) const;
 

@@ -611,11 +611,6 @@ std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials
   return pipeline_campaign(w, spec);
 }
 
-std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials,
-                                           lore::Rng& rng, unsigned threads) {
-  return pipeline_campaign(w, trials, rng.next_u64(), threads);
-}
-
 double architectural_corruption_factor(const std::vector<FaultRecord>& campaign) {
   if (campaign.empty()) return 0.0;
   std::size_t corrupting = 0;

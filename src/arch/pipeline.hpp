@@ -172,10 +172,6 @@ CampaignResult<FaultRecord> pipeline_records_from_checkpoint(
 std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials,
                                            std::uint64_t base_seed, unsigned threads = 0);
 
-[[deprecated("draws the base seed from rng; use the CampaignSpec entry point")]]
-std::vector<FaultRecord> pipeline_campaign(const Workload& w, std::size_t trials,
-                                           lore::Rng& rng, unsigned threads = 0);
-
 /// Derived quantity for Section V: the probability that a random single-bit
 /// latch upset corrupts architectural state (i.e. the fraction of non-benign
 /// outcomes). Multiplying a raw per-cycle upset rate by this factor yields

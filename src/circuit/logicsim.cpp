@@ -164,15 +164,6 @@ std::vector<GateCriticality> stuck_at_campaign(const Netlist& nl,
   return stuck_at_campaign_run(nl, spec, options).criticality;
 }
 
-std::vector<GateCriticality> stuck_at_campaign(const Netlist& nl, std::size_t vectors,
-                                               lore::Rng& rng) {
-  lore::CampaignSpec spec;
-  spec.trials = vectors;
-  spec.base_seed = rng.next_u64();
-  spec.threads = 1;
-  return stuck_at_campaign(nl, spec);
-}
-
 std::vector<double> gate_features(const Netlist& nl, std::size_t instance) {
   assert(instance < nl.num_instances());
   const auto& inst = nl.instance(instance);

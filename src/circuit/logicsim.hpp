@@ -70,10 +70,6 @@ std::vector<GateCriticality> stuck_at_campaign(const Netlist& nl,
                                                const lore::CampaignSpec& spec,
                                                const StuckAtOptions& options = {});
 
-[[deprecated("draws the base seed from rng; use the CampaignSpec entry point")]]
-std::vector<GateCriticality> stuck_at_campaign(const Netlist& nl, std::size_t vectors,
-                                               lore::Rng& rng);
-
 /// Structural features of one instance for criticality prediction: fan-in,
 /// fan-out, logic depth from inputs, distance to the nearest primary output,
 /// drive strength, function class flags — the feature family of [20].

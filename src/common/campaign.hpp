@@ -26,8 +26,9 @@
 // The convention for campaign call sites (see DESIGN.md §9): each domain
 // exposes `<name>_run(..., const CampaignSpec&, <Options>)` returning records
 // plus the `CampaignReport`, and a thin `<name>(...)` convenience returning
-// just the domain payload. Legacy `Rng&`-drawing overloads are deprecated
-// wrappers over these entry points.
+// just the domain payload. (The legacy `Rng&`-drawing overloads were removed
+// after every in-repo caller migrated; the compat pins in
+// tests/resilience/campaign_compat_test.cpp cover the modern entry points.)
 #pragma once
 
 #include <atomic>

@@ -154,8 +154,7 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("json parse error at byte " + std::to_string(pos_) + ": " +
-                             what);
+    throw JsonParseError(pos_, what);
   }
 
   void skip_ws() {

@@ -20,6 +20,24 @@ namespace lore::obs {
 class Json;
 using JsonMembers = std::vector<std::pair<std::string, Json>>;
 
+/// Thrown by Json::parse on malformed input. Carries the byte offset where
+/// the parser gave up so callers holding the original text (e.g. the
+/// scenario-spec file loader) can convert it to a line:column diagnostic;
+/// the what() string keeps the established "json parse error at byte N"
+/// form for callers that only catch std::runtime_error.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(std::size_t offset, const std::string& what)
+      : std::runtime_error("json parse error at byte " + std::to_string(offset) + ": " +
+                           what),
+        offset_(offset) {}
+
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
 class Json {
  public:
   enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };

@@ -1,0 +1,262 @@
+#include "src/scenario/generate.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/parallel.hpp"
+#include "src/common/rng.hpp"
+#include "src/scenario/engine.hpp"
+
+namespace lore::scenario {
+
+namespace {
+
+/// Per-workload scale ranges sized so a single campaign trial stays cheap
+/// (matmul cost is cubic in its scale, random_program linear, etc.).
+struct WorkloadRange {
+  const char* name;
+  std::size_t min_scale, max_scale;
+};
+
+constexpr WorkloadRange kWorkloadRanges[] = {
+    {"dot_product", 8, 16}, {"matmul", 3, 5},   {"bubble_sort", 8, 14},
+    {"checksum", 8, 24},    {"fibonacci", 8, 16}, {"find_max", 8, 24},
+    {"random_program", 20, 60},
+};
+
+WorkloadSpec draw_workload(Rng& rng) {
+  const WorkloadRange& range =
+      kWorkloadRanges[rng.uniform_index(std::size(kWorkloadRanges))];
+  WorkloadSpec w;
+  w.name = range.name;
+  w.scale = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(range.min_scale),
+                      static_cast<std::int64_t>(range.max_scale)));
+  w.wseed = rng.next_u64();
+  return w;
+}
+
+void fnv_mix(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+}
+
+void fnv_mix_double(std::uint64_t& h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  fnv_mix(h, &bits, sizeof bits);
+}
+
+}  // namespace
+
+ScenarioSpec ScenarioGenerator::at(std::size_t index) const {
+  Rng rng(trial_seed(cfg_.base_seed, index));
+  ScenarioSpec spec;
+  spec.name = "gen-" + std::to_string(index);
+  spec.seed = rng.next_u64();
+
+  const bool planted = cfg_.planted_violation_rate > 0.0 &&
+                       rng.bernoulli(cfg_.planted_violation_rate);
+
+  // Workload mix + fault campaigns (always present: every scenario injects).
+  const std::size_t num_workloads = 1 + rng.uniform_index(2);
+  for (std::size_t i = 0; i < num_workloads; ++i) spec.workloads.push_back(draw_workload(rng));
+  const std::size_t num_faults = 1 + rng.uniform_index(2);
+  for (std::size_t i = 0; i < num_faults; ++i) {
+    FaultModelSpec f;
+    f.layer = rng.bernoulli(0.3) ? "arch.pipeline" : "arch.fault";
+    static constexpr const char* kTargets[] = {"register", "memory", "instruction"};
+    f.target = kTargets[rng.uniform_index(3)];
+    f.workload = rng.uniform_index(spec.workloads.size());
+    f.trials = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(cfg_.min_fault_trials),
+                        static_cast<std::int64_t>(cfg_.max_fault_trials)));
+    spec.faults.push_back(std::move(f));
+  }
+
+  // Thermal trace.
+  if (rng.bernoulli(0.6) || planted) {
+    const std::size_t phases = 1 + rng.uniform_index(3);
+    for (std::size_t i = 0; i < phases; ++i)
+      spec.thermal.push_back(ThermalPhase{.duration_ms = rng.uniform(200.0, 800.0),
+                                          .ambient_k = rng.uniform(310.0, 335.0)});
+  }
+
+  // Device aging stage.
+  if (rng.bernoulli(0.7) || planted) {
+    DeviceSpec d;
+    d.years = rng.uniform(1.0, 12.0);
+    d.vdd = rng.uniform(0.75, 0.85);
+    d.duty_cycle = rng.uniform(0.3, 0.7);
+    d.toggle_rate_ghz = rng.uniform(0.3, 1.0);
+    d.self_heat_rise_k = rng.uniform(10.0, 30.0);
+    if (planted) {
+      // Deliberately under-margined: nominal fmax at the ladder top with a
+      // fat static margin pushes safe_fmax well below what the (static,
+      // top-level) governor below will command.
+      d.years = rng.uniform(10.0, 20.0);
+      d.nominal_fmax_ghz = 2.0;
+      d.margin = rng.uniform(1.25, 1.6);
+    } else {
+      d.nominal_fmax_ghz = rng.uniform(2.2, 3.0);
+      d.margin = 1.0;
+    }
+    spec.device = d;
+  }
+
+  // OS stage.
+  if (rng.bernoulli(0.55) || planted) {
+    OsSpec o;
+    if (planted) {
+      o.governor = "static";
+      o.vf_index = 4;  // ladder top — guaranteed to breach the planted margin
+    } else {
+      const double pick = rng.uniform(0.0, 1.0);
+      if (pick < 0.3) {
+        o.governor = "static";
+        o.vf_index = rng.uniform_index(5);
+      } else if (pick < 0.8) {
+        o.governor = "ondemand";
+      } else {
+        o.governor = "dpm";
+      }
+    }
+    o.big_cores = 1 + rng.uniform_index(2);
+    o.little_cores = rng.uniform_index(3);
+    const double map_pick = rng.uniform(0.0, 1.0);
+    o.mapping = map_pick < 0.7 ? "worst_fit" : (map_pick < 0.85 ? "performance" : "thermal");
+    o.duration_ms = cfg_.os_duration_ms;
+    o.sim_seed = rng.next_u64();
+    o.tasks.num_tasks = 3 + rng.uniform_index(4);
+    o.tasks.utilization = rng.uniform(0.4, 1.2);
+    o.tasks.seed = rng.next_u64();
+    if (rng.bernoulli(0.3)) o.temp_limit_k = 380.0;
+    spec.os = o;
+  }
+
+  // Mixed criticality.
+  if (rng.bernoulli(0.4)) {
+    MixedCritSpec m;
+    m.tasks.num_tasks = 4 + rng.uniform_index(5);
+    m.tasks.utilization = rng.uniform(0.5, 0.8);
+    m.tasks.hi_fraction = rng.uniform(0.3, 0.5);
+    m.tasks.seed = rng.next_u64();
+    m.overrun_factors = {1.0, rng.uniform(1.2, 1.6), rng.uniform(1.8, 2.4)};
+    m.duration_ms = cfg_.mc_duration_ms;
+    m.sim_seed = rng.next_u64();
+    spec.mixed_criticality = m;
+  }
+
+  // Replica drift.
+  if (rng.bernoulli(0.4)) {
+    ReplicaDriftSpec r;
+    r.seed = rng.next_u64();
+    r.jobs_per_window = 400;
+    static constexpr double kRates[] = {0.001, 0.01, 0.05, 0.08};
+    const std::size_t phases = 2 + rng.uniform_index(2);
+    for (std::size_t i = 0; i < phases; ++i)
+      r.phases.push_back(ReplicaPhase{.name = "phase" + std::to_string(i),
+                                      .fault_rate = kRates[rng.uniform_index(4)],
+                                      .windows = 6 + rng.uniform_index(7)});
+    spec.replica_drift = r;
+  }
+
+  // Rollback sweep (small grid — the Monte Carlo runs dominate sweep time).
+  if (rng.bernoulli(0.25)) {
+    RollbackSpec r;
+    static constexpr const char* kTokens[] = {"ds", "ds-1.5x", "ds-2x", "wcet"};
+    const std::size_t first = rng.uniform_index(4);
+    r.schedulers = {kTokens[first], kTokens[(first + 1 + rng.uniform_index(3)) % 4]};
+    r.runs_per_point = cfg_.rollback_runs;
+    r.base_seed = rng.next_u64();
+    r.error_probabilities = {1e-7, 3e-6, 3e-5};
+    spec.rollback = r;
+  }
+
+  // Closed learning loop (rare: the expensive stage).
+  if (rng.bernoulli(0.1)) {
+    CrossLayerSpec c;
+    c.env_seed = rng.next_u64();
+    c.episodes = 8;
+    c.steps_per_episode = 40;
+    c.eval_episodes = 3;
+    spec.crosslayer = c;
+  }
+
+  return spec;
+}
+
+std::uint64_t SweepReport::findings_fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const SweepOutcome& o : outcomes) {
+    fnv_mix(h, o.name.data(), o.name.size());
+    const std::uint64_t trials64 = o.trials;
+    fnv_mix(h, &trials64, sizeof trials64);
+    for (const InvariantFinding& f : o.findings) {
+      fnv_mix(h, f.id.data(), f.id.size());
+      const unsigned char sev = static_cast<unsigned char>(f.severity);
+      fnv_mix(h, &sev, 1);
+      fnv_mix_double(h, f.measured);
+      fnv_mix_double(h, f.bound);
+    }
+  }
+  return h;
+}
+
+obs::Json SweepReport::to_json() const {
+  obs::Json j = obs::Json::object();
+  j["schema"] = "lore.scenario_sweep.v1";
+  j["base_seed"] = static_cast<std::int64_t>(base_seed);
+  j["scenarios"] = static_cast<std::int64_t>(scenarios);
+  j["trials"] = static_cast<std::int64_t>(trials);
+  j["violations"] = static_cast<std::int64_t>(violations);
+  j["warnings"] = static_cast<std::int64_t>(warnings);
+  j["wall_seconds"] = wall_seconds;
+  j["trials_per_second"] = trials_per_second();
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(findings_fingerprint()));
+  j["findings_fingerprint"] = std::string(buf);
+  obs::Json arr = obs::Json::array();
+  for (const SweepOutcome& o : outcomes) {
+    if (o.findings.empty()) continue;  // only interesting scenarios in the artifact
+    obs::Json e = obs::Json::object();
+    e["name"] = o.name;
+    e["index"] = static_cast<std::int64_t>(o.index);
+    e["trials"] = static_cast<std::int64_t>(o.trials);
+    e["findings"] = findings_to_json(o.findings);
+    arr.push_back(std::move(e));
+  }
+  j["outcomes"] = std::move(arr);
+  return j;
+}
+
+SweepReport run_sweep(const GeneratorConfig& cfg, std::size_t count) {
+  const auto start = std::chrono::steady_clock::now();
+  const ScenarioGenerator gen(cfg);
+  SweepReport report;
+  report.base_seed = cfg.base_seed;
+  report.scenarios = count;
+  for (std::size_t i = 0; i < count; ++i) {
+    const ScenarioSpec spec = gen.at(i);
+    const ScenarioResult result = run_scenario(spec);
+    SweepOutcome outcome;
+    outcome.name = spec.name;
+    outcome.index = i;
+    outcome.trials = result.total_trials();
+    outcome.findings = check_invariants(result);
+    report.trials += outcome.trials;
+    report.violations += count_violations(outcome.findings);
+    report.warnings += count_warnings(outcome.findings);
+    report.outcomes.push_back(std::move(outcome));
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return report;
+}
+
+}  // namespace lore::scenario

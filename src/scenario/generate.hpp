@@ -1,0 +1,81 @@
+// Counter-seeded generative scenario sweeps: `ScenarioGenerator::at(i)` is a
+// pure function of (base_seed, i) — the same per-index derivation
+// (`trial_seed`) the campaign engine uses per trial — so a sweep is
+// enumerable in any order, shardable, and bit-reproducible: same seed, same
+// scenarios, same findings. The generator fuzzes scenario space with small
+// stage sizes (a 100-scenario sweep stays in benchtop time) and can plant
+// deliberately undersized guardbands to exercise the invariant checker.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/json.hpp"
+#include "src/scenario/invariants.hpp"
+#include "src/scenario/spec.hpp"
+
+namespace lore::scenario {
+
+struct GeneratorConfig {
+  std::uint64_t base_seed = 2026;
+  /// Fault-campaign trial bounds per generated campaign.
+  std::size_t min_fault_trials = 24;
+  std::size_t max_fault_trials = 96;
+  /// Per-phase OS simulation length (kept short for sweep throughput).
+  double os_duration_ms = 400.0;
+  double mc_duration_ms = 1500.0;
+  std::size_t rollback_runs = 4;
+  /// Probability that a generated scenario deliberately under-margins its
+  /// guardband (the planted violation the checker must catch). 0 = never.
+  double planted_violation_rate = 0.0;
+};
+
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(GeneratorConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Scenario `index` of the sweep — deterministic, order-independent.
+  ScenarioSpec at(std::size_t index) const;
+
+  const GeneratorConfig& config() const { return cfg_; }
+
+ private:
+  GeneratorConfig cfg_;
+};
+
+/// One swept scenario's outcome.
+struct SweepOutcome {
+  std::string name;
+  std::size_t index = 0;
+  std::size_t trials = 0;
+  std::vector<InvariantFinding> findings;
+};
+
+struct SweepReport {
+  std::uint64_t base_seed = 0;
+  std::size_t scenarios = 0;
+  std::size_t trials = 0;
+  std::size_t violations = 0;
+  std::size_t warnings = 0;
+  double wall_seconds = 0.0;
+  std::vector<SweepOutcome> outcomes;
+
+  double trials_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(trials) / wall_seconds : 0.0;
+  }
+
+  /// FNV-1a over every outcome's (name, finding ids/severities/measured) —
+  /// the determinism pin: same seed → same fingerprint, independent of
+  /// wall-clock. Excludes timing.
+  std::uint64_t findings_fingerprint() const;
+
+  /// Summary + per-finding list (wall-clock members included; the
+  /// fingerprint member is what determinism comparisons should use).
+  obs::Json to_json() const;
+};
+
+/// Run scenarios [0, count) of the generator's space and check invariants
+/// on each.
+SweepReport run_sweep(const GeneratorConfig& cfg, std::size_t count);
+
+}  // namespace lore::scenario

@@ -1,0 +1,229 @@
+#include "src/scenario/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/table.hpp"
+
+namespace lore::scenario {
+
+namespace {
+
+void add(std::vector<InvariantFinding>& out, std::string id, Severity severity,
+         std::string message, double measured, double bound) {
+  out.push_back(InvariantFinding{.id = std::move(id),
+                                 .severity = severity,
+                                 .message = std::move(message),
+                                 .measured = measured,
+                                 .bound = bound});
+}
+
+/// Circuit → OS: the aged-silicon safe frequency must bound everything the
+/// governor actually commanded.
+void check_guardband(const ScenarioResult& r, std::vector<InvariantFinding>& out) {
+  if (!r.device || !r.os) return;
+  const double used = r.os->max_freq_used_ghz;
+  const double safe = r.device->safe_fmax_ghz;
+  if (used > safe * (1.0 + 1e-9)) {
+    add(out, "guardband.os_vs_circuit", Severity::kViolation,
+        "OS governor commanded " + fmt_sig(used, 4) + " GHz but the aged-silicon "
+        "guardband (" + fmt_sig(r.device->guardband, 4) + "x) only allows " +
+        fmt_sig(safe, 4) + " GHz",
+        used, safe);
+  } else {
+    add(out, "guardband.os_vs_circuit", Severity::kInfo,
+        "max commanded frequency " + fmt_sig(used, 4) + " GHz within the aged limit " +
+            fmt_sig(safe, 4) + " GHz",
+        used, safe);
+  }
+}
+
+/// OS: HI-criticality deadlines must hold at every overrun level.
+void check_criticality(const ScenarioResult& r, std::vector<InvariantFinding>& out) {
+  if (!r.mixed_criticality) return;
+  for (const MixedCritRow& row : r.mixed_criticality->rows) {
+    const double miss_rate =
+        row.hi_jobs ? static_cast<double>(row.hi_misses) / static_cast<double>(row.hi_jobs)
+                    : 0.0;
+    if (miss_rate > 0.02) {
+      add(out, "criticality.hi_deadlines", Severity::kViolation,
+          "HI miss rate " + fmt_sig(miss_rate, 3) + " at overrun factor " +
+              fmt_sig(row.overrun_factor, 3) + " (bound 0.02)",
+          miss_rate, 0.02);
+    } else if (miss_rate > 0.0) {
+      add(out, "criticality.hi_deadlines", Severity::kWarning,
+          "nonzero HI miss rate " + fmt_sig(miss_rate, 3) + " at overrun factor " +
+              fmt_sig(row.overrun_factor, 3),
+          miss_rate, 0.0);
+    }
+  }
+}
+
+/// Replica manager: its recommendation must minimize its own cost model,
+/// and its learned rate should track the true rate after enough windows.
+void check_replica(const ScenarioResult& r, std::vector<InvariantFinding>& out) {
+  if (!r.replica_drift) return;
+  const auto& phases = r.spec.replica_drift->phases;
+  for (std::size_t i = 0; i < r.replica_drift->rows.size(); ++i) {
+    const ReplicaPhaseRow& row = r.replica_drift->rows[i];
+    if (!row.costs.empty()) {
+      const std::size_t argmin =
+          1 + static_cast<std::size_t>(
+                  std::min_element(row.costs.begin(), row.costs.end()) - row.costs.begin());
+      if (row.replicas != argmin) {
+        add(out, "replica.model_consistency", Severity::kViolation,
+            "phase '" + row.phase + "': recommended " + std::to_string(row.replicas) +
+                " replicas but expected_cost is minimized at " + std::to_string(argmin),
+            static_cast<double>(row.replicas), static_cast<double>(argmin));
+      }
+    }
+    const std::size_t windows = i < phases.size() ? phases[i].windows : 0;
+    if (windows >= 5) {
+      const double tolerance = std::max(row.true_rate * 0.5, 0.02);
+      if (std::fabs(row.estimated_rate - row.true_rate) > tolerance) {
+        add(out, "replica.estimate_tracking", Severity::kWarning,
+            "phase '" + row.phase + "': estimate " + fmt_sig(row.estimated_rate, 3) +
+                " drifted from true rate " + fmt_sig(row.true_rate, 3) + " after " +
+                std::to_string(windows) + " windows",
+            row.estimated_rate, row.true_rate);
+      }
+    }
+  }
+}
+
+/// OS error model: replication can only mask faults that happened, so
+/// masked + SDC outcomes can never exceed raw soft-error events.
+void check_masking(const ScenarioResult& r, std::vector<InvariantFinding>& out) {
+  if (!r.os) return;
+  const double classified =
+      static_cast<double>(r.os->masked_faults + r.os->sdc_failures);
+  const double raw = static_cast<double>(r.os->soft_errors);
+  if (classified > raw) {
+    add(out, "replica.masking_accounting", Severity::kViolation,
+        "masked (" + std::to_string(r.os->masked_faults) + ") + SDC (" +
+            std::to_string(r.os->sdc_failures) + ") outcomes exceed the " +
+            std::to_string(r.os->soft_errors) + " raw soft errors",
+        classified, raw);
+  }
+}
+
+/// Campaign accounting: reports must balance and derived rates stay in
+/// range; a degraded (incomplete) campaign is worth a warning.
+void check_fault_accounting(const ScenarioResult& r, std::vector<InvariantFinding>& out) {
+  for (std::size_t i = 0; i < r.faults.size(); ++i) {
+    const FaultStageResult& f = r.faults[i];
+    if (f.avf < 0.0 || f.avf > 1.0 || f.corruption_factor < 0.0 ||
+        f.corruption_factor > 1.0) {
+      add(out, "fault.rate_range", Severity::kViolation,
+          "fault campaign " + std::to_string(i) + ": AVF " + fmt_sig(f.avf, 3) +
+              " / corruption factor " + fmt_sig(f.corruption_factor, 3) +
+              " outside [0,1]",
+          f.avf, 1.0);
+    }
+    if (!f.report.complete()) {
+      add(out, "fault.campaign_degraded", Severity::kWarning,
+          "fault campaign " + std::to_string(i) + ": only " +
+              std::to_string(f.report.completed) + "/" + std::to_string(f.report.trials) +
+              " trials completed",
+          static_cast<double>(f.report.completed), static_cast<double>(f.report.trials));
+    }
+  }
+}
+
+/// Rollback: deadline hit rates must not *improve* as the error probability
+/// grows (small Monte Carlo tolerance).
+void check_rollback_monotone(const ScenarioResult& r, std::vector<InvariantFinding>& out) {
+  if (!r.rollback) return;
+  const auto& points = r.rollback->experiment.points;
+  for (rollback::SchedulerKind kind : r.rollback->schedulers) {
+    for (std::size_t i = 1; i < points.size(); ++i) {
+      const double prev = points[i - 1].hit_rate.at(kind);
+      const double curr = points[i].hit_rate.at(kind);
+      if (curr > prev + 0.05) {
+        add(out, "rollback.monotone_hit_rate", Severity::kViolation,
+            rollback::scheduler_name(kind) + ": hit rate rose from " + fmt_sig(prev, 3) +
+                " to " + fmt_sig(curr, 3) + " as p grew to " + fmt_sig(points[i].p, 3),
+            curr, prev + 0.05);
+      }
+    }
+  }
+}
+
+/// Thermal ceiling from the spec (0 = unchecked).
+void check_thermal(const ScenarioResult& r, std::vector<InvariantFinding>& out) {
+  if (!r.os || !r.spec.os || r.spec.os->temp_limit_k <= 0.0) return;
+  const double limit = r.spec.os->temp_limit_k;
+  if (r.os->peak_temperature_k > limit) {
+    add(out, "thermal.peak_within_limit", Severity::kViolation,
+        "peak temperature " + fmt_sig(r.os->peak_temperature_k, 4) + " K above the " +
+            fmt_sig(limit, 4) + " K ceiling",
+        r.os->peak_temperature_k, limit);
+  }
+}
+
+/// Learning loop: training should not end worse than it started (stochastic
+/// — a warning, not a violation).
+void check_crosslayer(const ScenarioResult& r, std::vector<InvariantFinding>& out) {
+  if (!r.crosslayer || r.crosslayer->training.episode_rewards.size() < 20) return;
+  const double early = r.crosslayer->training.early_mean();
+  const double late = r.crosslayer->training.late_mean();
+  const double tolerance = 0.1 * std::fabs(early) + 1e-9;
+  if (late < early - tolerance) {
+    add(out, "crosslayer.learning_progress", Severity::kWarning,
+        "late-training mean reward " + fmt_sig(late, 4) + " below early mean " +
+            fmt_sig(early, 4),
+        late, early);
+  }
+}
+
+}  // namespace
+
+std::string severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kViolation: return "violation";
+  }
+  return "?";
+}
+
+std::vector<InvariantFinding> check_invariants(const ScenarioResult& result) {
+  std::vector<InvariantFinding> findings;
+  check_guardband(result, findings);
+  check_criticality(result, findings);
+  check_replica(result, findings);
+  check_masking(result, findings);
+  check_fault_accounting(result, findings);
+  check_rollback_monotone(result, findings);
+  check_thermal(result, findings);
+  check_crosslayer(result, findings);
+  return findings;
+}
+
+std::size_t count_violations(const std::vector<InvariantFinding>& findings) {
+  std::size_t n = 0;
+  for (const auto& f : findings) n += f.severity == Severity::kViolation ? 1 : 0;
+  return n;
+}
+
+std::size_t count_warnings(const std::vector<InvariantFinding>& findings) {
+  std::size_t n = 0;
+  for (const auto& f : findings) n += f.severity == Severity::kWarning ? 1 : 0;
+  return n;
+}
+
+obs::Json findings_to_json(const std::vector<InvariantFinding>& findings) {
+  obs::Json a = obs::Json::array();
+  for (const auto& f : findings) {
+    obs::Json e = obs::Json::object();
+    e["id"] = f.id;
+    e["severity"] = severity_name(f.severity);
+    e["message"] = f.message;
+    e["measured"] = f.measured;
+    e["bound"] = f.bound;
+    a.push_back(std::move(e));
+  }
+  return a;
+}
+
+}  // namespace lore::scenario

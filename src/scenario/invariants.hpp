@@ -1,0 +1,43 @@
+// Differential cross-layer invariant checking: after a scenario runs, the
+// stages' results must agree with each other across abstraction levels —
+// the circuit-level guardband bounds the frequencies the OS governor used,
+// HI-criticality deadlines hold under injected overruns, the replica
+// manager's choice minimizes its own cost model, fault accounting balances,
+// and rollback hit rates degrade monotonically with the error rate.
+// Violations come back as structured findings (the sweep driver's currency),
+// never as asserts: a generated scenario that breaks an invariant is a
+// *result*, not a crash.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+#include "src/scenario/engine.hpp"
+
+namespace lore::scenario {
+
+enum class Severity : std::uint8_t { kInfo, kWarning, kViolation };
+
+std::string severity_name(Severity s);
+
+/// One checked cross-layer property. `measured` and `bound` carry the two
+/// sides of the comparison for reporting (0 when not meaningful).
+struct InvariantFinding {
+  std::string id;        // e.g. "guardband.os_vs_circuit"
+  Severity severity = Severity::kInfo;
+  std::string message;
+  double measured = 0.0;
+  double bound = 0.0;
+};
+
+/// Run every applicable check. Deterministic: same result → same findings
+/// in the same order.
+std::vector<InvariantFinding> check_invariants(const ScenarioResult& result);
+
+std::size_t count_violations(const std::vector<InvariantFinding>& findings);
+std::size_t count_warnings(const std::vector<InvariantFinding>& findings);
+
+obs::Json findings_to_json(const std::vector<InvariantFinding>& findings);
+
+}  // namespace lore::scenario

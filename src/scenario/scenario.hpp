@@ -1,0 +1,9 @@
+// Umbrella for the scenario subsystem (DESIGN.md §14): the declarative spec
+// + JSON codec, the cross-layer composition engine, the differential
+// invariant checker, and the counter-seeded generative sweep driver.
+#pragma once
+
+#include "src/scenario/engine.hpp"
+#include "src/scenario/generate.hpp"
+#include "src/scenario/invariants.hpp"
+#include "src/scenario/spec.hpp"

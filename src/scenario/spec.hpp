@@ -1,0 +1,230 @@
+// The declarative scenario DSL (DESIGN.md §14): one `ScenarioSpec` names
+// everything a cross-layer experiment is made of — workload mix, fault
+// model(s), thermal trace, OS governor/mapping policy, criticality levels,
+// replica drift, rollback schedulers, the closed learning loop, and the
+// campaign knobs — as plain data with a JSON codec on `obs::Json`. The
+// composition engine (engine.hpp) instantiates the referenced layer models
+// and runs every requested stage; the generator (generate.hpp) enumerates
+// this space deterministically; the invariant checker (invariants.hpp)
+// cross-examines the stage results against each other.
+//
+// Stage presence is optionality-driven: a spec with only `faults` runs a
+// plain injection campaign; adding `device` + `os` members turns on the
+// aging→guardband→governor chain and its differential check. Unknown JSON
+// keys are tolerated (forward compatibility); wrong *types* on known keys
+// are hard errors with a JSON-path diagnostic, and the file loader maps
+// parse errors to file:line:column.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/json.hpp"
+
+namespace lore::scenario {
+
+inline constexpr std::string_view kScenarioSchema = "lore.scenario.v1";
+
+/// Decode failure: what() carries the JSON path of the offending member
+/// ("scenario.os.tasks.num_tasks: expected integer") or, from the file
+/// loader, a file:line:column prefix.
+class SpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Campaign-policy knobs shared by every campaign the scenario spawns
+/// (mirrors the policy half of `lore::CampaignSpec`; identity fields come
+/// from the stages).
+struct CampaignKnobs {
+  /// Worker threads (0 = hardware_concurrency, 1 = serial). Results are
+  /// bit-identical for every value — the repo's standing determinism
+  /// contract.
+  unsigned threads = 0;
+  /// Base seed for the scenario's campaigns; unset = ScenarioSpec::seed.
+  /// Campaign i derives its own stream via trial_seed(base, i).
+  std::optional<std::uint64_t> base_seed;
+  /// Write LORECKP1 checkpoints under name-derived default paths.
+  bool checkpoint = false;
+  double trial_deadline_ms = 0.0;  // 0 = none
+  double overall_budget_ms = 0.0;  // 0 = none
+  unsigned max_retries = 2;
+};
+
+/// One synthetic workload from src/arch/workloads.hpp. `name` is one of
+/// dot_product, matmul, bubble_sort, checksum, fibonacci, find_max,
+/// random_program (the same names the fabric params use).
+struct WorkloadSpec {
+  std::string name = "dot_product";
+  std::size_t scale = 12;
+  std::uint64_t wseed = 42;
+};
+
+/// One fault-injection campaign over a workload of the mix.
+struct FaultModelSpec {
+  /// "arch.fault" (functional ISA injector) or "arch.pipeline" (latch
+  /// faults in the 5-stage pipeline model).
+  std::string layer = "arch.fault";
+  /// arch.fault only: register | memory | instruction.
+  std::string target = "register";
+  /// Index into ScenarioSpec::workloads.
+  std::size_t workload = 0;
+  std::size_t trials = 200;
+};
+
+/// One step of the ambient-temperature trace. The OS stage simulates each
+/// phase back to back; the device stage ages under the time-weighted mean.
+struct ThermalPhase {
+  double duration_ms = 5000.0;
+  double ambient_k = 318.0;
+};
+
+/// Transistor/circuit stage: NBTI+HCI threshold shift after `years` of
+/// stress, turned into a delay guardband by the alpha-power law and into
+/// the maximum frequency the OS may safely command.
+struct DeviceSpec {
+  double years = 5.0;
+  double vdd = 0.8;
+  double duty_cycle = 0.5;
+  double toggle_rate_ghz = 0.5;
+  /// Channel self-heating above ambient (K) — the SHE offset fed into the
+  /// aging evaluation on top of the thermal trace.
+  double self_heat_rise_k = 20.0;
+  double vth0 = 0.35;
+  /// Alpha-power-law delay exponent: delay ∝ (V - Vth)^-alpha.
+  double alpha = 1.3;
+  double nominal_fmax_ghz = 2.0;
+  /// Extra static margin multiplied onto the aging guardband.
+  double margin = 1.0;
+};
+
+/// Task-set generation knobs (mirrors os::TaskSetConfig defaults).
+struct TasksetSpec {
+  std::size_t num_tasks = 8;
+  double utilization = 1.6;
+  double min_period_ms = 20.0;
+  double max_period_ms = 200.0;
+  double hi_fraction = 0.3;
+  double lo_budget_fraction = 0.6;
+  std::uint64_t seed = 71;
+};
+
+/// OS stage: the DVFS/DPM-governed multicore simulator over the thermal
+/// trace, one run per thermal phase.
+struct OsSpec {
+  /// static | ondemand | dpm | rl
+  std::string governor = "ondemand";
+  /// static governor: the pinned ladder index.
+  std::size_t vf_index = 2;
+  std::size_t big_cores = 2;
+  std::size_t little_cores = 2;
+  /// worst_fit | performance | thermal
+  std::string mapping = "worst_fit";
+  double duration_ms = 4000.0;  // per thermal phase
+  double tick_ms = 1.0;
+  double control_period_ms = 20.0;
+  std::uint64_t sim_seed = 73;
+  /// rl governor: training episodes before the frozen evaluation run.
+  std::size_t rl_episodes = 4;
+  TasksetSpec tasks{};
+  double ser_lambda0_per_s = 1e-5;
+  double ser_d_exponent = 3.0;
+  /// Thermal ceiling checked by the invariant pass (0 = unchecked).
+  double temp_limit_k = 0.0;
+};
+
+struct CriticalityOverride {
+  std::size_t task = 0;
+  std::string level = "high";  // high | low
+};
+
+/// Mixed-criticality EDF stage: one simulation per overrun factor.
+struct MixedCritSpec {
+  TasksetSpec tasks{};
+  std::vector<CriticalityOverride> force_criticality;
+  std::vector<double> overrun_factors = {1.3};
+  double duration_ms = 20000.0;
+  double tick_ms = 0.5;
+  std::uint64_t sim_seed = 83;
+};
+
+struct ReplicaPhase {
+  std::string name = "phase";
+  double fault_rate = 0.001;
+  std::size_t windows = 10;
+};
+
+/// Adaptive-replica stage: feed the manager Bernoulli fault observations
+/// whose true rate steps per phase, and record its estimate/choice.
+struct ReplicaDriftSpec {
+  std::uint64_t seed = 43;
+  std::size_t jobs_per_window = 1000;
+  std::vector<ReplicaPhase> phases;
+};
+
+/// Rollback/cycle-noise stage: the Sec. V Monte Carlo sweep.
+struct RollbackSpec {
+  /// Tokens: ds | ds-1.5x | ds-2x | wcet | ds-ml
+  std::vector<std::string> schedulers = {"ds", "ds-1.5x", "ds-2x", "wcet", "ds-ml"};
+  std::size_t runs_per_point = 100;
+  /// Unset = the experiment default (97) — independent of the scenario seed
+  /// so committed specs reproduce the legacy figures verbatim.
+  std::optional<std::uint64_t> base_seed;
+  /// Empty = the paper's default probability grid.
+  std::vector<double> error_probabilities;
+};
+
+/// Closed learning-loop stage (Fig. 1): Q-learning V-f control with the
+/// cross-layer reward, plus fixed-policy baselines.
+struct CrossLayerSpec {
+  std::uint64_t env_seed = 101;
+  double alpha = 0.1;
+  double gamma = 0.9;
+  double epsilon = 0.2;
+  double epsilon_decay = 0.995;
+  std::uint64_t learner_seed = 31;
+  std::size_t episodes = 120;
+  std::size_t steps_per_episode = 200;
+  std::size_t eval_episodes = 10;
+  bool fixed_policy_baselines = true;
+};
+
+/// The whole scenario. Stages run in layer order: device → arch faults →
+/// OS sim → mixed criticality → replica drift → rollback → cross-layer
+/// loop; absent optionals are skipped.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  std::string description{};
+  std::uint64_t seed = 1;
+  CampaignKnobs campaign{};
+  std::vector<WorkloadSpec> workloads;
+  std::vector<FaultModelSpec> faults;
+  std::vector<ThermalPhase> thermal;
+  std::optional<DeviceSpec> device;
+  std::optional<OsSpec> os;
+  std::optional<MixedCritSpec> mixed_criticality;
+  std::optional<ReplicaDriftSpec> replica_drift;
+  std::optional<RollbackSpec> rollback;
+  std::optional<CrossLayerSpec> crosslayer;
+};
+
+/// Serialize (round-trips through scenario_from_json bit-exactly).
+obs::Json to_json(const ScenarioSpec& spec);
+
+/// Decode. Unknown keys are ignored; known keys of the wrong type, bad
+/// enum tokens, and out-of-range stage references throw SpecError with the
+/// offending JSON path.
+ScenarioSpec scenario_from_json(const obs::Json& doc);
+
+/// Parse a JSON text. JSON-level errors gain an `origin:line:column`
+/// prefix computed from the parser's byte offset.
+ScenarioSpec parse_scenario(std::string_view text, const std::string& origin = "<string>");
+
+/// Load a `.scenario.json` file; all diagnostics carry file:line:column.
+ScenarioSpec load_scenario_file(const std::string& path);
+
+}  // namespace lore::scenario

@@ -1,59 +1,66 @@
-// The deprecated `Rng&`-drawing campaign overloads are thin wrappers that
-// draw one u64 for the spec's base seed. This is the one place in the repo
-// allowed to call them: it pins the wrapper behavior (bit-identical to the
-// spec entry points) so out-of-tree callers can migrate mechanically.
+// Compat pins for the modern campaign API. The legacy `Rng&`-drawing
+// overloads are gone; what remains — and what out-of-tree callers migrate
+// onto — is the positional-seed convenience over the `CampaignSpec` entry
+// point. These tests pin that the convenience is bit-identical to the spec
+// form (same trials/base_seed/threads), so the two spellings stay
+// interchangeable.
 #include <gtest/gtest.h>
 
 #include "src/arch/fault.hpp"
 #include "src/arch/pipeline.hpp"
 #include "src/circuit/logicsim.hpp"
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace lore {
 namespace {
 
-TEST(DeprecatedOverloads, FaultCampaignMatchesSpecEntryPoint) {
+TEST(CampaignCompat, FaultPositionalMatchesSpecEntryPoint) {
   const auto workload = arch::make_dot_product(12, 42);
   const arch::FaultInjector injector(workload);
-  Rng legacy_rng(5);
-  const auto legacy = injector.campaign(80, arch::FaultTarget::kRegister, legacy_rng);
-
   Rng seed_rng(5);
-  const auto migrated =
-      injector.campaign(80, arch::FaultTarget::kRegister, seed_rng.next_u64());
-  EXPECT_EQ(legacy, migrated);
+  const std::uint64_t base_seed = seed_rng.next_u64();
+
+  const auto positional =
+      injector.campaign(80, arch::FaultTarget::kRegister, base_seed);
+  const auto spec_form = injector.campaign(
+      CampaignSpec{.trials = 80, .base_seed = base_seed}, arch::FaultTarget::kRegister);
+  EXPECT_EQ(positional, spec_form);
 }
 
-TEST(DeprecatedOverloads, PipelineCampaignMatchesSpecEntryPoint) {
+TEST(CampaignCompat, FaultPositionalThreadCountInvariant) {
+  const auto workload = arch::make_dot_product(12, 42);
+  const arch::FaultInjector injector(workload);
+  const auto serial = injector.campaign(64, arch::FaultTarget::kMemory, 77, 1);
+  const auto threaded = injector.campaign(64, arch::FaultTarget::kMemory, 77, 4);
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST(CampaignCompat, PipelinePositionalMatchesSpecEntryPoint) {
   const auto workload = arch::make_dot_product(10, 7);
-  Rng legacy_rng(9);
-  const auto legacy = arch::pipeline_campaign(workload, 60, legacy_rng);
-
   Rng seed_rng(9);
-  const auto migrated = arch::pipeline_campaign(workload, 60, seed_rng.next_u64());
-  EXPECT_EQ(legacy, migrated);
+  const std::uint64_t base_seed = seed_rng.next_u64();
+
+  const auto positional = arch::pipeline_campaign(workload, 60, base_seed);
+  const auto spec_form = arch::pipeline_campaign(
+      workload, CampaignSpec{.trials = 60, .base_seed = base_seed});
+  EXPECT_EQ(positional, spec_form);
 }
 
-TEST(DeprecatedOverloads, StuckAtCampaignMatchesSpecEntryPoint) {
+TEST(CampaignCompat, StuckAtSpecRunMatchesConvenience) {
   const auto lib = circuit::make_skeleton_library("tech");
   const auto nl = circuit::generate_random_logic(
       lib, circuit::RandomLogicConfig{.num_gates = 30, .seed = 3});
-  Rng legacy_rng(4);
-  const auto legacy = circuit::stuck_at_campaign(nl, 12, legacy_rng);
-
   Rng seed_rng(4);
-  const auto migrated = circuit::stuck_at_campaign(
-      nl, CampaignSpec{.trials = 12, .base_seed = seed_rng.next_u64(), .threads = 1});
-  ASSERT_EQ(legacy.size(), migrated.size());
-  for (std::size_t g = 0; g < legacy.size(); ++g) {
-    EXPECT_EQ(legacy[g].stuck0_observability, migrated[g].stuck0_observability);
-    EXPECT_EQ(legacy[g].stuck1_observability, migrated[g].stuck1_observability);
+  const CampaignSpec spec{.trials = 12, .base_seed = seed_rng.next_u64(), .threads = 1};
+
+  const auto convenience = circuit::stuck_at_campaign(nl, spec);
+  const auto full = circuit::stuck_at_campaign_run(nl, spec);
+  ASSERT_EQ(convenience.size(), full.criticality.size());
+  for (std::size_t g = 0; g < convenience.size(); ++g) {
+    EXPECT_EQ(convenience[g].stuck0_observability, full.criticality[g].stuck0_observability);
+    EXPECT_EQ(convenience[g].stuck1_observability, full.criticality[g].stuck1_observability);
   }
+  EXPECT_TRUE(full.report.complete());
 }
 
 }  // namespace
 }  // namespace lore
-
-#pragma GCC diagnostic pop
