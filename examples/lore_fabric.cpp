@@ -14,10 +14,20 @@
 //
 // `--serve PORT` exposes the coordinator's own /metrics (fleet.* gauges) for
 // `scripts/lore_top.py --fleet`.
+//
+// Tracing: with LORE_TRACE=file (or --verify, which force-enables the
+// recorder) the run opens a root span, every shard on every worker becomes a
+// child span of it, and the merged Chrome trace lands in LORE_TRACE.
+// `--verify` also checks the merged parentage. `--flight-dir DIR` gives each
+// worker a crash-safe flight ring under DIR; `--chaos-kill MS` SIGKILLs the
+// first worker after MS — together they exercise the post-mortem path
+// (scripts/lore_postmortem.py on the dead worker's ring).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/arch/fault.hpp"
@@ -47,6 +57,8 @@ struct Options {
   bool worker_mode = false;
   std::string connect;
   long metrics_port = 0;
+  long chaos_kill_ms = -1;  // >= 0: SIGKILL the first worker after this delay
+  std::string flight_dir;   // non-empty: workers write flight rings here
 };
 
 [[noreturn]] void usage(int rc) {
@@ -55,6 +67,7 @@ struct Options {
       "                   [--scale N] [--wseed S] [--target register|memory|instruction]\n"
       "                   [--trials N] [--seed S] [--workers K] [--threads T]\n"
       "                   [--shards M] [--steal-ms MS] [--serve PORT] [--verify]\n"
+      "                   [--flight-dir DIR] [--chaos-kill MS]\n"
       "       lore_fabric --worker --connect HOST:PORT [--threads T] [--metrics-port P]\n",
       rc == 0 ? stdout : stderr);
   std::exit(rc);
@@ -84,6 +97,8 @@ Options parse(int argc, char** argv) {
     else if (a == "--worker") o.worker_mode = true;
     else if (a == "--connect") o.connect = next(i);
     else if (a == "--metrics-port") o.metrics_port = std::atol(next(i));
+    else if (a == "--chaos-kill") o.chaos_kill_ms = std::atol(next(i));
+    else if (a == "--flight-dir") o.flight_dir = next(i);
     else if (a == "--help" || a == "-h") usage(0);
     else usage(2);
   }
@@ -143,6 +158,23 @@ int main(int argc, char** argv) {
   std::printf("coordinator on %s:%u, %ld workers x %ld threads, %ld trials\n",
               cfg.bind_address.c_str(), coord.port(), o.workers, o.threads, o.trials);
 
+  // Fleet trace root. --verify force-enables the recorder so the merged
+  // parentage check below always has material; otherwise tracing is on iff
+  // LORE_TRACE already enabled it.
+  auto& recorder = obs::TraceRecorder::global();
+  if (o.verify) recorder.set_enabled(true);
+  const bool tracing = recorder.recording();
+  std::optional<obs::TraceContextScope> root_scope;
+  std::optional<obs::Span> root_span;
+  if (tracing) {
+    root_scope.emplace(obs::TraceContext{obs::make_trace_id(), 0});
+    root_span.emplace("fabric.fleet", "fabric");
+  }
+
+  // Workers inherit LORE_FLIGHT_DIR through fork and open
+  // DIR/flight-<pid>.ring on startup (worker.cpp).
+  if (!o.flight_dir.empty()) ::setenv("LORE_FLIGHT_DIR", o.flight_dir.c_str(), 1);
+
   // Fork while still single-threaded — serve() is what spawns threads.
   std::vector<pid_t> kids;
   fabric::SpawnOptions sopts;
@@ -162,10 +194,25 @@ int main(int argc, char** argv) {
 
   fabric::FabricJob job{o.campaign, params, *spec};
   coord.serve(job);
+
+  // Chaos: SIGKILL the first worker mid-campaign. Its inflight shard is
+  // re-dispatched (first-result-wins) and its flight ring is collected.
+  std::thread chaos;
+  if (o.chaos_kill_ms >= 0 && !kids.empty()) {
+    chaos = std::thread([&kids, ms = o.chaos_kill_ms] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      fabric::kill_worker(kids.front());
+      std::printf("chaos: killed worker pid=%d\n", static_cast<int>(kids.front()));
+    });
+  }
+
   coord.wait();
+  if (chaos.joinable()) chaos.join();
   const auto snap = coord.snapshot();
   const CampaignCheckpoint merged = coord.finish();
-  for (const pid_t pid : kids) fabric::wait_worker(pid);
+  // kids[0] was already reaped by kill_worker when chaos fired.
+  for (std::size_t i = o.chaos_kill_ms >= 0 ? 1 : 0; i < kids.size(); ++i)
+    fabric::wait_worker(kids[i]);
 
   const auto result = fabric::records_from_checkpoint(o.campaign, *spec, merged);
   if (!result) {
@@ -183,7 +230,12 @@ int main(int argc, char** argv) {
       "rejects=%zu\n",
       snap.workers_seen, snap.shards_pending + snap.shards_inflight + snap.shards_done,
       snap.shards_done, snap.steals, snap.duplicates_discarded, snap.payload_rejects);
+  if (tracing)
+    std::printf("trace: root=%s spans_stitched=%zu flight_rings=%zu\n",
+                obs::span_id_hex(root_span->id()).c_str(), snap.spans_stitched,
+                snap.flight_rings_collected);
 
+  int rc = 0;
   if (o.verify) {
     const auto w = fabric::workload_from_params(params);
     CampaignResult<arch::FaultRecord> reference;
@@ -198,7 +250,33 @@ int main(int argc, char** argv) {
     }
     const bool identical = reference.records == result->records;
     std::printf("verify vs single-process: %s\n", identical ? "IDENTICAL" : "MISMATCH");
-    if (!identical) return 1;
+    if (!identical) rc = 1;
+
+    // Merged-trace parentage: every completed shard must appear in the
+    // stitched trace as a `fabric.shard/<id>` span whose parent is the root
+    // span and whose trace id is the root's.
+    if (tracing) {
+      const std::size_t shard_total =
+          snap.shards_pending + snap.shards_inflight + snap.shards_done;
+      std::vector<char> shard_seen(shard_total, 0);
+      std::size_t bad_parent = 0;
+      for (const obs::TraceEvent& e : obs::TraceRecorder::global().events()) {
+        if (e.name.rfind("fabric.shard/", 0) != 0) continue;
+        if (!(e.trace == root_span->trace()) || e.parent != root_span->id()) {
+          ++bad_parent;
+          continue;
+        }
+        const std::size_t id =
+            static_cast<std::size_t>(std::atol(e.name.c_str() + 13));
+        if (id < shard_seen.size()) shard_seen[id] = 1;
+      }
+      std::size_t missing = 0;
+      for (const char s : shard_seen) missing += s ? 0 : 1;
+      const bool ok = missing == 0 && bad_parent == 0;
+      std::printf("verify merged trace: %s (%zu shards, %zu missing, %zu mis-parented)\n",
+                  ok ? "COMPLETE" : "INCOMPLETE", shard_total, missing, bad_parent);
+      if (!ok) rc = 1;
+    }
   }
-  return 0;
+  return rc;
 }

@@ -12,12 +12,17 @@ be diffed as the repo's perf trajectory.
 Usage:
   scripts/bench_report.py [DIR_OR_FILE ...]
   scripts/bench_report.py --diff OLD NEW
+  scripts/bench_report.py --check OLD NEW [--tolerance PCT]
 
 With no arguments, scans $LORE_BENCH_DIR (or the current directory) for
 BENCH_*.json. `--diff` takes two runs (directories or single artifacts),
 matches tables by (bench, section), and prints per-cell ratios for every
 numeric column — speedup deltas for timing tables, drift for accuracy
-tables. Only the Python standard library is used.
+tables. `--check` is the CI gate built on the same matching: it compares
+every throughput (`*per_s`) cell of NEW against OLD and exits non-zero when
+any regresses by more than --tolerance percent (default 10) — wire it as
+`BENCH_CHECK=1 scripts/reproduce.sh` against the committed baseline in
+bench/samples/. Only the Python standard library is used.
 """
 
 import json
@@ -375,8 +380,85 @@ def diff_tables(old, new):
     return "\n".join(out)
 
 
+def is_throughput_header(h):
+    """Rate columns: `*per_s` (metrics idiom) and `*/s` (table idiom)."""
+    return h.endswith("per_s") or h.endswith("/s")
+
+
+def throughput_ratios(old, new):
+    """Every matching throughput cell as (bench, section, row label, column,
+    old value, new value, new/old ratio). The same (bench, section) +
+    positional row matching as diff_tables."""
+    out = []
+    for key in sorted(set(old) & set(new)):
+        told, tnew = old[key], new[key]
+        if told.get("headers") != tnew.get("headers"):
+            continue
+        headers = told.get("headers", [])
+        for rold, rnew in zip(told.get("rows", []), tnew.get("rows", [])):
+            if rold[:1] != rnew[:1]:
+                continue
+            for c, h in enumerate(headers):
+                if not is_throughput_header(h):
+                    continue
+                fa = _to_float(rold[c]) if c < len(rold) else None
+                fb = _to_float(rnew[c]) if c < len(rnew) else None
+                if fa and fb:
+                    out.append((key[0], key[1], str(rnew[0]), h, fa, fb, fb / fa))
+    return out
+
+
+def check_throughput(old, new, tolerance_pct):
+    """The regression gate: 0 when every throughput cell of NEW is within
+    `tolerance_pct` percent of OLD, 1 otherwise (regressions listed)."""
+    ratios = throughput_ratios(old, new)
+    if not ratios:
+        print("bench_report: no matching *per_s columns between the two runs",
+              file=sys.stderr)
+        return 1
+    floor = 1.0 - tolerance_pct / 100.0
+    regressions = [r for r in ratios if r[6] < floor]
+    rows = [[f"{bench}: {section}"[:60], label, column,
+             f"{fa:.6g}", f"{fb:.6g}", f"{ratio:.3g}x",
+             "REGRESSED" if ratio < floor else "ok"]
+            for bench, section, label, column, fa, fb, ratio in ratios]
+    print(render_table(
+        ["table", "row", "column", "old", "new", "ratio", "verdict"], rows))
+    print()
+    if regressions:
+        print(f"bench_report: FAIL — {len(regressions)} of {len(ratios)} "
+              f"throughput cell(s) regressed beyond {tolerance_pct:g}% "
+              f"(ratio < {floor:.3g})")
+        return 1
+    print(f"bench_report: OK — {len(ratios)} throughput cell(s) within "
+          f"{tolerance_pct:g}% of baseline")
+    return 0
+
+
 def main():
     argv = sys.argv[1:]
+    if argv[:1] == ["--check"]:
+        argv = argv[1:]
+        tolerance = 10.0
+        if "--tolerance" in argv:
+            i = argv.index("--tolerance")
+            try:
+                tolerance = float(argv[i + 1])
+            except (IndexError, ValueError):
+                print("bench_report: --tolerance needs a number", file=sys.stderr)
+                return 2
+            del argv[i:i + 2]
+        if len(argv) != 2:
+            print("usage: bench_report.py --check OLD NEW [--tolerance PCT]",
+                  file=sys.stderr)
+            return 2
+        (old, old_meta), (new, new_meta) = load_run(argv[0]), load_run(argv[1])
+        if not old or not new:
+            print("bench_report: no artifacts in one of the runs", file=sys.stderr)
+            return 1
+        for w in host_context_warnings(old_meta, new_meta):
+            print(w)
+        return check_throughput(old, new, tolerance)
     if argv[:1] == ["--diff"]:
         if len(argv) != 3:
             print("usage: bench_report.py --diff OLD NEW", file=sys.stderr)

@@ -116,32 +116,56 @@ def main():
     ap.add_argument("--fleet", action="store_true",
                     help="render the campaign fabric's fleet.* gauges as a "
                          "progress dashboard (coordinator endpoint)")
+    ap.add_argument("--max-failures", type=int, default=5,
+                    help="give up after N consecutive failed polls "
+                         "(0 = keep retrying forever)")
     args = ap.parse_args()
     base = args.url.rstrip("/")
 
-    prev, prev_t, n = None, None, 0
+    # A process dying mid-scrape (fabric worker SIGKILLed, campaign finished)
+    # must not kill the dashboard: failed polls mark the view STALE and the
+    # loop keeps retrying, giving up only after --max-failures in a row.
+    prev, prev_t, n, failures = None, None, 0, 0
     try:
         while True:
+            stale_err = None
             try:
                 snapshot = fetch_json(base + "/metrics.json", args.timeout)
                 health = fetch_health(base, args.timeout)
+                failures = 0
             except (urllib.error.URLError, OSError, ValueError) as e:
-                print(f"lore_top: {base}: {e}", file=sys.stderr)
-                return 1
+                failures += 1
+                stale_err = e
+                if args.max_failures and failures >= args.max_failures:
+                    print(f"lore_top: {base}: unreachable after {failures} "
+                          f"consecutive polls: {e}", file=sys.stderr)
+                    return 1
             now = time.monotonic()
             dt = (now - prev_t) if prev_t is not None else 0.0
             # ANSI clear screen + home; harmless when piped to a file.
             if sys.stdout.isatty():
                 sys.stdout.write("\x1b[2J\x1b[H")
-            print(f"lore_top — {base}  (poll {n + 1}, dt {dt:.2f}s)")
-            if args.fleet:
-                print(render_fleet(snapshot, health))
+            if stale_err is not None:
+                print(f"lore_top — {base}  (poll {n + 1}, STALE: "
+                      f"{failures} failed poll(s))")
+                print(f"last error: {stale_err}")
+                if prev is not None:
+                    print("showing last good snapshot:")
+                    if args.fleet:
+                        print(render_fleet(prev, ("stale", "?")))
+                    else:
+                        print(render(prev, None, 0.0, ("stale", "?")))
             else:
-                print(render(snapshot, prev, dt, health))
+                print(f"lore_top — {base}  (poll {n + 1}, dt {dt:.2f}s)")
+                if args.fleet:
+                    print(render_fleet(snapshot, health))
+                else:
+                    print(render(snapshot, prev, dt, health))
+                prev, prev_t = snapshot, now
             sys.stdout.flush()
-            prev, prev_t, n = snapshot, now, n + 1
+            n += 1
             if args.iterations and n >= args.iterations:
-                return 0
+                return 0 if stale_err is None else 1
             time.sleep(args.interval)
     except KeyboardInterrupt:
         return 0

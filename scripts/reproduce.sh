@@ -9,16 +9,18 @@ cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
 # TSAN=1 additionally runs the `parallel`-, `resilience`-, `obs`-, `simd`-,
-# `fabric`-, `ml`-, and `scenario`-labeled determinism/race suites — campaign
-# engine, the live telemetry pipeline (event-ring producers vs the aggregator
-# drain and serve threads), the chunked batch engine with its thread-local
-# arenas, the Predictor's background trainer racing observers/scorers, and
-# the scenario engine's threaded composed campaigns — under ThreadSanitizer
-# (the `tsan` CMake preset).
+# `fabric`-, `ml`-, `scenario`-, and `tracing`-labeled determinism/race
+# suites — campaign engine, the live telemetry pipeline (event-ring producers
+# vs the aggregator drain and serve threads), the chunked batch engine with
+# its thread-local arenas, the Predictor's background trainer racing
+# observers/scorers, the scenario engine's threaded composed campaigns, and
+# the distributed-tracing/flight-recorder paths (concurrent span id handoff,
+# the mmap'd flight ring's multi-writer cursor) — under ThreadSanitizer (the
+# `tsan` CMake preset).
 if [ "${TSAN:-0}" = "1" ]; then
   cmake --preset tsan
-  cmake --build build-tsan --target lore_parallel_tests lore_resilience_tests lore_obs_tests lore_simd_tests lore_fabric_tests lore_ml_batch_tests lore_scenario_tests
-  ctest --test-dir build-tsan -L '(parallel|resilience|obs|simd|fabric|ml|scenario)' --output-on-failure 2>&1 | tee tsan_output.txt
+  cmake --build build-tsan --target lore_parallel_tests lore_resilience_tests lore_obs_tests lore_simd_tests lore_fabric_tests lore_ml_batch_tests lore_scenario_tests lore_tracing_tests
+  ctest --test-dir build-tsan -L '(parallel|resilience|obs|simd|fabric|ml|scenario|tracing)' --output-on-failure 2>&1 | tee tsan_output.txt
 fi
 
 # Smoke the -DLORE_OBS=OFF build (the `obs-off` preset): the telemetry
@@ -73,6 +75,27 @@ if [ "${FABRIC:-0}" = "1" ]; then
     --scale 12 --trials 200 --workers 2 --verify 2>&1 | tee -a fabric_output.txt
 fi
 
+# POSTMORTEM=1 smokes the crash-forensics path end to end: a 2-worker fabric
+# run with per-worker flight rings, one worker SIGKILLed mid-campaign. The
+# campaign must still verify bit-identical (straggler re-dispatch), and
+# lore_postmortem.py decoding the dead worker's torn ring must name the
+# fabric shard that was inflight at death.
+if [ "${POSTMORTEM:-0}" = "1" ]; then
+  cmake --build build --target ex_lore_fabric
+  FLIGHT_DIR="$(mktemp -d)"
+  # matmul is heavy enough that the 200ms kill is guaranteed to land while
+  # the victim is still mid-shard (the whole campaign runs for seconds).
+  ./build/examples/lore_fabric --campaign arch.fault --workload matmul \
+    --scale 16 --trials 4000 --workers 2 --shards 8 --verify \
+    --flight-dir "$FLIGHT_DIR" --chaos-kill 200 2>&1 | tee postmortem_output.txt
+  KILLED_PID="$(sed -n 's/^chaos: killed worker pid=\([0-9]*\)$/\1/p' postmortem_output.txt)"
+  python3 scripts/lore_postmortem.py "$FLIGHT_DIR/flight-$KILLED_PID.ring" \
+    2>&1 | tee -a postmortem_output.txt
+  grep -q "inflight fabric shard at death:" postmortem_output.txt \
+    || { echo "POSTMORTEM: decoded ring did not name the inflight shard" >&2; exit 1; }
+  rm -rf "$FLIGHT_DIR"
+fi
+
 : > bench_output.txt
 # Each bench also drops a machine-readable BENCH_<name>.json artifact
 # (schema lore.bench.v1) into $LORE_BENCH_DIR.
@@ -96,5 +119,14 @@ if command -v python3 >/dev/null 2>&1; then
   python3 scripts/bench_report.py "$LORE_BENCH_DIR" 2>&1 | tee bench_report.txt
 else
   echo "python3 not found; skipping bench_report.py" | tee bench_report.txt
+fi
+
+# BENCH_CHECK=1 gates the run on the committed baseline: any *per_s
+# throughput in this run's artifacts more than BENCH_TOLERANCE percent
+# (default 25) below bench/samples/ fails the script. The generous default
+# absorbs machine noise; tighten it on a quiet, pinned box.
+if [ "${BENCH_CHECK:-0}" = "1" ]; then
+  python3 scripts/bench_report.py --check bench/samples "$LORE_BENCH_DIR" \
+    --tolerance "${BENCH_TOLERANCE:-25}" 2>&1 | tee bench_check.txt
 fi
 echo "done: see test_output.txt, bench_output.txt, and bench_report.txt"

@@ -347,25 +347,37 @@ CampaignCheckpoint run_campaign_shard_raw(const CampaignSpec& spec, TrialRange r
 
   const std::size_t n = range.size();
   const bool obs_on = obs::kCompiledIn && obs::enabled();
+  // Carry the caller's trace position (the worker's shard span) into the
+  // parallel bodies so per-trial events land under the right span — in the
+  // live ring AND the flight recorder, where they form the last-N record of
+  // what this worker was doing if it dies mid-shard.
+  const obs::TraceContext trace_ctx = obs::current_trace_context();
   ck.entries.resize(n);
   parallel_for(n, spec.threads, [&](std::size_t j) {
+    obs::TraceContextScope trace_scope(trace_ctx);
     const std::size_t idx = range.begin + j;
     for (unsigned attempt = 0;; ++attempt) {
-      if (attempt > 0)
+      if (attempt > 0) {
         std::this_thread::sleep_for(spec.retry_backoff * (1u << (attempt - 1)));
+        LORE_OBS_EVENT(obs::EventKind::kTrialRetry, idx, attempt);
+      }
       try {
         // Fresh stream per attempt, seeded from the *global* trial index —
         // the invariant that makes a sharded run merge bit-identical to a
         // single-process one.
+        const double t0 = obs::TraceRecorder::now_us();
         Rng rng(trial_seed(spec.base_seed, idx));
         ck.entries[j] = {static_cast<std::uint64_t>(idx),
                          trial(idx, rng, CancelToken())};
+        LORE_OBS_EVENT(obs::EventKind::kTrialCompleted, idx,
+                       obs::TraceRecorder::now_us() - t0);
         // The fabric coordinator derives fleet throughput from scraping this
         // counter off each worker's /metrics endpoint.
         if (obs_on)
           obs::MetricsRegistry::global().counter("campaign.trials_completed").add(1);
         return;
       } catch (...) {
+        LORE_OBS_EVENT(obs::EventKind::kTrialFailed, idx, attempt);
         if (attempt >= spec.max_retries) throw;  // shard fails as a unit
       }
     }
@@ -466,7 +478,11 @@ RawResult run_campaign_raw(const CampaignSpec& spec, const RawTrialFn& trial) {
     }
   };
 
+  // Annotate every trial event with the caller's ambient span (campaign or
+  // scenario-stage span) across the thread hop into the pool.
+  const obs::TraceContext trace_ctx = obs::current_trace_context();
   parallel_for(missing.size(), spec.threads, [&](std::size_t j) {
+    obs::TraceContextScope trace_scope(trace_ctx);
     const std::size_t idx = missing[j];
     if (spec.overall_budget.count() > 0 && Clock::now() - t_start >= spec.overall_budget)
       return;  // stays kSkipped; a resume picks it up

@@ -656,7 +656,13 @@ CampaignResult<Record> run_campaign_pruned(const CampaignSpec& spec, TrialFn&& t
     }
   }
 
+  // Chunk spans nest under the caller's ambient span (a fabric shard span, a
+  // scenario stage, ...), so a fleet trace shows each worker's chunk-level
+  // progress; the scope also stamps chunk events for the flight recorder.
+  const obs::TraceContext trace_ctx = obs::current_trace_context();
   parallel_for_chunks(n, spec.threads, chunk, [&](std::size_t begin, std::size_t end) {
+    obs::TraceContextScope trace_scope(trace_ctx);
+    LORE_OBS_SPAN(chunk_span, "campaign.chunk");
     Arena& arena = Arena::for_thread();
     ArenaScope epoch(arena);
     const auto seeds = arena.alloc<std::uint64_t>(end - begin);
@@ -724,6 +730,13 @@ CampaignResult<Record> run_campaign_pruned(const CampaignSpec& spec, TrialFn&& t
     if (chunk_suppressed)
       suppressed.fetch_add(chunk_suppressed, std::memory_order_relaxed);
     if (chunk_pruned && hooks.controller) hooks.controller->record_pruned(chunk_pruned);
+    // Prune decisions as structured events (not just a counter): a = trials
+    // pruned in this chunk, value = first trial index of the chunk — enough
+    // for intervals, traces, and the post-mortem toolkit to reconstruct
+    // which ranges were skipped and under which span.
+    if (chunk_pruned)
+      LORE_OBS_EVENT(obs::EventKind::kTrialsPruned, chunk_pruned,
+                     static_cast<double>(begin));
     if (chunk_audits) audits.fetch_add(chunk_audits, std::memory_order_relaxed);
     if (chunk_false_benign)
       false_benign.fetch_add(chunk_false_benign, std::memory_order_relaxed);

@@ -8,9 +8,11 @@
 #include <cstring>
 
 #include "src/fabric/protocol.hpp"
+#include "src/obs/flight.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/netutil.hpp"
 #include "src/obs/scrape.hpp"
+#include "src/obs/span.hpp"
 
 namespace lore::fabric {
 
@@ -57,6 +59,10 @@ void Coordinator::serve(const FabricJob& job) {
     merged_.trials = job.spec.trials;
     seen_.assign(job.spec.trials, 0);
     trials_done_ = 0;
+    // Capture the caller's ambient trace position: with the recorder live
+    // this makes every assign a child of the caller's open root span.
+    root_ctx_ = obs::current_trace_context();
+    tracing_ = root_ctx_.valid() && obs::TraceRecorder::global().recording();
     publish_gauges_locked();
   }
   serving_ = true;
@@ -83,21 +89,22 @@ void Coordinator::accept_loop() {
 
 obs::Json Coordinator::next_directive_locked(std::optional<std::size_t>& held_shard) {
   held_shard.reset();
+  // Every directive is stamped with this process's clock so workers can
+  // estimate their offset from the directive round trip (protocol.hpp).
+  obs::Json head = obs::Json::object();
+  head["now_us"] = obs::TraceRecorder::now_us();
   if (!table_ || table_->all_done()) {
-    obs::Json head = obs::Json::object();
     head["type"] = "shutdown";
     return head;
   }
   const auto shard = table_->acquire(ShardTable::Clock::now(), cfg_.steal_after);
   if (!shard) {
-    obs::Json head = obs::Json::object();
     head["type"] = "wait";
     head["ms"] = static_cast<std::int64_t>(cfg_.wait_hint.count());
     return head;
   }
   held_shard = *shard;
   const TrialRange range = table_->info(*shard).range;
-  obs::Json head = obs::Json::object();
   head["type"] = "assign";
   head["shard"] = static_cast<std::int64_t>(*shard);
   head["kind"] = job_.kind;
@@ -105,6 +112,10 @@ obs::Json Coordinator::next_directive_locked(std::optional<std::size_t>& held_sh
   head["end"] = static_cast<std::int64_t>(range.end);
   head["spec"] = spec_to_json(job_.spec);
   head["params"] = job_.params;
+  if (tracing_) {
+    head["trace"] = obs::trace_id_hex(root_ctx_.trace);
+    head["parent_span"] = obs::span_id_hex(root_ctx_.span);
+  }
   return head;
 }
 
@@ -127,6 +138,10 @@ void Coordinator::handle_connection(int fd, std::string peer_host) {
         if (const obs::Json* p = msg->head.find("metrics_port"))
           if (p->is_number())
             info.metrics_port = static_cast<int>(p->as_int());
+        if (const obs::Json* p = msg->head.find("pid"))
+          if (p->is_number()) info.pid = static_cast<std::uint32_t>(p->as_int());
+        if (const obs::Json* f = msg->head.find("flight"))
+          if (f->type() == obs::Json::Type::kString) info.flight = f->as_string();
         info.host = std::move(peer_host);
         info.alive = true;
         worker_index = workers_.size();
@@ -148,6 +163,7 @@ void Coordinator::handle_connection(int fd, std::string peer_host) {
           trials_done_ += fresh;
           table_->complete(static_cast<std::size_t>(shard));
           held_shard.reset();
+          stitch_spans_locked(msg->head, worker_index);
           if (table_->all_done()) done_cv_.notify_all();
         } else {
           // Invalid payload (CRC, identity, truncation): count it, put the
@@ -175,13 +191,72 @@ void Coordinator::handle_connection(int fd, std::string peer_host) {
   }
 
   // Connection gone: release anything it still held so another worker can
-  // pick it up (the SIGKILLed-worker re-dispatch path).
+  // pick it up (the SIGKILLed-worker re-dispatch path). Before re-dispatch,
+  // salvage the dead worker's flight ring — the only forensic record of why
+  // the shard needed re-dispatching in the first place.
   std::lock_guard<std::mutex> lock(mu_);
+  if (held_shard && !stopping_.load())
+    collect_flight_ring_locked(worker_index, *held_shard);
   if (held_shard && table_) table_->abandon(*held_shard);
   if (worker_index < workers_.size()) workers_[worker_index].alive = false;
   publish_gauges_locked();
   obs::close_fd(fd);
   std::erase(conn_fds_, fd);
+}
+
+void Coordinator::stitch_spans_locked(const obs::Json& head, std::size_t worker_index) {
+  if (!tracing_) return;
+  const obs::Json* tr = head.find("trace");
+  const obs::Json* spans = head.find("spans");
+  if (!tr || tr->type() != obs::Json::Type::kString || !spans) return;
+  const obs::TraceId trace = obs::trace_id_from_hex(tr->as_string());
+  if (!(trace == root_ctx_.trace)) return;  // a stray batch from another run
+  double offset_us = 0.0;
+  if (const obs::Json* o = head.find("offset_us"))
+    if (o->is_number()) offset_us = o->as_double();
+  const std::uint32_t pid =
+      worker_index < workers_.size() ? workers_[worker_index].pid : 0;
+  auto& recorder = obs::TraceRecorder::global();
+  for (obs::TraceEvent& e : trace_events_from_json(*spans, trace)) {
+    e.start_us += offset_us;  // worker clock -> coordinator clock
+    e.pid = pid;
+    recorder.record(std::move(e));
+    ++spans_stitched_;
+  }
+}
+
+void Coordinator::collect_flight_ring_locked(std::size_t worker_index,
+                                             std::size_t shard) {
+  if (worker_index >= workers_.size()) return;
+  const WorkerInfo& w = workers_[worker_index];
+  if (w.flight.empty()) return;
+  ++flight_rings_collected_;
+  std::string err;
+  const auto dump = obs::decode_flight_file(w.flight, &err);
+  if (!dump) {
+    std::fprintf(stderr, "lore-fabric: worker %s died holding shard %zu; flight ring %s undecodable: %s\n",
+                 w.name.c_str(), shard, w.flight.c_str(), err.c_str());
+    return;
+  }
+  // The ring's own record stream names the shard that was inflight at death
+  // (last shard_begin without a matching shard_end) — cross-check the table.
+  long long ring_shard = -1;
+  std::size_t open_spans = 0;
+  for (const obs::FlightRecord& r : dump->records) {
+    if (r.kind == obs::EventKind::kShardBegin)
+      ring_shard = static_cast<long long>(r.a);
+    else if (r.kind == obs::EventKind::kShardEnd &&
+             ring_shard == static_cast<long long>(r.a))
+      ring_shard = -1;
+    if (r.kind == obs::EventKind::kSpanBegin) ++open_spans;
+    if (r.kind == obs::EventKind::kSpanEnd && open_spans) --open_spans;
+  }
+  std::fprintf(stderr,
+               "lore-fabric: collected flight ring %s from dead worker %s (pid %u): "
+               "%zu records (%zu torn), inflight shard %lld, ~%zu open spans; "
+               "re-dispatching shard %zu\n",
+               w.flight.c_str(), w.name.c_str(), dump->pid, dump->records.size(),
+               dump->torn_records, ring_shard, open_spans, shard);
 }
 
 void Coordinator::scrape_loop() {
@@ -203,20 +278,31 @@ void Coordinator::scrape_loop() {
           targets.push_back({i, workers_[i].host, workers_[i].metrics_port});
     }
 
+    // Each scrape is deadline-bounded (cfg_.scrape_timeout): a worker that
+    // dies between accept and response — the SIGKILL-mid-scrape case — costs
+    // one bounded failure, not a hung poll loop.
+    const int timeout_ms = static_cast<int>(cfg_.scrape_timeout.count());
     double rate_sum = 0.0;
     std::vector<std::pair<std::size_t, double>> observed;
+    std::vector<std::size_t> failed;
     const auto now = std::chrono::steady_clock::now();
     for (const Target& t : targets) {
       const auto doc = obs::scrape_metrics_json(
-          t.host, static_cast<std::uint16_t>(t.port));
-      if (!doc) continue;
-      const auto v = obs::metric_value(*doc, "counters", "campaign.trials_completed");
-      if (v) observed.push_back({t.index, *v});
+          t.host, static_cast<std::uint16_t>(t.port), timeout_ms);
+      const auto v =
+          doc ? obs::metric_value(*doc, "counters", "campaign.trials_completed")
+              : std::nullopt;
+      if (v)
+        observed.push_back({t.index, *v});
+      else
+        failed.push_back(t.index);
     }
 
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [i, trials] : observed) {
       WorkerInfo& w = workers_[i];
+      w.scrape_failures = 0;
+      w.stale = false;
       if (w.last_scrape.time_since_epoch().count() != 0) {
         const double dt = std::chrono::duration<double>(now - w.last_scrape).count();
         if (dt > 0 && trials >= w.last_trials)
@@ -225,6 +311,11 @@ void Coordinator::scrape_loop() {
       w.last_trials = trials;
       w.last_scrape = now;
     }
+    for (std::size_t i : failed) {
+      WorkerInfo& w = workers_[i];
+      ++w.scrape_failures;
+      if (w.scrape_failures >= cfg_.stale_after) w.stale = true;
+    }
     fleet_trials_per_s_ = rate_sum;
     publish_gauges_locked();
   }
@@ -232,10 +323,17 @@ void Coordinator::scrape_loop() {
 
 void Coordinator::publish_gauges_locked() {
   auto& reg = obs::MetricsRegistry::global();
-  std::size_t alive = 0;
-  for (const auto& w : workers_) alive += w.alive;
+  std::size_t alive = 0, stale = 0;
+  for (const auto& w : workers_) {
+    alive += w.alive;
+    stale += w.alive && w.stale;
+  }
   reg.gauge("fleet.workers_alive").set(static_cast<double>(alive));
   reg.gauge("fleet.workers_seen").set(static_cast<double>(workers_.size()));
+  reg.gauge("fleet.workers_stale").set(static_cast<double>(stale));
+  reg.gauge("fleet.spans_stitched").set(static_cast<double>(spans_stitched_));
+  reg.gauge("fleet.flight_rings_collected")
+      .set(static_cast<double>(flight_rings_collected_));
   if (table_) {
     reg.gauge("fleet.shards_pending").set(static_cast<double>(table_->pending()));
     reg.gauge("fleet.shards_inflight").set(static_cast<double>(table_->inflight()));
@@ -289,7 +387,10 @@ CampaignCheckpoint Coordinator::finish() {
 FleetSnapshot Coordinator::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   FleetSnapshot s;
-  for (const auto& w : workers_) s.workers_alive += w.alive;
+  for (const auto& w : workers_) {
+    s.workers_alive += w.alive;
+    s.workers_stale += w.alive && w.stale;
+  }
   s.workers_seen = workers_.size();
   if (table_) {
     s.shards_pending = table_->pending();
@@ -302,6 +403,8 @@ FleetSnapshot Coordinator::snapshot() const {
   s.payload_rejects = payload_rejects_;
   s.duplicates_discarded = duplicates_discarded_;
   s.trials_per_s = fleet_trials_per_s_;
+  s.spans_stitched = spans_stitched_;
+  s.flight_rings_collected = flight_rings_collected_;
   return s;
 }
 

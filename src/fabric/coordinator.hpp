@@ -28,6 +28,7 @@
 #include "src/common/campaign.hpp"
 #include "src/fabric/shard.hpp"
 #include "src/obs/json.hpp"
+#include "src/obs/span.hpp"
 
 namespace lore::fabric {
 
@@ -47,6 +48,12 @@ struct CoordinatorConfig {
   /// Fleet telemetry: poll each worker's /metrics.json this often and
   /// publish fleet.* gauges. <= 0 disables the scrape thread.
   std::chrono::milliseconds scrape_interval{250};
+  /// Per-scrape socket deadline: a worker that dies mid-scrape fails the
+  /// poll within this bound instead of hanging the scrape thread.
+  std::chrono::milliseconds scrape_timeout{500};
+  /// Consecutive failed scrapes after which a worker is marked stale
+  /// (`fleet.workers_stale`); one success clears it.
+  unsigned stale_after = 2;
 };
 
 /// The campaign to distribute. `spec` must already carry its resolved
@@ -73,6 +80,11 @@ struct FleetSnapshot {
   std::size_t duplicates_discarded = 0;
   std::size_t steals = 0;
   double trials_per_s = 0.0;
+  std::size_t workers_stale = 0;
+  /// Remote spans merged into the coordinator's TraceRecorder so far.
+  std::size_t spans_stitched = 0;
+  /// Flight rings decoded from workers that died holding a shard.
+  std::size_t flight_rings_collected = 0;
 };
 
 class Coordinator {
@@ -92,6 +104,13 @@ class Coordinator {
   int listen_fd() const { return listen_fd_.load(); }
 
   /// Start accepting workers and dispatching `job`'s shards.
+  ///
+  /// Tracing: when the global TraceRecorder is recording AND the calling
+  /// thread has a valid ambient TraceContext (open a root Span inside a
+  /// TraceContextScope before calling), every assign carries that context,
+  /// workers run their shards as child spans of it, and their span batches
+  /// are stitched back into the recorder on this process's timeline — one
+  /// merged fleet trace, exported via LORE_TRACE or GET /trace.json.
   void serve(const FabricJob& job);
 
   /// Block until every trial is merged, or `timeout` elapses (<= 0 waits
@@ -110,7 +129,11 @@ class Coordinator {
     std::string name;
     std::string host;       // peer address, for /metrics scraping
     int metrics_port = -1;  // worker-local scrape endpoint; < 0 = none
+    std::uint32_t pid = 0;  // reported in hello; stamps stitched spans
+    std::string flight;     // worker's flight-ring path (hello), "" = none
     bool alive = false;
+    bool stale = false;     // >= cfg.stale_after consecutive scrape failures
+    unsigned scrape_failures = 0;
     // Scrape baselines for the fleet trials/s estimate.
     double last_trials = 0.0;
     std::chrono::steady_clock::time_point last_scrape{};
@@ -122,6 +145,11 @@ class Coordinator {
   /// One directive for a worker that just spoke (lock must be held).
   obs::Json next_directive_locked(std::optional<std::size_t>& held_shard);
   void publish_gauges_locked();
+  /// Merge a result's span batch into the global TraceRecorder (lock held).
+  void stitch_spans_locked(const obs::Json& head, std::size_t worker_index);
+  /// Decode + report the flight ring of a worker that died holding `shard`
+  /// (lock held). The post-mortem half of straggler re-dispatch.
+  void collect_flight_ring_locked(std::size_t worker_index, std::size_t shard);
 
   CoordinatorConfig cfg_;
   FabricJob job_;
@@ -140,6 +168,12 @@ class Coordinator {
   std::size_t payload_rejects_ = 0;
   std::size_t duplicates_discarded_ = 0;
   double fleet_trials_per_s_ = 0.0;
+  std::size_t spans_stitched_ = 0;
+  std::size_t flight_rings_collected_ = 0;
+  /// Ambient trace context captured in serve(); valid + recording => assigns
+  /// carry it and results' span batches are stitched.
+  obs::TraceContext root_ctx_;
+  bool tracing_ = false;
 
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;

@@ -75,6 +75,61 @@ obs::Json spec_to_json(const CampaignSpec& spec) {
   return j;
 }
 
+obs::Json trace_events_to_json(const std::vector<obs::TraceEvent>& events,
+                               std::size_t max) {
+  obs::Json arr = obs::Json::array();
+  const std::size_t skip = events.size() > max ? events.size() - max : 0;
+  for (std::size_t i = skip; i < events.size(); ++i) {
+    const obs::TraceEvent& e = events[i];
+    obs::Json ev = obs::Json::object();
+    ev["name"] = e.name;
+    ev["cat"] = e.category;
+    ev["ts"] = e.start_us;
+    ev["dur"] = e.dur_us;
+    ev["tid"] = static_cast<std::int64_t>(e.tid);
+    ev["depth"] = static_cast<std::int64_t>(e.depth);
+    ev["span"] = obs::span_id_hex(e.span);
+    ev["parent"] = obs::span_id_hex(e.parent);
+    arr.push_back(std::move(ev));
+  }
+  return arr;
+}
+
+std::vector<obs::TraceEvent> trace_events_from_json(const obs::Json& arr,
+                                                    const obs::TraceId& trace) {
+  std::vector<obs::TraceEvent> out;
+  if (arr.type() != obs::Json::Type::kArray) return out;
+  for (const obs::Json& ev : arr.items()) {
+    if (ev.type() != obs::Json::Type::kObject) continue;
+    const obs::Json* name = ev.find("name");
+    const obs::Json* ts = ev.find("ts");
+    const obs::Json* dur = ev.find("dur");
+    const obs::Json* span = ev.find("span");
+    if (!name || name->type() != obs::Json::Type::kString || !ts || !ts->is_number() ||
+        !dur || !dur->is_number() || !span ||
+        span->type() != obs::Json::Type::kString)
+      continue;
+    obs::TraceEvent e;
+    e.name = name->as_string();
+    if (const obs::Json* cat = ev.find("cat"))
+      if (cat->type() == obs::Json::Type::kString) e.category = cat->as_string();
+    e.start_us = ts->as_double();
+    e.dur_us = dur->as_double();
+    if (const obs::Json* tid = ev.find("tid"))
+      if (tid->is_number()) e.tid = static_cast<std::uint32_t>(tid->as_int());
+    if (const obs::Json* depth = ev.find("depth"))
+      if (depth->is_number()) e.depth = static_cast<std::uint32_t>(depth->as_int());
+    e.span = obs::span_id_from_hex(span->as_string());
+    if (e.span == 0) continue;  // a span without identity cannot be stitched
+    if (const obs::Json* parent = ev.find("parent"))
+      if (parent->type() == obs::Json::Type::kString)
+        e.parent = obs::span_id_from_hex(parent->as_string());
+    e.trace = trace;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
 CampaignSpec spec_from_json(const obs::Json& j) {
   CampaignSpec spec;
   spec.trials = static_cast<std::size_t>(j.at("trials").as_int());

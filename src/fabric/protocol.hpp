@@ -9,13 +9,22 @@
 // (CRC + campaign-identity verified by the receiver through
 // `decode_checkpoint`). Conversation, always worker-initiated:
 //
-//   worker → hello    {type, schema, worker, pid, metrics_port}
+//   worker → hello    {type, schema, worker, pid, metrics_port, flight?}
 //   worker → ready    {type}                       (after a wait directive)
-//   worker → result   {type, shard}                + LORECKP1 body
+//   worker → result   {type, shard,
+//                      trace?, spans?, offset_us?} + LORECKP1 body
 //   worker → error    {type, shard, message}
-//   coord  → assign   {type, shard, kind, begin, end, spec, params}
-//   coord  → wait     {type, ms}
-//   coord  → shutdown {type}
+//   coord  → assign   {type, shard, kind, begin, end, spec, params,
+//                      now_us, trace?, parent_span?}
+//   coord  → wait     {type, ms, now_us}
+//   coord  → shutdown {type, now_us}
+//
+// Distributed tracing rides the same frames (DESIGN.md §15): when the
+// coordinator is recording, `assign` carries the campaign's 128-bit trace id
+// plus the root span id, the worker runs the shard under that context, and
+// its `result` ships the shard's span batch back (ids as fixed-width hex —
+// the JSON model's integers are signed 64-bit) together with a clock-offset
+// estimate derived from the `now_us` echo on every directive.
 //
 // The coordinator answers every worker frame with exactly one directive, so
 // the socket never carries more than one unacknowledged message per side and
@@ -26,8 +35,11 @@
 #include <optional>
 #include <string>
 
+#include <vector>
+
 #include "src/common/campaign.hpp"
 #include "src/obs/json.hpp"
+#include "src/obs/span.hpp"
 
 namespace lore::fabric {
 
@@ -61,5 +73,23 @@ std::optional<Frame> recv_frame(int fd);
 /// Campaign identity + execution policy a worker needs to run a shard.
 obs::Json spec_to_json(const CampaignSpec& spec);
 CampaignSpec spec_from_json(const obs::Json& j);
+
+/// Cap on spans per `result` head: 2048 encoded spans stay well inside the
+/// 1 MiB head cap; overflow drops the oldest spans (the shard span closes
+/// last and must survive).
+inline constexpr std::size_t kMaxSpanBatch = 2048;
+
+/// Completed spans -> JSON array for a `result` head. Encodes at most `max`
+/// events, preferring the newest (see kMaxSpanBatch); span/parent ids travel
+/// as 16-digit hex strings.
+obs::Json trace_events_to_json(const std::vector<obs::TraceEvent>& events,
+                               std::size_t max = kMaxSpanBatch);
+
+/// Inverse. Every decoded event is stamped with `trace` (the batch-level
+/// trace id from the head). Malformed entries — wrong type, missing keys,
+/// bad hex — are skipped, not fatal: a truncated batch yields fewer spans,
+/// never a poisoned trace.
+std::vector<obs::TraceEvent> trace_events_from_json(const obs::Json& arr,
+                                                    const obs::TraceId& trace);
 
 }  // namespace lore::fabric

@@ -6,12 +6,17 @@
 #include <cstdint>
 #include <cstdio>
 #include <exception>
+#include <optional>
 #include <thread>
+#include <vector>
 
 #include "src/fabric/protocol.hpp"
 #include "src/fabric/runners.hpp"
+#include "src/obs/flight.hpp"
 #include "src/obs/netutil.hpp"
+#include "src/obs/ring.hpp"
 #include "src/obs/serve.hpp"
+#include "src/obs/span.hpp"
 
 namespace lore::fabric {
 
@@ -36,9 +41,31 @@ ShardJob job_from_assign(const obs::Json& head) {
   return job;
 }
 
+/// NTP-lite: the coordinator stamps every directive with its own now_us; the
+/// worker brackets the round trip (its send -> its receive) and models the
+/// coordinator's stamp as taken at the midpoint. offset = coordinator clock
+/// minus worker clock, in microseconds; add it to a worker timestamp to land
+/// on the coordinator's timeline.
+struct ClockOffset {
+  double offset_us = 0.0;
+  bool valid = false;
+
+  void observe(const obs::Json& head, double t_send_us, double t_recv_us) {
+    const obs::Json* now = head.find("now_us");
+    if (!now || !now->is_number()) return;
+    offset_us = now->as_double() - 0.5 * (t_send_us + t_recv_us);
+    valid = true;
+  }
+};
+
 }  // namespace
 
 int run_worker(const WorkerConfig& cfg) {
+  // Crash forensics: `LORE_FLIGHT_DIR` (set by the driver before spawning)
+  // gives every worker process its own mmap-backed ring that survives
+  // SIGKILL; the coordinator collects it when this process dies mid-shard.
+  const std::optional<std::string> flight_path = obs::FlightRecorder::init_from_env();
+
   const int fd = connect_with_retry(cfg);
   if (fd < 0) {
     std::fprintf(stderr, "lore-fabric: worker cannot reach coordinator %s:%u\n",
@@ -62,18 +89,23 @@ int run_worker(const WorkerConfig& cfg) {
       cfg.name.empty() ? "w" + std::to_string(getpid()) : cfg.name;
   hello.head["pid"] = static_cast<std::int64_t>(getpid());
   hello.head["metrics_port"] = static_cast<std::int64_t>(bound_metrics_port);
+  if (flight_path) hello.head["flight"] = *flight_path;
+  double t_send = obs::TraceRecorder::now_us();
   if (!send_frame(fd, hello)) {
     obs::close_fd(fd);
     return 1;
   }
 
+  ClockOffset clock;
   int rc = 0;
   for (;;) {
     std::optional<Frame> directive = recv_frame(fd);
+    const double t_recv = obs::TraceRecorder::now_us();
     if (!directive) {
       rc = 1;  // connection lost mid-conversation
       break;
     }
+    clock.observe(directive->head, t_send, t_recv);
     const std::string type = directive->type();
     if (type == "shutdown") break;
 
@@ -82,6 +114,7 @@ int run_worker(const WorkerConfig& cfg) {
       const std::int64_t sleep_ms =
           ms && ms->is_number() ? ms->as_int() : 25;
       std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      t_send = obs::TraceRecorder::now_us();
       if (!send_frame(fd, make_frame("ready"))) {
         rc = 1;
         break;
@@ -97,6 +130,27 @@ int run_worker(const WorkerConfig& cfg) {
     }
 
     const std::int64_t shard = directive->head.at("shard").as_int();
+
+    // Adopt the coordinator's trace context, if the assign carries one: the
+    // shard span below becomes a child of the coordinator's root span, and
+    // every chunk span / ring event inside the runner nests under it.
+    obs::TraceId trace;
+    obs::SpanId parent_span = 0;
+    if (const obs::Json* t = directive->head.find("trace"))
+      if (t->type() == obs::Json::Type::kString)
+        trace = obs::trace_id_from_hex(t->as_string());
+    if (const obs::Json* p = directive->head.find("parent_span"))
+      if (p->type() == obs::Json::Type::kString)
+        parent_span = obs::span_id_from_hex(p->as_string());
+    const bool traced = trace.valid();
+
+    auto& recorder = obs::TraceRecorder::global();
+    std::size_t events_before = 0;
+    if (traced) {
+      recorder.set_enabled(true);
+      events_before = recorder.event_count();
+    }
+
     Frame reply;
     try {
       ShardJob job = job_from_assign(directive->head);
@@ -104,15 +158,41 @@ int run_worker(const WorkerConfig& cfg) {
       const ShardRunner runner = find_runner(job.kind);
       if (!runner)
         throw std::runtime_error("unknown campaign kind \"" + job.kind + "\"");
-      const CampaignCheckpoint ck = runner(job);
+      CampaignCheckpoint ck;
+      {
+        std::optional<obs::TraceContextScope> scope;
+        if (traced) scope.emplace(obs::TraceContext{trace, parent_span});
+        obs::Span shard_span("fabric.shard/" + std::to_string(shard), "fabric");
+        if (obs::event_stream_enabled())
+          obs::emit_event(obs::EventKind::kShardBegin,
+                          static_cast<std::uint64_t>(shard), 0.0, job.kind);
+        ck = runner(job);
+        if (obs::event_stream_enabled())
+          obs::emit_event(obs::EventKind::kShardEnd,
+                          static_cast<std::uint64_t>(shard),
+                          shard_span.elapsed_us(), job.kind);
+      }
       reply = make_frame("result");
       reply.head["shard"] = shard;
       reply.body = encode_checkpoint(ck);
+      if (traced) {
+        // Ship exactly this shard's spans: everything recorded since the
+        // assign that belongs to the adopted trace (a re-dispatched shard on
+        // the same worker would otherwise ship its first run's spans twice).
+        const std::vector<obs::TraceEvent> all = recorder.events();
+        std::vector<obs::TraceEvent> batch;
+        for (std::size_t i = events_before; i < all.size(); ++i)
+          if (all[i].trace == trace) batch.push_back(all[i]);
+        reply.head["trace"] = obs::trace_id_hex(trace);
+        reply.head["spans"] = trace_events_to_json(batch);
+        if (clock.valid) reply.head["offset_us"] = clock.offset_us;
+      }
     } catch (const std::exception& e) {
       reply = make_frame("error");
       reply.head["shard"] = shard;
       reply.head["message"] = std::string(e.what());
     }
+    t_send = obs::TraceRecorder::now_us();
     if (!send_frame(fd, reply)) {
       rc = 1;
       break;
@@ -121,6 +201,7 @@ int run_worker(const WorkerConfig& cfg) {
 
   obs::close_fd(fd);
   metrics.stop();
+  obs::FlightRecorder::global().close();
   return rc;
 }
 

@@ -177,10 +177,18 @@ Json chrome_trace_json(const std::vector<TraceEvent>& events) {
     ev["ph"] = "X";  // complete event: begin + duration in one record
     ev["ts"] = e.start_us;
     ev["dur"] = e.dur_us;
-    ev["pid"] = 1;
+    // pid 0 means "this process"; remote spans stitched in by the fabric
+    // coordinator carry the worker's real pid so Perfetto draws one lane per
+    // process of the fleet.
+    ev["pid"] = e.pid ? e.pid : 1;
     ev["tid"] = e.tid;
     Json args = Json::object();
     args["depth"] = static_cast<std::uint64_t>(e.depth);
+    if (e.span != 0) {
+      args["trace"] = trace_id_hex(e.trace);
+      args["span"] = span_id_hex(e.span);
+      args["parent"] = span_id_hex(e.parent);
+    }
     ev["args"] = std::move(args);
     list.push_back(std::move(ev));
   }

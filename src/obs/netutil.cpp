@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 namespace lore::obs {
@@ -59,6 +60,17 @@ int accept_retry(int listen_fd) {
     const int client = ::accept(listen_fd, nullptr, nullptr);
     if (client >= 0 || errno != EINTR) return client;
   }
+}
+
+bool set_socket_timeout(int fd, int timeout_ms) {
+  timeval tv{};
+  if (timeout_ms > 0) {
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  }
+  const bool rcv = ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) == 0;
+  const bool snd = ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv) == 0;
+  return rcv && snd;
 }
 
 long recv_retry(int fd, void* buf, std::size_t n) {

@@ -35,8 +35,14 @@ int connect_tcp(const std::string& host, std::uint16_t port);
 /// accept(2) retrying EINTR. Returns the client fd or -1 on a real error.
 int accept_retry(int listen_fd);
 
-/// recv(2) retrying EINTR. Returns bytes read, 0 on orderly EOF, -1 on error.
+/// recv(2) retrying EINTR. Returns bytes read, 0 on orderly EOF, -1 on error
+/// (including a receive timeout installed by set_socket_timeout).
 long recv_retry(int fd, void* buf, std::size_t n);
+
+/// Bound every subsequent send/recv on `fd` to `timeout_ms` (SO_RCVTIMEO +
+/// SO_SNDTIMEO); a blocked call then fails with EAGAIN instead of hanging on
+/// a dead peer. <= 0 clears the bound. Returns false if setsockopt fails.
+bool set_socket_timeout(int fd, int timeout_ms);
 
 /// Write all of `data`, retrying EINTR and short writes (MSG_NOSIGNAL so a
 /// dead peer surfaces as an error, not SIGPIPE). True when every byte went.

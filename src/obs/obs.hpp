@@ -15,6 +15,7 @@
 
 #include "src/obs/aggregate.hpp"
 #include "src/obs/export.hpp"
+#include "src/obs/flight.hpp"
 #include "src/obs/health.hpp"
 #include "src/obs/json.hpp"
 #include "src/obs/metrics.hpp"
@@ -77,11 +78,12 @@ inline constexpr bool kCompiledIn = true;
 /// Declare a trace span `var` named `name` on the global recorder.
 #define LORE_OBS_SPAN(var, name) ::lore::obs::Span var(name)
 
-/// Push one structured event onto the global ring — one relaxed-load branch
-/// while no aggregator is draining, one CAS + 64-byte copy while one is.
+/// Push one structured event onto every enabled stream (the global ring and
+/// the flight recorder) — one relaxed-load branch while neither is active,
+/// one CAS + 64-byte copy per active stream while one is.
 #define LORE_OBS_EVENT(kind, a, value)                                  \
   do {                                                                  \
-    if (::lore::obs::EventRing::global().enabled())                     \
+    if (::lore::obs::event_stream_enabled())                            \
       ::lore::obs::emit_event((kind), (a), (value));                    \
   } while (0)
 

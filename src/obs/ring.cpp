@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "src/obs/flight.hpp"
 #include "src/obs/span.hpp"
 
 namespace lore::obs {
@@ -16,6 +17,9 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kSpanBegin: return "span_begin";
     case EventKind::kSpanEnd: return "span_end";
     case EventKind::kAlert: return "alert";
+    case EventKind::kTrialsPruned: return "trials_pruned";
+    case EventKind::kShardBegin: return "shard_begin";
+    case EventKind::kShardEnd: return "shard_end";
   }
   return "?";
 }
@@ -108,6 +112,10 @@ EventRing& EventRing::global() {
   return ring;
 }
 
+bool event_stream_enabled() {
+  return EventRing::global().enabled() || FlightRecorder::global().active();
+}
+
 void emit_event(EventKind kind, std::uint64_t a, double value,
                 std::string_view label) {
   Event e;
@@ -116,8 +124,11 @@ void emit_event(EventKind kind, std::uint64_t a, double value,
   e.t_us = TraceRecorder::now_us();
   e.a = a;
   e.value = value;
+  e.span = current_trace_context().span;
   if (!label.empty()) e.set_label(label);
-  EventRing::global().try_push(e);
+  if (EventRing::global().enabled()) EventRing::global().try_push(e);
+  FlightRecorder& flight = FlightRecorder::global();
+  if (flight.active()) flight.record(kind, a, value, e.span, label);
 }
 
 }  // namespace lore::obs

@@ -36,23 +36,29 @@ enum class EventKind : std::uint8_t {
   kTrialRetry,          // a = trial index, value = attempt number
   kTrialFailed,         // a = trial index (one attempt threw)
   kCheckpointWritten,   // a = entries in the snapshot, value = write time (us)
-  kSpanBegin,           // label = span name
-  kSpanEnd,             // label = span name, value = duration (us)
+  kSpanBegin,           // label = span name, a = parent span id
+  kSpanEnd,             // label = span name, a = parent span id, value = duration (us)
   kAlert,               // label = signal name, value = offending value
+  kTrialsPruned,        // a = trials pruned in a chunk, value = chunk's first trial
+  kShardBegin,          // a = fabric shard id
+  kShardEnd,            // a = fabric shard id, value = shard wall time (us)
 };
 
-inline constexpr std::size_t kEventKindCount = 8;
+inline constexpr std::size_t kEventKindCount = 11;
 
 const char* event_kind_name(EventKind k);
 
 /// One fixed-size telemetry event. `a` and `value` are kind-specific (see
-/// EventKind); `label` is a truncated name for span/alert events.
+/// EventKind); `label` is a truncated name for span/alert events. `span` is
+/// the ambient span id at the emit site (0 = none) — the causal link from a
+/// trial-level event to the chunk/shard/stage span it happened under.
 struct Event {
   EventKind kind = EventKind::kTrialCompleted;
   std::uint32_t tid = 0;  // dense thread id (TraceRecorder::thread_id)
   double t_us = 0.0;      // TraceRecorder::now_us timeline
   std::uint64_t a = 0;
   double value = 0.0;
+  std::uint64_t span = 0;
   char label[24] = {};
 
   void set_label(std::string_view s) {
@@ -110,10 +116,16 @@ class EventRing {
   std::atomic<Counter*> drop_counter_{nullptr};
 };
 
-/// Build + push one event onto the global ring (timestamp and thread id are
-/// filled in). Call sites should use the LORE_OBS_EVENT macro (obs.hpp),
-/// which short-circuits on `EventRing::global().enabled()` and compiles out
-/// under -DLORE_OBS=OFF.
+/// True when any live event stream wants events: the global ring is enabled
+/// or a flight recorder is open. The one-branch producer gate used by
+/// LORE_OBS_EVENT and Span's event mirror.
+bool event_stream_enabled();
+
+/// Build + push one event onto every enabled stream — the global ring and,
+/// when one is open, the crash-safe flight recorder (flight.hpp). Timestamp,
+/// thread id, and the ambient span id are filled in. Call sites should use
+/// the LORE_OBS_EVENT macro (obs.hpp), which short-circuits on
+/// `event_stream_enabled()` and compiles out under -DLORE_OBS=OFF.
 void emit_event(EventKind kind, std::uint64_t a = 0, double value = 0.0,
                 std::string_view label = {});
 

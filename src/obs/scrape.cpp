@@ -8,9 +8,10 @@
 namespace lore::obs {
 
 std::optional<std::string> http_get(const std::string& host, std::uint16_t port,
-                                    const std::string& path) {
+                                    const std::string& path, int timeout_ms) {
   const int fd = connect_tcp(host, port);
   if (fd < 0) return std::nullopt;
+  if (timeout_ms > 0) set_socket_timeout(fd, timeout_ms);
   const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
   if (!send_all(fd, request.data(), request.size())) {
     close_fd(fd);
@@ -38,8 +39,9 @@ std::optional<std::string> http_get(const std::string& host, std::uint16_t port,
   return response.substr(body_at + 4);
 }
 
-std::optional<Json> scrape_metrics_json(const std::string& host, std::uint16_t port) {
-  const auto body = http_get(host, port, "/metrics.json");
+std::optional<Json> scrape_metrics_json(const std::string& host, std::uint16_t port,
+                                        int timeout_ms) {
+  const auto body = http_get(host, port, "/metrics.json", timeout_ms);
   if (!body) return std::nullopt;
   try {
     return Json::parse(*body);

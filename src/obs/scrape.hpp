@@ -13,13 +13,17 @@
 namespace lore::obs {
 
 /// GET `path` from host:port. Returns the response body on any 2xx status,
-/// nullopt on connect failure, timeout-less read error, or non-2xx.
+/// nullopt on connect failure, read error, or non-2xx. `timeout_ms` > 0
+/// bounds every send/recv on the connection, so a peer that dies mid-scrape
+/// (worker SIGKILLed between accept and response) fails the poll instead of
+/// hanging it; <= 0 keeps the old unbounded blocking reads.
 std::optional<std::string> http_get(const std::string& host, std::uint16_t port,
-                                    const std::string& path);
+                                    const std::string& path, int timeout_ms = 0);
 
 /// GET + parse /metrics.json (`lore.metrics.v1`). nullopt when the endpoint
-/// is unreachable or the body is not valid JSON.
-std::optional<Json> scrape_metrics_json(const std::string& host, std::uint16_t port);
+/// is unreachable, times out, or the body is not valid JSON.
+std::optional<Json> scrape_metrics_json(const std::string& host, std::uint16_t port,
+                                        int timeout_ms = 0);
 
 /// Convenience over a scraped `lore.metrics.v1` document: numeric value of
 /// counter/gauge `name`, or nullopt when absent.

@@ -113,6 +113,10 @@ std::string MetricsServer::handle_request(const std::string& request_line) const
     }();
     return http_response(200, "OK", "application/json", doc.dump(2) + "\n");
   }
+  if (path == "/trace.json")
+    return http_response(
+        200, "OK", "application/json",
+        chrome_trace_json(TraceRecorder::global().events()).dump(2) + "\n");
   if (path == "/healthz") {
     const HealthStatus st =
         aggregator_ ? aggregator_->health_status() : HealthStatus{};
@@ -135,7 +139,7 @@ std::string MetricsServer::handle_request(const std::string& request_line) const
   }
   return http_response(404, "Not Found", "text/plain",
                        "unknown path; try /metrics, /metrics.json, "
-                       "/intervals.json, or /healthz\n");
+                       "/intervals.json, /trace.json, or /healthz\n");
 }
 
 bool Pipeline::start(const PipelineConfig& cfg) {

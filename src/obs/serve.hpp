@@ -6,6 +6,9 @@
 //   GET /metrics.json   the existing `lore.metrics.v1` JSON document
 //   GET /intervals.json the Aggregator's per-interval history
 //                       (`lore.intervals.v1`)
+//   GET /trace.json     the global TraceRecorder's span buffer as a Chrome
+//                       trace — on a fabric coordinator, the merged fleet
+//                       trace so far
 //   GET /healthz        200 {"status":"ok"} or 503 {"status":"degraded",...}
 //                       from the self-monitoring health loop
 //

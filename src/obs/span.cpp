@@ -1,5 +1,7 @@
 #include "src/obs/span.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -16,8 +18,92 @@ std::chrono::steady_clock::time_point process_start() {
 }
 
 thread_local std::uint32_t t_span_depth = 0;
+thread_local TraceContext t_trace_ctx{};
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Per-process id seed: pid + monotonic clock + an ASLR-randomized address,
+/// so forked workers and re-executed processes never collide in practice.
+std::uint64_t process_id_seed() {
+  static const std::uint64_t seed = [] {
+    std::uint64_t s = static_cast<std::uint64_t>(::getpid());
+    s = splitmix64(s ^ static_cast<std::uint64_t>(
+                           std::chrono::steady_clock::now().time_since_epoch().count()));
+    s = splitmix64(s ^ reinterpret_cast<std::uintptr_t>(&seed));
+    return s;
+  }();
+  return seed;
+}
+
+std::uint64_t next_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t x =
+      splitmix64(process_id_seed() + counter.fetch_add(1, std::memory_order_relaxed));
+  return x ? x : 1;  // 0 is reserved for "no id"
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
 
 }  // namespace
+
+TraceId make_trace_id() { return TraceId{next_id(), next_id()}; }
+
+SpanId make_span_id() { return next_id(); }
+
+TraceContext current_trace_context() { return t_trace_ctx; }
+
+TraceContextScope::TraceContextScope(const TraceContext& ctx) : prev_(t_trace_ctx) {
+  t_trace_ctx = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { t_trace_ctx = prev_; }
+
+std::string span_id_hex(SpanId id) {
+  char buf[17];
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = "0123456789abcdef"[id & 0xf];
+    id >>= 4;
+  }
+  buf[16] = '\0';
+  return buf;
+}
+
+std::string trace_id_hex(const TraceId& id) {
+  return span_id_hex(id.hi) + span_id_hex(id.lo);
+}
+
+SpanId span_id_from_hex(std::string_view s) {
+  if (s.size() != 16) return 0;
+  SpanId id = 0;
+  for (char c : s) {
+    const int n = hex_nibble(c);
+    if (n < 0) return 0;
+    id = (id << 4) | static_cast<SpanId>(n);
+  }
+  return id;
+}
+
+TraceId trace_id_from_hex(std::string_view s) {
+  if (s.size() != 32) return TraceId{};
+  const SpanId hi = span_id_from_hex(s.substr(0, 16));
+  const SpanId lo = span_id_from_hex(s.substr(16, 16));
+  // A half that parses to 0 from non-zero digits is indistinguishable from a
+  // parse failure; all-zero halves are legal only in the invalid id anyway.
+  return TraceId{hi, lo};
+}
 
 void TraceRecorder::record(TraceEvent event) {
   std::lock_guard lock(mu_);
@@ -72,20 +158,32 @@ Span::Span(std::string name, std::string category)
       depth_(t_span_depth),
       active_(TraceRecorder::global().recording()) {
   ++t_span_depth;
+  const bool stream = event_stream_enabled();
+  if (active_ || stream) {
+    // Generate an identity and become the ambient parent for nested spans
+    // (and for events emitted while this span is open).
+    id_ = make_span_id();
+    prev_ctx_ = t_trace_ctx;
+    parent_ = prev_ctx_.span;
+    trace_ = prev_ctx_.trace;
+    t_trace_ctx = TraceContext{trace_, id_};
+    ctx_pushed_ = true;
+  }
 #ifndef LORE_OBS_DISABLED
-  // Mirror span boundaries onto the live event ring (advisory stream for the
-  // Aggregator); the Chrome-trace recorder above stays the durable sink.
-  if (EventRing::global().enabled())
-    emit_event(EventKind::kSpanBegin, depth_, 0.0, name_);
+  // Mirror span boundaries onto the live event streams (ring + flight
+  // recorder); the Chrome-trace recorder above stays the durable sink.
+  // `a` carries the parent id, the record's own span field carries id_.
+  if (stream) emit_event(EventKind::kSpanBegin, parent_, 0.0, name_);
 #endif
 }
 
 Span::~Span() {
   --t_span_depth;
 #ifndef LORE_OBS_DISABLED
-  if (EventRing::global().enabled())
-    emit_event(EventKind::kSpanEnd, depth_, TraceRecorder::now_us() - start_us_, name_);
+  if (event_stream_enabled())
+    emit_event(EventKind::kSpanEnd, parent_, TraceRecorder::now_us() - start_us_, name_);
 #endif
+  if (ctx_pushed_) t_trace_ctx = prev_ctx_;
   if (!active_) return;
   TraceEvent event;
   event.name = std::move(name_);
@@ -94,6 +192,9 @@ Span::~Span() {
   event.dur_us = TraceRecorder::now_us() - start_us_;
   event.tid = TraceRecorder::thread_id();
   event.depth = depth_;
+  event.trace = trace_;
+  event.span = id_;
+  event.parent = parent_;
   TraceRecorder::global().record(std::move(event));
 }
 

@@ -19,6 +19,60 @@
 
 namespace lore::obs {
 
+/// 128-bit trace identity: one per distributed unit of work (a fabric
+/// campaign, a scenario run). Zero means "no trace" — spans still record
+/// locally, they just cannot be stitched across processes.
+struct TraceId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  bool valid() const { return (hi | lo) != 0; }
+  friend bool operator==(const TraceId&, const TraceId&) = default;
+};
+
+/// 64-bit span identity, unique within a trace. 0 = none.
+using SpanId = std::uint64_t;
+
+/// The ambient trace position of the calling thread: which trace we are in
+/// and which span is the innermost open one (the parent of any span opened
+/// next). Propagated across threads with TraceContextScope and across
+/// processes in `lore.fabric.v1` frame heads.
+struct TraceContext {
+  TraceId trace;
+  SpanId span = 0;
+  bool valid() const { return trace.valid(); }
+};
+
+/// Process-unique random ids (splitmix64 over a pid/clock/ASLR seed). Ids
+/// are intentionally non-deterministic: spans are advisory telemetry, the
+/// determinism contract covers only trial results and counters.
+TraceId make_trace_id();
+SpanId make_span_id();
+
+/// Thread-local ambient context (zero-initialized per thread).
+TraceContext current_trace_context();
+
+/// RAII installer of a thread's ambient context — use to adopt a remote
+/// parent (fabric worker shards) or to carry the spawning thread's context
+/// into a parallel_for body. Restores the previous context on destruction.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& ctx);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+/// Wire encoding of ids: fixed-width lowercase hex (ids are 64-bit, the JSON
+/// model's integers are signed — hex strings dodge the sign bit).
+std::string span_id_hex(SpanId id);
+std::string trace_id_hex(const TraceId& id);
+/// Inverses; malformed input parses to 0 / the invalid TraceId.
+SpanId span_id_from_hex(std::string_view s);
+TraceId trace_id_from_hex(std::string_view s);
+
 /// One completed span, in Chrome-trace "complete event" terms.
 struct TraceEvent {
   std::string name;
@@ -27,6 +81,10 @@ struct TraceEvent {
   double dur_us = 0.0;
   std::uint32_t tid = 0;  // dense per-process thread id, not the OS id
   std::uint32_t depth = 0;  // nesting level at the span's open
+  TraceId trace;          // distributed trace this span belongs to (may be 0)
+  SpanId span = 0;        // this span's id (0 when ids were not generated)
+  SpanId parent = 0;      // enclosing span at open (0 = root)
+  std::uint32_t pid = 0;  // 0 = this process; set when stitching remote spans
 };
 
 /// Thread-safe append-only buffer of completed spans.
@@ -70,6 +128,12 @@ class Span {
 
   double elapsed_us() const { return TraceRecorder::now_us() - start_us_; }
 
+  /// This span's id (0 when neither the recorder nor an event stream was
+  /// enabled at construction, so no identity was generated).
+  SpanId id() const { return id_; }
+  SpanId parent() const { return parent_; }
+  TraceId trace() const { return trace_; }
+
   /// Current nesting depth on the calling thread (0 = no open span).
   static std::uint32_t current_depth();
 
@@ -79,6 +143,11 @@ class Span {
   double start_us_;
   std::uint32_t depth_;
   bool active_;  // false when recording was off at construction
+  SpanId id_ = 0;
+  SpanId parent_ = 0;
+  TraceId trace_;
+  TraceContext prev_ctx_;
+  bool ctx_pushed_ = false;
 };
 
 /// RAII timer that observes the scope's wall time (µs) into a histogram.

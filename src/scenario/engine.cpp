@@ -14,6 +14,7 @@
 #include "src/os/governor.hpp"
 #include "src/os/mapper.hpp"
 #include "src/os/platform.hpp"
+#include "src/obs/obs.hpp"
 #include "src/os/replica.hpp"
 #include "src/os/tasks.hpp"
 
@@ -411,16 +412,40 @@ void register_scenario_runners() {
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
   const auto start = std::chrono::steady_clock::now();
+  // Each stage runs under its own span so a traced scenario (local or shipped
+  // to a fabric worker) decomposes into per-stage intervals; campaign-level
+  // spans/events emitted inside a stage nest under it via the ambient context.
+  LORE_OBS_SPAN(scenario_span, "scenario.run");
   ScenarioResult result;
   result.spec = spec;
-  if (spec.device) result.device = run_device_stage(spec);
-  for (std::size_t i = 0; i < spec.faults.size(); ++i)
+  if (spec.device) {
+    LORE_OBS_SPAN(stage_span, "scenario.stage/device");
+    result.device = run_device_stage(spec);
+  }
+  for (std::size_t i = 0; i < spec.faults.size(); ++i) {
+    LORE_OBS_SPAN(stage_span, "scenario.stage/fault." + std::to_string(i));
     result.faults.push_back(run_fault_stage(spec, i));
-  if (spec.os) result.os = run_os_stage(spec);
-  if (spec.mixed_criticality) result.mixed_criticality = run_mixed_crit_stage(spec);
-  if (spec.replica_drift) result.replica_drift = run_replica_stage(spec);
-  if (spec.rollback) result.rollback = run_rollback_stage(spec);
-  if (spec.crosslayer) result.crosslayer = run_crosslayer_stage(spec);
+  }
+  if (spec.os) {
+    LORE_OBS_SPAN(stage_span, "scenario.stage/os");
+    result.os = run_os_stage(spec);
+  }
+  if (spec.mixed_criticality) {
+    LORE_OBS_SPAN(stage_span, "scenario.stage/mixed_crit");
+    result.mixed_criticality = run_mixed_crit_stage(spec);
+  }
+  if (spec.replica_drift) {
+    LORE_OBS_SPAN(stage_span, "scenario.stage/replica");
+    result.replica_drift = run_replica_stage(spec);
+  }
+  if (spec.rollback) {
+    LORE_OBS_SPAN(stage_span, "scenario.stage/rollback");
+    result.rollback = run_rollback_stage(spec);
+  }
+  if (spec.crosslayer) {
+    LORE_OBS_SPAN(stage_span, "scenario.stage/crosslayer");
+    result.crosslayer = run_crosslayer_stage(spec);
+  }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return result;

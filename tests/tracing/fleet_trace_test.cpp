@@ -1,0 +1,256 @@
+// Fleet-level tracing + post-mortem, end to end (DESIGN.md §15): a real
+// coordinator with forked workers run under a root span must stitch every
+// executed shard back as a child span of that root (the merged-trace
+// contract), trace collection must leave campaign results bit-identical to
+// the untraced run, and a worker SIGKILLed mid-shard must leave a flight
+// ring whose decode names the inflight shard and the spans open at death.
+//
+// Fork discipline: workers fork between Coordinator::bind() and serve(),
+// while this process is still single-threaded.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/arch/fault.hpp"
+#include "src/fabric/coordinator.hpp"
+#include "src/fabric/runners.hpp"
+#include "src/fabric/spawn.hpp"
+#include "src/obs/flight.hpp"
+#include "src/obs/span.hpp"
+
+namespace {
+
+using namespace lore;
+using namespace lore::fabric;
+
+obs::Json fault_params(const std::string& workload) {
+  obs::Json p = obs::Json::object();
+  p["workload"] = workload;
+  p["scale"] = std::int64_t{16};
+  p["wseed"] = std::int64_t{7};
+  p["target"] = "register";
+  return p;
+}
+
+CampaignSpec base_spec(std::size_t trials) {
+  CampaignSpec spec;
+  spec.trials = trials;
+  spec.base_seed = 42;
+  spec.threads = 1;
+  return spec;
+}
+
+struct RecorderOn {
+  RecorderOn() {
+    obs::TraceRecorder::global().clear();
+    obs::TraceRecorder::global().set_enabled(true);
+  }
+  ~RecorderOn() {
+    obs::TraceRecorder::global().set_enabled(false);
+    obs::TraceRecorder::global().clear();
+  }
+};
+
+/// The ring-side inflight-shard rule lore_postmortem.py implements: the last
+/// shard_begin without a matching shard_end.
+long long ring_inflight_shard(const obs::FlightRingDump& dump) {
+  long long shard = -1;
+  for (const auto& r : dump.records) {
+    if (r.kind == obs::EventKind::kShardBegin)
+      shard = static_cast<long long>(r.a);
+    else if (r.kind == obs::EventKind::kShardEnd &&
+             shard == static_cast<long long>(r.a))
+      shard = -1;
+  }
+  return shard;
+}
+
+TEST(FleetTrace, EveryShardBecomesAChildSpanOfTheCoordinatorRoot) {
+  RecorderOn on;
+  const obs::Json params = fault_params("dot_product");
+  const auto resolved = resolve_job_spec("arch.fault", params, base_spec(400));
+  ASSERT_TRUE(resolved.has_value());
+
+  CoordinatorConfig cfg;
+  cfg.expected_workers = 4;
+  Coordinator coord;
+  ASSERT_TRUE(coord.bind(cfg));
+  std::vector<pid_t> kids;
+  for (int i = 0; i < 4; ++i)
+    kids.push_back(fork_local_worker(coord.port(), {}, coord.listen_fd()));
+
+  // The tracing contract: a root span inside an installed context, open when
+  // serve() captures the ambient state.
+  obs::TraceContextScope root_scope(obs::TraceContext{obs::make_trace_id(), 0});
+  obs::Span root("fabric.fleet", "fabric");
+  ASSERT_NE(root.id(), 0u);
+
+  coord.serve({"arch.fault", params, *resolved});
+  ASSERT_TRUE(coord.wait(std::chrono::minutes(2)));
+  const FleetSnapshot snap = coord.snapshot();
+  const CampaignCheckpoint merged = coord.finish();
+  for (const pid_t pid : kids) wait_worker(pid);
+
+  ASSERT_GT(snap.shards_done, 0u);
+  EXPECT_GT(snap.spans_stitched, 0u);
+
+  // Every executed shard must appear as `fabric.shard/<id>`, in the root's
+  // trace, parented directly under the root span, stamped with a worker pid.
+  const std::size_t shard_total = snap.shards_done;
+  std::vector<char> seen(shard_total, 0);
+  for (const obs::TraceEvent& e : obs::TraceRecorder::global().events()) {
+    if (e.name.rfind("fabric.shard/", 0) != 0) continue;
+    EXPECT_TRUE(e.trace == root.trace()) << e.name;
+    EXPECT_EQ(e.parent, root.id()) << e.name;
+    EXPECT_NE(e.pid, 0u) << e.name << " should carry the worker's pid";
+    EXPECT_GT(e.dur_us, 0.0);
+    const auto id = static_cast<std::size_t>(std::atol(e.name.c_str() + 13));
+    if (id < seen.size()) seen[id] = 1;
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_TRUE(seen[i]) << "shard " << i << " missing from the merged trace";
+
+  // And the merge itself is still exact.
+  const auto result = records_from_checkpoint("arch.fault", *resolved, merged);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->records.size(), 400u);
+}
+
+TEST(FleetTrace, TraceCollectionLeavesResultsBitIdentical) {
+  const obs::Json params = fault_params("dot_product");
+  const auto resolved = resolve_job_spec("arch.fault", params, base_spec(300));
+  ASSERT_TRUE(resolved.has_value());
+
+  // Untraced single-process reference, computed with the recorder off.
+  const auto w = workload_from_params(params);
+  const arch::FaultInjector inj(*w);
+  const auto reference =
+      inj.campaign_run(base_spec(300), arch::FaultTarget::kRegister).records;
+
+  // Traced 2-worker fleet run of the same campaign.
+  RecorderOn on;
+  CoordinatorConfig cfg;
+  cfg.expected_workers = 2;
+  Coordinator coord;
+  ASSERT_TRUE(coord.bind(cfg));
+  std::vector<pid_t> kids;
+  for (int i = 0; i < 2; ++i)
+    kids.push_back(fork_local_worker(coord.port(), {}, coord.listen_fd()));
+
+  obs::TraceContextScope root_scope(obs::TraceContext{obs::make_trace_id(), 0});
+  obs::Span root("fabric.fleet", "fabric");
+  coord.serve({"arch.fault", params, *resolved});
+  ASSERT_TRUE(coord.wait(std::chrono::minutes(2)));
+  const CampaignCheckpoint merged = coord.finish();
+  for (const pid_t pid : kids) wait_worker(pid);
+
+  const auto result = records_from_checkpoint("arch.fault", *resolved, merged);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->records, reference)
+      << "tracing must be advisory: bit-identical results";
+}
+
+TEST(FleetTrace, KilledWorkerFlightRingNamesTheInflightShard) {
+  // Heavy campaign so the victim is guaranteed to be mid-shard when killed.
+  obs::Json params = fault_params("matmul");
+  const auto resolved = resolve_job_spec("arch.fault", params, base_spec(3000));
+  ASSERT_TRUE(resolved.has_value());
+
+  const std::string flight_dir = testing::TempDir();
+  ASSERT_EQ(::setenv("LORE_FLIGHT_DIR", flight_dir.c_str(), 1), 0);
+
+  CoordinatorConfig cfg;
+  cfg.expected_workers = 2;
+  cfg.shard_count = 6;
+  Coordinator coord;
+  ASSERT_TRUE(coord.bind(cfg));
+  const pid_t victim = fork_local_worker(coord.port(), {}, coord.listen_fd());
+  const pid_t survivor = fork_local_worker(coord.port(), {}, coord.listen_fd());
+  ASSERT_EQ(::unsetenv("LORE_FLIGHT_DIR"), 0);
+  const std::string ring_path =
+      flight_dir + "flight-" + std::to_string(victim) + ".ring";
+
+  coord.serve({"arch.fault", params, *resolved});
+
+  // Poll the victim's live ring until it has demonstrably begun a shard and
+  // buried >= 100 events behind it, then SIGKILL mid-shard. The mmap'd ring
+  // is file-backed, so the parent reads the child's writes directly.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  bool armed = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto live = obs::decode_flight_file(ring_path);
+    if (live && live->records.size() >= 100 && ring_inflight_shard(*live) >= 0) {
+      armed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(armed) << "victim never reached mid-shard state";
+  testing::internal::CaptureStderr();  // the coordinator logs the collection
+  kill_worker(victim);
+
+  ASSERT_TRUE(coord.wait(std::chrono::minutes(2)));
+  const FleetSnapshot snap = coord.snapshot();
+  const CampaignCheckpoint merged = coord.finish();
+  const std::string log = testing::internal::GetCapturedStderr();
+  wait_worker(survivor);
+
+  // The coordinator noticed the death, salvaged the ring, re-dispatched.
+  EXPECT_EQ(snap.flight_rings_collected, 1u);
+  EXPECT_NE(log.find("collected flight ring"), std::string::npos) << log;
+
+  // Post-mortem contract: the torn ring still decodes, names the inflight
+  // shard, has the shard span open at death, and holds >= 64 events.
+  const auto dump = obs::decode_flight_file(ring_path);
+  ASSERT_TRUE(dump.has_value());
+  EXPECT_EQ(dump->sealed, obs::kFlightTorn);
+  EXPECT_EQ(dump->pid, static_cast<std::uint32_t>(victim));
+  EXPECT_GE(dump->records.size(), 64u);
+  const long long inflight = ring_inflight_shard(*dump);
+  ASSERT_GE(inflight, 0);
+  EXPECT_LT(inflight, 6);
+
+  // The shard span (fabric.shard/<id>) began and never ended.
+  std::size_t open_spans = 0;
+  bool shard_span_open = false;
+  std::vector<std::uint64_t> begun;
+  for (const auto& r : dump->records) {
+    if (r.kind == obs::EventKind::kSpanBegin) {
+      ++open_spans;
+      begun.push_back(r.span);
+    } else if (r.kind == obs::EventKind::kSpanEnd) {
+      if (open_spans) --open_spans;
+      std::erase(begun, r.span);
+    }
+  }
+  for (const auto& r : dump->records)
+    if (r.kind == obs::EventKind::kSpanBegin &&
+        std::string(r.label).rfind("fabric.shard/", 0) == 0)
+      for (const std::uint64_t s : begun)
+        if (s == r.span) shard_span_open = true;
+  EXPECT_GT(open_spans, 0u);
+  EXPECT_TRUE(shard_span_open) << "the inflight shard's span must be open at death";
+
+  // And the campaign still merged exactly: re-dispatch covered the loss.
+  const auto result = records_from_checkpoint("arch.fault", *resolved, merged);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->report.completed, 3000u);
+  const auto w = workload_from_params(params);
+  const arch::FaultInjector inj(*w);
+  EXPECT_EQ(result->records,
+            inj.campaign_run(base_spec(3000), arch::FaultTarget::kRegister).records);
+
+  std::remove(ring_path.c_str());
+  const std::string survivor_ring =
+      flight_dir + "flight-" + std::to_string(survivor) + ".ring";
+  std::remove(survivor_ring.c_str());
+}
+
+}  // namespace
